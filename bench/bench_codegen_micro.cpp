@@ -1,0 +1,59 @@
+// A5: code generation throughput and output size for the TUTMAC model.
+#include "bench_util.hpp"
+#include "codegen/codegen.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+
+namespace {
+
+void print_header() {
+  bench::banner("A5: code generation");
+  const tutmac::System sys = tutmac::build();
+  const auto bundle = codegen::generate(*sys.model);
+  std::cout << "generated " << bundle.files.size() << " files, "
+            << bundle.total_lines() << " lines, " << bundle.total_bytes()
+            << " bytes\n";
+  for (const auto& f : bundle.files) {
+    std::cout << "  " << f.path << '\n';
+  }
+}
+
+void BM_GenerateTutmac(benchmark::State& state) {
+  const tutmac::System sys = tutmac::build();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto bundle = codegen::generate(*sys.model);
+    bytes = bundle.total_bytes();
+    benchmark::DoNotOptimize(bundle);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_GenerateTutmac)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateWithoutInstrumentation(benchmark::State& state) {
+  const tutmac::System sys = tutmac::build();
+  codegen::Options opt;
+  opt.profiling_instrumentation = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::generate(*sys.model, opt));
+  }
+}
+BENCHMARK(BM_GenerateWithoutInstrumentation)->Unit(benchmark::kMillisecond);
+
+void BM_ExprToC(benchmark::State& state) {
+  const std::map<std::string, std::string> rn = {{"pending", "ctx->pending"},
+                                                 {"slotcnt", "ctx->slotcnt"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codegen::expr_to_c("pending > 0 && slotcnt % 8 == 0", rn));
+  }
+}
+BENCHMARK(BM_ExprToC);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run(argc, argv, print_header);
+}

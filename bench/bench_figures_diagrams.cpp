@@ -1,0 +1,76 @@
+// Regenerates Figures 4-8 of the paper as Graphviz DOT (class diagram,
+// composite structure, grouping, platform, mapping) and benchmarks the
+// renderers.
+#include "bench_util.hpp"
+#include "diagram/diagram.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+
+namespace {
+
+void print_figures() {
+  tutmac::System sys = tutmac::build();
+
+  bench::banner("Figure 4: TUTMAC class diagram (DOT)");
+  std::cout << diagram::class_diagram_dot(*sys.model);
+  bench::banner("Figure 5: Tutmac_Protocol composite structure (DOT)");
+  std::cout << diagram::composite_structure_dot(*sys.app);
+  bench::banner("Figure 6: TUTMAC process grouping (DOT)");
+  std::cout << diagram::grouping_dot(*sys.model);
+  bench::banner("Figure 7: TUTWLAN platform (DOT)");
+  std::cout << diagram::platform_dot(*sys.model);
+  bench::banner("Figure 8: mapping TUTMAC onto TUTWLAN (DOT)");
+  std::cout << diagram::mapping_dot(*sys.model);
+}
+
+tutmac::System& shared_system() {
+  static tutmac::System sys = tutmac::build();
+  return sys;
+}
+
+void BM_Fig4ClassDiagram(benchmark::State& state) {
+  tutmac::System& sys = shared_system();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diagram::class_diagram_dot(*sys.model));
+  }
+}
+BENCHMARK(BM_Fig4ClassDiagram)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig5CompositeStructure(benchmark::State& state) {
+  tutmac::System& sys = shared_system();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diagram::composite_structure_dot(*sys.app));
+  }
+}
+BENCHMARK(BM_Fig5CompositeStructure)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig6Grouping(benchmark::State& state) {
+  tutmac::System& sys = shared_system();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diagram::grouping_dot(*sys.model));
+  }
+}
+BENCHMARK(BM_Fig6Grouping)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig7Platform(benchmark::State& state) {
+  tutmac::System& sys = shared_system();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diagram::platform_dot(*sys.model));
+  }
+}
+BENCHMARK(BM_Fig7Platform)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig8Mapping(benchmark::State& state) {
+  tutmac::System& sys = shared_system();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diagram::mapping_dot(*sys.model));
+  }
+}
+BENCHMARK(BM_Fig8Mapping)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run(argc, argv, print_figures);
+}

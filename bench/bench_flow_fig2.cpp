@@ -1,0 +1,95 @@
+// Regenerates the design-and-profiling flow of Figure 2 end to end and
+// benchmarks every stage: UML model -> code generation -> (simulated)
+// execution with logging -> model parsing -> profiling report.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "codegen/codegen.hpp"
+#include "profiler/profiler.hpp"
+#include "tutmac/tutmac.hpp"
+#include "uml/serialize.hpp"
+
+using namespace tut;
+
+namespace {
+
+void print_flow() {
+  using clock = std::chrono::steady_clock;
+  const auto ms = [](clock::duration d) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count() /
+           1000.0;
+  };
+
+  bench::banner("Figure 2: design and profiling flow (stage timings)");
+
+  auto t0 = clock::now();
+  tutmac::Options opt;
+  opt.horizon = 20'000'000;
+  tutmac::System sys = tutmac::build(opt);
+  auto t1 = clock::now();
+  std::printf("  UML 2.0 model (TUT-Profile)      : %8.2f ms, %zu elements\n",
+              ms(t1 - t0), sys.model->size());
+
+  const auto bundle = codegen::generate(*sys.model);
+  auto t2 = clock::now();
+  std::printf("  code generation (application C)  : %8.2f ms, %zu files, %zu lines\n",
+              ms(t2 - t1), bundle.files.size(), bundle.total_lines());
+
+  const std::string xml = uml::to_xml_string(*sys.model);
+  auto t3 = clock::now();
+  std::printf("  model XML export                 : %8.2f ms, %zu bytes\n",
+              ms(t3 - t2), xml.size());
+
+  mapping::SystemView view(*sys.model);
+  const auto simulation = sys.simulate(view);
+  auto t4 = clock::now();
+  std::printf("  simulation (20 ms, instrumented) : %8.2f ms, %llu events\n",
+              ms(t4 - t3),
+              static_cast<unsigned long long>(simulation->events_dispatched()));
+
+  const std::string log_text = simulation->log().to_text();
+  const auto info = profiler::ProcessGroupInfo::from_xml(xml);
+  const auto log = sim::SimulationLog::parse(log_text);
+  const auto report = profiler::analyze(info, log);
+  auto t5 = clock::now();
+  std::printf("  profiling (parse + combine)      : %8.2f ms, %llu signals\n",
+              ms(t5 - t4),
+              static_cast<unsigned long long>(report.total_signals()));
+  std::printf("  total                            : %8.2f ms\n", ms(t5 - t0));
+}
+
+void BM_Stage_BuildModel(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(tutmac::build());
+}
+BENCHMARK(BM_Stage_BuildModel)->Unit(benchmark::kMillisecond);
+
+void BM_Stage_Codegen(benchmark::State& state) {
+  const tutmac::System sys = tutmac::build();
+  for (auto _ : state) benchmark::DoNotOptimize(codegen::generate(*sys.model));
+}
+BENCHMARK(BM_Stage_Codegen)->Unit(benchmark::kMillisecond);
+
+void BM_Stage_XmlExport(benchmark::State& state) {
+  const tutmac::System sys = tutmac::build();
+  for (auto _ : state) benchmark::DoNotOptimize(uml::to_xml_string(*sys.model));
+}
+BENCHMARK(BM_Stage_XmlExport)->Unit(benchmark::kMillisecond);
+
+void BM_Stage_SimulateAndProfile(benchmark::State& state) {
+  tutmac::Options opt;
+  opt.horizon = 5'000'000;
+  const tutmac::System sys = tutmac::build(opt);
+  mapping::SystemView view(*sys.model);
+  const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
+  for (auto _ : state) {
+    const auto simulation = sys.simulate(view);
+    benchmark::DoNotOptimize(profiler::analyze(info, simulation->log()));
+  }
+}
+BENCHMARK(BM_Stage_SimulateAndProfile)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run(argc, argv, print_flow);
+}

@@ -1,0 +1,106 @@
+// A4 (part 1): microbenchmarks of the execution substrates — event kernel
+// throughput, EFSM dispatch, expression evaluation, log append/parse.
+#include "bench_util.hpp"
+#include "efsm/machine.hpp"
+#include "sim/kernel.hpp"
+#include "sim/log.hpp"
+#include "uml/model.hpp"
+
+using namespace tut;
+
+namespace {
+
+void print_header() {
+  bench::banner("A4: kernel / EFSM / log microbenchmarks");
+  std::cout << "(tool-scalability substrate: events, transitions, log lines)\n";
+}
+
+void BM_KernelScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      kernel.schedule_at(i * 7 % 1000, [&fired] { ++fired; });
+    }
+    kernel.run(1000);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelScheduleAndRun)->Arg(1000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+void BM_ExprCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        efsm::Expr::compile("pending > 0 && slotcnt % 8 == 0 || len * 4 > 64"));
+  }
+}
+BENCHMARK(BM_ExprCompile)->Unit(benchmark::kMicrosecond);
+
+void BM_ExprEval(benchmark::State& state) {
+  const auto expr =
+      efsm::Expr::compile("pending > 0 && slotcnt % 8 == 0 || len * 4 > 64");
+  const efsm::Env env{{"pending", 3}, {"slotcnt", 16}, {"len", 12}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr.eval(env));
+  }
+}
+BENCHMARK(BM_ExprEval);
+
+void BM_EfsmDispatch(benchmark::State& state) {
+  uml::Model model("m");
+  auto& sig = model.create_signal("S");
+  sig.add_parameter("x", "int");
+  auto& cls = model.create_class("C", nullptr, true);
+  model.add_port(cls, "in").provide(sig);
+  auto& sm = model.create_behavior(cls);
+  sm.declare_variable("n", 0);
+  auto& idle = model.add_state(sm, "Idle", true);
+  model.add_transition(sm, idle, idle, sig, "in")
+      .set_guard("x > 0")
+      .add_effect(uml::Action::assign("n", "n + x"))
+      .add_effect(uml::Action::compute("10"));
+  efsm::Instance inst(sm, "i");
+  inst.start();
+  const efsm::Event ev{&sig, "in", {5}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.deliver(ev));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EfsmDispatch);
+
+void BM_LogAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SimulationLog log;
+    for (int i = 0; i < 1000; ++i) {
+      log.run(static_cast<sim::Time>(i), "proc", 100, 2000);
+    }
+    benchmark::DoNotOptimize(log.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_LogAppend)->Unit(benchmark::kMicrosecond);
+
+void BM_LogParse(benchmark::State& state) {
+  sim::SimulationLog log;
+  for (int i = 0; i < 1000; ++i) {
+    log.run(static_cast<sim::Time>(i), "proc", 100, 2000);
+    log.send(static_cast<sim::Time>(i), "a", "b", "Sig", 64);
+  }
+  const std::string text = log.to_text();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::SimulationLog::parse(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_LogParse)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run(argc, argv, print_header);
+}

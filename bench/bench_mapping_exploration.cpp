@@ -1,0 +1,132 @@
+// Ablation A3: mapping alternatives (Section 4.3). Simulates the paper's
+// Figure 8 mapping against load-balanced and single-PE mappings, and lets
+// the exploration tool propose a mapping from profiling data, comparing its
+// estimate with the measured result.
+#include "bench_util.hpp"
+#include "explore/explore.hpp"
+#include "profiler/profiler.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+
+namespace {
+
+struct Result {
+  std::string name;
+  sim::Time busiest_pe = 0;
+  sim::Time total_busy = 0;
+  std::uint64_t bus_transfers = 0;
+};
+
+Result run_mapping(const std::string& name, tutmac::MappingChoice choice) {
+  tutmac::Options opt;
+  opt.horizon = 10'000'000;
+  opt.mapping = choice;
+  tutmac::System sys = tutmac::build(opt);
+  mapping::SystemView view(*sys.model);
+  const auto simulation = sys.simulate(view);
+
+  Result r;
+  r.name = name;
+  for (const auto& [pe, stats] : simulation->pe_stats()) {
+    r.busiest_pe = std::max(r.busiest_pe, stats.busy_time);
+    r.total_busy += stats.busy_time;
+  }
+  for (const auto& [seg, stats] : simulation->segment_stats()) {
+    r.bus_transfers += stats.transfers;
+  }
+  return r;
+}
+
+void print_ablation() {
+  bench::banner("A3: mapping alternatives (10 ms TUTMAC workload)");
+  std::printf("%-26s %16s %14s %14s\n", "mapping", "busiest PE", "total busy",
+              "bus transfers");
+  for (const Result& r :
+       {run_mapping("paper (figure 8)", tutmac::MappingChoice::Paper),
+        run_mapping("load-balanced", tutmac::MappingChoice::LoadBalanced),
+        run_mapping("single PE", tutmac::MappingChoice::SinglePe)}) {
+    std::printf("%-26s %16llu %14llu %14llu\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.busiest_pe),
+                static_cast<unsigned long long>(r.total_busy),
+                static_cast<unsigned long long>(r.bus_transfers));
+  }
+
+  // Exploration: propose a mapping from profiling data and report its
+  // estimate (the feedback loop of Section 4.4).
+  tutmac::Options opt;
+  opt.horizon = 10'000'000;
+  tutmac::System sys = tutmac::build(opt);
+  mapping::SystemView view(*sys.model);
+  const auto simulation = sys.simulate(view);
+  const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
+  const auto report = profiler::analyze(info, simulation->log());
+  const auto stats = explore::ProcessStats::from_report(report);
+
+  explore::Grouping grouping = {{"rca", "rmng"}, {"msduRec", "msduDel"},
+                                {"mng", "frag"}, {"crc"}};
+  const std::vector<std::string> group_type = {"general", "general", "general",
+                                               "hardware"};
+  const std::vector<explore::PeDesc> pes = {
+      {"processor1", 50, "general"},
+      {"processor2", 50, "general"},
+      {"processor3", 50, "general"},
+      {"accelerator1", 100, "hw_accelerator"}};
+  const auto proposal = explore::propose_mapping(grouping, group_type, stats, pes);
+  std::printf("\nautomatic proposal for the paper's groups:\n");
+  const char* names[] = {"group1", "group2", "group3", "group4"};
+  for (std::size_t g = 0; g < grouping.size(); ++g) {
+    std::printf("  %s -> %s\n", names[g], proposal.target[g].c_str());
+  }
+  std::printf("  estimated makespan %lld ticks (comm %lld)\n",
+              static_cast<long long>(proposal.cost.makespan),
+              static_cast<long long>(proposal.cost.comm_cost));
+}
+
+void BM_ProposeMapping(benchmark::State& state) {
+  tutmac::Options opt;
+  opt.horizon = 5'000'000;
+  tutmac::System sys = tutmac::build(opt);
+  mapping::SystemView view(*sys.model);
+  const auto simulation = sys.simulate(view);
+  const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
+  const auto report = profiler::analyze(info, simulation->log());
+  const auto stats = explore::ProcessStats::from_report(report);
+  const explore::Grouping grouping = {{"rca", "rmng"}, {"msduRec", "msduDel"},
+                                      {"mng", "frag"}, {"crc"}};
+  const std::vector<std::string> group_type = {"general", "general", "general",
+                                               "hardware"};
+  const std::vector<explore::PeDesc> pes = {
+      {"processor1", 50, "general"},
+      {"processor2", 50, "general"},
+      {"processor3", 50, "general"},
+      {"accelerator1", 100, "hw_accelerator"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        explore::propose_mapping(grouping, group_type, stats, pes));
+  }
+}
+BENCHMARK(BM_ProposeMapping)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulateMappingVariant(benchmark::State& state) {
+  const auto choice = static_cast<tutmac::MappingChoice>(state.range(0));
+  tutmac::Options opt;
+  opt.horizon = 5'000'000;
+  opt.mapping = choice;
+  tutmac::System sys = tutmac::build(opt);
+  mapping::SystemView view(*sys.model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.simulate(view));
+  }
+}
+BENCHMARK(BM_SimulateMappingVariant)
+    ->Arg(static_cast<int>(tutmac::MappingChoice::Paper))
+    ->Arg(static_cast<int>(tutmac::MappingChoice::LoadBalanced))
+    ->Arg(static_cast<int>(tutmac::MappingChoice::SinglePe))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run(argc, argv, print_ablation);
+}

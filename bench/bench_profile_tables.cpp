@@ -1,0 +1,65 @@
+// Regenerates Tables 1-3 and Figure 3 of the paper: the TUT-Profile
+// stereotype summary, the tagged values of the application and platform
+// stereotypes, and the profile hierarchy. Then benchmarks profile
+// installation and design-rule validation.
+#include "bench_util.hpp"
+#include "diagram/diagram.hpp"
+#include "profile/tut_profile.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+
+namespace {
+
+void print_tables() {
+  uml::Model model("profile_tables");
+  const profile::TutProfile prof = profile::install(model);
+
+  bench::banner("Figure 3 + Table 1: TUT-Profile stereotype summary");
+  std::cout << diagram::profile_hierarchy_text(prof);
+
+  bench::banner("Table 2: tagged values of application stereotypes");
+  for (const uml::Stereotype* s :
+       {prof.application, prof.application_component, prof.application_process,
+        prof.process_group, prof.process_grouping}) {
+    std::cout << diagram::stereotype_table_text(*s);
+  }
+
+  bench::banner("Table 3: tagged values of platform stereotypes");
+  for (const uml::Stereotype* s :
+       {prof.component, prof.component_instance, prof.communication_segment,
+        prof.communication_wrapper, prof.hibi_segment, prof.hibi_wrapper}) {
+    std::cout << diagram::stereotype_table_text(*s);
+  }
+}
+
+void BM_InstallProfile(benchmark::State& state) {
+  for (auto _ : state) {
+    uml::Model model("m");
+    benchmark::DoNotOptimize(profile::install(model));
+  }
+}
+BENCHMARK(BM_InstallProfile)->Unit(benchmark::kMicrosecond);
+
+void BM_ValidateTutmacModel(benchmark::State& state) {
+  const tutmac::System sys = tutmac::build();
+  const uml::Validator validator = profile::make_validator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validator.run(*sys.model));
+  }
+}
+BENCHMARK(BM_ValidateTutmacModel)->Unit(benchmark::kMicrosecond);
+
+void BM_StereotypeLookup(benchmark::State& state) {
+  const tutmac::System sys = tutmac::build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.model->stereotyped("ApplicationProcess"));
+  }
+}
+BENCHMARK(BM_StereotypeLookup)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run(argc, argv, print_tables);
+}

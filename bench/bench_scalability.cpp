@@ -1,0 +1,104 @@
+// Ablation A7: multiprocessor SoC scalability (the paper's outlook: "The
+// profile will also be evaluated for multiprocessor System-on-Chip co-design
+// environment"). Sweeps synthetic systems from 8 to 128 processes over up to
+// 16 PEs and reports model size, validation, simulation and profiling cost.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "profiler/profiler.hpp"
+#include "synth/synth.hpp"
+#include "uml/serialize.hpp"
+
+using namespace tut;
+
+namespace {
+
+void print_sweep() {
+  using clock = std::chrono::steady_clock;
+  const auto ms = [](clock::duration d) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count() /
+           1000.0;
+  };
+
+  bench::banner("A7: SoC scalability sweep (random DAG, 1000 messages)");
+  std::printf("%10s %5s %9s %10s %10s %10s %10s %12s\n", "processes", "pes",
+              "elements", "build(ms)", "valid(ms)", "sim(ms)", "prof(ms)",
+              "sim events");
+  for (const std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+    synth::SynthOptions opt;
+    opt.topology = synth::Topology::RandomDag;
+    opt.processes = n;
+    opt.pes = std::min<std::size_t>(16, n / 4 + 1);
+    opt.segments = opt.pes > 4 ? 4 : 1;
+    opt.seed = 12345;
+
+    auto t0 = clock::now();
+    const synth::SynthSystem sys = synth::build(opt);
+    auto t1 = clock::now();
+    const auto validation = profile::make_validator().run(*sys.model);
+    auto t2 = clock::now();
+    mapping::SystemView view(*sys.model);
+    sim::Simulation simulation(view, {.horizon = 100'000'000});
+    sys.inject_workload(simulation, 1'000, 20'000, 1000);
+    simulation.run();
+    auto t3 = clock::now();
+    const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
+    const auto report = profiler::analyze(info, simulation.log());
+    auto t4 = clock::now();
+
+    std::printf("%10zu %5zu %9zu %10.2f %10.2f %10.2f %10.2f %12llu\n", n,
+                opt.pes, sys.model->size(), ms(t1 - t0), ms(t2 - t1),
+                ms(t3 - t2), ms(t4 - t3),
+                static_cast<unsigned long long>(simulation.events_dispatched()));
+    if (!validation.ok()) std::printf("  VALIDATION FAILED\n");
+  }
+}
+
+void BM_BuildSynth(benchmark::State& state) {
+  synth::SynthOptions opt;
+  opt.topology = synth::Topology::RandomDag;
+  opt.processes = static_cast<std::size_t>(state.range(0));
+  opt.pes = opt.processes / 4 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::build(opt));
+  }
+}
+BENCHMARK(BM_BuildSynth)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateSynth(benchmark::State& state) {
+  synth::SynthOptions opt;
+  opt.topology = synth::Topology::RandomDag;
+  opt.processes = static_cast<std::size_t>(state.range(0));
+  opt.pes = opt.processes / 4 + 1;
+  opt.segments = 2;
+  const synth::SynthSystem sys = synth::build(opt);
+  mapping::SystemView view(*sys.model);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulation simulation(view, {.horizon = 50'000'000});
+    sys.inject_workload(simulation, 1'000, 50'000, 500);
+    simulation.run();
+    events += simulation.events_dispatched();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSynth)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_SynthXmlRoundTrip(benchmark::State& state) {
+  synth::SynthOptions opt;
+  opt.processes = static_cast<std::size_t>(state.range(0));
+  const synth::SynthSystem sys = synth::build(opt);
+  const std::string xml = uml::to_xml_string(*sys.model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uml::from_xml_string(xml));
+  }
+  state.counters["xml_bytes"] = static_cast<double>(xml.size());
+}
+BENCHMARK(BM_SynthXmlRoundTrip)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run(argc, argv, print_sweep);
+}

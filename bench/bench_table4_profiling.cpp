@@ -1,0 +1,108 @@
+// Regenerates Table 4 of the paper: the TUTMAC profiling report (per-group
+// execution times and the inter-group signal matrix), side by side with the
+// paper's numbers. Then benchmarks the stages that produce it: model build,
+// co-simulation, log round trip and analysis.
+#include "bench_util.hpp"
+#include "profiler/profiler.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+
+namespace {
+
+void print_table4() {
+  tutmac::Options opt;
+  opt.horizon = 50'000'000;
+  tutmac::System sys = tutmac::build(opt);
+  mapping::SystemView view(*sys.model);
+  const auto simulation = sys.simulate(view);
+  const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
+  const auto report = profiler::analyze(info, simulation->log());
+
+  bench::banner("Table 4: profiling report of the TUTMAC simulations");
+  std::cout << report.to_text();
+
+  bench::banner("paper vs measured, Table 4(a) proportions");
+  struct Row {
+    const char* group;
+    double paper;
+  };
+  const Row rows[] = {{"group1", 92.1},
+                      {"group2", 5.2},
+                      {"group3", 2.5},
+                      {"group4", 0.2},
+                      {"Environment", 0.0}};
+  std::cout << "group         paper    measured\n";
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::printf("%-12s %6.1f %%  %6.1f %%\n", rows[i].group, rows[i].paper,
+                report.execution[i].proportion);
+  }
+}
+
+tutmac::System& shared_system() {
+  static tutmac::System sys = tutmac::build();
+  return sys;
+}
+
+void BM_BuildTutmacModel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tutmac::build());
+  }
+}
+BENCHMARK(BM_BuildTutmacModel)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateTutmac(benchmark::State& state) {
+  tutmac::System& sys = shared_system();
+  mapping::SystemView view(*sys.model);
+  const auto horizon = static_cast<sim::Time>(state.range(0)) * 1'000'000;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Config cfg;
+    cfg.horizon = horizon;
+    sim::Simulation simulation(view, cfg);
+    sys.inject_workload(simulation);
+    simulation.run_until(horizon);
+    events += simulation.events_dispatched();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["sim_ms"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SimulateTutmac)->Arg(5)->Arg(20)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_LogTextRoundTrip(benchmark::State& state) {
+  tutmac::System& sys = shared_system();
+  mapping::SystemView view(*sys.model);
+  sim::Config cfg;
+  cfg.horizon = 10'000'000;
+  sim::Simulation simulation(view, cfg);
+  sys.inject_workload(simulation);
+  simulation.run();
+  const std::string text = simulation.log().to_text();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::SimulationLog::parse(text));
+  }
+  state.counters["log_bytes"] = static_cast<double>(text.size());
+}
+BENCHMARK(BM_LogTextRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeReport(benchmark::State& state) {
+  tutmac::System& sys = shared_system();
+  mapping::SystemView view(*sys.model);
+  sim::Config cfg;
+  cfg.horizon = 10'000'000;
+  sim::Simulation simulation(view, cfg);
+  sys.inject_workload(simulation);
+  simulation.run();
+  const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler::analyze(info, simulation.log()));
+  }
+}
+BENCHMARK(BM_AnalyzeReport)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run(argc, argv, print_table4);
+}

@@ -1,0 +1,28 @@
+// Shared helper for the bench binaries: every bench first prints the paper
+// artifact it regenerates (table or figure), then runs its timing
+// benchmarks. Pass --benchmark_filter=none to print artifacts only.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+namespace tut::bench {
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Standard main body: print artifact via `print`, then run benchmarks.
+template <typename PrintFn>
+int run(int argc, char** argv, PrintFn print) {
+  print();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace tut::bench

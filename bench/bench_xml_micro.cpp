@@ -1,0 +1,70 @@
+// A4 (part 2): XML interchange microbenchmarks — serialization and parsing
+// of the full TUTMAC model (the profiler's stage-1 input path).
+#include "bench_util.hpp"
+#include "tutmac/tutmac.hpp"
+#include "uml/serialize.hpp"
+#include "xml/xml.hpp"
+
+using namespace tut;
+
+namespace {
+
+void print_header() {
+  bench::banner("A4: XML interchange microbenchmarks");
+  const tutmac::System sys = tutmac::build();
+  const std::string xml = uml::to_xml_string(*sys.model);
+  std::cout << "TUTMAC model: " << sys.model->size() << " elements, "
+            << xml.size() << " bytes of XML\n";
+}
+
+const std::string& tutmac_xml() {
+  static const std::string xml = [] {
+    const tutmac::System sys = tutmac::build();
+    return uml::to_xml_string(*sys.model);
+  }();
+  return xml;
+}
+
+void BM_ModelToXml(benchmark::State& state) {
+  const tutmac::System sys = tutmac::build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uml::to_xml_string(*sys.model));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tutmac_xml().size()));
+}
+BENCHMARK(BM_ModelToXml)->Unit(benchmark::kMicrosecond);
+
+void BM_XmlParseOnly(benchmark::State& state) {
+  const std::string& xml = tutmac_xml();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::parse(xml));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_XmlParseOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_ModelFromXml(benchmark::State& state) {
+  const std::string& xml = tutmac_xml();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uml::from_xml_string(xml));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_ModelFromXml)->Unit(benchmark::kMillisecond);
+
+void BM_XmlEscape(benchmark::State& state) {
+  const std::string raw(1000, '<');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::escape(raw));
+  }
+}
+BENCHMARK(BM_XmlEscape)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run(argc, argv, print_header);
+}

@@ -1,0 +1,68 @@
+// codegen_flow — automatic implementation generation (Figure 2, left path).
+//
+// Generates the C implementation of the TUTMAC application from its UML
+// model — per-component EFSM code, the signal table, the run-time interface
+// and the process-group table — and writes it to ./tutmac_gen/. With
+// -DTUT_PROFILING the generated code logs the simulation log-file entries
+// (the "custom C functions" of the profiling flow).
+#include <iostream>
+
+#include "codegen/codegen.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+
+int main() {
+  tutmac::System sys = tutmac::build();
+
+  codegen::Options opt;
+  opt.profiling_instrumentation = true;
+  // Also emit the host reference runtime and platform glue, with 10 ms of
+  // the standard WLAN workload baked in: the output is a runnable program
+  // that writes the simulation log-file to stdout.
+  opt.host_runtime = true;
+  opt.host_horizon = 10'000'000;
+  const auto& o = sys.options;
+  opt.workload.push_back(codegen::Injection{
+      "pphy", o.slot_period, o.slot_period,
+      static_cast<std::size_t>(opt.host_horizon / o.slot_period),
+      sys.radio_slot, {}});
+  opt.workload.push_back(codegen::Injection{
+      "pphy", o.rx_period + 7'777, o.rx_period,
+      static_cast<std::size_t>(opt.host_horizon / o.rx_period), sys.rx_frame,
+      {256}});
+  opt.workload.push_back(codegen::Injection{
+      "puser", o.msdu_period + 3'333, o.msdu_period,
+      static_cast<std::size_t>(opt.host_horizon / o.msdu_period),
+      sys.user_msdu, {512}});
+  const codegen::CodeBundle bundle = codegen::generate(*sys.model, opt);
+
+  std::cout << "generated " << bundle.files.size() << " files, "
+            << bundle.total_lines() << " lines (" << bundle.total_bytes()
+            << " bytes)\n\n";
+  for (const auto& f : bundle.files) {
+    std::cout << "  " << f.path << '\n';
+  }
+
+  bundle.write_to("tutmac_gen");
+  std::cout << "\nwrote sources to ./tutmac_gen/\n";
+  std::cout << "build and run natively:\n"
+            << "  gcc -std=c99 -Itutmac_gen tutmac_gen/*.c -o tutmac_app\n"
+            << "  ./tutmac_app > simulation.log   # the log-file the "
+               "profiler parses\n\n";
+
+  // Show a taste of the generated dispatcher.
+  const auto* rca = bundle.find("radio_channel_access.c");
+  if (rca != nullptr) {
+    std::cout << "--- radio_channel_access.c (first 40 lines) ---\n";
+    std::size_t lines = 0, pos = 0;
+    while (lines < 40 && pos < rca->content.size()) {
+      const std::size_t nl = rca->content.find('\n', pos);
+      if (nl == std::string::npos) break;
+      std::cout << rca->content.substr(pos, nl - pos + 1);
+      pos = nl + 1;
+      ++lines;
+    }
+  }
+  return 0;
+}

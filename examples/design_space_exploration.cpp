@@ -1,0 +1,121 @@
+// design_space_exploration — the profiling feedback loop of Section 4.4.
+//
+// Profiles the paper's TUTMAC configuration, extracts per-process load and
+// communication, then lets the exploration tools propose an automatic
+// grouping and mapping. Compares the paper's design against the proposals
+// and against naive alternatives, both by estimated cost and by actually
+// re-simulating each alternative.
+#include <iomanip>
+#include <iostream>
+
+#include "explore/explore.hpp"
+#include "profiler/profiler.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::uint64_t inter_group = 0;
+  double est_makespan = 0.0;
+  sim::Time busiest_pe = 0;
+};
+
+Row simulate_variant(const std::string& name, tutmac::GroupingChoice grouping,
+                     tutmac::MappingChoice mapping_choice) {
+  tutmac::Options opt;
+  opt.horizon = 10'000'000;
+  opt.grouping = grouping;
+  opt.mapping = mapping_choice;
+  tutmac::System sys = tutmac::build(opt);
+  mapping::SystemView view(*sys.model);
+  const auto simulation = sys.simulate(view);
+  const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
+  const auto report = profiler::analyze(info, simulation->log());
+
+  Row row;
+  row.name = name;
+  row.inter_group = report.inter_group_signals();
+  for (const auto& [pe, stats] : simulation->pe_stats()) {
+    row.busiest_pe = std::max(row.busiest_pe, stats.busy_time);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Profile the paper configuration.
+  tutmac::Options opt;
+  opt.horizon = 10'000'000;
+  tutmac::System sys = tutmac::build(opt);
+  mapping::SystemView view(*sys.model);
+  const auto simulation = sys.simulate(view);
+  const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
+  const auto report = profiler::analyze(info, simulation->log());
+
+  const auto stats = explore::ProcessStats::from_report(report);
+  std::cout << "profiled " << stats.processes.size() << " processes\n";
+  for (const auto& p : stats.processes) {
+    std::cout << "  " << std::left << std::setw(10) << p << std::right
+              << std::setw(10) << stats.cycles.at(p) << " cycles\n";
+  }
+
+  // 2. Automatic grouping proposal (4 groups, like the paper).
+  std::map<std::string, std::string> types;
+  for (const auto& p : stats.processes) types[p] = "general";
+  types["crc"] = "hardware";
+  const explore::Grouping proposal = explore::propose_grouping(stats, types, 4);
+  std::cout << "\nproposed grouping (inter-group signals "
+            << explore::inter_group_signals(proposal, stats) << "):\n";
+  for (const auto& group : proposal) {
+    std::cout << "  {";
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      std::cout << (i ? ", " : " ") << group[i];
+    }
+    std::cout << " }\n";
+  }
+
+  // 3. Automatic mapping proposal for the proposed grouping.
+  std::vector<std::string> group_type;
+  for (const auto& group : proposal) {
+    group_type.push_back(group.size() == 1 && group[0] == "crc" ? "hardware"
+                                                                : "general");
+  }
+  const std::vector<explore::PeDesc> pes = {
+      {"processor1", 50, "general"},
+      {"processor2", 50, "general"},
+      {"processor3", 50, "general"},
+      {"accelerator1", 100, "hw_accelerator"}};
+  const auto mapping_proposal =
+      explore::propose_mapping(proposal, group_type, stats, pes);
+  std::cout << "\nproposed mapping (estimated makespan "
+            << static_cast<long long>(mapping_proposal.cost.makespan)
+            << " ticks):\n";
+  for (std::size_t g = 0; g < proposal.size(); ++g) {
+    std::cout << "  group" << g + 1 << " -> " << mapping_proposal.target[g]
+              << '\n';
+  }
+
+  // 4. Re-simulate design alternatives and compare.
+  std::cout << "\nvariant comparison (10 ms simulations):\n";
+  std::cout << std::left << std::setw(28) << "variant" << std::right
+            << std::setw(14) << "inter-group" << std::setw(22)
+            << "busiest PE (ticks)" << '\n';
+  for (const Row& row :
+       {simulate_variant("paper grouping+mapping", tutmac::GroupingChoice::Paper,
+                         tutmac::MappingChoice::Paper),
+        simulate_variant("per-process groups", tutmac::GroupingChoice::PerProcess,
+                         tutmac::MappingChoice::Paper),
+        simulate_variant("single sw group", tutmac::GroupingChoice::SingleSw,
+                         tutmac::MappingChoice::SinglePe),
+        simulate_variant("load-balanced mapping", tutmac::GroupingChoice::Paper,
+                         tutmac::MappingChoice::LoadBalanced)}) {
+    std::cout << std::left << std::setw(28) << row.name << std::right
+              << std::setw(14) << row.inter_group << std::setw(22)
+              << row.busiest_pe << '\n';
+  }
+  return 0;
+}

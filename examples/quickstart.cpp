@@ -1,0 +1,104 @@
+// quickstart — the smallest complete TUT-Profile flow.
+//
+// Builds a two-process application, a two-PE platform and a mapping with the
+// public builder API, validates the model against the profile's design
+// rules, co-simulates it, and prints the profiling report.
+#include <iostream>
+
+#include "appmodel/appmodel.hpp"
+#include "mapping/mapping.hpp"
+#include "platform/platform.hpp"
+#include "profile/tut_profile.hpp"
+#include "profiler/profiler.hpp"
+#include "sim/simulator.hpp"
+
+using namespace tut;
+
+int main() {
+  // 1. A model with the TUT-Profile installed.
+  uml::Model model("quickstart");
+  profile::TutProfile prof = profile::install(model);
+
+  // 2. Signals.
+  uml::Signal& ping = model.create_signal("Ping");
+  ping.add_parameter("seq", "int");
+  uml::Signal& pong = model.create_signal("Pong");
+  pong.add_parameter("seq", "int");
+
+  // 3. Application: two functional components playing ping-pong.
+  appmodel::ApplicationBuilder ab(model, prof);
+  uml::Class& app = ab.application("PingPong");
+
+  uml::Class& pinger = ab.component("Pinger", {{"CodeMemory", "1024"}});
+  model.add_port(pinger, "io").require(ping).provide(pong);
+  {
+    auto& sm = *pinger.behavior();
+    sm.declare_variable("seq", 0);
+    auto& idle = model.add_state(sm, "Idle", true);
+    idle.on_entry(uml::Action::set_timer("kick", "1000"));
+    auto& wait = model.add_state(sm, "Wait");
+    model.add_timer_transition(sm, idle, wait, "kick")
+        .add_effect(uml::Action::compute("200"))
+        .add_effect(uml::Action::send("io", ping, {"seq"}));
+    model.add_transition(sm, wait, idle, pong, "io")
+        .add_effect(uml::Action::compute("100"))
+        .add_effect(uml::Action::assign("seq", "seq + 1"));
+  }
+
+  uml::Class& ponger = ab.component("Ponger", {{"CodeMemory", "1024"}});
+  model.add_port(ponger, "io").provide(ping).require(pong);
+  {
+    auto& sm = *ponger.behavior();
+    auto& idle = model.add_state(sm, "Idle", true);
+    model.add_transition(sm, idle, idle, ping, "io")
+        .add_effect(uml::Action::compute("300"))
+        .add_effect(uml::Action::send("io", pong, {"seq"}));
+  }
+
+  uml::Property& p1 = ab.process("pinger", pinger, {{"ProcessType", "general"}});
+  uml::Property& p2 = ab.process("ponger", ponger, {{"ProcessType", "general"}});
+  model.connect(app, "pinger", "io", "ponger", "io");
+
+  uml::Property& g1 = ab.group("g_ping", {{"ProcessType", "general"}});
+  uml::Property& g2 = ab.group("g_pong", {{"ProcessType", "general"}});
+  ab.assign(p1, g1);
+  ab.assign(p2, g2);
+
+  // 4. Platform: two processors on one HIBI segment.
+  platform::PlatformBuilder pb(model, prof);
+  pb.platform("MiniBoard");
+  uml::Class& cpu = pb.component_type(
+      "Cpu", {{"Type", "general"}, {"Frequency", "100"}});
+  uml::Property& cpu1 = pb.instance("cpu1", cpu);
+  uml::Property& cpu2 = pb.instance("cpu2", cpu);
+  uml::Property& seg = pb.segment(
+      "bus", {{"DataWidth", "32"}, {"Frequency", "100"}});
+  pb.wrapper(cpu1, seg);
+  pb.wrapper(cpu2, seg);
+
+  // 5. Mapping.
+  mapping::MappingBuilder mb(model, prof);
+  mb.map(g1, cpu1);
+  mb.map(g2, cpu2);
+
+  // 6. Validate against the TUT-Profile design rules.
+  const uml::ValidationResult result = profile::make_validator().run(model);
+  std::cout << "validation: " << result.error_count() << " errors, "
+            << result.warning_count() << " warnings\n";
+  if (!result.ok()) {
+    std::cerr << result.to_string();
+    return 1;
+  }
+
+  // 7. Co-simulate 1 ms and profile.
+  mapping::SystemView view(model);
+  sim::Simulation simulation(view, {.horizon = 1'000'000});
+  simulation.run();
+
+  const auto info = profiler::ProcessGroupInfo::from_model(model);
+  const auto report = profiler::analyze(info, simulation.log());
+  std::cout << '\n' << report.to_text() << '\n';
+  std::cout << "round trips completed: "
+            << simulation.instance("pinger").variable("seq") << '\n';
+  return 0;
+}

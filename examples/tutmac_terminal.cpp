@@ -1,0 +1,88 @@
+// tutmac_terminal — the paper's full case study, end to end (Figures 1-2).
+//
+// Builds the TUTMAC application and the TUTWLAN platform, validates the
+// model, regenerates the paper's diagrams as Graphviz DOT files, serializes
+// the model to its XML interchange form, co-simulates the WLAN workload,
+// writes the simulation log-file, and prints the profiling report (the
+// reproduction of Table 4). Artifacts land in ./tutmac_out/.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "diagram/diagram.hpp"
+#include "profiler/profiler.hpp"
+#include "tutmac/tutmac.hpp"
+#include "uml/serialize.hpp"
+#include "uml/validation.hpp"
+
+using namespace tut;
+
+namespace {
+
+void save(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  std::cout << "  wrote " << path.string() << " (" << content.size()
+            << " bytes)\n";
+}
+
+}  // namespace
+
+int main() {
+  const std::filesystem::path out_dir = "tutmac_out";
+  std::filesystem::create_directories(out_dir);
+
+  std::cout << "== building TUTMAC + TUTWLAN model ==\n";
+  tutmac::System sys = tutmac::build();
+  std::cout << "  model elements: " << sys.model->size() << "\n";
+
+  std::cout << "== validating against TUT-Profile design rules ==\n";
+  const auto result = profile::make_validator().run(*sys.model);
+  std::cout << "  " << result.error_count() << " errors, "
+            << result.warning_count() << " warnings\n";
+  if (!result.ok()) {
+    std::cerr << result.to_string();
+    return 1;
+  }
+
+  std::cout << "== regenerating the paper's figures ==\n";
+  save(out_dir / "fig3_profile_hierarchy.txt",
+       diagram::profile_hierarchy_text(sys.prof));
+  save(out_dir / "fig4_class_diagram.dot",
+       diagram::class_diagram_dot(*sys.model));
+  save(out_dir / "fig5_composite_structure.dot",
+       diagram::composite_structure_dot(*sys.app));
+  save(out_dir / "fig6_grouping.dot", diagram::grouping_dot(*sys.model));
+  save(out_dir / "fig7_platform.dot", diagram::platform_dot(*sys.model));
+  save(out_dir / "fig8_mapping.dot", diagram::mapping_dot(*sys.model));
+
+  std::cout << "== serializing the model (XML interchange) ==\n";
+  save(out_dir / "tutmac_model.xml", uml::to_xml_string(*sys.model));
+
+  std::cout << "== co-simulating " << sys.options.horizon / 1'000'000
+            << " ms of WLAN traffic ==\n";
+  mapping::SystemView view(*sys.model);
+  const auto simulation = sys.simulate(view);
+  std::cout << "  events dispatched: " << simulation->events_dispatched()
+            << "\n";
+  for (const auto& [pe, stats] : simulation->pe_stats()) {
+    std::cout << "  " << pe << ": busy " << stats.busy_time << " ticks, "
+              << stats.steps << " transitions\n";
+  }
+  for (const auto& [seg, stats] : simulation->segment_stats()) {
+    std::cout << "  " << seg << ": " << stats.transfers << " transfers, wait "
+              << stats.wait_time << " ticks\n";
+  }
+  save(out_dir / "simulation.log", simulation->log().to_text());
+
+  std::cout << "== profiling (Table 4 reproduction) ==\n";
+  const auto info =
+      profiler::ProcessGroupInfo::from_xml(uml::to_xml_string(*sys.model));
+  const auto report = profiler::analyze(info, simulation->log());
+  std::cout << report.to_text() << '\n';
+  save(out_dir / "profiling_report.txt", report.to_text());
+
+  std::cout << "paper Table 4(a) for comparison: group1 92.1%, group2 5.2%, "
+               "group3 2.5%, group4 0.2%, environment 0.0%\n";
+  return 0;
+}

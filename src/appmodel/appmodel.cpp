@@ -1,0 +1,184 @@
+#include "appmodel/appmodel.hpp"
+
+#include <stdexcept>
+
+namespace tut::appmodel {
+
+using uml::ElementKind;
+
+long tag_long(const uml::Element& element, const std::string& tag,
+              long fallback) {
+  const std::string v = element.tagged_value(tag);
+  if (v.empty()) return fallback;
+  try {
+    return std::stol(v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ApplicationBuilder
+// ---------------------------------------------------------------------------
+
+ApplicationBuilder::ApplicationBuilder(uml::Model& model,
+                                       const profile::TutProfile& profile)
+    : model_(model), profile_(profile) {}
+
+uml::Class& ApplicationBuilder::application(const std::string& name,
+                                            const Tags& tags) {
+  if (app_ != nullptr) {
+    throw std::logic_error("application() must be called exactly once");
+  }
+  app_ = &model_.create_class(name);
+  app_->apply(*profile_.application, Tags(tags));
+  return *app_;
+}
+
+uml::Class& ApplicationBuilder::component(const std::string& name,
+                                          const Tags& tags) {
+  auto& cls = model_.create_class(name, nullptr, /*active=*/true);
+  cls.apply(*profile_.application_component, Tags(tags));
+  model_.create_behavior(cls);
+  return cls;
+}
+
+uml::Class& ApplicationBuilder::structural(const std::string& name) {
+  return model_.create_class(name);
+}
+
+uml::Property& ApplicationBuilder::process(const std::string& name,
+                                           uml::Class& component,
+                                           const Tags& tags) {
+  if (app_ == nullptr) {
+    throw std::logic_error("application() must be called before process()");
+  }
+  auto& part = model_.add_part(*app_, name, component);
+  part.apply(*profile_.application_process, Tags(tags));
+  return part;
+}
+
+uml::Property& ApplicationBuilder::process_in(uml::Class& parent,
+                                              const std::string& name,
+                                              uml::Class& component,
+                                              const Tags& tags) {
+  auto& part = model_.add_part(parent, name, component);
+  part.apply(*profile_.application_process, Tags(tags));
+  return part;
+}
+
+uml::Property& ApplicationBuilder::group(const std::string& name,
+                                         const Tags& tags) {
+  if (group_classifier_ == nullptr) {
+    // Single generic classifier for group instances, plus a grouping context
+    // class that owns the group parts (the composite structure diagram of
+    // Figure 6).
+    group_classifier_ = &model_.create_class("ProcessGroup");
+    const std::string ctx = app_ != nullptr
+                                ? app_->name() + "_Grouping"
+                                : std::string("Grouping");
+    grouping_context_ = &model_.create_class(ctx);
+  }
+  auto& part = model_.add_part(*grouping_context_, name, *group_classifier_);
+  part.apply(*profile_.process_group, Tags(tags));
+  return part;
+}
+
+uml::Dependency& ApplicationBuilder::assign(uml::Property& process,
+                                            uml::Property& group, bool fixed) {
+  auto& dep = model_.create_dependency(
+      process.name() + "_in_" + group.name(), process, group);
+  dep.apply(*profile_.process_grouping,
+            {{"Fixed", fixed ? "true" : "false"}});
+  return dep;
+}
+
+// ---------------------------------------------------------------------------
+// ApplicationView
+// ---------------------------------------------------------------------------
+
+ApplicationView::ApplicationView(const uml::Model& model) {
+  for (const uml::Element* e : model.stereotyped(profile::names::Application)) {
+    if (e->kind() == ElementKind::Class) {
+      app_ = static_cast<const uml::Class*>(e);
+      break;
+    }
+  }
+  for (const uml::Element* e :
+       model.stereotyped(profile::names::ApplicationProcess)) {
+    if (e->kind() == ElementKind::Property) {
+      processes_.push_back(static_cast<const uml::Property*>(e));
+    }
+  }
+  for (const uml::Element* e : model.stereotyped(profile::names::ProcessGroup)) {
+    if (e->kind() == ElementKind::Property) {
+      groups_.push_back(static_cast<const uml::Property*>(e));
+    }
+  }
+  for (const uml::Element* e :
+       model.stereotyped(profile::names::ProcessGrouping)) {
+    if (e->kind() != ElementKind::Dependency) continue;
+    const auto* dep = static_cast<const uml::Dependency*>(e);
+    if (dep->client() != nullptr &&
+        dep->client()->kind() == ElementKind::Property) {
+      grouping_[static_cast<const uml::Property*>(dep->client())] = dep;
+    }
+  }
+}
+
+const uml::Property* ApplicationView::group_of(
+    const uml::Property& process) const noexcept {
+  const uml::Dependency* dep = grouping_of(process);
+  if (dep == nullptr || dep->supplier() == nullptr ||
+      dep->supplier()->kind() != ElementKind::Property) {
+    return nullptr;
+  }
+  return static_cast<const uml::Property*>(dep->supplier());
+}
+
+const uml::Dependency* ApplicationView::grouping_of(
+    const uml::Property& process) const noexcept {
+  auto it = grouping_.find(&process);
+  return it != grouping_.end() ? it->second : nullptr;
+}
+
+std::vector<const uml::Property*> ApplicationView::members(
+    const uml::Property& group) const {
+  std::vector<const uml::Property*> out;
+  for (const uml::Property* p : processes_) {
+    if (group_of(*p) == &group) out.push_back(p);
+  }
+  return out;
+}
+
+const uml::Property* ApplicationView::process_named(
+    const std::string& name) const noexcept {
+  for (const uml::Property* p : processes_) {
+    if (p->name() == name) return p;
+  }
+  return nullptr;
+}
+
+const uml::Property* ApplicationView::group_named(
+    const std::string& name) const noexcept {
+  for (const uml::Property* g : groups_) {
+    if (g->name() == name) return g;
+  }
+  return nullptr;
+}
+
+long ApplicationView::effective_int(const uml::Property& process,
+                                    const std::string& tag,
+                                    long fallback) const {
+  if (process.has_tagged_value(tag)) return tag_long(process, tag, fallback);
+  const uml::Class* comp = process.part_type();
+  if (comp != nullptr && comp->has_tagged_value(tag)) {
+    return tag_long(*comp, tag, fallback);
+  }
+  if (app_ != nullptr && app_->has_tagged_value(tag)) {
+    return tag_long(*app_, tag, fallback);
+  }
+  return fallback;
+}
+
+}  // namespace tut::appmodel

@@ -1,0 +1,114 @@
+// tut::appmodel — typed application layer over uml + TUT-Profile.
+//
+// Section 3.1 of the paper: an application is a top-level <<Application>>
+// class whose active classes (<<ApplicationComponent>>) are instantiated as
+// parts stereotyped <<ApplicationProcess>>; processes are grouped into
+// <<ProcessGroup>>s through <<ProcessGrouping>> dependencies. This module
+// provides a builder that applies the stereotypes consistently and a view
+// that answers the structural queries the rest of the tool flow needs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profile/tut_profile.hpp"
+#include "uml/model.hpp"
+
+namespace tut::appmodel {
+
+/// Tagged-value shorthand used by the builders.
+using Tags = std::map<std::string, std::string>;
+
+/// Builds an application description. All created elements live in the
+/// underlying uml::Model; the builder only adds consistency (stereotypes,
+/// process-group bookkeeping).
+class ApplicationBuilder {
+public:
+  ApplicationBuilder(uml::Model& model, const profile::TutProfile& profile);
+
+  /// Creates the top-level <<Application>> class (passive, owns the process
+  /// parts). Must be called exactly once, before process().
+  uml::Class& application(const std::string& name, const Tags& tags = {});
+
+  /// Creates an active <<ApplicationComponent>> class with a behaviour
+  /// attached (the caller populates states/transitions through the model).
+  uml::Class& component(const std::string& name, const Tags& tags = {});
+
+  /// Creates a passive structural class (not stereotyped — per Section 4.1
+  /// structural components carry no TUT-Profile stereotype).
+  uml::Class& structural(const std::string& name);
+
+  /// Instantiates `component` as a part of the application class and
+  /// stereotypes it <<ApplicationProcess>>.
+  uml::Property& process(const std::string& name, uml::Class& component,
+                         const Tags& tags = {});
+
+  /// Instantiates `component` as a process nested inside a structural
+  /// component class (Section 4.1: "structural components are hierarchically
+  /// modeled ... until the behavior of the functional components can be
+  /// expressed").
+  uml::Property& process_in(uml::Class& parent, const std::string& name,
+                            uml::Class& component, const Tags& tags = {});
+
+  /// Creates a <<ProcessGroup>> part in the grouping structure.
+  uml::Property& group(const std::string& name, const Tags& tags = {});
+
+  /// Adds a <<ProcessGrouping>> dependency process -> group.
+  uml::Dependency& assign(uml::Property& process, uml::Property& group,
+                          bool fixed = false);
+
+  uml::Model& model() noexcept { return model_; }
+  uml::Class* application_class() const noexcept { return app_; }
+
+private:
+  uml::Model& model_;
+  const profile::TutProfile& profile_;
+  uml::Class* app_ = nullptr;
+  uml::Class* group_classifier_ = nullptr;
+  uml::Class* grouping_context_ = nullptr;
+};
+
+/// Read-only structural queries over an application model. Built once from a
+/// model (programmatically constructed or deserialized); pointers remain
+/// valid while the model lives.
+class ApplicationView {
+public:
+  explicit ApplicationView(const uml::Model& model);
+
+  const uml::Class* application() const noexcept { return app_; }
+  const std::vector<const uml::Property*>& processes() const noexcept {
+    return processes_;
+  }
+  const std::vector<const uml::Property*>& groups() const noexcept {
+    return groups_;
+  }
+
+  /// Group of a process, or nullptr if ungrouped.
+  const uml::Property* group_of(const uml::Property& process) const noexcept;
+  /// Processes assigned to `group`, in model order.
+  std::vector<const uml::Property*> members(const uml::Property& group) const;
+  /// The grouping dependency for a process, or nullptr.
+  const uml::Dependency* grouping_of(const uml::Property& process) const noexcept;
+
+  const uml::Property* process_named(const std::string& name) const noexcept;
+  const uml::Property* group_named(const std::string& name) const noexcept;
+
+  /// Effective integer tagged value for a process, falling back to its
+  /// component class and then the application class ("the performance
+  /// related parameterizations ... are combined").
+  long effective_int(const uml::Property& process, const std::string& tag,
+                     long fallback) const;
+
+private:
+  const uml::Class* app_ = nullptr;
+  std::vector<const uml::Property*> processes_;
+  std::vector<const uml::Property*> groups_;
+  std::map<const uml::Property*, const uml::Dependency*> grouping_;
+};
+
+/// Parses a long out of a tagged value; returns `fallback` when empty or
+/// malformed (validation reports malformed values separately).
+long tag_long(const uml::Element& element, const std::string& tag, long fallback);
+
+}  // namespace tut::appmodel

@@ -1,0 +1,679 @@
+#include "codegen/codegen.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "appmodel/appmodel.hpp"
+#include "efsm/router.hpp"
+#include "profile/tut_profile.hpp"
+
+namespace tut::codegen {
+
+namespace {
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::string c_ident(const std::string& name) {
+  std::string out;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (std::isupper(static_cast<unsigned char>(c))) {
+      // CamelCase -> snake_case.
+      if (!out.empty() && out.back() != '_' && i > 0 &&
+          !std::isupper(static_cast<unsigned char>(name[i - 1]))) {
+        out += '_';
+      }
+      out += static_cast<char>(std::tolower(c));
+    } else if (ident_char(c)) {
+      out += c;
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), 'x');
+  }
+  return out;
+}
+
+std::string expr_to_c(const std::string& expr,
+                      const std::map<std::string, std::string>& rename) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < expr.size()) {
+    const char c = expr[i];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < expr.size() && ident_char(expr[i])) ident += expr[i++];
+      auto it = rename.find(ident);
+      out += it != rename.end() ? it->second : ident;
+    } else {
+      out += c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+const GeneratedFile* CodeBundle::find(const std::string& path) const noexcept {
+  for (const auto& f : files) {
+    if (f.path == path) return &f;
+  }
+  return nullptr;
+}
+
+std::size_t CodeBundle::total_lines() const noexcept {
+  std::size_t n = 0;
+  for (const auto& f : files) {
+    n += static_cast<std::size_t>(
+        std::count(f.content.begin(), f.content.end(), '\n'));
+  }
+  return n;
+}
+
+std::size_t CodeBundle::total_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& f : files) n += f.content.size();
+  return n;
+}
+
+void CodeBundle::write_to(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  for (const auto& f : files) {
+    std::ofstream out(std::filesystem::path(dir) / f.path);
+    if (!out) {
+      throw std::runtime_error("cannot write generated file '" + f.path + "'");
+    }
+    out << f.content;
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixed runtime files
+// ---------------------------------------------------------------------------
+
+constexpr const char* kRuntimeHeader = R"(/* tut_runtime.h — generated run-time library interface.
+ * The implementation is provided by the target's run-time libraries (a host
+ * reference implementation, tut_runtime_host.c, can be generated alongside);
+ * during profiling runs the logging hooks write the simulation log-file. */
+#ifndef TUT_RUNTIME_H
+#define TUT_RUNTIME_H
+
+#include <stddef.h>
+
+typedef struct tut_port tut_port_t;
+
+typedef enum { TUT_EV_START, TUT_EV_SIGNAL, TUT_EV_TIMER } tut_event_kind_t;
+
+typedef struct {
+  tut_event_kind_t kind;
+  int signal;             /* signal id, see signals.h */
+  const tut_port_t* port; /* receiving port */
+  const long* args;       /* signal parameters */
+  size_t argc;
+  const char* timer;      /* fired timer name */
+} tut_event_t;
+
+/* A port attachment. Exposed (not opaque) so the generated platform glue
+ * can wire connectors; application code never touches the fields. */
+struct tut_port {
+  const char* owner;      /* process owning this attachment */
+  const char* dest_name;  /* peer process name, or "env" */
+  void* dest_ctx;         /* peer context, NULL for the environment */
+  void (*dest_dispatch)(void*, const tut_event_t*);
+  const tut_port_t* dest_port; /* peer attachment (event identity) */
+};
+
+/* Asynchronous send through a port (queued by the run-time). */
+void tut_send(tut_port_t* port, int signal, const long* args, size_t argc);
+/* Accounts `cycles` of computation on the executing processing element. */
+void tut_compute(long cycles);
+/* Arms / cancels a named context timer. */
+void tut_set_timer(void* ctx, const char* name, long delay);
+void tut_reset_timer(void* ctx, const char* name);
+/* Nonzero when the timer event `ev` is the named timer. */
+int tut_timer_is(const tut_event_t* ev, const char* name);
+
+/* -- platform glue interface (implemented by tut_runtime_host.c) -------- */
+/* Registers a process so timers can find their dispatch function. */
+void tut_register_process(void* ctx, void (*dispatch)(void*, const tut_event_t*),
+                          const char* name);
+/* Enqueues a TUT_EV_START for every registered process at time 0. */
+void tut_start_all(void);
+/* Environment injection through a resolved boundary destination. */
+void tut_inject(unsigned long long time, void* ctx,
+                void (*dispatch)(void*, const tut_event_t*),
+                const tut_port_t* port, const char* dest_name, int signal,
+                const long* args, size_t argc);
+/* Stops the pump once the logical clock passes `horizon` ticks. */
+void tut_set_horizon(unsigned long long horizon);
+/* Signal metadata tables (implemented by the generated platform glue). */
+const char* tut_signal_name(int signal);
+size_t tut_signal_bytes(int signal);
+
+#ifdef TUT_PROFILING
+/* Extra instrumentation hooks ("custom C functions", paper Section 4.4).
+ * The host runtime already logs runs/sends; targets may map these to their
+ * own tracing. */
+void tut_log_run(const char* process, long cycles);
+void tut_log_send(const char* from, int signal);
+#define TUT_LOG_RUN(p, c) tut_log_run((p), (c))
+#define TUT_LOG_SEND(f, s) tut_log_send((f), (s))
+#else
+#define TUT_LOG_RUN(p, c) ((void)0)
+#define TUT_LOG_SEND(f, s) ((void)0)
+#endif
+
+#endif /* TUT_RUNTIME_H */
+)";
+
+constexpr const char* kMainSkeleton = R"(/* main.c — generated dispatch loop skeleton.
+ * The platform glue wires ports, delivers TUT_EV_START to every process and
+ * then pumps queued events into the dispatch functions. */
+#include "tut_runtime.h"
+
+extern void tut_platform_boot(void);
+extern int tut_platform_pump(void);
+
+int main(void) {
+  tut_platform_boot();
+  while (tut_platform_pump()) {
+    /* run-to-completion event loop */
+  }
+  return 0;
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Per-model generation
+// ---------------------------------------------------------------------------
+
+class Generator {
+public:
+  Generator(const uml::Model& model, const Options& options)
+      : model_(model), options_(options) {}
+
+  CodeBundle run() {
+    CodeBundle bundle;
+    bundle.files.push_back({"tut_runtime.h", kRuntimeHeader});
+    bundle.files.push_back({"signals.h", gen_signals()});
+
+    for (uml::Element* e :
+         model_.stereotyped(profile::names::ApplicationComponent)) {
+      if (e->kind() != uml::ElementKind::Class) continue;
+      const auto* cls = static_cast<const uml::Class*>(e);
+      if (cls->behavior() == nullptr) {
+        throw std::runtime_error("functional component '" + cls->name() +
+                                 "' has no behaviour to generate");
+      }
+      const std::string ident = c_ident(cls->name());
+      bundle.files.push_back({ident + ".h", gen_component_header(*cls)});
+      bundle.files.push_back({ident + ".c", gen_component_source(*cls)});
+    }
+
+    bundle.files.push_back({"process_table.c", gen_process_table()});
+    if (options_.host_runtime) {
+      bundle.files.push_back({"tut_runtime_host.c", host_runtime_source()});
+      bundle.files.push_back({"platform_glue.c", gen_platform_glue()});
+    }
+    bundle.files.push_back({"main.c", kMainSkeleton});
+    return bundle;
+  }
+
+private:
+  std::string signal_macro(const uml::Signal& s) const {
+    return "TUT_SIG_" + upper(c_ident(s.name()));
+  }
+
+  std::string gen_signals() const {
+    std::ostringstream os;
+    os << "/* signals.h — generated signal identifiers. */\n"
+       << "#ifndef TUT_GEN_SIGNALS_H\n#define TUT_GEN_SIGNALS_H\n\n";
+    int id = 1;
+    for (uml::Element* e : model_.elements_of_kind(uml::ElementKind::Signal)) {
+      const auto* sig = static_cast<const uml::Signal*>(e);
+      os << "#define " << signal_macro(*sig) << ' ' << id++ << " /*";
+      if (sig->parameters().empty()) {
+        os << " no parameters";
+      } else {
+        for (std::size_t i = 0; i < sig->parameters().size(); ++i) {
+          os << " args[" << i << "]=" << sig->parameters()[i].name;
+        }
+      }
+      os << ", " << sig->payload_bytes() << " bytes */\n";
+    }
+    os << "\n#endif /* TUT_GEN_SIGNALS_H */\n";
+    return os.str();
+  }
+
+  std::string ctx_type(const uml::Class& cls) const {
+    return c_ident(cls.name()) + "_ctx_t";
+  }
+
+  std::string state_const(const uml::Class& cls, const uml::State& s) const {
+    return upper(c_ident(cls.name())) + "_STATE_" + s.name();
+  }
+
+  std::string gen_component_header(const uml::Class& cls) const {
+    const std::string ident = c_ident(cls.name());
+    const std::string guard = "TUT_GEN_" + upper(ident) + "_H";
+    const uml::StateMachine& sm = *cls.behavior();
+    std::ostringstream os;
+    os << "/* " << ident << ".h — generated from component '" << cls.name()
+       << "'. */\n";
+    os << "#ifndef " << guard << "\n#define " << guard << "\n\n";
+    os << "#include \"tut_runtime.h\"\n\n";
+    os << "typedef enum {\n";
+    for (const uml::State* s : sm.states()) {
+      os << "  " << state_const(cls, *s) << ",\n";
+    }
+    os << "} " << ident << "_state_t;\n\n";
+    os << "typedef struct {\n";
+    os << "  const char* name; /* process instance name */\n";
+    os << "  " << ident << "_state_t state;\n";
+    for (const auto& [var, init] : sm.variables()) {
+      os << "  long " << var << "; /* initial: " << init << " */\n";
+    }
+    for (const uml::Port* p : cls.ports()) {
+      os << "  tut_port_t* port_" << c_ident(p->name()) << ";\n";
+    }
+    os << "} " << ctx_type(cls) << ";\n\n";
+    os << "void " << ident << "_init(" << ctx_type(cls) << "* ctx);\n";
+    os << "void " << ident << "_dispatch(" << ctx_type(cls)
+       << "* ctx, const tut_event_t* ev);\n\n";
+    os << "#endif /* " << guard << " */\n";
+    return os.str();
+  }
+
+  /// Identifier renaming for a transition context: state variables plus the
+  /// trigger signal's parameters.
+  std::map<std::string, std::string> renames(const uml::StateMachine& sm,
+                                             const uml::Signal* trigger) const {
+    std::map<std::string, std::string> rn;
+    for (const auto& [var, init] : sm.variables()) rn[var] = "ctx->" + var;
+    if (trigger != nullptr) {
+      for (const auto& p : trigger->parameters()) rn[p.name] = "p_" + p.name;
+    }
+    return rn;
+  }
+
+  void emit_actions(std::ostringstream& os, const std::string& pad,
+                    const std::vector<uml::Action>& actions,
+                    const std::map<std::string, std::string>& rn) const {
+    for (const uml::Action& a : actions) {
+      switch (a.kind) {
+        case uml::Action::Kind::Assign:
+          os << pad << expr_to_c(a.var, rn) << " = " << expr_to_c(a.expr, rn)
+             << ";\n";
+          break;
+        case uml::Action::Kind::Compute:
+          if (options_.profiling_instrumentation) {
+            os << pad << "TUT_LOG_RUN(ctx->name, (" << expr_to_c(a.expr, rn)
+               << "));\n";
+          }
+          os << pad << "tut_compute(" << expr_to_c(a.expr, rn) << ");\n";
+          break;
+        case uml::Action::Kind::Send: {
+          os << pad << "{\n";
+          if (!a.args.empty()) {
+            os << pad << "  long tut_args[" << a.args.size() << "];\n";
+            for (std::size_t i = 0; i < a.args.size(); ++i) {
+              os << pad << "  tut_args[" << i
+                 << "] = " << expr_to_c(a.args[i], rn) << ";\n";
+            }
+          }
+          if (options_.profiling_instrumentation) {
+            os << pad << "  TUT_LOG_SEND(ctx->name, "
+               << signal_macro(*a.signal) << ");\n";
+          }
+          os << pad << "  tut_send(ctx->port_" << c_ident(a.port) << ", "
+             << signal_macro(*a.signal) << ", "
+             << (a.args.empty() ? "0" : "tut_args") << ", " << a.args.size()
+             << ");\n";
+          os << pad << "}\n";
+          break;
+        }
+        case uml::Action::Kind::SetTimer:
+          os << pad << "tut_set_timer(ctx, \"" << a.var << "\", "
+             << expr_to_c(a.expr, rn) << ");\n";
+          break;
+        case uml::Action::Kind::ResetTimer:
+          os << pad << "tut_reset_timer(ctx, \"" << a.var << "\");\n";
+          break;
+      }
+    }
+  }
+
+  void emit_param_bindings(std::ostringstream& os, const std::string& pad,
+                           const uml::Signal& trigger) const {
+    const auto& params = trigger.parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      os << pad << "const long p_" << params[i].name << " = ev->argc > " << i
+         << " ? ev->args[" << i << "] : 0;\n";
+      os << pad << "(void)p_" << params[i].name << ";\n";
+    }
+  }
+
+  std::string gen_component_source(const uml::Class& cls) const {
+    const std::string ident = c_ident(cls.name());
+    const uml::StateMachine& sm = *cls.behavior();
+    std::ostringstream os;
+    os << "/* " << ident << ".c — generated from component '" << cls.name()
+       << "'. */\n";
+    os << "#include \"" << ident << ".h\"\n#include \"signals.h\"\n\n";
+
+    // Entry functions.
+    for (const uml::State* s : sm.states()) {
+      os << "static void " << ident << "_enter_" << s->name() << "("
+         << ctx_type(cls) << "* ctx) {\n";
+      os << "  ctx->state = " << state_const(cls, *s) << ";\n";
+      emit_actions(os, "  ", s->entry_actions(), renames(sm, nullptr));
+      os << "}\n\n";
+    }
+
+    // Completion-transition chaining (bounded, mirrors the runtime).
+    os << "static void " << ident << "_run_completions(" << ctx_type(cls)
+       << "* ctx) {\n";
+    bool any_completion = false;
+    for (const uml::Transition* t : sm.transitions()) {
+      if (t->is_completion()) any_completion = true;
+    }
+    if (any_completion) {
+      os << "  int bound;\n";
+      os << "  for (bound = 0; bound < 1000; ++bound) {\n";
+      os << "    switch (ctx->state) {\n";
+      for (const uml::State* s : sm.states()) {
+        std::ostringstream body;
+        for (const uml::Transition* t : sm.outgoing(*s)) {
+          if (!t->is_completion()) continue;
+          const auto rn = renames(sm, nullptr);
+          body << "        if ("
+               << (t->guard().empty() ? "1" : expr_to_c(t->guard(), rn))
+               << ") {\n";
+          emit_actions(body, "          ", t->effects(), rn);
+          body << "          " << ident << "_enter_" << t->target()->name()
+               << "(ctx);\n";
+          body << "          continue;\n";
+          body << "        }\n";
+        }
+        const std::string text = body.str();
+        if (!text.empty()) {
+          os << "      case " << state_const(cls, *s) << ":\n"
+             << text << "        break;\n";
+        }
+      }
+      os << "      default: break;\n";
+      os << "    }\n";
+      os << "    return;\n";
+      os << "  }\n";
+    }
+    os << "  (void)ctx;\n";
+    os << "}\n\n";
+
+    // init.
+    os << "void " << ident << "_init(" << ctx_type(cls) << "* ctx) {\n";
+    for (const auto& [var, init] : sm.variables()) {
+      os << "  ctx->" << var << " = " << init << ";\n";
+    }
+    os << "  ctx->state = " << state_const(cls, *sm.initial_state()) << ";\n";
+    os << "}\n\n";
+
+    // dispatch.
+    os << "void " << ident << "_dispatch(" << ctx_type(cls)
+       << "* ctx, const tut_event_t* ev) {\n";
+    os << "  if (ev->kind == TUT_EV_START) {\n";
+    os << "    " << ident << "_enter_" << sm.initial_state()->name()
+       << "(ctx);\n";
+    os << "    " << ident << "_run_completions(ctx);\n";
+    os << "    return;\n";
+    os << "  }\n";
+    os << "  switch (ctx->state) {\n";
+    for (const uml::State* s : sm.states()) {
+      os << "    case " << state_const(cls, *s) << ":\n";
+      for (const uml::Transition* t : sm.outgoing(*s)) {
+        if (t->is_completion()) continue;
+        os << "      {\n";
+        if (t->trigger_signal() != nullptr) {
+          os << "        if (ev->kind == TUT_EV_SIGNAL && ev->signal == "
+             << signal_macro(*t->trigger_signal());
+          if (!t->trigger_port().empty()) {
+            os << " && ev->port == ctx->port_" << c_ident(t->trigger_port());
+          }
+          os << ") {\n";
+          emit_param_bindings(os, "          ", *t->trigger_signal());
+        } else {
+          os << "        if (ev->kind == TUT_EV_TIMER && tut_timer_is(ev, \""
+             << t->trigger_timer() << "\")) {\n";
+        }
+        const auto rn = renames(sm, t->trigger_signal());
+        os << "          if ("
+           << (t->guard().empty() ? "1" : expr_to_c(t->guard(), rn))
+           << ") {\n";
+        emit_actions(os, "            ", t->effects(), rn);
+        os << "            " << ident << "_enter_" << t->target()->name()
+           << "(ctx);\n";
+        os << "            " << ident << "_run_completions(ctx);\n";
+        os << "            return;\n";
+        os << "          }\n";
+        os << "        }\n";
+        os << "      }\n";
+      }
+      os << "      break;\n";
+    }
+    os << "    default: break;\n";
+    os << "  }\n";
+    os << "  /* unhandled event: discarded per UML signal semantics */\n";
+    os << "}\n";
+    return os.str();
+  }
+
+  /// Generates platform_glue.c: static contexts, dispatch trampolines, port
+  /// attachments wired from the flattened composite structure, process
+  /// registration, horizon, and the baked-in environment workload.
+  std::string gen_platform_glue() const {
+    const uml::Class* app = nullptr;
+    for (uml::Element* e : model_.stereotyped(profile::names::Application)) {
+      if (e->kind() == uml::ElementKind::Class) {
+        app = static_cast<const uml::Class*>(e);
+        break;
+      }
+    }
+    if (app == nullptr) {
+      throw std::runtime_error(
+          "host runtime generation requires an <<Application>> class");
+    }
+    const efsm::Router router(*app);
+    appmodel::ApplicationView view(model_);
+
+    // Process name -> (part, class ident).
+    struct ProcInfo {
+      const uml::Property* part;
+      const uml::Class* cls;
+      std::string ident;  ///< class ident
+      std::string pname;  ///< C-safe process ident
+    };
+    std::vector<ProcInfo> procs;
+    std::map<const uml::Property*, const ProcInfo*> by_part;
+    for (const uml::Property* p : view.processes()) {
+      procs.push_back(ProcInfo{p, p->part_type(), c_ident(p->part_type()->name()),
+                               c_ident(p->name())});
+    }
+    for (const ProcInfo& pi : procs) by_part[pi.part] = &pi;
+
+    std::ostringstream os;
+    os << "/* platform_glue.c — generated platform wiring and workload. */\n";
+    os << "#include \"tut_runtime.h\"\n#include \"signals.h\"\n";
+    std::set<std::string> included;
+    for (const ProcInfo& pi : procs) {
+      if (included.insert(pi.ident).second) {
+        os << "#include \"" << pi.ident << ".h\"\n";
+      }
+    }
+    os << "\n/* contexts */\n";
+    for (const ProcInfo& pi : procs) {
+      os << "static " << pi.ident << "_ctx_t g_ctx_" << pi.pname << ";\n";
+    }
+    os << "\n/* dispatch trampolines */\n";
+    std::set<std::string> trampolined;
+    for (const ProcInfo& pi : procs) {
+      if (!trampolined.insert(pi.ident).second) continue;
+      os << "static void d_" << pi.ident
+         << "(void* c, const tut_event_t* e) {\n  " << pi.ident
+         << "_dispatch((" << pi.ident << "_ctx_t*)c, e);\n}\n";
+    }
+    os << "\n/* port attachments */\n";
+    for (const ProcInfo& pi : procs) {
+      for (const uml::Port* port : pi.cls->ports()) {
+        os << "static tut_port_t g_port_" << pi.pname << '_'
+           << c_ident(port->name()) << ";\n";
+      }
+    }
+
+    // Signal metadata tables.
+    os << "\nconst char* tut_signal_name(int signal) {\n  switch (signal) {\n";
+    for (uml::Element* e : model_.elements_of_kind(uml::ElementKind::Signal)) {
+      const auto* sig = static_cast<const uml::Signal*>(e);
+      os << "    case " << signal_macro(*sig) << ": return \"" << sig->name()
+         << "\";\n";
+    }
+    os << "    default: return \"?\";\n  }\n}\n";
+    os << "\nsize_t tut_signal_bytes(int signal) {\n  switch (signal) {\n";
+    for (uml::Element* e : model_.elements_of_kind(uml::ElementKind::Signal)) {
+      const auto* sig = static_cast<const uml::Signal*>(e);
+      os << "    case " << signal_macro(*sig) << ": return "
+         << sig->payload_bytes() << ";\n";
+    }
+    os << "    default: return 4;\n  }\n}\n";
+
+    // Boot.
+    os << "\nvoid tut_platform_boot(void) {\n";
+    for (const ProcInfo& pi : procs) {
+      os << "  g_ctx_" << pi.pname << ".name = \"" << pi.part->name()
+         << "\";\n";
+      os << "  " << pi.ident << "_init(&g_ctx_" << pi.pname << ");\n";
+      for (const uml::Port* port : pi.cls->ports()) {
+        os << "  g_ctx_" << pi.pname << ".port_" << c_ident(port->name())
+           << " = &g_port_" << pi.pname << '_' << c_ident(port->name())
+           << ";\n";
+      }
+      os << "  tut_register_process(&g_ctx_" << pi.pname << ", d_" << pi.ident
+         << ", \"" << pi.part->name() << "\");\n";
+    }
+    os << "\n  /* connector wiring (flattened composite structure) */\n";
+    for (const ProcInfo& pi : procs) {
+      for (const uml::Port* port : pi.cls->ports()) {
+        const std::string var =
+            "g_port_" + pi.pname + "_" + c_ident(port->name());
+        os << "  " << var << ".owner = \"" << pi.part->name() << "\";\n";
+        const efsm::Endpoint dest =
+            router.destination(*pi.part, port->name());
+        const ProcInfo* target = nullptr;
+        if (dest.part != nullptr) {
+          auto it = by_part.find(dest.part);
+          if (it != by_part.end()) target = it->second;
+        }
+        if (target == nullptr) {
+          os << "  " << var << ".dest_name = \"env\";\n";
+        } else {
+          os << "  " << var << ".dest_name = \"" << target->part->name()
+             << "\";\n";
+          os << "  " << var << ".dest_ctx = &g_ctx_" << target->pname << ";\n";
+          os << "  " << var << ".dest_dispatch = d_" << target->ident << ";\n";
+          os << "  " << var << ".dest_port = &g_port_" << target->pname << '_'
+             << c_ident(dest.port->name()) << ";\n";
+        }
+      }
+    }
+    os << "\n  tut_set_horizon(" << options_.host_horizon << "ULL);\n";
+    os << "  tut_start_all();\n";
+
+    if (!options_.workload.empty()) {
+      os << "\n  /* environment workload */\n";
+    }
+    std::size_t widx = 0;
+    for (const Injection& inj : options_.workload) {
+      const efsm::Endpoint dest = router.boundary_destination(inj.boundary_port);
+      const ProcInfo* target = nullptr;
+      if (dest.part != nullptr) {
+        auto it = by_part.find(dest.part);
+        if (it != by_part.end()) target = it->second;
+      }
+      if (target == nullptr || inj.signal == nullptr) {
+        throw std::runtime_error("workload injection through '" +
+                                 inj.boundary_port +
+                                 "' does not reach a process");
+      }
+      os << "  {\n";
+      if (!inj.args.empty()) {
+        os << "    static const long args" << widx << "[] = {";
+        for (std::size_t i = 0; i < inj.args.size(); ++i) {
+          os << (i ? ", " : "") << inj.args[i];
+        }
+        os << "};\n";
+      }
+      os << "    unsigned long long k;\n";
+      os << "    for (k = 0; k < " << inj.count << "ULL; ++k) {\n";
+      os << "      tut_inject(" << inj.time << "ULL + k * " << inj.period
+         << "ULL, &g_ctx_" << target->pname << ", d_" << target->ident
+         << ", &g_port_" << target->pname << '_' << c_ident(dest.port->name())
+         << ", \"" << target->part->name() << "\", "
+         << signal_macro(*inj.signal) << ", "
+         << (inj.args.empty() ? "0" : ("args" + std::to_string(widx)))
+         << ", " << inj.args.size() << ");\n";
+      os << "    }\n  }\n";
+      ++widx;
+    }
+    os << "}\n";
+    return os.str();
+  }
+
+  std::string gen_process_table() const {
+    appmodel::ApplicationView view(model_);
+    std::ostringstream os;
+    os << "/* process_table.c — generated process group information. */\n";
+    os << "#include \"tut_runtime.h\"\n\n";
+    os << "typedef struct {\n"
+       << "  const char* process;\n"
+       << "  const char* component;\n"
+       << "  const char* group;\n"
+       << "} tut_process_info_t;\n\n";
+    os << "const tut_process_info_t tut_process_table[] = {\n";
+    for (const uml::Property* p : view.processes()) {
+      const uml::Property* g = view.group_of(*p);
+      os << "  {\"" << p->name() << "\", \""
+         << (p->part_type() != nullptr ? p->part_type()->name() : "?")
+         << "\", \"" << (g != nullptr ? g->name() : "") << "\"},\n";
+    }
+    os << "};\n\n";
+    os << "const size_t tut_process_count =\n"
+       << "    sizeof(tut_process_table) / sizeof(tut_process_table[0]);\n";
+    return os.str();
+  }
+
+  const uml::Model& model_;
+  Options options_;
+};
+
+}  // namespace
+
+CodeBundle generate(const uml::Model& model, const Options& options) {
+  return Generator(model, options).run();
+}
+
+}  // namespace tut::codegen

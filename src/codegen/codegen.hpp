@@ -1,0 +1,92 @@
+// tut::codegen — automatic C code generation from the UML model.
+//
+// Figure 2 of the paper: "executable application for the implemented
+// platform is automatically generated from the UML" and "the automatically
+// generated application code is complemented with custom C functions to
+// create simulation log-file during simulations".
+//
+// The generator emits portable C99:
+//  - tut_runtime.h      : the run-time library interface (event/queue/timer
+//                         API plus the TUT_PROFILING logging hooks — the
+//                         paper's "run-time libraries & custom functions")
+//  - signals.h          : signal ids and parameter layouts
+//  - <component>.h/.c   : per functional component, the EFSM as a context
+//                         struct + dispatch function (run-to-completion)
+//  - process_table.c    : process instances with their process groups (the
+//                         "process group information" embedded in the build)
+//  - main.c             : the dispatch loop skeleton
+//
+// Guards and action expressions translate one-to-one: the model's expression
+// language is a C expression subset; only identifiers are renamed (state
+// variables to ctx->fields, signal parameters to locals).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uml/model.hpp"
+
+namespace tut::codegen {
+
+struct GeneratedFile {
+  std::string path;
+  std::string content;
+};
+
+/// The generated source tree (in memory; write_to saves it).
+struct CodeBundle {
+  std::vector<GeneratedFile> files;
+
+  const GeneratedFile* find(const std::string& path) const noexcept;
+  std::size_t total_lines() const noexcept;
+  std::size_t total_bytes() const noexcept;
+  /// Writes all files under `dir` (created if missing).
+  void write_to(const std::string& dir) const;
+};
+
+/// One environment injection in the generated host workload: `count`
+/// occurrences of `signal` through the application's `boundary_port`,
+/// starting at `time`, `period` ticks apart.
+struct Injection {
+  std::string boundary_port;
+  unsigned long long time = 0;
+  unsigned long long period = 0;
+  std::size_t count = 1;
+  const uml::Signal* signal = nullptr;
+  std::vector<long> args;
+};
+
+struct Options {
+  /// Emit TUT_PROFILING logging hooks (stage 2 of the profiling flow).
+  bool profiling_instrumentation = true;
+
+  /// Also emit a runnable host build: tut_runtime_host.c (single reference
+  /// processor, logical time, log-file on stdout) and platform_glue.c
+  /// (contexts, port wiring from the composite structure, workload). The
+  /// result compiles and runs with
+  ///   gcc -std=c99 -I<dir> <dir>/*.c -o app && ./app > simulation.log
+  bool host_runtime = false;
+  /// Host pump stops past this logical time (ticks; 1 cycle = 10 ticks).
+  unsigned long long host_horizon = 10'000'000;
+  /// Environment workload baked into the generated glue.
+  std::vector<Injection> workload;
+};
+
+/// The fixed source text of the host reference run-time.
+const char* host_runtime_source();
+
+/// Generates the C implementation of every <<ApplicationComponent>> in the
+/// model plus the shared runtime and tables. Throws std::runtime_error when
+/// a functional component has no behaviour.
+CodeBundle generate(const uml::Model& model, const Options& options = {});
+
+/// Renames identifiers in a model expression to C lvalues; all other tokens
+/// pass through. Identifiers missing from `rename` are left unchanged.
+std::string expr_to_c(const std::string& expr,
+                      const std::map<std::string, std::string>& rename);
+
+/// Lower-cases a model name into a C identifier (non-alnum -> '_').
+std::string c_ident(const std::string& name);
+
+}  // namespace tut::codegen

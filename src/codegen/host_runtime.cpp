@@ -1,0 +1,314 @@
+// The host reference run-time (tut_runtime_host.c) emitted by the code
+// generator when Options::host_runtime is set. It executes the generated
+// application on a single logical reference processor — the paper's
+// "simulations on a reference platform, such as a PC workstation" — with a
+// run-to-completion event loop, logical time (1 compute cycle = 10 ticks at
+// the 100 MHz reference clock) and simulation log-file output on stdout in
+// the exact format tut::sim::SimulationLog parses.
+#include "codegen/codegen.hpp"
+
+namespace tut::codegen {
+
+const char* host_runtime_source() {
+  return R"(/* tut_runtime_host.c — generated host reference run-time.
+ * Single reference processor, run-to-completion, logical time. Writes the
+ * simulation log-file to stdout (parsed by the profiling tool). */
+#include "tut_runtime.h"
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define TUT_MAX_ARGS 8
+#define TUT_MAX_TIMER_NAME 32
+#define TUT_REFERENCE_TICKS_PER_CYCLE 10ULL
+
+/* ---- event queue: binary min-heap on (time, seq) ---------------------- */
+
+typedef struct {
+  unsigned long long time;
+  unsigned long long seq;
+  int kind; /* 0 = start, 1 = signal, 2 = timer */
+  int injected; /* environment injection: log the S line at delivery */
+  int signal;
+  long args[TUT_MAX_ARGS];
+  size_t argc;
+  char timer[TUT_MAX_TIMER_NAME];
+  unsigned long long timer_gen;
+  const char* from;
+  const char* dest_name;
+  void* ctx;
+  void (*dispatch)(void*, const tut_event_t*);
+  const tut_port_t* port;
+} tut_qev_t;
+
+static tut_qev_t* tut_q = NULL;
+static size_t tut_qn = 0;
+static size_t tut_qcap = 0;
+static unsigned long long tut_clock = 0;
+static unsigned long long tut_seq = 0;
+static unsigned long long tut_horizon = (unsigned long long)-1;
+static long tut_compute_acc = 0;
+
+static int tut_qev_before(const tut_qev_t* a, const tut_qev_t* b) {
+  if (a->time != b->time) return a->time < b->time;
+  return a->seq < b->seq;
+}
+
+static void tut_qpush(tut_qev_t ev) {
+  size_t i;
+  if (tut_qn == tut_qcap) {
+    tut_qcap = tut_qcap ? tut_qcap * 2 : 64;
+    tut_q = (tut_qev_t*)realloc(tut_q, tut_qcap * sizeof(tut_qev_t));
+    if (tut_q == NULL) {
+      fprintf(stderr, "tut_runtime: out of memory\n");
+      exit(1);
+    }
+  }
+  ev.seq = tut_seq++;
+  i = tut_qn++;
+  tut_q[i] = ev;
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!tut_qev_before(&tut_q[i], &tut_q[parent])) break;
+    tut_qev_t tmp = tut_q[i];
+    tut_q[i] = tut_q[parent];
+    tut_q[parent] = tmp;
+    i = parent;
+  }
+}
+
+static int tut_qpop(tut_qev_t* out) {
+  size_t i = 0;
+  if (tut_qn == 0) return 0;
+  *out = tut_q[0];
+  tut_q[0] = tut_q[--tut_qn];
+  for (;;) {
+    size_t l = 2 * i + 1, r = 2 * i + 2, best = i;
+    if (l < tut_qn && tut_qev_before(&tut_q[l], &tut_q[best])) best = l;
+    if (r < tut_qn && tut_qev_before(&tut_q[r], &tut_q[best])) best = r;
+    if (best == i) break;
+    tut_qev_t tmp = tut_q[i];
+    tut_q[i] = tut_q[best];
+    tut_q[best] = tmp;
+    i = best;
+  }
+  return 1;
+}
+
+/* ---- process registry (timers need ctx -> dispatch/name) --------------- */
+
+typedef struct {
+  void* ctx;
+  void (*dispatch)(void*, const tut_event_t*);
+  const char* name;
+} tut_proc_t;
+
+#define TUT_MAX_PROCS 256
+static tut_proc_t tut_procs[TUT_MAX_PROCS];
+static size_t tut_proc_count_reg = 0;
+
+void tut_register_process(void* ctx,
+                          void (*dispatch)(void*, const tut_event_t*),
+                          const char* name) {
+  if (tut_proc_count_reg >= TUT_MAX_PROCS) {
+    fprintf(stderr, "tut_runtime: too many processes\n");
+    exit(1);
+  }
+  tut_procs[tut_proc_count_reg].ctx = ctx;
+  tut_procs[tut_proc_count_reg].dispatch = dispatch;
+  tut_procs[tut_proc_count_reg].name = name;
+  ++tut_proc_count_reg;
+}
+
+static const tut_proc_t* tut_find_proc(const void* ctx) {
+  size_t i;
+  for (i = 0; i < tut_proc_count_reg; ++i) {
+    if (tut_procs[i].ctx == ctx) return &tut_procs[i];
+  }
+  return NULL;
+}
+
+/* ---- timers ------------------------------------------------------------ */
+
+typedef struct {
+  void* ctx;
+  char name[TUT_MAX_TIMER_NAME];
+  unsigned long long gen;
+} tut_timer_t;
+
+#define TUT_MAX_TIMERS 1024
+static tut_timer_t tut_timers[TUT_MAX_TIMERS];
+static size_t tut_timer_count = 0;
+
+static tut_timer_t* tut_timer_slot(void* ctx, const char* name) {
+  size_t i;
+  for (i = 0; i < tut_timer_count; ++i) {
+    if (tut_timers[i].ctx == ctx && strcmp(tut_timers[i].name, name) == 0) {
+      return &tut_timers[i];
+    }
+  }
+  if (tut_timer_count >= TUT_MAX_TIMERS) {
+    fprintf(stderr, "tut_runtime: too many timers\n");
+    exit(1);
+  }
+  tut_timers[tut_timer_count].ctx = ctx;
+  strncpy(tut_timers[tut_timer_count].name, name, TUT_MAX_TIMER_NAME - 1);
+  tut_timers[tut_timer_count].name[TUT_MAX_TIMER_NAME - 1] = '\0';
+  tut_timers[tut_timer_count].gen = 0;
+  return &tut_timers[tut_timer_count++];
+}
+
+void tut_set_timer(void* ctx, const char* name, long delay) {
+  tut_timer_t* slot = tut_timer_slot(ctx, name);
+  const tut_proc_t* proc = tut_find_proc(ctx);
+  tut_qev_t ev;
+  if (proc == NULL) return;
+  memset(&ev, 0, sizeof(ev));
+  ev.time = tut_clock + (delay > 0 ? (unsigned long long)delay : 0);
+  ev.kind = 2;
+  strncpy(ev.timer, name, TUT_MAX_TIMER_NAME - 1);
+  ev.timer_gen = ++slot->gen;
+  ev.ctx = ctx;
+  ev.dispatch = proc->dispatch;
+  ev.dest_name = proc->name;
+  tut_qpush(ev);
+}
+
+void tut_reset_timer(void* ctx, const char* name) {
+  ++tut_timer_slot(ctx, name)->gen;
+}
+
+int tut_timer_is(const tut_event_t* ev, const char* name) {
+  return ev->kind == TUT_EV_TIMER && ev->timer != NULL &&
+         strcmp(ev->timer, name) == 0;
+}
+
+/* ---- communication ------------------------------------------------------ */
+
+void tut_send(tut_port_t* port, int signal, const long* args, size_t argc) {
+  size_t i;
+  printf("S %llu %s %s %s %zu\n", tut_clock,
+         port->owner ? port->owner : "env",
+         port->dest_name ? port->dest_name : "env", tut_signal_name(signal),
+         tut_signal_bytes(signal));
+  if (port->dest_ctx == NULL) return; /* environment absorbs it */
+  {
+    tut_qev_t ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.time = tut_clock;
+    ev.kind = 1;
+    ev.signal = signal;
+    ev.argc = argc < TUT_MAX_ARGS ? argc : TUT_MAX_ARGS;
+    for (i = 0; i < ev.argc; ++i) ev.args[i] = args[i];
+    ev.from = port->owner;
+    ev.dest_name = port->dest_name;
+    ev.ctx = port->dest_ctx;
+    ev.dispatch = port->dest_dispatch;
+    ev.port = port->dest_port;
+    tut_qpush(ev);
+  }
+}
+
+void tut_compute(long cycles) { tut_compute_acc += cycles; }
+
+void tut_inject(unsigned long long time, void* ctx,
+                void (*dispatch)(void*, const tut_event_t*),
+                const tut_port_t* port, const char* dest_name, int signal,
+                const long* args, size_t argc) {
+  tut_qev_t ev;
+  size_t i;
+  memset(&ev, 0, sizeof(ev));
+  ev.time = time;
+  ev.kind = 1;
+  ev.injected = 1;
+  ev.signal = signal;
+  ev.argc = argc < TUT_MAX_ARGS ? argc : TUT_MAX_ARGS;
+  for (i = 0; i < ev.argc; ++i) ev.args[i] = args[i];
+  ev.from = "env";
+  ev.dest_name = dest_name;
+  ev.ctx = ctx;
+  ev.dispatch = dispatch;
+  ev.port = port;
+  tut_qpush(ev);
+}
+
+void tut_start_all(void) {
+  size_t i;
+  printf("# tut-simlog v1\n");
+  for (i = 0; i < tut_proc_count_reg; ++i) {
+    tut_qev_t ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.time = 0;
+    ev.kind = 0;
+    ev.ctx = tut_procs[i].ctx;
+    ev.dispatch = tut_procs[i].dispatch;
+    ev.dest_name = tut_procs[i].name;
+    tut_qpush(ev);
+  }
+}
+
+void tut_set_horizon(unsigned long long horizon) { tut_horizon = horizon; }
+
+#ifdef TUT_PROFILING
+/* The host runtime already logs authoritative R/S lines from the pump and
+ * tut_send; the instrumentation hooks are kept as no-ops so both build
+ * flavours behave identically. Targets map these to their own tracing. */
+void tut_log_run(const char* process, long cycles) {
+  (void)process;
+  (void)cycles;
+}
+void tut_log_send(const char* from, int signal) {
+  (void)from;
+  (void)signal;
+}
+#endif
+
+/* ---- pump ---------------------------------------------------------------- */
+
+int tut_platform_pump(void) {
+  tut_qev_t qev;
+  tut_event_t ev;
+  unsigned long long dur;
+  for (;;) {
+    if (!tut_qpop(&qev)) return 0;
+    if (qev.time > tut_horizon) return 0;
+    if (qev.kind == 2) {
+      /* stale timer? (re-armed or reset since scheduling) */
+      tut_timer_t* slot = tut_timer_slot(qev.ctx, qev.timer);
+      if (slot->gen != qev.timer_gen) continue;
+    }
+    break;
+  }
+  if (qev.time > tut_clock) tut_clock = qev.time;
+
+  if (qev.kind == 1 && qev.injected) {
+    printf("S %llu env %s %s %zu\n", tut_clock, qev.dest_name,
+           tut_signal_name(qev.signal), tut_signal_bytes(qev.signal));
+  }
+  if (qev.kind == 1) {
+    printf("V %llu %s %s %s\n", tut_clock, qev.dest_name,
+           qev.from ? qev.from : "env", tut_signal_name(qev.signal));
+  }
+
+  memset(&ev, 0, sizeof(ev));
+  ev.kind = qev.kind == 0 ? TUT_EV_START
+                          : (qev.kind == 1 ? TUT_EV_SIGNAL : TUT_EV_TIMER);
+  ev.signal = qev.signal;
+  ev.port = qev.port;
+  ev.args = qev.args;
+  ev.argc = qev.argc;
+  ev.timer = qev.kind == 2 ? qev.timer : NULL;
+
+  tut_compute_acc = 0;
+  qev.dispatch(qev.ctx, &ev);
+  dur = (unsigned long long)tut_compute_acc * TUT_REFERENCE_TICKS_PER_CYCLE;
+  printf("R %llu %s %ld %llu\n", tut_clock, qev.dest_name, tut_compute_acc,
+         dur);
+  tut_clock += dur;
+  return 1;
+}
+)";
+}
+
+}  // namespace tut::codegen

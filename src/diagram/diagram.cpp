@@ -1,0 +1,247 @@
+#include "diagram/diagram.hpp"
+
+#include <sstream>
+
+#include "appmodel/appmodel.hpp"
+#include "mapping/mapping.hpp"
+#include "platform/platform.hpp"
+
+namespace tut::diagram {
+
+namespace {
+
+/// Escapes a string for a DOT double-quoted id/label.
+std::string esc(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// «Stereotype» prefix line for a label, if any stereotypes are applied.
+std::string stereo_label(const uml::Element& e) {
+  std::string out;
+  for (const auto& app : e.applications()) {
+    if (app.stereotype == nullptr) continue;
+    if (!out.empty()) out += "\\n";
+    out += "\xC2\xAB" + esc(app.stereotype->name()) + "\xC2\xBB";
+  }
+  return out;
+}
+
+std::string node_id(const uml::Element& e) { return "n" + e.id(); }
+
+std::string part_label(const uml::Property& part) {
+  std::string label = stereo_label(part);
+  if (!label.empty()) label += "\\n";
+  label += esc(part.name());
+  if (part.part_type() != nullptr) {
+    label += " : " + esc(part.part_type()->name());
+  }
+  return label;
+}
+
+}  // namespace
+
+std::string class_diagram_dot(const uml::Model& model) {
+  std::ostringstream os;
+  os << "digraph class_diagram {\n"
+     << "  graph [label=\"" << esc(model.name())
+     << " class diagram\", rankdir=BT];\n"
+     << "  node [shape=record, fontsize=10];\n";
+  for (uml::Element* e : model.elements_of_kind(uml::ElementKind::Class)) {
+    const auto* cls = static_cast<const uml::Class*>(e);
+    std::string title = stereo_label(*cls);
+    if (!title.empty()) title += "\\n";
+    title += esc(cls->name());
+    if (cls->is_active()) title += "\\n(active)";
+    os << "  " << node_id(*cls) << " [label=\"{" << title << "}\"];\n";
+  }
+  for (uml::Element* e : model.elements_of_kind(uml::ElementKind::Class)) {
+    const auto* cls = static_cast<const uml::Class*>(e);
+    if (cls->general() != nullptr) {
+      os << "  " << node_id(*cls) << " -> " << node_id(*cls->general())
+         << " [arrowhead=onormal];\n";
+    }
+    for (const uml::Property* part : cls->parts()) {
+      if (part->part_type() == nullptr) continue;
+      os << "  " << node_id(*part->part_type()) << " -> " << node_id(*cls)
+         << " [arrowhead=diamond, label=\"" << esc(part->name()) << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string composite_structure_dot(const uml::Class& cls) {
+  std::ostringstream os;
+  os << "digraph composite_structure {\n"
+     << "  graph [label=\"" << esc(cls.name())
+     << " composite structure\", rankdir=LR];\n"
+     << "  node [shape=box, fontsize=10];\n";
+  for (const uml::Property* part : cls.parts()) {
+    os << "  " << node_id(*part) << " [label=\"" << part_label(*part)
+       << "\"];\n";
+  }
+  for (const uml::Port* port : cls.ports()) {
+    os << "  " << node_id(*port) << " [shape=diamond, label=\""
+       << esc(port->name()) << "\"];\n";
+  }
+  for (const uml::Connector* conn : cls.connectors()) {
+    const uml::ConnectorEnd ends[2] = {conn->end0(), conn->end1()};
+    std::string ids[2];
+    std::string labels[2];
+    for (int i = 0; i < 2; ++i) {
+      ids[i] = ends[i].part != nullptr ? node_id(*ends[i].part)
+                                       : node_id(*ends[i].port);
+      labels[i] =
+          ends[i].port != nullptr && ends[i].part != nullptr
+              ? esc(ends[i].port->name())
+              : "";
+    }
+    os << "  " << ids[0] << " -> " << ids[1] << " [dir=none";
+    if (!labels[0].empty()) os << ", taillabel=\"" << labels[0] << "\"";
+    if (!labels[1].empty()) os << ", headlabel=\"" << labels[1] << "\"";
+    const std::string stereo = stereo_label(*conn);
+    if (!stereo.empty()) os << ", label=\"" << stereo << "\"";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string grouping_dot(const uml::Model& model) {
+  appmodel::ApplicationView view(model);
+  std::ostringstream os;
+  os << "digraph process_grouping {\n"
+     << "  graph [label=\"process grouping\", compound=true];\n"
+     << "  node [shape=box, fontsize=10];\n";
+  std::size_t idx = 0;
+  for (const uml::Property* group : view.groups()) {
+    os << "  subgraph cluster_" << idx++ << " {\n"
+       << "    label=\"" << esc(group->name());
+    const std::string pt = group->tagged_value("ProcessType");
+    if (!pt.empty()) os << " (" << esc(pt) << ")";
+    os << "\";\n";
+    for (const uml::Property* proc : view.members(*group)) {
+      os << "    " << node_id(*proc) << " [label=\"" << part_label(*proc)
+         << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  // Ungrouped processes float outside clusters.
+  for (const uml::Property* proc : view.processes()) {
+    if (view.group_of(*proc) == nullptr) {
+      os << "  " << node_id(*proc) << " [label=\"" << part_label(*proc)
+         << "\", style=dashed];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string platform_dot(const uml::Model& model) {
+  platform::PlatformView view(model);
+  std::ostringstream os;
+  os << "digraph platform {\n"
+     << "  graph [label=\"platform\", rankdir=TB];\n"
+     << "  node [fontsize=10];\n";
+  for (const uml::Property* inst : view.instances()) {
+    os << "  " << node_id(*inst) << " [shape=box3d, label=\""
+       << part_label(*inst) << "\\nID=" << esc(inst->tagged_value("ID"))
+       << "\"];\n";
+  }
+  for (const uml::Property* seg : view.segments()) {
+    os << "  " << node_id(*seg) << " [shape=box, style=filled, "
+       << "fillcolor=lightgrey, label=\"" << part_label(*seg);
+    const std::string width = seg->tagged_value("DataWidth");
+    const std::string arb = seg->tagged_value("Arbitration");
+    if (!width.empty()) os << "\\n" << esc(width) << " bit";
+    if (!arb.empty()) os << ", " << esc(arb);
+    os << "\"];\n";
+  }
+  for (const uml::Property* inst : view.instances()) {
+    for (const uml::Connector* w : view.wrappers_of(*inst)) {
+      const uml::Property* seg =
+          w->end0().part == inst ? w->end1().part : w->end0().part;
+      if (seg == nullptr) continue;
+      os << "  " << node_id(*inst) << " -> " << node_id(*seg)
+         << " [dir=none, label=\"" << stereo_label(*w)
+         << "\\naddr=" << esc(w->tagged_value("Address")) << "\"];\n";
+    }
+  }
+  for (const uml::Property* seg : view.segments()) {
+    for (const uml::Property* next : view.neighbors(*seg)) {
+      if (seg->id() < next->id()) {  // each bridge link once
+        os << "  " << node_id(*seg) << " -> " << node_id(*next)
+           << " [dir=none, style=bold];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string mapping_dot(const uml::Model& model) {
+  mapping::SystemView view(model);
+  std::ostringstream os;
+  os << "digraph mapping {\n"
+     << "  graph [label=\"mapping\", rankdir=LR];\n"
+     << "  node [shape=box, fontsize=10];\n";
+  for (const uml::Property* group : view.app().groups()) {
+    os << "  " << node_id(*group) << " [label=\"" << part_label(*group)
+       << "\"];\n";
+  }
+  for (const uml::Property* inst : view.plat().instances()) {
+    os << "  " << node_id(*inst) << " [shape=box3d, label=\""
+       << part_label(*inst) << "\"];\n";
+  }
+  for (const uml::Property* group : view.app().groups()) {
+    const uml::Dependency* dep = view.mapping_of(*group);
+    const uml::Property* inst = view.instance_for_group(*group);
+    if (dep == nullptr || inst == nullptr) continue;
+    os << "  " << node_id(*group) << " -> " << node_id(*inst)
+       << " [style=dashed, label=\"" << stereo_label(*dep);
+    if (dep->tagged_value("Fixed") == "true") os << "\\n(fixed)";
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string profile_hierarchy_text(const profile::TutProfile& profile) {
+  std::ostringstream os;
+  os << "Profile " << profile.profile->name() << "\n";
+  for (const uml::Stereotype* s : profile.profile->stereotypes()) {
+    os << "  <<" << s->name() << ">> extends "
+       << uml::to_string(s->extended_metaclass());
+    if (s->general() != nullptr) {
+      os << " (specializes <<" << s->general()->name() << ">>)";
+    }
+    os << ", " << s->all_tags().size() << " tagged values\n";
+  }
+  return os.str();
+}
+
+std::string stereotype_table_text(const uml::Stereotype& stereotype) {
+  std::ostringstream os;
+  os << "Stereotype <<" << stereotype.name() << ">>\n";
+  for (const uml::TagDefinition* tag : stereotype.all_tags()) {
+    os << "  " << tag->name << " : " << uml::to_string(tag->type);
+    if (!tag->enumerators.empty()) {
+      os << " {";
+      for (std::size_t i = 0; i < tag->enumerators.size(); ++i) {
+        if (i != 0) os << "/";
+        os << tag->enumerators[i];
+      }
+      os << "}";
+    }
+    if (tag->required) os << " [required]";
+    os << " - " << tag->description << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tut::diagram

@@ -1,0 +1,44 @@
+// tut::diagram — renders the paper's UML diagrams from a model.
+//
+// The paper presents its models as UML 2.0 diagrams (Figures 3-8). This
+// module regenerates them as Graphviz DOT (for the class, composite
+// structure, grouping, platform and mapping diagrams) and as plain text (the
+// profile hierarchy of Figure 3 and the stereotype/tag tables 1-3).
+#pragma once
+
+#include <string>
+
+#include "profile/tut_profile.hpp"
+#include "uml/model.hpp"
+
+namespace tut::diagram {
+
+/// Class diagram (Figure 4): classes with their stereotypes, composition
+/// edges for parts, generalization edges.
+std::string class_diagram_dot(const uml::Model& model);
+
+/// Composite structure diagram of one structured class (Figures 5-7):
+/// parts as nodes (with stereotypes), connectors as edges labelled with the
+/// connected ports, boundary ports as diamond nodes.
+std::string composite_structure_dot(const uml::Class& cls);
+
+/// Process grouping diagram (Figure 6): processes clustered by group.
+std::string grouping_dot(const uml::Model& model);
+
+/// Platform diagram (Figure 7): component instances and segments, wrapper
+/// connectors labelled with their addresses, bridge links.
+std::string platform_dot(const uml::Model& model);
+
+/// Mapping diagram (Figure 8): process groups with <<Mapping>> edges to
+/// component instances.
+std::string mapping_dot(const uml::Model& model);
+
+/// Profile hierarchy and stereotype summary (Figure 3 + Table 1): one line
+/// per stereotype with extended metaclass and generalization.
+std::string profile_hierarchy_text(const profile::TutProfile& profile);
+
+/// Tagged-value table of one stereotype (one row per tag: name, type,
+/// description — the layout of Tables 2 and 3).
+std::string stereotype_table_text(const uml::Stereotype& stereotype);
+
+}  // namespace tut::diagram

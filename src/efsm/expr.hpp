@@ -1,0 +1,78 @@
+// tut::efsm — integer expression language for guards and actions.
+//
+// The paper models behaviour with "statechart diagrams combined with the UML
+// 2.0 textual notation". This is our textual notation: a small, total,
+// side-effect-free integer expression language used in transition guards,
+// Assign/Compute/SetTimer actions and send arguments. It is interpreted by
+// the EFSM runtime and translated one-to-one to C by the code generator.
+//
+// Grammar (C precedence):
+//   expr   := or ('?' expr ':' expr)?
+//   or     := and ('||' and)*
+//   and    := cmp ('&&' cmp)*
+//   cmp    := add (('=='|'!='|'<'|'<='|'>'|'>=') add)?
+//   add    := mul (('+'|'-') mul)*
+//   mul    := unary (('*'|'/'|'%') unary)*
+//   unary  := ('-'|'!')* primary
+//   primary:= integer | identifier | '(' expr ')'
+//
+// Boolean results are 0/1. Division and modulo by zero throw EvalError, as
+// does an identifier missing from the environment.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tut::efsm {
+
+class ExprError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+class EvalError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Variable bindings for evaluation.
+using Env = std::map<std::string, long>;
+
+/// A compiled expression (immutable AST). Compile once, evaluate many times.
+class Expr {
+public:
+  /// Parses `text`. Throws ExprError on syntax errors.
+  static Expr compile(const std::string& text);
+
+  /// Evaluates under `env`. Throws EvalError on unknown identifiers or
+  /// division/modulo by zero.
+  long eval(const Env& env) const;
+
+  /// Identifiers referenced by the expression (sorted, unique).
+  std::vector<std::string> identifiers() const;
+
+  /// The original source text.
+  const std::string& text() const noexcept { return text_; }
+
+  struct Node;
+
+private:
+  Expr() = default;
+  std::string text_;
+  std::shared_ptr<const Node> root_;
+};
+
+/// A compile-on-first-use cache, used by the runtime so each guard/action
+/// string is parsed once per process.
+class ExprCache {
+public:
+  const Expr& get(const std::string& text);
+
+private:
+  std::map<std::string, Expr> cache_;
+};
+
+}  // namespace tut::efsm

@@ -1,0 +1,162 @@
+#include "efsm/machine.hpp"
+
+namespace tut::efsm {
+
+namespace {
+
+constexpr std::size_t kCompletionBound = 1000;
+
+}  // namespace
+
+Instance::Instance(const uml::StateMachine& sm, std::string name)
+    : sm_(&sm), name_(std::move(name)) {
+  for (const auto& [var, initial] : sm.variables()) vars_[var] = initial;
+}
+
+StepResult Instance::start() {
+  StepResult result;
+  const uml::State* initial = sm_->initial_state();
+  if (initial == nullptr) {
+    throw std::logic_error("state machine '" + sm_->name() +
+                           "' has no initial state");
+  }
+  enter(*initial, result);
+  run_completions(result);
+  return result;
+}
+
+Env Instance::make_env(const Event* event) const {
+  Env env = vars_;
+  if (event != nullptr && event->signal != nullptr) {
+    const auto& params = event->signal->parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      env[params[i].name] = i < event->args.size() ? event->args[i] : 0;
+    }
+  }
+  return env;
+}
+
+const uml::Transition* Instance::find_transition(const Event* event,
+                                                 const std::string& timer,
+                                                 const Env& env) const {
+  for (const uml::Transition* t : sm_->outgoing(*state_)) {
+    if (event != nullptr) {
+      if (t->trigger_signal() != event->signal) continue;
+      if (!t->trigger_port().empty() && t->trigger_port() != event->port) {
+        continue;
+      }
+    } else if (!timer.empty()) {
+      if (t->trigger_timer() != timer) continue;
+    } else {
+      if (!t->is_completion()) continue;
+    }
+    if (!t->guard().empty()) {
+      // Guards are evaluated against variables plus event parameters; a
+      // throwing guard is a modelling error and propagates.
+      if (const_cast<ExprCache&>(exprs_).get(t->guard()).eval(env) == 0) {
+        continue;
+      }
+    }
+    return t;
+  }
+  return nullptr;
+}
+
+void Instance::execute_actions(const std::vector<uml::Action>& actions,
+                               const Env& env, StepResult& result) {
+  // Assignments become visible to subsequent actions: keep a working env.
+  Env work = env;
+  for (const uml::Action& a : actions) {
+    switch (a.kind) {
+      case uml::Action::Kind::Assign: {
+        const long v = exprs_.get(a.expr).eval(work);
+        work[a.var] = v;
+        vars_[a.var] = v;
+        break;
+      }
+      case uml::Action::Kind::Compute:
+        result.compute_cycles += exprs_.get(a.expr).eval(work);
+        break;
+      case uml::Action::Kind::Send: {
+        Send send;
+        send.port = a.port;
+        send.signal = a.signal;
+        for (const std::string& arg : a.args) {
+          send.args.push_back(exprs_.get(arg).eval(work));
+        }
+        result.sends.push_back(std::move(send));
+        break;
+      }
+      case uml::Action::Kind::SetTimer:
+        result.timers.push_back(
+            {TimerOp::Kind::Set, a.var, exprs_.get(a.expr).eval(work)});
+        break;
+      case uml::Action::Kind::ResetTimer:
+        result.timers.push_back({TimerOp::Kind::Reset, a.var, 0});
+        break;
+    }
+  }
+}
+
+void Instance::enter(const uml::State& state, StepResult& result) {
+  state_ = &state;
+  execute_actions(state.entry_actions(), make_env(nullptr), result);
+}
+
+void Instance::run_completions(StepResult& result) {
+  for (std::size_t i = 0; i < kCompletionBound; ++i) {
+    const Env env = make_env(nullptr);
+    const uml::Transition* t = find_transition(nullptr, "", env);
+    if (t == nullptr) return;
+    execute_actions(t->effects(), env, result);
+    ++result.transitions_taken;
+    enter(*t->target(), result);
+  }
+  throw LivelockError("instance '" + name_ + "' chained more than " +
+                      std::to_string(kCompletionBound) +
+                      " completion transitions in state '" + state_->name() +
+                      "'");
+}
+
+StepResult Instance::deliver(const Event& event) {
+  StepResult result;
+  if (state_ == nullptr) {
+    throw std::logic_error("instance '" + name_ + "' not started");
+  }
+  const Env env = make_env(&event);
+  const uml::Transition* t = find_transition(&event, "", env);
+  if (t == nullptr) return result;  // unhandled signals are discarded
+  result.fired = true;
+  execute_actions(t->effects(), env, result);
+  ++result.transitions_taken;
+  enter(*t->target(), result);
+  run_completions(result);
+  return result;
+}
+
+StepResult Instance::timer_fired(const std::string& timer) {
+  StepResult result;
+  if (state_ == nullptr) {
+    throw std::logic_error("instance '" + name_ + "' not started");
+  }
+  const Env env = make_env(nullptr);
+  const uml::Transition* t = find_transition(nullptr, timer, env);
+  if (t == nullptr) return result;  // stale timer: discard
+  result.fired = true;
+  execute_actions(t->effects(), env, result);
+  ++result.transitions_taken;
+  enter(*t->target(), result);
+  run_completions(result);
+  return result;
+}
+
+long Instance::variable(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) {
+    throw std::out_of_range("instance '" + name_ + "' has no variable '" +
+                            name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace tut::efsm

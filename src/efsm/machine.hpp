@@ -1,0 +1,105 @@
+// EFSM runtime: executes uml::StateMachine behaviours as asynchronous
+// communicating extended finite state machines.
+//
+// An Instance holds the extended state (current state + integer variables)
+// of one application process. Delivery of a signal or timer event fires the
+// first eligible transition (declaration order, guard satisfied), executes
+// its effect actions plus the target state's entry actions, then chains any
+// eligible completion transitions. The instance does not own time or
+// communication: computation cycles, outgoing sends and timer requests are
+// returned in a StepResult for the caller (the co-simulator, or the simple
+// Executor below) to realize.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "efsm/expr.hpp"
+#include "uml/statemachine.hpp"
+#include "uml/structure.hpp"
+
+namespace tut::efsm {
+
+/// An incoming signal occurrence.
+struct Event {
+  const uml::Signal* signal = nullptr;
+  std::string port;        ///< receiving port on the process's class
+  std::vector<long> args;  ///< one value per signal parameter
+};
+
+/// An outgoing signal occurrence produced by a Send action.
+struct Send {
+  std::string port;  ///< sending port
+  const uml::Signal* signal = nullptr;
+  std::vector<long> args;
+};
+
+/// A timer request produced by SetTimer / ResetTimer actions.
+struct TimerOp {
+  enum class Kind { Set, Reset };
+  Kind kind;
+  std::string name;
+  long delay = 0;  ///< Set only
+};
+
+/// Everything one event delivery produced.
+struct StepResult {
+  bool fired = false;             ///< an eligible transition was found
+  long compute_cycles = 0;        ///< total cycles from Compute actions
+  std::vector<Send> sends;        ///< in action order
+  std::vector<TimerOp> timers;    ///< in action order
+  std::size_t transitions_taken = 0;  ///< incl. chained completions
+};
+
+/// Thrown when completion transitions chain beyond a sane bound (a modelling
+/// error: a guard-true completion cycle).
+class LivelockError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One executable state machine instance.
+class Instance {
+public:
+  /// Binds to a behaviour. `name` identifies the instance in diagnostics
+  /// (normally the application process name). Call start() before use.
+  Instance(const uml::StateMachine& sm, std::string name);
+
+  /// Enters the initial state (running entry actions and completion
+  /// transitions). Returns what that produced.
+  StepResult start();
+
+  /// Delivers a signal event. If no transition matches, the event is
+  /// discarded (UML semantics for unhandled signal triggers) and
+  /// `fired == false`.
+  StepResult deliver(const Event& event);
+
+  /// Delivers a timer expiry.
+  StepResult timer_fired(const std::string& timer);
+
+  // -- introspection ----------------------------------------------------------
+  const std::string& name() const noexcept { return name_; }
+  const uml::StateMachine& behavior() const noexcept { return *sm_; }
+  const uml::State* state() const noexcept { return state_; }
+  long variable(const std::string& name) const;
+  const Env& variables() const noexcept { return vars_; }
+  bool started() const noexcept { return state_ != nullptr; }
+
+private:
+  const uml::Transition* find_transition(const Event* event,
+                                         const std::string& timer,
+                                         const Env& env) const;
+  void execute_actions(const std::vector<uml::Action>& actions, const Env& env,
+                       StepResult& result);
+  void enter(const uml::State& state, StepResult& result);
+  void run_completions(StepResult& result);
+  Env make_env(const Event* event) const;
+
+  const uml::StateMachine* sm_;
+  std::string name_;
+  const uml::State* state_ = nullptr;
+  Env vars_;
+  ExprCache exprs_;
+};
+
+}  // namespace tut::efsm

@@ -1,0 +1,105 @@
+#include "efsm/router.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace tut::efsm {
+
+namespace {
+
+bool has_structure(const uml::Class& cls) {
+  return !cls.parts().empty() || !cls.connectors().empty();
+}
+
+}  // namespace
+
+Router::Router(const uml::Class& root) : root_(&root) {
+  collect(root, nullptr);
+}
+
+void Router::collect(const uml::Class& cls, const uml::Property* as_part) {
+  for (const uml::Connector* conn : cls.connectors()) {
+    Node nodes[2];
+    const uml::ConnectorEnd ends[2] = {conn->end0(), conn->end1()};
+    for (int i = 0; i < 2; ++i) {
+      if (ends[i].part != nullptr) {
+        nodes[i] = {ends[i].part, ends[i].port};
+      } else {
+        // Boundary port of `cls`: identified with the part embodying `cls`
+        // in its parent (nullptr for the root class itself).
+        nodes[i] = {as_part, ends[i].port};
+      }
+    }
+    edges_[nodes[0]].push_back(nodes[1]);
+    edges_[nodes[1]].push_back(nodes[0]);
+  }
+  for (const uml::Property* part : cls.parts()) {
+    const uml::Class* type = part->part_type();
+    if (type == nullptr) continue;
+    if (type->is_active()) {
+      active_parts_.push_back(part);
+      continue;
+    }
+    if (!has_structure(*type)) continue;
+    auto [it, inserted] = embodiment_.emplace(type, part);
+    if (!inserted) {
+      throw std::runtime_error(
+          "structural class '" + type->name() +
+          "' is instantiated more than once ('" + it->second->name() +
+          "' and '" + part->name() +
+          "'); the flattening router requires unique instantiation");
+    }
+    collect(*type, part);
+  }
+}
+
+Endpoint Router::walk(Node from) const {
+  auto it = edges_.find(from);
+  if (it == edges_.end() || it->second.empty()) return {};  // unconnected
+
+  std::set<Node> visited{from};
+  Node prev = from;
+  Node current = it->second.front();
+  for (;;) {
+    // Root boundary: the environment (report through which port we left).
+    if (current.first == nullptr) return Endpoint{nullptr, current.second};
+
+    const uml::Class* type = current.first->part_type();
+    if (type != nullptr && type->is_active()) {
+      return Endpoint{current.first, current.second};
+    }
+
+    // Passive part boundary: continue through the other incident edge.
+    auto next_it = edges_.find(current);
+    const Node* next = nullptr;
+    if (next_it != edges_.end()) {
+      for (const Node& cand : next_it->second) {
+        if (cand != prev) {
+          next = &cand;
+          break;
+        }
+      }
+    }
+    if (next == nullptr) return {};  // dead end inside a structural component
+    if (!visited.insert(current).second) return {};  // connector cycle
+    prev = current;
+    current = *next;
+  }
+}
+
+Endpoint Router::destination(const uml::Property& part,
+                             const std::string& port_name) const {
+  const uml::Class* type = part.part_type();
+  if (type == nullptr) return {};
+  const uml::Port* port = type->port(port_name);
+  if (port == nullptr) return {};
+  return walk({&part, port});
+}
+
+Endpoint Router::boundary_destination(const std::string& port_name) const {
+  const uml::Port* port = root_->port(port_name);
+  if (port == nullptr) return {};
+  return walk({nullptr, port});
+}
+
+}  // namespace tut::efsm

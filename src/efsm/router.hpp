@@ -1,0 +1,77 @@
+// Signal routing over a (possibly hierarchical) composite structure.
+//
+// The parts of a structured class (the paper's Figure 5) communicate by
+// signals through ports wired by connectors. Structural components are
+// "hierarchically modeled using class diagrams and composite structure
+// diagrams, until the behavior of the functional components can be
+// expressed" (Section 4.1): a connector may end at a passive part whose own
+// composite structure forwards the signal further, and delegation
+// connectors hand signals up through boundary ports.
+//
+// The Router flattens this hierarchy. A signal sent by an active part
+// travels through any number of passive-part boundaries and arrives at
+// another active part, or leaves through the root class's boundary (the
+// environment). The flattening identifies a passive class's boundary port
+// with the (unique) part of that class, so every passive classifier may be
+// instantiated at most once in the tree — the Router throws otherwise.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uml/structure.hpp"
+
+namespace tut::efsm {
+
+/// Destination of a send: a (part, port) pair, or the environment when
+/// `part == nullptr` (`port` then names the root boundary port if any).
+struct Endpoint {
+  const uml::Property* part = nullptr;
+  const uml::Port* port = nullptr;
+
+  bool is_environment() const noexcept { return part == nullptr; }
+};
+
+/// Routing table for a structured class and its nested passive parts.
+class Router {
+public:
+  /// Builds the flattened table. Throws std::runtime_error when a passive
+  /// classifier with internal structure is instantiated more than once.
+  explicit Router(const uml::Class& root);
+
+  /// Where a signal sent by active part `part` (at any nesting depth)
+  /// through its class's port `port_name` arrives. Unconnected ports and
+  /// root-boundary delegations route to the environment.
+  Endpoint destination(const uml::Property& part,
+                       const std::string& port_name) const;
+
+  /// Where a signal injected from the environment through the root class's
+  /// boundary port `port_name` arrives (Endpoint{} if unconnected).
+  Endpoint boundary_destination(const std::string& port_name) const;
+
+  /// All active parts reachable in the tree (the executable processes),
+  /// in depth-first declaration order.
+  const std::vector<const uml::Property*>& active_parts() const noexcept {
+    return active_parts_;
+  }
+
+  const uml::Class& context() const noexcept { return *root_; }
+
+private:
+  // A node is a (part, port) attachment point; part == nullptr means a
+  // boundary port of the root class.
+  using Node = std::pair<const uml::Property*, const uml::Port*>;
+
+  void collect(const uml::Class& cls, const uml::Property* as_part);
+  Endpoint walk(Node from) const;
+
+  const uml::Class* root_;
+  std::vector<const uml::Property*> active_parts_;
+  // part-of-passive-class for boundary identification: class -> its part.
+  std::map<const uml::Class*, const uml::Property*> embodiment_;
+  // Each node has up to two incident connector edges (outer and inner).
+  std::map<Node, std::vector<Node>> edges_;
+};
+
+}  // namespace tut::efsm

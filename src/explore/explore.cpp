@@ -1,0 +1,267 @@
+#include "explore/explore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "profile/tut_profile.hpp"
+
+namespace tut::explore {
+
+std::uint64_t ProcessStats::between(const std::string& a,
+                                    const std::string& b) const {
+  std::uint64_t n = 0;
+  auto it = signals.find({a, b});
+  if (it != signals.end()) n += it->second;
+  it = signals.find({b, a});
+  if (it != signals.end()) n += it->second;
+  return n;
+}
+
+ProcessStats ProcessStats::from_report(const profiler::ProfilingReport& report) {
+  ProcessStats stats;
+  std::set<std::string> names;
+  for (const auto& [process, cycles] : report.process_cycles) {
+    if (process == sim::kEnvironment) continue;
+    names.insert(process);
+    stats.cycles[process] = cycles;
+  }
+  for (const auto& [pair, count] : report.process_signals) {
+    const auto& [from, to] = pair;
+    if (from == sim::kEnvironment || to == sim::kEnvironment) continue;
+    names.insert(from);
+    names.insert(to);
+    stats.signals[pair] += count;
+  }
+  stats.processes.assign(names.begin(), names.end());
+  for (const std::string& p : stats.processes) {
+    stats.cycles.emplace(p, 0);  // processes seen only in signals
+  }
+  return stats;
+}
+
+std::uint64_t inter_group_signals(const Grouping& grouping,
+                                  const ProcessStats& stats) {
+  std::map<std::string, std::size_t> group_of;
+  for (std::size_t g = 0; g < grouping.size(); ++g) {
+    for (const std::string& p : grouping[g]) group_of[p] = g;
+  }
+  std::uint64_t crossing = 0;
+  for (const auto& [pair, count] : stats.signals) {
+    const auto a = group_of.find(pair.first);
+    const auto b = group_of.find(pair.second);
+    if (a == group_of.end() || b == group_of.end()) continue;
+    if (a->second != b->second) crossing += count;
+  }
+  return crossing;
+}
+
+Grouping propose_grouping(const ProcessStats& stats,
+                          const std::map<std::string, std::string>& process_type,
+                          std::size_t target_groups,
+                          const std::set<std::string>& fixed) {
+  // One group per process to start.
+  Grouping groups;
+  for (const std::string& p : stats.processes) groups.push_back({p});
+  if (target_groups == 0) target_groups = 1;
+
+  auto type_of = [&](const std::vector<std::string>& group) -> std::string {
+    auto it = process_type.find(group.front());
+    return it != process_type.end() ? it->second : "general";
+  };
+  auto is_fixed = [&](const std::vector<std::string>& group) {
+    return group.size() == 1 && fixed.count(group.front()) != 0;
+  };
+  auto comm = [&](const std::vector<std::string>& a,
+                  const std::vector<std::string>& b) {
+    std::uint64_t n = 0;
+    for (const auto& pa : a) {
+      for (const auto& pb : b) n += stats.between(pa, pb);
+    }
+    return n;
+  };
+
+  while (groups.size() > target_groups) {
+    // Find the mergeable pair with maximal mutual communication (ties: the
+    // earliest pair, keeping the result deterministic).
+    std::size_t best_a = 0, best_b = 0;
+    std::uint64_t best_comm = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (is_fixed(groups[i])) continue;
+      for (std::size_t j = i + 1; j < groups.size(); ++j) {
+        if (is_fixed(groups[j])) continue;
+        if (type_of(groups[i]) != type_of(groups[j])) continue;
+        const std::uint64_t c = comm(groups[i], groups[j]);
+        if (!found || c > best_comm) {
+          found = true;
+          best_comm = c;
+          best_a = i;
+          best_b = j;
+        }
+      }
+    }
+    if (!found) break;  // nothing mergeable (types/fixed constraints)
+    auto& a = groups[best_a];
+    auto& b = groups[best_b];
+    a.insert(a.end(), b.begin(), b.end());
+    groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(best_b));
+  }
+  return groups;
+}
+
+namespace {
+
+int default_hops(const std::string& a, const std::string& b) {
+  return a == b ? 0 : 1;
+}
+
+}  // namespace
+
+CostEstimate estimate_cost(const Grouping& grouping,
+                           const std::vector<std::string>& target,
+                           const ProcessStats& stats,
+                           const std::vector<PeDesc>& pes,
+                           const CostModel& model) {
+  if (target.size() != grouping.size()) {
+    throw std::invalid_argument("target size must match grouping size");
+  }
+  std::map<std::string, long> freq;
+  for (const PeDesc& pe : pes) freq[pe.name] = pe.freq_mhz;
+
+  CostEstimate est;
+  for (const PeDesc& pe : pes) est.pe_load[pe.name] = 0.0;
+
+  std::map<std::string, std::string> pe_of_process;
+  for (std::size_t g = 0; g < grouping.size(); ++g) {
+    auto it = freq.find(target[g]);
+    if (it == freq.end()) {
+      throw std::invalid_argument("unknown PE '" + target[g] + "'");
+    }
+    long group_cycles = 0;
+    for (const std::string& p : grouping[g]) {
+      auto c = stats.cycles.find(p);
+      if (c != stats.cycles.end()) group_cycles += c->second;
+      pe_of_process[p] = target[g];
+    }
+    est.pe_load[target[g]] +=
+        static_cast<double>(group_cycles) * 1000.0 /
+        static_cast<double>(it->second > 0 ? it->second : 50);
+  }
+
+  const auto hops = model.hops ? model.hops : default_hops;
+  for (const auto& [pair, count] : stats.signals) {
+    const auto a = pe_of_process.find(pair.first);
+    const auto b = pe_of_process.find(pair.second);
+    if (a == pe_of_process.end() || b == pe_of_process.end()) continue;
+    if (a->second == b->second) continue;
+    est.comm_cost += static_cast<double>(count) * model.hop_cost *
+                     hops(a->second, b->second);
+  }
+
+  double max_load = 0.0;
+  for (const auto& [pe, load] : est.pe_load) max_load = std::max(max_load, load);
+  est.makespan = max_load + est.comm_cost;
+  return est;
+}
+
+MappingProposal propose_mapping(const Grouping& grouping,
+                                const std::vector<std::string>& group_type,
+                                const ProcessStats& stats,
+                                const std::vector<PeDesc>& pes,
+                                const CostModel& model) {
+  if (group_type.size() != grouping.size()) {
+    throw std::invalid_argument("group_type size must match grouping size");
+  }
+  auto compatible = [&](std::size_t g, const PeDesc& pe) {
+    const bool hw_group = group_type[g] == profile::tags::ProcessHardware;
+    const bool hw_pe = pe.type == profile::tags::ComponentHwAccelerator;
+    return hw_group == hw_pe;
+  };
+
+  // Greedy LPT: heaviest group first onto the compatible PE with the least
+  // load (in estimated time).
+  std::vector<std::size_t> order(grouping.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto group_cycles = [&](std::size_t g) {
+    long n = 0;
+    for (const std::string& p : grouping[g]) {
+      auto it = stats.cycles.find(p);
+      if (it != stats.cycles.end()) n += it->second;
+    }
+    return n;
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const long ca = group_cycles(a), cb = group_cycles(b);
+    return ca != cb ? ca > cb : a < b;
+  });
+
+  std::map<std::string, double> load;
+  for (const PeDesc& pe : pes) load[pe.name] = 0.0;
+  std::vector<std::string> target(grouping.size());
+  for (std::size_t g : order) {
+    const PeDesc* best = nullptr;
+    for (const PeDesc& pe : pes) {
+      if (!compatible(g, pe)) continue;
+      if (best == nullptr || load[pe.name] < load[best->name]) best = &pe;
+    }
+    if (best == nullptr) {
+      throw std::runtime_error("no compatible PE for group of type '" +
+                               group_type[g] + "'");
+    }
+    target[g] = best->name;
+    load[best->name] += static_cast<double>(group_cycles(g)) * 1000.0 /
+                        static_cast<double>(best->freq_mhz > 0 ? best->freq_mhz
+                                                               : 50);
+  }
+
+  // Local search from a starting assignment: move each group to every
+  // compatible PE while the estimated makespan improves.
+  auto local_search = [&](std::vector<std::string> start) {
+    CostEstimate best = estimate_cost(grouping, start, stats, pes, model);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (std::size_t g = 0; g < grouping.size(); ++g) {
+        for (const PeDesc& pe : pes) {
+          if (!compatible(g, pe) || pe.name == start[g]) continue;
+          std::vector<std::string> candidate = start;
+          candidate[g] = pe.name;
+          const CostEstimate cost =
+              estimate_cost(grouping, candidate, stats, pes, model);
+          if (cost.makespan + 1e-9 < best.makespan) {
+            start = std::move(candidate);
+            best = cost;
+            improved = true;
+          }
+        }
+      }
+    }
+    return MappingProposal{std::move(start), std::move(best)};
+  };
+
+  MappingProposal best = local_search(target);
+
+  // Second start: co-locate every group on its fastest compatible PE. This
+  // escapes the comm-dominated local minimum single moves cannot leave.
+  std::vector<std::string> colocated(grouping.size());
+  bool colocated_ok = true;
+  for (std::size_t g = 0; g < grouping.size(); ++g) {
+    const PeDesc* fastest = nullptr;
+    for (const PeDesc& pe : pes) {
+      if (!compatible(g, pe)) continue;
+      if (fastest == nullptr || pe.freq_mhz > fastest->freq_mhz) fastest = &pe;
+    }
+    if (fastest == nullptr) {
+      colocated_ok = false;
+      break;
+    }
+    colocated[g] = fastest->name;
+  }
+  if (colocated_ok) {
+    MappingProposal alt = local_search(std::move(colocated));
+    if (alt.cost.makespan < best.cost.makespan) best = std::move(alt);
+  }
+  return best;
+}
+
+}  // namespace tut::explore

@@ -1,0 +1,110 @@
+// tut::explore — architecture exploration on profiling feedback.
+//
+// Section 3.1: "The grouping can be performed according to different
+// criteria, such as ... workload distribution, communication between process
+// groups ... The grouping is used for the analysis and architecture
+// exploration" and "tools for automatic grouping according to the profiling
+// information and process types will be implemented". Section 4.4: "The
+// process groups and mapping are modified to improve performance including
+// amount of communication and the division of workload".
+//
+// This module implements that loop as pure data-level optimization:
+// extract per-process load and communication from a profiling report,
+// propose a grouping that minimizes inter-group communication (respecting
+// process types), propose a mapping that balances load and communication
+// cost, and estimate the cost of any candidate. Model rebuilding with the
+// chosen alternative is left to the caller (models are append-only).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "profiler/profiler.hpp"
+
+namespace tut::explore {
+
+/// Per-process load and communication extracted from a profiling run.
+struct ProcessStats {
+  std::vector<std::string> processes;  ///< sorted, unique
+  std::map<std::string, long> cycles;
+  /// Directed signal counts between processes (environment excluded).
+  std::map<std::pair<std::string, std::string>, std::uint64_t> signals;
+
+  /// Undirected communication volume between two processes.
+  std::uint64_t between(const std::string& a, const std::string& b) const;
+
+  /// Extracts stats from a profiling report (process-level detail tables).
+  static ProcessStats from_report(const profiler::ProfilingReport& report);
+};
+
+/// A candidate grouping: each inner vector is one process group.
+using Grouping = std::vector<std::vector<std::string>>;
+
+/// Signals crossing group boundaries under a candidate grouping — the
+/// objective the paper's grouping minimizes.
+std::uint64_t inter_group_signals(const Grouping& grouping,
+                                  const ProcessStats& stats);
+
+/// Greedy agglomerative grouping: start with one group per process and
+/// repeatedly merge the pair of groups with the highest mutual communication
+/// until `target_groups` remain. Only groups whose processes share the same
+/// `process_type` entry are merged (the profile's group homogeneity rule);
+/// processes listed in `fixed` stay in singleton groups.
+Grouping propose_grouping(const ProcessStats& stats,
+                          const std::map<std::string, std::string>& process_type,
+                          std::size_t target_groups,
+                          const std::set<std::string>& fixed = {});
+
+/// A processing element available to the mapper.
+struct PeDesc {
+  std::string name;
+  long freq_mhz = 50;
+  /// Component Type tag: "general", "dsp" or "hw_accelerator".
+  std::string type = "general";
+};
+
+/// Cost model for mapping estimation. Time unit: ticks (ns).
+struct CostModel {
+  /// Cost of one signal crossing one segment hop.
+  double hop_cost = 40.0;
+  /// Segment-hop distance between two PEs (default: 1 for distinct PEs).
+  std::function<int(const std::string&, const std::string&)> hops;
+};
+
+/// Estimated execution cost of a grouping+mapping candidate.
+struct CostEstimate {
+  std::map<std::string, double> pe_load;  ///< per-PE compute time (ticks)
+  double comm_cost = 0.0;                 ///< total communication time
+  double makespan = 0.0;                  ///< max PE load + comm cost
+};
+
+/// Estimates cost: per-PE load is the summed group cycles over the PE's
+/// frequency; communication cost is signal volume between different PEs
+/// weighted by hop distance.
+CostEstimate estimate_cost(const Grouping& grouping,
+                           const std::vector<std::string>& target,
+                           const ProcessStats& stats,
+                           const std::vector<PeDesc>& pes,
+                           const CostModel& model = {});
+
+/// A mapping proposal: target[i] is the PE name for grouping[i].
+struct MappingProposal {
+  std::vector<std::string> target;
+  CostEstimate cost;
+};
+
+/// Greedy longest-processing-time mapping with pairwise-improvement local
+/// search. Hardware groups (type "hardware" in `group_type`, indexed like
+/// `grouping`) only map to hw_accelerator PEs and vice versa. Throws
+/// std::runtime_error when no compatible PE exists for a group.
+MappingProposal propose_mapping(const Grouping& grouping,
+                                const std::vector<std::string>& group_type,
+                                const ProcessStats& stats,
+                                const std::vector<PeDesc>& pes,
+                                const CostModel& model = {});
+
+}  // namespace tut::explore

@@ -1,0 +1,94 @@
+#include "mapping/mapping.hpp"
+
+namespace tut::mapping {
+
+using uml::ElementKind;
+
+uml::Dependency& MappingBuilder::map(uml::Property& group,
+                                     uml::Property& instance, bool fixed) {
+  auto& dep = model_.create_dependency(
+      group.name() + "_on_" + instance.name(), group, instance);
+  dep.apply(*profile_.mapping, {{"Fixed", fixed ? "true" : "false"}});
+  return dep;
+}
+
+void SystemView::index_mappings(const uml::Model& model) {
+  for (const uml::Element* e : model.stereotyped(profile::names::Mapping)) {
+    if (e->kind() != ElementKind::Dependency) continue;
+    const auto* dep = static_cast<const uml::Dependency*>(e);
+    if (dep->client() != nullptr &&
+        dep->client()->kind() == ElementKind::Property) {
+      mapping_[static_cast<const uml::Property*>(dep->client())] = dep;
+    }
+  }
+}
+
+const uml::Property* SystemView::instance_for_group(
+    const uml::Property& group) const {
+  const uml::Dependency* dep = mapping_of(group);
+  if (dep == nullptr || dep->supplier() == nullptr ||
+      dep->supplier()->kind() != ElementKind::Property) {
+    return nullptr;
+  }
+  return static_cast<const uml::Property*>(dep->supplier());
+}
+
+const uml::Property* SystemView::instance_for_process(
+    const uml::Property& process) const {
+  const uml::Property* group = app_.group_of(process);
+  return group != nullptr ? instance_for_group(*group) : nullptr;
+}
+
+std::vector<const uml::Property*> SystemView::processes_on(
+    const uml::Property& instance) const {
+  std::vector<const uml::Property*> out;
+  for (const uml::Property* p : app_.processes()) {
+    if (instance_for_process(*p) == &instance) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<const uml::Property*> SystemView::groups_on(
+    const uml::Property& instance) const {
+  std::vector<const uml::Property*> out;
+  for (const uml::Property* g : app_.groups()) {
+    if (instance_for_group(*g) == &instance) out.push_back(g);
+  }
+  return out;
+}
+
+const uml::Dependency* SystemView::mapping_of(
+    const uml::Property& group) const {
+  auto it = mapping_.find(&group);
+  return it != mapping_.end() ? it->second : nullptr;
+}
+
+bool SystemView::mapping_fixed(const uml::Property& group) const {
+  const uml::Dependency* dep = mapping_of(group);
+  return dep != nullptr && dep->tagged_value("Fixed") == "true";
+}
+
+long SystemView::process_priority(const uml::Property& process) const {
+  if (process.has_tagged_value("Priority")) {
+    return appmodel::tag_long(process, "Priority", 0);
+  }
+  const uml::Class* comp = process.part_type();
+  if (comp != nullptr && comp->has_tagged_value("Priority")) {
+    return appmodel::tag_long(*comp, "Priority", 0);
+  }
+  const uml::Property* instance = instance_for_process(process);
+  if (instance != nullptr && instance->has_tagged_value("Priority")) {
+    return appmodel::tag_long(*instance, "Priority", 0);
+  }
+  return 0;
+}
+
+long SystemView::instance_frequency_mhz(const uml::Property& instance) const {
+  const uml::Class* comp = instance.part_type();
+  if (comp != nullptr && comp->has_tagged_value("Frequency")) {
+    return appmodel::tag_long(*comp, "Frequency", 50);
+  }
+  return 50;
+}
+
+}  // namespace tut::mapping

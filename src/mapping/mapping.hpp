@@ -1,0 +1,76 @@
+// tut::mapping — the third part of a TUT-Profile system description.
+//
+// Section 3.3 of the paper: once an application and a platform are defined,
+// each process group is mapped to a platform component instance via a
+// <<Mapping>> dependency; fixed mappings may not be changed by profiling
+// tools. SystemView combines the application, platform and mapping views and
+// exposes the combined performance parameterization that the co-simulator
+// consumes.
+#pragma once
+
+#include "appmodel/appmodel.hpp"
+#include "platform/platform.hpp"
+
+namespace tut::mapping {
+
+/// Creates <<Mapping>> dependencies.
+class MappingBuilder {
+public:
+  MappingBuilder(uml::Model& model, const profile::TutProfile& profile)
+      : model_(model), profile_(profile) {}
+
+  /// Maps a process group to a component instance. `fixed` mappings are
+  /// skipped by the automatic exploration tools.
+  uml::Dependency& map(uml::Property& group, uml::Property& instance,
+                       bool fixed = false);
+
+private:
+  uml::Model& model_;
+  const profile::TutProfile& profile_;
+};
+
+/// Combined view over application + platform + mapping. This is what the
+/// rest of the tool flow (simulation, profiling, exploration) consumes.
+class SystemView {
+public:
+  explicit SystemView(const uml::Model& model)
+      : model_(&model), app_(model), plat_(model) {
+    index_mappings(model);
+  }
+
+  const uml::Model& model() const noexcept { return *model_; }
+  const appmodel::ApplicationView& app() const noexcept { return app_; }
+  const platform::PlatformView& plat() const noexcept { return plat_; }
+
+  /// The component instance a group is mapped to, or nullptr.
+  const uml::Property* instance_for_group(const uml::Property& group) const;
+  /// The component instance a process executes on (through its group).
+  const uml::Property* instance_for_process(const uml::Property& process) const;
+  /// Processes mapped (through their groups) onto an instance.
+  std::vector<const uml::Property*> processes_on(
+      const uml::Property& instance) const;
+  /// Groups mapped onto an instance.
+  std::vector<const uml::Property*> groups_on(
+      const uml::Property& instance) const;
+  /// The mapping dependency of a group, or nullptr.
+  const uml::Dependency* mapping_of(const uml::Property& group) const;
+  bool mapping_fixed(const uml::Property& group) const;
+
+  // -- combined performance parameterization --------------------------------
+  /// Execution priority of a process: process tag, else component class tag,
+  /// else the target component instance's Priority, else 0 (higher wins).
+  long process_priority(const uml::Property& process) const;
+  /// Clock frequency (MHz) of the component an instance instantiates
+  /// (default 50 MHz when unparameterized).
+  long instance_frequency_mhz(const uml::Property& instance) const;
+
+private:
+  void index_mappings(const uml::Model& model);
+
+  const uml::Model* model_;
+  appmodel::ApplicationView app_;
+  platform::PlatformView plat_;
+  std::map<const uml::Property*, const uml::Dependency*> mapping_;
+};
+
+}  // namespace tut::mapping

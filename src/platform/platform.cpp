@@ -1,0 +1,215 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+namespace tut::platform {
+
+using uml::ElementKind;
+
+// ---------------------------------------------------------------------------
+// PlatformBuilder
+// ---------------------------------------------------------------------------
+
+PlatformBuilder::PlatformBuilder(uml::Model& model,
+                                 const profile::TutProfile& profile)
+    : model_(model), profile_(profile) {}
+
+uml::Class& PlatformBuilder::platform(const std::string& name) {
+  if (platform_ != nullptr) {
+    throw std::logic_error("platform() must be called exactly once");
+  }
+  platform_ = &model_.create_class(name);
+  platform_->apply(*profile_.platform);
+  return *platform_;
+}
+
+uml::Port& PlatformBuilder::ensure_port(uml::Class& cls,
+                                        const std::string& name) {
+  uml::Port* p = cls.port(name);
+  return p != nullptr ? *p : model_.add_port(cls, name);
+}
+
+uml::Class& PlatformBuilder::component_type(const std::string& name,
+                                            const Tags& tags) {
+  auto& cls = model_.create_class(name);
+  cls.apply(*profile_.component, Tags(tags));
+  ensure_port(cls, "bus");
+  return cls;
+}
+
+uml::Property& PlatformBuilder::instance(const std::string& name,
+                                         uml::Class& type, const Tags& tags) {
+  if (platform_ == nullptr) {
+    throw std::logic_error("platform() must be called before instance()");
+  }
+  auto& part = model_.add_part(*platform_, name, type);
+  Tags values(tags);
+  if (values.count("ID") == 0) {
+    values["ID"] = std::to_string(next_instance_id_++);
+  }
+  part.apply(*profile_.component_instance, std::move(values));
+  return part;
+}
+
+uml::Property& PlatformBuilder::segment(const std::string& name,
+                                        const Tags& tags, bool hibi) {
+  if (platform_ == nullptr) {
+    throw std::logic_error("platform() must be called before segment()");
+  }
+  if (segment_classifier_ == nullptr) {
+    segment_classifier_ = &model_.create_class("CommunicationSegmentType");
+    ensure_port(*segment_classifier_, "conn");
+  }
+  auto& part = model_.add_part(*platform_, name, *segment_classifier_);
+  part.apply(hibi ? *profile_.hibi_segment : *profile_.communication_segment,
+             Tags(tags));
+  return part;
+}
+
+uml::Connector& PlatformBuilder::wrapper(uml::Property& instance,
+                                         uml::Property& segment,
+                                         const Tags& tags, bool hibi) {
+  auto& conn = model_.connect(*platform_, instance.name(), "bus",
+                              segment.name(), "conn");
+  Tags values(tags);
+  if (values.count("Address") == 0) {
+    values["Address"] = std::to_string(next_address_[&segment]++);
+  }
+  conn.apply(hibi ? *profile_.hibi_wrapper : *profile_.communication_wrapper,
+             std::move(values));
+  return conn;
+}
+
+uml::Connector& PlatformBuilder::bridge_link(uml::Property& seg_a,
+                                             uml::Property& seg_b) {
+  return model_.connect(*platform_, seg_a.name(), "conn", seg_b.name(), "conn");
+}
+
+// ---------------------------------------------------------------------------
+// PlatformView
+// ---------------------------------------------------------------------------
+
+PlatformView::PlatformView(const uml::Model& model) {
+  for (const uml::Element* e : model.stereotyped(profile::names::Platform)) {
+    if (e->kind() == ElementKind::Class) {
+      platform_ = static_cast<const uml::Class*>(e);
+      break;
+    }
+  }
+  for (const uml::Element* e :
+       model.stereotyped(profile::names::ComponentInstance)) {
+    if (e->kind() == ElementKind::Property) {
+      instances_.push_back(static_cast<const uml::Property*>(e));
+    }
+  }
+  for (const uml::Element* e :
+       model.stereotyped(profile::names::CommunicationSegment)) {
+    if (e->kind() == ElementKind::Property) {
+      segments_.push_back(static_cast<const uml::Property*>(e));
+    }
+  }
+  // Wrappers are stereotyped connectors; bridges are unstereotyped connectors
+  // between two segments inside the platform class.
+  const std::set<const uml::Property*> segment_set(segments_.begin(),
+                                                   segments_.end());
+  for (const uml::Element* e : model.elements_of_kind(ElementKind::Connector)) {
+    const auto* conn = static_cast<const uml::Connector*>(e);
+    if (conn->has_stereotype(profile::names::CommunicationWrapper)) {
+      wrappers_.push_back(conn);
+    } else if (segment_set.count(conn->end0().part) != 0 &&
+               segment_set.count(conn->end1().part) != 0) {
+      bridges_.push_back(conn);
+    }
+  }
+}
+
+const uml::Property* PlatformView::instance_named(
+    const std::string& name) const noexcept {
+  for (const uml::Property* i : instances_) {
+    if (i->name() == name) return i;
+  }
+  return nullptr;
+}
+
+const uml::Property* PlatformView::segment_named(
+    const std::string& name) const noexcept {
+  for (const uml::Property* s : segments_) {
+    if (s->name() == name) return s;
+  }
+  return nullptr;
+}
+
+std::vector<const uml::Connector*> PlatformView::wrappers_of(
+    const uml::Property& instance) const {
+  std::vector<const uml::Connector*> out;
+  for (const uml::Connector* w : wrappers_) {
+    if (w->end0().part == &instance || w->end1().part == &instance) {
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+const uml::Property* PlatformView::segment_of(
+    const uml::Property& instance) const noexcept {
+  for (const uml::Connector* w : wrappers_) {
+    if (w->end0().part == &instance) return w->end1().part;
+    if (w->end1().part == &instance) return w->end0().part;
+  }
+  return nullptr;
+}
+
+std::vector<const uml::Property*> PlatformView::instances_on(
+    const uml::Property& segment) const {
+  std::vector<const uml::Property*> out;
+  for (const uml::Property* i : instances_) {
+    if (segment_of(*i) == &segment) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<const uml::Property*> PlatformView::neighbors(
+    const uml::Property& segment) const {
+  std::vector<const uml::Property*> out;
+  for (const uml::Connector* b : bridges_) {
+    if (b->end0().part == &segment) out.push_back(b->end1().part);
+    if (b->end1().part == &segment) out.push_back(b->end0().part);
+  }
+  return out;
+}
+
+std::vector<const uml::Property*> PlatformView::route(
+    const uml::Property& from, const uml::Property& to) const {
+  const uml::Property* start = segment_of(from);
+  const uml::Property* goal = segment_of(to);
+  if (start == nullptr || goal == nullptr) return {};
+  if (start == goal) return {start};
+
+  // Breadth-first search over the bridge graph.
+  std::map<const uml::Property*, const uml::Property*> parent;
+  std::deque<const uml::Property*> queue{start};
+  parent[start] = nullptr;
+  while (!queue.empty()) {
+    const uml::Property* seg = queue.front();
+    queue.pop_front();
+    if (seg == goal) break;
+    for (const uml::Property* next : neighbors(*seg)) {
+      if (parent.count(next) == 0) {
+        parent[next] = seg;
+        queue.push_back(next);
+      }
+    }
+  }
+  if (parent.count(goal) == 0) return {};
+  std::vector<const uml::Property*> path;
+  for (const uml::Property* seg = goal; seg != nullptr; seg = parent[seg]) {
+    path.push_back(seg);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace tut::platform

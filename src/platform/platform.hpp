@@ -1,0 +1,117 @@
+// tut::platform — typed platform layer over uml + TUT-Profile.
+//
+// Section 3.2 of the paper: the platform is a library of parameterized
+// components. A <<Platform>> class is composed of <<ComponentInstance>>
+// parts (processing elements) and <<CommunicationSegment>> parts, connected
+// through <<CommunicationWrapper>> connectors. Segments may be joined into a
+// hierarchical bus by bridge links (Figure 7's bridge segment). This module
+// provides the builder that applies the stereotypes consistently and a view
+// with the topology queries (including routing) that the co-simulator needs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profile/tut_profile.hpp"
+#include "uml/model.hpp"
+
+namespace tut::platform {
+
+using Tags = std::map<std::string, std::string>;
+
+/// Builds a platform description. Component instances get unique IDs and
+/// wrappers get unique per-segment addresses automatically when the caller
+/// does not provide them.
+class PlatformBuilder {
+public:
+  PlatformBuilder(uml::Model& model, const profile::TutProfile& profile);
+
+  /// Creates the top-level <<Platform>> class. Call once, first.
+  uml::Class& platform(const std::string& name);
+
+  /// Creates a <<Component>> library class (a processing element type).
+  /// Recognized tags: Type, Area, Power, Frequency (MHz).
+  uml::Class& component_type(const std::string& name, const Tags& tags = {});
+
+  /// Instantiates a component as a <<ComponentInstance>> part.
+  uml::Property& instance(const std::string& name, uml::Class& type,
+                          const Tags& tags = {});
+
+  /// Creates a communication segment part. With `hibi` (default) the part is
+  /// stereotyped <<HIBISegment>>, otherwise plain <<CommunicationSegment>>.
+  uml::Property& segment(const std::string& name, const Tags& tags = {},
+                         bool hibi = true);
+
+  /// Connects a component instance to a segment with a wrapper connector
+  /// (<<HIBIWrapper>> when `hibi`, else <<CommunicationWrapper>>).
+  uml::Connector& wrapper(uml::Property& instance, uml::Property& segment,
+                          const Tags& tags = {}, bool hibi = true);
+
+  /// Joins two segments with an (unstereotyped) bridge link, building the
+  /// hierarchical bus of Figure 7.
+  uml::Connector& bridge_link(uml::Property& seg_a, uml::Property& seg_b);
+
+  uml::Model& model() noexcept { return model_; }
+  uml::Class* platform_class() const noexcept { return platform_; }
+
+private:
+  uml::Port& ensure_port(uml::Class& cls, const std::string& name);
+
+  uml::Model& model_;
+  const profile::TutProfile& profile_;
+  uml::Class* platform_ = nullptr;
+  uml::Class* segment_classifier_ = nullptr;
+  int next_instance_id_ = 1;
+  std::map<const uml::Property*, int> next_address_;
+};
+
+/// Read-only topology queries over a platform model.
+class PlatformView {
+public:
+  explicit PlatformView(const uml::Model& model);
+
+  const uml::Class* platform() const noexcept { return platform_; }
+  const std::vector<const uml::Property*>& instances() const noexcept {
+    return instances_;
+  }
+  const std::vector<const uml::Property*>& segments() const noexcept {
+    return segments_;
+  }
+
+  const uml::Property* instance_named(const std::string& name) const noexcept;
+  const uml::Property* segment_named(const std::string& name) const noexcept;
+
+  /// Wrapper connectors attached to an instance (usually one).
+  std::vector<const uml::Connector*> wrappers_of(
+      const uml::Property& instance) const;
+  /// The segment an instance's wrapper attaches it to (first wrapper), or
+  /// nullptr for an unattached instance.
+  const uml::Property* segment_of(const uml::Property& instance) const noexcept;
+  /// Instances attached to a segment.
+  std::vector<const uml::Property*> instances_on(
+      const uml::Property& segment) const;
+  /// Segments joined to `segment` by bridge links.
+  std::vector<const uml::Property*> neighbors(
+      const uml::Property& segment) const;
+
+  /// Shortest segment path between the segments of two instances (inclusive
+  /// of both endpoints). Empty when either instance is unattached or no path
+  /// exists. A same-segment pair yields a single-element path.
+  std::vector<const uml::Property*> route(const uml::Property& from,
+                                          const uml::Property& to) const;
+
+  /// Component class of an instance (its part type).
+  static const uml::Class* component_of(const uml::Property& instance) noexcept {
+    return instance.part_type();
+  }
+
+private:
+  const uml::Class* platform_ = nullptr;
+  std::vector<const uml::Property*> instances_;
+  std::vector<const uml::Property*> segments_;
+  std::vector<const uml::Connector*> wrappers_;
+  std::vector<const uml::Connector*> bridges_;
+};
+
+}  // namespace tut::platform

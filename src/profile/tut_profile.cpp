@@ -1,0 +1,464 @@
+#include "profile/tut_profile.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace tut::profile {
+
+using uml::ElementKind;
+using uml::Model;
+using uml::Severity;
+using uml::Stereotype;
+using uml::TagType;
+using uml::ValidationResult;
+using uml::Validator;
+
+std::vector<const Stereotype*> TutProfile::all() const {
+  return {application,      application_component, application_process,
+          process_group,    process_grouping,      platform,
+          component,        component_instance,    communication_wrapper,
+          communication_segment, mapping,          hibi_wrapper,
+          hibi_segment};
+}
+
+TutProfile install(Model& model) {
+  TutProfile p;
+  p.profile = &model.create_profile("TUT-Profile");
+  auto& prof = *p.profile;
+
+  // -- application description (Table 2) -------------------------------------
+  p.application = &model.create_stereotype(prof, names::Application,
+                                           ElementKind::Class);
+  p.application->define_tag("Priority", TagType::Integer,
+                            "Execution priority of an application");
+  p.application->define_tag("CodeMemory", TagType::Integer,
+                            "Required memory for application code");
+  p.application->define_tag("DataMemory", TagType::Integer,
+                            "Required memory for application data");
+  p.application->define_tag(
+      "RealTimeType", TagType::Enum,
+      "Type of real-time requirements (hard/soft/none)",
+      {tags::RealTimeHard, tags::RealTimeSoft, tags::RealTimeNone});
+
+  p.application_component = &model.create_stereotype(
+      prof, names::ApplicationComponent, ElementKind::Class);
+  p.application_component->define_tag(
+      "CodeMemory", TagType::Integer,
+      "Required memory for application component code");
+  p.application_component->define_tag(
+      "DataMemory", TagType::Integer,
+      "Required memory for application component data");
+  p.application_component->define_tag(
+      "RealTimeType", TagType::Enum,
+      "Type of real-time requirements (hard/soft/none)",
+      {tags::RealTimeHard, tags::RealTimeSoft, tags::RealTimeNone});
+
+  p.application_process = &model.create_stereotype(
+      prof, names::ApplicationProcess, ElementKind::Property);
+  p.application_process->define_tag("Priority", TagType::Integer,
+                                    "Execution priority of application process");
+  p.application_process->define_tag(
+      "CodeMemory", TagType::Integer,
+      "Required memory for application process code");
+  p.application_process->define_tag(
+      "DataMemory", TagType::Integer,
+      "Required memory for application process data");
+  p.application_process->define_tag(
+      "RealTimeType", TagType::Enum,
+      "Type of real-time requirements (hard/soft/none)",
+      {tags::RealTimeHard, tags::RealTimeSoft, tags::RealTimeNone});
+  p.application_process->define_tag(
+      "ProcessType", TagType::Enum, "Type of process (general/dsp/hardware)",
+      {tags::ProcessGeneral, tags::ProcessDsp, tags::ProcessHardware});
+
+  p.process_group = &model.create_stereotype(prof, names::ProcessGroup,
+                                             ElementKind::Property);
+  p.process_group->define_tag("Fixed", TagType::Boolean,
+                              "Defines if the group is fixed (true/false)");
+  p.process_group->define_tag(
+      "ProcessType", TagType::Enum,
+      "Type of processes in a group (general/dsp/hardware)",
+      {tags::ProcessGeneral, tags::ProcessDsp, tags::ProcessHardware});
+
+  p.process_grouping = &model.create_stereotype(prof, names::ProcessGrouping,
+                                                ElementKind::Dependency);
+  p.process_grouping->define_tag(
+      "Fixed", TagType::Boolean,
+      "Defines if the grouping is fixed (true/false)");
+
+  // -- platform description (Table 3) -----------------------------------------
+  p.platform =
+      &model.create_stereotype(prof, names::Platform, ElementKind::Class);
+
+  p.component =
+      &model.create_stereotype(prof, names::Component, ElementKind::Class);
+  p.component->define_tag(
+      "Type", TagType::Enum, "Type of a component (general/dsp/hw accelerator)",
+      {tags::ComponentGeneral, tags::ComponentDsp, tags::ComponentHwAccelerator});
+  p.component->define_tag("Area", TagType::Real, "Area of a component");
+  p.component->define_tag("Power", TagType::Real,
+                          "Power consumption of a component");
+  // Performance parameterization used by the high-level co-simulation: how
+  // many computation cycles the component retires per microsecond.
+  p.component->define_tag("Frequency", TagType::Integer,
+                          "Clock frequency of a component (MHz)");
+  // RTOS parameterization (the paper's future work: "real-time operating
+  // system will be used in system processors, which will also be accounted
+  // in the TUT-Profile").
+  p.component->define_tag(
+      "Scheduling", TagType::Enum,
+      "Process scheduling on the component (cooperative/preemptive)",
+      {tags::SchedulingCooperative, tags::SchedulingPreemptive});
+  p.component->define_tag("ContextSwitchCycles", TagType::Integer,
+                          "RTOS context switch cost in component cycles");
+
+  p.component_instance = &model.create_stereotype(
+      prof, names::ComponentInstance, ElementKind::Property);
+  p.component_instance->define_tag("Priority", TagType::Integer,
+                                   "Execution priority of a component instance");
+  p.component_instance->define_tag("ID", TagType::Integer,
+                                   "Unique ID of a component instance", {},
+                                   /*required=*/true);
+  p.component_instance->define_tag("IntMemory", TagType::Integer,
+                                   "Amount of internal memory");
+
+  p.communication_segment = &model.create_stereotype(
+      prof, names::CommunicationSegment, ElementKind::Property);
+  p.communication_segment->define_tag(
+      "DataWidth", TagType::Integer,
+      "Data width (in bits) of a communication segment");
+  p.communication_segment->define_tag(
+      "Frequency", TagType::Integer,
+      "Clock frequency of a communication segment (MHz)");
+  p.communication_segment->define_tag(
+      "Arbitration", TagType::Enum, "Arbitration scheme",
+      {tags::ArbitrationPriority, tags::ArbitrationRoundRobin});
+
+  p.communication_wrapper = &model.create_stereotype(
+      prof, names::CommunicationWrapper, ElementKind::Connector);
+  p.communication_wrapper->define_tag("Address", TagType::Integer,
+                                      "Address of a wrapper");
+  p.communication_wrapper->define_tag("BufferSize", TagType::Integer,
+                                      "Buffer size of a wrapper (bytes)");
+  p.communication_wrapper->define_tag(
+      "MaxTime", TagType::Integer,
+      "Maximum time a wrapper can reserve the segment");
+
+  // -- mapping (Section 3.3) ----------------------------------------------------
+  p.mapping =
+      &model.create_stereotype(prof, names::Mapping, ElementKind::Dependency);
+  p.mapping->define_tag("Fixed", TagType::Boolean,
+                        "Fixed mappings are not changed by profiling tools");
+
+  // -- HIBI library specializations (Section 4.2) --------------------------------
+  p.hibi_segment = &model.create_stereotype(prof, names::HIBISegment,
+                                            ElementKind::Property,
+                                            p.communication_segment);
+  p.hibi_segment->define_tag("BurstLength", TagType::Integer,
+                             "Maximum HIBI burst length (words)");
+  p.hibi_segment->define_tag("CounterWidth", TagType::Integer,
+                             "Width of the HIBI time-slot counters");
+
+  p.hibi_wrapper = &model.create_stereotype(prof, names::HIBIWrapper,
+                                            ElementKind::Connector,
+                                            p.communication_wrapper);
+  p.hibi_wrapper->define_tag("TxFifoDepth", TagType::Integer,
+                             "Transmit FIFO depth (words)");
+  p.hibi_wrapper->define_tag("RxFifoDepth", TagType::Integer,
+                             "Receive FIFO depth (words)");
+
+  return p;
+}
+
+TutProfile find(const Model& model) {
+  const uml::Profile* profile = nullptr;
+  for (uml::Element* e : model.elements_of_kind(ElementKind::Profile)) {
+    if (e->name() == "TUT-Profile") {
+      profile = static_cast<const uml::Profile*>(e);
+      break;
+    }
+  }
+  if (profile == nullptr) {
+    throw std::runtime_error("model does not contain the TUT-Profile");
+  }
+  TutProfile p;
+  p.profile = const_cast<uml::Profile*>(profile);
+  auto need = [&](const char* name) {
+    Stereotype* s = profile->stereotype(name);
+    if (s == nullptr) {
+      throw std::runtime_error(std::string("TUT-Profile is missing <<") + name +
+                               ">>");
+    }
+    return s;
+  };
+  p.application = need(names::Application);
+  p.application_component = need(names::ApplicationComponent);
+  p.application_process = need(names::ApplicationProcess);
+  p.process_group = need(names::ProcessGroup);
+  p.process_grouping = need(names::ProcessGrouping);
+  p.platform = need(names::Platform);
+  p.component = need(names::Component);
+  p.component_instance = need(names::ComponentInstance);
+  p.communication_wrapper = need(names::CommunicationWrapper);
+  p.communication_segment = need(names::CommunicationSegment);
+  p.mapping = need(names::Mapping);
+  p.hibi_wrapper = need(names::HIBIWrapper);
+  p.hibi_segment = need(names::HIBISegment);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Design rules
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<const uml::Property*> parts_with(const Model& model,
+                                             const char* stereotype) {
+  std::vector<const uml::Property*> out;
+  for (uml::Element* e : model.stereotyped(stereotype)) {
+    if (e->kind() == ElementKind::Property) {
+      out.push_back(static_cast<const uml::Property*>(e));
+    }
+  }
+  return out;
+}
+
+std::vector<const uml::Dependency*> deps_with(const Model& model,
+                                              const char* stereotype) {
+  std::vector<const uml::Dependency*> out;
+  for (uml::Element* e : model.stereotyped(stereotype)) {
+    if (e->kind() == ElementKind::Dependency) {
+      out.push_back(static_cast<const uml::Dependency*>(e));
+    }
+  }
+  return out;
+}
+
+void rule_application_unique(const Model& model, ValidationResult& res) {
+  const auto apps = model.stereotyped(names::Application);
+  if (apps.size() != 1) {
+    res.add(apps.empty() ? Severity::Warning : Severity::Error,
+            "tut.application.unique", model,
+            "expected exactly one <<Application>> class, found " +
+                std::to_string(apps.size()));
+  }
+  for (const uml::Element* e : apps) {
+    if (e->kind() != ElementKind::Class) continue;
+    const auto* cls = static_cast<const uml::Class*>(e);
+    if (cls->is_active()) {
+      res.add(Severity::Error, "tut.application.passive", *cls,
+              "the <<Application>> top-level class must be a structural "
+              "(passive) class");
+    }
+  }
+}
+
+void rule_component_active(const Model& model, ValidationResult& res) {
+  for (const uml::Element* e : model.stereotyped(names::ApplicationComponent)) {
+    if (e->kind() != ElementKind::Class) continue;
+    const auto* cls = static_cast<const uml::Class*>(e);
+    if (!cls->is_active()) {
+      res.add(Severity::Error, "tut.component.active", *cls,
+              "<<ApplicationComponent>> classifies functional components: the "
+              "class must be active");
+    } else if (cls->behavior() == nullptr) {
+      res.add(Severity::Warning, "tut.component.active", *cls,
+              "functional component has no behaviour (state machine)");
+    }
+  }
+}
+
+void rule_process_type(const Model& model, ValidationResult& res) {
+  for (const uml::Property* part :
+       parts_with(model, names::ApplicationProcess)) {
+    const uml::Class* type = part->part_type();
+    if (type == nullptr || !type->has_stereotype(names::ApplicationComponent)) {
+      res.add(Severity::Error, "tut.process.type", *part,
+              "<<ApplicationProcess>> parts must instantiate an "
+              "<<ApplicationComponent>> class");
+    }
+  }
+}
+
+void rule_grouping(const Model& model, ValidationResult& res) {
+  std::map<const uml::Element*, int> memberships;
+  for (const uml::Dependency* dep : deps_with(model, names::ProcessGrouping)) {
+    const uml::Element* client = dep->client();
+    const uml::Element* supplier = dep->supplier();
+    if (client == nullptr || !client->has_stereotype(names::ApplicationProcess)) {
+      res.add(Severity::Error, "tut.grouping.ends", *dep,
+              "<<ProcessGrouping>> client must be an <<ApplicationProcess>>");
+    } else {
+      ++memberships[client];
+    }
+    if (supplier == nullptr || !supplier->has_stereotype(names::ProcessGroup)) {
+      res.add(Severity::Error, "tut.grouping.ends", *dep,
+              "<<ProcessGrouping>> supplier must be a <<ProcessGroup>>");
+    }
+    // Group homogeneity: member ProcessType must match the group ProcessType.
+    if (client != nullptr && supplier != nullptr) {
+      const std::string group_pt = supplier->tagged_value("ProcessType");
+      const std::string proc_pt = client->tagged_value("ProcessType");
+      if (!group_pt.empty() && !proc_pt.empty() && group_pt != proc_pt) {
+        res.add(Severity::Error, "tut.group.homogeneous", *dep,
+                "process of type '" + proc_pt +
+                    "' grouped into a group of type '" + group_pt + "'");
+      }
+    }
+  }
+  for (const uml::Property* part :
+       parts_with(model, names::ApplicationProcess)) {
+    const auto it = memberships.find(part);
+    if (it == memberships.end()) {
+      res.add(Severity::Warning, "tut.grouping.unique", *part,
+              "application process is not assigned to any process group");
+    } else if (it->second > 1) {
+      res.add(Severity::Error, "tut.grouping.unique", *part,
+              "application process belongs to " + std::to_string(it->second) +
+                  " process groups");
+    }
+  }
+}
+
+void rule_platform_unique(const Model& model, ValidationResult& res) {
+  const auto platforms = model.stereotyped(names::Platform);
+  if (platforms.size() != 1) {
+    res.add(platforms.empty() ? Severity::Warning : Severity::Error,
+            "tut.platform.unique", model,
+            "expected exactly one <<Platform>> class, found " +
+                std::to_string(platforms.size()));
+  }
+}
+
+void rule_instances(const Model& model, ValidationResult& res) {
+  std::map<std::string, const uml::Property*> ids;
+  for (const uml::Property* part : parts_with(model, names::ComponentInstance)) {
+    const uml::Class* type = part->part_type();
+    if (type == nullptr || !type->has_stereotype(names::Component)) {
+      res.add(Severity::Error, "tut.instance.type", *part,
+              "<<ComponentInstance>> parts must instantiate a <<Component>> "
+              "class from the platform library");
+    }
+    const std::string id = part->tagged_value("ID");
+    if (!id.empty()) {
+      auto [it, inserted] = ids.emplace(id, part);
+      if (!inserted) {
+        res.add(Severity::Error, "tut.instance.id", *part,
+                "component instance ID '" + id + "' is also used by '" +
+                    it->second->qualified_name() + "'");
+      }
+    }
+  }
+}
+
+void rule_wrappers(const Model& model, ValidationResult& res) {
+  // Address uniqueness is per segment: map segment part -> set of addresses.
+  std::map<const uml::Property*, std::map<std::string, const uml::Element*>>
+      addresses;
+  for (uml::Element* e : model.stereotyped(names::CommunicationWrapper)) {
+    if (e->kind() != ElementKind::Connector) continue;
+    const auto* conn = static_cast<const uml::Connector*>(e);
+    const uml::Property* ends[2] = {conn->end0().part, conn->end1().part};
+    const uml::Property* instance = nullptr;
+    const uml::Property* segment = nullptr;
+    for (const uml::Property* p : ends) {
+      if (p == nullptr) continue;
+      if (p->has_stereotype(names::ComponentInstance)) instance = p;
+      if (p->has_stereotype(names::CommunicationSegment)) segment = p;
+    }
+    if (instance == nullptr || segment == nullptr) {
+      res.add(Severity::Error, "tut.wrapper.ends", *conn,
+              "<<CommunicationWrapper>> must connect a <<ComponentInstance>> "
+              "to a <<CommunicationSegment>>");
+      continue;
+    }
+    const std::string addr = conn->tagged_value("Address");
+    if (!addr.empty()) {
+      auto [it, inserted] = addresses[segment].emplace(addr, conn);
+      if (!inserted) {
+        res.add(Severity::Error, "tut.wrapper.address", *conn,
+                "wrapper address '" + addr + "' is already used on segment '" +
+                    segment->qualified_name() + "'");
+      }
+    }
+  }
+}
+
+void rule_mapping(const Model& model, ValidationResult& res) {
+  std::map<const uml::Element*, int> mapped;
+  for (const uml::Dependency* dep : deps_with(model, names::Mapping)) {
+    const uml::Element* group = dep->client();
+    const uml::Element* target = dep->supplier();
+    if (group == nullptr || !group->has_stereotype(names::ProcessGroup)) {
+      res.add(Severity::Error, "tut.mapping.ends", *dep,
+              "<<Mapping>> client must be a <<ProcessGroup>>");
+      group = nullptr;
+    }
+    if (target == nullptr || !target->has_stereotype(names::ComponentInstance)) {
+      res.add(Severity::Error, "tut.mapping.ends", *dep,
+              "<<Mapping>> supplier must be a <<ComponentInstance>>");
+      target = nullptr;
+    }
+    if (group == nullptr || target == nullptr) continue;
+    ++mapped[group];
+
+    // ProcessType vs component Type compatibility.
+    const std::string pt = group->tagged_value("ProcessType");
+    const auto* target_part = static_cast<const uml::Property*>(target);
+    const uml::Class* comp = target_part->part_type();
+    const std::string ct = comp != nullptr ? comp->tagged_value("Type") : "";
+    if (pt.empty() || ct.empty()) continue;
+    const bool hw_group = pt == tags::ProcessHardware;
+    const bool hw_comp = ct == tags::ComponentHwAccelerator;
+    if (hw_group != hw_comp) {
+      res.add(Severity::Error, "tut.mapping.type", *dep,
+              "process group of type '" + pt +
+                  "' mapped to component of type '" + ct + "'");
+    } else if (pt == tags::ProcessDsp && ct == tags::ComponentGeneral) {
+      res.add(Severity::Warning, "tut.mapping.type", *dep,
+              "dsp process group mapped to a general-purpose component");
+    }
+  }
+  for (const uml::Property* group : parts_with(model, names::ProcessGroup)) {
+    const auto it = mapped.find(group);
+    if (it == mapped.end()) {
+      res.add(Severity::Error, "tut.mapping.total", *group,
+              "process group is not mapped to any platform component instance");
+    } else if (it->second > 1) {
+      res.add(Severity::Error, "tut.mapping.total", *group,
+              "process group is mapped " + std::to_string(it->second) +
+                  " times");
+    }
+  }
+}
+
+}  // namespace
+
+void add_design_rules(Validator& validator) {
+  validator.add_rule({"tut.application", "application top level",
+                      rule_application_unique});
+  validator.add_rule({"tut.component", "functional components are active",
+                      rule_component_active});
+  validator.add_rule({"tut.process", "processes instantiate components",
+                      rule_process_type});
+  validator.add_rule({"tut.grouping", "process grouping is well-formed",
+                      rule_grouping});
+  validator.add_rule({"tut.platform", "platform top level",
+                      rule_platform_unique});
+  validator.add_rule({"tut.instance", "component instances are well-formed",
+                      rule_instances});
+  validator.add_rule({"tut.wrapper", "communication wrappers are well-formed",
+                      rule_wrappers});
+  validator.add_rule({"tut.mapping", "mapping is total and type-compatible",
+                      rule_mapping});
+}
+
+Validator make_validator() {
+  Validator v = Validator::uml_core();
+  add_design_rules(v);
+  return v;
+}
+
+}  // namespace tut::profile

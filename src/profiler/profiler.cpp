@@ -1,0 +1,230 @@
+#include "profiler/profiler.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <tuple>
+#include <sstream>
+
+#include "appmodel/appmodel.hpp"
+#include "uml/serialize.hpp"
+
+namespace tut::profiler {
+
+namespace {
+
+const std::string kEnvString = kEnvironmentParty;
+
+}  // namespace
+
+const std::string& ProcessGroupInfo::party_of(
+    const std::string& process) const {
+  auto it = group_of.find(process);
+  return it != group_of.end() ? it->second : kEnvString;
+}
+
+ProcessGroupInfo ProcessGroupInfo::from_model(const uml::Model& model) {
+  ProcessGroupInfo info;
+  appmodel::ApplicationView view(model);
+  for (const uml::Property* g : view.groups()) {
+    info.groups.push_back(g->name());
+  }
+  for (const uml::Property* p : view.processes()) {
+    const uml::Property* g = view.group_of(*p);
+    if (g != nullptr) info.group_of[p->name()] = g->name();
+  }
+  return info;
+}
+
+ProcessGroupInfo ProcessGroupInfo::from_xml(const std::string& xml_text) {
+  const auto model = uml::from_xml_string(xml_text);
+  return from_model(*model);
+}
+
+std::uint64_t ProfilingReport::total_signals() const {
+  std::uint64_t n = 0;
+  for (const auto& row : signals) {
+    for (std::uint64_t v : row) n += v;
+  }
+  return n;
+}
+
+long ProfilingReport::total_cycles() const {
+  long n = 0;
+  for (const auto& row : execution) n += row.cycles;
+  return n;
+}
+
+std::uint64_t ProfilingReport::inter_group_signals() const {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    for (std::size_t j = 0; j < signals[i].size(); ++j) {
+      if (i != j) n += signals[i][j];
+    }
+  }
+  return n;
+}
+
+std::size_t ProfilingReport::party_index(const std::string& party) const {
+  for (std::size_t i = 0; i < parties.size(); ++i) {
+    if (parties[i] == party) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::string ProfilingReport::to_text() const {
+  std::ostringstream os;
+  os << "(a) Process group execution\n";
+  std::size_t width = 17;  // "Sender/Receiver" + margin
+  for (const auto& row : execution) width = std::max(width, row.group.size() + 2);
+  os << std::left << std::setw(static_cast<int>(width)) << "Process group"
+     << std::right << std::setw(20) << "Total execution time" << std::setw(12)
+     << "Proportion" << '\n';
+  for (const auto& row : execution) {
+    std::ostringstream cycles;
+    cycles << row.cycles << " cycles";
+    os << std::left << std::setw(static_cast<int>(width)) << row.group
+       << std::right << std::setw(20) << cycles.str() << std::setw(10)
+       << std::fixed << std::setprecision(1) << row.proportion << " %\n";
+  }
+  os << "\n(b) Number of signals between groups\n";
+  os << std::left << std::setw(static_cast<int>(width)) << "Sender/Receiver";
+  for (const auto& p : parties) {
+    os << std::right << std::setw(static_cast<int>(std::max<std::size_t>(
+                             p.size() + 2, 8))) << p;
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < parties.size(); ++i) {
+    os << std::left << std::setw(static_cast<int>(width)) << parties[i];
+    for (std::size_t j = 0; j < parties.size(); ++j) {
+      os << std::right << std::setw(static_cast<int>(std::max<std::size_t>(
+                               parties[j].size() + 2, 8))) << signals[i][j];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+ProfilingReport analyze(const ProcessGroupInfo& info,
+                        const sim::SimulationLog& log) {
+  ProfilingReport report;
+  report.parties = info.groups;
+  report.parties.push_back(kEnvironmentParty);
+  const std::size_t n = report.parties.size();
+  report.signals.assign(n, std::vector<std::uint64_t>(n, 0));
+
+  std::map<std::string, GroupExecution> per_group;
+  for (const auto& g : info.groups) per_group[g] = GroupExecution{g, 0, 0, 0.0};
+  GroupExecution env{kEnvironmentParty, 0, 0, 0.0};
+
+  auto index_of = [&](const std::string& party) {
+    return report.party_index(party);
+  };
+
+  for (const sim::LogRecord& r : log.records()) {
+    switch (r.kind) {
+      case sim::LogRecord::Kind::Run: {
+        report.process_cycles[r.process] += r.cycles;
+        const std::string& party = info.party_of(r.process);
+        if (party == kEnvironmentParty) {
+          env.cycles += r.cycles;
+          env.busy_time += r.duration;
+        } else {
+          auto& row = per_group[party];
+          row.cycles += r.cycles;
+          row.busy_time += r.duration;
+        }
+        break;
+      }
+      case sim::LogRecord::Kind::Send: {
+        const std::string from_party =
+            r.process == sim::kEnvironment ? kEnvString
+                                           : info.party_of(r.process);
+        const std::string to_party =
+            r.peer == sim::kEnvironment ? kEnvString : info.party_of(r.peer);
+        const std::size_t i = index_of(from_party);
+        const std::size_t j = index_of(to_party);
+        if (i < n && j < n) ++report.signals[i][j];
+        ++report.process_signals[{r.process, r.peer}];
+        break;
+      }
+      case sim::LogRecord::Kind::Receive:
+        break;  // sends already counted; receives would double-count
+      case sim::LogRecord::Kind::Drop:
+        ++report.drops[r.process];
+        break;
+    }
+  }
+
+  long total = env.cycles;
+  for (const auto& g : info.groups) total += per_group[g].cycles;
+  for (const auto& g : info.groups) {
+    auto row = per_group[g];
+    row.proportion = total > 0 ? 100.0 * static_cast<double>(row.cycles) /
+                                     static_cast<double>(total)
+                               : 0.0;
+    report.execution.push_back(std::move(row));
+  }
+  env.proportion = total > 0 ? 100.0 * static_cast<double>(env.cycles) /
+                                   static_cast<double>(total)
+                             : 0.0;
+  report.execution.push_back(std::move(env));
+  return report;
+}
+
+std::vector<LatencyStats> latency_report(const sim::SimulationLog& log) {
+  // Stream key: (from, to, signal). Sends queue up; receives match FIFO.
+  using Key = std::tuple<std::string, std::string, std::string>;
+  std::map<Key, std::vector<sim::Time>> pending;  // unmatched send times
+  std::map<Key, std::size_t> cursor;              // next unmatched index
+  std::map<Key, LatencyStats> stats;
+
+  for (const sim::LogRecord& r : log.records()) {
+    if (r.kind == sim::LogRecord::Kind::Send) {
+      pending[{r.process, r.peer, r.signal}].push_back(r.time);
+    } else if (r.kind == sim::LogRecord::Kind::Receive) {
+      const Key key{r.peer, r.process, r.signal};
+      auto it = pending.find(key);
+      if (it == pending.end()) continue;
+      std::size_t& next = cursor[key];
+      if (next >= it->second.size()) continue;  // receive without send
+      const sim::Time sent = it->second[next++];
+      const sim::Time latency = r.time >= sent ? r.time - sent : 0;
+      LatencyStats& s = stats[key];
+      if (s.samples == 0) {
+        s.from = r.peer;
+        s.to = r.process;
+        s.signal = r.signal;
+        s.min = latency;
+        s.max = latency;
+      } else {
+        s.min = std::min(s.min, latency);
+        s.max = std::max(s.max, latency);
+      }
+      // Streaming mean.
+      s.mean += (static_cast<double>(latency) - s.mean) /
+                static_cast<double>(s.samples + 1);
+      ++s.samples;
+    }
+  }
+  std::vector<LatencyStats> out;
+  out.reserve(stats.size());
+  for (auto& [key, s] : stats) out.push_back(std::move(s));
+  return out;
+}
+
+std::string latency_to_text(const std::vector<LatencyStats>& report) {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "from" << std::setw(14) << "to"
+     << std::setw(16) << "signal" << std::right << std::setw(9) << "samples"
+     << std::setw(12) << "min" << std::setw(12) << "mean" << std::setw(12)
+     << "max" << '\n';
+  for (const LatencyStats& s : report) {
+    os << std::left << std::setw(14) << s.from << std::setw(14) << s.to
+       << std::setw(16) << s.signal << std::right << std::setw(9) << s.samples
+       << std::setw(12) << s.min << std::setw(12) << std::fixed
+       << std::setprecision(1) << s.mean << std::setw(12) << s.max << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tut::profiler

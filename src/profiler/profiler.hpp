@@ -1,0 +1,109 @@
+// tut::profiler — the profiling tool of Section 4.4.
+//
+// The paper's tool has three stages (there TCL scripts, here a library):
+//   1. Model parsing: "the XML presentation of the UML 2.0 model is parsed
+//      to gather process group information" — ProcessGroupInfo::from_xml.
+//   2. Instrumentation: the generated application code is complemented with
+//      logging functions — in this repo the co-simulator (or generated code
+//      built with -DTUT_PROFILING) emits the simulation log-file.
+//   3. Analysis: "the profiling data in the simulation log-file and the
+//      process group information are combined and analyzed. The results are
+//      gathered to a profiling report" — analyze() producing the per-group
+//      execution times (Table 4a), the inter-group signal matrix (Table 4b)
+//      and per-process transfer details.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/log.hpp"
+#include "uml/model.hpp"
+
+namespace tut::profiler {
+
+/// Display name of the environment row/column in reports (the paper's
+/// Table 4 uses "Environment").
+inline constexpr const char* kEnvironmentParty = "Environment";
+
+/// Stage 1 output: which process belongs to which group.
+struct ProcessGroupInfo {
+  /// Group names in model order.
+  std::vector<std::string> groups;
+  /// process name -> group name (only grouped processes appear).
+  std::map<std::string, std::string> group_of;
+
+  /// Group of a process; kEnvironmentParty for "env" or unknown processes
+  /// (anything outside the application is the environment).
+  const std::string& party_of(const std::string& process) const;
+
+  /// Extracts grouping from an in-memory model.
+  static ProcessGroupInfo from_model(const uml::Model& model);
+  /// Stage 1 proper: parses the model's XML interchange form.
+  static ProcessGroupInfo from_xml(const std::string& xml_text);
+};
+
+/// One row of Table 4(a).
+struct GroupExecution {
+  std::string group;
+  long cycles = 0;
+  sim::Time busy_time = 0;   ///< summed wall duration of the group's runs
+  double proportion = 0.0;   ///< share of total cycles, in percent
+};
+
+/// The profiling report (Table 4 plus per-process details).
+struct ProfilingReport {
+  /// Table 4(a): groups in ProcessGroupInfo order, then the environment.
+  std::vector<GroupExecution> execution;
+  /// Parties indexing the signal matrix: groups, then kEnvironmentParty.
+  std::vector<std::string> parties;
+  /// Table 4(b): signals[i][j] = number of signals sent from parties[i]
+  /// to parties[j].
+  std::vector<std::vector<std::uint64_t>> signals;
+
+  /// Per-process execution cycles ("other metrics ... are also available").
+  std::map<std::string, long> process_cycles;
+  /// Per process-pair signal counts ("transfers between individual
+  /// application processes").
+  std::map<std::pair<std::string, std::string>, std::uint64_t> process_signals;
+  /// Dropped (unhandled) signals per process.
+  std::map<std::string, std::uint64_t> drops;
+
+  std::uint64_t total_signals() const;
+  long total_cycles() const;
+  /// Signals crossing group boundaries (off-diagonal, environment included).
+  std::uint64_t inter_group_signals() const;
+
+  /// Index of a party in `parties`, or npos.
+  std::size_t party_index(const std::string& party) const;
+
+  /// Renders the report in the layout of the paper's Table 4.
+  std::string to_text() const;
+};
+
+/// Stage 3: combines process-group information with the simulation log.
+ProfilingReport analyze(const ProcessGroupInfo& info,
+                        const sim::SimulationLog& log);
+
+/// End-to-end delivery latency of one signal stream (sender, receiver,
+/// signal), send and receive records matched FIFO. Used to check the
+/// real-time requirements the RealTimeType tags declare.
+struct LatencyStats {
+  std::string from;
+  std::string to;
+  std::string signal;
+  std::size_t samples = 0;
+  sim::Time min = 0;
+  sim::Time max = 0;
+  double mean = 0.0;
+};
+
+/// Latency statistics for every (from, to, signal) stream that has at least
+/// one matched send/receive pair, ordered by stream key.
+std::vector<LatencyStats> latency_report(const sim::SimulationLog& log);
+
+/// Renders a latency report as an aligned text table.
+std::string latency_to_text(const std::vector<LatencyStats>& report);
+
+}  // namespace tut::profiler

@@ -1,0 +1,29 @@
+#include "sim/kernel.hpp"
+
+#include <stdexcept>
+
+namespace tut::sim {
+
+void Kernel::schedule_at(Time at, Handler fn) {
+  if (at < now_) {
+    throw std::logic_error("cannot schedule an event in the past");
+  }
+  queue_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+std::uint64_t Kernel::run(Time horizon) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    // Move the handler out before popping so it may schedule new events.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.at;
+    entry.fn();
+    ++count;
+    ++dispatched_;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return count;
+}
+
+}  // namespace tut::sim

@@ -1,0 +1,55 @@
+// Discrete-event simulation kernel: a time-ordered event queue with
+// deterministic FIFO tie-breaking for simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tut::sim {
+
+/// Simulation time in ticks. The platform models interpret one tick as one
+/// nanosecond (a 50 MHz component retires one cycle per 20 ticks).
+using Time = std::uint64_t;
+
+/// The event kernel. Events scheduled for the same time fire in scheduling
+/// order, which makes whole-simulation runs reproducible.
+class Kernel {
+public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at` (>= now()).
+  void schedule_at(Time at, Handler fn);
+  /// Schedules `fn` `delay` ticks from now.
+  void schedule_in(Time delay, Handler fn) { schedule_at(now_ + delay, fn); }
+
+  Time now() const noexcept { return now_; }
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+
+  /// Runs events until the queue drains or the next event would be past
+  /// `horizon`. Events exactly at the horizon still run. Returns the number
+  /// of events dispatched.
+  std::uint64_t run(Time horizon);
+
+private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace tut::sim

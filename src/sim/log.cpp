@@ -1,0 +1,120 @@
+#include "sim/log.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tut::sim {
+
+void SimulationLog::run(Time t, std::string process, long cycles,
+                        Time duration) {
+  LogRecord r;
+  r.time = t;
+  r.kind = LogRecord::Kind::Run;
+  r.process = std::move(process);
+  r.cycles = cycles;
+  r.duration = duration;
+  records_.push_back(std::move(r));
+}
+
+void SimulationLog::send(Time t, std::string from, std::string to,
+                         std::string signal, std::size_t bytes) {
+  LogRecord r;
+  r.time = t;
+  r.kind = LogRecord::Kind::Send;
+  r.process = std::move(from);
+  r.peer = std::move(to);
+  r.signal = std::move(signal);
+  r.bytes = bytes;
+  records_.push_back(std::move(r));
+}
+
+void SimulationLog::receive(Time t, std::string process, std::string from,
+                            std::string signal) {
+  LogRecord r;
+  r.time = t;
+  r.kind = LogRecord::Kind::Receive;
+  r.process = std::move(process);
+  r.peer = std::move(from);
+  r.signal = std::move(signal);
+  records_.push_back(std::move(r));
+}
+
+void SimulationLog::drop(Time t, std::string process, std::string signal) {
+  LogRecord r;
+  r.time = t;
+  r.kind = LogRecord::Kind::Drop;
+  r.process = std::move(process);
+  r.signal = std::move(signal);
+  records_.push_back(std::move(r));
+}
+
+std::string SimulationLog::to_text() const {
+  std::ostringstream os;
+  os << "# tut-simlog v1\n";
+  for (const LogRecord& r : records_) {
+    switch (r.kind) {
+      case LogRecord::Kind::Run:
+        os << "R " << r.time << ' ' << r.process << ' ' << r.cycles << ' '
+           << r.duration << '\n';
+        break;
+      case LogRecord::Kind::Send:
+        os << "S " << r.time << ' ' << r.process << ' ' << r.peer << ' '
+           << r.signal << ' ' << r.bytes << '\n';
+        break;
+      case LogRecord::Kind::Receive:
+        os << "V " << r.time << ' ' << r.process << ' ' << r.peer << ' '
+           << r.signal << '\n';
+        break;
+      case LogRecord::Kind::Drop:
+        os << "D " << r.time << ' ' << r.process << ' ' << r.signal << '\n';
+        break;
+    }
+  }
+  return os.str();
+}
+
+SimulationLog SimulationLog::parse(const std::string& text) {
+  SimulationLog log;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    const auto bad = [&]() -> std::runtime_error {
+      return std::runtime_error("malformed simulation log line " +
+                                std::to_string(lineno) + ": '" + line + "'");
+    };
+    if (kind == "R") {
+      Time t = 0, d = 0;
+      std::string proc;
+      long cycles = 0;
+      if (!(ls >> t >> proc >> cycles >> d)) throw bad();
+      log.run(t, proc, cycles, d);
+    } else if (kind == "S") {
+      Time t = 0;
+      std::string from, to, sig;
+      std::size_t bytes = 0;
+      if (!(ls >> t >> from >> to >> sig >> bytes)) throw bad();
+      log.send(t, from, to, sig, bytes);
+    } else if (kind == "V") {
+      Time t = 0;
+      std::string proc, from, sig;
+      if (!(ls >> t >> proc >> from >> sig)) throw bad();
+      log.receive(t, proc, from, sig);
+    } else if (kind == "D") {
+      Time t = 0;
+      std::string proc, sig;
+      if (!(ls >> t >> proc >> sig)) throw bad();
+      log.drop(t, proc, sig);
+    } else {
+      throw bad();
+    }
+  }
+  return log;
+}
+
+}  // namespace tut::sim

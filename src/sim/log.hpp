@@ -1,0 +1,69 @@
+// The simulation log-file.
+//
+// Figure 2 of the paper: the generated application code is complemented with
+// custom C functions that write a log-file during simulation; the profiling
+// tool later parses that file. This module defines the in-memory records, a
+// line-oriented text serialization (the actual "log-file"), and its parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace tut::sim {
+
+/// Sentinel process name for the environment.
+inline constexpr const char* kEnvironment = "env";
+
+/// One log record. `process`, `peer` are application process names (or
+/// `kEnvironment`).
+struct LogRecord {
+  enum class Kind : std::uint8_t {
+    Run,      ///< `process` executed `cycles` cycles for `duration` ticks
+    Send,     ///< `process` sent `signal` (`bytes` bytes) towards `peer`
+    Receive,  ///< `process` received `signal` from `peer`
+    Drop,     ///< `process` discarded `signal` (no matching transition)
+  };
+
+  Time time = 0;
+  Kind kind = Kind::Run;
+  std::string process;
+  std::string peer;
+  std::string signal;
+  long cycles = 0;
+  Time duration = 0;
+  std::size_t bytes = 0;
+};
+
+/// Append-only simulation log with text round trip.
+class SimulationLog {
+public:
+  void run(Time t, std::string process, long cycles, Time duration);
+  void send(Time t, std::string from, std::string to, std::string signal,
+            std::size_t bytes);
+  void receive(Time t, std::string process, std::string from,
+               std::string signal);
+  void drop(Time t, std::string process, std::string signal);
+
+  const std::vector<LogRecord>& records() const noexcept { return records_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Serializes to the line-oriented log-file format:
+  ///   # tut-simlog v1
+  ///   R <time> <process> <cycles> <duration>
+  ///   S <time> <from> <to> <signal> <bytes>
+  ///   V <time> <process> <from> <signal>
+  ///   D <time> <process> <signal>
+  std::string to_text() const;
+
+  /// Parses a log-file. Throws std::runtime_error on malformed lines.
+  static SimulationLog parse(const std::string& text);
+
+private:
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace tut::sim

@@ -1,0 +1,599 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+namespace tut::sim {
+
+namespace {
+
+/// Converts component cycles to ticks (1 tick = 1 ns): ceil(c * 1000 / MHz).
+Time cycles_to_ticks(long cycles, long freq_mhz) {
+  if (cycles <= 0) return 0;
+  if (freq_mhz <= 0) freq_mhz = 50;
+  const auto c = static_cast<std::uint64_t>(cycles);
+  const auto f = static_cast<std::uint64_t>(freq_mhz);
+  return (c * 1000 + f - 1) / f;
+}
+
+long tag_long_of(const uml::Element& e, const char* tag, long fallback) {
+  return appmodel::tag_long(e, tag, fallback);
+}
+
+}  // namespace
+
+struct Simulation::Impl {
+  struct Pe;
+
+  struct PendingEvent {
+    enum class Kind { Start, Signal, Timer };
+    Kind kind = Kind::Signal;
+    efsm::Event event;  // Signal
+    std::string from;   // Signal
+    std::string timer;  // Timer
+  };
+
+  struct Proc {
+    const uml::Property* part = nullptr;
+    std::string name;
+    efsm::Instance inst;
+    Pe* pe = nullptr;
+    long priority = 0;
+    std::deque<PendingEvent> queue;
+    std::map<std::string, std::uint64_t> timer_gen;
+    bool ready = false;             // enlisted in pe->ready
+    std::uint64_t ready_seq = 0;    // FIFO tie-break among equal priorities
+
+    Proc(const uml::StateMachine& sm, std::string n)
+        : name(n), inst(sm, std::move(n)) {}
+  };
+
+  struct Pe {
+    const uml::Property* part = nullptr;
+    std::string name;
+    long freq_mhz = 50;
+    std::vector<Proc*> ready;
+
+    // RTOS parameterization (Component tags Scheduling/ContextSwitchCycles).
+    bool preemptive = false;
+    long ctx_switch_cycles = 0;
+
+    // The step currently executing, if any. `run_gen` invalidates the
+    // scheduled completion event when the step is preempted.
+    struct Running {
+      Proc* proc = nullptr;
+      efsm::StepResult result;
+      Time end = 0;
+    };
+    std::optional<Running> running;
+    std::uint64_t run_gen = 0;
+
+    // Steps suspended by preemption. LIFO: preemption only ever stacks a
+    // strictly higher-priority step on top, so the back has the highest
+    // priority among suspended steps.
+    struct Suspended {
+      Proc* proc = nullptr;
+      efsm::StepResult result;
+      Time remaining = 0;
+    };
+    std::vector<Suspended> suspended;
+
+    bool busy() const noexcept { return running.has_value(); }
+  };
+
+  struct Seg {
+    const uml::Property* part = nullptr;
+    std::string name;
+    long width_bits = 32;
+    long freq_mhz = 100;
+    bool priority_arb = true;
+    bool busy = false;
+    long last_rr = -1;
+    std::deque<std::size_t> waiting;  // indices into transfers_
+  };
+
+  struct Transfer {
+    Proc* dest = nullptr;
+    std::string from;
+    efsm::Event event;
+    std::vector<Seg*> path;
+    std::size_t hop = 0;
+    std::size_t bytes = 0;
+    long priority = 0;
+    long rr_key = 0;           // sender instance ID (round-robin order)
+    long max_grant_cycles = 0; // sender wrapper MaxTime; 0 = unlimited
+    long remaining_cycles = 0; // on current hop; 0 = not yet computed
+    Time enqueue_time = 0;
+    bool done = false;
+  };
+
+  Impl(const mapping::SystemView& sys, Simulation& owner)
+      : sys_(sys), owner_(owner), router_(require_app(sys)) {
+    build();
+  }
+
+  static const uml::Class& require_app(const mapping::SystemView& sys) {
+    const uml::Class* app = sys.app().application();
+    if (app == nullptr) {
+      throw std::runtime_error("simulation requires an <<Application>> class");
+    }
+    return *app;
+  }
+
+  void build() {
+    // Processing elements (only instances that host processes need a model,
+    // but we build all so stats cover idle PEs too).
+    for (const uml::Property* part : sys_.plat().instances()) {
+      auto pe = std::make_unique<Pe>();
+      pe->part = part;
+      pe->name = part->name();
+      pe->freq_mhz = sys_.instance_frequency_mhz(*part);
+      if (const uml::Class* comp = part->part_type()) {
+        pe->preemptive = comp->tagged_value("Scheduling") ==
+                         profile::tags::SchedulingPreemptive;
+        pe->ctx_switch_cycles = tag_long_of(*comp, "ContextSwitchCycles", 0);
+      }
+      pes_[part] = std::move(pe);
+      owner_.pe_stats_[part->name()];
+    }
+    for (const uml::Property* part : sys_.plat().segments()) {
+      auto seg = std::make_unique<Seg>();
+      seg->part = part;
+      seg->name = part->name();
+      seg->width_bits = tag_long_of(*part, "DataWidth", 32);
+      seg->freq_mhz = tag_long_of(*part, "Frequency", 100);
+      seg->priority_arb =
+          part->tagged_value("Arbitration") != profile::tags::ArbitrationRoundRobin;
+      segs_[part] = std::move(seg);
+      owner_.segment_stats_[part->name()];
+    }
+    for (const uml::Property* part : sys_.app().processes()) {
+      const uml::Class* comp = part->part_type();
+      if (comp == nullptr || comp->behavior() == nullptr) {
+        throw std::runtime_error("process '" + part->name() +
+                                 "' has no executable behaviour");
+      }
+      const uml::Property* target = sys_.instance_for_process(*part);
+      if (target == nullptr) {
+        throw std::runtime_error(
+            "process '" + part->name() +
+            "' is not mapped to any platform component instance");
+      }
+      auto proc = std::make_unique<Proc>(*comp->behavior(), part->name());
+      proc->part = part;
+      proc->pe = pes_.at(target).get();
+      proc->priority = sys_.process_priority(*part);
+      procs_by_part_[part] = proc.get();
+      procs_by_name_[part->name()] = proc.get();
+      procs_.push_back(std::move(proc));
+    }
+    // Every pair of PEs that host processes must be routable.
+    for (const auto& a : procs_) {
+      for (const auto& b : procs_) {
+        if (a->pe == b->pe) continue;
+        if (sys_.plat().route(*a->pe->part, *b->pe->part).empty()) {
+          throw std::runtime_error("no communication route between '" +
+                                   a->pe->name + "' and '" + b->pe->name +
+                                   "'");
+        }
+      }
+    }
+  }
+
+  // -- PE scheduling -----------------------------------------------------------
+
+  void make_ready(Proc& proc) {
+    if (proc.ready || proc.queue.empty()) return;
+    proc.ready = true;
+    proc.ready_seq = ++ready_counter_;
+    proc.pe->ready.push_back(&proc);
+    maybe_preempt(*proc.pe, proc);
+    start_step(*proc.pe);
+  }
+
+  /// Suspends the running step when a strictly higher-priority process
+  /// becomes ready on a preemptive PE.
+  void maybe_preempt(Pe& pe, const Proc& challenger) {
+    if (!pe.preemptive || !pe.running.has_value()) return;
+    if (challenger.priority <= pe.running->proc->priority) return;
+    // Steps completing at the current instant are not preemptible: their
+    // completion event is already due.
+    if (pe.running->end <= kernel_.now()) return;
+    ++pe.run_gen;  // invalidate the scheduled completion
+    Pe::Suspended s;
+    s.proc = pe.running->proc;
+    s.result = std::move(pe.running->result);
+    s.remaining = pe.running->end - kernel_.now();
+    pe.suspended.push_back(std::move(s));
+    pe.running.reset();
+    ++owner_.pe_stats_[pe.name].preemptions;
+  }
+
+  /// The highest-priority ready process (FIFO among equals), or ready.end().
+  std::vector<Proc*>::iterator best_ready(Pe& pe) {
+    auto best = pe.ready.begin();
+    for (auto it = pe.ready.begin(); it != pe.ready.end(); ++it) {
+      if ((*it)->priority > (*best)->priority ||
+          ((*it)->priority == (*best)->priority &&
+           (*it)->ready_seq < (*best)->ready_seq)) {
+        best = it;
+      }
+    }
+    return best;
+  }
+
+  void schedule_completion(Pe& pe, Time dur) {
+    pe.running->end = kernel_.now() + dur;
+    const std::uint64_t gen = ++pe.run_gen;
+    kernel_.schedule_in(dur, [this, &pe, gen]() {
+      if (pe.run_gen == gen) finish_step(pe);
+    });
+  }
+
+  /// Context-switch overhead in ticks, accounted as PE busy time.
+  Time switch_overhead(Pe& pe) {
+    const Time t = cycles_to_ticks(pe.ctx_switch_cycles, pe.freq_mhz);
+    owner_.pe_stats_[pe.name].overhead_time += t;
+    owner_.pe_stats_[pe.name].busy_time += t;
+    return t;
+  }
+
+  void start_step(Pe& pe) {
+    if (pe.busy()) return;
+
+    // Resume a suspended step unless a strictly higher-priority process is
+    // ready (it would immediately preempt again).
+    auto best = best_ready(pe);
+    const bool have_ready = best != pe.ready.end();
+    if (!pe.suspended.empty() &&
+        (!have_ready ||
+         pe.suspended.back().proc->priority >= (*best)->priority)) {
+      resume_step(pe);
+      return;
+    }
+    if (!have_ready) return;
+
+    Proc* proc = *best;
+    pe.ready.erase(best);
+    proc->ready = false;
+
+    PendingEvent ev = std::move(proc->queue.front());
+    proc->queue.pop_front();
+
+    efsm::StepResult result;
+    bool fired = true;
+    switch (ev.kind) {
+      case PendingEvent::Kind::Start:
+        result = proc->inst.start();
+        break;
+      case PendingEvent::Kind::Signal:
+        result = proc->inst.deliver(ev.event);
+        fired = result.fired;
+        if (!fired) {
+          owner_.log_.drop(kernel_.now(), proc->name,
+                           ev.event.signal != nullptr ? ev.event.signal->name()
+                                                      : "?");
+        }
+        break;
+      case PendingEvent::Kind::Timer:
+        result = proc->inst.timer_fired(ev.timer);
+        fired = result.fired;
+        break;
+    }
+
+    Time dur = cycles_to_ticks(result.compute_cycles, pe.freq_mhz);
+    auto& stats = owner_.pe_stats_[pe.name];
+    ++stats.dispatched;
+    if (fired) {
+      ++stats.steps;
+      stats.busy_time += dur;
+      if (owner_.config_.log_runs) {
+        owner_.log_.run(kernel_.now(), proc->name, result.compute_cycles, dur);
+      }
+    }
+    // Dispatching on top of suspended work implies the RTOS switched
+    // contexts to get here.
+    if (!pe.suspended.empty()) dur += switch_overhead(pe);
+
+    pe.running = Pe::Running{proc, std::move(result), 0};
+    schedule_completion(pe, dur);
+  }
+
+  void resume_step(Pe& pe) {
+    Pe::Suspended s = std::move(pe.suspended.back());
+    pe.suspended.pop_back();
+    // Switching back into the preempted context costs the RTOS overhead.
+    const Time dur = s.remaining + switch_overhead(pe);
+    pe.running = Pe::Running{s.proc, std::move(s.result), 0};
+    schedule_completion(pe, dur);
+  }
+
+  void finish_step(Pe& pe) {
+    Proc& proc = *pe.running->proc;
+    const efsm::StepResult result = std::move(pe.running->result);
+    pe.running.reset();
+    // Timers first: a timer armed by this step may be reset by a later step,
+    // but not vice versa within one step (actions already ordered upstream).
+    for (const efsm::TimerOp& op : result.timers) {
+      const std::uint64_t gen = ++proc.timer_gen[op.name];
+      if (op.kind == efsm::TimerOp::Kind::Set) {
+        const Time delay = op.delay > 0 ? static_cast<Time>(op.delay) : 0;
+        kernel_.schedule_in(delay, [this, &proc, name = op.name, gen]() {
+          on_timer(proc, name, gen);
+        });
+      }
+    }
+    for (const efsm::Send& send : result.sends) {
+      dispatch_send(proc, send);
+    }
+    make_ready(proc);  // it may have more pending events
+    start_step(pe);
+  }
+
+  void on_timer(Proc& proc, const std::string& name, std::uint64_t gen) {
+    auto it = proc.timer_gen.find(name);
+    if (it == proc.timer_gen.end() || it->second != gen) return;  // stale
+    PendingEvent ev;
+    ev.kind = PendingEvent::Kind::Timer;
+    ev.timer = name;
+    proc.queue.push_back(std::move(ev));
+    make_ready(proc);
+  }
+
+  // -- communication -------------------------------------------------------------
+
+  void dispatch_send(Proc& from, const efsm::Send& send) {
+    const Time now = kernel_.now();
+    const efsm::Endpoint dest = router_.destination(*from.part, send.port);
+    const std::size_t bytes =
+        send.signal != nullptr ? send.signal->payload_bytes() : 4;
+    const std::string signal_name =
+        send.signal != nullptr ? send.signal->name() : "?";
+
+    if (dest.is_environment()) {
+      owner_.log_.send(now, from.name, kEnvironment, signal_name, bytes);
+      return;
+    }
+    auto it = procs_by_part_.find(dest.part);
+    if (it == procs_by_part_.end()) {
+      // Destination part is not an executable process (e.g. a structural
+      // part): treat as environment.
+      owner_.log_.send(now, from.name, kEnvironment, signal_name, bytes);
+      return;
+    }
+    Proc& to = *it->second;
+    owner_.log_.send(now, from.name, to.name, signal_name, bytes);
+
+    efsm::Event event;
+    event.signal = send.signal;
+    event.port = dest.port != nullptr ? dest.port->name() : "";
+    event.args = send.args;
+
+    if (to.pe == from.pe) {
+      deliver_local(to, std::move(event), from.name);
+      return;
+    }
+
+    // Remote: traverse the segment route.
+    auto xfer = std::make_unique<Transfer>();
+    xfer->dest = &to;
+    xfer->from = from.name;
+    xfer->event = std::move(event);
+    for (const uml::Property* seg_part :
+         sys_.plat().route(*from.pe->part, *to.pe->part)) {
+      xfer->path.push_back(segs_.at(seg_part).get());
+    }
+    xfer->bytes = bytes;
+    xfer->priority = from.priority;
+    xfer->rr_key = tag_long_of(*from.pe->part, "ID", 0);
+    xfer->max_grant_cycles = wrapper_max_time(*from.pe->part);
+    const std::size_t index = transfers_.size();
+    transfers_.push_back(std::move(xfer));
+    request_segment(index);
+  }
+
+  long wrapper_max_time(const uml::Property& instance) const {
+    for (const uml::Connector* w : sys_.plat().wrappers_of(instance)) {
+      const long mt = tag_long_of(*w, "MaxTime", 0);
+      if (mt > 0) return mt;
+    }
+    return 0;
+  }
+
+  void deliver_local(Proc& to, efsm::Event event, std::string from) {
+    owner_.log_.receive(kernel_.now(), to.name, from,
+                        event.signal != nullptr ? event.signal->name() : "?");
+    PendingEvent ev;
+    ev.kind = PendingEvent::Kind::Signal;
+    ev.event = std::move(event);
+    ev.from = std::move(from);
+    to.queue.push_back(std::move(ev));
+    make_ready(to);
+  }
+
+  void request_segment(std::size_t index) {
+    Transfer& x = *transfers_[index];
+    Seg& seg = *x.path[x.hop];
+    if (x.remaining_cycles == 0) {
+      const long words =
+          static_cast<long>((x.bytes * 8 + seg.width_bits - 1) / seg.width_bits);
+      x.remaining_cycles = words + owner_.config_.segment_overhead_cycles;
+    }
+    x.enqueue_time = kernel_.now();
+    seg.waiting.push_back(index);
+    try_grant(seg);
+  }
+
+  void try_grant(Seg& seg) {
+    if (seg.busy || seg.waiting.empty()) return;
+
+    // Pick the next transfer per the segment's arbitration scheme.
+    std::size_t pick = 0;
+    if (seg.priority_arb) {
+      for (std::size_t i = 1; i < seg.waiting.size(); ++i) {
+        if (transfers_[seg.waiting[i]]->priority >
+            transfers_[seg.waiting[pick]]->priority) {
+          pick = i;
+        }
+      }
+    } else {
+      // Round-robin over sender IDs: the smallest key strictly greater than
+      // the last served, wrapping around.
+      long best_key = -1;
+      bool found = false;
+      for (std::size_t i = 0; i < seg.waiting.size(); ++i) {
+        const long key = transfers_[seg.waiting[i]]->rr_key;
+        const bool after = key > seg.last_rr;
+        const bool best_after = best_key > seg.last_rr;
+        if (!found ||
+            (after && (!best_after || key < best_key)) ||
+            (!after && !best_after && key < best_key)) {
+          pick = i;
+          best_key = key;
+          found = true;
+        }
+      }
+      seg.last_rr = best_key;
+    }
+
+    const std::size_t index = seg.waiting[pick];
+    seg.waiting.erase(seg.waiting.begin() +
+                      static_cast<std::ptrdiff_t>(pick));
+    Transfer& x = *transfers_[index];
+
+    const bool capped = x.hop == 0 && x.max_grant_cycles > 0;
+    const long grant =
+        capped ? std::min(x.remaining_cycles, x.max_grant_cycles)
+               : x.remaining_cycles;
+    const Time dur = cycles_to_ticks(grant, seg.freq_mhz);
+
+    auto& stats = owner_.segment_stats_[seg.name];
+    ++stats.grants;
+    stats.busy_time += dur;
+    stats.wait_time += kernel_.now() - x.enqueue_time;
+
+    seg.busy = true;
+    kernel_.schedule_in(dur, [this, &seg, index, grant]() {
+      grant_done(seg, index, grant);
+    });
+  }
+
+  void grant_done(Seg& seg, std::size_t index, long granted) {
+    seg.busy = false;
+    Transfer& x = *transfers_[index];
+    x.remaining_cycles -= granted;
+    if (x.remaining_cycles > 0) {
+      // Re-arbitrate for the rest of this hop (MaxTime chunking).
+      x.enqueue_time = kernel_.now();
+      seg.waiting.push_back(index);
+    } else {
+      ++owner_.segment_stats_[seg.name].transfers;
+      ++x.hop;
+      if (x.hop < x.path.size()) {
+        x.remaining_cycles = 0;
+        request_segment(index);
+      } else {
+        x.done = true;
+        deliver_local(*x.dest, std::move(x.event), std::move(x.from));
+      }
+    }
+    try_grant(seg);
+  }
+
+  // -- environment ---------------------------------------------------------------
+
+  void inject(Time t, const std::string& port, const uml::Signal& signal,
+              std::vector<long> args) {
+    kernel_.schedule_at(t, [this, port, &signal, args = std::move(args)]() {
+      const efsm::Endpoint dest = router_.boundary_destination(port);
+      if (dest.part == nullptr) {
+        owner_.log_.send(kernel_.now(), kEnvironment, kEnvironment,
+                         signal.name(), signal.payload_bytes());
+        return;
+      }
+      auto it = procs_by_part_.find(dest.part);
+      if (it == procs_by_part_.end()) {
+        owner_.log_.send(kernel_.now(), kEnvironment, kEnvironment,
+                         signal.name(), signal.payload_bytes());
+        return;
+      }
+      owner_.log_.send(kernel_.now(), kEnvironment, it->second->name,
+                       signal.name(), signal.payload_bytes());
+      efsm::Event event;
+      event.signal = &signal;
+      event.port = dest.port != nullptr ? dest.port->name() : "";
+      event.args = args;
+      deliver_local(*it->second, std::move(event), kEnvironment);
+    });
+  }
+
+  void start_all() {
+    if (started_) return;
+    started_ = true;
+    for (auto& proc : procs_) {
+      PendingEvent ev;
+      ev.kind = PendingEvent::Kind::Start;
+      proc->queue.push_front(std::move(ev));
+      make_ready(*proc);
+    }
+  }
+
+  const mapping::SystemView& sys_;
+  Simulation& owner_;
+  efsm::Router router_;
+  Kernel kernel_;
+  bool started_ = false;
+  std::uint64_t ready_counter_ = 0;
+
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::map<const uml::Property*, Proc*> procs_by_part_;
+  std::map<std::string, Proc*> procs_by_name_;
+  std::map<const uml::Property*, std::unique_ptr<Pe>> pes_;
+  std::map<const uml::Property*, std::unique_ptr<Seg>> segs_;
+  std::vector<std::unique_ptr<Transfer>> transfers_;
+};
+
+Simulation::Simulation(const mapping::SystemView& sys, Config config)
+    : config_(config) {
+  impl_ = std::make_unique<Impl>(sys, *this);
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::inject(Time t, const std::string& boundary_port,
+                        const uml::Signal& signal, std::vector<long> args) {
+  impl_->inject(t, boundary_port, signal, std::move(args));
+}
+
+void Simulation::inject_periodic(Time first, Time period, std::size_t count,
+                                 const std::string& boundary_port,
+                                 const uml::Signal& signal,
+                                 std::vector<long> args) {
+  for (std::size_t i = 0; i < count; ++i) {
+    inject(first + static_cast<Time>(i) * period, boundary_port, signal, args);
+  }
+}
+
+void Simulation::run() { run_until(config_.horizon); }
+
+void Simulation::run_until(Time horizon) {
+  impl_->start_all();
+  impl_->kernel_.run(horizon);
+}
+
+Time Simulation::now() const noexcept { return impl_->kernel_.now(); }
+
+const efsm::Instance& Simulation::instance(const std::string& process) const {
+  auto it = impl_->procs_by_name_.find(process);
+  if (it == impl_->procs_by_name_.end()) {
+    throw std::out_of_range("no process named '" + process + "'");
+  }
+  return it->second->inst;
+}
+
+std::uint64_t Simulation::events_dispatched() const noexcept {
+  return impl_->kernel_.dispatched();
+}
+
+}  // namespace tut::sim

@@ -1,0 +1,115 @@
+// High-level hardware/software co-simulation (Section 3.2 of the paper:
+// "The parameterized models are used to perform a high-level
+// hardware/software co-simulation. In that case, the execution of
+// application processes is guided with the properties of the platform
+// components.").
+//
+// The simulator executes every application process as an EFSM instance on
+// the platform component instance its group is mapped to:
+//  - Processing elements run one transition at a time (run-to-completion),
+//    picking the pending process with the highest priority. A transition's
+//    Compute cycles take cycles/frequency wall time.
+//  - Signals between processes on the same PE are delivered when the sending
+//    transition completes. Signals between PEs traverse the communication
+//    segments on the route between the instances: each segment is an
+//    arbitrated resource (priority or round-robin per its Arbitration tag);
+//    transfer time follows the segment's DataWidth and Frequency; a
+//    wrapper's MaxTime splits long transfers into multiple grants.
+//  - The environment injects signals through the application class's
+//    boundary ports and absorbs signals routed outside.
+// Every run, send, receive and drop is written to the SimulationLog — the
+// "simulation log-file" the profiling tool consumes.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "efsm/machine.hpp"
+#include "efsm/router.hpp"
+#include "mapping/mapping.hpp"
+#include "sim/kernel.hpp"
+#include "sim/log.hpp"
+
+namespace tut::sim {
+
+/// Simulator configuration knobs (defaults follow the platform defaults of
+/// tut::mapping and a small per-grant arbitration overhead).
+struct Config {
+  Time horizon = 1'000'000;       ///< run() stops at this time
+  long segment_overhead_cycles = 2;  ///< arbitration+header cycles per grant
+  bool log_runs = true;           ///< record R lines (disable to shrink logs)
+};
+
+/// Per-processing-element statistics.
+struct PeStats {
+  Time busy_time = 0;            ///< compute + RTOS overhead
+  std::uint64_t steps = 0;       ///< transitions executed
+  std::uint64_t dispatched = 0;  ///< events delivered (incl. dropped)
+  std::uint64_t preemptions = 0; ///< preemptive scheduling only
+  Time overhead_time = 0;        ///< context-switch time (part of busy_time)
+};
+
+/// Per-segment statistics.
+struct SegmentStats {
+  std::uint64_t grants = 0;
+  std::uint64_t transfers = 0;
+  Time busy_time = 0;
+  Time wait_time = 0;  ///< total grant-queue waiting
+};
+
+/// One co-simulation over a complete system model. Construct, inject the
+/// environment workload, run, then read the log / stats.
+class Simulation {
+public:
+  /// Builds the executable system. Throws std::runtime_error when the model
+  /// is not executable: a process is unmapped, its target instance is not
+  /// attached to any segment while remote communication is required, or a
+  /// functional component lacks a behaviour.
+  explicit Simulation(const mapping::SystemView& sys, Config config = {});
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Injects a signal from the environment through a boundary port of the
+  /// application class at absolute time `t`.
+  void inject(Time t, const std::string& boundary_port,
+              const uml::Signal& signal, std::vector<long> args = {});
+  /// Injects `count` occurrences, the first at `first`, spaced by `period`.
+  void inject_periodic(Time first, Time period, std::size_t count,
+                       const std::string& boundary_port,
+                       const uml::Signal& signal, std::vector<long> args = {});
+
+  /// Runs until the configured horizon (processes are started at time 0 on
+  /// the first call). Can be called repeatedly with a raised horizon.
+  void run();
+  void run_until(Time horizon);
+
+  Time now() const noexcept;
+  const SimulationLog& log() const noexcept { return log_; }
+  const Config& config() const noexcept { return config_; }
+
+  /// EFSM instance of a process (for white-box assertions in tests).
+  const efsm::Instance& instance(const std::string& process) const;
+
+  const std::map<std::string, PeStats>& pe_stats() const noexcept {
+    return pe_stats_;
+  }
+  const std::map<std::string, SegmentStats>& segment_stats() const noexcept {
+    return segment_stats_;
+  }
+  std::uint64_t events_dispatched() const noexcept;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  SimulationLog log_;
+  Config config_;
+  std::map<std::string, PeStats> pe_stats_;
+  std::map<std::string, SegmentStats> segment_stats_;
+};
+
+}  // namespace tut::sim

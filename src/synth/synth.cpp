@@ -1,0 +1,169 @@
+#include "synth/synth.hpp"
+
+#include <stdexcept>
+
+#include "appmodel/appmodel.hpp"
+#include "platform/platform.hpp"
+
+namespace tut::synth {
+
+const char* to_string(Topology t) noexcept {
+  switch (t) {
+    case Topology::Pipeline: return "pipeline";
+    case Topology::Star: return "star";
+    case Topology::RandomDag: return "random_dag";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Successor lists per process index; empty = terminal (sends to the
+/// environment through an unconnected port).
+std::vector<std::vector<std::size_t>> make_edges(const SynthOptions& opt,
+                                                 Rng& rng) {
+  std::vector<std::vector<std::size_t>> edges(opt.processes);
+  switch (opt.topology) {
+    case Topology::Pipeline:
+      for (std::size_t i = 0; i + 1 < opt.processes; ++i) {
+        edges[i] = {i + 1};
+      }
+      break;
+    case Topology::Star:
+      for (std::size_t i = 1; i < opt.processes; ++i) {
+        edges[0].push_back(i);
+      }
+      break;
+    case Topology::RandomDag:
+      for (std::size_t i = 0; i + 1 < opt.processes; ++i) {
+        edges[i] = {static_cast<std::size_t>(
+            rng.range(static_cast<long>(i) + 1,
+                      static_cast<long>(opt.processes) - 1))};
+      }
+      break;
+  }
+  return edges;
+}
+
+}  // namespace
+
+void SynthSystem::inject_workload(sim::Simulation& sim, sim::Time first,
+                                  sim::Time period, std::size_t count) const {
+  sim.inject_periodic(first, period, count, input_port, *msg, {64});
+}
+
+SynthSystem build(const SynthOptions& options) {
+  if (options.processes < 2) {
+    throw std::invalid_argument("synth systems need at least 2 processes");
+  }
+  if (options.pes < 1 || options.segments < 1) {
+    throw std::invalid_argument("synth systems need at least 1 PE and segment");
+  }
+
+  SynthSystem sys;
+  sys.options = options;
+  sys.model = std::make_unique<uml::Model>(
+      "synth_" + std::string(to_string(options.topology)) + "_" +
+      std::to_string(options.processes) + "p" + std::to_string(options.pes) +
+      "pe_s" + std::to_string(options.seed));
+  uml::Model& m = *sys.model;
+  sys.prof = profile::install(m);
+  Rng rng(options.seed);
+
+  sys.msg = &m.create_signal("Msg");
+  sys.msg->add_parameter("len", "int");
+  sys.msg->set_payload_bytes(64);
+
+  appmodel::ApplicationBuilder ab(m, sys.prof);
+  sys.app = &ab.application("SynthApp");
+
+  const auto edges = make_edges(options, rng);
+
+  // One component class per process (distinct compute costs / fan-out).
+  std::vector<uml::Class*> classes(options.processes);
+  for (std::size_t i = 0; i < options.processes; ++i) {
+    auto& cls = ab.component("Comp" + std::to_string(i));
+    classes[i] = &cls;
+    m.add_port(cls, "in").provide(*sys.msg);
+    for (std::size_t k = 0; k < edges[i].size(); ++k) {
+      m.add_port(cls, "out" + std::to_string(k)).require(*sys.msg);
+    }
+    if (edges[i].empty()) {
+      m.add_port(cls, "out0").require(*sys.msg);  // terminal: to environment
+    }
+
+    auto& sm = *cls.behavior();
+    auto& idle = m.add_state(sm, "Idle", true);
+    const long cycles = rng.range(options.compute_min, options.compute_max);
+    if (edges[i].size() > 1) {
+      // Fan-out (star hub): route message j to output j % fanout.
+      sm.declare_variable("cnt", 0);
+      const std::size_t fanout = edges[i].size();
+      for (std::size_t k = 0; k < fanout; ++k) {
+        m.add_transition(sm, idle, idle, *sys.msg, "in")
+            .set_guard("cnt % " + std::to_string(fanout) +
+                       " == " + std::to_string(k))
+            .add_effect(uml::Action::compute(std::to_string(cycles)))
+            .add_effect(uml::Action::assign("cnt", "cnt + 1"))
+            .add_effect(uml::Action::send("out" + std::to_string(k), *sys.msg,
+                                          {"len"}));
+      }
+    } else {
+      m.add_transition(sm, idle, idle, *sys.msg, "in")
+          .add_effect(uml::Action::compute(std::to_string(cycles)))
+          .add_effect(uml::Action::send("out0", *sys.msg, {"len"}));
+    }
+  }
+
+  // Processes and connectors.
+  for (std::size_t i = 0; i < options.processes; ++i) {
+    sys.processes.push_back(&ab.process(
+        "p" + std::to_string(i), *classes[i],
+        {{"Priority", std::to_string(rng.range(1, 5))},
+         {"ProcessType", "general"}}));
+  }
+  for (std::size_t i = 0; i < options.processes; ++i) {
+    for (std::size_t k = 0; k < edges[i].size(); ++k) {
+      m.connect(*sys.app, "p" + std::to_string(i), "out" + std::to_string(k),
+                "p" + std::to_string(edges[i][k]), "in");
+    }
+  }
+  sys.input_port = "pin";
+  m.add_port(*sys.app, "pin").provide(*sys.msg);
+  m.connect_boundary(*sys.app, "pin", "p0", "in");
+
+  // Platform: PEs spread over a chain of bridged segments.
+  platform::PlatformBuilder pb(m, sys.prof);
+  pb.platform("SynthPlatform");
+  auto& cpu = pb.component_type(
+      "SynthCpu",
+      {{"Type", "general"},
+       {"Frequency", std::to_string(options.pe_freq_mhz)},
+       {"Scheduling", options.scheduling},
+       {"ContextSwitchCycles", std::to_string(options.ctx_switch_cycles)}});
+  std::vector<uml::Property*> segs;
+  for (std::size_t s = 0; s < options.segments; ++s) {
+    segs.push_back(&pb.segment("seg" + std::to_string(s),
+                               {{"DataWidth", "32"},
+                                {"Frequency", "100"},
+                                {"Arbitration", options.arbitration}}));
+    if (s > 0) pb.bridge_link(*segs[s - 1], *segs[s]);
+  }
+  for (std::size_t j = 0; j < options.pes; ++j) {
+    auto& pe = pb.instance("pe" + std::to_string(j), cpu);
+    pb.wrapper(pe, *segs[j % options.segments]);
+    sys.instances.push_back(&pe);
+  }
+
+  // Grouping and mapping: one group per process, round-robin over PEs.
+  mapping::MappingBuilder mb(m, sys.prof);
+  for (std::size_t i = 0; i < options.processes; ++i) {
+    auto& g = ab.group("g" + std::to_string(i), {{"ProcessType", "general"}});
+    sys.groups.push_back(&g);
+    ab.assign(*sys.processes[i], g);
+    mb.map(g, *sys.instances[i % options.pes]);
+  }
+  return sys;
+}
+
+}  // namespace tut::synth

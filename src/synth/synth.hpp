@@ -1,0 +1,94 @@
+// tut::synth — deterministic synthetic system generator.
+//
+// The paper's outlook ("The profile will also be evaluated for
+// multiprocessor System-on-Chip co-design environment") needs systems larger
+// than the 7-process TUTMAC case. This module generates complete,
+// well-formed TUT-Profile systems of configurable size and topology:
+// applications (components, processes, connectors, behaviours), platforms
+// (PEs across bridged segments) and mappings. Generation is seeded and fully
+// deterministic, which makes the generator usable from property tests
+// (every generated system must validate, simulate, round-trip, ...) and
+// scalability benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+#include "profile/tut_profile.hpp"
+#include "sim/simulator.hpp"
+#include "uml/model.hpp"
+
+namespace tut::synth {
+
+enum class Topology {
+  Pipeline,  ///< env -> p0 -> p1 -> ... -> pN-1 -> env
+  Star,      ///< env -> hub -> spokes (round-robin) -> env
+  RandomDag, ///< env -> p0; every process forwards to a random later one
+};
+
+const char* to_string(Topology t) noexcept;
+
+struct SynthOptions {
+  std::size_t processes = 8;      ///< >= 2
+  std::size_t pes = 3;            ///< >= 1 processing elements
+  std::size_t segments = 2;       ///< >= 1, chained through bridge links
+  Topology topology = Topology::Pipeline;
+  std::uint32_t seed = 1;         ///< drives costs and the random topology
+  long compute_min = 50;          ///< per-message cycles, uniform range
+  long compute_max = 500;
+  long pe_freq_mhz = 100;
+  std::string arbitration = profile::tags::ArbitrationPriority;
+  std::string scheduling = profile::tags::SchedulingCooperative;
+  long ctx_switch_cycles = 0;
+};
+
+/// A generated system plus the handles tests need.
+struct SynthSystem {
+  std::unique_ptr<uml::Model> model;
+  profile::TutProfile prof;
+  SynthOptions options;
+
+  uml::Class* app = nullptr;
+  uml::Signal* msg = nullptr;                ///< the traffic signal
+  std::vector<uml::Property*> processes;     ///< p0..pN-1
+  std::vector<uml::Property*> groups;        ///< one group per process
+  std::vector<uml::Property*> instances;     ///< pe0..peM-1
+  std::string input_port;                    ///< boundary port feeding p0
+
+  /// Injects `count` messages, `period` ticks apart, starting at `first`.
+  void inject_workload(sim::Simulation& sim, sim::Time first, sim::Time period,
+                       std::size_t count) const;
+};
+
+/// Generates a complete system. Throws std::invalid_argument on degenerate
+/// options (processes < 2, pes < 1, segments < 1).
+SynthSystem build(const SynthOptions& options = {});
+
+/// The deterministic PRNG used by the generator (xorshift32), exposed so
+/// tests can predict generated values if they need to.
+class Rng {
+public:
+  explicit Rng(std::uint32_t seed) : state_(seed != 0 ? seed : 0x9e3779b9u) {}
+
+  std::uint32_t next() noexcept {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 17;
+    state_ ^= state_ << 5;
+    return state_;
+  }
+
+  /// Uniform value in [lo, hi].
+  long range(long lo, long hi) noexcept {
+    if (hi <= lo) return lo;
+    return lo + static_cast<long>(next() %
+                                  static_cast<std::uint32_t>(hi - lo + 1));
+  }
+
+private:
+  std::uint32_t state_;
+};
+
+}  // namespace tut::synth

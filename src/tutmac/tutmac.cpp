@@ -1,0 +1,419 @@
+#include "tutmac/tutmac.hpp"
+
+#include <stdexcept>
+
+#include "appmodel/appmodel.hpp"
+#include "platform/platform.hpp"
+
+namespace tut::tutmac {
+
+using appmodel::ApplicationBuilder;
+using appmodel::Tags;
+using platform::PlatformBuilder;
+using uml::Action;
+
+namespace {
+
+std::string cycles(long n) { return std::to_string(n); }
+
+}  // namespace
+
+System build(const Options& options) {
+  System sys;
+  sys.options = options;
+  sys.model = std::make_unique<uml::Model>("TUTWLAN_Terminal");
+  uml::Model& m = *sys.model;
+  sys.prof = profile::install(m);
+
+  // -------------------------------------------------------------------------
+  // Signals (payload sizes model the frame sizes on the HIBI bus).
+  // -------------------------------------------------------------------------
+  auto& pkg = m.create_package("tutmac_signals");
+  auto make_signal = [&](const char* name, std::size_t bytes,
+                         std::initializer_list<const char*> params) {
+    uml::Signal& s = m.create_signal(name, &pkg);
+    for (const char* p : params) s.add_parameter(p, "int");
+    s.set_payload_bytes(bytes);
+    return &s;
+  };
+  sys.radio_slot = make_signal("RadioSlot", 4, {});
+  auto* tx_frame = make_signal("TxFrame", 64, {"len"});
+  sys.rx_frame = make_signal("RxFrame", 64, {"len"});
+  sys.user_msdu = make_signal("UserMsdu", 128, {"len"});
+  auto* user_msdu_ind = make_signal("UserMsduInd", 128, {"len"});
+  auto* msdu_to_frag = make_signal("MsduToFrag", 128, {"len"});
+  auto* fragment = make_signal("Fragment", 64, {"len"});
+  auto* rx_data = make_signal("RxData", 64, {"len"});
+  auto* msdu_out = make_signal("MsduOut", 128, {"len"});
+  auto* crc_req = make_signal("CrcReq", 64, {"len"});
+  auto* crc_rsp = make_signal("CrcRsp", 8, {"ok", "len"});
+  auto* status_ind = make_signal("StatusInd", 8, {"code"});
+  auto* mgmt_cmd = make_signal("MgmtCmd", 16, {"op"});
+  auto* mgmt_rsp = make_signal("MgmtRsp", 16, {"op"});
+
+  // -------------------------------------------------------------------------
+  // Functional components (Figure 4) and their EFSMs.
+  // -------------------------------------------------------------------------
+  ApplicationBuilder ab(m, sys.prof);
+  sys.app = &ab.application("Tutmac_Protocol",
+                            {{"RealTimeType", "hard"}, {"Priority", "1"}});
+
+  // Management.
+  auto& mng_cls = ab.component(
+      "Management", {{"CodeMemory", "14336"}, {"RealTimeType", "soft"}});
+  m.add_port(mng_cls, "rmng").require(*mgmt_cmd).provide(*mgmt_rsp);
+  m.add_port(mng_cls, "ui");
+  m.add_port(mng_cls, "dp");
+  m.add_port(mng_cls, "rch");
+  {
+    auto& sm = *mng_cls.behavior();
+    auto& boot = m.add_state(sm, "Boot", true);
+    boot.on_entry(Action::set_timer("mtick", cycles(static_cast<long>(
+                                                 options.mgmt_period))));
+    auto& run = m.add_state(sm, "Run");
+    m.add_timer_transition(sm, boot, run, "mtick")
+        .add_effect(Action::compute(cycles(options.c_mng)))
+        .add_effect(Action::send("rmng", *mgmt_cmd, {"1"}))
+        .add_effect(Action::set_timer(
+            "mtick", cycles(static_cast<long>(options.mgmt_period))));
+    m.add_timer_transition(sm, run, run, "mtick")
+        .add_effect(Action::compute(cycles(options.c_mng)))
+        .add_effect(Action::send("rmng", *mgmt_cmd, {"1"}))
+        .add_effect(Action::set_timer(
+            "mtick", cycles(static_cast<long>(options.mgmt_period))));
+    m.add_transition(sm, run, run, *mgmt_rsp, "rmng")
+        .add_effect(Action::compute(cycles(options.c_mng_rsp)));
+    // A response arriving before the first command round is a protocol
+    // violation; dropped by default semantics (no transition from Boot).
+  }
+
+  // RadioManagement.
+  auto& rmng_cls = ab.component(
+      "RadioManagement", {{"CodeMemory", "6144"}, {"RealTimeType", "soft"}});
+  m.add_port(rmng_cls, "rch").provide(*status_ind);
+  m.add_port(rmng_cls, "mng").provide(*mgmt_cmd).require(*mgmt_rsp);
+  m.add_port(rmng_cls, "phy");
+  {
+    auto& sm = *rmng_cls.behavior();
+    auto& idle = m.add_state(sm, "Idle", true);
+    m.add_transition(sm, idle, idle, *status_ind, "rch")
+        .add_effect(Action::compute(cycles(options.c_status)));
+    m.add_transition(sm, idle, idle, *mgmt_cmd, "mng")
+        .add_effect(Action::compute(cycles(options.c_rmng)))
+        .add_effect(Action::send("mng", *mgmt_rsp, {"op"}));
+  }
+
+  // RadioChannelAccess — the hot component (group1 dominates Table 4).
+  auto& rca_cls = ab.component(
+      "RadioChannelAccess", {{"CodeMemory", "20480"}, {"RealTimeType", "hard"}});
+  m.add_port(rca_cls, "phy")
+      .provide(*sys.radio_slot)
+      .provide(*sys.rx_frame)
+      .require(*tx_frame);
+  m.add_port(rca_cls, "dtx").provide(*fragment);
+  m.add_port(rca_cls, "drx").require(*rx_data);
+  m.add_port(rca_cls, "rmng").require(*status_ind);
+  m.add_port(rca_cls, "mng");
+  {
+    auto& sm = *rca_cls.behavior();
+    sm.declare_variable("pending", 0);
+    sm.declare_variable("slotcnt", 0);
+    auto& idle = m.add_state(sm, "Idle", true);
+    const std::string status_guard =
+        "slotcnt % " + std::to_string(options.status_interval) + " == 0";
+    // Declaration order is priority order: most specific guard first.
+    m.add_transition(sm, idle, idle, *sys.radio_slot, "phy")
+        .set_guard("pending > 0 && " + status_guard)
+        .add_effect(Action::compute(cycles(options.c_slot)))
+        .add_effect(Action::assign("pending", "pending - 1"))
+        .add_effect(Action::send("phy", *tx_frame, {"64"}))
+        .add_effect(Action::send("rmng", *status_ind, {"slotcnt"}))
+        .add_effect(Action::assign("slotcnt", "slotcnt + 1"));
+    m.add_transition(sm, idle, idle, *sys.radio_slot, "phy")
+        .set_guard("pending > 0")
+        .add_effect(Action::compute(cycles(options.c_slot)))
+        .add_effect(Action::assign("pending", "pending - 1"))
+        .add_effect(Action::send("phy", *tx_frame, {"64"}))
+        .add_effect(Action::assign("slotcnt", "slotcnt + 1"));
+    m.add_transition(sm, idle, idle, *sys.radio_slot, "phy")
+        .set_guard(status_guard)
+        .add_effect(Action::compute(cycles(options.c_slot)))
+        .add_effect(Action::send("rmng", *status_ind, {"slotcnt"}))
+        .add_effect(Action::assign("slotcnt", "slotcnt + 1"));
+    m.add_transition(sm, idle, idle, *sys.radio_slot, "phy")
+        .add_effect(Action::compute(cycles(options.c_slot)))
+        .add_effect(Action::assign("slotcnt", "slotcnt + 1"));
+    m.add_transition(sm, idle, idle, *fragment, "dtx")
+        .add_effect(Action::compute(cycles(options.c_frag_queue)))
+        .add_effect(Action::assign("pending", "pending + 1"));
+    m.add_transition(sm, idle, idle, *sys.rx_frame, "phy")
+        .add_effect(Action::compute(cycles(options.c_rx)))
+        .add_effect(Action::send("drx", *rx_data, {"len"}));
+  }
+
+  // MsduReceiver / MsduDeliverer (inside UserInterface).
+  auto& msdu_rec_cls = ab.component("MsduReceiver", {{"CodeMemory", "4096"}});
+  m.add_port(msdu_rec_cls, "user").provide(*sys.user_msdu);
+  m.add_port(msdu_rec_cls, "dp").require(*msdu_to_frag);
+  {
+    auto& sm = *msdu_rec_cls.behavior();
+    auto& idle = m.add_state(sm, "Idle", true);
+    m.add_transition(sm, idle, idle, *sys.user_msdu, "user")
+        .add_effect(Action::compute(cycles(options.c_msdu_rec)))
+        .add_effect(Action::send("dp", *msdu_to_frag, {"len"}));
+  }
+  auto& msdu_del_cls = ab.component("MsduDeliverer", {{"CodeMemory", "4096"}});
+  m.add_port(msdu_del_cls, "dp").provide(*msdu_out);
+  m.add_port(msdu_del_cls, "user").require(*user_msdu_ind);
+  {
+    auto& sm = *msdu_del_cls.behavior();
+    auto& idle = m.add_state(sm, "Idle", true);
+    m.add_transition(sm, idle, idle, *msdu_out, "dp")
+        .add_effect(Action::compute(cycles(options.c_msdu_del)))
+        .add_effect(Action::send("user", *user_msdu_ind, {"len"}));
+  }
+
+  // Fragmenter / CrcCalculator (inside DataProcessing).
+  auto& frag_cls = ab.component("Fragmenter", {{"CodeMemory", "8192"}});
+  m.add_port(frag_cls, "up_in").provide(*msdu_to_frag);
+  m.add_port(frag_cls, "tx").require(*fragment);
+  m.add_port(frag_cls, "rx").provide(*rx_data);
+  m.add_port(frag_cls, "down_out").require(*msdu_out);
+  m.add_port(frag_cls, "crc").require(*crc_req).provide(*crc_rsp);
+  {
+    auto& sm = *frag_cls.behavior();
+    auto& idle = m.add_state(sm, "Idle", true);
+    m.add_transition(sm, idle, idle, *msdu_to_frag, "up_in")
+        .add_effect(Action::compute(cycles(options.c_frag)))
+        .add_effect(Action::send("crc", *crc_req, {"len"}));
+    m.add_transition(sm, idle, idle, *crc_rsp, "crc")
+        .add_effect(Action::compute(cycles(options.c_frag_rsp)))
+        .add_effect(Action::send("tx", *fragment, {"len"}));
+    m.add_transition(sm, idle, idle, *rx_data, "rx")
+        .add_effect(Action::compute(cycles(options.c_defrag)))
+        .add_effect(Action::send("down_out", *msdu_out, {"len"}));
+  }
+  auto& crc_cls = ab.component("CrcCalculator", {{"CodeMemory", "1024"}});
+  m.add_port(crc_cls, "host").provide(*crc_req).require(*crc_rsp);
+  {
+    auto& sm = *crc_cls.behavior();
+    auto& idle = m.add_state(sm, "Idle", true);
+    m.add_transition(sm, idle, idle, *crc_req, "host")
+        .add_effect(Action::compute(cycles(options.c_crc)))
+        .add_effect(Action::send("host", *crc_rsp, {"1", "len"}));
+  }
+
+  // -------------------------------------------------------------------------
+  // Structural components and composite structure (Figure 5).
+  // -------------------------------------------------------------------------
+  sys.user_interface = &ab.structural("UserInterface");
+  uml::Class& ui_cls = *sys.user_interface;
+  m.add_port(ui_cls, "user").provide(*sys.user_msdu);
+  m.add_port(ui_cls, "userout").require(*user_msdu_ind);
+  m.add_port(ui_cls, "dpUp").require(*msdu_to_frag);
+  m.add_port(ui_cls, "dpDown").provide(*msdu_out);
+  auto& msdu_rec = ab.process_in(ui_cls, "msduRec", msdu_rec_cls,
+                                 {{"Priority", "1"}, {"ProcessType", "general"}});
+  auto& msdu_del = ab.process_in(ui_cls, "msduDel", msdu_del_cls,
+                                 {{"Priority", "1"}, {"ProcessType", "general"}});
+  m.connect_boundary(ui_cls, "user", "msduRec", "user");
+  m.connect_boundary(ui_cls, "dpUp", "msduRec", "dp");
+  m.connect_boundary(ui_cls, "dpDown", "msduDel", "dp");
+  m.connect_boundary(ui_cls, "userout", "msduDel", "user");
+
+  sys.data_processing = &ab.structural("DataProcessing");
+  uml::Class& dp_cls = *sys.data_processing;
+  m.add_port(dp_cls, "ui_up").provide(*msdu_to_frag);
+  m.add_port(dp_cls, "ui_down").require(*msdu_out);
+  m.add_port(dp_cls, "rch_tx").require(*fragment);
+  m.add_port(dp_cls, "rch_rx").provide(*rx_data);
+  auto& frag = ab.process_in(dp_cls, "frag", frag_cls,
+                             {{"Priority", "2"}, {"ProcessType", "general"}});
+  auto& crcp = ab.process_in(dp_cls, "crc", crc_cls,
+                             {{"Priority", "1"}, {"ProcessType", "hardware"}});
+  m.connect_boundary(dp_cls, "ui_up", "frag", "up_in");
+  m.connect_boundary(dp_cls, "rch_tx", "frag", "tx");
+  m.connect_boundary(dp_cls, "rch_rx", "frag", "rx");
+  m.connect_boundary(dp_cls, "ui_down", "frag", "down_out");
+  m.connect(dp_cls, "frag", "crc", "crc", "host");
+
+  // Top-level parts and wiring.
+  auto& ui_part = m.add_part(*sys.app, "ui", ui_cls);
+  auto& dp_part = m.add_part(*sys.app, "dp", dp_cls);
+  (void)ui_part;
+  (void)dp_part;
+  auto& mng = ab.process("mng", mng_cls,
+                         {{"Priority", "1"}, {"ProcessType", "general"}});
+  auto& rmng = ab.process("rmng", rmng_cls,
+                          {{"Priority", "2"}, {"ProcessType", "general"}});
+  auto& rca = ab.process("rca", rca_cls,
+                         {{"Priority", "3"}, {"ProcessType", "general"}});
+
+  m.add_port(*sys.app, "puser").provide(*sys.user_msdu);
+  m.add_port(*sys.app, "puserout").require(*user_msdu_ind);
+  m.add_port(*sys.app, "pphy")
+      .provide(*sys.radio_slot)
+      .provide(*sys.rx_frame)
+      .require(*tx_frame);
+
+  m.connect_boundary(*sys.app, "puser", "ui", "user");
+  m.connect_boundary(*sys.app, "puserout", "ui", "userout");
+  m.connect(*sys.app, "ui", "dpUp", "dp", "ui_up");
+  m.connect(*sys.app, "dp", "ui_down", "ui", "dpDown");
+  m.connect(*sys.app, "dp", "rch_tx", "rca", "dtx");
+  m.connect(*sys.app, "rca", "drx", "dp", "rch_rx");
+  m.connect_boundary(*sys.app, "pphy", "rca", "phy");
+  m.connect(*sys.app, "rca", "rmng", "rmng", "rch");
+  m.connect(*sys.app, "mng", "rmng", "rmng", "mng");
+
+  sys.processes = {{"mng", &mng},         {"rmng", &rmng},
+                   {"rca", &rca},         {"msduRec", &msdu_rec},
+                   {"msduDel", &msdu_del}, {"frag", &frag},
+                   {"crc", &crcp}};
+
+  // -------------------------------------------------------------------------
+  // Process grouping (Figure 6) per the chosen alternative.
+  // -------------------------------------------------------------------------
+  std::vector<std::pair<std::string, std::vector<uml::Property*>>> grouping;
+  switch (options.grouping) {
+    case GroupingChoice::Paper:
+      grouping = {{"group1", {&rca, &rmng}},
+                  {"group2", {&msdu_rec, &msdu_del}},
+                  {"group3", {&mng, &frag}},
+                  {"group4", {&crcp}}};
+      break;
+    case GroupingChoice::PerProcess:
+      grouping = {{"g_rca", {&rca}},         {"g_rmng", {&rmng}},
+                  {"g_msduRec", {&msdu_rec}}, {"g_msduDel", {&msdu_del}},
+                  {"g_mng", {&mng}},         {"g_frag", {&frag}},
+                  {"group4", {&crcp}}};
+      break;
+    case GroupingChoice::SingleSw:
+      grouping = {{"group_sw",
+                   {&rca, &rmng, &msdu_rec, &msdu_del, &mng, &frag}},
+                  {"group4", {&crcp}}};
+      break;
+  }
+  for (auto& [name, members] : grouping) {
+    const bool hw = members.size() == 1 && members[0] == &crcp;
+    auto& group = ab.group(
+        name, {{"ProcessType", hw ? "hardware" : "general"},
+               {"Fixed", hw ? "true" : "false"}});
+    sys.groups[name] = &group;
+    for (uml::Property* member : members) ab.assign(*member, group);
+  }
+
+  // -------------------------------------------------------------------------
+  // TUTWLAN platform (Figure 7).
+  // -------------------------------------------------------------------------
+  PlatformBuilder pb(m, sys.prof);
+  sys.platform = &pb.platform("TUTWLAN_Platform");
+  auto& cpu_type = pb.component_type(
+      "NiosProcessor",
+      {{"Type", "general"},
+       {"Frequency", "50"},
+       {"Area", "6000.0"},
+       {"Power", "120.5"},
+       {"Scheduling", options.scheduling},
+       {"ContextSwitchCycles", std::to_string(options.ctx_switch_cycles)}});
+  auto& acc_type = pb.component_type(
+      "CrcAccelerator", {{"Type", "hw_accelerator"},
+                         {"Frequency", "100"},
+                         {"Area", "850.0"},
+                         {"Power", "15.0"}});
+  auto& p1 = pb.instance("processor1", cpu_type,
+                         {{"Priority", "1"}, {"IntMemory", "65536"}});
+  auto& p2 = pb.instance("processor2", cpu_type,
+                         {{"Priority", "1"}, {"IntMemory", "65536"}});
+  auto& p3 = pb.instance("processor3", cpu_type,
+                         {{"Priority", "1"}, {"IntMemory", "65536"}});
+  auto& acc = pb.instance("accelerator1", acc_type, {{"IntMemory", "2048"}});
+
+  const Tags seg_tags = {{"DataWidth", "32"},
+                         {"Frequency", "100"},
+                         {"Arbitration", options.arbitration},
+                         {"BurstLength", "16"}};
+  auto& seg1 = pb.segment("hibisegment1", seg_tags);
+  auto& seg2 = pb.segment("hibisegment2", seg_tags);
+  Tags bridge_tags = seg_tags;
+  bridge_tags["DataWidth"] = "32";
+  auto& bridge = pb.segment("bridge", bridge_tags);
+
+  pb.wrapper(p1, seg1, {{"BufferSize", "128"}, {"MaxTime", "32"}});
+  pb.wrapper(p2, seg1, {{"BufferSize", "128"}, {"MaxTime", "32"}});
+  pb.wrapper(p3, seg2, {{"BufferSize", "128"}, {"MaxTime", "32"}});
+  pb.wrapper(acc, seg2, {{"BufferSize", "64"}, {"MaxTime", "16"}});
+  pb.bridge_link(seg1, bridge);
+  pb.bridge_link(bridge, seg2);
+
+  sys.instances = {{"processor1", &p1},
+                   {"processor2", &p2},
+                   {"processor3", &p3},
+                   {"accelerator1", &acc}};
+  sys.segments = {{"hibisegment1", &seg1},
+                  {"hibisegment2", &seg2},
+                  {"bridge", &bridge}};
+
+  // -------------------------------------------------------------------------
+  // Mapping (Figure 8) per the chosen alternative.
+  // -------------------------------------------------------------------------
+  mapping::MappingBuilder mb(m, sys.prof);
+  std::vector<uml::Property*> sw_targets = {&p1, &p2, &p3};
+  std::size_t rr = 0;
+  for (auto& [name, group] : sys.groups) {
+    const bool hw = group->tagged_value("ProcessType") ==
+                    profile::tags::ProcessHardware;
+    if (hw) {
+      mb.map(*group, acc, /*fixed=*/true);
+      continue;
+    }
+    switch (options.mapping) {
+      case MappingChoice::Paper:
+        if (name == "group2") {
+          mb.map(*group, p2);
+        } else {
+          mb.map(*group, p1, name == "group1");
+        }
+        break;
+      case MappingChoice::LoadBalanced:
+        mb.map(*group, *sw_targets[rr++ % sw_targets.size()]);
+        break;
+      case MappingChoice::SinglePe:
+        mb.map(*group, p1);
+        break;
+    }
+  }
+
+  return sys;
+}
+
+void System::inject_workload(sim::Simulation& sim) const {
+  const Options& o = options;
+  auto count_of = [&](sim::Time start, sim::Time period) {
+    return start >= o.horizon ? 0u
+                              : static_cast<std::size_t>(
+                                    (o.horizon - start) / period);
+  };
+  // Radio slots drive the MAC; offsets desynchronize the streams.
+  sim.inject_periodic(o.slot_period, o.slot_period,
+                      count_of(o.slot_period, o.slot_period), "pphy",
+                      *radio_slot);
+  sim.inject_periodic(o.rx_period + 7'777, o.rx_period,
+                      count_of(o.rx_period + 7'777, o.rx_period), "pphy",
+                      *rx_frame, {256});
+  sim.inject_periodic(o.msdu_period + 3'333, o.msdu_period,
+                      count_of(o.msdu_period + 3'333, o.msdu_period), "puser",
+                      *user_msdu, {512});
+}
+
+std::unique_ptr<sim::Simulation> System::simulate(
+    const mapping::SystemView& view) const {
+  sim::Config cfg;
+  cfg.horizon = options.horizon;
+  auto simulation = std::make_unique<sim::Simulation>(view, cfg);
+  inject_workload(*simulation);
+  simulation->run();
+  return simulation;
+}
+
+}  // namespace tut::tutmac

@@ -1,0 +1,112 @@
+// tut::uml — a UML 2.0 metamodel subset sufficient for TUT-Profile.
+//
+// The paper uses *second-class extensibility*: stereotypes extend existing
+// metaclasses without modifying the metamodel. Accordingly this module
+// implements (a) the handful of UML 2.0 metaclasses the profile extends or
+// relies on — Class, Property (attribute/part), Port, Connector, Signal,
+// Dependency, StateMachine — and (b) the profile machinery itself:
+// Profile, Stereotype, tag definitions, and stereotype application with
+// tagged values.
+//
+// Ownership model: a Model owns every Element in an arena of unique_ptrs;
+// all cross-references between elements are non-owning raw pointers, which
+// stay valid for the lifetime of the Model. Elements are never removed
+// individually (models are built, validated, serialized and analyzed — the
+// tool flow never edits destructively).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tut::uml {
+
+class Stereotype;
+
+/// The UML metaclass of an element. Stereotypes declare which metaclass they
+/// extend; stereotype application is checked against this kind.
+enum class ElementKind : std::uint8_t {
+  Model,
+  Package,
+  Class,
+  Property,     // attribute or part (composite-structure role)
+  Port,
+  Connector,
+  Signal,
+  Dependency,
+  StateMachine,
+  State,
+  Transition,
+  Profile,
+  Stereotype,
+};
+
+/// Human-readable metaclass name ("Class", "Dependency", ...).
+const char* to_string(ElementKind kind) noexcept;
+
+/// One stereotype applied to an element, together with its tagged values.
+/// Tag names must be declared (directly or via generalization) by the
+/// stereotype; the validator enforces this.
+struct StereotypeApplication {
+  const Stereotype* stereotype = nullptr;
+  std::map<std::string, std::string> tagged_values;
+};
+
+/// Base metaclass. Every model element has a model-unique id, a (possibly
+/// qualified) name, an owner, and a list of applied stereotypes.
+class Element {
+public:
+  virtual ~Element() = default;
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  ElementKind kind() const noexcept { return kind_; }
+  const std::string& id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Element* owner() const noexcept { return owner_; }
+
+  /// Dotted path from the model root, e.g. "Tutmac_Protocol.rca".
+  std::string qualified_name() const;
+
+  // -- stereotype application ----------------------------------------------
+  /// Applies a stereotype with no tagged values (values may be added later
+  /// through the returned application). Multiple distinct stereotypes may be
+  /// applied; re-applying the same stereotype returns the existing entry.
+  StereotypeApplication& apply(const Stereotype& stereotype);
+  /// Applies a stereotype and sets tagged values in one call.
+  StereotypeApplication& apply(const Stereotype& stereotype,
+                               std::map<std::string, std::string> values);
+
+  bool has_stereotype(const Stereotype& stereotype) const noexcept;
+  bool has_stereotype(const std::string& name) const noexcept;
+  /// The application entry for `name` (exact or inherited match), or nullptr.
+  const StereotypeApplication* application(const std::string& name) const noexcept;
+  StereotypeApplication* application(const std::string& name) noexcept;
+
+  /// Tagged value lookup across all applied stereotypes; empty if unset.
+  std::string tagged_value(const std::string& tag) const;
+  bool has_tagged_value(const std::string& tag) const noexcept;
+
+  const std::vector<StereotypeApplication>& applications() const noexcept {
+    return applications_;
+  }
+
+protected:
+  Element(ElementKind kind) : kind_(kind) {}
+
+private:
+  friend class Model;
+  friend class ModelIO;
+
+  ElementKind kind_;
+  std::string id_;
+  std::string name_;
+  Element* owner_ = nullptr;
+  std::vector<StereotypeApplication> applications_;
+};
+
+}  // namespace tut::uml

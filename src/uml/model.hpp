@@ -1,0 +1,103 @@
+// Model: the arena that owns every element, plus the factory API used to
+// build models programmatically (the role Telelogic TAU G2 plays in the
+// paper's flow).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uml/element.hpp"
+#include "uml/profile.hpp"
+#include "uml/statemachine.hpp"
+#include "uml/structure.hpp"
+
+namespace tut::uml {
+
+/// A UML model. Owns all elements; factory methods keep ownership and
+/// owner/member links consistent. Raw pointers/references returned by the
+/// factories remain valid for the lifetime of the Model.
+class Model : public Element {
+public:
+  explicit Model(std::string name);
+
+  Model(Model&&) = delete;
+  Model& operator=(Model&&) = delete;
+
+  // -- packages & classifiers ----------------------------------------------
+  /// Creates a package owned by `parent` (or by the model root if null).
+  Package& create_package(std::string name, Package* parent = nullptr);
+  /// Creates a class in `pkg` (or at model root). Active classes are the
+  /// paper's functional components; passive ones are structural components.
+  Class& create_class(std::string name, Package* pkg = nullptr,
+                      bool active = false);
+  Signal& create_signal(std::string name, Package* pkg = nullptr);
+
+  // -- class features --------------------------------------------------------
+  Property& add_attribute(Class& owner, std::string name, std::string type);
+  /// Adds a composite-structure part `name : type` to `owner`.
+  Property& add_part(Class& owner, std::string name, Class& type);
+  Port& add_port(Class& owner, std::string name);
+
+  /// Connects `port_a` on part `part_a` to `port_b` on part `part_b`, both
+  /// parts of `context`. Throws std::invalid_argument on unknown names.
+  Connector& connect(Class& context, const std::string& part_a,
+                     const std::string& port_a, const std::string& part_b,
+                     const std::string& port_b);
+  /// Delegation connector: boundary port of `context` to a port on a part.
+  Connector& connect_boundary(Class& context, const std::string& boundary_port,
+                              const std::string& part, const std::string& port);
+
+  // -- dependencies -----------------------------------------------------------
+  Dependency& create_dependency(std::string name, Element& client,
+                                Element& supplier);
+
+  // -- behaviour ---------------------------------------------------------------
+  /// Creates (or returns the existing) classifier behaviour of `owner`.
+  StateMachine& create_behavior(Class& owner);
+  State& add_state(StateMachine& sm, std::string name, bool initial = false);
+  Transition& add_transition(StateMachine& sm, State& from, State& to);
+  /// Signal-triggered transition; empty `port` matches any providing port.
+  Transition& add_transition(StateMachine& sm, State& from, State& to,
+                             const Signal& trigger, std::string port = "");
+  /// Timer-triggered transition.
+  Transition& add_timer_transition(StateMachine& sm, State& from, State& to,
+                                   std::string timer);
+
+  // -- profiles -----------------------------------------------------------------
+  Profile& create_profile(std::string name);
+  /// Creates a stereotype in `profile` extending `metaclass`, optionally
+  /// specializing `general` (inherits its metaclass and tags).
+  Stereotype& create_stereotype(Profile& profile, std::string name,
+                                ElementKind metaclass,
+                                const Stereotype* general = nullptr);
+
+  // -- lookup ---------------------------------------------------------------------
+  Element* find(const std::string& id) const noexcept;
+  /// First element of the given kind with this (unqualified) name.
+  Element* find_named(ElementKind kind, const std::string& name) const noexcept;
+  Class* find_class(const std::string& name) const noexcept;
+  Signal* find_signal(const std::string& name) const noexcept;
+
+  /// All elements in creation order.
+  const std::vector<std::unique_ptr<Element>>& elements() const noexcept {
+    return elements_;
+  }
+  std::vector<Element*> elements_of_kind(ElementKind kind) const;
+  /// All elements carrying the given stereotype (by name, including
+  /// specializations of it).
+  std::vector<Element*> stereotyped(const std::string& stereotype) const;
+
+  std::size_t size() const noexcept { return elements_.size(); }
+
+private:
+  friend class ModelIO;
+
+  template <typename T>
+  T& make(std::string name, Element* owner);
+
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace tut::uml

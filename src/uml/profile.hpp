@@ -1,0 +1,96 @@
+// Profile machinery: Profile, Stereotype and tag definitions.
+//
+// This implements UML 2.0 second-class extensibility exactly as the paper
+// uses it: a stereotype extends one metaclass, declares typed tag
+// definitions (tagged values), and may specialize another stereotype
+// (inheriting its extended metaclass and tags — used by the HIBI
+// specializations <<HIBIWrapper>> and <<HIBISegment>>).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "uml/element.hpp"
+
+namespace tut::uml {
+
+/// The value space of a tagged value.
+enum class TagType : std::uint8_t {
+  String,
+  Integer,
+  Boolean,  ///< "true" / "false"
+  Real,
+  Enum,     ///< one of `enumerators`
+};
+
+const char* to_string(TagType type) noexcept;
+
+/// Declaration of one tagged value on a stereotype.
+struct TagDefinition {
+  std::string name;
+  TagType type = TagType::String;
+  std::string description;
+  std::vector<std::string> enumerators;  ///< for TagType::Enum
+  bool required = false;                 ///< validator flags missing values
+
+  /// Checks a concrete value against this definition's type.
+  bool accepts(const std::string& value) const noexcept;
+};
+
+/// A stereotype: extends one UML metaclass and declares tag definitions.
+class Stereotype : public Element {
+public:
+  Stereotype() : Element(ElementKind::Stereotype) {}
+
+  /// The metaclass this stereotype extends (e.g. Class, Dependency).
+  ElementKind extended_metaclass() const noexcept { return extends_; }
+
+  /// The stereotype this one specializes, or nullptr.
+  const Stereotype* general() const noexcept { return general_; }
+
+  /// True if this stereotype is `other` or (transitively) specializes it.
+  bool is_kind_of(const Stereotype& other) const noexcept;
+
+  const std::vector<TagDefinition>& own_tags() const noexcept { return tags_; }
+  /// Own tags plus all inherited tags (general-first order).
+  std::vector<const TagDefinition*> all_tags() const;
+  /// Lookup by name across own and inherited tags; nullptr if undeclared.
+  const TagDefinition* tag(const std::string& name) const noexcept;
+
+  Stereotype& define_tag(TagDefinition def) {
+    tags_.push_back(std::move(def));
+    return *this;
+  }
+  Stereotype& define_tag(std::string name, TagType type, std::string description,
+                         std::vector<std::string> enumerators = {},
+                         bool required = false) {
+    return define_tag(TagDefinition{std::move(name), type, std::move(description),
+                                    std::move(enumerators), required});
+  }
+
+private:
+  friend class Model;
+  friend class ModelIO;
+  ElementKind extends_ = ElementKind::Class;
+  const Stereotype* general_ = nullptr;
+  std::vector<TagDefinition> tags_;
+};
+
+/// A profile groups stereotypes for one domain (here: TUT-Profile).
+class Profile : public Element {
+public:
+  Profile() : Element(ElementKind::Profile) {}
+
+  const std::vector<Stereotype*>& stereotypes() const noexcept {
+    return stereotypes_;
+  }
+  Stereotype* stereotype(const std::string& name) const noexcept;
+
+private:
+  friend class Model;
+  friend class ModelIO;
+  std::vector<Stereotype*> stereotypes_;
+};
+
+}  // namespace tut::uml

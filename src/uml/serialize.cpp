@@ -1,0 +1,500 @@
+#include "uml/serialize.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace tut::uml {
+
+namespace {
+
+const char* action_kind_name(Action::Kind k) {
+  switch (k) {
+    case Action::Kind::Send: return "send";
+    case Action::Kind::Assign: return "assign";
+    case Action::Kind::Compute: return "compute";
+    case Action::Kind::SetTimer: return "setTimer";
+    case Action::Kind::ResetTimer: return "resetTimer";
+  }
+  return "?";
+}
+
+Action::Kind action_kind_from(const std::string& s) {
+  if (s == "send") return Action::Kind::Send;
+  if (s == "assign") return Action::Kind::Assign;
+  if (s == "compute") return Action::Kind::Compute;
+  if (s == "setTimer") return Action::Kind::SetTimer;
+  if (s == "resetTimer") return Action::Kind::ResetTimer;
+  throw std::runtime_error("unknown action kind '" + s + "'");
+}
+
+TagType tag_type_from(const std::string& s) {
+  if (s == "string") return TagType::String;
+  if (s == "integer") return TagType::Integer;
+  if (s == "boolean") return TagType::Boolean;
+  if (s == "real") return TagType::Real;
+  if (s == "enum") return TagType::Enum;
+  throw std::runtime_error("unknown tag type '" + s + "'");
+}
+
+ElementKind metaclass_from(const std::string& s) {
+  if (s == "Class") return ElementKind::Class;
+  if (s == "Property") return ElementKind::Property;
+  if (s == "Port") return ElementKind::Port;
+  if (s == "Connector") return ElementKind::Connector;
+  if (s == "Signal") return ElementKind::Signal;
+  if (s == "Dependency") return ElementKind::Dependency;
+  if (s == "Package") return ElementKind::Package;
+  if (s == "StateMachine") return ElementKind::StateMachine;
+  if (s == "State") return ElementKind::State;
+  if (s == "Transition") return ElementKind::Transition;
+  throw std::runtime_error("unknown metaclass '" + s + "'");
+}
+
+void write_actions(xml::Element& parent, const char* wrapper,
+                   const std::vector<Action>& actions) {
+  if (actions.empty()) return;
+  auto& w = parent.add_child(wrapper);
+  for (const Action& a : actions) {
+    auto& ax = w.add_child("action");
+    ax.set_attr("kind", action_kind_name(a.kind));
+    if (!a.port.empty()) ax.set_attr("port", a.port);
+    if (a.signal != nullptr) ax.set_attr("signal", a.signal->id());
+    if (!a.var.empty()) ax.set_attr("var", a.var);
+    if (!a.expr.empty()) ax.set_attr("expr", a.expr);
+    for (const auto& arg : a.args) ax.add_child("arg").set_text(arg);
+  }
+}
+
+}  // namespace
+
+// ModelIO is a friend of every metaclass: it performs the raw two-pass
+// reconstruction that the public factory API (which validates references at
+// call time) cannot express for forward references.
+class ModelIO {
+public:
+  static xml::Document write(const Model& model) {
+    xml::Document doc("tut:model");
+    doc.root().set_attr("name", model.name());
+    for (const auto& elem : model.elements()) write_element(doc.root(), *elem);
+    write_applications(doc.root(), model);
+    return doc;
+  }
+
+  static std::unique_ptr<Model> read(const xml::Document& doc) {
+    if (doc.root().name() != "tut:model") {
+      throw std::runtime_error("not a tut:model document");
+    }
+    auto model = std::make_unique<Model>(doc.root().attr_or("name", "model"));
+    ModelIO io(*model);
+    for (const auto& node : doc.root().children()) io.create(*node);
+    for (const auto& node : doc.root().children()) io.resolve(*node);
+    return model;
+  }
+
+private:
+  explicit ModelIO(Model& model) : model_(model) {}
+
+  // -- writing ---------------------------------------------------------------
+
+  static void write_element(xml::Element& root, const Element& e) {
+    switch (e.kind()) {
+      case ElementKind::Package: {
+        auto& x = header(root, "package", e);
+        (void)x;
+        break;
+      }
+      case ElementKind::Signal: {
+        const auto& s = static_cast<const Signal&>(e);
+        auto& x = header(root, "signal", e);
+        x.set_attr("payloadBytes", std::to_string(s.payload_bytes()));
+        for (const auto& p : s.parameters()) {
+          x.add_child("param").set_attr("name", p.name).set_attr("type", p.type);
+        }
+        break;
+      }
+      case ElementKind::Class: {
+        const auto& c = static_cast<const Class&>(e);
+        auto& x = header(root, "class", e);
+        x.set_attr("active", c.is_active() ? "true" : "false");
+        if (c.general() != nullptr) x.set_attr("general", c.general()->id());
+        break;
+      }
+      case ElementKind::Property: {
+        const auto& p = static_cast<const Property&>(e);
+        auto& x = header(root, "property", e);
+        if (p.is_part()) {
+          x.set_attr("partType", p.part_type()->id());
+        } else {
+          x.set_attr("attrType", p.attr_type());
+        }
+        break;
+      }
+      case ElementKind::Port: {
+        const auto& p = static_cast<const Port&>(e);
+        auto& x = header(root, "port", e);
+        for (const Signal* s : p.provided()) {
+          x.add_child("provided").set_attr("ref", s->id());
+        }
+        for (const Signal* s : p.required()) {
+          x.add_child("required").set_attr("ref", s->id());
+        }
+        break;
+      }
+      case ElementKind::Connector: {
+        const auto& c = static_cast<const Connector&>(e);
+        auto& x = header(root, "connector", e);
+        for (const ConnectorEnd& end : {c.end0(), c.end1()}) {
+          auto& ex = x.add_child("end");
+          if (end.part != nullptr) ex.set_attr("part", end.part->id());
+          if (end.port != nullptr) ex.set_attr("port", end.port->id());
+        }
+        break;
+      }
+      case ElementKind::Dependency: {
+        const auto& d = static_cast<const Dependency&>(e);
+        auto& x = header(root, "dependency", e);
+        x.set_attr("client", d.client()->id());
+        x.set_attr("supplier", d.supplier()->id());
+        break;
+      }
+      case ElementKind::StateMachine: {
+        const auto& sm = static_cast<const StateMachine&>(e);
+        auto& x = header(root, "stateMachine", e);
+        for (const auto& [name, init] : sm.variables()) {
+          x.add_child("variable")
+              .set_attr("name", name)
+              .set_attr("initial", std::to_string(init));
+        }
+        break;
+      }
+      case ElementKind::State: {
+        const auto& s = static_cast<const State&>(e);
+        auto& x = header(root, "state", e);
+        if (s.is_initial()) x.set_attr("initial", "true");
+        write_actions(x, "entry", s.entry_actions());
+        break;
+      }
+      case ElementKind::Transition: {
+        const auto& t = static_cast<const Transition&>(e);
+        auto& x = header(root, "transition", e);
+        x.set_attr("source", t.source()->id());
+        x.set_attr("target", t.target()->id());
+        if (t.trigger_signal() != nullptr) {
+          x.set_attr("signal", t.trigger_signal()->id());
+        }
+        if (!t.trigger_port().empty()) x.set_attr("port", t.trigger_port());
+        if (!t.trigger_timer().empty()) x.set_attr("timer", t.trigger_timer());
+        if (!t.guard().empty()) x.set_attr("guard", t.guard());
+        write_actions(x, "effect", t.effects());
+        break;
+      }
+      case ElementKind::Profile: {
+        header(root, "profile", e);
+        break;
+      }
+      case ElementKind::Stereotype: {
+        const auto& s = static_cast<const Stereotype&>(e);
+        auto& x = header(root, "stereotype", e);
+        x.set_attr("extends", to_string(s.extended_metaclass()));
+        if (s.general() != nullptr) x.set_attr("general", s.general()->id());
+        for (const TagDefinition& t : s.own_tags()) {
+          auto& tx = x.add_child("tag");
+          tx.set_attr("name", t.name);
+          tx.set_attr("type", to_string(t.type));
+          if (t.required) tx.set_attr("required", "true");
+          if (!t.description.empty()) tx.set_attr("description", t.description);
+          for (const auto& en : t.enumerators) {
+            tx.add_child("enum").set_attr("value", en);
+          }
+        }
+        break;
+      }
+      case ElementKind::Model:
+        break;
+    }
+  }
+
+  static xml::Element& header(xml::Element& root, const char* tag,
+                              const Element& e) {
+    auto& x = root.add_child(tag);
+    x.set_attr("id", e.id());
+    x.set_attr("name", e.name());
+    if (e.owner() != nullptr && e.owner()->kind() != ElementKind::Model) {
+      x.set_attr("owner", e.owner()->id());
+    }
+    return x;
+  }
+
+  static void write_applications(xml::Element& root, const Model& model) {
+    auto& section = root.add_child("appliedStereotypes");
+    for (const auto& elem : model.elements()) {
+      for (const auto& app : elem->applications()) {
+        auto& ax = section.add_child("apply");
+        ax.set_attr("element", elem->id());
+        ax.set_attr("stereotype", app.stereotype->id());
+        for (const auto& [k, v] : app.tagged_values) {
+          ax.add_child("tv").set_attr("name", k).set_attr("value", v);
+        }
+      }
+    }
+  }
+
+  // -- reading: pass 1 (creation) ---------------------------------------------
+
+  template <typename T>
+  T& create_raw(const xml::Element& node) {
+    auto elem = std::make_unique<T>();
+    T& ref = *elem;
+    ref.name_ = node.attr_or("name", "");
+    ref.id_ = node.attr_or("id", "e" + std::to_string(model_.next_id_));
+    // Keep the auto-id counter ahead of any numeric id we ingest.
+    if (ref.id_.size() > 1 && ref.id_[0] == 'e') {
+      try {
+        const auto n = std::stoull(ref.id_.substr(1));
+        if (n >= model_.next_id_) model_.next_id_ = n + 1;
+      } catch (const std::exception&) {
+        // Non-numeric id: nothing to advance.
+      }
+    }
+    if (auto owner = node.attr("owner")) {
+      ref.owner_ = &lookup(*owner);
+    } else {
+      ref.owner_ = &model_;
+    }
+    model_.elements_.push_back(std::move(elem));
+    by_id_[ref.id_] = &ref;
+    return ref;
+  }
+
+  Element& lookup(const std::string& id) const {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) {
+      throw std::runtime_error("dangling reference to element id '" + id + "'");
+    }
+    return *it->second;
+  }
+
+  template <typename T>
+  T& lookup_as(const std::string& id) const {
+    return static_cast<T&>(lookup(id));
+  }
+
+  void create(const xml::Element& node) {
+    const std::string& tag = node.name();
+    if (tag == "appliedStereotypes") return;
+    if (tag == "package") {
+      auto& pkg = create_raw<Package>(node);
+      if (pkg.owner_->kind() == ElementKind::Package) {
+        static_cast<Package*>(pkg.owner_)->members_.push_back(&pkg);
+      }
+    } else if (tag == "signal") {
+      auto& sig = create_raw<Signal>(node);
+      for (const auto* p : node.children_named("param")) {
+        sig.add_parameter(p->attr_or("name", ""), p->attr_or("type", ""));
+      }
+      if (auto pb = node.attr("payloadBytes")) {
+        sig.set_payload_bytes(std::stoull(*pb));
+      }
+      if (sig.owner_->kind() == ElementKind::Package) {
+        static_cast<Package*>(sig.owner_)->members_.push_back(&sig);
+      }
+    } else if (tag == "class") {
+      auto& cls = create_raw<Class>(node);
+      cls.is_active_ = node.attr_or("active", "false") == "true";
+      if (cls.owner_->kind() == ElementKind::Package) {
+        static_cast<Package*>(cls.owner_)->members_.push_back(&cls);
+      }
+    } else if (tag == "property") {
+      auto& prop = create_raw<Property>(node);
+      prop.attr_type_ = node.attr_or("attrType", "");
+      auto* cls = prop.owner_class();
+      if (cls == nullptr) {
+        throw std::runtime_error("property '" + prop.name() +
+                                 "' must be owned by a class");
+      }
+      if (node.has_attr("partType")) {
+        cls->parts_.push_back(&prop);  // type resolved in pass 2
+      } else {
+        cls->attributes_.push_back(&prop);
+      }
+    } else if (tag == "port") {
+      auto& port = create_raw<Port>(node);
+      auto* cls = port.owner_class();
+      if (cls == nullptr) {
+        throw std::runtime_error("port '" + port.name() +
+                                 "' must be owned by a class");
+      }
+      cls->ports_.push_back(&port);
+    } else if (tag == "connector") {
+      auto& conn = create_raw<Connector>(node);
+      if (conn.owner_->kind() != ElementKind::Class) {
+        throw std::runtime_error("connector '" + conn.name() +
+                                 "' must be owned by a class");
+      }
+      static_cast<Class*>(conn.owner_)->connectors_.push_back(&conn);
+    } else if (tag == "dependency") {
+      create_raw<Dependency>(node);
+    } else if (tag == "stateMachine") {
+      auto& sm = create_raw<StateMachine>(node);
+      for (const auto* v : node.children_named("variable")) {
+        sm.declare_variable(v->attr_or("name", ""),
+                            std::stol(v->attr_or("initial", "0")));
+      }
+      if (sm.owner_->kind() == ElementKind::Class) {
+        auto* cls = static_cast<Class*>(sm.owner_);
+        sm.context_ = cls;
+        cls->behavior_ = &sm;
+      }
+    } else if (tag == "state") {
+      auto& st = create_raw<State>(node);
+      st.initial_ = node.attr_or("initial", "false") == "true";
+      if (st.owner_->kind() != ElementKind::StateMachine) {
+        throw std::runtime_error("state '" + st.name() +
+                                 "' must be owned by a state machine");
+      }
+      static_cast<StateMachine*>(st.owner_)->states_.push_back(&st);
+    } else if (tag == "transition") {
+      auto& tr = create_raw<Transition>(node);
+      tr.trigger_port_ = node.attr_or("port", "");
+      tr.trigger_timer_ = node.attr_or("timer", "");
+      tr.guard_ = node.attr_or("guard", "");
+      if (tr.owner_->kind() != ElementKind::StateMachine) {
+        throw std::runtime_error("transition '" + tr.name() +
+                                 "' must be owned by a state machine");
+      }
+      static_cast<StateMachine*>(tr.owner_)->transitions_.push_back(&tr);
+    } else if (tag == "profile") {
+      create_raw<Profile>(node);
+    } else if (tag == "stereotype") {
+      auto& st = create_raw<Stereotype>(node);
+      st.extends_ = metaclass_from(node.attr_or("extends", "Class"));
+      for (const auto* t : node.children_named("tag")) {
+        TagDefinition def;
+        def.name = t->attr_or("name", "");
+        def.type = tag_type_from(t->attr_or("type", "string"));
+        def.required = t->attr_or("required", "false") == "true";
+        def.description = t->attr_or("description", "");
+        for (const auto* en : t->children_named("enum")) {
+          def.enumerators.push_back(en->attr_or("value", ""));
+        }
+        st.define_tag(std::move(def));
+      }
+      if (st.owner_->kind() != ElementKind::Profile) {
+        throw std::runtime_error("stereotype '" + st.name() +
+                                 "' must be owned by a profile");
+      }
+      static_cast<Profile*>(st.owner_)->stereotypes_.push_back(&st);
+    } else {
+      throw std::runtime_error("unknown model element <" + tag + ">");
+    }
+  }
+
+  // -- reading: pass 2 (reference resolution) ----------------------------------
+
+  std::vector<Action> read_actions(const xml::Element& wrapper) const {
+    std::vector<Action> out;
+    for (const auto* ax : wrapper.children_named("action")) {
+      Action a;
+      a.kind = action_kind_from(ax->attr_or("kind", ""));
+      a.port = ax->attr_or("port", "");
+      a.var = ax->attr_or("var", "");
+      a.expr = ax->attr_or("expr", "");
+      if (auto sig = ax->attr("signal")) {
+        a.signal = &lookup_as<Signal>(*sig);
+      }
+      for (const auto* arg : ax->children_named("arg")) {
+        a.args.push_back(arg->text());
+      }
+      out.push_back(std::move(a));
+    }
+    return out;
+  }
+
+  void resolve(const xml::Element& node) {
+    const std::string& tag = node.name();
+    if (tag == "class") {
+      if (auto gen = node.attr("general")) {
+        lookup_as<Class>(node.attr_or("id", "")).general_ =
+            &lookup_as<Class>(*gen);
+      }
+    } else if (tag == "property") {
+      if (auto pt = node.attr("partType")) {
+        lookup_as<Property>(node.attr_or("id", "")).part_type_ =
+            &lookup_as<Class>(*pt);
+      }
+    } else if (tag == "port") {
+      auto& port = lookup_as<Port>(node.attr_or("id", ""));
+      for (const auto* p : node.children_named("provided")) {
+        port.provide(lookup_as<Signal>(p->attr_or("ref", "")));
+      }
+      for (const auto* r : node.children_named("required")) {
+        port.require(lookup_as<Signal>(r->attr_or("ref", "")));
+      }
+    } else if (tag == "connector") {
+      auto& conn = lookup_as<Connector>(node.attr_or("id", ""));
+      const auto ends = node.children_named("end");
+      for (std::size_t i = 0; i < ends.size() && i < 2; ++i) {
+        ConnectorEnd end;
+        if (auto part = ends[i]->attr("part")) {
+          end.part = &lookup_as<Property>(*part);
+        }
+        if (auto port = ends[i]->attr("port")) {
+          end.port = &lookup_as<Port>(*port);
+        }
+        conn.ends_[i] = end;
+      }
+    } else if (tag == "dependency") {
+      auto& dep = lookup_as<Dependency>(node.attr_or("id", ""));
+      dep.client_ = &lookup(node.attr_or("client", ""));
+      dep.supplier_ = &lookup(node.attr_or("supplier", ""));
+    } else if (tag == "state") {
+      auto& st = lookup_as<State>(node.attr_or("id", ""));
+      if (const auto* entry = node.child("entry")) {
+        st.entry_ = read_actions(*entry);
+      }
+    } else if (tag == "transition") {
+      auto& tr = lookup_as<Transition>(node.attr_or("id", ""));
+      tr.source_ = &lookup_as<State>(node.attr_or("source", ""));
+      tr.target_ = &lookup_as<State>(node.attr_or("target", ""));
+      if (auto sig = node.attr("signal")) {
+        tr.trigger_signal_ = &lookup_as<Signal>(*sig);
+      }
+      if (const auto* effect = node.child("effect")) {
+        tr.effects_ = read_actions(*effect);
+      }
+    } else if (tag == "stereotype") {
+      if (auto gen = node.attr("general")) {
+        lookup_as<Stereotype>(node.attr_or("id", "")).general_ =
+            &lookup_as<Stereotype>(*gen);
+      }
+    } else if (tag == "appliedStereotypes") {
+      for (const auto* ax : node.children_named("apply")) {
+        Element& target = lookup(ax->attr_or("element", ""));
+        auto& st = lookup_as<Stereotype>(ax->attr_or("stereotype", ""));
+        auto& app = target.apply(st);
+        for (const auto* tv : ax->children_named("tv")) {
+          app.tagged_values[tv->attr_or("name", "")] = tv->attr_or("value", "");
+        }
+      }
+    }
+  }
+
+  Model& model_;
+  std::unordered_map<std::string, Element*> by_id_;
+};
+
+xml::Document to_xml(const Model& model) { return ModelIO::write(model); }
+
+std::string to_xml_string(const Model& model) {
+  return xml::write(to_xml(model));
+}
+
+std::unique_ptr<Model> from_xml(const xml::Document& doc) {
+  return ModelIO::read(doc);
+}
+
+std::unique_ptr<Model> from_xml_string(const std::string& text) {
+  return from_xml(xml::parse(text));
+}
+
+}  // namespace tut::uml

@@ -1,0 +1,29 @@
+// XMI-like XML interchange for models.
+//
+// The paper's profiling tool starts from "the XML presentation of the UML
+// 2.0 model". This module defines that presentation: a flat, creation-order
+// list of elements under <tut:model>, cross-referenced by element id, with a
+// trailing <appliedStereotypes> section. Round-trips losslessly through
+// tut::xml (ids are preserved, so external tools can reference elements).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "uml/model.hpp"
+#include "xml/xml.hpp"
+
+namespace tut::uml {
+
+/// Serializes a model to the XML interchange dialect.
+xml::Document to_xml(const Model& model);
+/// Convenience: to_xml + xml::write.
+std::string to_xml_string(const Model& model);
+
+/// Reconstructs a model from the XML dialect. Throws std::runtime_error on
+/// dangling references or unknown element kinds; throws xml::ParseError via
+/// from_xml_string on malformed XML.
+std::unique_ptr<Model> from_xml(const xml::Document& doc);
+std::unique_ptr<Model> from_xml_string(const std::string& text);
+
+}  // namespace tut::uml

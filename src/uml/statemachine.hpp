@@ -1,0 +1,154 @@
+// Behavioural metaclasses: StateMachine, State, Transition.
+//
+// The paper models behaviour as asynchronous communicating Extended Finite
+// State Machines (statecharts plus the UML 2.0 textual action notation).
+// TUT-Profile deliberately does NOT extend behavioural modelling, so this is
+// plain UML 2.0: states, signal/timer-triggered transitions, guards and
+// effect actions. Guards and expressions use a small integer expression
+// language evaluated by the tut::efsm runtime (and translated to C by
+// tut::codegen).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uml/element.hpp"
+
+namespace tut::uml {
+
+class Signal;
+class Class;
+class State;
+class Transition;
+
+/// One primitive action in a transition effect. The action set matches what
+/// generated embedded C code needs: sending signals, assigning extended-state
+/// variables, consuming computation cycles, and arming/cancelling timers.
+struct Action {
+  enum class Kind {
+    Send,        ///< send `signal(args...)` through `port`
+    Assign,      ///< var = expr
+    Compute,     ///< consume `expr` computation cycles on the executing PE
+    SetTimer,    ///< arm timer `var` to fire after `expr` time units
+    ResetTimer,  ///< cancel timer `var`
+  };
+
+  Kind kind;
+  std::string port;               ///< Send: port name on the owning class
+  const Signal* signal = nullptr; ///< Send: signal type
+  std::vector<std::string> args;  ///< Send: argument expressions
+  std::string var;                ///< Assign/SetTimer/ResetTimer: name
+  std::string expr;               ///< Assign/Compute/SetTimer: expression
+
+  static Action send(std::string port, const Signal& s,
+                     std::vector<std::string> args = {});
+  static Action assign(std::string var, std::string expr);
+  static Action compute(std::string cycles_expr);
+  static Action set_timer(std::string name, std::string delay_expr);
+  static Action reset_timer(std::string name);
+};
+
+/// A state of an EFSM. Entry/exit action lists are supported; hierarchy is
+/// not (the paper's TUTMAC statecharts are flat communicating EFSMs).
+class State : public Element {
+public:
+  State() : Element(ElementKind::State) {}
+
+  bool is_initial() const noexcept { return initial_; }
+
+  const std::vector<Action>& entry_actions() const noexcept { return entry_; }
+  State& on_entry(Action a) {
+    entry_.push_back(std::move(a));
+    return *this;
+  }
+
+private:
+  friend class Model;
+  friend class ModelIO;
+  friend class StateMachine;
+  bool initial_ = false;
+  std::vector<Action> entry_;
+};
+
+/// A transition. Triggered by a signal arriving on a port, by a named timer
+/// firing, or — when both trigger fields are empty — taken spontaneously as
+/// a completion transition. An empty guard is "true".
+class Transition : public Element {
+public:
+  Transition() : Element(ElementKind::Transition) {}
+
+  State* source() const noexcept { return source_; }
+  State* target() const noexcept { return target_; }
+
+  /// Trigger: a signal received through `trigger_port` (empty port matches
+  /// any port providing the signal).
+  const Signal* trigger_signal() const noexcept { return trigger_signal_; }
+  const std::string& trigger_port() const noexcept { return trigger_port_; }
+  /// Trigger: expiry of the named timer.
+  const std::string& trigger_timer() const noexcept { return trigger_timer_; }
+  bool is_completion() const noexcept {
+    return trigger_signal_ == nullptr && trigger_timer_.empty();
+  }
+
+  const std::string& guard() const noexcept { return guard_; }
+  Transition& set_guard(std::string g) {
+    guard_ = std::move(g);
+    return *this;
+  }
+
+  const std::vector<Action>& effects() const noexcept { return effects_; }
+  Transition& add_effect(Action a) {
+    effects_.push_back(std::move(a));
+    return *this;
+  }
+
+private:
+  friend class Model;
+  friend class ModelIO;
+  State* source_ = nullptr;
+  State* target_ = nullptr;
+  const Signal* trigger_signal_ = nullptr;
+  std::string trigger_port_;
+  std::string trigger_timer_;
+  std::string guard_;
+  std::vector<Action> effects_;
+};
+
+/// The classifier behaviour of an active class: a flat EFSM with extended
+/// state variables (integers, with declared initial values).
+class StateMachine : public Element {
+public:
+  StateMachine() : Element(ElementKind::StateMachine) {}
+
+  Class* context() const noexcept { return context_; }
+
+  const std::vector<State*>& states() const noexcept { return states_; }
+  const std::vector<Transition*>& transitions() const noexcept {
+    return transitions_;
+  }
+  State* initial_state() const noexcept;
+  State* state(const std::string& name) const noexcept;
+
+  /// Extended state variables and their initial values.
+  const std::vector<std::pair<std::string, long>>& variables() const noexcept {
+    return variables_;
+  }
+  StateMachine& declare_variable(std::string name, long initial = 0) {
+    variables_.emplace_back(std::move(name), initial);
+    return *this;
+  }
+
+  /// Transitions leaving `s`, in declaration order (declaration order is the
+  /// deterministic priority order used by the runtime and code generator).
+  std::vector<Transition*> outgoing(const State& s) const;
+
+private:
+  friend class Model;
+  friend class ModelIO;
+  Class* context_ = nullptr;
+  std::vector<State*> states_;
+  std::vector<Transition*> transitions_;
+  std::vector<std::pair<std::string, long>> variables_;
+};
+
+}  // namespace tut::uml

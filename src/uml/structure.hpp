@@ -1,0 +1,194 @@
+// Structural metaclasses: Package, Class, Property, Port, Connector, Signal,
+// Dependency. These carry the class-diagram and composite-structure-diagram
+// content of a TUT-Profile model (Figures 4-8 of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uml/element.hpp"
+
+namespace tut::uml {
+
+class Class;
+class Property;
+class Port;
+class Signal;
+class StateMachine;
+
+/// A package groups classes and signals (used for the application and
+/// platform libraries).
+class Package : public Element {
+public:
+  Package() : Element(ElementKind::Package) {}
+
+  const std::vector<Element*>& members() const noexcept { return members_; }
+
+private:
+  friend class Model;
+  friend class ModelIO;
+  std::vector<Element*> members_;
+};
+
+/// A signal type. Parameters are (name, type-name) pairs; the behavioural
+/// layer treats all parameter values as integers (sufficient for the
+/// profile's performance modelling; payload bytes are modelled by a size).
+class Signal : public Element {
+public:
+  Signal() : Element(ElementKind::Signal) {}
+
+  struct Parameter {
+    std::string name;
+    std::string type;
+  };
+
+  const std::vector<Parameter>& parameters() const noexcept { return params_; }
+  Signal& add_parameter(std::string name, std::string type) {
+    params_.push_back({std::move(name), std::move(type)});
+    return *this;
+  }
+
+  /// Payload size in bytes when transferred over a communication segment.
+  /// Defaults to 4 bytes per parameter plus a 4-byte header.
+  std::size_t payload_bytes() const noexcept {
+    return payload_bytes_ != 0 ? payload_bytes_ : 4 + 4 * params_.size();
+  }
+  void set_payload_bytes(std::size_t bytes) noexcept { payload_bytes_ = bytes; }
+
+private:
+  std::vector<Parameter> params_;
+  std::size_t payload_bytes_ = 0;
+};
+
+/// A port on a class. Ports are connection points for connectors; signals
+/// listed as `required` may be sent out through the port, signals listed as
+/// `provided` may be received through it.
+class Port : public Element {
+public:
+  Port() : Element(ElementKind::Port) {}
+
+  Class* owner_class() const noexcept;
+
+  const std::vector<const Signal*>& provided() const noexcept { return provided_; }
+  const std::vector<const Signal*>& required() const noexcept { return required_; }
+  Port& provide(const Signal& s) {
+    provided_.push_back(&s);
+    return *this;
+  }
+  Port& require(const Signal& s) {
+    required_.push_back(&s);
+    return *this;
+  }
+  bool provides(const Signal& s) const noexcept;
+  bool requires_signal(const Signal& s) const noexcept;
+
+private:
+  std::vector<const Signal*> provided_;
+  std::vector<const Signal*> required_;
+};
+
+/// A structural feature of a class: either a plain attribute (type given by
+/// name, no composite role) or a *part* — an instance of another class
+/// playing a role inside a composite structure (the paper's class instances
+/// such as `rca : RadioChannelAccess`).
+class Property : public Element {
+public:
+  Property() : Element(ElementKind::Property) {}
+
+  /// The classifier this part instantiates; nullptr for plain attributes.
+  Class* part_type() const noexcept { return part_type_; }
+  bool is_part() const noexcept { return part_type_ != nullptr; }
+
+  /// Type name for plain attributes (e.g. "int", "Buffer").
+  const std::string& attr_type() const noexcept { return attr_type_; }
+  void set_attr_type(std::string t) { attr_type_ = std::move(t); }
+
+  Class* owner_class() const noexcept;
+
+private:
+  friend class Model;
+  friend class ModelIO;
+  Class* part_type_ = nullptr;
+  std::string attr_type_;
+};
+
+/// One end of a connector: a port on a part of the structured class, or —
+/// when `part == nullptr` — a boundary port of the structured class itself
+/// (a delegation connector, e.g. `pphy` in Figure 5).
+struct ConnectorEnd {
+  const Property* part = nullptr;
+  const Port* port = nullptr;
+};
+
+/// A connector wires two ends inside a structured class. Connectors carry
+/// the signals admissible by the connected ports.
+class Connector : public Element {
+public:
+  Connector() : Element(ElementKind::Connector) {}
+
+  const ConnectorEnd& end0() const noexcept { return ends_[0]; }
+  const ConnectorEnd& end1() const noexcept { return ends_[1]; }
+
+private:
+  friend class Model;
+  friend class ModelIO;
+  ConnectorEnd ends_[2];
+};
+
+/// A class. `is_active` distinguishes the paper's *functional components*
+/// (active classes with behaviour, instantiable as application processes)
+/// from *structural components* (passive classes that only define composite
+/// structures or data).
+class Class : public Element {
+public:
+  Class() : Element(ElementKind::Class) {}
+
+  bool is_active() const noexcept { return is_active_; }
+  void set_active(bool active) noexcept { is_active_ = active; }
+
+  const std::vector<Property*>& attributes() const noexcept { return attributes_; }
+  const std::vector<Property*>& parts() const noexcept { return parts_; }
+  const std::vector<Port*>& ports() const noexcept { return ports_; }
+  const std::vector<Connector*>& connectors() const noexcept { return connectors_; }
+
+  Port* port(const std::string& name) const noexcept;
+  Property* part(const std::string& name) const noexcept;
+
+  /// The classifier behaviour (an EFSM); nullptr for structural classes.
+  StateMachine* behavior() const noexcept { return behavior_; }
+
+  /// Superclass (single generalization is enough for the profile's library
+  /// specializations); nullptr if none.
+  Class* general() const noexcept { return general_; }
+  void set_general(Class* g) noexcept { general_ = g; }
+
+private:
+  friend class Model;
+  friend class ModelIO;
+  bool is_active_ = false;
+  Class* general_ = nullptr;
+  std::vector<Property*> attributes_;
+  std::vector<Property*> parts_;
+  std::vector<Port*> ports_;
+  std::vector<Connector*> connectors_;
+  StateMachine* behavior_ = nullptr;
+};
+
+/// A dependency between two elements. TUT-Profile stereotypes Dependencies
+/// as <<ProcessGrouping>> (process → group) and <<Mapping>> (group →
+/// platform component instance), and <<CommunicationWrapper>> attachments.
+class Dependency : public Element {
+public:
+  Dependency() : Element(ElementKind::Dependency) {}
+
+  Element* client() const noexcept { return client_; }
+  Element* supplier() const noexcept { return supplier_; }
+
+private:
+  friend class Model;
+  friend class ModelIO;
+  Element* client_ = nullptr;
+  Element* supplier_ = nullptr;
+};
+
+}  // namespace tut::uml

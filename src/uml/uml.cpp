@@ -1,0 +1,476 @@
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "uml/model.hpp"
+
+namespace tut::uml {
+
+// ---------------------------------------------------------------------------
+// Element
+// ---------------------------------------------------------------------------
+
+const char* to_string(ElementKind kind) noexcept {
+  switch (kind) {
+    case ElementKind::Model: return "Model";
+    case ElementKind::Package: return "Package";
+    case ElementKind::Class: return "Class";
+    case ElementKind::Property: return "Property";
+    case ElementKind::Port: return "Port";
+    case ElementKind::Connector: return "Connector";
+    case ElementKind::Signal: return "Signal";
+    case ElementKind::Dependency: return "Dependency";
+    case ElementKind::StateMachine: return "StateMachine";
+    case ElementKind::State: return "State";
+    case ElementKind::Transition: return "Transition";
+    case ElementKind::Profile: return "Profile";
+    case ElementKind::Stereotype: return "Stereotype";
+  }
+  return "?";
+}
+
+std::string Element::qualified_name() const {
+  if (owner_ == nullptr || owner_->kind() == ElementKind::Model) return name_;
+  return owner_->qualified_name() + "." + name_;
+}
+
+StereotypeApplication& Element::apply(const Stereotype& stereotype) {
+  for (auto& app : applications_) {
+    if (app.stereotype == &stereotype) return app;
+  }
+  applications_.push_back(StereotypeApplication{&stereotype, {}});
+  return applications_.back();
+}
+
+StereotypeApplication& Element::apply(const Stereotype& stereotype,
+                                      std::map<std::string, std::string> values) {
+  auto& app = apply(stereotype);
+  for (auto& [k, v] : values) app.tagged_values[k] = v;
+  return app;
+}
+
+bool Element::has_stereotype(const Stereotype& stereotype) const noexcept {
+  for (const auto& app : applications_) {
+    if (app.stereotype != nullptr && app.stereotype->is_kind_of(stereotype)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Element::has_stereotype(const std::string& name) const noexcept {
+  return application(name) != nullptr;
+}
+
+const StereotypeApplication* Element::application(
+    const std::string& name) const noexcept {
+  for (const auto& app : applications_) {
+    for (const Stereotype* s = app.stereotype; s != nullptr; s = s->general()) {
+      if (s->name() == name) return &app;
+    }
+  }
+  return nullptr;
+}
+
+StereotypeApplication* Element::application(const std::string& name) noexcept {
+  return const_cast<StereotypeApplication*>(
+      static_cast<const Element*>(this)->application(name));
+}
+
+std::string Element::tagged_value(const std::string& tag) const {
+  for (const auto& app : applications_) {
+    auto it = app.tagged_values.find(tag);
+    if (it != app.tagged_values.end()) return it->second;
+  }
+  return {};
+}
+
+bool Element::has_tagged_value(const std::string& tag) const noexcept {
+  for (const auto& app : applications_) {
+    if (app.tagged_values.count(tag) != 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Structure
+// ---------------------------------------------------------------------------
+
+Class* Port::owner_class() const noexcept {
+  return owner() != nullptr && owner()->kind() == ElementKind::Class
+             ? static_cast<Class*>(owner())
+             : nullptr;
+}
+
+bool Port::provides(const Signal& s) const noexcept {
+  return std::find(provided_.begin(), provided_.end(), &s) != provided_.end();
+}
+
+bool Port::requires_signal(const Signal& s) const noexcept {
+  return std::find(required_.begin(), required_.end(), &s) != required_.end();
+}
+
+Class* Property::owner_class() const noexcept {
+  return owner() != nullptr && owner()->kind() == ElementKind::Class
+             ? static_cast<Class*>(owner())
+             : nullptr;
+}
+
+Port* Class::port(const std::string& name) const noexcept {
+  for (Port* p : ports_) {
+    if (p->name() == name) return p;
+  }
+  return nullptr;
+}
+
+Property* Class::part(const std::string& name) const noexcept {
+  for (Property* p : parts_) {
+    if (p->name() == name) return p;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// State machines
+// ---------------------------------------------------------------------------
+
+Action Action::send(std::string port, const Signal& s,
+                    std::vector<std::string> args) {
+  Action a;
+  a.kind = Kind::Send;
+  a.port = std::move(port);
+  a.signal = &s;
+  a.args = std::move(args);
+  return a;
+}
+
+Action Action::assign(std::string var, std::string expr) {
+  Action a;
+  a.kind = Kind::Assign;
+  a.var = std::move(var);
+  a.expr = std::move(expr);
+  return a;
+}
+
+Action Action::compute(std::string cycles_expr) {
+  Action a;
+  a.kind = Kind::Compute;
+  a.expr = std::move(cycles_expr);
+  return a;
+}
+
+Action Action::set_timer(std::string name, std::string delay_expr) {
+  Action a;
+  a.kind = Kind::SetTimer;
+  a.var = std::move(name);
+  a.expr = std::move(delay_expr);
+  return a;
+}
+
+Action Action::reset_timer(std::string name) {
+  Action a;
+  a.kind = Kind::ResetTimer;
+  a.var = std::move(name);
+  return a;
+}
+
+State* StateMachine::initial_state() const noexcept {
+  for (State* s : states_) {
+    if (s->is_initial()) return s;
+  }
+  return nullptr;
+}
+
+State* StateMachine::state(const std::string& name) const noexcept {
+  for (State* s : states_) {
+    if (s->name() == name) return s;
+  }
+  return nullptr;
+}
+
+std::vector<Transition*> StateMachine::outgoing(const State& s) const {
+  std::vector<Transition*> out;
+  for (Transition* t : transitions_) {
+    if (t->source() == &s) out.push_back(t);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Profile
+// ---------------------------------------------------------------------------
+
+const char* to_string(TagType type) noexcept {
+  switch (type) {
+    case TagType::String: return "string";
+    case TagType::Integer: return "integer";
+    case TagType::Boolean: return "boolean";
+    case TagType::Real: return "real";
+    case TagType::Enum: return "enum";
+  }
+  return "?";
+}
+
+bool TagDefinition::accepts(const std::string& value) const noexcept {
+  switch (type) {
+    case TagType::String:
+      return true;
+    case TagType::Boolean:
+      return value == "true" || value == "false";
+    case TagType::Integer: {
+      if (value.empty()) return false;
+      long v = 0;
+      const char* first = value.data();
+      if (*first == '-' || *first == '+') ++first;
+      auto [ptr, ec] = std::from_chars(first, value.data() + value.size(), v);
+      return ec == std::errc{} && ptr == value.data() + value.size();
+    }
+    case TagType::Real: {
+      if (value.empty()) return false;
+      char* end = nullptr;
+      errno = 0;
+      (void)std::strtod(value.c_str(), &end);
+      return errno == 0 && end == value.c_str() + value.size();
+    }
+    case TagType::Enum:
+      return std::find(enumerators.begin(), enumerators.end(), value) !=
+             enumerators.end();
+  }
+  return false;
+}
+
+bool Stereotype::is_kind_of(const Stereotype& other) const noexcept {
+  for (const Stereotype* s = this; s != nullptr; s = s->general()) {
+    if (s == &other) return true;
+  }
+  return false;
+}
+
+std::vector<const TagDefinition*> Stereotype::all_tags() const {
+  std::vector<const TagDefinition*> out;
+  if (general_ != nullptr) out = general_->all_tags();
+  for (const auto& t : tags_) out.push_back(&t);
+  return out;
+}
+
+const TagDefinition* Stereotype::tag(const std::string& name) const noexcept {
+  for (const auto& t : tags_) {
+    if (t.name == name) return &t;
+  }
+  return general_ != nullptr ? general_->tag(name) : nullptr;
+}
+
+Stereotype* Profile::stereotype(const std::string& name) const noexcept {
+  for (Stereotype* s : stereotypes_) {
+    if (s->name() == name) return s;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+Model::Model(std::string name) : Element(ElementKind::Model) {
+  set_name(std::move(name));
+  id_ = "m0";
+}
+
+template <typename T>
+T& Model::make(std::string name, Element* owner) {
+  auto elem = std::make_unique<T>();
+  T& ref = *elem;
+  ref.set_name(std::move(name));
+  ref.id_ = "e" + std::to_string(next_id_++);
+  ref.owner_ = owner != nullptr ? owner : this;
+  elements_.push_back(std::move(elem));
+  return ref;
+}
+
+Package& Model::create_package(std::string name, Package* parent) {
+  auto& pkg = make<Package>(std::move(name), parent);
+  if (parent != nullptr) parent->members_.push_back(&pkg);
+  return pkg;
+}
+
+Class& Model::create_class(std::string name, Package* pkg, bool active) {
+  auto& cls = make<Class>(std::move(name), pkg);
+  cls.is_active_ = active;
+  if (pkg != nullptr) pkg->members_.push_back(&cls);
+  return cls;
+}
+
+Signal& Model::create_signal(std::string name, Package* pkg) {
+  auto& sig = make<Signal>(std::move(name), pkg);
+  if (pkg != nullptr) pkg->members_.push_back(&sig);
+  return sig;
+}
+
+Property& Model::add_attribute(Class& owner, std::string name, std::string type) {
+  auto& prop = make<Property>(std::move(name), &owner);
+  prop.attr_type_ = std::move(type);
+  owner.attributes_.push_back(&prop);
+  return prop;
+}
+
+Property& Model::add_part(Class& owner, std::string name, Class& type) {
+  auto& prop = make<Property>(std::move(name), &owner);
+  prop.part_type_ = &type;
+  owner.parts_.push_back(&prop);
+  return prop;
+}
+
+Port& Model::add_port(Class& owner, std::string name) {
+  auto& port = make<Port>(std::move(name), &owner);
+  owner.ports_.push_back(&port);
+  return port;
+}
+
+namespace {
+
+[[noreturn]] void unknown(const std::string& what, const std::string& name,
+                          const Class& context) {
+  throw std::invalid_argument("unknown " + what + " '" + name + "' in class '" +
+                              context.name() + "'");
+}
+
+}  // namespace
+
+Connector& Model::connect(Class& context, const std::string& part_a,
+                          const std::string& port_a, const std::string& part_b,
+                          const std::string& port_b) {
+  Property* pa = context.part(part_a);
+  if (pa == nullptr) unknown("part", part_a, context);
+  Property* pb = context.part(part_b);
+  if (pb == nullptr) unknown("part", part_b, context);
+  Port* qa = pa->part_type()->port(port_a);
+  if (qa == nullptr) unknown("port", part_a + "." + port_a, context);
+  Port* qb = pb->part_type()->port(port_b);
+  if (qb == nullptr) unknown("port", part_b + "." + port_b, context);
+
+  auto& conn = make<Connector>(part_a + "_" + part_b, &context);
+  conn.ends_[0] = ConnectorEnd{pa, qa};
+  conn.ends_[1] = ConnectorEnd{pb, qb};
+  context.connectors_.push_back(&conn);
+  return conn;
+}
+
+Connector& Model::connect_boundary(Class& context,
+                                   const std::string& boundary_port,
+                                   const std::string& part,
+                                   const std::string& port) {
+  Port* bp = context.port(boundary_port);
+  if (bp == nullptr) unknown("boundary port", boundary_port, context);
+  Property* p = context.part(part);
+  if (p == nullptr) unknown("part", part, context);
+  Port* q = p->part_type()->port(port);
+  if (q == nullptr) unknown("port", part + "." + port, context);
+
+  auto& conn = make<Connector>(boundary_port + "_" + part, &context);
+  conn.ends_[0] = ConnectorEnd{nullptr, bp};
+  conn.ends_[1] = ConnectorEnd{p, q};
+  context.connectors_.push_back(&conn);
+  return conn;
+}
+
+Dependency& Model::create_dependency(std::string name, Element& client,
+                                     Element& supplier) {
+  auto& dep = make<Dependency>(std::move(name), nullptr);
+  dep.client_ = &client;
+  dep.supplier_ = &supplier;
+  return dep;
+}
+
+StateMachine& Model::create_behavior(Class& owner) {
+  if (owner.behavior_ != nullptr) return *owner.behavior_;
+  auto& sm = make<StateMachine>(owner.name() + "_behavior", &owner);
+  sm.context_ = &owner;
+  owner.behavior_ = &sm;
+  return sm;
+}
+
+State& Model::add_state(StateMachine& sm, std::string name, bool initial) {
+  auto& st = make<State>(std::move(name), &sm);
+  st.initial_ = initial;
+  sm.states_.push_back(&st);
+  return st;
+}
+
+Transition& Model::add_transition(StateMachine& sm, State& from, State& to) {
+  auto& tr = make<Transition>(from.name() + "_to_" + to.name(), &sm);
+  tr.source_ = &from;
+  tr.target_ = &to;
+  sm.transitions_.push_back(&tr);
+  return tr;
+}
+
+Transition& Model::add_transition(StateMachine& sm, State& from, State& to,
+                                  const Signal& trigger, std::string port) {
+  auto& tr = add_transition(sm, from, to);
+  tr.trigger_signal_ = &trigger;
+  tr.trigger_port_ = std::move(port);
+  return tr;
+}
+
+Transition& Model::add_timer_transition(StateMachine& sm, State& from, State& to,
+                                        std::string timer) {
+  auto& tr = add_transition(sm, from, to);
+  tr.trigger_timer_ = std::move(timer);
+  return tr;
+}
+
+Profile& Model::create_profile(std::string name) {
+  return make<Profile>(std::move(name), nullptr);
+}
+
+Stereotype& Model::create_stereotype(Profile& profile, std::string name,
+                                     ElementKind metaclass,
+                                     const Stereotype* general) {
+  auto& st = make<Stereotype>(std::move(name), &profile);
+  st.extends_ = general != nullptr ? general->extended_metaclass() : metaclass;
+  st.general_ = general;
+  profile.stereotypes_.push_back(&st);
+  return st;
+}
+
+Element* Model::find(const std::string& id) const noexcept {
+  for (const auto& e : elements_) {
+    if (e->id() == id) return e.get();
+  }
+  return nullptr;
+}
+
+Element* Model::find_named(ElementKind kind, const std::string& name) const noexcept {
+  for (const auto& e : elements_) {
+    if (e->kind() == kind && e->name() == name) return e.get();
+  }
+  return nullptr;
+}
+
+Class* Model::find_class(const std::string& name) const noexcept {
+  return static_cast<Class*>(find_named(ElementKind::Class, name));
+}
+
+Signal* Model::find_signal(const std::string& name) const noexcept {
+  return static_cast<Signal*>(find_named(ElementKind::Signal, name));
+}
+
+std::vector<Element*> Model::elements_of_kind(ElementKind kind) const {
+  std::vector<Element*> out;
+  for (const auto& e : elements_) {
+    if (e->kind() == kind) out.push_back(e.get());
+  }
+  return out;
+}
+
+std::vector<Element*> Model::stereotyped(const std::string& stereotype) const {
+  std::vector<Element*> out;
+  for (const auto& e : elements_) {
+    if (e->has_stereotype(stereotype)) out.push_back(e.get());
+  }
+  return out;
+}
+
+}  // namespace tut::uml

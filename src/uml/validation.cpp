@@ -1,0 +1,207 @@
+#include "uml/validation.hpp"
+
+#include <sstream>
+
+namespace tut::uml {
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = ::tut::uml::to_string(severity);
+  out += " [" + rule + "] " + element + ": " + message;
+  return out;
+}
+
+void ValidationResult::add(Severity severity, std::string rule,
+                           const Element& element, std::string message) {
+  diags_.push_back(Diagnostic{severity, std::move(rule),
+                              element.qualified_name(), std::move(message)});
+}
+
+std::size_t ValidationResult::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diags_) {
+    if (d.severity == Severity::Error) ++n;
+  }
+  return n;
+}
+
+std::size_t ValidationResult::warning_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diags_) {
+    if (d.severity == Severity::Warning) ++n;
+  }
+  return n;
+}
+
+std::string ValidationResult::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.to_string() << '\n';
+  return os.str();
+}
+
+ValidationResult Validator::run(const Model& model) const {
+  ValidationResult result;
+  for (const auto& rule : rules_) rule.check(model, result);
+  return result;
+}
+
+namespace {
+
+void check_applications(const Model& model, ValidationResult& res) {
+  for (const auto& elem : model.elements()) {
+    for (const auto& app : elem->applications()) {
+      const Stereotype* st = app.stereotype;
+      if (st == nullptr) continue;
+      if (st->extended_metaclass() != elem->kind()) {
+        res.add(Severity::Error, "uml.stereotype.metaclass", *elem,
+                "stereotype <<" + st->name() + ">> extends metaclass " +
+                    std::string(to_string(st->extended_metaclass())) +
+                    " but is applied to a " +
+                    std::string(to_string(elem->kind())));
+      }
+      for (const auto& [tag, value] : app.tagged_values) {
+        const TagDefinition* def = st->tag(tag);
+        if (def == nullptr) {
+          res.add(Severity::Error, "uml.tag.undeclared", *elem,
+                  "tagged value '" + tag + "' is not declared by <<" +
+                      st->name() + ">>");
+          continue;
+        }
+        if (!def->accepts(value)) {
+          res.add(Severity::Error, "uml.tag.type", *elem,
+                  "tagged value " + tag + "=\"" + value + "\" is not a valid " +
+                      std::string(to_string(def->type)));
+        }
+      }
+      for (const TagDefinition* def : st->all_tags()) {
+        if (def->required && app.tagged_values.count(def->name) == 0) {
+          res.add(Severity::Error, "uml.tag.required", *elem,
+                  "required tagged value '" + def->name + "' of <<" +
+                      st->name() + ">> is missing");
+        }
+      }
+    }
+  }
+}
+
+void check_connectors(const Model& model, ValidationResult& res) {
+  for (Element* e : model.elements_of_kind(ElementKind::Connector)) {
+    const auto* conn = static_cast<const Connector*>(e);
+    const auto* context = static_cast<const Class*>(conn->owner());
+    const ConnectorEnd ends[2] = {conn->end0(), conn->end1()};
+    for (const ConnectorEnd& end : ends) {
+      if (end.port == nullptr) {
+        res.add(Severity::Error, "uml.connector.ends", *conn,
+                "connector end has no port");
+        continue;
+      }
+      if (end.part != nullptr) {
+        // The part must belong to the context class and the port to the
+        // part's type.
+        if (end.part->owner_class() != context) {
+          res.add(Severity::Error, "uml.connector.ends", *conn,
+                  "part '" + end.part->name() +
+                      "' is not a part of the connector's context class");
+        }
+        const Class* type = end.part->part_type();
+        if (type == nullptr || type->port(end.port->name()) != end.port) {
+          res.add(Severity::Error, "uml.connector.ends", *conn,
+                  "port '" + end.port->name() + "' is not a port of part '" +
+                      end.part->name() + "'");
+        }
+      } else if (context == nullptr ||
+                 context->port(end.port->name()) != end.port) {
+        res.add(Severity::Error, "uml.connector.ends", *conn,
+                "boundary port '" + end.port->name() +
+                    "' is not a port of the context class");
+      }
+    }
+  }
+}
+
+void check_port_compatibility(const Model& model, ValidationResult& res) {
+  for (Element* e : model.elements_of_kind(ElementKind::Connector)) {
+    const auto* conn = static_cast<const Connector*>(e);
+    const Port* a = conn->end0().port;
+    const Port* b = conn->end1().port;
+    if (a == nullptr || b == nullptr) continue;
+    // For assembly connectors (both ends on parts): everything one side may
+    // send, the other side must be able to receive.
+    if (conn->end0().part != nullptr && conn->end1().part != nullptr) {
+      for (const Signal* s : a->required()) {
+        if (!b->provides(*s)) {
+          res.add(Severity::Warning, "uml.port.signals", *conn,
+                  "signal '" + s->name() + "' required by port '" + a->name() +
+                      "' is not provided by port '" + b->name() + "'");
+        }
+      }
+      for (const Signal* s : b->required()) {
+        if (!a->provides(*s)) {
+          res.add(Severity::Warning, "uml.port.signals", *conn,
+                  "signal '" + s->name() + "' required by port '" + b->name() +
+                      "' is not provided by port '" + a->name() + "'");
+        }
+      }
+    }
+  }
+}
+
+void check_state_machines(const Model& model, ValidationResult& res) {
+  for (Element* e : model.elements_of_kind(ElementKind::StateMachine)) {
+    const auto* sm = static_cast<const StateMachine*>(e);
+    std::size_t initial = 0;
+    for (const State* s : sm->states()) {
+      if (s->is_initial()) ++initial;
+    }
+    if (initial != 1) {
+      res.add(Severity::Error, "uml.sm.wellformed", *sm,
+              "state machine must have exactly one initial state (has " +
+                  std::to_string(initial) + ")");
+    }
+    const Class* ctx = sm->context();
+    for (const Transition* t : sm->transitions()) {
+      if (t->source() == nullptr || t->target() == nullptr) {
+        res.add(Severity::Error, "uml.sm.wellformed", *t,
+                "transition must have a source and a target state");
+        continue;
+      }
+      for (const Action& a : t->effects()) {
+        if (a.kind == Action::Kind::Send && ctx != nullptr &&
+            ctx->port(a.port) == nullptr) {
+          res.add(Severity::Error, "uml.sm.wellformed", *t,
+                  "send action references unknown port '" + a.port + "' on '" +
+                      ctx->name() + "'");
+        }
+      }
+      if (t->trigger_signal() != nullptr && !t->trigger_port().empty() &&
+          ctx != nullptr && ctx->port(t->trigger_port()) == nullptr) {
+        res.add(Severity::Error, "uml.sm.wellformed", *t,
+                "trigger references unknown port '" + t->trigger_port() +
+                    "' on '" + ctx->name() + "'");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Validator Validator::uml_core() {
+  Validator v;
+  v.add_rule({"uml.stereotype", "stereotype applications are well-formed",
+              check_applications});
+  v.add_rule({"uml.connector", "connector ends resolve", check_connectors});
+  v.add_rule({"uml.port", "connected ports agree on signals",
+              check_port_compatibility});
+  v.add_rule({"uml.sm", "state machines are well-formed", check_state_machines});
+  return v;
+}
+
+}  // namespace tut::uml

@@ -1,0 +1,80 @@
+// Model validation framework: diagnostics plus the generic well-formedness
+// rules of the profile mechanism itself (metaclass compatibility, declared
+// tags, tag value types, required tags). Domain rules — the "strict rules
+// how to use them" that TUT-Profile defines for its stereotypes — are
+// registered by tut::profile on top of this framework.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "uml/model.hpp"
+
+namespace tut::uml {
+
+enum class Severity : std::uint8_t { Info, Warning, Error };
+
+const char* to_string(Severity s) noexcept;
+
+/// One validation finding.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string rule;     ///< stable rule identifier, e.g. "uml.tag.undeclared"
+  std::string element;  ///< qualified name of the offending element
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Result of a validation run.
+class ValidationResult {
+public:
+  void add(Severity severity, std::string rule, const Element& element,
+           std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const noexcept { return diags_; }
+  std::size_t error_count() const noexcept;
+  std::size_t warning_count() const noexcept;
+  bool ok() const noexcept { return error_count() == 0; }
+
+  /// All diagnostics, one per line.
+  std::string to_string() const;
+
+private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// A named validation rule over a whole model.
+struct Rule {
+  std::string id;
+  std::string description;
+  std::function<void(const Model&, ValidationResult&)> check;
+};
+
+/// A validator is an ordered set of rules. `Validator::uml_core()` returns
+/// the generic profile-mechanism rules; tut::profile extends a validator
+/// with the TUT-Profile design rules.
+class Validator {
+public:
+  void add_rule(Rule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<Rule>& rules() const noexcept { return rules_; }
+
+  ValidationResult run(const Model& model) const;
+
+  /// Generic rules:
+  ///  - uml.stereotype.metaclass : stereotype applied to compatible metaclass
+  ///  - uml.tag.undeclared       : tagged value name declared by stereotype
+  ///  - uml.tag.type             : tagged value parses as its declared type
+  ///  - uml.tag.required         : required tags are present
+  ///  - uml.connector.ends      : connector ends resolve within the context
+  ///  - uml.port.signals        : connected ports agree on carried signals
+  ///  - uml.sm.wellformed       : exactly one initial state, transitions
+  ///                              reference owned states, send ports exist
+  static Validator uml_core();
+
+private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace tut::uml

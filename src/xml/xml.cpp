@@ -1,0 +1,384 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace tut::xml {
+
+// ---------------------------------------------------------------------------
+// Element
+// ---------------------------------------------------------------------------
+
+bool Element::has_attr(std::string_view key) const noexcept {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> Element::attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Element::attr_or(std::string_view key, std::string_view fallback) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return std::string(fallback);
+}
+
+Element& Element::set_attr(std::string key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  attrs_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::add_child(Element child) {
+  children_.push_back(std::make_unique<Element>(std::move(child)));
+  return *children_.back();
+}
+
+const Element* Element::child(std::string_view name) const noexcept {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Element* Element::child(std::string_view name) noexcept {
+  for (auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::size_t Element::subtree_size() const noexcept {
+  std::size_t n = 1;
+  for (const auto& c : children_) n += c->subtree_size();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_elem(std::ostringstream& os, const Element& e, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  os << pad << '<' << e.name();
+  for (const auto& [k, v] : e.attrs()) {
+    os << ' ' << k << "=\"" << escape(v) << '"';
+  }
+  if (e.children().empty() && e.text().empty()) {
+    os << "/>\n";
+    return;
+  }
+  os << '>';
+  if (!e.text().empty()) os << escape(e.text());
+  if (e.children().empty()) {
+    os << "</" << e.name() << ">\n";
+    return;
+  }
+  os << '\n';
+  for (const auto& c : e.children()) write_elem(os, *c, depth + 1);
+  os << pad << "</" << e.name() << ">\n";
+}
+
+}  // namespace
+
+std::string write(const Document& doc) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  write_elem(os, doc.root(), 0);
+  return os.str();
+}
+
+std::string write(const Element& elem, int indent) {
+  std::ostringstream os;
+  write_elem(os, elem, indent);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Document run() {
+    skip_prolog();
+    Document doc;
+    Element root = parse_element();
+    doc.root() = std::move(root);
+    skip_misc();
+    if (pos_ != text_.size()) fail("trailing content after root element");
+    return doc;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, pos_, line_);
+  }
+
+  bool eof() const noexcept { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char get() {
+    if (eof()) fail("unexpected end of input");
+    char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool starts_with(std::string_view s) const noexcept {
+    return text_.substr(pos_, s.size()) == s;
+  }
+
+  void expect(std::string_view s) {
+    if (!starts_with(s)) fail("expected '" + std::string(s) + "'");
+    for (std::size_t i = 0; i < s.size(); ++i) get();
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) get();
+  }
+
+  void skip_comment() {
+    expect("<!--");
+    while (!starts_with("-->")) {
+      if (eof()) fail("unterminated comment");
+      get();
+    }
+    expect("-->");
+  }
+
+  // Skips whitespace, comments and processing instructions.
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("<?")) {
+        while (!starts_with("?>")) {
+          if (eof()) fail("unterminated processing instruction");
+          get();
+        }
+        expect("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    skip_misc();
+    if (starts_with("<!DOCTYPE")) {
+      expect("<!DOCTYPE");
+      // Skip to the matching '>', tolerating an internal subset in brackets.
+      int depth = 0;
+      while (!eof()) {
+        char c = get();
+        if (c == '<') ++depth;
+        if (c == '>') {
+          if (depth == 0) break;
+          --depth;
+        }
+      }
+      skip_misc();
+    }
+  }
+
+  static bool is_name_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+           c == '.' || c == ':';
+  }
+
+  std::string parse_name() {
+    std::string name;
+    while (!eof() && is_name_char(peek())) name += get();
+    if (name.empty()) fail("expected a name");
+    return name;
+  }
+
+  std::string decode_entity() {
+    expect("&");
+    std::string ent;
+    while (!eof() && peek() != ';') ent += get();
+    expect(";");
+    if (ent == "amp") return "&";
+    if (ent == "lt") return "<";
+    if (ent == "gt") return ">";
+    if (ent == "quot") return "\"";
+    if (ent == "apos") return "'";
+    if (!ent.empty() && ent[0] == '#') {
+      int base = 10;
+      std::size_t start = 1;
+      if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+        base = 16;
+        start = 2;
+      }
+      try {
+        const long code = std::stol(ent.substr(start), nullptr, base);
+        if (code < 0 || code > 0x10FFFF) fail("character reference out of range");
+        // Encode as UTF-8.
+        std::string out;
+        const auto u = static_cast<unsigned long>(code);
+        if (u < 0x80) {
+          out += static_cast<char>(u);
+        } else if (u < 0x800) {
+          out += static_cast<char>(0xC0 | (u >> 6));
+          out += static_cast<char>(0x80 | (u & 0x3F));
+        } else if (u < 0x10000) {
+          out += static_cast<char>(0xE0 | (u >> 12));
+          out += static_cast<char>(0x80 | ((u >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (u & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (u >> 18));
+          out += static_cast<char>(0x80 | ((u >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((u >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (u & 0x3F));
+        }
+        return out;
+      } catch (const std::invalid_argument&) {
+        fail("malformed character reference '&" + ent + ";'");
+      } catch (const std::out_of_range&) {
+        fail("character reference out of range '&" + ent + ";'");
+      }
+    }
+    fail("unknown entity '&" + ent + ";'");
+  }
+
+  std::string parse_attr_value() {
+    const char quote = get();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    std::string value;
+    while (!eof() && peek() != quote) {
+      if (peek() == '&') {
+        value += decode_entity();
+      } else if (peek() == '<') {
+        fail("'<' in attribute value");
+      } else {
+        value += get();
+      }
+    }
+    if (eof()) fail("unterminated attribute value");
+    get();  // closing quote
+    return value;
+  }
+
+  Element parse_element() {
+    expect("<");
+    Element elem(parse_name());
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (eof()) fail("unterminated start tag");
+      if (starts_with("/>")) {
+        expect("/>");
+        return elem;
+      }
+      if (peek() == '>') {
+        get();
+        break;
+      }
+      std::string key = parse_name();
+      skip_ws();
+      expect("=");
+      skip_ws();
+      elem.set_attr(std::move(key), parse_attr_value());
+    }
+    // Content.
+    std::string text;
+    for (;;) {
+      if (eof()) fail("unterminated element '" + elem.name() + "'");
+      if (starts_with("</")) {
+        expect("</");
+        const std::string close = parse_name();
+        if (close != elem.name()) {
+          fail("mismatched close tag '" + close + "' for '" + elem.name() + "'");
+        }
+        skip_ws();
+        expect(">");
+        break;
+      }
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("<![CDATA[")) {
+        expect("<![CDATA[");
+        while (!starts_with("]]>")) {
+          if (eof()) fail("unterminated CDATA section");
+          text += get();
+        }
+        expect("]]>");
+      } else if (peek() == '<') {
+        elem.add_child(parse_element());
+      } else if (peek() == '&') {
+        text += decode_entity();
+      } else {
+        text += get();
+      }
+    }
+    // Trim pure-whitespace text (indentation between children).
+    const auto first = text.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) {
+      text.clear();
+    } else {
+      const auto last = text.find_last_not_of(" \t\r\n");
+      text = text.substr(first, last - first + 1);
+    }
+    elem.set_text(std::move(text));
+    return elem;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+Document parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace tut::xml

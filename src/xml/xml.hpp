@@ -1,0 +1,116 @@
+// tut::xml — minimal XML document model, writer and parser.
+//
+// This is the serialization substrate for the UML model interchange format
+// (an XMI-like dialect) and for the profiling tool's log/report files. It is
+// deliberately small: elements, attributes, text content, comments. No
+// namespaces resolution (prefixes are kept verbatim in names), no DTDs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tut::xml {
+
+/// Error thrown by the parser on malformed input. Carries a byte offset and
+/// 1-based line number of the failure point.
+class ParseError : public std::runtime_error {
+public:
+  ParseError(const std::string& what, std::size_t offset, std::size_t line)
+      : std::runtime_error(what + " (line " + std::to_string(line) + ")"),
+        offset_(offset),
+        line_(line) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t line() const noexcept { return line_; }
+
+private:
+  std::size_t offset_;
+  std::size_t line_;
+};
+
+/// One XML element. Attributes preserve insertion order (stable output);
+/// children preserve document order. Text content is stored per-element as
+/// the concatenation of its text nodes (mixed content keeps text before the
+/// children when re-serialized, which is sufficient for our data dialects).
+class Element {
+public:
+  Element() = default;
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // -- attributes ----------------------------------------------------------
+  bool has_attr(std::string_view key) const noexcept;
+  /// Returns the attribute value or std::nullopt.
+  std::optional<std::string> attr(std::string_view key) const;
+  /// Returns the attribute value or `fallback`.
+  std::string attr_or(std::string_view key, std::string_view fallback) const;
+  /// Sets (or replaces) an attribute; returns *this for chaining.
+  Element& set_attr(std::string key, std::string value);
+  const std::vector<std::pair<std::string, std::string>>& attrs() const noexcept {
+    return attrs_;
+  }
+
+  // -- text content --------------------------------------------------------
+  const std::string& text() const noexcept { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  // -- children ------------------------------------------------------------
+  /// Appends a child element and returns a reference to it.
+  Element& add_child(std::string name);
+  Element& add_child(Element child);
+  const std::vector<std::unique_ptr<Element>>& children() const noexcept {
+    return children_;
+  }
+  std::vector<std::unique_ptr<Element>>& children() noexcept { return children_; }
+
+  /// First child with the given element name, or nullptr.
+  const Element* child(std::string_view name) const noexcept;
+  Element* child(std::string_view name) noexcept;
+  /// All children with the given element name, in document order.
+  std::vector<const Element*> children_named(std::string_view name) const;
+
+  /// Total number of elements in this subtree (including this element).
+  std::size_t subtree_size() const noexcept;
+
+private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// A parsed or constructed document: exactly one root element.
+class Document {
+public:
+  Document() : root_(std::make_unique<Element>("root")) {}
+  explicit Document(std::string root_name)
+      : root_(std::make_unique<Element>(std::move(root_name))) {}
+
+  Element& root() noexcept { return *root_; }
+  const Element& root() const noexcept { return *root_; }
+
+private:
+  std::unique_ptr<Element> root_;
+};
+
+/// Escapes the five predefined XML entities in attribute/text context.
+std::string escape(std::string_view raw);
+
+/// Serializes a document with 2-space indentation and an XML declaration.
+std::string write(const Document& doc);
+/// Serializes a single element subtree (no declaration).
+std::string write(const Element& elem, int indent = 0);
+
+/// Parses a document from text. Throws ParseError on malformed input.
+/// Accepts XML declarations, comments, CDATA sections and character
+/// references (decimal, hex, and the five named entities).
+Document parse(std::string_view text);
+
+}  // namespace tut::xml

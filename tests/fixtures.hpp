@@ -1,0 +1,165 @@
+// Shared test fixture: a miniature but complete TUT-Profile system
+// (application + platform + mapping) used across module tests. Shapewise it
+// is a shrunk TUTMAC: three functional components, four processes, two
+// groups, two processors and a hardware accelerator on a bridged bus.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "appmodel/appmodel.hpp"
+#include "mapping/mapping.hpp"
+#include "platform/platform.hpp"
+#include "profile/tut_profile.hpp"
+#include "uml/model.hpp"
+
+namespace tut::test {
+
+struct MiniSystem {
+  uml::Model model{"mini"};
+  profile::TutProfile prof;
+
+  // Application.
+  uml::Class* app = nullptr;
+  uml::Class* ctrl_comp = nullptr;
+  uml::Class* dsp_comp = nullptr;
+  uml::Class* crc_comp = nullptr;
+  uml::Property* ctrl = nullptr;
+  uml::Property* dsp1 = nullptr;
+  uml::Property* dsp2 = nullptr;
+  uml::Property* crc = nullptr;
+  uml::Property* group_ctrl = nullptr;
+  uml::Property* group_dsp = nullptr;
+  uml::Property* group_hw = nullptr;
+
+  // Platform.
+  uml::Class* plat = nullptr;
+  uml::Class* cpu_type = nullptr;
+  uml::Class* dsp_type = nullptr;
+  uml::Class* acc_type = nullptr;
+  uml::Property* cpu1 = nullptr;
+  uml::Property* cpu2 = nullptr;
+  uml::Property* acc = nullptr;
+  uml::Property* seg1 = nullptr;
+  uml::Property* seg2 = nullptr;
+  uml::Property* bridge = nullptr;
+
+  // Signals.
+  uml::Signal* req = nullptr;
+  uml::Signal* rsp = nullptr;
+
+  MiniSystem() : prof(profile::install(model)) {
+    req = &model.create_signal("Req");
+    req->add_parameter("len", "int");
+    rsp = &model.create_signal("Rsp");
+    rsp->add_parameter("status", "int");
+
+    appmodel::ApplicationBuilder ab(model, prof);
+    app = &ab.application("MiniApp", {{"RealTimeType", "soft"}});
+    ctrl_comp = &ab.component("Controller", {{"CodeMemory", "2048"},
+                                             {"RealTimeType", "soft"}});
+    dsp_comp = &ab.component("DspFilter", {{"CodeMemory", "8192"}});
+    crc_comp = &ab.component("CrcCalc", {{"CodeMemory", "512"}});
+
+    wire_components();
+
+    ctrl = &ab.process("ctrl", *ctrl_comp,
+                       {{"Priority", "2"}, {"ProcessType", "general"}});
+    dsp1 = &ab.process("dsp1", *dsp_comp,
+                       {{"Priority", "1"}, {"ProcessType", "dsp"}});
+    dsp2 = &ab.process("dsp2", *dsp_comp,
+                       {{"Priority", "1"}, {"ProcessType", "dsp"}});
+    crc = &ab.process("crc", *crc_comp, {{"ProcessType", "hardware"}});
+
+    // Composite structure wiring (Figure 5 shape): ctrl -> dsp1 -> crc, and
+    // a boundary port for environment traffic into dsp2.
+    model.connect(*app, "ctrl", "out", "dsp1", "in");
+    model.connect(*app, "dsp1", "hw", "crc", "in");
+    model.add_port(*app, "pin").provide(*req);
+    model.connect_boundary(*app, "pin", "dsp2", "in");
+
+    group_ctrl = &ab.group("g_ctrl", {{"ProcessType", "general"}});
+    group_dsp = &ab.group("g_dsp", {{"ProcessType", "dsp"}});
+    group_hw = &ab.group("g_hw", {{"ProcessType", "hardware"}});
+    ab.assign(*ctrl, *group_ctrl, /*fixed=*/true);
+    ab.assign(*dsp1, *group_dsp);
+    ab.assign(*dsp2, *group_dsp);
+    ab.assign(*crc, *group_hw);
+
+    platform::PlatformBuilder pb(model, prof);
+    plat = &pb.platform("MiniPlatform");
+    cpu_type = &pb.component_type(
+        "NiosCpu", {{"Type", "general"}, {"Frequency", "50"}, {"Area", "1200.5"}});
+    dsp_type = &pb.component_type(
+        "DspCore", {{"Type", "dsp"}, {"Frequency", "80"}, {"Area", "2100.0"}});
+    acc_type = &pb.component_type(
+        "CrcAccel",
+        {{"Type", "hw_accelerator"}, {"Frequency", "100"}, {"Area", "300.0"}});
+    cpu1 = &pb.instance("cpu1", *cpu_type, {{"Priority", "1"}});
+    cpu2 = &pb.instance("cpu2", *dsp_type);
+    acc = &pb.instance("acc", *acc_type);
+    seg1 = &pb.segment("seg1", {{"DataWidth", "32"},
+                                {"Frequency", "100"},
+                                {"Arbitration", "priority"}});
+    seg2 = &pb.segment("seg2", {{"DataWidth", "32"},
+                                {"Frequency", "100"},
+                                {"Arbitration", "round-robin"}});
+    bridge = &pb.segment("bridge", {{"DataWidth", "16"}, {"Frequency", "50"}});
+    pb.wrapper(*cpu1, *seg1, {{"BufferSize", "64"}, {"MaxTime", "16"}});
+    pb.wrapper(*cpu2, *seg1);
+    pb.wrapper(*acc, *seg2);
+    pb.bridge_link(*seg1, *bridge);
+    pb.bridge_link(*bridge, *seg2);
+
+    mapping::MappingBuilder mb(model, prof);
+    mb.map(*group_ctrl, *cpu1, /*fixed=*/true);
+    mb.map(*group_dsp, *cpu2);
+    mb.map(*group_hw, *acc);
+  }
+
+private:
+  /// Gives each functional component ports and a two-state EFSM:
+  /// Controller sends Req bursts, Dsp consumes Req / emits Rsp, Crc consumes
+  /// Req from dsp-side and answers Rsp.
+  void wire_components() {
+    model.add_port(*ctrl_comp, "out").require(*req).provide(*rsp);
+    model.add_port(*dsp_comp, "in").provide(*req).require(*rsp);
+    model.add_port(*dsp_comp, "hw").require(*req).provide(*rsp);
+    model.add_port(*crc_comp, "in").provide(*req).require(*rsp);
+
+    // Controller: fires a request every 100 time units.
+    auto& csm = *ctrl_comp->behavior();
+    auto& c_idle = model.add_state(csm, "Idle", true);
+    c_idle.on_entry(uml::Action::set_timer("tick", "100"));
+    auto& c_tx = model.add_state(csm, "Tx");
+    c_tx.on_entry(uml::Action::set_timer("tick", "100"));
+    model.add_timer_transition(csm, c_idle, c_tx, "tick")
+        .add_effect(uml::Action::compute("50"))
+        .add_effect(uml::Action::send("out", *req, {"8"}));
+    model.add_timer_transition(csm, c_tx, c_tx, "tick")
+        .add_effect(uml::Action::compute("50"))
+        .add_effect(uml::Action::send("out", *req, {"8"}));
+    model.add_transition(csm, c_tx, c_idle, *rsp, "out");
+
+    // Dsp: heavy compute per request, forwards every 2nd request to hw.
+    auto& dsm = *dsp_comp->behavior();
+    dsm.declare_variable("n", 0);
+    auto& d_idle = model.add_state(dsm, "Idle", true);
+    model.add_transition(dsm, d_idle, d_idle, *req, "in")
+        .add_effect(uml::Action::compute("400 * len"))
+        .add_effect(uml::Action::assign("n", "n + 1"))
+        .add_effect(uml::Action::send("hw", *req, {"len"}));
+    model.add_transition(dsm, d_idle, d_idle, *rsp, "hw")
+        .add_effect(uml::Action::compute("20"))
+        .add_effect(uml::Action::send("in", *rsp, {"0"}));
+
+    // Crc: short fixed-cost handling.
+    auto& hsm = *crc_comp->behavior();
+    auto& h_idle = model.add_state(hsm, "Idle", true);
+    model.add_transition(hsm, h_idle, h_idle, *req, "in")
+        .add_effect(uml::Action::compute("8 * len"))
+        .add_effect(uml::Action::send("in", *rsp, {"1"}));
+  }
+};
+
+}  // namespace tut::test

@@ -1,0 +1,122 @@
+// Integration tests for the `tut` command-line tool: the full external
+// workflow (simulate -> validate -> info -> diagram -> codegen -> profile)
+// driven exactly as a user would drive it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+#ifndef TUT_CLI_PATH
+#define TUT_CLI_PATH "tut"
+#endif
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  static int counter = 0;
+  const fs::path out =
+      fs::temp_directory_path() / ("tut_cli_out_" + std::to_string(counter++));
+  const std::string cmd =
+      std::string(TUT_CLI_PATH) + " " + args + " > " + out.string() + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  std::ifstream in(out);
+  CliResult result;
+  result.output.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  result.exit_code = WEXITSTATUS(rc);
+  fs::remove(out);
+  return result;
+}
+
+const fs::path kWork = fs::temp_directory_path() / "tut_cli_work";
+
+class CliFlow : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    fs::remove_all(kWork);
+    const CliResult r = run_cli("simulate tutmac " + kWork.string() + " 5");
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+  }
+  static std::string model() { return (kWork / "model.xml").string(); }
+  static std::string simlog() { return (kWork / "sim.log").string(); }
+};
+
+}  // namespace
+
+TEST_F(CliFlow, SimulateWroteArtifacts) {
+  EXPECT_TRUE(fs::exists(model()));
+  EXPECT_TRUE(fs::exists(simlog()));
+  EXPECT_GT(fs::file_size(simlog()), 100u);
+}
+
+TEST_F(CliFlow, ValidatePassesOnTutmac) {
+  const CliResult r = run_cli("validate " + model());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 errors"), std::string::npos);
+}
+
+TEST_F(CliFlow, InfoSummarizesTheSystem) {
+  const CliResult r = run_cli("info " + model());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("Tutmac_Protocol"), std::string::npos);
+  EXPECT_NE(r.output.find("group1 -> processor1"), std::string::npos);
+  EXPECT_NE(r.output.find("4 component instances"), std::string::npos);
+}
+
+TEST_F(CliFlow, DiagramsRender) {
+  for (const char* fig : {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}) {
+    const CliResult r = run_cli(std::string("diagram ") + model() + " " + fig);
+    EXPECT_EQ(r.exit_code, 0) << fig;
+    EXPECT_FALSE(r.output.empty()) << fig;
+  }
+  EXPECT_NE(run_cli("diagram " + model() + " fig99").exit_code, 0);
+}
+
+TEST_F(CliFlow, ProfilePrintsTable4AndLatencies) {
+  const CliResult r = run_cli("profile " + model() + " " + simlog());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("(a) Process group execution"), std::string::npos);
+  EXPECT_NE(r.output.find("group1"), std::string::npos);
+  EXPECT_NE(r.output.find("End-to-end signal latencies"), std::string::npos);
+}
+
+TEST_F(CliFlow, CodegenWritesSources) {
+  const fs::path dir = kWork / "gen";
+  const CliResult r = run_cli("codegen " + model() + " " + dir.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(fs::exists(dir / "radio_channel_access.c"));
+  EXPECT_FALSE(fs::exists(dir / "tut_runtime_host.c"));
+
+  const fs::path host_dir = kWork / "gen_host";
+  const CliResult rh =
+      run_cli("codegen " + model() + " " + host_dir.string() + " --host");
+  EXPECT_EQ(rh.exit_code, 0) << rh.output;
+  EXPECT_TRUE(fs::exists(host_dir / "tut_runtime_host.c"));
+  EXPECT_TRUE(fs::exists(host_dir / "platform_glue.c"));
+}
+
+TEST_F(CliFlow, RoundTripIsStable) {
+  const CliResult once = run_cli("roundtrip " + model());
+  ASSERT_EQ(once.exit_code, 0);
+  // Write and round-trip again: fixed point.
+  const fs::path copy = kWork / "copy.xml";
+  std::ofstream(copy) << once.output;
+  const CliResult twice = run_cli("roundtrip " + copy.string());
+  EXPECT_EQ(once.output, twice.output);
+}
+
+TEST(CliErrors, UsageAndMissingFiles) {
+  EXPECT_EQ(run_cli("").exit_code, 2);
+  EXPECT_EQ(run_cli("frobnicate x").exit_code, 2);
+  EXPECT_EQ(run_cli("validate /nonexistent/model.xml").exit_code, 1);
+  EXPECT_EQ(run_cli("profile /nonexistent/a.xml /nonexistent/b.log").exit_code,
+            1);
+}

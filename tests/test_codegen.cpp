@@ -1,0 +1,186 @@
+// Tests for the C code generator, including a gcc syntax check of the
+// generated sources when a C compiler is available.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "codegen/codegen.hpp"
+#include "fixtures.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+using namespace tut::codegen;
+
+TEST(CIdent, ConvertsCamelCaseAndSpecials) {
+  EXPECT_EQ(c_ident("RadioChannelAccess"), "radio_channel_access");
+  EXPECT_EQ(c_ident("CRC"), "crc");
+  EXPECT_EQ(c_ident("msduRec"), "msdu_rec");
+  EXPECT_EQ(c_ident("Tutmac_Protocol"), "tutmac_protocol");
+  EXPECT_EQ(c_ident("a-b c"), "a_b_c");
+  EXPECT_EQ(c_ident("9lives"), "x9lives");
+  EXPECT_EQ(c_ident(""), "x");
+}
+
+TEST(ExprToC, RenamesOnlyIdentifiers) {
+  const std::map<std::string, std::string> rn = {{"n", "ctx->n"},
+                                                 {"len", "p_len"}};
+  EXPECT_EQ(expr_to_c("n + len * 2", rn), "ctx->n + p_len * 2");
+  EXPECT_EQ(expr_to_c("n0 + n", rn), "n0 + ctx->n");  // token-aware, no prefix hit
+  EXPECT_EQ(expr_to_c("(n>0)&&!len", rn), "(ctx->n>0)&&!p_len");
+  EXPECT_EQ(expr_to_c("42", rn), "42");
+  EXPECT_EQ(expr_to_c("unknown + 1", rn), "unknown + 1");
+}
+
+namespace {
+
+struct Generated : ::testing::Test {
+  test::MiniSystem sys;
+  CodeBundle bundle = generate(sys.model);
+};
+
+bool balanced_braces(const std::string& text) {
+  int depth = 0;
+  for (char c : text) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+}  // namespace
+
+TEST_F(Generated, EmitsExpectedFiles) {
+  EXPECT_NE(bundle.find("tut_runtime.h"), nullptr);
+  EXPECT_NE(bundle.find("signals.h"), nullptr);
+  EXPECT_NE(bundle.find("controller.h"), nullptr);
+  EXPECT_NE(bundle.find("controller.c"), nullptr);
+  EXPECT_NE(bundle.find("dsp_filter.c"), nullptr);
+  EXPECT_NE(bundle.find("crc_calc.c"), nullptr);
+  EXPECT_NE(bundle.find("process_table.c"), nullptr);
+  EXPECT_NE(bundle.find("main.c"), nullptr);
+  EXPECT_EQ(bundle.find("nonexistent.c"), nullptr);
+  EXPECT_GT(bundle.total_lines(), 100u);
+  EXPECT_GT(bundle.total_bytes(), 1000u);
+}
+
+TEST_F(Generated, SignalsHeaderHasIdsAndLayouts) {
+  const std::string& text = bundle.find("signals.h")->content;
+  EXPECT_NE(text.find("#define TUT_SIG_REQ 1"), std::string::npos);
+  EXPECT_NE(text.find("#define TUT_SIG_RSP 2"), std::string::npos);
+  EXPECT_NE(text.find("args[0]=len"), std::string::npos);
+}
+
+TEST_F(Generated, ComponentHeaderHasStateEnumVarsAndPorts) {
+  const std::string& text = bundle.find("dsp_filter.h")->content;
+  EXPECT_NE(text.find("DSP_FILTER_STATE_Idle"), std::string::npos);
+  EXPECT_NE(text.find("long n;"), std::string::npos);
+  EXPECT_NE(text.find("tut_port_t* port_in;"), std::string::npos);
+  EXPECT_NE(text.find("tut_port_t* port_hw;"), std::string::npos);
+  EXPECT_NE(text.find("dsp_filter_dispatch"), std::string::npos);
+}
+
+TEST_F(Generated, DispatchTranslatesGuardsAndActions) {
+  const std::string& text = bundle.find("dsp_filter.c")->content;
+  // Compute expression with the signal parameter renamed.
+  EXPECT_NE(text.find("tut_compute(400 * p_len);"), std::string::npos);
+  // Variable assignment renamed to the context field.
+  EXPECT_NE(text.find("ctx->n = ctx->n + 1;"), std::string::npos);
+  // Send through the right port with the signal id.
+  EXPECT_NE(text.find("tut_send(ctx->port_hw, TUT_SIG_REQ"), std::string::npos);
+  // Port-qualified trigger match.
+  EXPECT_NE(text.find("ev->port == ctx->port_in"), std::string::npos);
+}
+
+TEST_F(Generated, TimersAppearInControllerCode) {
+  const std::string& text = bundle.find("controller.c")->content;
+  EXPECT_NE(text.find("tut_set_timer(ctx, \"tick\", 100);"), std::string::npos);
+  EXPECT_NE(text.find("tut_timer_is(ev, \"tick\")"), std::string::npos);
+}
+
+TEST_F(Generated, InstrumentationIsToggleable) {
+  const std::string& with = bundle.find("dsp_filter.c")->content;
+  EXPECT_NE(with.find("TUT_LOG_RUN"), std::string::npos);
+  EXPECT_NE(with.find("TUT_LOG_SEND"), std::string::npos);
+
+  Options opt;
+  opt.profiling_instrumentation = false;
+  const CodeBundle plain = generate(sys.model, opt);
+  const std::string& without = plain.find("dsp_filter.c")->content;
+  EXPECT_EQ(without.find("TUT_LOG_RUN"), std::string::npos);
+  EXPECT_EQ(without.find("TUT_LOG_SEND"), std::string::npos);
+}
+
+TEST_F(Generated, ProcessTableListsProcessesWithGroups) {
+  const std::string& text = bundle.find("process_table.c")->content;
+  EXPECT_NE(text.find("{\"ctrl\", \"Controller\", \"g_ctrl\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("{\"dsp2\", \"DspFilter\", \"g_dsp\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("tut_process_count"), std::string::npos);
+}
+
+TEST_F(Generated, AllFilesHaveBalancedBraces) {
+  for (const auto& f : bundle.files) {
+    EXPECT_TRUE(balanced_braces(f.content)) << f.path;
+  }
+}
+
+TEST(CodegenErrors, BehaviorlessComponentThrows) {
+  uml::Model model{"m"};
+  auto prof = profile::install(model);
+  auto& cls = model.create_class("NoSm", nullptr, true);
+  cls.apply(*prof.application_component);
+  EXPECT_THROW((void)generate(model), std::runtime_error);
+}
+
+TEST(CodegenTutmac, GeneratesAllSevenComponents) {
+  tutmac::System sys = tutmac::build();
+  const CodeBundle bundle = generate(*sys.model);
+  for (const char* f :
+       {"management.c", "radio_management.c", "radio_channel_access.c",
+        "msdu_receiver.c", "msdu_deliverer.c", "fragmenter.c",
+        "crc_calculator.c"}) {
+    EXPECT_NE(bundle.find(f), nullptr) << f;
+  }
+  // The rca guard with the modulo expression survives translation.
+  const std::string& rca = bundle.find("radio_channel_access.c")->content;
+  EXPECT_NE(rca.find("ctx->pending > 0 && ctx->slotcnt % 8 == 0"),
+            std::string::npos);
+}
+
+// The strongest structural check: the generated TUTMAC C code must be
+// accepted by a real C compiler (both with and without TUT_PROFILING).
+TEST(CodegenTutmac, GeneratedCodePassesGccSyntaxCheck) {
+  if (std::system("gcc --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "no gcc available";
+  }
+  tutmac::System sys = tutmac::build();
+  const CodeBundle bundle = generate(*sys.model);
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tut_codegen_test";
+  std::filesystem::remove_all(dir);
+  bundle.write_to(dir.string());
+
+  for (const char* flags : {"", "-DTUT_PROFILING"}) {
+    std::string cmd = "gcc -std=c99 -Wall -Werror -fsyntax-only ";
+    cmd += flags;
+    for (const auto& f : bundle.files) {
+      if (f.path.size() > 2 && f.path.substr(f.path.size() - 2) == ".c") {
+        cmd += " " + (dir / f.path).string();
+      }
+    }
+    cmd += " -I" + dir.string() + " 2> " + (dir / "gcc_errors.txt").string();
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      std::ifstream errs(dir / "gcc_errors.txt");
+      std::string text((std::istreambuf_iterator<char>(errs)),
+                       std::istreambuf_iterator<char>());
+      FAIL() << "gcc rejected generated code (flags '" << flags
+             << "'):\n" << text;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}

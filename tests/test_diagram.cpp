@@ -1,0 +1,195 @@
+// Tests for the diagram renderers (Figures 3-8 as DOT / text).
+#include <gtest/gtest.h>
+
+#include "diagram/diagram.hpp"
+#include "fixtures.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+using namespace tut::diagram;
+
+namespace {
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+bool looks_like_dot(const std::string& text) {
+  return text.rfind("digraph ", 0) == 0 && text.back() == '\n' &&
+         contains(text, "}");
+}
+
+}  // namespace
+
+TEST(ClassDiagram, ShowsStereotypesCompositionAndActivity) {
+  test::MiniSystem sys;
+  const std::string dot = class_diagram_dot(sys.model);
+  EXPECT_TRUE(looks_like_dot(dot));
+  EXPECT_TRUE(contains(dot, "\xC2\xAB" "Application" "\xC2\xBB"));
+  EXPECT_TRUE(contains(dot, "\xC2\xAB" "ApplicationComponent" "\xC2\xBB"));
+  EXPECT_TRUE(contains(dot, "Controller"));
+  EXPECT_TRUE(contains(dot, "(active)"));
+  EXPECT_TRUE(contains(dot, "arrowhead=diamond"));  // composition edges
+}
+
+TEST(ClassDiagram, ShowsGeneralization) {
+  test::MiniSystem sys;
+  auto& special = sys.model.create_class("FastController", nullptr, true);
+  special.set_general(sys.ctrl_comp);
+  const std::string dot = class_diagram_dot(sys.model);
+  EXPECT_TRUE(contains(dot, "arrowhead=onormal"));
+}
+
+TEST(CompositeStructure, ShowsPartsPortsAndConnectors) {
+  test::MiniSystem sys;
+  const std::string dot = composite_structure_dot(*sys.app);
+  EXPECT_TRUE(looks_like_dot(dot));
+  EXPECT_TRUE(contains(dot, "ctrl : Controller"));
+  EXPECT_TRUE(contains(dot, "dsp1 : DspFilter"));
+  EXPECT_TRUE(contains(dot, "shape=diamond"));  // boundary port "pin"
+  EXPECT_TRUE(contains(dot, "pin"));
+  EXPECT_TRUE(contains(dot, "taillabel"));
+  EXPECT_TRUE(contains(dot, "dir=none"));
+}
+
+TEST(GroupingDiagram, ClustersByGroup) {
+  test::MiniSystem sys;
+  const std::string dot = grouping_dot(sys.model);
+  EXPECT_TRUE(looks_like_dot(dot));
+  EXPECT_TRUE(contains(dot, "subgraph cluster_0"));
+  EXPECT_TRUE(contains(dot, "g_ctrl (general)"));
+  EXPECT_TRUE(contains(dot, "g_hw (hardware)"));
+}
+
+TEST(GroupingDiagram, UngroupedProcessesAreDashed) {
+  test::MiniSystem sys;
+  auto& lone = sys.model.add_part(*sys.app, "lone", *sys.ctrl_comp);
+  lone.apply(*sys.prof.application_process);
+  const std::string dot = grouping_dot(sys.model);
+  EXPECT_TRUE(contains(dot, "style=dashed"));
+}
+
+TEST(PlatformDiagram, ShowsInstancesSegmentsWrappersBridges) {
+  test::MiniSystem sys;
+  const std::string dot = platform_dot(sys.model);
+  EXPECT_TRUE(looks_like_dot(dot));
+  EXPECT_TRUE(contains(dot, "cpu1 : NiosCpu"));
+  EXPECT_TRUE(contains(dot, "ID=1"));
+  EXPECT_TRUE(contains(dot, "shape=box3d"));
+  EXPECT_TRUE(contains(dot, "32 bit, priority"));
+  EXPECT_TRUE(contains(dot, "addr=0"));
+  EXPECT_TRUE(contains(dot, "style=bold"));  // bridge links
+  EXPECT_TRUE(contains(dot, "\xC2\xAB" "HIBIWrapper" "\xC2\xBB"));
+}
+
+TEST(MappingDiagram, ShowsMappingEdges) {
+  test::MiniSystem sys;
+  const std::string dot = mapping_dot(sys.model);
+  EXPECT_TRUE(looks_like_dot(dot));
+  EXPECT_TRUE(contains(dot, "g_ctrl"));
+  EXPECT_TRUE(contains(dot, "\xC2\xAB" "Mapping" "\xC2\xBB"));
+  EXPECT_TRUE(contains(dot, "(fixed)"));
+  EXPECT_TRUE(contains(dot, "style=dashed"));
+}
+
+TEST(ProfileHierarchy, ListsAllStereotypes) {
+  test::MiniSystem sys;
+  const std::string text = profile_hierarchy_text(sys.prof);
+  EXPECT_TRUE(contains(text, "Profile TUT-Profile"));
+  for (const char* name :
+       {"Application", "ApplicationComponent", "ApplicationProcess",
+        "ProcessGroup", "ProcessGrouping", "Platform", "Component",
+        "ComponentInstance", "CommunicationWrapper", "CommunicationSegment",
+        "Mapping", "HIBIWrapper", "HIBISegment"}) {
+    EXPECT_TRUE(contains(text, std::string("<<") + name + ">>")) << name;
+  }
+  EXPECT_TRUE(contains(text, "specializes <<CommunicationSegment>>"));
+  EXPECT_TRUE(contains(text, "extends Dependency"));
+}
+
+TEST(StereotypeTable, RendersTagsLikeTables2And3) {
+  test::MiniSystem sys;
+  const std::string text = stereotype_table_text(*sys.prof.application_process);
+  EXPECT_TRUE(contains(text, "Stereotype <<ApplicationProcess>>"));
+  EXPECT_TRUE(contains(text, "Priority : integer"));
+  EXPECT_TRUE(contains(text, "ProcessType : enum {general/dsp/hardware}"));
+  const std::string inst = stereotype_table_text(*sys.prof.component_instance);
+  EXPECT_TRUE(contains(inst, "ID : integer [required]"));
+}
+
+TEST(DiagramsTutmac, AllFiguresRender) {
+  tutmac::System sys = tutmac::build();
+  // Figure 4.
+  const std::string fig4 = class_diagram_dot(*sys.model);
+  EXPECT_TRUE(contains(fig4, "Tutmac_Protocol"));
+  EXPECT_TRUE(contains(fig4, "RadioChannelAccess"));
+  // Figure 5.
+  const std::string fig5 = composite_structure_dot(*sys.app);
+  EXPECT_TRUE(contains(fig5, "rca : RadioChannelAccess"));
+  EXPECT_TRUE(contains(fig5, "ui : UserInterface"));
+  EXPECT_TRUE(contains(fig5, "pphy"));
+  // Figure 6.
+  const std::string fig6 = grouping_dot(*sys.model);
+  EXPECT_TRUE(contains(fig6, "group1"));
+  EXPECT_TRUE(contains(fig6, "group4 (hardware)"));
+  // Figure 7.
+  const std::string fig7 = platform_dot(*sys.model);
+  EXPECT_TRUE(contains(fig7, "processor1 : NiosProcessor"));
+  EXPECT_TRUE(contains(fig7, "hibisegment1"));
+  EXPECT_TRUE(contains(fig7, "bridge"));
+  // Figure 8.
+  const std::string fig8 = mapping_dot(*sys.model);
+  EXPECT_TRUE(contains(fig8, "group1"));
+  EXPECT_TRUE(contains(fig8, "accelerator1"));
+}
+
+namespace {
+
+/// Minimal DOT well-formedness: balanced braces/brackets and an even number
+/// of unescaped quotes (enough to catch label-escaping regressions).
+bool dot_well_formed(const std::string& dot) {
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < dot.size(); ++i) {
+    const char c = dot[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip escaped char
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+}  // namespace
+
+TEST(DotWellFormed, AllTutmacFiguresBalanceQuotesAndBraces) {
+  tutmac::System sys = tutmac::build();
+  EXPECT_TRUE(dot_well_formed(class_diagram_dot(*sys.model)));
+  EXPECT_TRUE(dot_well_formed(composite_structure_dot(*sys.app)));
+  EXPECT_TRUE(dot_well_formed(grouping_dot(*sys.model)));
+  EXPECT_TRUE(dot_well_formed(platform_dot(*sys.model)));
+  EXPECT_TRUE(dot_well_formed(mapping_dot(*sys.model)));
+}
+
+TEST(DotWellFormed, HostileNamesAreEscaped) {
+  // Names containing DOT metacharacters must not break the output.
+  uml::Model model{"hostile \"quoted\" model"};
+  auto prof = tut::profile::install(model);
+  auto& cls = model.create_class("Weird \"Name\" {x}", nullptr, true);
+  cls.apply(*prof.application_component);
+  const std::string dot = class_diagram_dot(model);
+  EXPECT_TRUE(dot_well_formed(dot)) << dot;
+}

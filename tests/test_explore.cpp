@@ -1,0 +1,206 @@
+// Tests for architecture exploration: stats extraction, automatic grouping,
+// mapping proposals and cost estimation.
+#include <gtest/gtest.h>
+
+#include "explore/explore.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+using namespace tut::explore;
+
+namespace {
+
+/// Stats for a 4-process chain: a <-> b heavy, c <-> d heavy, b <-> c light.
+ProcessStats chain_stats() {
+  ProcessStats s;
+  s.processes = {"a", "b", "c", "d"};
+  s.cycles = {{"a", 1000}, {"b", 2000}, {"c", 3000}, {"d", 500}};
+  s.signals[{"a", "b"}] = 100;
+  s.signals[{"b", "a"}] = 90;
+  s.signals[{"b", "c"}] = 5;
+  s.signals[{"c", "d"}] = 80;
+  return s;
+}
+
+const std::map<std::string, std::string> kAllGeneral = {
+    {"a", "general"}, {"b", "general"}, {"c", "general"}, {"d", "general"}};
+
+}  // namespace
+
+TEST(ProcessStats, BetweenIsUndirected) {
+  const auto s = chain_stats();
+  EXPECT_EQ(s.between("a", "b"), 190u);
+  EXPECT_EQ(s.between("b", "a"), 190u);
+  EXPECT_EQ(s.between("a", "d"), 0u);
+}
+
+TEST(ProcessStats, FromReportSkipsEnvironment) {
+  profiler::ProfilingReport report;
+  report.process_cycles = {{"p1", 100}, {"p2", 200}};
+  report.process_signals[{"p1", "p2"}] = 7;
+  report.process_signals[{"env", "p1"}] = 5;
+  report.process_signals[{"p2", "env"}] = 3;
+  const auto s = ProcessStats::from_report(report);
+  EXPECT_EQ(s.processes, (std::vector<std::string>{"p1", "p2"}));
+  EXPECT_EQ(s.signals.size(), 1u);
+  EXPECT_EQ(s.between("p1", "p2"), 7u);
+}
+
+TEST(InterGroupSignals, CountsOnlyCrossingTraffic) {
+  const auto s = chain_stats();
+  const Grouping all_separate = {{"a"}, {"b"}, {"c"}, {"d"}};
+  EXPECT_EQ(inter_group_signals(all_separate, s), 275u);
+  const Grouping paired = {{"a", "b"}, {"c", "d"}};
+  EXPECT_EQ(inter_group_signals(paired, s), 5u);
+  const Grouping single = {{"a", "b", "c", "d"}};
+  EXPECT_EQ(inter_group_signals(single, s), 0u);
+}
+
+TEST(ProposeGrouping, MergesHeaviestCommunicatorsFirst) {
+  const auto s = chain_stats();
+  const Grouping g = propose_grouping(s, kAllGeneral, 2);
+  ASSERT_EQ(g.size(), 2u);
+  // The optimal 2-grouping cuts only the b-c edge (5 signals).
+  EXPECT_EQ(inter_group_signals(g, s), 5u);
+}
+
+TEST(ProposeGrouping, RespectsProcessTypes) {
+  auto s = chain_stats();
+  std::map<std::string, std::string> types = kAllGeneral;
+  types["b"] = "dsp";  // b cannot merge with a, c, d
+  const Grouping g = propose_grouping(s, types, 1);
+  // b stays alone; the rest can merge: at best 2 groups remain.
+  ASSERT_EQ(g.size(), 2u);
+  for (const auto& group : g) {
+    bool has_b = false, has_other = false;
+    for (const auto& p : group) (p == "b" ? has_b : has_other) = true;
+    EXPECT_FALSE(has_b && has_other);
+  }
+}
+
+TEST(ProposeGrouping, RespectsFixedSingletons) {
+  const auto s = chain_stats();
+  const Grouping g = propose_grouping(s, kAllGeneral, 1, {"a"});
+  ASSERT_EQ(g.size(), 2u);
+  bool a_alone = false;
+  for (const auto& group : g) {
+    if (group.size() == 1 && group[0] == "a") a_alone = true;
+  }
+  EXPECT_TRUE(a_alone);
+}
+
+TEST(ProposeGrouping, TargetOfOneMergesEverythingCompatible) {
+  const auto s = chain_stats();
+  const Grouping g = propose_grouping(s, kAllGeneral, 1);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].size(), 4u);
+}
+
+TEST(EstimateCost, LoadAndCommAccounting) {
+  const auto s = chain_stats();
+  const Grouping g = {{"a", "b"}, {"c", "d"}};
+  const std::vector<PeDesc> pes = {{"pe1", 100, "general"},
+                                   {"pe2", 50, "general"}};
+  CostModel model;
+  model.hop_cost = 10.0;
+  const auto est = estimate_cost(g, {"pe1", "pe2"}, s, pes, model);
+  // pe1: 3000 cycles at 100 MHz -> 30000 ns; pe2: 3500 at 50 -> 70000 ns.
+  EXPECT_DOUBLE_EQ(est.pe_load.at("pe1"), 30'000.0);
+  EXPECT_DOUBLE_EQ(est.pe_load.at("pe2"), 70'000.0);
+  // Only the b->c signals cross PEs: 5 * 10 * 1 hop.
+  EXPECT_DOUBLE_EQ(est.comm_cost, 50.0);
+  EXPECT_DOUBLE_EQ(est.makespan, 70'050.0);
+
+  // Same PE for everything: no comm cost.
+  const auto est2 = estimate_cost(g, {"pe1", "pe1"}, s, pes, model);
+  EXPECT_DOUBLE_EQ(est2.comm_cost, 0.0);
+  EXPECT_DOUBLE_EQ(est2.makespan, 65'000.0);
+}
+
+TEST(EstimateCost, ValidatesArguments) {
+  const auto s = chain_stats();
+  const std::vector<PeDesc> pes = {{"pe1", 100, "general"}};
+  EXPECT_THROW((void)estimate_cost({{"a"}}, {}, s, pes), std::invalid_argument);
+  EXPECT_THROW((void)estimate_cost({{"a"}}, {"nope"}, s, pes),
+               std::invalid_argument);
+}
+
+TEST(ProposeMapping, BalancesLoadAcrossPes) {
+  const auto s = chain_stats();
+  const Grouping g = {{"a"}, {"b"}, {"c"}, {"d"}};
+  const std::vector<std::string> types(4, "general");
+  const std::vector<PeDesc> pes = {{"pe1", 50, "general"},
+                                   {"pe2", 50, "general"}};
+  CostModel model;
+  model.hop_cost = 0.0;  // pure load balancing
+  const auto proposal = propose_mapping(g, types, s, pes, model);
+  // Total 6500 cycles; optimum splits 3500/3000 => makespan 70000 ns.
+  EXPECT_DOUBLE_EQ(proposal.cost.makespan, 70'000.0);
+}
+
+TEST(ProposeMapping, HighCommCostPullsGroupsTogether) {
+  const auto s = chain_stats();
+  const Grouping g = {{"a"}, {"b"}, {"c"}, {"d"}};
+  const std::vector<std::string> types(4, "general");
+  const std::vector<PeDesc> pes = {{"pe1", 50, "general"},
+                                   {"pe2", 50, "general"}};
+  CostModel model;
+  model.hop_cost = 1e6;  // any crossing dwarfs load imbalance
+  const auto proposal = propose_mapping(g, types, s, pes, model);
+  EXPECT_DOUBLE_EQ(proposal.cost.comm_cost, 0.0);  // everything co-located
+}
+
+TEST(ProposeMapping, HardwareGroupsRequireAccelerators) {
+  ProcessStats s;
+  s.processes = {"sw", "hw"};
+  s.cycles = {{"sw", 1000}, {"hw", 100}};
+  const Grouping g = {{"sw"}, {"hw"}};
+  const std::vector<std::string> types = {"general", "hardware"};
+  const std::vector<PeDesc> with_acc = {{"cpu", 50, "general"},
+                                        {"acc", 100, "hw_accelerator"}};
+  const auto proposal = propose_mapping(g, types, s, with_acc);
+  EXPECT_EQ(proposal.target[0], "cpu");
+  EXPECT_EQ(proposal.target[1], "acc");
+
+  const std::vector<PeDesc> without_acc = {{"cpu", 50, "general"}};
+  EXPECT_THROW((void)propose_mapping(g, types, s, without_acc),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// The full profiling-feedback loop on TUTMAC (Section 4.4's improvement
+// story): profile the paper system, then verify the paper's own grouping is
+// communication-optimal among the alternatives we can propose.
+// ---------------------------------------------------------------------------
+
+TEST(ExploreTutmac, FeedbackLoopProposesLowCommunicationGrouping) {
+  tutmac::Options opt;
+  opt.horizon = 10'000'000;
+  tutmac::System sys = tutmac::build(opt);
+  mapping::SystemView view(*sys.model);
+  const auto simulation = sys.simulate(view);
+  const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
+  const auto report = profiler::analyze(info, simulation->log());
+
+  const auto stats = ProcessStats::from_report(report);
+  EXPECT_EQ(stats.processes.size(), 7u);
+
+  std::map<std::string, std::string> types;
+  for (const auto& p : stats.processes) types[p] = "general";
+  types["crc"] = "hardware";
+
+  // Ask for 4 groups like the paper.
+  const Grouping proposal = propose_grouping(stats, types, 4);
+  ASSERT_EQ(proposal.size(), 4u);
+
+  // The proposal must not communicate more than the paper's grouping.
+  Grouping paper = {{"rca", "rmng"}, {"msduRec", "msduDel"},
+                    {"mng", "frag"}, {"crc"}};
+  EXPECT_LE(inter_group_signals(proposal, stats),
+            inter_group_signals(paper, stats) * 2);
+  // And both beat the all-singleton grouping.
+  Grouping singletons;
+  for (const auto& p : stats.processes) singletons.push_back({p});
+  EXPECT_LT(inter_group_signals(proposal, stats),
+            inter_group_signals(singletons, stats));
+}

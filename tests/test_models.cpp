@@ -1,0 +1,263 @@
+// Tests for the typed model layers: appmodel, platform (incl. routing) and
+// mapping / SystemView.
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "uml/serialize.hpp"
+
+using namespace tut;
+
+// ---------------------------------------------------------------------------
+// ApplicationBuilder / ApplicationView
+// ---------------------------------------------------------------------------
+
+TEST(AppModel, BuilderAppliesStereotypes) {
+  test::MiniSystem sys;
+  EXPECT_TRUE(sys.app->has_stereotype("Application"));
+  EXPECT_FALSE(sys.app->is_active());
+  EXPECT_TRUE(sys.ctrl_comp->has_stereotype("ApplicationComponent"));
+  EXPECT_TRUE(sys.ctrl_comp->is_active());
+  EXPECT_NE(sys.ctrl_comp->behavior(), nullptr);
+  EXPECT_TRUE(sys.ctrl->has_stereotype("ApplicationProcess"));
+  EXPECT_EQ(sys.ctrl->part_type(), sys.ctrl_comp);
+  EXPECT_TRUE(sys.group_dsp->has_stereotype("ProcessGroup"));
+}
+
+TEST(AppModel, BuilderEnforcesCallOrder) {
+  uml::Model model{"m"};
+  auto prof = profile::install(model);
+  appmodel::ApplicationBuilder ab(model, prof);
+  auto& comp = ab.component("C");
+  EXPECT_THROW((void)ab.process("p", comp), std::logic_error);
+  ab.application("App");
+  EXPECT_THROW((void)ab.application("Again"), std::logic_error);
+  EXPECT_NO_THROW((void)ab.process("p", comp));
+}
+
+TEST(AppModel, ViewFindsEverything) {
+  test::MiniSystem sys;
+  appmodel::ApplicationView view(sys.model);
+  EXPECT_EQ(view.application(), sys.app);
+  EXPECT_EQ(view.processes().size(), 4u);
+  EXPECT_EQ(view.groups().size(), 3u);
+  EXPECT_EQ(view.process_named("dsp1"), sys.dsp1);
+  EXPECT_EQ(view.process_named("nope"), nullptr);
+  EXPECT_EQ(view.group_named("g_hw"), sys.group_hw);
+}
+
+TEST(AppModel, GroupMembership) {
+  test::MiniSystem sys;
+  appmodel::ApplicationView view(sys.model);
+  EXPECT_EQ(view.group_of(*sys.ctrl), sys.group_ctrl);
+  EXPECT_EQ(view.group_of(*sys.dsp2), sys.group_dsp);
+  const auto members = view.members(*sys.group_dsp);
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], sys.dsp1);
+  EXPECT_EQ(members[1], sys.dsp2);
+  EXPECT_EQ(view.members(*sys.group_hw).size(), 1u);
+
+  const uml::Dependency* dep = view.grouping_of(*sys.ctrl);
+  ASSERT_NE(dep, nullptr);
+  EXPECT_EQ(dep->tagged_value("Fixed"), "true");
+  EXPECT_EQ(view.grouping_of(*sys.dsp1)->tagged_value("Fixed"), "false");
+}
+
+TEST(AppModel, EffectiveIntFallsBackProcessComponentApplication) {
+  test::MiniSystem sys;
+  appmodel::ApplicationView view(sys.model);
+  // Priority set on the process itself.
+  EXPECT_EQ(view.effective_int(*sys.ctrl, "Priority", -1), 2);
+  // CodeMemory comes from the component class.
+  EXPECT_EQ(view.effective_int(*sys.dsp1, "CodeMemory", -1), 8192);
+  // Unset anywhere: fallback.
+  EXPECT_EQ(view.effective_int(*sys.crc, "DataMemory", 777), 777);
+}
+
+TEST(AppModel, TagLongHandlesMalformed) {
+  test::MiniSystem sys;
+  sys.ctrl->apply(*sys.prof.application_process, {{"Priority", "abc"}});
+  EXPECT_EQ(appmodel::tag_long(*sys.ctrl, "Priority", 42), 42);
+}
+
+TEST(AppModel, ViewOnEmptyModelIsEmpty) {
+  uml::Model model{"empty"};
+  appmodel::ApplicationView view(model);
+  EXPECT_EQ(view.application(), nullptr);
+  EXPECT_TRUE(view.processes().empty());
+  EXPECT_TRUE(view.groups().empty());
+}
+
+// ---------------------------------------------------------------------------
+// PlatformBuilder / PlatformView
+// ---------------------------------------------------------------------------
+
+TEST(Platform, BuilderAppliesStereotypesAndAutoIds) {
+  test::MiniSystem sys;
+  EXPECT_TRUE(sys.plat->has_stereotype("Platform"));
+  EXPECT_TRUE(sys.cpu_type->has_stereotype("Component"));
+  EXPECT_TRUE(sys.cpu1->has_stereotype("ComponentInstance"));
+  EXPECT_EQ(sys.cpu1->tagged_value("ID"), "1");
+  EXPECT_EQ(sys.cpu2->tagged_value("ID"), "2");
+  EXPECT_EQ(sys.acc->tagged_value("ID"), "3");
+  EXPECT_TRUE(sys.seg1->has_stereotype("HIBISegment"));
+  EXPECT_TRUE(sys.seg1->has_stereotype("CommunicationSegment"));  // inherited
+}
+
+TEST(Platform, WrapperAddressesAutoAssignedPerSegment) {
+  test::MiniSystem sys;
+  platform::PlatformView view(sys.model);
+  const auto w1 = view.wrappers_of(*sys.cpu1);
+  const auto w2 = view.wrappers_of(*sys.cpu2);
+  const auto wa = view.wrappers_of(*sys.acc);
+  ASSERT_EQ(w1.size(), 1u);
+  ASSERT_EQ(w2.size(), 1u);
+  ASSERT_EQ(wa.size(), 1u);
+  EXPECT_EQ(w1[0]->tagged_value("Address"), "0");
+  EXPECT_EQ(w2[0]->tagged_value("Address"), "1");
+  // acc is on a different segment, so addressing restarts.
+  EXPECT_EQ(wa[0]->tagged_value("Address"), "0");
+  EXPECT_TRUE(w1[0]->has_stereotype("HIBIWrapper"));
+  EXPECT_TRUE(w1[0]->has_stereotype("CommunicationWrapper"));
+  EXPECT_EQ(w1[0]->tagged_value("BufferSize"), "64");
+}
+
+TEST(Platform, ViewTopology) {
+  test::MiniSystem sys;
+  platform::PlatformView view(sys.model);
+  EXPECT_EQ(view.platform(), sys.plat);
+  EXPECT_EQ(view.instances().size(), 3u);
+  EXPECT_EQ(view.segments().size(), 3u);
+  EXPECT_EQ(view.instance_named("cpu2"), sys.cpu2);
+  EXPECT_EQ(view.segment_named("bridge"), sys.bridge);
+  EXPECT_EQ(view.segment_of(*sys.cpu1), sys.seg1);
+  EXPECT_EQ(view.segment_of(*sys.acc), sys.seg2);
+  EXPECT_EQ(view.instances_on(*sys.seg1).size(), 2u);
+  EXPECT_EQ(view.instances_on(*sys.seg2).size(), 1u);
+
+  const auto n1 = view.neighbors(*sys.seg1);
+  ASSERT_EQ(n1.size(), 1u);
+  EXPECT_EQ(n1[0], sys.bridge);
+  EXPECT_EQ(view.neighbors(*sys.bridge).size(), 2u);
+}
+
+TEST(Platform, RouteSameSegment) {
+  test::MiniSystem sys;
+  platform::PlatformView view(sys.model);
+  const auto path = view.route(*sys.cpu1, *sys.cpu2);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], sys.seg1);
+}
+
+TEST(Platform, RouteAcrossBridge) {
+  test::MiniSystem sys;
+  platform::PlatformView view(sys.model);
+  const auto path = view.route(*sys.cpu2, *sys.acc);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], sys.seg1);
+  EXPECT_EQ(path[1], sys.bridge);
+  EXPECT_EQ(path[2], sys.seg2);
+  // Routing is symmetric in length.
+  EXPECT_EQ(view.route(*sys.acc, *sys.cpu2).size(), 3u);
+}
+
+TEST(Platform, RouteUnattachedInstanceIsEmpty) {
+  test::MiniSystem sys;
+  platform::PlatformBuilder pb(sys.model, sys.prof);
+  auto& lonely = sys.model.add_part(*sys.plat, "lonely", *sys.cpu_type);
+  lonely.apply(*sys.prof.component_instance, {{"ID", "9"}});
+  platform::PlatformView view(sys.model);
+  EXPECT_TRUE(view.route(lonely, *sys.cpu1).empty());
+  EXPECT_TRUE(view.route(*sys.cpu1, lonely).empty());
+}
+
+TEST(Platform, RouteDisconnectedSegments) {
+  test::MiniSystem sys;
+  platform::PlatformBuilder pb(sys.model, sys.prof);
+  // A new isolated segment with one instance: no bridge to the rest.
+  uml::Model& m = sys.model;
+  auto& seg9 = m.add_part(*sys.plat, "seg9", *sys.seg1->part_type());
+  seg9.apply(*sys.prof.hibi_segment);
+  auto& cpu9 = m.add_part(*sys.plat, "cpu9", *sys.cpu_type);
+  cpu9.apply(*sys.prof.component_instance, {{"ID", "10"}});
+  m.connect(*sys.plat, "cpu9", "bus", "seg9", "conn")
+      .apply(*sys.prof.hibi_wrapper, {{"Address", "0"}});
+  platform::PlatformView view(m);
+  EXPECT_TRUE(view.route(cpu9, *sys.cpu1).empty());
+}
+
+TEST(Platform, BuilderEnforcesCallOrder) {
+  uml::Model model{"m"};
+  auto prof = profile::install(model);
+  platform::PlatformBuilder pb(model, prof);
+  auto& t = pb.component_type("Cpu");
+  EXPECT_THROW((void)pb.instance("i", t), std::logic_error);
+  pb.platform("P");
+  EXPECT_THROW((void)pb.platform("Q"), std::logic_error);
+  EXPECT_NO_THROW((void)pb.instance("i", t));
+}
+
+// ---------------------------------------------------------------------------
+// Mapping / SystemView
+// ---------------------------------------------------------------------------
+
+TEST(Mapping, SystemViewResolvesMappings) {
+  test::MiniSystem sys;
+  mapping::SystemView view(sys.model);
+  EXPECT_EQ(view.instance_for_group(*sys.group_ctrl), sys.cpu1);
+  EXPECT_EQ(view.instance_for_group(*sys.group_dsp), sys.cpu2);
+  EXPECT_EQ(view.instance_for_group(*sys.group_hw), sys.acc);
+  EXPECT_EQ(view.instance_for_process(*sys.dsp1), sys.cpu2);
+  EXPECT_EQ(view.instance_for_process(*sys.crc), sys.acc);
+  EXPECT_TRUE(view.mapping_fixed(*sys.group_ctrl));
+  EXPECT_FALSE(view.mapping_fixed(*sys.group_dsp));
+}
+
+TEST(Mapping, ProcessesOnInstance) {
+  test::MiniSystem sys;
+  mapping::SystemView view(sys.model);
+  EXPECT_EQ(view.processes_on(*sys.cpu1).size(), 1u);
+  EXPECT_EQ(view.processes_on(*sys.cpu2).size(), 2u);
+  EXPECT_EQ(view.groups_on(*sys.acc).size(), 1u);
+}
+
+TEST(Mapping, UnmappedGroupResolvesToNull) {
+  test::MiniSystem sys;
+  auto& g = sys.model.add_part(*sys.app, "g_x", *sys.group_hw->part_type());
+  g.apply(*sys.prof.process_group);
+  mapping::SystemView view(sys.model);
+  EXPECT_EQ(view.instance_for_group(g), nullptr);
+  EXPECT_EQ(view.mapping_of(g), nullptr);
+  EXPECT_FALSE(view.mapping_fixed(g));
+}
+
+TEST(Mapping, CombinedPriorityFallback) {
+  test::MiniSystem sys;
+  mapping::SystemView view(sys.model);
+  EXPECT_EQ(view.process_priority(*sys.ctrl), 2);  // process tag
+  // crc has no Priority anywhere except... acc instance has none either.
+  EXPECT_EQ(view.process_priority(*sys.crc), 0);
+  // dsp1 has priority 1 on the process.
+  EXPECT_EQ(view.process_priority(*sys.dsp1), 1);
+}
+
+TEST(Mapping, InstanceFrequency) {
+  test::MiniSystem sys;
+  mapping::SystemView view(sys.model);
+  EXPECT_EQ(view.instance_frequency_mhz(*sys.cpu1), 50);
+  EXPECT_EQ(view.instance_frequency_mhz(*sys.acc), 100);
+}
+
+TEST(Mapping, SystemViewSurvivesRoundTrip) {
+  test::MiniSystem sys;
+  const auto restored = uml::from_xml_string(uml::to_xml_string(sys.model));
+  mapping::SystemView view(*restored);
+  EXPECT_EQ(view.app().processes().size(), 4u);
+  EXPECT_EQ(view.plat().instances().size(), 3u);
+  const uml::Property* dsp1 = view.app().process_named("dsp1");
+  ASSERT_NE(dsp1, nullptr);
+  const uml::Property* cpu2 = view.plat().instance_named("cpu2");
+  EXPECT_EQ(view.instance_for_process(*dsp1), cpu2);
+  // Routing still works on the restored model.
+  const uml::Property* acc = view.plat().instance_named("acc");
+  EXPECT_EQ(view.plat().route(*cpu2, *acc).size(), 3u);
+}

@@ -1,0 +1,328 @@
+// Tests for the TUT-Profile definition (Tables 1-3) and its design rules.
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "profile/tut_profile.hpp"
+#include "uml/serialize.hpp"
+
+using namespace tut;
+using namespace tut::profile;
+
+namespace {
+
+struct Installed : ::testing::Test {
+  uml::Model model{"m"};
+  TutProfile p = install(model);
+};
+
+}  // namespace
+
+TEST_F(Installed, HasAllElevenStereotypesPlusHibi) {
+  ASSERT_NE(p.profile, nullptr);
+  EXPECT_EQ(p.profile->name(), "TUT-Profile");
+  EXPECT_EQ(p.profile->stereotypes().size(), 13u);  // 11 + 2 HIBI
+  for (const uml::Stereotype* s : p.all()) ASSERT_NE(s, nullptr);
+}
+
+TEST_F(Installed, Table1MetaclassAssignments) {
+  using uml::ElementKind;
+  EXPECT_EQ(p.application->extended_metaclass(), ElementKind::Class);
+  EXPECT_EQ(p.application_component->extended_metaclass(), ElementKind::Class);
+  EXPECT_EQ(p.application_process->extended_metaclass(), ElementKind::Property);
+  EXPECT_EQ(p.process_group->extended_metaclass(), ElementKind::Property);
+  EXPECT_EQ(p.process_grouping->extended_metaclass(), ElementKind::Dependency);
+  EXPECT_EQ(p.platform->extended_metaclass(), ElementKind::Class);
+  EXPECT_EQ(p.component->extended_metaclass(), ElementKind::Class);
+  EXPECT_EQ(p.component_instance->extended_metaclass(), ElementKind::Property);
+  EXPECT_EQ(p.communication_wrapper->extended_metaclass(),
+            ElementKind::Connector);
+  EXPECT_EQ(p.communication_segment->extended_metaclass(),
+            ElementKind::Property);
+  EXPECT_EQ(p.mapping->extended_metaclass(), ElementKind::Dependency);
+}
+
+struct TagSpec {
+  const char* stereotype;
+  const char* tag;
+  uml::TagType type;
+};
+
+class Table2And3Tags : public ::testing::TestWithParam<TagSpec> {};
+
+TEST_P(Table2And3Tags, Declared) {
+  uml::Model model{"m"};
+  TutProfile p = install(model);
+  const uml::Stereotype* st = p.profile->stereotype(GetParam().stereotype);
+  ASSERT_NE(st, nullptr) << GetParam().stereotype;
+  const uml::TagDefinition* def = st->tag(GetParam().tag);
+  ASSERT_NE(def, nullptr) << GetParam().tag;
+  EXPECT_EQ(def->type, GetParam().type);
+  EXPECT_FALSE(def->description.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTables, Table2And3Tags,
+    ::testing::Values(
+        // Table 2 — application stereotypes.
+        TagSpec{"Application", "Priority", uml::TagType::Integer},
+        TagSpec{"Application", "CodeMemory", uml::TagType::Integer},
+        TagSpec{"Application", "DataMemory", uml::TagType::Integer},
+        TagSpec{"Application", "RealTimeType", uml::TagType::Enum},
+        TagSpec{"ApplicationComponent", "CodeMemory", uml::TagType::Integer},
+        TagSpec{"ApplicationComponent", "DataMemory", uml::TagType::Integer},
+        TagSpec{"ApplicationComponent", "RealTimeType", uml::TagType::Enum},
+        TagSpec{"ApplicationProcess", "Priority", uml::TagType::Integer},
+        TagSpec{"ApplicationProcess", "CodeMemory", uml::TagType::Integer},
+        TagSpec{"ApplicationProcess", "DataMemory", uml::TagType::Integer},
+        TagSpec{"ApplicationProcess", "RealTimeType", uml::TagType::Enum},
+        TagSpec{"ApplicationProcess", "ProcessType", uml::TagType::Enum},
+        TagSpec{"ProcessGroup", "Fixed", uml::TagType::Boolean},
+        TagSpec{"ProcessGroup", "ProcessType", uml::TagType::Enum},
+        TagSpec{"ProcessGrouping", "Fixed", uml::TagType::Boolean},
+        // Table 3 — platform stereotypes.
+        TagSpec{"Component", "Type", uml::TagType::Enum},
+        TagSpec{"Component", "Area", uml::TagType::Real},
+        TagSpec{"Component", "Power", uml::TagType::Real},
+        TagSpec{"ComponentInstance", "Priority", uml::TagType::Integer},
+        TagSpec{"ComponentInstance", "ID", uml::TagType::Integer},
+        TagSpec{"ComponentInstance", "IntMemory", uml::TagType::Integer},
+        TagSpec{"CommunicationSegment", "DataWidth", uml::TagType::Integer},
+        TagSpec{"CommunicationSegment", "Frequency", uml::TagType::Integer},
+        TagSpec{"CommunicationSegment", "Arbitration", uml::TagType::Enum},
+        TagSpec{"CommunicationWrapper", "Address", uml::TagType::Integer},
+        TagSpec{"CommunicationWrapper", "BufferSize", uml::TagType::Integer},
+        TagSpec{"CommunicationWrapper", "MaxTime", uml::TagType::Integer},
+        // HIBI specializations inherit the base tags.
+        TagSpec{"HIBISegment", "DataWidth", uml::TagType::Integer},
+        TagSpec{"HIBISegment", "Arbitration", uml::TagType::Enum},
+        TagSpec{"HIBIWrapper", "Address", uml::TagType::Integer},
+        TagSpec{"HIBIWrapper", "MaxTime", uml::TagType::Integer}),
+    [](const auto& info) {
+      return std::string(info.param.stereotype) + "_" + info.param.tag;
+    });
+
+TEST_F(Installed, HibiSpecializationHierarchy) {
+  EXPECT_EQ(p.hibi_segment->general(), p.communication_segment);
+  EXPECT_EQ(p.hibi_wrapper->general(), p.communication_wrapper);
+  EXPECT_TRUE(p.hibi_segment->is_kind_of(*p.communication_segment));
+  EXPECT_EQ(p.hibi_wrapper->extended_metaclass(), uml::ElementKind::Connector);
+}
+
+TEST_F(Installed, ComponentInstanceIdIsRequired) {
+  const uml::TagDefinition* id = p.component_instance->tag("ID");
+  ASSERT_NE(id, nullptr);
+  EXPECT_TRUE(id->required);
+}
+
+TEST_F(Installed, RealTimeTypeEnumerators) {
+  const uml::TagDefinition* rtt = p.application->tag("RealTimeType");
+  ASSERT_NE(rtt, nullptr);
+  EXPECT_EQ(rtt->enumerators,
+            (std::vector<std::string>{"hard", "soft", "none"}));
+}
+
+TEST_F(Installed, FindLocatesInstalledProfile) {
+  const TutProfile found = find(model);
+  EXPECT_EQ(found.profile, p.profile);
+  EXPECT_EQ(found.mapping, p.mapping);
+  EXPECT_EQ(found.hibi_wrapper, p.hibi_wrapper);
+}
+
+TEST(ProfileFind, ThrowsWithoutProfile) {
+  uml::Model model{"m"};
+  EXPECT_THROW((void)find(model), std::runtime_error);
+}
+
+TEST(ProfileFind, SurvivesSerializationRoundTrip) {
+  test::MiniSystem sys;
+  const auto restored = uml::from_xml_string(uml::to_xml_string(sys.model));
+  const TutProfile found = find(*restored);
+  EXPECT_EQ(found.profile->stereotypes().size(), 13u);
+  EXPECT_EQ(found.hibi_segment->general(), found.communication_segment);
+}
+
+// ---------------------------------------------------------------------------
+// Design rules on the well-formed fixture
+// ---------------------------------------------------------------------------
+
+TEST(DesignRules, MiniSystemIsClean) {
+  test::MiniSystem sys;
+  const auto result = make_validator().run(sys.model);
+  EXPECT_TRUE(result.ok()) << result.to_string();
+  EXPECT_EQ(result.warning_count(), 0u) << result.to_string();
+}
+
+TEST(DesignRules, MiniSystemValidatesAfterRoundTrip) {
+  test::MiniSystem sys;
+  const auto restored = uml::from_xml_string(uml::to_xml_string(sys.model));
+  const auto result = make_validator().run(*restored);
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+namespace {
+
+bool has_rule(const uml::ValidationResult& r, const std::string& rule) {
+  for (const auto& d : r.diagnostics()) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(DesignRules, PassiveApplicationComponentIsAnError) {
+  test::MiniSystem sys;
+  auto& bad = sys.model.create_class("Passive");  // not active
+  bad.apply(*sys.prof.application_component);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_rule(r, "tut.component.active")) << r.to_string();
+}
+
+TEST(DesignRules, ActiveApplicationClassIsAnError) {
+  test::MiniSystem sys;
+  // A second <<Application>> that is also active: both unique and passive
+  // rules fire.
+  auto& bad = sys.model.create_class("App2", nullptr, /*active=*/true);
+  bad.apply(*sys.prof.application);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.application.unique"));
+  EXPECT_TRUE(has_rule(r, "tut.application.passive"));
+}
+
+TEST(DesignRules, ProcessMustInstantiateComponent) {
+  test::MiniSystem sys;
+  auto& passive = sys.model.create_class("Plain");
+  auto& part = sys.model.add_part(*sys.app, "rogue", passive);
+  part.apply(*sys.prof.application_process);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.process.type"));
+}
+
+TEST(DesignRules, UngroupedProcessIsAWarning) {
+  test::MiniSystem sys;
+  auto& part = sys.model.add_part(*sys.app, "lone", *sys.ctrl_comp);
+  part.apply(*sys.prof.application_process, {{"ProcessType", "general"}});
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(has_rule(r, "tut.grouping.unique"));
+}
+
+TEST(DesignRules, DoubleGroupingIsAnError) {
+  test::MiniSystem sys;
+  appmodel::ApplicationBuilder ab(sys.model, sys.prof);
+  // ctrl is already in g_ctrl; add it to g_dsp too.
+  sys.model
+      .create_dependency("dup", *sys.ctrl, *sys.group_dsp)
+      .apply(*sys.prof.process_grouping);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.grouping.unique"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DesignRules, HeterogeneousGroupIsAnError) {
+  test::MiniSystem sys;
+  // dsp-typed process into the general group.
+  sys.model
+      .create_dependency("bad", *sys.dsp1, *sys.group_ctrl)
+      .apply(*sys.prof.process_grouping);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.group.homogeneous"));
+}
+
+TEST(DesignRules, GroupingEndsChecked) {
+  test::MiniSystem sys;
+  sys.model
+      .create_dependency("bad", *sys.app, *sys.group_ctrl)
+      .apply(*sys.prof.process_grouping);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.grouping.ends"));
+}
+
+TEST(DesignRules, DuplicateInstanceIdIsAnError) {
+  test::MiniSystem sys;
+  platform::PlatformBuilder pb(sys.model, sys.prof);
+  // Bypass the builder's auto-id to force a collision with cpu1 (ID=1).
+  auto& part = sys.model.add_part(*sys.plat, "clone", *sys.cpu_type);
+  part.apply(*sys.prof.component_instance, {{"ID", "1"}});
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.instance.id"));
+}
+
+TEST(DesignRules, MissingInstanceIdIsAnError) {
+  test::MiniSystem sys;
+  auto& part = sys.model.add_part(*sys.plat, "noid", *sys.cpu_type);
+  part.apply(*sys.prof.component_instance);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "uml.tag.required"));
+}
+
+TEST(DesignRules, WrapperMustJoinInstanceAndSegment) {
+  test::MiniSystem sys;
+  // Stereotype the seg1-bridge link as a wrapper: both ends are segments.
+  auto& bad = sys.model.connect(*sys.plat, "seg1", "conn", "bridge", "conn");
+  bad.apply(*sys.prof.communication_wrapper);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.wrapper.ends"));
+}
+
+TEST(DesignRules, DuplicateWrapperAddressOnSameSegment) {
+  test::MiniSystem sys;
+  platform::PlatformBuilder pb2(sys.model, sys.prof);
+  // Manually add a wrapper with cpu2's address (auto addresses were 0,1).
+  auto& conn = sys.model.connect(*sys.plat, "acc", "bus", "seg1", "conn");
+  conn.apply(*sys.prof.hibi_wrapper, {{"Address", "1"}});
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.wrapper.address"));
+}
+
+TEST(DesignRules, UnmappedGroupIsAnError) {
+  test::MiniSystem sys;
+  appmodel::ApplicationBuilder ab(sys.model, sys.prof);
+  // Bypassing builder state: create a fresh group part directly.
+  auto& g = sys.model.add_part(*sys.app, "g_extra",
+                               *sys.group_ctrl->part_type());
+  g.apply(*sys.prof.process_group);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.mapping.total"));
+}
+
+TEST(DesignRules, DoubleMappingIsAnError) {
+  test::MiniSystem sys;
+  mapping::MappingBuilder mb(sys.model, sys.prof);
+  mb.map(*sys.group_ctrl, *sys.cpu2);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.mapping.total"));
+}
+
+TEST(DesignRules, HardwareGroupOnCpuIsAnError) {
+  test::MiniSystem sys;
+  mapping::MappingBuilder mb(sys.model, sys.prof);
+  // Remove is not supported; instead map a new hw group to a cpu.
+  auto& g = sys.model.add_part(*sys.app, "g_hw2",
+                               *sys.group_hw->part_type());
+  g.apply(*sys.prof.process_group, {{"ProcessType", "hardware"}});
+  mb.map(g, *sys.cpu1);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.mapping.type"));
+}
+
+TEST(DesignRules, DspGroupOnGeneralCpuIsAWarning) {
+  test::MiniSystem sys;
+  mapping::MappingBuilder mb(sys.model, sys.prof);
+  auto& g = sys.model.add_part(*sys.app, "g_dsp2",
+                               *sys.group_dsp->part_type());
+  g.apply(*sys.prof.process_group, {{"ProcessType", "dsp"}});
+  mb.map(g, *sys.cpu1);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(r.ok()) << r.to_string();  // warning only
+  EXPECT_TRUE(has_rule(r, "tut.mapping.type"));
+}
+
+TEST(DesignRules, MappingEndsChecked) {
+  test::MiniSystem sys;
+  sys.model.create_dependency("bad", *sys.ctrl, *sys.cpu1)
+      .apply(*sys.prof.mapping);
+  const auto r = make_validator().run(sys.model);
+  EXPECT_TRUE(has_rule(r, "tut.mapping.ends"));
+}

@@ -1,0 +1,327 @@
+// Unit tests for the UML metamodel subset: factories, structure, state
+// machines, profile machinery and the core validator.
+#include <gtest/gtest.h>
+
+#include "uml/model.hpp"
+#include "uml/validation.hpp"
+
+using namespace tut::uml;
+
+namespace {
+
+/// Builds a tiny two-part system: Producer --> Consumer via ports.
+struct TinyModel {
+  Model model{"tiny"};
+  Signal* data = nullptr;
+  Class* producer = nullptr;
+  Class* consumer = nullptr;
+  Class* top = nullptr;
+
+  TinyModel() {
+    data = &model.create_signal("Data");
+    data->add_parameter("payload", "int");
+
+    producer = &model.create_class("Producer", nullptr, /*active=*/true);
+    model.add_port(*producer, "out").require(*data);
+
+    consumer = &model.create_class("Consumer", nullptr, /*active=*/true);
+    model.add_port(*consumer, "in").provide(*data);
+
+    top = &model.create_class("Top");
+    model.add_part(*top, "p", *producer);
+    model.add_part(*top, "c", *consumer);
+    model.connect(*top, "p", "out", "c", "in");
+  }
+};
+
+}  // namespace
+
+TEST(UmlModel, AssignsUniqueIdsAndOwners) {
+  TinyModel t;
+  EXPECT_NE(t.data->id(), t.producer->id());
+  EXPECT_EQ(t.producer->owner(), &t.model);
+  EXPECT_EQ(t.top->parts()[0]->owner(), t.top);
+  EXPECT_EQ(t.model.find(t.producer->id()), t.producer);
+  EXPECT_EQ(t.model.find("no-such-id"), nullptr);
+}
+
+TEST(UmlModel, QualifiedNames) {
+  TinyModel t;
+  EXPECT_EQ(t.producer->qualified_name(), "Producer");
+  EXPECT_EQ(t.top->parts()[0]->qualified_name(), "Top.p");
+  EXPECT_EQ(t.producer->ports()[0]->qualified_name(), "Producer.out");
+}
+
+TEST(UmlModel, FindByKindAndName) {
+  TinyModel t;
+  EXPECT_EQ(t.model.find_class("Consumer"), t.consumer);
+  EXPECT_EQ(t.model.find_class("Nope"), nullptr);
+  EXPECT_EQ(t.model.find_signal("Data"), t.data);
+  EXPECT_EQ(t.model.elements_of_kind(ElementKind::Class).size(), 3u);
+}
+
+TEST(UmlStructure, PartsAndPortsResolveByName) {
+  TinyModel t;
+  ASSERT_NE(t.top->part("p"), nullptr);
+  EXPECT_EQ(t.top->part("p")->part_type(), t.producer);
+  EXPECT_TRUE(t.top->part("p")->is_part());
+  ASSERT_NE(t.producer->port("out"), nullptr);
+  EXPECT_TRUE(t.producer->port("out")->requires_signal(*t.data));
+  EXPECT_TRUE(t.consumer->port("in")->provides(*t.data));
+  EXPECT_FALSE(t.consumer->port("in")->requires_signal(*t.data));
+}
+
+TEST(UmlStructure, AttributesAreNotParts) {
+  TinyModel t;
+  auto& attr = t.model.add_attribute(*t.consumer, "count", "int");
+  EXPECT_FALSE(attr.is_part());
+  EXPECT_EQ(attr.attr_type(), "int");
+  EXPECT_EQ(t.consumer->attributes().size(), 1u);
+}
+
+TEST(UmlStructure, ConnectorEndsResolve) {
+  TinyModel t;
+  ASSERT_EQ(t.top->connectors().size(), 1u);
+  const Connector* c = t.top->connectors()[0];
+  EXPECT_EQ(c->end0().part, t.top->part("p"));
+  EXPECT_EQ(c->end0().port, t.producer->port("out"));
+  EXPECT_EQ(c->end1().part, t.top->part("c"));
+}
+
+TEST(UmlStructure, ConnectUnknownNamesThrows) {
+  TinyModel t;
+  EXPECT_THROW(t.model.connect(*t.top, "zzz", "out", "c", "in"),
+               std::invalid_argument);
+  EXPECT_THROW(t.model.connect(*t.top, "p", "zzz", "c", "in"),
+               std::invalid_argument);
+  EXPECT_THROW(t.model.connect_boundary(*t.top, "noport", "p", "out"),
+               std::invalid_argument);
+}
+
+TEST(UmlStructure, BoundaryConnector) {
+  TinyModel t;
+  t.model.add_port(*t.top, "ext").provide(*t.data);
+  auto& conn = t.model.connect_boundary(*t.top, "ext", "c", "in");
+  EXPECT_EQ(conn.end0().part, nullptr);
+  EXPECT_EQ(conn.end0().port, t.top->port("ext"));
+  EXPECT_EQ(conn.end1().part, t.top->part("c"));
+}
+
+TEST(UmlStructure, SignalPayloadDefaultsFromParameters) {
+  TinyModel t;
+  EXPECT_EQ(t.data->payload_bytes(), 8u);  // 4 header + 4 per parameter
+  t.data->set_payload_bytes(1500);
+  EXPECT_EQ(t.data->payload_bytes(), 1500u);
+}
+
+TEST(UmlStateMachine, BuildAndQuery) {
+  TinyModel t;
+  auto& sm = t.model.create_behavior(*t.producer);
+  EXPECT_EQ(t.producer->behavior(), &sm);
+  EXPECT_EQ(sm.context(), t.producer);
+  // create_behavior is idempotent.
+  EXPECT_EQ(&t.model.create_behavior(*t.producer), &sm);
+
+  auto& idle = t.model.add_state(sm, "Idle", /*initial=*/true);
+  auto& busy = t.model.add_state(sm, "Busy");
+  sm.declare_variable("n", 3);
+
+  auto& tr = t.model.add_transition(sm, idle, busy, *t.data, "out");
+  tr.set_guard("n > 0");
+  tr.add_effect(Action::assign("n", "n - 1"));
+  tr.add_effect(Action::send("out", *t.data, {"n"}));
+  t.model.add_timer_transition(sm, busy, idle, "t1");
+
+  EXPECT_EQ(sm.initial_state(), &idle);
+  EXPECT_EQ(sm.state("Busy"), &busy);
+  EXPECT_EQ(sm.state("Nope"), nullptr);
+  ASSERT_EQ(sm.outgoing(idle).size(), 1u);
+  EXPECT_EQ(sm.outgoing(idle)[0]->trigger_signal(), t.data);
+  EXPECT_FALSE(sm.outgoing(idle)[0]->is_completion());
+  EXPECT_EQ(sm.outgoing(busy)[0]->trigger_timer(), "t1");
+  EXPECT_EQ(sm.variables()[0].second, 3);
+}
+
+TEST(UmlProfile, StereotypeApplicationAndTaggedValues) {
+  TinyModel t;
+  auto& profile = t.model.create_profile("P");
+  auto& st = t.model.create_stereotype(profile, "Comp", ElementKind::Class);
+  st.define_tag("Priority", TagType::Integer, "execution priority");
+  st.define_tag("RealTimeType", TagType::Enum, "rt class",
+                {"hard", "soft", "none"});
+
+  auto& app = t.producer->apply(st, {{"Priority", "5"}});
+  EXPECT_TRUE(t.producer->has_stereotype("Comp"));
+  EXPECT_TRUE(t.producer->has_stereotype(st));
+  EXPECT_FALSE(t.consumer->has_stereotype("Comp"));
+  EXPECT_EQ(t.producer->tagged_value("Priority"), "5");
+  EXPECT_EQ(t.producer->tagged_value("RealTimeType"), "");
+  EXPECT_FALSE(t.producer->has_tagged_value("RealTimeType"));
+
+  // Re-applying returns the same application.
+  EXPECT_EQ(&t.producer->apply(st), &app);
+  t.producer->apply(st, {{"RealTimeType", "soft"}});
+  EXPECT_EQ(t.producer->tagged_value("RealTimeType"), "soft");
+  EXPECT_EQ(t.producer->applications().size(), 1u);
+}
+
+TEST(UmlProfile, SpecializationInheritsTagsAndMetaclass) {
+  TinyModel t;
+  auto& profile = t.model.create_profile("P");
+  auto& base = t.model.create_stereotype(profile, "Segment", ElementKind::Class);
+  base.define_tag("DataWidth", TagType::Integer, "width");
+  auto& hibi =
+      t.model.create_stereotype(profile, "HIBISegment", ElementKind::Class, &base);
+  hibi.define_tag("BurstLength", TagType::Integer, "burst");
+
+  EXPECT_EQ(hibi.general(), &base);
+  EXPECT_TRUE(hibi.is_kind_of(base));
+  EXPECT_FALSE(base.is_kind_of(hibi));
+  EXPECT_EQ(hibi.extended_metaclass(), ElementKind::Class);
+  ASSERT_EQ(hibi.all_tags().size(), 2u);
+  EXPECT_EQ(hibi.all_tags()[0]->name, "DataWidth");  // general-first order
+  EXPECT_NE(hibi.tag("DataWidth"), nullptr);
+  EXPECT_EQ(base.tag("BurstLength"), nullptr);
+
+  // An element stereotyped <<HIBISegment>> also answers to <<Segment>>.
+  t.producer->apply(hibi);
+  EXPECT_TRUE(t.producer->has_stereotype("Segment"));
+  EXPECT_TRUE(t.producer->has_stereotype(base));
+  // stereotyped() includes specializations.
+  EXPECT_EQ(t.model.stereotyped("Segment").size(), 1u);
+}
+
+TEST(UmlProfile, ProfileLookup) {
+  TinyModel t;
+  auto& profile = t.model.create_profile("P");
+  auto& st = t.model.create_stereotype(profile, "A", ElementKind::Class);
+  EXPECT_EQ(profile.stereotype("A"), &st);
+  EXPECT_EQ(profile.stereotype("B"), nullptr);
+  EXPECT_EQ(profile.stereotypes().size(), 1u);
+}
+
+struct TagCase {
+  const char* label;
+  TagType type;
+  const char* value;
+  bool ok;
+};
+
+class TagTypeChecking : public ::testing::TestWithParam<TagCase> {};
+
+TEST_P(TagTypeChecking, Accepts) {
+  TagDefinition def{"t", GetParam().type, "", {"red", "green"}, false};
+  EXPECT_EQ(def.accepts(GetParam().value), GetParam().ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, TagTypeChecking,
+    ::testing::Values(
+        TagCase{"int_ok", TagType::Integer, "42", true},
+        TagCase{"int_negative", TagType::Integer, "-7", true},
+        TagCase{"int_plus", TagType::Integer, "+7", true},
+        TagCase{"int_junk", TagType::Integer, "42x", false},
+        TagCase{"int_empty", TagType::Integer, "", false},
+        TagCase{"bool_true", TagType::Boolean, "true", true},
+        TagCase{"bool_bad", TagType::Boolean, "yes", false},
+        TagCase{"real_ok", TagType::Real, "3.25", true},
+        TagCase{"real_exp", TagType::Real, "1e3", true},
+        TagCase{"real_junk", TagType::Real, "3.2.1", false},
+        TagCase{"enum_ok", TagType::Enum, "red", true},
+        TagCase{"enum_bad", TagType::Enum, "blue", false},
+        TagCase{"string_any", TagType::String, "anything", true}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+// ---------------------------------------------------------------------------
+// Core validator
+// ---------------------------------------------------------------------------
+
+TEST(UmlValidation, CleanModelPasses) {
+  TinyModel t;
+  const auto result = Validator::uml_core().run(t.model);
+  EXPECT_TRUE(result.ok()) << result.to_string();
+  EXPECT_EQ(result.error_count(), 0u);
+}
+
+TEST(UmlValidation, WrongMetaclassIsAnError) {
+  TinyModel t;
+  auto& profile = t.model.create_profile("P");
+  auto& st = t.model.create_stereotype(profile, "OnDependency",
+                                       ElementKind::Dependency);
+  t.producer->apply(st);  // Class, not Dependency
+  const auto result = Validator::uml_core().run(t.model);
+  ASSERT_EQ(result.error_count(), 1u);
+  EXPECT_EQ(result.diagnostics()[0].rule, "uml.stereotype.metaclass");
+}
+
+TEST(UmlValidation, UndeclaredAndIllTypedTags) {
+  TinyModel t;
+  auto& profile = t.model.create_profile("P");
+  auto& st = t.model.create_stereotype(profile, "C", ElementKind::Class);
+  st.define_tag("Priority", TagType::Integer, "");
+  t.producer->apply(st, {{"Priority", "high"}, {"Bogus", "1"}});
+  const auto result = Validator::uml_core().run(t.model);
+  EXPECT_EQ(result.error_count(), 2u);
+  bool undeclared = false, illtyped = false;
+  for (const auto& d : result.diagnostics()) {
+    undeclared |= d.rule == "uml.tag.undeclared";
+    illtyped |= d.rule == "uml.tag.type";
+  }
+  EXPECT_TRUE(undeclared);
+  EXPECT_TRUE(illtyped);
+}
+
+TEST(UmlValidation, MissingRequiredTag) {
+  TinyModel t;
+  auto& profile = t.model.create_profile("P");
+  auto& st = t.model.create_stereotype(profile, "C", ElementKind::Class);
+  st.define_tag("ID", TagType::Integer, "", {}, /*required=*/true);
+  t.producer->apply(st);
+  const auto result = Validator::uml_core().run(t.model);
+  ASSERT_EQ(result.error_count(), 1u);
+  EXPECT_EQ(result.diagnostics()[0].rule, "uml.tag.required");
+}
+
+TEST(UmlValidation, PortSignalMismatchIsAWarning) {
+  TinyModel t;
+  auto& extra = t.model.create_signal("Extra");
+  // Producer now also requires Extra, which Consumer's port does not provide.
+  t.producer->port("out")->require(extra);
+  const auto result = Validator::uml_core().run(t.model);
+  EXPECT_TRUE(result.ok());  // warnings do not fail validation
+  ASSERT_EQ(result.warning_count(), 1u);
+  EXPECT_EQ(result.diagnostics()[0].rule, "uml.port.signals");
+}
+
+TEST(UmlValidation, StateMachineNeedsExactlyOneInitialState) {
+  TinyModel t;
+  auto& sm = t.model.create_behavior(*t.producer);
+  t.model.add_state(sm, "A");
+  const auto r1 = Validator::uml_core().run(t.model);
+  EXPECT_EQ(r1.error_count(), 1u);
+
+  t.model.add_state(sm, "B", /*initial=*/true);
+  EXPECT_TRUE(Validator::uml_core().run(t.model).ok());
+
+  t.model.add_state(sm, "C", /*initial=*/true);
+  const auto r2 = Validator::uml_core().run(t.model);
+  EXPECT_EQ(r2.error_count(), 1u);
+  EXPECT_EQ(r2.diagnostics()[0].rule, "uml.sm.wellformed");
+}
+
+TEST(UmlValidation, SendThroughUnknownPortIsAnError) {
+  TinyModel t;
+  auto& sm = t.model.create_behavior(*t.producer);
+  auto& a = t.model.add_state(sm, "A", true);
+  auto& b = t.model.add_state(sm, "B");
+  t.model.add_transition(sm, a, b)
+      .add_effect(Action::send("nosuchport", *t.data));
+  const auto result = Validator::uml_core().run(t.model);
+  ASSERT_GE(result.error_count(), 1u);
+  EXPECT_EQ(result.diagnostics()[0].rule, "uml.sm.wellformed");
+}
+
+TEST(UmlValidation, DiagnosticFormatting) {
+  Diagnostic d{Severity::Warning, "rule.id", "Elem.path", "message text"};
+  EXPECT_EQ(d.to_string(), "warning [rule.id] Elem.path: message text");
+}

@@ -1,0 +1,239 @@
+// Round-trip tests for the XML interchange format (tut::uml::serialize).
+#include <gtest/gtest.h>
+
+#include "uml/serialize.hpp"
+#include "uml/validation.hpp"
+
+using namespace tut::uml;
+
+namespace {
+
+/// A model that exercises every serializable construct, including forward
+/// references (generalization set after both classes exist, ports that
+/// acquire signals late).
+struct FullModel {
+  Model model{"full"};
+
+  FullModel() {
+    auto& pkg = model.create_package("app");
+    auto& sub = model.create_package("inner", &pkg);
+    (void)sub;
+
+    auto& sig = model.create_signal("Msg", &pkg);
+    sig.add_parameter("len", "int").add_parameter("kind", "int");
+    auto& ack = model.create_signal("Ack", &pkg);
+
+    auto& base = model.create_class("BaseComp", &pkg, true);
+    auto& worker = model.create_class("Worker", &pkg, true);
+    auto& top = model.create_class("Top", &pkg);
+    // Forward reference: general created after the referencing class exists.
+    base.set_general(&worker);
+
+    model.add_attribute(worker, "count", "int");
+    model.add_port(worker, "in").provide(sig).require(ack);
+    model.add_port(worker, "out").require(sig).provide(ack);
+    model.add_port(top, "ext").provide(sig);
+
+    model.add_part(top, "w1", worker);
+    model.add_part(top, "w2", worker);
+    model.connect(top, "w1", "out", "w2", "in");
+    model.connect_boundary(top, "ext", "w1", "in");
+
+    auto& sm = model.create_behavior(worker);
+    sm.declare_variable("n", 7);
+    auto& idle = model.add_state(sm, "Idle", true);
+    idle.on_entry(Action::compute("10"));
+    auto& run = model.add_state(sm, "Run");
+    auto& t1 = model.add_transition(sm, idle, run, sig, "in");
+    t1.set_guard("n > 0");
+    t1.add_effect(Action::assign("n", "n - 1"));
+    t1.add_effect(Action::send("out", ack, {"n", "n * 2"}));
+    t1.add_effect(Action::set_timer("tmo", "100"));
+    auto& t2 = model.add_timer_transition(sm, run, idle, "tmo");
+    t2.add_effect(Action::reset_timer("tmo"));
+    auto& t3 = model.add_transition(sm, run, idle);  // completion
+    t3.set_guard("n == 0");
+
+    auto& profile = model.create_profile("TUT");
+    auto& st = model.create_stereotype(profile, "ApplicationComponent",
+                                       ElementKind::Class);
+    st.define_tag("CodeMemory", TagType::Integer, "bytes of code");
+    st.define_tag("RealTimeType", TagType::Enum, "rt",
+                  {"hard", "soft", "none"});
+    auto& spec = model.create_stereotype(profile, "DspComponent",
+                                         ElementKind::Class, &st);
+    spec.define_tag("Mips", TagType::Integer, "", {}, true);
+
+    worker.apply(st, {{"CodeMemory", "4096"}, {"RealTimeType", "soft"}});
+    base.apply(spec, {{"Mips", "120"}});
+
+    model.create_dependency("grp", worker, top);
+  }
+};
+
+}  // namespace
+
+TEST(UmlSerialize, ProducesParsableXml) {
+  FullModel f;
+  const std::string text = to_xml_string(f.model);
+  EXPECT_NE(text.find("<tut:model"), std::string::npos);
+  EXPECT_NO_THROW((void)tut::xml::parse(text));
+}
+
+TEST(UmlSerialize, RoundTripIsTextualFixedPoint) {
+  FullModel f;
+  const std::string once = to_xml_string(f.model);
+  const auto restored = from_xml_string(once);
+  const std::string twice = to_xml_string(*restored);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(UmlSerialize, RoundTripPreservesStructure) {
+  FullModel f;
+  const auto restored = from_xml_string(to_xml_string(f.model));
+
+  EXPECT_EQ(restored->name(), "full");
+  EXPECT_EQ(restored->size(), f.model.size());
+
+  Class* worker = restored->find_class("Worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_TRUE(worker->is_active());
+  EXPECT_EQ(worker->ports().size(), 2u);
+  EXPECT_EQ(worker->attributes().size(), 1u);
+  Signal* msg = restored->find_signal("Msg");
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->parameters().size(), 2u);
+  EXPECT_TRUE(worker->port("in")->provides(*msg));
+
+  Class* base = restored->find_class("BaseComp");
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->general(), worker);  // forward reference survived
+
+  Class* top = restored->find_class("Top");
+  ASSERT_NE(top, nullptr);
+  ASSERT_EQ(top->parts().size(), 2u);
+  EXPECT_EQ(top->parts()[0]->part_type(), worker);
+  ASSERT_EQ(top->connectors().size(), 2u);
+  EXPECT_EQ(top->connectors()[1]->end0().part, nullptr);  // boundary end
+  EXPECT_EQ(top->connectors()[1]->end0().port, top->port("ext"));
+}
+
+TEST(UmlSerialize, RoundTripPreservesBehavior) {
+  FullModel f;
+  const auto restored = from_xml_string(to_xml_string(f.model));
+  Class* worker = restored->find_class("Worker");
+  ASSERT_NE(worker, nullptr);
+  StateMachine* sm = worker->behavior();
+  ASSERT_NE(sm, nullptr);
+  EXPECT_EQ(sm->context(), worker);
+  EXPECT_EQ(sm->states().size(), 2u);
+  EXPECT_EQ(sm->transitions().size(), 3u);
+  ASSERT_EQ(sm->variables().size(), 1u);
+  EXPECT_EQ(sm->variables()[0].first, "n");
+  EXPECT_EQ(sm->variables()[0].second, 7);
+
+  State* idle = sm->state("Idle");
+  ASSERT_NE(idle, nullptr);
+  EXPECT_TRUE(idle->is_initial());
+  ASSERT_EQ(idle->entry_actions().size(), 1u);
+  EXPECT_EQ(idle->entry_actions()[0].kind, Action::Kind::Compute);
+
+  auto out = sm->outgoing(*idle);
+  ASSERT_EQ(out.size(), 1u);
+  const Transition* t1 = out[0];
+  EXPECT_EQ(t1->guard(), "n > 0");
+  EXPECT_EQ(t1->trigger_port(), "in");
+  ASSERT_NE(t1->trigger_signal(), nullptr);
+  EXPECT_EQ(t1->trigger_signal()->name(), "Msg");
+  ASSERT_EQ(t1->effects().size(), 3u);
+  EXPECT_EQ(t1->effects()[1].kind, Action::Kind::Send);
+  ASSERT_EQ(t1->effects()[1].args.size(), 2u);
+  EXPECT_EQ(t1->effects()[1].args[1], "n * 2");
+  EXPECT_EQ(t1->effects()[2].kind, Action::Kind::SetTimer);
+
+  // Completion transition kept its empty trigger.
+  State* run = sm->state("Run");
+  auto run_out = sm->outgoing(*run);
+  ASSERT_EQ(run_out.size(), 2u);
+  EXPECT_EQ(run_out[0]->trigger_timer(), "tmo");
+  EXPECT_TRUE(run_out[1]->is_completion());
+}
+
+TEST(UmlSerialize, RoundTripPreservesProfileAndApplications) {
+  FullModel f;
+  const auto restored = from_xml_string(to_xml_string(f.model));
+
+  auto profiles = restored->elements_of_kind(ElementKind::Profile);
+  ASSERT_EQ(profiles.size(), 1u);
+  auto* profile = static_cast<Profile*>(profiles[0]);
+  ASSERT_EQ(profile->stereotypes().size(), 2u);
+
+  Stereotype* st = profile->stereotype("ApplicationComponent");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->own_tags().size(), 2u);
+  const TagDefinition* rtt = st->tag("RealTimeType");
+  ASSERT_NE(rtt, nullptr);
+  EXPECT_EQ(rtt->type, TagType::Enum);
+  EXPECT_EQ(rtt->enumerators.size(), 3u);
+
+  Stereotype* spec = profile->stereotype("DspComponent");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->general(), st);
+  ASSERT_NE(spec->tag("Mips"), nullptr);
+  EXPECT_TRUE(spec->tag("Mips")->required);
+
+  Class* worker = restored->find_class("Worker");
+  EXPECT_EQ(worker->tagged_value("CodeMemory"), "4096");
+  Class* base = restored->find_class("BaseComp");
+  EXPECT_TRUE(base->has_stereotype("ApplicationComponent"));  // via general
+  EXPECT_EQ(base->tagged_value("Mips"), "120");
+}
+
+TEST(UmlSerialize, RoundTripPreservesDependencies) {
+  FullModel f;
+  const auto restored = from_xml_string(to_xml_string(f.model));
+  auto deps = restored->elements_of_kind(ElementKind::Dependency);
+  ASSERT_EQ(deps.size(), 1u);
+  auto* dep = static_cast<Dependency*>(deps[0]);
+  EXPECT_EQ(dep->client(), restored->find_class("Worker"));
+  EXPECT_EQ(dep->supplier(), restored->find_class("Top"));
+}
+
+TEST(UmlSerialize, RestoredModelStillValidates) {
+  FullModel f;
+  const auto restored = from_xml_string(to_xml_string(f.model));
+  const auto result = Validator::uml_core().run(*restored);
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST(UmlSerialize, RestoredModelFactoriesKeepWorking) {
+  FullModel f;
+  auto restored = from_xml_string(to_xml_string(f.model));
+  // New elements must get fresh ids that do not collide with ingested ones.
+  auto& extra = restored->create_class("Extra");
+  EXPECT_EQ(restored->find(extra.id()), &extra);
+  std::size_t count = 0;
+  for (const auto& e : restored->elements()) {
+    if (e->id() == extra.id()) ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(UmlSerialize, RejectsWrongRootAndDanglingRefs) {
+  EXPECT_THROW((void)from_xml_string("<wrong/>"), std::runtime_error);
+  EXPECT_THROW(
+      (void)from_xml_string("<tut:model name=\"m\">"
+                            "<class id=\"e0\" name=\"A\" general=\"e99\"/>"
+                            "</tut:model>"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)from_xml_string("<tut:model name=\"m\"><bogus id=\"e0\"/></tut:model>"),
+      std::runtime_error);
+}
+
+TEST(UmlSerialize, EmptyModelRoundTrips) {
+  Model m("empty");
+  const auto restored = from_xml_string(to_xml_string(m));
+  EXPECT_EQ(restored->name(), "empty");
+  EXPECT_EQ(restored->size(), 0u);
+}

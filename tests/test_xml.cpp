@@ -1,0 +1,198 @@
+// Unit and property tests for tut::xml (writer, parser, round trips).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xml/xml.hpp"
+
+namespace x = tut::xml;
+
+TEST(XmlElement, AttributesPreserveInsertionOrderAndReplace) {
+  x::Element e("node");
+  e.set_attr("b", "2").set_attr("a", "1").set_attr("b", "3");
+  ASSERT_EQ(e.attrs().size(), 2u);
+  EXPECT_EQ(e.attrs()[0].first, "b");
+  EXPECT_EQ(e.attrs()[0].second, "3");
+  EXPECT_EQ(e.attrs()[1].first, "a");
+  EXPECT_EQ(e.attr_or("a", "x"), "1");
+  EXPECT_EQ(e.attr_or("missing", "x"), "x");
+  EXPECT_FALSE(e.attr("missing").has_value());
+  EXPECT_TRUE(e.has_attr("a"));
+}
+
+TEST(XmlElement, ChildLookup) {
+  x::Element e("root");
+  e.add_child("a").set_attr("i", "0");
+  e.add_child("b");
+  e.add_child("a").set_attr("i", "1");
+  ASSERT_NE(e.child("a"), nullptr);
+  EXPECT_EQ(e.child("a")->attr_or("i", ""), "0");
+  EXPECT_EQ(e.child("missing"), nullptr);
+  EXPECT_EQ(e.children_named("a").size(), 2u);
+  EXPECT_EQ(e.subtree_size(), 4u);
+}
+
+TEST(XmlWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(x::escape("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&apos;c");
+}
+
+TEST(XmlWriter, SelfClosesEmptyElements) {
+  x::Document doc("empty");
+  EXPECT_EQ(x::write(doc), "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<empty/>\n");
+}
+
+TEST(XmlWriter, WritesTextContent) {
+  x::Document doc("t");
+  doc.root().set_text("a < b");
+  EXPECT_NE(x::write(doc).find("<t>a &lt; b</t>"), std::string::npos);
+}
+
+TEST(XmlParser, ParsesDeclarationCommentsAndNesting) {
+  const auto doc = x::parse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- header comment -->\n"
+      "<root a=\"1\">\n"
+      "  <child b='two'><leaf/></child>\n"
+      "  <!-- inner comment -->\n"
+      "  <child b=\"three\"/>\n"
+      "</root>");
+  EXPECT_EQ(doc.root().name(), "root");
+  EXPECT_EQ(doc.root().attr_or("a", ""), "1");
+  ASSERT_EQ(doc.root().children_named("child").size(), 2u);
+  EXPECT_EQ(doc.root().children_named("child")[0]->attr_or("b", ""), "two");
+  EXPECT_NE(doc.root().children_named("child")[0]->child("leaf"), nullptr);
+}
+
+TEST(XmlParser, DecodesEntitiesInTextAndAttributes) {
+  const auto doc =
+      x::parse("<r a=\"&lt;&amp;&gt;\">x &#65;&#x42; &quot;q&quot;</r>");
+  EXPECT_EQ(doc.root().attr_or("a", ""), "<&>");
+  EXPECT_EQ(doc.root().text(), "x AB \"q\"");
+}
+
+TEST(XmlParser, DecodesMultibyteCharacterReferences) {
+  const auto doc = x::parse("<r>&#228;&#x20AC;</r>");
+  EXPECT_EQ(doc.root().text(), "\xC3\xA4\xE2\x82\xAC");  // ä €
+}
+
+TEST(XmlParser, ParsesCdata) {
+  const auto doc = x::parse("<r><![CDATA[a < b & c]]></r>");
+  EXPECT_EQ(doc.root().text(), "a < b & c");
+}
+
+TEST(XmlParser, SkipsDoctype) {
+  const auto doc = x::parse("<!DOCTYPE r [<!ELEMENT r EMPTY>]><r/>");
+  EXPECT_EQ(doc.root().name(), "r");
+}
+
+TEST(XmlParser, TrimsInterElementWhitespaceButKeepsInnerText) {
+  const auto doc = x::parse("<r>\n  hello world  \n</r>");
+  EXPECT_EQ(doc.root().text(), "hello world");
+}
+
+struct BadInput {
+  const char* label;
+  const char* text;
+};
+
+class XmlParserRejects : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(XmlParserRejects, ThrowsParseError) {
+  EXPECT_THROW((void)x::parse(GetParam().text), x::ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, XmlParserRejects,
+    ::testing::Values(
+        BadInput{"empty", ""},
+        BadInput{"unclosed_root", "<r>"},
+        BadInput{"mismatched_tags", "<a></b>"},
+        BadInput{"trailing_garbage", "<a/><b/>"},
+        BadInput{"bad_entity", "<a>&nosuch;</a>"},
+        BadInput{"unterminated_comment", "<!-- <a/>"},
+        BadInput{"unterminated_attr", "<a b=\"1/>"},
+        BadInput{"lt_in_attr", "<a b=\"<\"/>"},
+        BadInput{"unterminated_cdata", "<a><![CDATA[x</a>"},
+        BadInput{"missing_attr_value", "<a b=/>"},
+        BadInput{"bad_charref", "<a>&#zz;</a>"},
+        BadInput{"charref_out_of_range", "<a>&#1114112;</a>"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(XmlParser, ReportsLineNumbers) {
+  try {
+    (void)x::parse("<a>\n<b>\n</c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const x::ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+// Property: write(parse(write(doc))) is a fixed point — structural round trip.
+TEST(XmlRoundTrip, WriterParserFixedPoint) {
+  x::Document doc("model");
+  doc.root().set_attr("name", "m&m <quoted>");
+  auto& a = doc.root().add_child("a");
+  a.set_attr("k", "v\"w'");
+  a.add_child("leaf").set_text("text & <markup>");
+  doc.root().add_child("b");
+
+  const std::string once = x::write(doc);
+  const auto reparsed = x::parse(once);
+  const std::string twice = x::write(reparsed);
+  EXPECT_EQ(once, twice);
+}
+
+class XmlRoundTripDepth : public ::testing::TestWithParam<int> {};
+
+// Property: deeply nested documents round-trip with size preserved.
+TEST_P(XmlRoundTripDepth, PreservesSubtreeSize) {
+  x::Document doc("d0");
+  x::Element* cur = &doc.root();
+  for (int i = 1; i <= GetParam(); ++i) {
+    cur = &cur->add_child("d" + std::to_string(i));
+    cur->set_attr("depth", std::to_string(i));
+  }
+  const auto reparsed = x::parse(x::write(doc));
+  EXPECT_EQ(reparsed.root().subtree_size(), doc.root().subtree_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, XmlRoundTripDepth,
+                         ::testing::Values(1, 4, 16, 64, 256));
+
+// Property: truncating a well-formed document at any point either parses
+// (truncation fell after the root element) or throws ParseError — the
+// parser never crashes or hangs on malformed prefixes.
+TEST(XmlRobustness, TruncatedInputNeverCrashes) {
+  x::Document doc("model");
+  auto& a = doc.root().add_child("item");
+  a.set_attr("name", "value with <escapes> & quotes");
+  a.add_child("leaf").set_text("payload &#65;");
+  doc.root().add_child("empty");
+  const std::string full = x::write(doc);
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    try {
+      (void)x::parse(full.substr(0, cut));
+    } catch (const x::ParseError&) {
+      // Expected for most prefixes.
+    }
+  }
+  SUCCEED();
+}
+
+// Property: single-character corruption never crashes the parser.
+TEST(XmlRobustness, CorruptedInputNeverCrashes) {
+  const std::string full =
+      "<root a=\"1\"><child b='two'><leaf/></child>text &amp; more</root>";
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    for (char c : {'<', '>', '&', '"', '\0', 'x'}) {
+      std::string mutated = full;
+      mutated[i] = c;
+      try {
+        (void)x::parse(mutated);
+      } catch (const x::ParseError&) {
+      }
+    }
+  }
+  SUCCEED();
+}

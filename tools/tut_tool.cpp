@@ -1,0 +1,216 @@
+// tut — the command-line profiling tool.
+//
+// The paper's custom tool (Figure 1: "UML Profiling tool") works on the XML
+// presentation of the model and the simulation log-file. This binary exposes
+// the same operations:
+//
+//   tut info      <model.xml>                 model summary
+//   tut validate  <model.xml>                 design-rule check (exit 1 on errors)
+//   tut diagram   <model.xml> <figure>        fig3..fig8 as text/DOT on stdout
+//   tut codegen   <model.xml> <outdir> [--host]  generate the C implementation
+//   tut profile   <model.xml> <sim.log>       Table-4 report + latencies
+//   tut simulate  tutmac <outdir> [ms]        build+simulate the case study,
+//                                             writing model.xml and sim.log
+//   tut roundtrip <model.xml>                 canonicalized XML on stdout
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.hpp"
+#include "diagram/diagram.hpp"
+#include "profile/tut_profile.hpp"
+#include "profiler/profiler.hpp"
+#include "tutmac/tutmac.hpp"
+#include "uml/serialize.hpp"
+#include "uml/validation.hpp"
+
+using namespace tut;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: tut <command> ...\n"
+      "  info      <model.xml>\n"
+      "  validate  <model.xml>\n"
+      "  diagram   <model.xml> <fig3|fig4|fig5|fig6|fig7|fig8>\n"
+      "  codegen   <model.xml> <outdir> [--host]\n"
+      "  profile   <model.xml> <sim.log>\n"
+      "  simulate  tutmac <outdir> [horizon_ms]\n"
+      "  roundtrip <model.xml>\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::unique_ptr<uml::Model> load_model(const std::string& path) {
+  return uml::from_xml_string(read_file(path));
+}
+
+int cmd_info(const std::string& path) {
+  const auto model = load_model(path);
+  mapping::SystemView view(*model);
+  std::cout << "model    : " << model->name() << " (" << model->size()
+            << " elements)\n";
+  const uml::Class* app = view.app().application();
+  std::cout << "app      : " << (app != nullptr ? app->name() : "<none>")
+            << '\n';
+  std::cout << "processes: " << view.app().processes().size() << " (";
+  bool first = true;
+  for (const uml::Property* p : view.app().processes()) {
+    std::cout << (first ? "" : ", ") << p->name();
+    first = false;
+  }
+  std::cout << ")\n";
+  std::cout << "groups   : " << view.app().groups().size() << '\n';
+  std::cout << "platform : " << view.plat().instances().size()
+            << " component instances, " << view.plat().segments().size()
+            << " segments\n";
+  for (const uml::Property* g : view.app().groups()) {
+    const uml::Property* pe = view.instance_for_group(*g);
+    std::cout << "  " << g->name() << " -> "
+              << (pe != nullptr ? pe->name() : "<unmapped>") << '\n';
+  }
+  return 0;
+}
+
+int cmd_validate(const std::string& path) {
+  const auto model = load_model(path);
+  const auto result = profile::make_validator().run(*model);
+  std::cout << result.to_string();
+  std::cout << result.error_count() << " errors, " << result.warning_count()
+            << " warnings\n";
+  return result.ok() ? 0 : 1;
+}
+
+int cmd_diagram(const std::string& path, const std::string& figure) {
+  const auto model = load_model(path);
+  if (figure == "fig3") {
+    std::cout << diagram::profile_hierarchy_text(profile::find(*model));
+    return 0;
+  }
+  if (figure == "fig4") {
+    std::cout << diagram::class_diagram_dot(*model);
+    return 0;
+  }
+  if (figure == "fig5") {
+    appmodel::ApplicationView view(*model);
+    if (view.application() == nullptr) {
+      std::cerr << "no <<Application>> class in the model\n";
+      return 1;
+    }
+    std::cout << diagram::composite_structure_dot(*view.application());
+    return 0;
+  }
+  if (figure == "fig6") {
+    std::cout << diagram::grouping_dot(*model);
+    return 0;
+  }
+  if (figure == "fig7") {
+    std::cout << diagram::platform_dot(*model);
+    return 0;
+  }
+  if (figure == "fig8") {
+    std::cout << diagram::mapping_dot(*model);
+    return 0;
+  }
+  std::cerr << "unknown figure '" << figure << "'\n";
+  return 2;
+}
+
+int cmd_codegen(const std::string& path, const std::string& outdir,
+                bool host) {
+  const auto model = load_model(path);
+  codegen::Options opt;
+  opt.host_runtime = host;
+  const auto bundle = codegen::generate(*model, opt);
+  bundle.write_to(outdir);
+  std::cout << "wrote " << bundle.files.size() << " files ("
+            << bundle.total_lines() << " lines) to " << outdir << '\n';
+  if (host) {
+    std::cout << "build: gcc -std=c99 -I" << outdir << " " << outdir
+              << "/*.c -o app\n";
+  }
+  return 0;
+}
+
+int cmd_profile(const std::string& model_path, const std::string& log_path) {
+  // Stage 1: model parsing; stage 3: combine and analyze.
+  const auto info = profiler::ProcessGroupInfo::from_xml(read_file(model_path));
+  const auto log = sim::SimulationLog::parse(read_file(log_path));
+  const auto report = profiler::analyze(info, log);
+  std::cout << report.to_text() << '\n';
+  const auto latencies = profiler::latency_report(log);
+  if (!latencies.empty()) {
+    std::cout << "End-to-end signal latencies (ticks)\n"
+              << profiler::latency_to_text(latencies);
+  }
+  return 0;
+}
+
+int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms) {
+  tutmac::Options opt;
+  opt.horizon = static_cast<sim::Time>(horizon_ms) * 1'000'000;
+  tutmac::System sys = tutmac::build(opt);
+  mapping::SystemView view(*sys.model);
+  const auto simulation = sys.simulate(view);
+
+  std::filesystem::create_directories(outdir);
+  {
+    std::ofstream out(outdir + "/model.xml");
+    out << uml::to_xml_string(*sys.model);
+  }
+  {
+    std::ofstream out(outdir + "/sim.log");
+    out << simulation->log().to_text();
+  }
+  std::cout << "simulated " << horizon_ms << " ms ("
+            << simulation->events_dispatched() << " events)\n"
+            << "wrote " << outdir << "/model.xml and " << outdir
+            << "/sim.log\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) return usage();
+    const std::string& cmd = args[0];
+    if (cmd == "info" && args.size() == 2) return cmd_info(args[1]);
+    if (cmd == "validate" && args.size() == 2) return cmd_validate(args[1]);
+    if (cmd == "diagram" && args.size() == 3) {
+      return cmd_diagram(args[1], args[2]);
+    }
+    if (cmd == "codegen" && (args.size() == 3 || args.size() == 4)) {
+      const bool host = args.size() == 4 && args[3] == "--host";
+      if (args.size() == 4 && !host) return usage();
+      return cmd_codegen(args[1], args[2], host);
+    }
+    if (cmd == "profile" && args.size() == 3) {
+      return cmd_profile(args[1], args[2]);
+    }
+    if (cmd == "simulate" && args.size() >= 3 && args[1] == "tutmac") {
+      const long ms = args.size() >= 4 ? std::stol(args[3]) : 20;
+      return cmd_simulate_tutmac(args[2], ms);
+    }
+    if (cmd == "roundtrip" && args.size() == 2) {
+      std::cout << uml::to_xml_string(*load_model(args[1]));
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "tut: " << e.what() << '\n';
+    return 1;
+  }
+}
