@@ -31,6 +31,44 @@ void BM_KernelScheduleAndRun(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelScheduleAndRun)->Arg(1000)->Arg(100000)->Unit(benchmark::kMicrosecond);
 
+// Run-to-completion steps show up as zero-delay self-schedules; this is the
+// bucket fast path (no heap sift at all).
+void BM_KernelZeroDelayCascade(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    std::size_t fired = 0;
+    std::function<void()> step = [&] {
+      if (++fired < n) kernel.schedule_at(kernel.now(), step);
+    };
+    kernel.schedule_at(0, step);
+    kernel.run(10);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelZeroDelayCascade)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+// Many events on few distinct timestamps: dispatch cost is dominated by
+// moving the handlers out of the heap, not by sift depth.
+void BM_KernelSameTimeBurst(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    kernel.reserve(n);
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      kernel.schedule_at(1 + i % 4, [&fired] { ++fired; });
+    }
+    kernel.run(10);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelSameTimeBurst)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
 void BM_ExprCompile(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(

@@ -2,7 +2,12 @@
 // Figure 8 mapping against load-balanced and single-PE mappings, and lets
 // the exploration tool propose a mapping from profiling data, comparing its
 // estimate with the measured result.
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
 #include "bench_util.hpp"
+#include "explore/engine.hpp"
 #include "explore/explore.hpp"
 #include "profiler/profiler.hpp"
 #include "tutmac/tutmac.hpp"
@@ -10,6 +15,43 @@
 using namespace tut;
 
 namespace {
+
+/// --threads N for the engine ablation (0 = hardware concurrency).
+std::size_t g_threads = 0;
+
+/// Synthetic workload big enough that one candidate evaluation is heavy:
+/// `n` processes on a ring with chords, deterministic LCG loads/volumes.
+explore::ProcessStats synthetic_stats(std::size_t n) {
+  explore::ProcessStats s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.processes.push_back("p" + std::to_string(i));
+  }
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  auto next = [&lcg]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    s.cycles[s.processes[i]] = static_cast<long>(500 + next() % 8000);
+    s.signals[{s.processes[i], s.processes[(i + 1) % n]}] = 20 + next() % 400;
+    s.signals[{s.processes[i], s.processes[(i + 5) % n]}] = next() % 60;
+  }
+  return s;
+}
+
+std::vector<explore::PeDesc> synthetic_platform() {
+  return {{"cpu0", 100, "general"},    {"cpu1", 100, "general"},
+          {"cpu2", 50, "general"},     {"dsp0", 50, "general"},
+          {"acc0", 200, "hw_accelerator"}};
+}
+
+explore::ExploreEngine make_engine(std::size_t threads) {
+  explore::EngineOptions eopt;
+  eopt.threads = threads;
+  eopt.restarts_per_size = 4;
+  return explore::ExploreEngine(synthetic_stats(48), synthetic_platform(), {},
+                                eopt);
+}
 
 struct Result {
   std::string name;
@@ -81,7 +123,51 @@ void print_ablation() {
   std::printf("  estimated makespan %lld ticks (comm %lld)\n",
               static_cast<long long>(proposal.cost.makespan),
               static_cast<long long>(proposal.cost.comm_cost));
+
+  // Parallel design-space exploration over a 48-process synthetic workload:
+  // every target group count times (1 greedy + 4 randomized) candidates,
+  // serial vs --threads N, with identical results by construction.
+  bench::banner("parallel exploration engine (48 processes)");
+  const auto wall = [](const explore::ExploreEngine& engine) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = engine.explore();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::pair{
+        std::chrono::duration<double, std::milli>(t1 - t0).count(), result};
+  };
+  const auto serial_engine = make_engine(1);
+  const auto [serial_ms, serial_result] = wall(serial_engine);
+  const auto parallel_engine = make_engine(g_threads);
+  const auto [parallel_ms, parallel_result] = wall(parallel_engine);
+  std::printf("candidates evaluated:      %zu\n",
+              serial_result.candidates.size());
+  std::printf("winner: %zu groups, makespan %lld ticks (crossing %llu)\n",
+              serial_result.winner().grouping.size(),
+              static_cast<long long>(
+                  serial_result.winner().mapping.cost.makespan),
+              static_cast<unsigned long long>(serial_result.winner().inter_group));
+  std::printf("threads=1:                 %8.2f ms\n", serial_ms);
+  std::printf("threads=%-2zu                %8.2f ms (speedup %.2fx)\n",
+              parallel_engine.threads(), parallel_ms,
+              parallel_ms > 0 ? serial_ms / parallel_ms : 0.0);
+  std::printf("identical winner across thread counts: %s\n",
+              serial_result.best == parallel_result.best ? "yes" : "NO");
 }
+
+void BM_ExploreEngine(benchmark::State& state) {
+  const auto engine = make_engine(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.explore());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(engine.candidate_count()));
+}
+BENCHMARK(BM_ExploreEngine)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ProposeMapping(benchmark::State& state) {
   tutmac::Options opt;
@@ -128,5 +214,15 @@ BENCHMARK(BM_SimulateMappingVariant)
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --threads N before handing argv to the benchmark library.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
   return bench::run(argc, argv, print_ablation);
 }

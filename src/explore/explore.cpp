@@ -1,7 +1,10 @@
 #include "explore/explore.hpp"
 
 #include <algorithm>
+#include <random>
 #include <stdexcept>
+#include <string_view>
+#include <utility>
 
 #include "profile/tut_profile.hpp"
 
@@ -55,58 +58,150 @@ std::uint64_t inter_group_signals(const Grouping& grouping,
   return crossing;
 }
 
+CrossingCounter::CrossingCounter(const Grouping& grouping,
+                                 const ProcessStats& stats) {
+  std::unordered_map<std::string_view, std::size_t> group_of;
+  for (std::size_t g = 0; g < grouping.size(); ++g) {
+    for (const std::string& p : grouping[g]) group_of[p] = g;
+  }
+  comm_.assign(grouping.size(),
+               std::vector<std::uint64_t>(grouping.size(), 0));
+  for (const auto& [pair, count] : stats.signals) {
+    const auto a = group_of.find(pair.first);
+    const auto b = group_of.find(pair.second);
+    if (a == group_of.end() || b == group_of.end()) continue;
+    if (a->second == b->second) continue;
+    comm_[a->second][b->second] += count;
+    comm_[b->second][a->second] += count;
+    crossing_ += count;
+  }
+}
+
+void CrossingCounter::merge(std::size_t a, std::size_t b) {
+  if (a == b || a >= comm_.size() || b >= comm_.size()) {
+    throw std::invalid_argument("merge requires two distinct group indices");
+  }
+  // Signals between a and b become internal; everything else that touched b
+  // now touches a instead and still crosses.
+  crossing_ -= comm_[a][b];
+  for (std::size_t k = 0; k < comm_.size(); ++k) {
+    if (k == a || k == b) continue;
+    comm_[a][k] += comm_[b][k];
+    comm_[k][a] = comm_[a][k];
+  }
+  comm_[a][b] = 0;
+  comm_[b][a] = 0;
+  comm_.erase(comm_.begin() + static_cast<std::ptrdiff_t>(b));
+  for (auto& row : comm_) {
+    row.erase(row.begin() + static_cast<std::ptrdiff_t>(b));
+  }
+}
+
+namespace {
+
+/// A mergeable pair of groups, listed in (i, j) scan order.
+struct MergeCand {
+  std::uint64_t comm = 0;
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+};
+
+/// Shared agglomerative loop: singleton groups, then repeated merges of a
+/// candidate chosen by `pick` (index into the candidate list) until
+/// `target_groups` remain or nothing is mergeable. Group-pair communication
+/// is maintained incrementally by CrossingCounter instead of recounted from
+/// the raw signal table on every comparison.
+template <typename Pick>
+Grouping agglomerate(const ProcessStats& stats,
+                     const std::map<std::string, std::string>& process_type,
+                     std::size_t target_groups,
+                     const std::set<std::string>& fixed, Pick&& pick) {
+  // One group per process to start.
+  Grouping groups;
+  groups.reserve(stats.processes.size());
+  for (const std::string& p : stats.processes) groups.push_back({p});
+  if (target_groups == 0) target_groups = 1;
+
+  // Merges keep the lower group's front process, so each group's type is the
+  // type of its original seed singleton; fixed processes never merge at all.
+  // Both attributes can therefore be tracked positionally.
+  std::vector<std::string> types;
+  std::vector<char> pinned;
+  types.reserve(groups.size());
+  pinned.reserve(groups.size());
+  for (const std::string& p : stats.processes) {
+    auto it = process_type.find(p);
+    types.push_back(it != process_type.end() ? it->second : "general");
+    pinned.push_back(fixed.count(p) != 0 ? 1 : 0);
+  }
+
+  CrossingCounter comm(groups, stats);
+  std::vector<MergeCand> cands;
+  while (groups.size() > target_groups) {
+    cands.clear();
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (pinned[i]) continue;
+      for (std::size_t j = i + 1; j < groups.size(); ++j) {
+        if (pinned[j]) continue;
+        if (types[i] != types[j]) continue;
+        cands.push_back({comm.between(i, j), static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(j)});
+      }
+    }
+    if (cands.empty()) break;  // nothing mergeable (types/fixed constraints)
+    const MergeCand c = cands[pick(cands)];
+    auto& a = groups[c.i];
+    auto& b = groups[c.j];
+    a.insert(a.end(), b.begin(), b.end());
+    groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(c.j));
+    types.erase(types.begin() + static_cast<std::ptrdiff_t>(c.j));
+    pinned.erase(pinned.begin() + static_cast<std::ptrdiff_t>(c.j));
+    comm.merge(c.i, c.j);
+  }
+  return groups;
+}
+
+}  // namespace
+
 Grouping propose_grouping(const ProcessStats& stats,
                           const std::map<std::string, std::string>& process_type,
                           std::size_t target_groups,
                           const std::set<std::string>& fixed) {
-  // One group per process to start.
-  Grouping groups;
-  for (const std::string& p : stats.processes) groups.push_back({p});
-  if (target_groups == 0) target_groups = 1;
+  // Greedy: the pair with maximal mutual communication, ties broken by the
+  // earliest pair in scan order, keeping the result deterministic.
+  return agglomerate(stats, process_type, target_groups, fixed,
+                     [](const std::vector<MergeCand>& cands) {
+                       std::size_t best = 0;
+                       for (std::size_t k = 1; k < cands.size(); ++k) {
+                         if (cands[k].comm > cands[best].comm) best = k;
+                       }
+                       return best;
+                     });
+}
 
-  auto type_of = [&](const std::vector<std::string>& group) -> std::string {
-    auto it = process_type.find(group.front());
-    return it != process_type.end() ? it->second : "general";
-  };
-  auto is_fixed = [&](const std::vector<std::string>& group) {
-    return group.size() == 1 && fixed.count(group.front()) != 0;
-  };
-  auto comm = [&](const std::vector<std::string>& a,
-                  const std::vector<std::string>& b) {
-    std::uint64_t n = 0;
-    for (const auto& pa : a) {
-      for (const auto& pb : b) n += stats.between(pa, pb);
-    }
-    return n;
-  };
-
-  while (groups.size() > target_groups) {
-    // Find the mergeable pair with maximal mutual communication (ties: the
-    // earliest pair, keeping the result deterministic).
-    std::size_t best_a = 0, best_b = 0;
-    std::uint64_t best_comm = 0;
-    bool found = false;
-    for (std::size_t i = 0; i < groups.size(); ++i) {
-      if (is_fixed(groups[i])) continue;
-      for (std::size_t j = i + 1; j < groups.size(); ++j) {
-        if (is_fixed(groups[j])) continue;
-        if (type_of(groups[i]) != type_of(groups[j])) continue;
-        const std::uint64_t c = comm(groups[i], groups[j]);
-        if (!found || c > best_comm) {
-          found = true;
-          best_comm = c;
-          best_a = i;
-          best_b = j;
-        }
-      }
-    }
-    if (!found) break;  // nothing mergeable (types/fixed constraints)
-    auto& a = groups[best_a];
-    auto& b = groups[best_b];
-    a.insert(a.end(), b.begin(), b.end());
-    groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(best_b));
-  }
-  return groups;
+Grouping propose_grouping_randomized(
+    const ProcessStats& stats,
+    const std::map<std::string, std::string>& process_type,
+    std::size_t target_groups, std::uint64_t seed, std::size_t breadth,
+    const std::set<std::string>& fixed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint32_t> idx;
+  return agglomerate(
+      stats, process_type, target_groups, fixed,
+      [&](const std::vector<MergeCand>& cands) {
+        const std::size_t k =
+            std::min(breadth == 0 ? std::size_t{1} : breadth, cands.size());
+        idx.resize(cands.size());
+        for (std::uint32_t n = 0; n < idx.size(); ++n) idx[n] = n;
+        // Stable sort keeps (i, j) scan order among equal volumes, so the
+        // top-k window is deterministic and the k = 1 case degenerates to
+        // the greedy pick.
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&](std::uint32_t x, std::uint32_t y) {
+                           return cands[x].comm > cands[y].comm;
+                         });
+        return static_cast<std::size_t>(idx[rng() % k]);
+      });
 }
 
 namespace {
@@ -117,51 +212,132 @@ int default_hops(const std::string& a, const std::string& b) {
 
 }  // namespace
 
+std::size_t CostEvaluator::VecHash::operator()(
+    const std::vector<std::uint32_t>& v) const noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (std::uint32_t x : v) {
+    h ^= x;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+CostEvaluator::CostEvaluator(const Grouping& grouping,
+                             const ProcessStats& stats,
+                             const std::vector<PeDesc>& pes,
+                             const CostModel& model) {
+  // Per-group cycle totals and the process -> group table.
+  std::unordered_map<std::string_view, std::uint32_t> group_of;
+  group_cycles_.assign(grouping.size(), 0);
+  for (std::size_t g = 0; g < grouping.size(); ++g) {
+    for (const std::string& p : grouping[g]) {
+      auto c = stats.cycles.find(p);
+      if (c != stats.cycles.end()) group_cycles_[g] += c->second;
+      group_of[p] = static_cast<std::uint32_t>(g);
+    }
+  }
+
+  // Aggregate the signal table into directed group-pair edges once; signals
+  // inside one group can never cross PEs. The std::map intermediate keeps
+  // the edge order deterministic across platforms.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> agg;
+  for (const auto& [pair, count] : stats.signals) {
+    const auto a = group_of.find(pair.first);
+    const auto b = group_of.find(pair.second);
+    if (a == group_of.end() || b == group_of.end()) continue;
+    if (a->second == b->second) continue;
+    agg[{a->second, b->second}] += count;
+  }
+  edges_.reserve(agg.size());
+  for (const auto& [key, count] : agg) {
+    edges_.push_back({key.first, key.second, count});
+  }
+
+  // PE tables and the pairwise hop-cost matrix.
+  pe_names_.reserve(pes.size());
+  pe_freq_.reserve(pes.size());
+  for (std::uint32_t p = 0; p < pes.size(); ++p) {
+    pe_names_.push_back(pes[p].name);
+    pe_freq_.push_back(
+        static_cast<double>(pes[p].freq_mhz > 0 ? pes[p].freq_mhz : 50));
+    pe_by_name_[pes[p].name] = p;
+  }
+  const auto hops = model.hops ? model.hops : default_hops;
+  hop_ticks_.assign(pes.size(), std::vector<double>(pes.size(), 0.0));
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    for (std::size_t j = 0; j < pes.size(); ++j) {
+      if (i == j) continue;
+      hop_ticks_[i][j] = model.hop_cost * hops(pe_names_[i], pe_names_[j]);
+    }
+  }
+}
+
+std::vector<std::uint32_t> CostEvaluator::to_ids(
+    const std::vector<std::string>& target) const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(target.size());
+  for (const std::string& name : target) {
+    auto it = pe_by_name_.find(name);
+    if (it == pe_by_name_.end()) {
+      throw std::invalid_argument("unknown PE '" + name + "'");
+    }
+    ids.push_back(it->second);
+  }
+  return ids;
+}
+
+const CostEstimate& CostEvaluator::evaluate(
+    const std::vector<std::string>& target) {
+  if (target.size() != group_cycles_.size()) {
+    throw std::invalid_argument("target size must match grouping size");
+  }
+  return evaluate_ids(to_ids(target));
+}
+
+const CostEstimate& CostEvaluator::evaluate_ids(
+    const std::vector<std::uint32_t>& target_pe) {
+  if (target_pe.size() != group_cycles_.size()) {
+    throw std::invalid_argument("target size must match grouping size");
+  }
+  for (std::uint32_t p : target_pe) {
+    if (p >= pe_names_.size()) {
+      throw std::invalid_argument("PE index out of range");
+    }
+  }
+  ++lookups_;
+  auto it = memo_.find(target_pe);
+  if (it != memo_.end()) return it->second;
+  ++misses_;
+
+  CostEstimate est;
+  std::vector<double> load(pe_names_.size(), 0.0);
+  for (std::size_t g = 0; g < target_pe.size(); ++g) {
+    load[target_pe[g]] += static_cast<double>(group_cycles_[g]) * 1000.0 /
+                          pe_freq_[target_pe[g]];
+  }
+  for (std::uint32_t p = 0; p < pe_names_.size(); ++p) {
+    est.pe_load[pe_names_[p]] += load[p];
+  }
+  for (const Edge& e : edges_) {
+    const std::uint32_t pa = target_pe[e.from];
+    const std::uint32_t pb = target_pe[e.to];
+    if (pa == pb) continue;
+    est.comm_cost += static_cast<double>(e.count) * hop_ticks_[pa][pb];
+  }
+  double max_load = 0.0;
+  for (double l : load) max_load = std::max(max_load, l);
+  est.makespan = max_load + est.comm_cost;
+
+  return memo_.emplace(target_pe, std::move(est)).first->second;
+}
+
 CostEstimate estimate_cost(const Grouping& grouping,
                            const std::vector<std::string>& target,
                            const ProcessStats& stats,
                            const std::vector<PeDesc>& pes,
                            const CostModel& model) {
-  if (target.size() != grouping.size()) {
-    throw std::invalid_argument("target size must match grouping size");
-  }
-  std::map<std::string, long> freq;
-  for (const PeDesc& pe : pes) freq[pe.name] = pe.freq_mhz;
-
-  CostEstimate est;
-  for (const PeDesc& pe : pes) est.pe_load[pe.name] = 0.0;
-
-  std::map<std::string, std::string> pe_of_process;
-  for (std::size_t g = 0; g < grouping.size(); ++g) {
-    auto it = freq.find(target[g]);
-    if (it == freq.end()) {
-      throw std::invalid_argument("unknown PE '" + target[g] + "'");
-    }
-    long group_cycles = 0;
-    for (const std::string& p : grouping[g]) {
-      auto c = stats.cycles.find(p);
-      if (c != stats.cycles.end()) group_cycles += c->second;
-      pe_of_process[p] = target[g];
-    }
-    est.pe_load[target[g]] +=
-        static_cast<double>(group_cycles) * 1000.0 /
-        static_cast<double>(it->second > 0 ? it->second : 50);
-  }
-
-  const auto hops = model.hops ? model.hops : default_hops;
-  for (const auto& [pair, count] : stats.signals) {
-    const auto a = pe_of_process.find(pair.first);
-    const auto b = pe_of_process.find(pair.second);
-    if (a == pe_of_process.end() || b == pe_of_process.end()) continue;
-    if (a->second == b->second) continue;
-    est.comm_cost += static_cast<double>(count) * model.hop_cost *
-                     hops(a->second, b->second);
-  }
-
-  double max_load = 0.0;
-  for (const auto& [pe, load] : est.pe_load) max_load = std::max(max_load, load);
-  est.makespan = max_load + est.comm_cost;
-  return est;
+  CostEvaluator eval(grouping, stats, pes, model);
+  return eval.evaluate(target);
 }
 
 MappingProposal propose_mapping(const Grouping& grouping,
@@ -179,20 +355,18 @@ MappingProposal propose_mapping(const Grouping& grouping,
   };
 
   // Greedy LPT: heaviest group first onto the compatible PE with the least
-  // load (in estimated time).
-  std::vector<std::size_t> order(grouping.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  auto group_cycles = [&](std::size_t g) {
-    long n = 0;
+  // load (in estimated time). Group cycles are summed once up front.
+  std::vector<long> cycles(grouping.size(), 0);
+  for (std::size_t g = 0; g < grouping.size(); ++g) {
     for (const std::string& p : grouping[g]) {
       auto it = stats.cycles.find(p);
-      if (it != stats.cycles.end()) n += it->second;
+      if (it != stats.cycles.end()) cycles[g] += it->second;
     }
-    return n;
-  };
+  }
+  std::vector<std::size_t> order(grouping.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const long ca = group_cycles(a), cb = group_cycles(b);
-    return ca != cb ? ca > cb : a < b;
+    return cycles[a] != cycles[b] ? cycles[a] > cycles[b] : a < b;
   });
 
   std::map<std::string, double> load;
@@ -209,59 +383,79 @@ MappingProposal propose_mapping(const Grouping& grouping,
                                group_type[g] + "'");
     }
     target[g] = best->name;
-    load[best->name] += static_cast<double>(group_cycles(g)) * 1000.0 /
+    load[best->name] += static_cast<double>(cycles[g]) * 1000.0 /
                         static_cast<double>(best->freq_mhz > 0 ? best->freq_mhz
                                                                : 50);
   }
 
   // Local search from a starting assignment: move each group to every
-  // compatible PE while the estimated makespan improves.
-  auto local_search = [&](std::vector<std::string> start) {
-    CostEstimate best = estimate_cost(grouping, start, stats, pes, model);
+  // compatible PE while the estimated makespan improves. All candidates run
+  // through one memoizing evaluator, so assignments revisited across passes
+  // (and across the two starts) cost a hash lookup instead of a recount.
+  CostEvaluator eval(grouping, stats, pes, model);
+  std::vector<std::vector<char>> compat(
+      grouping.size(), std::vector<char>(pes.size(), 0));
+  for (std::size_t g = 0; g < grouping.size(); ++g) {
+    for (std::size_t p = 0; p < pes.size(); ++p) {
+      compat[g][p] = compatible(g, pes[p]) ? 1 : 0;
+    }
+  }
+
+  auto local_search = [&](std::vector<std::uint32_t> cur) {
+    CostEstimate best = eval.evaluate_ids(cur);
     bool improved = true;
     while (improved) {
       improved = false;
-      for (std::size_t g = 0; g < grouping.size(); ++g) {
-        for (const PeDesc& pe : pes) {
-          if (!compatible(g, pe) || pe.name == start[g]) continue;
-          std::vector<std::string> candidate = start;
-          candidate[g] = pe.name;
-          const CostEstimate cost =
-              estimate_cost(grouping, candidate, stats, pes, model);
+      for (std::size_t g = 0; g < cur.size(); ++g) {
+        for (std::uint32_t p = 0; p < pes.size(); ++p) {
+          if (!compat[g][p] || p == cur[g]) continue;
+          std::vector<std::uint32_t> candidate = cur;
+          candidate[g] = p;
+          const CostEstimate& cost = eval.evaluate_ids(candidate);
           if (cost.makespan + 1e-9 < best.makespan) {
-            start = std::move(candidate);
+            cur = std::move(candidate);
             best = cost;
             improved = true;
           }
         }
       }
     }
-    return MappingProposal{std::move(start), std::move(best)};
+    return std::pair<std::vector<std::uint32_t>, CostEstimate>{
+        std::move(cur), std::move(best)};
   };
 
-  MappingProposal best = local_search(target);
+  auto best = local_search(eval.to_ids(target));
 
   // Second start: co-locate every group on its fastest compatible PE. This
   // escapes the comm-dominated local minimum single moves cannot leave.
-  std::vector<std::string> colocated(grouping.size());
+  std::vector<std::uint32_t> colocated(grouping.size());
   bool colocated_ok = true;
   for (std::size_t g = 0; g < grouping.size(); ++g) {
     const PeDesc* fastest = nullptr;
-    for (const PeDesc& pe : pes) {
-      if (!compatible(g, pe)) continue;
-      if (fastest == nullptr || pe.freq_mhz > fastest->freq_mhz) fastest = &pe;
+    std::uint32_t fastest_idx = 0;
+    for (std::uint32_t p = 0; p < pes.size(); ++p) {
+      if (!compat[g][p]) continue;
+      if (fastest == nullptr || pes[p].freq_mhz > fastest->freq_mhz) {
+        fastest = &pes[p];
+        fastest_idx = p;
+      }
     }
     if (fastest == nullptr) {
       colocated_ok = false;
       break;
     }
-    colocated[g] = fastest->name;
+    colocated[g] = fastest_idx;
   }
   if (colocated_ok) {
-    MappingProposal alt = local_search(std::move(colocated));
-    if (alt.cost.makespan < best.cost.makespan) best = std::move(alt);
+    auto alt = local_search(std::move(colocated));
+    if (alt.second.makespan < best.second.makespan) best = std::move(alt);
   }
-  return best;
+
+  MappingProposal out;
+  out.target.reserve(best.first.size());
+  for (std::uint32_t p : best.first) out.target.push_back(eval.pe_name(p));
+  out.cost = std::move(best.second);
+  return out;
 }
 
 }  // namespace tut::explore

@@ -14,6 +14,14 @@
 // process types), propose a mapping that balances load and communication
 // cost, and estimate the cost of any candidate. Model rebuilding with the
 // chosen alternative is left to the caller (models are append-only).
+//
+// The candidate evaluations run on incremental data structures:
+// CrossingCounter maintains per-group-pair crossing volumes and applies
+// merge deltas instead of recounting every signal, and CostEvaluator
+// memoizes cost estimates per (grouping, target) so local searches pay for
+// each candidate assignment once. propose_grouping / propose_mapping /
+// estimate_cost keep their original signatures and results on top of them;
+// engine.hpp adds the parallel design-space exploration driver.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +29,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "profiler/profiler.hpp"
@@ -45,9 +54,36 @@ struct ProcessStats {
 using Grouping = std::vector<std::vector<std::string>>;
 
 /// Signals crossing group boundaries under a candidate grouping — the
-/// objective the paper's grouping minimizes.
+/// objective the paper's grouping minimizes. Full recount; the reference
+/// implementation CrossingCounter is delta-checked against.
 std::uint64_t inter_group_signals(const Grouping& grouping,
                                   const ProcessStats& stats);
+
+/// Incremental evaluator of the inter-group-signals objective. Builds the
+/// per-group-pair crossing volumes once, then applies merge deltas in
+/// O(groups) instead of recounting every signal entry per candidate move.
+class CrossingCounter {
+ public:
+  CrossingCounter(const Grouping& grouping, const ProcessStats& stats);
+
+  /// Number of (remaining) groups.
+  std::size_t groups() const noexcept { return comm_.size(); }
+  /// Current total of signals crossing group boundaries — always equal to
+  /// inter_group_signals() on the equivalently merged grouping.
+  std::uint64_t crossing() const noexcept { return crossing_; }
+  /// Undirected signal volume between two distinct groups.
+  std::uint64_t between(std::size_t a, std::size_t b) const {
+    return comm_[a][b];
+  }
+  /// Merges group `b` into group `a` and erases index `b` (groups past `b`
+  /// shift down by one, mirroring vector::erase on the Grouping itself).
+  /// crossing() drops by exactly between(a, b).
+  void merge(std::size_t a, std::size_t b);
+
+ private:
+  std::vector<std::vector<std::uint64_t>> comm_;  ///< symmetric, zero diagonal
+  std::uint64_t crossing_ = 0;
+};
 
 /// Greedy agglomerative grouping: start with one group per process and
 /// repeatedly merge the pair of groups with the highest mutual communication
@@ -58,6 +94,16 @@ Grouping propose_grouping(const ProcessStats& stats,
                           const std::map<std::string, std::string>& process_type,
                           std::size_t target_groups,
                           const std::set<std::string>& fixed = {});
+
+/// As propose_grouping, but each step merges a seeded-random pick among the
+/// `breadth` best mergeable pairs instead of always the best one. Used by
+/// the exploration engine to generate diverse restart candidates; fully
+/// deterministic for a given (seed, breadth).
+Grouping propose_grouping_randomized(
+    const ProcessStats& stats,
+    const std::map<std::string, std::string>& process_type,
+    std::size_t target_groups, std::uint64_t seed, std::size_t breadth = 3,
+    const std::set<std::string>& fixed = {});
 
 /// A processing element available to the mapper.
 struct PeDesc {
@@ -80,6 +126,57 @@ struct CostEstimate {
   std::map<std::string, double> pe_load;  ///< per-PE compute time (ticks)
   double comm_cost = 0.0;                 ///< total communication time
   double makespan = 0.0;                  ///< max PE load + comm cost
+};
+
+/// Memoizing cost evaluator for one grouping over a fixed PE set. The
+/// grouping's per-group cycles, aggregated inter-group signal volumes and
+/// the PE hop matrix are precomputed once; each distinct target assignment
+/// is then evaluated in O(groups + edges) and cached, so local searches
+/// revisiting assignments pay a hash lookup. PE names must be distinct.
+class CostEvaluator {
+ public:
+  CostEvaluator(const Grouping& grouping, const ProcessStats& stats,
+                const std::vector<PeDesc>& pes, const CostModel& model = {});
+
+  /// Same result as estimate_cost(grouping, target, stats, pes, model).
+  /// Throws std::invalid_argument on size mismatch or unknown PE name.
+  const CostEstimate& evaluate(const std::vector<std::string>& target);
+  /// Index-based variant for hot loops: target_pe[g] indexes the PeDesc
+  /// list given at construction.
+  const CostEstimate& evaluate_ids(const std::vector<std::uint32_t>& target_pe);
+
+  /// Translates PE names to indices (throws std::invalid_argument).
+  std::vector<std::uint32_t> to_ids(const std::vector<std::string>& target) const;
+  const std::string& pe_name(std::uint32_t index) const {
+    return pe_names_[index];
+  }
+  std::size_t pe_count() const noexcept { return pe_names_.size(); }
+  std::size_t group_count() const noexcept { return group_cycles_.size(); }
+
+  /// Memo statistics (for tests and tuning).
+  std::size_t lookups() const noexcept { return lookups_; }
+  std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct VecHash {
+    std::size_t operator()(const std::vector<std::uint32_t>& v) const noexcept;
+  };
+
+  struct Edge {
+    std::uint32_t from = 0;  ///< group index
+    std::uint32_t to = 0;    ///< group index
+    std::uint64_t count = 0;
+  };
+
+  std::vector<long> group_cycles_;
+  std::vector<Edge> edges_;  ///< directed, aggregated, deterministic order
+  std::vector<std::string> pe_names_;
+  std::vector<double> pe_freq_;                 ///< divisor, defaulted to 50
+  std::vector<std::vector<double>> hop_ticks_;  ///< hop_cost * hops(i, j)
+  std::unordered_map<std::string, std::uint32_t> pe_by_name_;
+  std::unordered_map<std::vector<std::uint32_t>, CostEstimate, VecHash> memo_;
+  std::size_t lookups_ = 0;
+  std::size_t misses_ = 0;
 };
 
 /// Estimates cost: per-PE load is the summed group cycles over the PE's

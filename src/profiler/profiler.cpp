@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <iomanip>
-#include <tuple>
 #include <sstream>
+#include <tuple>
+#include <unordered_map>
 
 #include "appmodel/appmodel.hpp"
 #include "uml/serialize.hpp"
@@ -13,6 +14,13 @@ namespace tut::profiler {
 namespace {
 
 const std::string kEnvString = kEnvironmentParty;
+
+constexpr std::size_t kNoParty = static_cast<std::size_t>(-1);
+
+/// Packs a directed (from, to) id pair into one hash key.
+constexpr std::uint64_t pair_key(intern::Id from, intern::Id to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
 
 }  // namespace
 
@@ -111,89 +119,121 @@ ProfilingReport analyze(const ProcessGroupInfo& info,
   report.parties.push_back(kEnvironmentParty);
   const std::size_t n = report.parties.size();
   report.signals.assign(n, std::vector<std::uint64_t>(n, 0));
+  const std::size_t env_party = n - 1;
 
-  std::map<std::string, GroupExecution> per_group;
-  for (const auto& g : info.groups) per_group[g] = GroupExecution{g, 0, 0, 0.0};
-  GroupExecution env{kEnvironmentParty, 0, 0, 0.0};
+  // Resolve every interned log name to its party index once; the record loop
+  // then runs entirely on dense ids. Two tables because Run records resolve
+  // through party_of() alone while Send records special-case the literal
+  // environment name first (see the string-based originals below).
+  const intern::Table& names = log.names();
+  const std::size_t name_count = names.size();
+  std::vector<std::size_t> run_party(name_count, kNoParty);
+  std::vector<std::size_t> msg_party(name_count, kNoParty);
+  for (intern::Id id = 0; id < name_count; ++id) {
+    const std::string& process = names.name(id);
+    // Run: info.party_of(process), mapped into parties (or discarded).
+    const std::string& run_p = info.party_of(process);
+    run_party[id] = report.party_index(run_p);
+    // Send: kEnvironment short-circuits to the environment column.
+    msg_party[id] = process == sim::kEnvironment
+                        ? env_party
+                        : report.party_index(info.party_of(process));
+  }
 
-  auto index_of = [&](const std::string& party) {
-    return report.party_index(party);
-  };
+  // Dense accumulators, translated into the string-keyed report at the end.
+  std::vector<long> party_cycles(n, 0);
+  std::vector<sim::Time> party_busy(n, 0);
+  std::vector<long> cycles_by_id(name_count, 0);
+  std::vector<std::uint64_t> drops_by_id(name_count, 0);
+  std::vector<bool> ran(name_count, false);
+  std::unordered_map<std::uint64_t, std::uint64_t> pair_signals;
 
-  for (const sim::LogRecord& r : log.records()) {
+  for (const sim::SimulationLog::Compact& r : log.compact_records()) {
     switch (r.kind) {
       case sim::LogRecord::Kind::Run: {
-        report.process_cycles[r.process] += r.cycles;
-        const std::string& party = info.party_of(r.process);
-        if (party == kEnvironmentParty) {
-          env.cycles += r.cycles;
-          env.busy_time += r.duration;
-        } else {
-          auto& row = per_group[party];
-          row.cycles += r.cycles;
-          row.busy_time += r.duration;
+        cycles_by_id[r.process] += r.cycles;
+        ran[r.process] = true;
+        const std::size_t party = run_party[r.process];
+        if (party < n) {
+          party_cycles[party] += r.cycles;
+          party_busy[party] += r.duration;
         }
         break;
       }
       case sim::LogRecord::Kind::Send: {
-        const std::string from_party =
-            r.process == sim::kEnvironment ? kEnvString
-                                           : info.party_of(r.process);
-        const std::string to_party =
-            r.peer == sim::kEnvironment ? kEnvString : info.party_of(r.peer);
-        const std::size_t i = index_of(from_party);
-        const std::size_t j = index_of(to_party);
+        const std::size_t i = msg_party[r.process];
+        const std::size_t j = msg_party[r.peer];
         if (i < n && j < n) ++report.signals[i][j];
-        ++report.process_signals[{r.process, r.peer}];
+        ++pair_signals[pair_key(r.process, r.peer)];
         break;
       }
       case sim::LogRecord::Kind::Receive:
         break;  // sends already counted; receives would double-count
       case sim::LogRecord::Kind::Drop:
-        ++report.drops[r.process];
+        ++drops_by_id[r.process];
         break;
     }
   }
 
-  long total = env.cycles;
-  for (const auto& g : info.groups) total += per_group[g].cycles;
-  for (const auto& g : info.groups) {
-    auto row = per_group[g];
+  for (intern::Id id = 0; id < name_count; ++id) {
+    if (ran[id]) report.process_cycles[names.name(id)] += cycles_by_id[id];
+    if (drops_by_id[id] > 0) report.drops[names.name(id)] += drops_by_id[id];
+  }
+  for (const auto& [key, count] : pair_signals) {
+    report.process_signals[{names.name(static_cast<intern::Id>(key >> 32)),
+                            names.name(static_cast<intern::Id>(key))}] +=
+        count;
+  }
+
+  long total = 0;
+  for (std::size_t p = 0; p < n; ++p) total += party_cycles[p];
+  for (std::size_t p = 0; p < n; ++p) {
+    GroupExecution row;
+    row.group = report.parties[p];
+    row.cycles = party_cycles[p];
+    row.busy_time = party_busy[p];
     row.proportion = total > 0 ? 100.0 * static_cast<double>(row.cycles) /
                                      static_cast<double>(total)
                                : 0.0;
     report.execution.push_back(std::move(row));
   }
-  env.proportion = total > 0 ? 100.0 * static_cast<double>(env.cycles) /
-                                   static_cast<double>(total)
-                             : 0.0;
-  report.execution.push_back(std::move(env));
   return report;
 }
 
 std::vector<LatencyStats> latency_report(const sim::SimulationLog& log) {
-  // Stream key: (from, to, signal). Sends queue up; receives match FIFO.
-  using Key = std::tuple<std::string, std::string, std::string>;
-  std::map<Key, std::vector<sim::Time>> pending;  // unmatched send times
-  std::map<Key, std::size_t> cursor;              // next unmatched index
-  std::map<Key, LatencyStats> stats;
+  // Stream key: (from, to, signal) as interned ids. Sends queue up; receives
+  // match FIFO.
+  struct Stream {
+    std::vector<sim::Time> pending;  // unmatched send times
+    std::size_t cursor = 0;          // next unmatched index
+    LatencyStats stats;
+  };
+  struct KeyHash {
+    std::size_t operator()(const std::tuple<intern::Id, intern::Id,
+                                            intern::Id>& k) const noexcept {
+      const auto [a, b, c] = k;
+      std::uint64_t h = (static_cast<std::uint64_t>(a) << 32) | b;
+      h ^= 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(c) + (h << 6) +
+           (h >> 2);
+      return static_cast<std::size_t>(std::hash<std::uint64_t>{}(h));
+    }
+  };
+  std::unordered_map<std::tuple<intern::Id, intern::Id, intern::Id>, Stream,
+                     KeyHash>
+      streams;
 
-  for (const sim::LogRecord& r : log.records()) {
+  for (const sim::SimulationLog::Compact& r : log.compact_records()) {
     if (r.kind == sim::LogRecord::Kind::Send) {
-      pending[{r.process, r.peer, r.signal}].push_back(r.time);
+      streams[{r.process, r.peer, r.signal}].pending.push_back(r.time);
     } else if (r.kind == sim::LogRecord::Kind::Receive) {
-      const Key key{r.peer, r.process, r.signal};
-      auto it = pending.find(key);
-      if (it == pending.end()) continue;
-      std::size_t& next = cursor[key];
-      if (next >= it->second.size()) continue;  // receive without send
-      const sim::Time sent = it->second[next++];
+      auto it = streams.find({r.peer, r.process, r.signal});
+      if (it == streams.end()) continue;
+      Stream& stream = it->second;
+      if (stream.cursor >= stream.pending.size()) continue;  // recv w/o send
+      const sim::Time sent = stream.pending[stream.cursor++];
       const sim::Time latency = r.time >= sent ? r.time - sent : 0;
-      LatencyStats& s = stats[key];
+      LatencyStats& s = stream.stats;
       if (s.samples == 0) {
-        s.from = r.peer;
-        s.to = r.process;
-        s.signal = r.signal;
         s.min = latency;
         s.max = latency;
       } else {
@@ -207,8 +247,21 @@ std::vector<LatencyStats> latency_report(const sim::SimulationLog& log) {
     }
   }
   std::vector<LatencyStats> out;
-  out.reserve(stats.size());
-  for (auto& [key, s] : stats) out.push_back(std::move(s));
+  out.reserve(streams.size());
+  const intern::Table& names = log.names();
+  for (auto& [key, stream] : streams) {
+    if (stream.stats.samples == 0) continue;  // sends never matched
+    LatencyStats s = std::move(stream.stats);
+    s.from = names.name(std::get<0>(key));
+    s.to = names.name(std::get<1>(key));
+    s.signal = names.name(std::get<2>(key));
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LatencyStats& a, const LatencyStats& b) {
+              return std::tie(a.from, a.to, a.signal) <
+                     std::tie(b.from, b.to, b.signal);
+            });
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "sim/kernel.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tut::sim {
@@ -8,17 +9,34 @@ void Kernel::schedule_at(Time at, Handler fn) {
   if (at < now_) {
     throw std::logic_error("cannot schedule an event in the past");
   }
-  queue_.push(Entry{at, next_seq_++, std::move(fn)});
+  if (at == now_) {
+    // Due immediately: FIFO bucket, no heap traffic. Anything already in the
+    // heap at this time carries a smaller seq and is served first by run().
+    bucket_.push_back(std::move(fn));
+    return;
+  }
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 std::uint64_t Kernel::run(Time horizon) {
   std::uint64_t count = 0;
-  while (!queue_.empty() && queue_.top().at <= horizon) {
-    // Move the handler out before popping so it may schedule new events.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    now_ = entry.at;
-    entry.fn();
+  while (now_ <= horizon) {
+    if (!heap_.empty() && heap_.front().at <= now_) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Handler fn = std::move(heap_.back().fn);
+      heap_.pop_back();
+      fn();
+    } else if (!bucket_.empty()) {
+      Handler fn = std::move(bucket_.front());
+      bucket_.pop_front();
+      fn();
+    } else if (!heap_.empty() && heap_.front().at <= horizon) {
+      now_ = heap_.front().at;
+      continue;
+    } else {
+      break;
+    }
     ++count;
     ++dispatched_;
   }

@@ -3,8 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace tut::sim {
@@ -15,8 +15,17 @@ using Time = std::uint64_t;
 
 /// The event kernel. Events scheduled for the same time fire in scheduling
 /// order, which makes whole-simulation runs reproducible.
+///
+/// Storage is an explicit binary heap (std::vector + std::push_heap /
+/// std::pop_heap) so dispatch *moves* handlers out instead of copying them
+/// from a const priority_queue top, plus a FIFO bucket for events due at the
+/// current time: zero-delay scheduling — the dominant pattern in the
+/// co-simulator's run-to-completion steps — bypasses the heap entirely.
+/// Ordering stays identical to a single (time, seq) queue: every heap entry
+/// due at now() was scheduled before now() was reached and therefore before
+/// any bucket entry, so heap-then-bucket is exactly seq order.
 class Kernel {
-public:
+ public:
   using Handler = std::function<void()>;
 
   /// Schedules `fn` at absolute time `at` (>= now()).
@@ -25,16 +34,19 @@ public:
   void schedule_in(Time delay, Handler fn) { schedule_at(now_ + delay, fn); }
 
   Time now() const noexcept { return now_; }
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return heap_.empty() && bucket_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size() + bucket_.size(); }
   std::uint64_t dispatched() const noexcept { return dispatched_; }
+
+  /// Reserves heap capacity for `n` pending events.
+  void reserve(std::size_t n) { heap_.reserve(n); }
 
   /// Runs events until the queue drains or the next event would be past
   /// `horizon`. Events exactly at the horizon still run. Returns the number
   /// of events dispatched.
   std::uint64_t run(Time horizon);
 
-private:
+ private:
   struct Entry {
     Time at;
     std::uint64_t seq;
@@ -46,7 +58,8 @@ private:
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Entry> heap_;     ///< binary min-(at, seq) heap
+  std::deque<Handler> bucket_;  ///< events due exactly at now_, FIFO
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;

@@ -5,68 +5,116 @@
 
 namespace tut::sim {
 
-void SimulationLog::run(Time t, std::string process, long cycles,
+void SimulationLog::run(Time t, std::string_view process, long cycles,
                         Time duration) {
-  LogRecord r;
+  run_id(t, names_.intern(process), cycles, duration);
+}
+
+void SimulationLog::send(Time t, std::string_view from, std::string_view to,
+                         std::string_view signal, std::size_t bytes) {
+  send_id(t, names_.intern(from), names_.intern(to), names_.intern(signal),
+          bytes);
+}
+
+void SimulationLog::receive(Time t, std::string_view process,
+                            std::string_view from, std::string_view signal) {
+  receive_id(t, names_.intern(process), names_.intern(from),
+             names_.intern(signal));
+}
+
+void SimulationLog::drop(Time t, std::string_view process,
+                         std::string_view signal) {
+  drop_id(t, names_.intern(process), names_.intern(signal));
+}
+
+void SimulationLog::run_id(Time t, intern::Id process, long cycles,
+                           Time duration) {
+  Compact r;
   r.time = t;
   r.kind = LogRecord::Kind::Run;
-  r.process = std::move(process);
+  r.process = process;
   r.cycles = cycles;
   r.duration = duration;
-  records_.push_back(std::move(r));
+  compact_.push_back(r);
 }
 
-void SimulationLog::send(Time t, std::string from, std::string to,
-                         std::string signal, std::size_t bytes) {
-  LogRecord r;
+void SimulationLog::send_id(Time t, intern::Id from, intern::Id to,
+                            intern::Id signal, std::size_t bytes) {
+  Compact r;
   r.time = t;
   r.kind = LogRecord::Kind::Send;
-  r.process = std::move(from);
-  r.peer = std::move(to);
-  r.signal = std::move(signal);
+  r.process = from;
+  r.peer = to;
+  r.signal = signal;
   r.bytes = bytes;
-  records_.push_back(std::move(r));
+  compact_.push_back(r);
 }
 
-void SimulationLog::receive(Time t, std::string process, std::string from,
-                            std::string signal) {
-  LogRecord r;
+void SimulationLog::receive_id(Time t, intern::Id process, intern::Id from,
+                               intern::Id signal) {
+  Compact r;
   r.time = t;
   r.kind = LogRecord::Kind::Receive;
-  r.process = std::move(process);
-  r.peer = std::move(from);
-  r.signal = std::move(signal);
-  records_.push_back(std::move(r));
+  r.process = process;
+  r.peer = from;
+  r.signal = signal;
+  compact_.push_back(r);
 }
 
-void SimulationLog::drop(Time t, std::string process, std::string signal) {
-  LogRecord r;
+void SimulationLog::drop_id(Time t, intern::Id process, intern::Id signal) {
+  Compact r;
   r.time = t;
   r.kind = LogRecord::Kind::Drop;
-  r.process = std::move(process);
-  r.signal = std::move(signal);
-  records_.push_back(std::move(r));
+  r.process = process;
+  r.signal = signal;
+  compact_.push_back(r);
 }
+
+const std::vector<LogRecord>& SimulationLog::records() const {
+  for (std::size_t i = materialized_.size(); i < compact_.size(); ++i) {
+    const Compact& c = compact_[i];
+    LogRecord r;
+    r.time = c.time;
+    r.kind = c.kind;
+    if (c.process != intern::kNoId) r.process = names_.name(c.process);
+    if (c.peer != intern::kNoId) r.peer = names_.name(c.peer);
+    if (c.signal != intern::kNoId) r.signal = names_.name(c.signal);
+    r.cycles = c.cycles;
+    r.duration = c.duration;
+    r.bytes = c.bytes;
+    materialized_.push_back(std::move(r));
+  }
+  return materialized_;
+}
+
+void SimulationLog::clear() {
+  compact_.clear();
+  materialized_.clear();
+}
+
+void SimulationLog::reserve(std::size_t n) { compact_.reserve(n); }
 
 std::string SimulationLog::to_text() const {
   std::ostringstream os;
   os << "# tut-simlog v1\n";
-  for (const LogRecord& r : records_) {
+  for (const Compact& r : compact_) {
     switch (r.kind) {
       case LogRecord::Kind::Run:
-        os << "R " << r.time << ' ' << r.process << ' ' << r.cycles << ' '
-           << r.duration << '\n';
+        os << "R " << r.time << ' ' << names_.name(r.process) << ' '
+           << r.cycles << ' ' << r.duration << '\n';
         break;
       case LogRecord::Kind::Send:
-        os << "S " << r.time << ' ' << r.process << ' ' << r.peer << ' '
-           << r.signal << ' ' << r.bytes << '\n';
+        os << "S " << r.time << ' ' << names_.name(r.process) << ' '
+           << names_.name(r.peer) << ' ' << names_.name(r.signal) << ' '
+           << r.bytes << '\n';
         break;
       case LogRecord::Kind::Receive:
-        os << "V " << r.time << ' ' << r.process << ' ' << r.peer << ' '
-           << r.signal << '\n';
+        os << "V " << r.time << ' ' << names_.name(r.process) << ' '
+           << names_.name(r.peer) << ' ' << names_.name(r.signal) << '\n';
         break;
       case LogRecord::Kind::Drop:
-        os << "D " << r.time << ' ' << r.process << ' ' << r.signal << '\n';
+        os << "D " << r.time << ' ' << names_.name(r.process) << ' '
+           << names_.name(r.signal) << '\n';
         break;
     }
   }

@@ -4,12 +4,20 @@
 // custom C functions that write a log-file during simulation; the profiling
 // tool later parses that file. This module defines the in-memory records, a
 // line-oriented text serialization (the actual "log-file"), and its parser.
+//
+// Records are stored in a compact interned form: every process/peer/signal
+// name is a dense intern::Id into the log's name table, so appends never
+// allocate per record and downstream analyses (the profiler, exploration)
+// can key flat vectors by id instead of std::map<std::string, ...>. The
+// string-based record view is materialized on demand for compatibility.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "intern/intern.hpp"
 #include "sim/kernel.hpp"
 
 namespace tut::sim {
@@ -17,8 +25,8 @@ namespace tut::sim {
 /// Sentinel process name for the environment.
 inline constexpr const char* kEnvironment = "env";
 
-/// One log record. `process`, `peer` are application process names (or
-/// `kEnvironment`).
+/// One log record in the string-based compatibility view. `process`, `peer`
+/// are application process names (or `kEnvironment`).
 struct LogRecord {
   enum class Kind : std::uint8_t {
     Run,      ///< `process` executed `cycles` cycles for `duration` ticks
@@ -39,17 +47,53 @@ struct LogRecord {
 
 /// Append-only simulation log with text round trip.
 class SimulationLog {
-public:
-  void run(Time t, std::string process, long cycles, Time duration);
-  void send(Time t, std::string from, std::string to, std::string signal,
-            std::size_t bytes);
-  void receive(Time t, std::string process, std::string from,
-               std::string signal);
-  void drop(Time t, std::string process, std::string signal);
+ public:
+  /// One record in the hot-path form: names as ids into names(). Fields a
+  /// record kind does not use hold intern::kNoId.
+  struct Compact {
+    Time time = 0;
+    LogRecord::Kind kind = LogRecord::Kind::Run;
+    intern::Id process = intern::kNoId;
+    intern::Id peer = intern::kNoId;
+    intern::Id signal = intern::kNoId;
+    long cycles = 0;
+    Time duration = 0;
+    std::size_t bytes = 0;
+  };
 
-  const std::vector<LogRecord>& records() const noexcept { return records_; }
-  std::size_t size() const noexcept { return records_.size(); }
-  void clear() { records_.clear(); }
+  void run(Time t, std::string_view process, long cycles, Time duration);
+  void send(Time t, std::string_view from, std::string_view to,
+            std::string_view signal, std::size_t bytes);
+  void receive(Time t, std::string_view process, std::string_view from,
+               std::string_view signal);
+  void drop(Time t, std::string_view process, std::string_view signal);
+
+  /// Interns a name for use with the id-based append paths below. Writers
+  /// that log the same names repeatedly (the co-simulator) intern once and
+  /// append by id, skipping even the hash lookup.
+  intern::Id intern_name(std::string_view name) { return names_.intern(name); }
+  void run_id(Time t, intern::Id process, long cycles, Time duration);
+  void send_id(Time t, intern::Id from, intern::Id to, intern::Id signal,
+               std::size_t bytes);
+  void receive_id(Time t, intern::Id process, intern::Id from,
+                  intern::Id signal);
+  void drop_id(Time t, intern::Id process, intern::Id signal);
+
+  /// The records in compact interned form — the profiler's input.
+  const std::vector<Compact>& compact_records() const noexcept {
+    return compact_;
+  }
+  /// The name table the compact records' ids index.
+  const intern::Table& names() const noexcept { return names_; }
+
+  /// String-based record view, materialized lazily (append-only, so already
+  /// materialized prefixes are reused across calls).
+  const std::vector<LogRecord>& records() const;
+
+  std::size_t size() const noexcept { return compact_.size(); }
+  void clear();
+  /// Reserves capacity for `n` records (e.g. from the injected-event count).
+  void reserve(std::size_t n);
 
   /// Serializes to the line-oriented log-file format:
   ///   # tut-simlog v1
@@ -62,8 +106,10 @@ public:
   /// Parses a log-file. Throws std::runtime_error on malformed lines.
   static SimulationLog parse(const std::string& text);
 
-private:
-  std::vector<LogRecord> records_;
+ private:
+  std::vector<Compact> compact_;
+  intern::Table names_;
+  mutable std::vector<LogRecord> materialized_;  // lazy prefix of compact_
 };
 
 }  // namespace tut::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace tut::sim {
 
@@ -29,14 +30,15 @@ struct Simulation::Impl {
   struct PendingEvent {
     enum class Kind { Start, Signal, Timer };
     Kind kind = Kind::Signal;
-    efsm::Event event;  // Signal
-    std::string from;   // Signal
-    std::string timer;  // Timer
+    efsm::Event event;                     // Signal
+    intern::Id from = intern::kNoId;       // Signal
+    std::string timer;                     // Timer
   };
 
   struct Proc {
     const uml::Property* part = nullptr;
     std::string name;
+    intern::Id name_id = intern::kNoId;  // in the log's name table
     efsm::Instance inst;
     Pe* pe = nullptr;
     long priority = 0;
@@ -52,6 +54,7 @@ struct Simulation::Impl {
   struct Pe {
     const uml::Property* part = nullptr;
     std::string name;
+    PeStats* stats = nullptr;  // owner_.pe_stats_ entry (map nodes are stable)
     long freq_mhz = 50;
     std::vector<Proc*> ready;
 
@@ -85,6 +88,7 @@ struct Simulation::Impl {
   struct Seg {
     const uml::Property* part = nullptr;
     std::string name;
+    SegmentStats* stats = nullptr;
     long width_bits = 32;
     long freq_mhz = 100;
     bool priority_arb = true;
@@ -95,7 +99,7 @@ struct Simulation::Impl {
 
   struct Transfer {
     Proc* dest = nullptr;
-    std::string from;
+    intern::Id from = intern::kNoId;
     efsm::Event event;
     std::vector<Seg*> path;
     std::size_t hop = 0;
@@ -122,6 +126,8 @@ struct Simulation::Impl {
   }
 
   void build() {
+    env_id_ = owner_.log_.intern_name(kEnvironment);
+    unknown_sig_id_ = owner_.log_.intern_name("?");
     // Processing elements (only instances that host processes need a model,
     // but we build all so stats cover idle PEs too).
     for (const uml::Property* part : sys_.plat().instances()) {
@@ -134,8 +140,8 @@ struct Simulation::Impl {
                          profile::tags::SchedulingPreemptive;
         pe->ctx_switch_cycles = tag_long_of(*comp, "ContextSwitchCycles", 0);
       }
+      pe->stats = &owner_.pe_stats_[part->name()];
       pes_[part] = std::move(pe);
-      owner_.pe_stats_[part->name()];
     }
     for (const uml::Property* part : sys_.plat().segments()) {
       auto seg = std::make_unique<Seg>();
@@ -145,8 +151,8 @@ struct Simulation::Impl {
       seg->freq_mhz = tag_long_of(*part, "Frequency", 100);
       seg->priority_arb =
           part->tagged_value("Arbitration") != profile::tags::ArbitrationRoundRobin;
+      seg->stats = &owner_.segment_stats_[part->name()];
       segs_[part] = std::move(seg);
-      owner_.segment_stats_[part->name()];
     }
     for (const uml::Property* part : sys_.app().processes()) {
       const uml::Class* comp = part->part_type();
@@ -162,6 +168,7 @@ struct Simulation::Impl {
       }
       auto proc = std::make_unique<Proc>(*comp->behavior(), part->name());
       proc->part = part;
+      proc->name_id = owner_.log_.intern_name(part->name());
       proc->pe = pes_.at(target).get();
       proc->priority = sys_.process_priority(*part);
       procs_by_part_[part] = proc.get();
@@ -207,7 +214,7 @@ struct Simulation::Impl {
     s.remaining = pe.running->end - kernel_.now();
     pe.suspended.push_back(std::move(s));
     pe.running.reset();
-    ++owner_.pe_stats_[pe.name].preemptions;
+    ++pe.stats->preemptions;
   }
 
   /// The highest-priority ready process (FIFO among equals), or ready.end().
@@ -234,8 +241,8 @@ struct Simulation::Impl {
   /// Context-switch overhead in ticks, accounted as PE busy time.
   Time switch_overhead(Pe& pe) {
     const Time t = cycles_to_ticks(pe.ctx_switch_cycles, pe.freq_mhz);
-    owner_.pe_stats_[pe.name].overhead_time += t;
-    owner_.pe_stats_[pe.name].busy_time += t;
+    pe.stats->overhead_time += t;
+    pe.stats->busy_time += t;
     return t;
   }
 
@@ -271,9 +278,8 @@ struct Simulation::Impl {
         result = proc->inst.deliver(ev.event);
         fired = result.fired;
         if (!fired) {
-          owner_.log_.drop(kernel_.now(), proc->name,
-                           ev.event.signal != nullptr ? ev.event.signal->name()
-                                                      : "?");
+          owner_.log_.drop_id(kernel_.now(), proc->name_id,
+                              signal_id(ev.event.signal));
         }
         break;
       case PendingEvent::Kind::Timer:
@@ -283,13 +289,14 @@ struct Simulation::Impl {
     }
 
     Time dur = cycles_to_ticks(result.compute_cycles, pe.freq_mhz);
-    auto& stats = owner_.pe_stats_[pe.name];
+    PeStats& stats = *pe.stats;
     ++stats.dispatched;
     if (fired) {
       ++stats.steps;
       stats.busy_time += dur;
       if (owner_.config_.log_runs) {
-        owner_.log_.run(kernel_.now(), proc->name, result.compute_cycles, dur);
+        owner_.log_.run_id(kernel_.now(), proc->name_id, result.compute_cycles,
+                           dur);
       }
     }
     // Dispatching on top of suspended work implies the RTOS switched
@@ -348,22 +355,21 @@ struct Simulation::Impl {
     const efsm::Endpoint dest = router_.destination(*from.part, send.port);
     const std::size_t bytes =
         send.signal != nullptr ? send.signal->payload_bytes() : 4;
-    const std::string signal_name =
-        send.signal != nullptr ? send.signal->name() : "?";
+    const intern::Id sig_id = signal_id(send.signal);
 
     if (dest.is_environment()) {
-      owner_.log_.send(now, from.name, kEnvironment, signal_name, bytes);
+      owner_.log_.send_id(now, from.name_id, env_id_, sig_id, bytes);
       return;
     }
     auto it = procs_by_part_.find(dest.part);
     if (it == procs_by_part_.end()) {
       // Destination part is not an executable process (e.g. a structural
       // part): treat as environment.
-      owner_.log_.send(now, from.name, kEnvironment, signal_name, bytes);
+      owner_.log_.send_id(now, from.name_id, env_id_, sig_id, bytes);
       return;
     }
     Proc& to = *it->second;
-    owner_.log_.send(now, from.name, to.name, signal_name, bytes);
+    owner_.log_.send_id(now, from.name_id, to.name_id, sig_id, bytes);
 
     efsm::Event event;
     event.signal = send.signal;
@@ -371,14 +377,14 @@ struct Simulation::Impl {
     event.args = send.args;
 
     if (to.pe == from.pe) {
-      deliver_local(to, std::move(event), from.name);
+      deliver_local(to, std::move(event), from.name_id);
       return;
     }
 
     // Remote: traverse the segment route.
     auto xfer = std::make_unique<Transfer>();
     xfer->dest = &to;
-    xfer->from = from.name;
+    xfer->from = from.name_id;
     xfer->event = std::move(event);
     for (const uml::Property* seg_part :
          sys_.plat().route(*from.pe->part, *to.pe->part)) {
@@ -401,15 +407,23 @@ struct Simulation::Impl {
     return 0;
   }
 
-  void deliver_local(Proc& to, efsm::Event event, std::string from) {
-    owner_.log_.receive(kernel_.now(), to.name, from,
-                        event.signal != nullptr ? event.signal->name() : "?");
+  void deliver_local(Proc& to, efsm::Event event, intern::Id from) {
+    owner_.log_.receive_id(kernel_.now(), to.name_id, from,
+                           signal_id(event.signal));
     PendingEvent ev;
     ev.kind = PendingEvent::Kind::Signal;
     ev.event = std::move(event);
-    ev.from = std::move(from);
+    ev.from = from;
     to.queue.push_back(std::move(ev));
     make_ready(to);
+  }
+
+  /// Interned id of a signal's name, cached per Signal object.
+  intern::Id signal_id(const uml::Signal* signal) {
+    if (signal == nullptr) return unknown_sig_id_;
+    auto [it, inserted] = signal_ids_.try_emplace(signal, intern::kNoId);
+    if (inserted) it->second = owner_.log_.intern_name(signal->name());
+    return it->second;
   }
 
   void request_segment(std::size_t index) {
@@ -468,7 +482,7 @@ struct Simulation::Impl {
                : x.remaining_cycles;
     const Time dur = cycles_to_ticks(grant, seg.freq_mhz);
 
-    auto& stats = owner_.segment_stats_[seg.name];
+    SegmentStats& stats = *seg.stats;
     ++stats.grants;
     stats.busy_time += dur;
     stats.wait_time += kernel_.now() - x.enqueue_time;
@@ -488,14 +502,14 @@ struct Simulation::Impl {
       x.enqueue_time = kernel_.now();
       seg.waiting.push_back(index);
     } else {
-      ++owner_.segment_stats_[seg.name].transfers;
+      ++seg.stats->transfers;
       ++x.hop;
       if (x.hop < x.path.size()) {
         x.remaining_cycles = 0;
         request_segment(index);
       } else {
         x.done = true;
-        deliver_local(*x.dest, std::move(x.event), std::move(x.from));
+        deliver_local(*x.dest, std::move(x.event), x.from);
       }
     }
     try_grant(seg);
@@ -506,25 +520,26 @@ struct Simulation::Impl {
   void inject(Time t, const std::string& port, const uml::Signal& signal,
               std::vector<long> args) {
     kernel_.schedule_at(t, [this, port, &signal, args = std::move(args)]() {
+      const intern::Id sig_id = signal_id(&signal);
       const efsm::Endpoint dest = router_.boundary_destination(port);
       if (dest.part == nullptr) {
-        owner_.log_.send(kernel_.now(), kEnvironment, kEnvironment,
-                         signal.name(), signal.payload_bytes());
+        owner_.log_.send_id(kernel_.now(), env_id_, env_id_, sig_id,
+                            signal.payload_bytes());
         return;
       }
       auto it = procs_by_part_.find(dest.part);
       if (it == procs_by_part_.end()) {
-        owner_.log_.send(kernel_.now(), kEnvironment, kEnvironment,
-                         signal.name(), signal.payload_bytes());
+        owner_.log_.send_id(kernel_.now(), env_id_, env_id_, sig_id,
+                            signal.payload_bytes());
         return;
       }
-      owner_.log_.send(kernel_.now(), kEnvironment, it->second->name,
-                       signal.name(), signal.payload_bytes());
+      owner_.log_.send_id(kernel_.now(), env_id_, it->second->name_id, sig_id,
+                          signal.payload_bytes());
       efsm::Event event;
       event.signal = &signal;
       event.port = dest.port != nullptr ? dest.port->name() : "";
       event.args = args;
-      deliver_local(*it->second, std::move(event), kEnvironment);
+      deliver_local(*it->second, std::move(event), env_id_);
     });
   }
 
@@ -552,6 +567,10 @@ struct Simulation::Impl {
   std::map<const uml::Property*, std::unique_ptr<Pe>> pes_;
   std::map<const uml::Property*, std::unique_ptr<Seg>> segs_;
   std::vector<std::unique_ptr<Transfer>> transfers_;
+
+  intern::Id env_id_ = intern::kNoId;
+  intern::Id unknown_sig_id_ = intern::kNoId;
+  std::unordered_map<const uml::Signal*, intern::Id> signal_ids_;
 };
 
 Simulation::Simulation(const mapping::SystemView& sys, Config config)
@@ -570,6 +589,9 @@ void Simulation::inject_periodic(Time first, Time period, std::size_t count,
                                  const std::string& boundary_port,
                                  const uml::Signal& signal,
                                  std::vector<long> args) {
+  // Each injected signal typically yields a handful of records (env send,
+  // receive, run, forwarded sends); reserve up front to curb reallocation.
+  log_.reserve(log_.size() + 4 * count);
   for (std::size_t i = 0; i < count; ++i) {
     inject(first + static_cast<Time>(i) * period, boundary_port, signal, args);
   }

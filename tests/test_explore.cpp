@@ -2,6 +2,8 @@
 // mapping proposals and cost estimation.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "explore/explore.hpp"
 #include "tutmac/tutmac.hpp"
 
@@ -56,6 +58,89 @@ TEST(InterGroupSignals, CountsOnlyCrossingTraffic) {
   EXPECT_EQ(inter_group_signals(single, s), 0u);
 }
 
+TEST(CrossingCounter, MatchesFullRecountOnStaticGroupings) {
+  const auto s = chain_stats();
+  for (const Grouping& g : {Grouping{{"a"}, {"b"}, {"c"}, {"d"}},
+                            Grouping{{"a", "b"}, {"c", "d"}},
+                            Grouping{{"a", "b", "c", "d"}}}) {
+    EXPECT_EQ(CrossingCounter(g, s).crossing(), inter_group_signals(g, s));
+  }
+}
+
+TEST(CrossingCounter, EmptyStats) {
+  ProcessStats s;
+  const Grouping g = {{"a"}, {"b"}};
+  CrossingCounter counter(g, s);
+  EXPECT_EQ(counter.crossing(), 0u);
+  EXPECT_EQ(counter.between(0, 1), 0u);
+  counter.merge(0, 1);
+  EXPECT_EQ(counter.groups(), 1u);
+  EXPECT_EQ(counter.crossing(), 0u);
+}
+
+TEST(CrossingCounter, MergeDeltaEqualsBetween) {
+  const auto s = chain_stats();
+  Grouping g = {{"a"}, {"b"}, {"c"}, {"d"}};
+  CrossingCounter counter(g, s);
+  const std::uint64_t before = counter.crossing();
+  const std::uint64_t ab = counter.between(0, 1);
+  counter.merge(0, 1);
+  EXPECT_EQ(counter.crossing(), before - ab);
+}
+
+TEST(CrossingCounter, RejectsSelfMerge) {
+  const auto s = chain_stats();
+  CrossingCounter counter({{"a"}, {"b"}}, s);
+  EXPECT_THROW(counter.merge(0, 0), std::invalid_argument);
+  EXPECT_THROW(counter.merge(0, 5), std::invalid_argument);
+}
+
+// The load-bearing check for the delta evaluation: random merge sequences on
+// random signal tables, cross-checked against the naive full recount (and a
+// freshly rebuilt counter) after every single merge.
+TEST(CrossingCounter, RandomizedMergesMatchNaiveRecount) {
+  std::mt19937 rng(20260807);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 3 + rng() % 10;
+    ProcessStats s;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.processes.push_back("p" + std::to_string(i));
+      s.cycles[s.processes.back()] = static_cast<long>(rng() % 1000);
+    }
+    // Random sparse directed signal table (self-pairs included on purpose;
+    // they never cross and must not disturb the counts).
+    const std::size_t edges = 2 + rng() % (n * n);
+    for (std::size_t e = 0; e < edges; ++e) {
+      const auto& from = s.processes[rng() % n];
+      const auto& to = s.processes[rng() % n];
+      if (from == to) continue;
+      s.signals[{from, to}] += rng() % 50;
+    }
+
+    Grouping g;
+    for (const auto& p : s.processes) g.push_back({p});
+    CrossingCounter counter(g, s);
+    while (g.size() > 1) {
+      std::size_t a = rng() % g.size();
+      std::size_t b = rng() % g.size();
+      if (a == b) continue;
+      g[a].insert(g[a].end(), g[b].begin(), g[b].end());
+      g.erase(g.begin() + static_cast<std::ptrdiff_t>(b));
+      counter.merge(a, b);
+      ASSERT_EQ(counter.crossing(), inter_group_signals(g, s))
+          << "trial " << trial << " at " << g.size() << " groups";
+      // The incrementally maintained matrix must equal a rebuilt one.
+      CrossingCounter rebuilt(g, s);
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        for (std::size_t j = i + 1; j < g.size(); ++j) {
+          ASSERT_EQ(counter.between(i, j), rebuilt.between(i, j));
+        }
+      }
+    }
+    EXPECT_EQ(counter.crossing(), 0u);  // one group left: nothing crosses
+  }
+}
+
 TEST(ProposeGrouping, MergesHeaviestCommunicatorsFirst) {
   const auto s = chain_stats();
   const Grouping g = propose_grouping(s, kAllGeneral, 2);
@@ -94,6 +179,90 @@ TEST(ProposeGrouping, TargetOfOneMergesEverythingCompatible) {
   const Grouping g = propose_grouping(s, kAllGeneral, 1);
   ASSERT_EQ(g.size(), 1u);
   EXPECT_EQ(g[0].size(), 4u);
+}
+
+TEST(ProposeGroupingRandomized, DeterministicPerSeedAndCoversConstraints) {
+  const auto s = chain_stats();
+  std::map<std::string, std::string> types = kAllGeneral;
+  types["b"] = "dsp";
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    const Grouping g1 = propose_grouping_randomized(s, types, 1, seed, 3, {"a"});
+    const Grouping g2 = propose_grouping_randomized(s, types, 1, seed, 3, {"a"});
+    EXPECT_EQ(g1, g2);  // same seed, same result
+    // Constraints hold on every randomized variant: "a" pinned alone and
+    // the dsp process "b" never merged with general processes.
+    for (const auto& group : g1) {
+      if (group.size() > 1) {
+        for (const auto& p : group) {
+          EXPECT_NE(p, "a");
+          EXPECT_NE(p, "b");
+        }
+      }
+    }
+  }
+}
+
+TEST(ProposeGroupingRandomized, BreadthOneEqualsGreedy) {
+  const auto s = chain_stats();
+  for (std::size_t target = 1; target <= 4; ++target) {
+    const Grouping greedy = propose_grouping(s, kAllGeneral, target);
+    const Grouping random =
+        propose_grouping_randomized(s, kAllGeneral, target, 99, 1);
+    EXPECT_EQ(greedy, random);
+  }
+}
+
+TEST(CostEvaluator, MatchesEstimateCostAndMemoizes) {
+  const auto s = chain_stats();
+  const Grouping g = {{"a", "b"}, {"c", "d"}};
+  const std::vector<PeDesc> pes = {{"pe1", 100, "general"},
+                                   {"pe2", 50, "general"}};
+  CostModel model;
+  model.hop_cost = 10.0;
+  CostEvaluator eval(g, s, pes, model);
+  for (const std::vector<std::string>& target :
+       {std::vector<std::string>{"pe1", "pe2"},
+        std::vector<std::string>{"pe2", "pe1"},
+        std::vector<std::string>{"pe1", "pe1"}}) {
+    const CostEstimate expect = estimate_cost(g, target, s, pes, model);
+    const CostEstimate& got = eval.evaluate(target);
+    EXPECT_EQ(got.pe_load, expect.pe_load);
+    EXPECT_DOUBLE_EQ(got.comm_cost, expect.comm_cost);
+    EXPECT_DOUBLE_EQ(got.makespan, expect.makespan);
+  }
+  EXPECT_EQ(eval.misses(), 3u);
+  // Re-evaluating hits the memo.
+  (void)eval.evaluate({"pe1", "pe2"});
+  EXPECT_EQ(eval.lookups(), 4u);
+  EXPECT_EQ(eval.misses(), 3u);
+
+  EXPECT_THROW((void)eval.evaluate({"pe1"}), std::invalid_argument);
+  EXPECT_THROW((void)eval.evaluate({"pe1", "nope"}), std::invalid_argument);
+  EXPECT_THROW((void)eval.evaluate_ids({0, 9}), std::invalid_argument);
+}
+
+TEST(CostEvaluator, RandomizedTargetsMatchEstimateCost) {
+  std::mt19937 rng(7);
+  const auto s = chain_stats();
+  const std::vector<PeDesc> pes = {{"pe1", 100, "general"},
+                                   {"pe2", 50, "general"},
+                                   {"pe3", 0, "general"}};  // 0 -> 50 fallback
+  const Grouping g = {{"a"}, {"b"}, {"c"}, {"d"}};
+  CostEvaluator eval(g, s, pes);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::string> target;
+    std::vector<std::uint32_t> ids;
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      const std::uint32_t p = rng() % pes.size();
+      ids.push_back(p);
+      target.push_back(pes[p].name);
+    }
+    const CostEstimate expect = estimate_cost(g, target, s, pes);
+    const CostEstimate& got = eval.evaluate_ids(ids);
+    EXPECT_EQ(got.pe_load, expect.pe_load);
+    EXPECT_DOUBLE_EQ(got.comm_cost, expect.comm_cost);
+    EXPECT_DOUBLE_EQ(got.makespan, expect.makespan);
+  }
 }
 
 TEST(EstimateCost, LoadAndCommAccounting) {

@@ -1,0 +1,189 @@
+// Tests for the parallel design-space exploration engine: determinism
+// across thread counts, winner selection and failure modes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "explore/engine.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+using namespace tut::explore;
+
+namespace {
+
+/// Synthetic stats: a ring of n processes with varying loads plus chords, so
+/// groupings and mappings are non-trivial at every target size.
+ProcessStats ring_stats(std::size_t n) {
+  ProcessStats s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.processes.push_back("p" + std::to_string(i));
+  }
+  std::uint64_t lcg = 0x2545f4914f6cdd1dull;
+  auto next = [&lcg]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    s.cycles[s.processes[i]] = static_cast<long>(200 + next() % 5000);
+    s.signals[{s.processes[i], s.processes[(i + 1) % n]}] = 10 + next() % 300;
+    s.signals[{s.processes[i], s.processes[(i + 3) % n]}] = next() % 40;
+  }
+  return s;
+}
+
+std::vector<PeDesc> two_tier_platform() {
+  return {{"cpu0", 100, "general"},
+          {"cpu1", 100, "general"},
+          {"dsp0", 50, "general"},
+          {"acc0", 200, "hw_accelerator"}};
+}
+
+/// Serializes a full exploration result so byte-identity is checkable.
+std::string fingerprint(const ExplorationResult& result) {
+  std::ostringstream os;
+  os << "best=" << result.best << '\n';
+  for (const CandidateResult& r : result.candidates) {
+    os << r.index << '|' << r.target_groups << '|' << r.variant << '|'
+       << r.feasible << '|' << r.inter_group << '|';
+    for (const auto& group : r.grouping) {
+      os << '[';
+      for (const auto& p : group) os << p << ',';
+      os << ']';
+    }
+    os << '|';
+    for (const auto& t : r.group_type) os << t << ',';
+    os << '|';
+    for (const auto& pe : r.mapping.target) os << pe << ',';
+    os << '|' << std::hexfloat << r.mapping.cost.makespan << '|'
+       << r.mapping.cost.comm_cost << std::defaultfloat << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+TEST(ExploreEngine, ResolvesThreadCount) {
+  EngineOptions opt;
+  opt.threads = 0;
+  ExploreEngine engine(ring_stats(4), two_tier_platform(), {}, opt);
+  EXPECT_GE(engine.threads(), 1u);
+  opt.threads = 6;
+  ExploreEngine fixed(ring_stats(4), two_tier_platform(), {}, opt);
+  EXPECT_EQ(fixed.threads(), 6u);
+}
+
+TEST(ExploreEngine, CandidateCountCoversSizesTimesVariants) {
+  EngineOptions opt;
+  opt.threads = 1;
+  opt.restarts_per_size = 3;
+  ExploreEngine engine(ring_stats(5), two_tier_platform(), {}, opt);
+  EXPECT_EQ(engine.candidate_count(), 5u * 4u);
+  const auto result = engine.explore();
+  EXPECT_EQ(result.candidates.size(), engine.candidate_count());
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    EXPECT_EQ(result.candidates[i].index, i);  // reduce-by-index ordering
+  }
+}
+
+// The acceptance-critical property: results are byte-identical no matter how
+// many threads evaluate the candidate list.
+TEST(ExploreEngine, DeterministicAcrossThreadCounts) {
+  const auto stats = ring_stats(9);
+  const auto pes = two_tier_platform();
+  std::map<std::string, std::string> types;
+  for (const auto& p : stats.processes) types[p] = "general";
+  types["p7"] = "hardware";
+
+  EngineOptions opt;
+  opt.restarts_per_size = 4;
+  opt.threads = 1;
+  ExploreEngine serial(stats, pes, {}, opt);
+  const std::string serial_fp = fingerprint(serial.explore(types, {"p0"}));
+
+  for (std::size_t threads : {2u, 8u}) {
+    opt.threads = threads;
+    ExploreEngine parallel(stats, pes, {}, opt);
+    EXPECT_EQ(fingerprint(parallel.explore(types, {"p0"})), serial_fp)
+        << "threads=" << threads;
+  }
+  // Repeated runs of the same engine are stable too.
+  EXPECT_EQ(fingerprint(serial.explore(types, {"p0"})), serial_fp);
+}
+
+TEST(ExploreEngine, WinnerHasMinimalMakespanAndLowestIndex) {
+  EngineOptions opt;
+  opt.threads = 2;
+  ExploreEngine engine(ring_stats(6), two_tier_platform(), {}, opt);
+  const auto result = engine.explore();
+  ASSERT_TRUE(result.winner().feasible);
+  for (const CandidateResult& r : result.candidates) {
+    if (!r.feasible) continue;
+    EXPECT_GE(r.mapping.cost.makespan, result.winner().mapping.cost.makespan);
+    if (r.mapping.cost.makespan == result.winner().mapping.cost.makespan) {
+      EXPECT_GE(r.index, result.best);  // ties break to the lowest index
+    }
+  }
+}
+
+TEST(ExploreEngine, ThrowsWhenNothingIsFeasible) {
+  // Hardware-only processes but no accelerator on the platform: every
+  // candidate mapping fails, and the engine must say so rather than return
+  // a phantom winner.
+  auto stats = ring_stats(3);
+  std::map<std::string, std::string> types;
+  for (const auto& p : stats.processes) types[p] = "hardware";
+  const std::vector<PeDesc> no_acc = {{"cpu0", 100, "general"}};
+  EngineOptions opt;
+  opt.threads = 2;
+  opt.restarts_per_size = 1;
+  ExploreEngine engine(stats, no_acc, {}, opt);
+  EXPECT_THROW((void)engine.explore(types), std::runtime_error);
+}
+
+TEST(ExploreEngine, InterGroupMatchesNaiveRecount) {
+  EngineOptions opt;
+  opt.threads = 1;
+  opt.restarts_per_size = 2;
+  const auto stats = ring_stats(7);
+  ExploreEngine engine(stats, two_tier_platform(), {}, opt);
+  const auto result = engine.explore();
+  for (const CandidateResult& r : result.candidates) {
+    EXPECT_EQ(r.inter_group, inter_group_signals(r.grouping, stats));
+  }
+}
+
+// End-to-end on the paper system: the engine's winner must be at least as
+// good as the single greedy 4-group proposal the feedback loop used before.
+TEST(ExploreEngine, TutmacWinnerBeatsSingleGreedyProposal) {
+  tutmac::Options mac_opt;
+  mac_opt.horizon = 10'000'000;
+  tutmac::System sys = tutmac::build(mac_opt);
+  mapping::SystemView view(*sys.model);
+  const auto simulation = sys.simulate(view);
+  const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
+  const auto report = profiler::analyze(info, simulation->log());
+  const auto stats = ProcessStats::from_report(report);
+
+  std::map<std::string, std::string> types;
+  for (const auto& p : stats.processes) types[p] = "general";
+  types["crc"] = "hardware";
+
+  const std::vector<PeDesc> pes = {{"cpu", 100, "general"},
+                                   {"dsp", 50, "general"},
+                                   {"acc", 100, "hw_accelerator"}};
+
+  const Grouping greedy = propose_grouping(stats, types, 4);
+  std::vector<std::string> greedy_types;
+  for (const auto& group : greedy) greedy_types.push_back(types[group.front()]);
+  const auto greedy_mapping =
+      propose_mapping(greedy, greedy_types, stats, pes);
+
+  EngineOptions opt;
+  opt.threads = 2;
+  ExploreEngine engine(stats, pes, {}, opt);
+  const auto result = engine.explore(types);
+  EXPECT_LE(result.winner().mapping.cost.makespan,
+            greedy_mapping.cost.makespan);
+}

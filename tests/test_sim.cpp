@@ -66,6 +66,38 @@ TEST(Kernel, SchedulingInThePastThrows) {
   EXPECT_THROW(k.schedule_at(50, [] {}), std::logic_error);
 }
 
+TEST(Kernel, NoDoubleDispatchAtHorizon) {
+  Kernel k;
+  int count = 0;
+  // An event exactly at the horizon that schedules a zero-delay child: both
+  // must run in this run() call, and a second run() at the same horizon must
+  // not re-dispatch either of them.
+  k.schedule_at(100, [&] {
+    ++count;
+    k.schedule_at(100, [&] { ++count; });
+  });
+  EXPECT_EQ(k.run(100), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(k.run(100), 0u);
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(k.empty());
+}
+
+TEST(Kernel, ZeroDelayRunsAfterSameTimeHeapEvents) {
+  // Scheduling order across the heap and the same-time fast path must stay
+  // exact (time, seq) FIFO: events scheduled earlier for time t run before
+  // zero-delay events created at time t.
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(10, [&] {
+    order.push_back(1);
+    k.schedule_at(10, [&] { order.push_back(3); });  // created at t=10
+  });
+  k.schedule_at(10, [&] { order.push_back(2); });  // scheduled before t=10
+  k.run(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 // ---------------------------------------------------------------------------
 // SimulationLog
 // ---------------------------------------------------------------------------
