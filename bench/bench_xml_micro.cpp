@@ -3,6 +3,7 @@
 #include "bench_util.hpp"
 #include "tutmac/tutmac.hpp"
 #include "uml/serialize.hpp"
+#include "xml/tree.hpp"
 #include "xml/xml.hpp"
 
 using namespace tut;
@@ -62,6 +63,54 @@ void BM_XmlEscape(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_XmlEscape)->Unit(benchmark::kMicrosecond);
+
+void BM_XmlEscapeCleanInput(benchmark::State& state) {
+  // The common case in model interchange: no escapable bytes at all.
+  // escape_view's fast path returns the input view without copying.
+  const std::string raw(1000, 'a');
+  std::string scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::escape_view(raw, scratch));
+  }
+}
+BENCHMARK(BM_XmlEscapeCleanInput)->Unit(benchmark::kMicrosecond);
+
+void BM_XmlTreeParse(benchmark::State& state) {
+  // Pull cursor -> arena tree: the zero-copy counterpart of BM_XmlParseOnly.
+  const std::string& xml = tutmac_xml();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::Tree::parse(xml));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_XmlTreeParse)->Unit(benchmark::kMicrosecond);
+
+void BM_ModelRoundTripDom(benchmark::State& state) {
+  // Reference path: mutable DOM both directions (the seed implementation).
+  const tutmac::System sys = tutmac::build();
+  const std::string& xml = tutmac_xml();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uml::from_xml(xml::parse(xml)));
+    benchmark::DoNotOptimize(xml::write(uml::to_xml(*sys.model)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_ModelRoundTripDom)->Unit(benchmark::kMicrosecond);
+
+void BM_ModelRoundTrip(benchmark::State& state) {
+  // Hot path: pull cursor + arena tree in, streaming writer out.
+  const tutmac::System sys = tutmac::build();
+  const std::string& xml = tutmac_xml();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uml::from_xml_text(xml));
+    benchmark::DoNotOptimize(uml::to_xml_string(*sys.model));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_ModelRoundTrip)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -12,17 +12,26 @@
 #include "tutmac/tutmac.hpp"
 #include "uml/serialize.hpp"
 #include "uml/validation.hpp"
+#include "xml/tree.hpp"
 
 using namespace tut;
 
 int main() {
   tutmac::System sys = tutmac::build();
 
-  // Export.
+  // Export: streamed straight into one string, no intermediate tree.
   const std::string xml = uml::to_xml_string(*sys.model);
   std::cout << "exported model: " << xml.size() << " bytes of XML\n";
 
-  // Import (as a second tool).
+  // The zero-copy load path: the pull cursor builds an arena-backed tree
+  // whose names/attributes/text are views into `xml` (which must outlive
+  // the Tree — here both are stack-scoped).
+  const xml::Tree tree = xml::Tree::parse(xml);
+  std::cout << "arena tree: " << tree.root().subtree_size() << " nodes in "
+            << tree.arena().bytes_used() << " arena bytes ("
+            << tree.arena().chunk_count() << " chunks)\n";
+
+  // Import (as a second tool would); from_xml_string reads via that tree.
   auto imported = uml::from_xml_string(xml);
   std::cout << "imported " << imported->size() << " model elements (original "
             << sys.model->size() << ")\n";

@@ -1,7 +1,12 @@
 #include "uml/serialize.hpp"
 
+#include <charconv>
+#include <cstdint>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_map>
+
+#include "xml/tree.hpp"
 
 namespace tut::uml {
 
@@ -18,25 +23,25 @@ const char* action_kind_name(Action::Kind k) {
   return "?";
 }
 
-Action::Kind action_kind_from(const std::string& s) {
+Action::Kind action_kind_from(std::string_view s) {
   if (s == "send") return Action::Kind::Send;
   if (s == "assign") return Action::Kind::Assign;
   if (s == "compute") return Action::Kind::Compute;
   if (s == "setTimer") return Action::Kind::SetTimer;
   if (s == "resetTimer") return Action::Kind::ResetTimer;
-  throw std::runtime_error("unknown action kind '" + s + "'");
+  throw std::runtime_error("unknown action kind '" + std::string(s) + "'");
 }
 
-TagType tag_type_from(const std::string& s) {
+TagType tag_type_from(std::string_view s) {
   if (s == "string") return TagType::String;
   if (s == "integer") return TagType::Integer;
   if (s == "boolean") return TagType::Boolean;
   if (s == "real") return TagType::Real;
   if (s == "enum") return TagType::Enum;
-  throw std::runtime_error("unknown tag type '" + s + "'");
+  throw std::runtime_error("unknown tag type '" + std::string(s) + "'");
 }
 
-ElementKind metaclass_from(const std::string& s) {
+ElementKind metaclass_from(std::string_view s) {
   if (s == "Class") return ElementKind::Class;
   if (s == "Property") return ElementKind::Property;
   if (s == "Port") return ElementKind::Port;
@@ -47,15 +52,117 @@ ElementKind metaclass_from(const std::string& s) {
   if (s == "StateMachine") return ElementKind::StateMachine;
   if (s == "State") return ElementKind::State;
   if (s == "Transition") return ElementKind::Transition;
-  throw std::runtime_error("unknown metaclass '" + s + "'");
+  throw std::runtime_error("unknown metaclass '" + std::string(s) + "'");
 }
 
-void write_actions(xml::Element& parent, const char* wrapper,
+std::uint64_t parse_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p == s.data()) {
+    throw std::runtime_error("expected an unsigned integer, got '" +
+                             std::string(s) + "'");
+  }
+  return v;
+}
+
+long parse_long(std::string_view s) {
+  long v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p == s.data()) {
+    throw std::runtime_error("expected an integer, got '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+// -- uniform node access ------------------------------------------------------
+// The two load paths — the mutable DOM (xml::Element) and the arena tree
+// (xml::Node) — expose the same read API modulo value vs. view returns.
+// attr_view() is the common allocation-free lookup; these shims let one
+// templated reader drive both, which pins their semantics together.
+
+std::string_view attr_or_sv(const xml::Element& n, std::string_view key,
+                            std::string_view fallback) {
+  const auto v = n.attr_view(key);
+  return v ? *v : fallback;
+}
+
+std::string_view attr_or_sv(const xml::Node& n, std::string_view key,
+                            std::string_view fallback) {
+  const auto v = n.attr_view(key);
+  return v ? *v : fallback;
+}
+
+const xml::Element& deref(const std::unique_ptr<xml::Element>& p) { return *p; }
+const xml::Node& deref(const xml::Node& n) { return n; }
+
+// Allocation-free children_named: visits children with the given tag in
+// document order. Both node types' children() ranges work.
+template <typename NodeT, typename Fn>
+void for_children_named(const NodeT& n, std::string_view name, Fn&& fn) {
+  for (const auto& c : n.children()) {
+    const auto& child = deref(c);
+    if (child.name() == name) fn(child);
+  }
+}
+
+// Heterogeneous string lookup: ids arrive as views into the input buffer;
+// the by-id index must not allocate a key per lookup.
+struct SvHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+// -- uniform write sinks ------------------------------------------------------
+// The write path is templated the same way: DomSink builds an xml::Element
+// tree (the reference implementation), StreamSink appends through the
+// streaming xml::Writer with no intermediate tree. Both are driven by the
+// same write_element/write_applications code, so the outputs are
+// byte-identical by construction.
+
+struct DomSink {
+  xml::Element* e;
+
+  DomSink add_child(std::string_view name) const {
+    return DomSink{&e->add_child(std::string(name))};
+  }
+  const DomSink& set_attr(std::string_view key, std::string_view value) const {
+    e->set_attr(std::string(key), std::string(value));
+    return *this;
+  }
+  const DomSink& set_text(std::string_view t) const {
+    e->set_text(std::string(t));
+    return *this;
+  }
+};
+
+struct StreamSink {
+  xml::Writer* w;
+  std::size_t depth;  // writer depth at which this element sits
+
+  StreamSink add_child(std::string_view name) const {
+    w->close_to(depth);  // finish any open descendant of this element
+    w->open(name);
+    return StreamSink{w, w->depth()};
+  }
+  const StreamSink& set_attr(std::string_view key, std::string_view value) const {
+    w->attr(key, value);
+    return *this;
+  }
+  const StreamSink& set_text(std::string_view t) const {
+    w->text(t);
+    return *this;
+  }
+};
+
+template <typename Sink>
+void write_actions(const Sink& parent, const char* wrapper,
                    const std::vector<Action>& actions) {
   if (actions.empty()) return;
-  auto& w = parent.add_child(wrapper);
+  const Sink w = parent.add_child(wrapper);
   for (const Action& a : actions) {
-    auto& ax = w.add_child("action");
+    const Sink ax = w.add_child("action");
     ax.set_attr("kind", action_kind_name(a.kind));
     if (!a.port.empty()) ax.set_attr("port", a.port);
     if (a.signal != nullptr) ax.set_attr("signal", a.signal->id());
@@ -69,43 +176,73 @@ void write_actions(xml::Element& parent, const char* wrapper,
 
 // ModelIO is a friend of every metaclass: it performs the raw two-pass
 // reconstruction that the public factory API (which validates references at
-// call time) cannot express for forward references.
+// call time) cannot express for forward references. Reading and writing are
+// both templated over the interchange representation: DOM Document/Element
+// (reference path) and arena-backed Tree/Node + streaming Writer (hot path).
 class ModelIO {
 public:
   static xml::Document write(const Model& model) {
     xml::Document doc("tut:model");
     doc.root().set_attr("name", model.name());
-    for (const auto& elem : model.elements()) write_element(doc.root(), *elem);
-    write_applications(doc.root(), model);
+    const DomSink root{&doc.root()};
+    for (const auto& elem : model.elements()) write_element(root, *elem);
+    write_applications(root, model);
     return doc;
   }
 
+  static std::string write_string(const Model& model) {
+    xml::Writer w(192 * model.size() + 256);
+    w.declaration();
+    w.open("tut:model");
+    w.attr("name", model.name());
+    const StreamSink root{&w, w.depth()};
+    for (const auto& elem : model.elements()) write_element(root, *elem);
+    write_applications(root, model);
+    return w.take();
+  }
+
   static std::unique_ptr<Model> read(const xml::Document& doc) {
-    if (doc.root().name() != "tut:model") {
-      throw std::runtime_error("not a tut:model document");
-    }
-    auto model = std::make_unique<Model>(doc.root().attr_or("name", "model"));
-    ModelIO io(*model);
-    for (const auto& node : doc.root().children()) io.create(*node);
-    for (const auto& node : doc.root().children()) io.resolve(*node);
-    return model;
+    return read_root(doc.root());
+  }
+
+  static std::unique_ptr<Model> read(const xml::Tree& tree) {
+    return read_root(tree.root());
   }
 
 private:
   explicit ModelIO(Model& model) : model_(model) {}
 
+  template <typename RootT>
+  static std::unique_ptr<Model> read_root(const RootT& root) {
+    if (root.name() != "tut:model") {
+      throw std::runtime_error("not a tut:model document");
+    }
+    auto model = std::make_unique<Model>(std::string(attr_or_sv(root, "name", "model")));
+    ModelIO io(*model);
+    std::size_t count = 0;
+    for (const auto& node : root.children()) {
+      (void)node;
+      ++count;
+    }
+    model->elements_.reserve(count);
+    io.by_id_.reserve(count);
+    for (const auto& node : root.children()) io.create(deref(node));
+    for (const auto& node : root.children()) io.resolve(deref(node));
+    return model;
+  }
+
   // -- writing ---------------------------------------------------------------
 
-  static void write_element(xml::Element& root, const Element& e) {
+  template <typename Sink>
+  static void write_element(const Sink& root, const Element& e) {
     switch (e.kind()) {
       case ElementKind::Package: {
-        auto& x = header(root, "package", e);
-        (void)x;
+        header(root, "package", e);
         break;
       }
       case ElementKind::Signal: {
         const auto& s = static_cast<const Signal&>(e);
-        auto& x = header(root, "signal", e);
+        const Sink x = header(root, "signal", e);
         x.set_attr("payloadBytes", std::to_string(s.payload_bytes()));
         for (const auto& p : s.parameters()) {
           x.add_child("param").set_attr("name", p.name).set_attr("type", p.type);
@@ -114,14 +251,14 @@ private:
       }
       case ElementKind::Class: {
         const auto& c = static_cast<const Class&>(e);
-        auto& x = header(root, "class", e);
+        const Sink x = header(root, "class", e);
         x.set_attr("active", c.is_active() ? "true" : "false");
         if (c.general() != nullptr) x.set_attr("general", c.general()->id());
         break;
       }
       case ElementKind::Property: {
         const auto& p = static_cast<const Property&>(e);
-        auto& x = header(root, "property", e);
+        const Sink x = header(root, "property", e);
         if (p.is_part()) {
           x.set_attr("partType", p.part_type()->id());
         } else {
@@ -131,7 +268,7 @@ private:
       }
       case ElementKind::Port: {
         const auto& p = static_cast<const Port&>(e);
-        auto& x = header(root, "port", e);
+        const Sink x = header(root, "port", e);
         for (const Signal* s : p.provided()) {
           x.add_child("provided").set_attr("ref", s->id());
         }
@@ -142,9 +279,9 @@ private:
       }
       case ElementKind::Connector: {
         const auto& c = static_cast<const Connector&>(e);
-        auto& x = header(root, "connector", e);
+        const Sink x = header(root, "connector", e);
         for (const ConnectorEnd& end : {c.end0(), c.end1()}) {
-          auto& ex = x.add_child("end");
+          const Sink ex = x.add_child("end");
           if (end.part != nullptr) ex.set_attr("part", end.part->id());
           if (end.port != nullptr) ex.set_attr("port", end.port->id());
         }
@@ -152,14 +289,14 @@ private:
       }
       case ElementKind::Dependency: {
         const auto& d = static_cast<const Dependency&>(e);
-        auto& x = header(root, "dependency", e);
+        const Sink x = header(root, "dependency", e);
         x.set_attr("client", d.client()->id());
         x.set_attr("supplier", d.supplier()->id());
         break;
       }
       case ElementKind::StateMachine: {
         const auto& sm = static_cast<const StateMachine&>(e);
-        auto& x = header(root, "stateMachine", e);
+        const Sink x = header(root, "stateMachine", e);
         for (const auto& [name, init] : sm.variables()) {
           x.add_child("variable")
               .set_attr("name", name)
@@ -169,14 +306,14 @@ private:
       }
       case ElementKind::State: {
         const auto& s = static_cast<const State&>(e);
-        auto& x = header(root, "state", e);
+        const Sink x = header(root, "state", e);
         if (s.is_initial()) x.set_attr("initial", "true");
         write_actions(x, "entry", s.entry_actions());
         break;
       }
       case ElementKind::Transition: {
         const auto& t = static_cast<const Transition&>(e);
-        auto& x = header(root, "transition", e);
+        const Sink x = header(root, "transition", e);
         x.set_attr("source", t.source()->id());
         x.set_attr("target", t.target()->id());
         if (t.trigger_signal() != nullptr) {
@@ -194,11 +331,11 @@ private:
       }
       case ElementKind::Stereotype: {
         const auto& s = static_cast<const Stereotype&>(e);
-        auto& x = header(root, "stereotype", e);
+        const Sink x = header(root, "stereotype", e);
         x.set_attr("extends", to_string(s.extended_metaclass()));
         if (s.general() != nullptr) x.set_attr("general", s.general()->id());
         for (const TagDefinition& t : s.own_tags()) {
-          auto& tx = x.add_child("tag");
+          const Sink tx = x.add_child("tag");
           tx.set_attr("name", t.name);
           tx.set_attr("type", to_string(t.type));
           if (t.required) tx.set_attr("required", "true");
@@ -214,9 +351,9 @@ private:
     }
   }
 
-  static xml::Element& header(xml::Element& root, const char* tag,
-                              const Element& e) {
-    auto& x = root.add_child(tag);
+  template <typename Sink>
+  static Sink header(const Sink& root, const char* tag, const Element& e) {
+    const Sink x = root.add_child(tag);
     x.set_attr("id", e.id());
     x.set_attr("name", e.name());
     if (e.owner() != nullptr && e.owner()->kind() != ElementKind::Model) {
@@ -225,11 +362,12 @@ private:
     return x;
   }
 
-  static void write_applications(xml::Element& root, const Model& model) {
-    auto& section = root.add_child("appliedStereotypes");
+  template <typename Sink>
+  static void write_applications(const Sink& root, const Model& model) {
+    const Sink section = root.add_child("appliedStereotypes");
     for (const auto& elem : model.elements()) {
       for (const auto& app : elem->applications()) {
-        auto& ax = section.add_child("apply");
+        const Sink ax = section.add_child("apply");
         ax.set_attr("element", elem->id());
         ax.set_attr("stereotype", app.stereotype->id());
         for (const auto& [k, v] : app.tagged_values) {
@@ -241,22 +379,27 @@ private:
 
   // -- reading: pass 1 (creation) ---------------------------------------------
 
-  template <typename T>
-  T& create_raw(const xml::Element& node) {
+  template <typename T, typename NodeT>
+  T& create_raw(const NodeT& node) {
     auto elem = std::make_unique<T>();
     T& ref = *elem;
-    ref.name_ = node.attr_or("name", "");
-    ref.id_ = node.attr_or("id", "e" + std::to_string(model_.next_id_));
+    ref.name_ = attr_or_sv(node, "name", "");
+    if (const auto id = node.attr_view("id")) {
+      ref.id_ = std::string(*id);
+    } else {
+      ref.id_ = "e" + std::to_string(model_.next_id_);
+    }
     // Keep the auto-id counter ahead of any numeric id we ingest.
     if (ref.id_.size() > 1 && ref.id_[0] == 'e') {
-      try {
-        const auto n = std::stoull(ref.id_.substr(1));
-        if (n >= model_.next_id_) model_.next_id_ = n + 1;
-      } catch (const std::exception&) {
-        // Non-numeric id: nothing to advance.
+      std::uint64_t n = 0;
+      const char* first = ref.id_.data() + 1;
+      const char* last = ref.id_.data() + ref.id_.size();
+      const auto [p, ec] = std::from_chars(first, last, n);
+      if (ec == std::errc() && p != first && n >= model_.next_id_) {
+        model_.next_id_ = n + 1;
       }
     }
-    if (auto owner = node.attr("owner")) {
+    if (const auto owner = node.attr_view("owner")) {
       ref.owner_ = &lookup(*owner);
     } else {
       ref.owner_ = &model_;
@@ -266,21 +409,23 @@ private:
     return ref;
   }
 
-  Element& lookup(const std::string& id) const {
-    auto it = by_id_.find(id);
+  Element& lookup(std::string_view id) const {
+    const auto it = by_id_.find(id);
     if (it == by_id_.end()) {
-      throw std::runtime_error("dangling reference to element id '" + id + "'");
+      throw std::runtime_error("dangling reference to element id '" +
+                               std::string(id) + "'");
     }
     return *it->second;
   }
 
   template <typename T>
-  T& lookup_as(const std::string& id) const {
+  T& lookup_as(std::string_view id) const {
     return static_cast<T&>(lookup(id));
   }
 
-  void create(const xml::Element& node) {
-    const std::string& tag = node.name();
+  template <typename NodeT>
+  void create(const NodeT& node) {
+    const std::string_view tag = node.name();
     if (tag == "appliedStereotypes") return;
     if (tag == "package") {
       auto& pkg = create_raw<Package>(node);
@@ -289,24 +434,25 @@ private:
       }
     } else if (tag == "signal") {
       auto& sig = create_raw<Signal>(node);
-      for (const auto* p : node.children_named("param")) {
-        sig.add_parameter(p->attr_or("name", ""), p->attr_or("type", ""));
-      }
-      if (auto pb = node.attr("payloadBytes")) {
-        sig.set_payload_bytes(std::stoull(*pb));
+      for_children_named(node, "param", [&](const auto& p) {
+        sig.add_parameter(std::string(attr_or_sv(p, "name", "")),
+                          std::string(attr_or_sv(p, "type", "")));
+      });
+      if (const auto pb = node.attr_view("payloadBytes")) {
+        sig.set_payload_bytes(parse_u64(*pb));
       }
       if (sig.owner_->kind() == ElementKind::Package) {
         static_cast<Package*>(sig.owner_)->members_.push_back(&sig);
       }
     } else if (tag == "class") {
       auto& cls = create_raw<Class>(node);
-      cls.is_active_ = node.attr_or("active", "false") == "true";
+      cls.is_active_ = attr_or_sv(node, "active", "false") == "true";
       if (cls.owner_->kind() == ElementKind::Package) {
         static_cast<Package*>(cls.owner_)->members_.push_back(&cls);
       }
     } else if (tag == "property") {
       auto& prop = create_raw<Property>(node);
-      prop.attr_type_ = node.attr_or("attrType", "");
+      prop.attr_type_ = attr_or_sv(node, "attrType", "");
       auto* cls = prop.owner_class();
       if (cls == nullptr) {
         throw std::runtime_error("property '" + prop.name() +
@@ -336,10 +482,10 @@ private:
       create_raw<Dependency>(node);
     } else if (tag == "stateMachine") {
       auto& sm = create_raw<StateMachine>(node);
-      for (const auto* v : node.children_named("variable")) {
-        sm.declare_variable(v->attr_or("name", ""),
-                            std::stol(v->attr_or("initial", "0")));
-      }
+      for_children_named(node, "variable", [&](const auto& v) {
+        sm.declare_variable(std::string(attr_or_sv(v, "name", "")),
+                            parse_long(attr_or_sv(v, "initial", "0")));
+      });
       if (sm.owner_->kind() == ElementKind::Class) {
         auto* cls = static_cast<Class*>(sm.owner_);
         sm.context_ = cls;
@@ -347,7 +493,7 @@ private:
       }
     } else if (tag == "state") {
       auto& st = create_raw<State>(node);
-      st.initial_ = node.attr_or("initial", "false") == "true";
+      st.initial_ = attr_or_sv(node, "initial", "false") == "true";
       if (st.owner_->kind() != ElementKind::StateMachine) {
         throw std::runtime_error("state '" + st.name() +
                                  "' must be owned by a state machine");
@@ -355,9 +501,9 @@ private:
       static_cast<StateMachine*>(st.owner_)->states_.push_back(&st);
     } else if (tag == "transition") {
       auto& tr = create_raw<Transition>(node);
-      tr.trigger_port_ = node.attr_or("port", "");
-      tr.trigger_timer_ = node.attr_or("timer", "");
-      tr.guard_ = node.attr_or("guard", "");
+      tr.trigger_port_ = attr_or_sv(node, "port", "");
+      tr.trigger_timer_ = attr_or_sv(node, "timer", "");
+      tr.guard_ = attr_or_sv(node, "guard", "");
       if (tr.owner_->kind() != ElementKind::StateMachine) {
         throw std::runtime_error("transition '" + tr.name() +
                                  "' must be owned by a state machine");
@@ -367,134 +513,145 @@ private:
       create_raw<Profile>(node);
     } else if (tag == "stereotype") {
       auto& st = create_raw<Stereotype>(node);
-      st.extends_ = metaclass_from(node.attr_or("extends", "Class"));
-      for (const auto* t : node.children_named("tag")) {
+      st.extends_ = metaclass_from(attr_or_sv(node, "extends", "Class"));
+      for_children_named(node, "tag", [&](const auto& t) {
         TagDefinition def;
-        def.name = t->attr_or("name", "");
-        def.type = tag_type_from(t->attr_or("type", "string"));
-        def.required = t->attr_or("required", "false") == "true";
-        def.description = t->attr_or("description", "");
-        for (const auto* en : t->children_named("enum")) {
-          def.enumerators.push_back(en->attr_or("value", ""));
-        }
+        def.name = attr_or_sv(t, "name", "");
+        def.type = tag_type_from(attr_or_sv(t, "type", "string"));
+        def.required = attr_or_sv(t, "required", "false") == "true";
+        def.description = attr_or_sv(t, "description", "");
+        for_children_named(t, "enum", [&](const auto& en) {
+          def.enumerators.emplace_back(attr_or_sv(en, "value", ""));
+        });
         st.define_tag(std::move(def));
-      }
+      });
       if (st.owner_->kind() != ElementKind::Profile) {
         throw std::runtime_error("stereotype '" + st.name() +
                                  "' must be owned by a profile");
       }
       static_cast<Profile*>(st.owner_)->stereotypes_.push_back(&st);
     } else {
-      throw std::runtime_error("unknown model element <" + tag + ">");
+      throw std::runtime_error("unknown model element <" + std::string(tag) + ">");
     }
   }
 
   // -- reading: pass 2 (reference resolution) ----------------------------------
 
-  std::vector<Action> read_actions(const xml::Element& wrapper) const {
+  template <typename NodeT>
+  std::vector<Action> read_actions(const NodeT& wrapper) const {
     std::vector<Action> out;
-    for (const auto* ax : wrapper.children_named("action")) {
+    for_children_named(wrapper, "action", [&](const auto& ax) {
       Action a;
-      a.kind = action_kind_from(ax->attr_or("kind", ""));
-      a.port = ax->attr_or("port", "");
-      a.var = ax->attr_or("var", "");
-      a.expr = ax->attr_or("expr", "");
-      if (auto sig = ax->attr("signal")) {
+      a.kind = action_kind_from(attr_or_sv(ax, "kind", ""));
+      a.port = attr_or_sv(ax, "port", "");
+      a.var = attr_or_sv(ax, "var", "");
+      a.expr = attr_or_sv(ax, "expr", "");
+      if (const auto sig = ax.attr_view("signal")) {
         a.signal = &lookup_as<Signal>(*sig);
       }
-      for (const auto* arg : ax->children_named("arg")) {
-        a.args.push_back(arg->text());
-      }
+      for_children_named(ax, "arg", [&](const auto& arg) {
+        a.args.emplace_back(arg.text());
+      });
       out.push_back(std::move(a));
-    }
+    });
     return out;
   }
 
-  void resolve(const xml::Element& node) {
-    const std::string& tag = node.name();
+  template <typename NodeT>
+  void resolve(const NodeT& node) {
+    const std::string_view tag = node.name();
     if (tag == "class") {
-      if (auto gen = node.attr("general")) {
-        lookup_as<Class>(node.attr_or("id", "")).general_ =
+      if (const auto gen = node.attr_view("general")) {
+        lookup_as<Class>(attr_or_sv(node, "id", "")).general_ =
             &lookup_as<Class>(*gen);
       }
     } else if (tag == "property") {
-      if (auto pt = node.attr("partType")) {
-        lookup_as<Property>(node.attr_or("id", "")).part_type_ =
+      if (const auto pt = node.attr_view("partType")) {
+        lookup_as<Property>(attr_or_sv(node, "id", "")).part_type_ =
             &lookup_as<Class>(*pt);
       }
     } else if (tag == "port") {
-      auto& port = lookup_as<Port>(node.attr_or("id", ""));
-      for (const auto* p : node.children_named("provided")) {
-        port.provide(lookup_as<Signal>(p->attr_or("ref", "")));
-      }
-      for (const auto* r : node.children_named("required")) {
-        port.require(lookup_as<Signal>(r->attr_or("ref", "")));
-      }
+      auto& port = lookup_as<Port>(attr_or_sv(node, "id", ""));
+      for_children_named(node, "provided", [&](const auto& p) {
+        port.provide(lookup_as<Signal>(attr_or_sv(p, "ref", "")));
+      });
+      for_children_named(node, "required", [&](const auto& r) {
+        port.require(lookup_as<Signal>(attr_or_sv(r, "ref", "")));
+      });
     } else if (tag == "connector") {
-      auto& conn = lookup_as<Connector>(node.attr_or("id", ""));
-      const auto ends = node.children_named("end");
-      for (std::size_t i = 0; i < ends.size() && i < 2; ++i) {
+      auto& conn = lookup_as<Connector>(attr_or_sv(node, "id", ""));
+      std::size_t i = 0;
+      for_children_named(node, "end", [&](const auto& ex) {
+        if (i >= 2) return;
         ConnectorEnd end;
-        if (auto part = ends[i]->attr("part")) {
+        if (const auto part = ex.attr_view("part")) {
           end.part = &lookup_as<Property>(*part);
         }
-        if (auto port = ends[i]->attr("port")) {
+        if (const auto port = ex.attr_view("port")) {
           end.port = &lookup_as<Port>(*port);
         }
-        conn.ends_[i] = end;
-      }
+        conn.ends_[i++] = end;
+      });
     } else if (tag == "dependency") {
-      auto& dep = lookup_as<Dependency>(node.attr_or("id", ""));
-      dep.client_ = &lookup(node.attr_or("client", ""));
-      dep.supplier_ = &lookup(node.attr_or("supplier", ""));
+      auto& dep = lookup_as<Dependency>(attr_or_sv(node, "id", ""));
+      dep.client_ = &lookup(attr_or_sv(node, "client", ""));
+      dep.supplier_ = &lookup(attr_or_sv(node, "supplier", ""));
     } else if (tag == "state") {
-      auto& st = lookup_as<State>(node.attr_or("id", ""));
+      auto& st = lookup_as<State>(attr_or_sv(node, "id", ""));
       if (const auto* entry = node.child("entry")) {
         st.entry_ = read_actions(*entry);
       }
     } else if (tag == "transition") {
-      auto& tr = lookup_as<Transition>(node.attr_or("id", ""));
-      tr.source_ = &lookup_as<State>(node.attr_or("source", ""));
-      tr.target_ = &lookup_as<State>(node.attr_or("target", ""));
-      if (auto sig = node.attr("signal")) {
+      auto& tr = lookup_as<Transition>(attr_or_sv(node, "id", ""));
+      tr.source_ = &lookup_as<State>(attr_or_sv(node, "source", ""));
+      tr.target_ = &lookup_as<State>(attr_or_sv(node, "target", ""));
+      if (const auto sig = node.attr_view("signal")) {
         tr.trigger_signal_ = &lookup_as<Signal>(*sig);
       }
       if (const auto* effect = node.child("effect")) {
         tr.effects_ = read_actions(*effect);
       }
     } else if (tag == "stereotype") {
-      if (auto gen = node.attr("general")) {
-        lookup_as<Stereotype>(node.attr_or("id", "")).general_ =
+      if (const auto gen = node.attr_view("general")) {
+        lookup_as<Stereotype>(attr_or_sv(node, "id", "")).general_ =
             &lookup_as<Stereotype>(*gen);
       }
     } else if (tag == "appliedStereotypes") {
-      for (const auto* ax : node.children_named("apply")) {
-        Element& target = lookup(ax->attr_or("element", ""));
-        auto& st = lookup_as<Stereotype>(ax->attr_or("stereotype", ""));
+      for_children_named(node, "apply", [&](const auto& ax) {
+        Element& target = lookup(attr_or_sv(ax, "element", ""));
+        auto& st = lookup_as<Stereotype>(attr_or_sv(ax, "stereotype", ""));
         auto& app = target.apply(st);
-        for (const auto* tv : ax->children_named("tv")) {
-          app.tagged_values[tv->attr_or("name", "")] = tv->attr_or("value", "");
-        }
-      }
+        for_children_named(ax, "tv", [&](const auto& tv) {
+          app.tagged_values[std::string(attr_or_sv(tv, "name", ""))] =
+              attr_or_sv(tv, "value", "");
+        });
+      });
     }
   }
 
   Model& model_;
-  std::unordered_map<std::string, Element*> by_id_;
+  std::unordered_map<std::string, Element*, SvHash, std::equal_to<>> by_id_;
 };
 
 xml::Document to_xml(const Model& model) { return ModelIO::write(model); }
 
 std::string to_xml_string(const Model& model) {
-  return xml::write(to_xml(model));
+  return ModelIO::write_string(model);
 }
 
 std::unique_ptr<Model> from_xml(const xml::Document& doc) {
   return ModelIO::read(doc);
 }
 
+std::unique_ptr<Model> from_xml_text(std::string_view text) {
+  // The tree's views alias `text`; both stay alive for the whole read, and
+  // the Model copies everything it keeps.
+  const xml::Tree tree = xml::Tree::parse(text);
+  return ModelIO::read(tree);
+}
+
 std::unique_ptr<Model> from_xml_string(const std::string& text) {
-  return from_xml(xml::parse(text));
+  return from_xml_text(text);
 }
 
 }  // namespace tut::uml

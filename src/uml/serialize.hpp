@@ -9,21 +9,27 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "uml/model.hpp"
 #include "xml/xml.hpp"
 
 namespace tut::uml {
 
-/// Serializes a model to the XML interchange dialect.
+/// Serializes a model to the XML interchange dialect (mutable DOM tree).
 xml::Document to_xml(const Model& model);
-/// Convenience: to_xml + xml::write.
+/// Streams the model straight into one string through xml::Writer — no
+/// intermediate tree. Byte-identical to xml::write(to_xml(model)).
 std::string to_xml_string(const Model& model);
 
 /// Reconstructs a model from the XML dialect. Throws std::runtime_error on
-/// dangling references or unknown element kinds; throws xml::ParseError via
-/// from_xml_string on malformed XML.
+/// dangling references or unknown element kinds; the text overloads throw
+/// xml::ParseError on malformed XML.
 std::unique_ptr<Model> from_xml(const xml::Document& doc);
+/// Hot path: parses via the zero-copy pull cursor into an arena-backed
+/// xml::Tree and reads the model from its string_view nodes. `text` only
+/// needs to outlive the call — the Model copies everything it keeps.
+std::unique_ptr<Model> from_xml_text(std::string_view text);
 std::unique_ptr<Model> from_xml_string(const std::string& text);
 
 }  // namespace tut::uml

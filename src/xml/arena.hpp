@@ -1,0 +1,126 @@
+// Bump arena for the zero-copy interchange layer.
+//
+// Parsing a document allocates every node, attribute array and unescaped
+// string run from one of these: allocation is a pointer bump, teardown frees
+// a handful of large chunks instead of one heap object per node, and
+// allocation order equals document order, so traversal chases pointers
+// through contiguous memory.
+//
+// Lifetime rule: everything handed out by an Arena lives exactly as long as
+// the Arena. Only trivially-destructible types may be placed in it —
+// destructors are never run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tut::xml {
+
+class Arena {
+public:
+  explicit Arena(std::size_t first_chunk_bytes = 16 * 1024)
+      : next_chunk_bytes_(first_chunk_bytes) {}
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` with the given alignment (power of two).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    auto p = reinterpret_cast<std::uintptr_t>(cur_);
+    const std::uintptr_t aligned = (p + (align - 1)) & ~std::uintptr_t(align - 1);
+    if (aligned + bytes > reinterpret_cast<std::uintptr_t>(end_)) {
+      grow(bytes + align);
+      return allocate(bytes, align);
+    }
+    cur_ = reinterpret_cast<char*>(aligned + bytes);
+    used_ += bytes + (aligned - p);
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  char* allocate_bytes(std::size_t n) {
+    return static_cast<char*>(allocate(n, 1));
+  }
+
+  /// Returns the unused tail of the most recent allocation to the arena.
+  /// `p` must be the pointer returned by the latest allocate() call with
+  /// `reserved` bytes, of which only the first `used` are kept.
+  void shrink_last(void* p, std::size_t reserved, std::size_t used) {
+    char* base = static_cast<char*>(p);
+    if (base + reserved == cur_) {
+      cur_ = base + used;
+      used_ -= reserved - used;
+    }
+  }
+
+  /// Copies `s` into the arena and returns a view of the copy.
+  std::string_view store(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = allocate_bytes(s.size());
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// Constructs a T in the arena. T must be trivially destructible: the
+  /// arena never runs destructors.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Bytes handed out to callers (excluding chunk slack).
+  std::size_t bytes_used() const noexcept { return used_; }
+  /// Bytes reserved from the system across all chunks.
+  std::size_t bytes_reserved() const noexcept {
+    std::size_t n = 0;
+    for (const auto& c : chunks_) n += c.size;
+    return n;
+  }
+  std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+  /// Drops every allocation but keeps the reserved chunks for reuse.
+  void reset() noexcept {
+    if (chunks_.size() > 1) {
+      // Keep only the largest (last) chunk; steady-state reuse needs one.
+      chunks_.erase(chunks_.begin(), chunks_.end() - 1);
+    }
+    if (!chunks_.empty()) {
+      cur_ = chunks_.back().data.get();
+      end_ = cur_ + chunks_.back().size;
+    }
+    used_ = 0;
+  }
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size;
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t size = next_chunk_bytes_;
+    if (size < at_least) size = at_least;
+    chunks_.push_back(Chunk{std::make_unique<char[]>(size), size});
+    cur_ = chunks_.back().data.get();
+    end_ = cur_ + size;
+    if (next_chunk_bytes_ < (std::size_t(1) << 20)) next_chunk_bytes_ *= 2;
+  }
+
+  std::vector<Chunk> chunks_;
+  char* cur_ = nullptr;
+  char* end_ = nullptr;
+  std::size_t used_ = 0;
+  std::size_t next_chunk_bytes_;
+};
+
+}  // namespace tut::xml

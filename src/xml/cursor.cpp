@@ -1,0 +1,322 @@
+#include "xml/cursor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+
+namespace tut::xml {
+
+namespace {
+
+constexpr std::array<bool, 256> make_name_table() {
+  std::array<bool, 256> t{};
+  for (int c = '0'; c <= '9'; ++c) t[static_cast<std::size_t>(c)] = true;
+  for (int c = 'a'; c <= 'z'; ++c) t[static_cast<std::size_t>(c)] = true;
+  for (int c = 'A'; c <= 'Z'; ++c) t[static_cast<std::size_t>(c)] = true;
+  t[static_cast<std::size_t>('_')] = true;
+  t[static_cast<std::size_t>('-')] = true;
+  t[static_cast<std::size_t>('.')] = true;
+  t[static_cast<std::size_t>(':')] = true;
+  return t;
+}
+
+constexpr std::array<bool, 256> kNameChar = make_name_table();
+
+inline bool is_name_char(char c) noexcept {
+  return kNameChar[static_cast<unsigned char>(c)];
+}
+
+inline bool is_ws(char c) noexcept {
+  switch (c) {
+    case ' ':
+    case '\t':
+    case '\n':
+    case '\r':
+    case '\v':
+    case '\f':
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline std::size_t encode_utf8(unsigned long u, char* out) noexcept {
+  if (u < 0x80) {
+    out[0] = static_cast<char>(u);
+    return 1;
+  }
+  if (u < 0x800) {
+    out[0] = static_cast<char>(0xC0 | (u >> 6));
+    out[1] = static_cast<char>(0x80 | (u & 0x3F));
+    return 2;
+  }
+  if (u < 0x10000) {
+    out[0] = static_cast<char>(0xE0 | (u >> 12));
+    out[1] = static_cast<char>(0x80 | ((u >> 6) & 0x3F));
+    out[2] = static_cast<char>(0x80 | (u & 0x3F));
+    return 3;
+  }
+  out[0] = static_cast<char>(0xF0 | (u >> 18));
+  out[1] = static_cast<char>(0x80 | ((u >> 12) & 0x3F));
+  out[2] = static_cast<char>(0x80 | ((u >> 6) & 0x3F));
+  out[3] = static_cast<char>(0x80 | (u & 0x3F));
+  return 4;
+}
+
+}  // namespace
+
+void Cursor::fail_at(const std::string& msg, std::size_t offset) const {
+  // Line numbers are derived lazily — errors are cold, the hot scan loop
+  // never counts newlines.
+  const std::size_t n = std::min(offset, text_.size());
+  const auto line = 1 + static_cast<std::size_t>(
+                            std::count(text_.begin(), text_.begin() + n, '\n'));
+  throw ParseError(msg, n, line);
+}
+
+void Cursor::skip_ws() noexcept {
+  while (pos_ < text_.size() && is_ws(text_[pos_])) ++pos_;
+}
+
+void Cursor::skip_comment() {
+  const auto end = text_.find("-->", pos_ + 4);
+  if (end == std::string_view::npos) {
+    fail_at("unterminated comment", text_.size());
+  }
+  pos_ = end + 3;
+}
+
+void Cursor::skip_misc() {
+  for (;;) {
+    skip_ws();
+    if (starts_with("<!--")) {
+      skip_comment();
+    } else if (starts_with("<?")) {
+      const auto end = text_.find("?>", pos_ + 2);
+      if (end == std::string_view::npos) {
+        fail_at("unterminated processing instruction", text_.size());
+      }
+      pos_ = end + 2;
+    } else {
+      return;
+    }
+  }
+}
+
+void Cursor::skip_prolog() {
+  skip_misc();
+  if (starts_with("<!DOCTYPE")) {
+    pos_ += 9;
+    // Skip to the matching '>', tolerating an internal subset in brackets.
+    int depth = 0;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '<') ++depth;
+      if (c == '>') {
+        if (depth == 0) break;
+        --depth;
+      }
+    }
+    skip_misc();
+  }
+}
+
+std::string_view Cursor::parse_name() {
+  const std::size_t start = pos_;
+  while (pos_ < text_.size() && is_name_char(text_[pos_])) ++pos_;
+  if (pos_ == start) fail("expected a name");
+  return text_.substr(start, pos_ - start);
+}
+
+std::size_t Cursor::decode_entity(char* out, std::size_t limit) {
+  const std::size_t amp = pos_;
+  const auto semi = text_.find(';', pos_ + 1);
+  if (semi == std::string_view::npos || semi >= limit) {
+    fail_at("unterminated entity (expected ';')", amp);
+  }
+  const std::string_view ent = text_.substr(pos_ + 1, semi - pos_ - 1);
+  pos_ = semi + 1;
+  if (ent == "amp") { *out = '&'; return 1; }
+  if (ent == "lt") { *out = '<'; return 1; }
+  if (ent == "gt") { *out = '>'; return 1; }
+  if (ent == "quot") { *out = '"'; return 1; }
+  if (ent == "apos") { *out = '\''; return 1; }
+  if (!ent.empty() && ent[0] == '#') {
+    int base = 10;
+    std::size_t digits = 1;
+    if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+      base = 16;
+      digits = 2;
+    }
+    const char* first = ent.data() + digits;
+    const char* last = ent.data() + ent.size();
+    unsigned long code = 0;
+    const auto [ptr, ec] = std::from_chars(first, last, code, base);
+    if (ec == std::errc::result_out_of_range || (ec == std::errc() && code > 0x10FFFF)) {
+      fail_at("character reference out of range '&" + std::string(ent) + ";'", amp);
+    }
+    if (ec != std::errc() || ptr != last || first == last) {
+      fail_at("malformed character reference '&" + std::string(ent) + ";'", amp);
+    }
+    return encode_utf8(code, out);
+  }
+  fail_at("unknown entity '&" + std::string(ent) + ";'", amp);
+}
+
+std::string_view Cursor::parse_attr_value() {
+  if (pos_ >= text_.size()) fail("expected quoted attribute value");
+  const char quote = text_[pos_];
+  if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+  ++pos_;
+  const std::size_t start = pos_;
+  const auto end = text_.find(quote, start);
+  if (end == std::string_view::npos) {
+    fail_at("unterminated attribute value", text_.size());
+  }
+  const std::string_view raw = text_.substr(start, end - start);
+  const auto lt = raw.find('<');
+  if (lt != std::string_view::npos) {
+    fail_at("'<' in attribute value", start + lt);
+  }
+  if (raw.find('&') == std::string_view::npos) {
+    pos_ = end + 1;
+    return raw;  // zero-copy: view into the input buffer
+  }
+  char* buf = arena_->allocate_bytes(raw.size());
+  std::size_t out = 0;
+  while (pos_ < end) {
+    if (text_[pos_] == '&') {
+      out += decode_entity(buf + out, end);
+    } else {
+      buf[out++] = text_[pos_++];
+    }
+  }
+  arena_->shrink_last(buf, raw.size(), out);
+  pos_ = end + 1;
+  return {buf, out};
+}
+
+Cursor::Event Cursor::parse_start_tag() {
+  ++pos_;  // consume '<'
+  name_ = parse_name();
+  attrs_.clear();
+  for (;;) {
+    skip_ws();
+    if (pos_ >= text_.size()) fail_at("unterminated start tag", text_.size());
+    const char c = text_[pos_];
+    if (c == '/') {
+      if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '>') fail("expected '/>'");
+      pos_ += 2;
+      pending_end_ = true;
+      stack_.push_back(name_);
+      return event_ = Event::StartElement;
+    }
+    if (c == '>') {
+      ++pos_;
+      stack_.push_back(name_);
+      return event_ = Event::StartElement;
+    }
+    const std::string_view key = parse_name();
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '=') fail("expected '='");
+    ++pos_;
+    skip_ws();
+    attrs_.push_back(RawAttr{key, parse_attr_value()});
+  }
+}
+
+Cursor::Event Cursor::parse_end_tag() {
+  pos_ += 2;  // consume '</'
+  const std::size_t name_off = pos_;
+  const std::string_view close = parse_name();
+  const std::string_view open_name = stack_.back();
+  if (close != open_name) {
+    fail_at("mismatched close tag '" + std::string(close) + "' for '" +
+                std::string(open_name) + "'",
+            name_off);
+  }
+  skip_ws();
+  if (pos_ >= text_.size() || text_[pos_] != '>') fail("expected '>'");
+  ++pos_;
+  stack_.pop_back();
+  name_ = close;
+  return event_ = Event::EndElement;
+}
+
+Cursor::Event Cursor::parse_text() {
+  const std::size_t start = pos_;
+  const auto lt = text_.find('<', pos_);
+  const std::size_t end = (lt == std::string_view::npos) ? text_.size() : lt;
+  const std::string_view raw = text_.substr(start, end - start);
+  if (raw.find('&') == std::string_view::npos) {
+    pos_ = end;
+    text_run_ = raw;  // zero-copy: view into the input buffer
+    return event_ = Event::Text;
+  }
+  // Decoded output is never longer than the encoded run (every entity
+  // encoding is at least as long as its decoded bytes), so one reservation
+  // suffices and the unused tail is returned to the arena.
+  char* buf = arena_->allocate_bytes(raw.size());
+  std::size_t out = 0;
+  while (pos_ < end) {
+    if (text_[pos_] == '&') {
+      out += decode_entity(buf + out, end);
+    } else {
+      buf[out++] = text_[pos_++];
+    }
+  }
+  arena_->shrink_last(buf, raw.size(), out);
+  text_run_ = {buf, out};
+  return event_ = Event::Text;
+}
+
+Cursor::Event Cursor::next() {
+  if (pending_end_) {
+    pending_end_ = false;
+    name_ = stack_.back();
+    stack_.pop_back();
+    return event_ = Event::EndElement;
+  }
+  if (!started_) {
+    started_ = true;
+    skip_prolog();
+    if (pos_ >= text_.size() || text_[pos_] != '<') fail("expected '<'");
+    return parse_start_tag();
+  }
+  for (;;) {
+    if (stack_.empty()) {
+      if (!done_) {
+        skip_misc();
+        if (pos_ != text_.size()) fail("trailing content after root element");
+        done_ = true;
+      }
+      return event_ = Event::End;
+    }
+    if (pos_ >= text_.size()) {
+      fail_at("unterminated element '" + std::string(stack_.back()) + "'",
+              text_.size());
+    }
+    if (text_[pos_] == '<') {
+      if (starts_with("</")) return parse_end_tag();
+      if (starts_with("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (starts_with("<![CDATA[")) {
+        const std::size_t start = pos_ + 9;
+        const auto end = text_.find("]]>", start);
+        if (end == std::string_view::npos) {
+          fail_at("unterminated CDATA section", text_.size());
+        }
+        text_run_ = text_.substr(start, end - start);
+        pos_ = end + 3;
+        if (text_run_.empty()) continue;
+        return event_ = Event::Text;
+      }
+      return parse_start_tag();
+    }
+    return parse_text();
+  }
+}
+
+}  // namespace tut::xml

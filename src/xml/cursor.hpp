@@ -1,0 +1,112 @@
+// xml::Cursor — zero-copy pull tokenizer.
+//
+// The cursor walks an XML byte buffer and yields events (start tag, end
+// tag, text run) whose names, attribute keys/values and text are
+// string_views directly into the input buffer. Entity references force a
+// copy, but only of the affected run, and only into the supplied Arena —
+// the common case (no '&' in the run) allocates nothing.
+//
+// Lifetime rule: every view returned by the cursor aliases either the input
+// buffer or the arena; both must outlive any use of the views. Views
+// returned for one event stay valid across subsequent events (they are
+// never overwritten), so a tree builder may retain them.
+//
+// Dialect: matches the DOM parser exactly — XML declarations, comments,
+// DOCTYPE and processing instructions in the prolog are skipped; comments
+// and CDATA are handled in content; the five named entities plus decimal
+// and hex character references are decoded. No namespace resolution.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/arena.hpp"
+#include "xml/error.hpp"
+
+namespace tut::xml {
+
+class Cursor {
+public:
+  enum class Event : unsigned char {
+    StartElement,  // name() + attr_*(); self_closing() tells if EndElement follows
+    EndElement,    // name()
+    Text,          // text(): one decoded, non-empty text or CDATA run (untrimmed)
+    End,           // document finished; repeated calls keep returning End
+  };
+
+  /// The cursor reads `text` in place; `arena` receives decoded entity runs.
+  Cursor(std::string_view text, Arena& arena) : text_(text), arena_(&arena) {}
+
+  /// Advances to the next event. Throws ParseError on malformed input.
+  Event next();
+
+  Event event() const noexcept { return event_; }
+  /// Element name for StartElement/EndElement events.
+  std::string_view name() const noexcept { return name_; }
+  /// Decoded text run for Text events. Whitespace-only runs are reported;
+  /// DOM-compatible consumers concatenate runs per element and trim the ends.
+  std::string_view text() const noexcept { return text_run_; }
+  /// True if the current StartElement came from `<tag/>`; the next event is
+  /// its EndElement.
+  bool self_closing() const noexcept { return pending_end_; }
+
+  std::size_t attr_count() const noexcept { return attrs_.size(); }
+  std::string_view attr_key(std::size_t i) const noexcept { return attrs_[i].key; }
+  std::string_view attr_value(std::size_t i) const noexcept { return attrs_[i].value; }
+  /// Linear scan for `key`; attribute lists in the dialect are short.
+  std::optional<std::string_view> attr(std::string_view key) const noexcept {
+    for (const auto& a : attrs_) {
+      if (a.key == key) return a.value;
+    }
+    return std::nullopt;
+  }
+
+  /// Open-element depth after the current event.
+  std::size_t depth() const noexcept { return stack_.size(); }
+  /// Current byte offset into the input.
+  std::size_t offset() const noexcept { return pos_; }
+
+private:
+  struct RawAttr {
+    std::string_view key;
+    std::string_view value;
+  };
+
+  [[noreturn]] void fail(const std::string& msg) const { fail_at(msg, pos_); }
+  [[noreturn]] void fail_at(const std::string& msg, std::size_t offset) const;
+
+  bool starts_with(std::string_view s) const noexcept {
+    return text_.substr(pos_, s.size()) == s;
+  }
+
+  void skip_ws() noexcept;
+  void skip_comment();
+  void skip_misc();
+  void skip_prolog();
+
+  std::string_view parse_name();
+  Event parse_start_tag();
+  Event parse_end_tag();
+  Event parse_text();
+  std::string_view parse_attr_value();
+  /// Decodes the entity at pos_ (must be '&') into `out`; the terminating
+  /// ';' must appear before byte offset `limit`. Returns bytes written.
+  std::size_t decode_entity(char* out, std::size_t limit);
+
+  std::string_view text_;
+  Arena* arena_;
+  std::size_t pos_ = 0;
+  bool started_ = false;
+  bool done_ = false;
+  bool pending_end_ = false;
+  Event event_ = Event::End;
+  std::string_view name_;
+  std::string_view text_run_;
+  std::vector<RawAttr> attrs_;
+  std::vector<std::string_view> stack_;  // open element names
+};
+
+}  // namespace tut::xml

@@ -1,0 +1,33 @@
+// ParseError: the single error type thrown by every tut::xml parse path
+// (the pull Cursor, the arena Tree builder and the DOM parser all report
+// malformed input through it). Carries the exact byte offset of the
+// offending construct and the 1-based line number derived from it.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace tut::xml {
+
+/// Error thrown by the parser on malformed input. Carries a byte offset and
+/// 1-based line number of the failure point. Offsets are exact: they point
+/// at the first byte of the offending construct (the '&' of a bad entity,
+/// the name of a mismatched close tag, the stray '<' in an attribute
+/// value), or at end-of-input for unterminated constructs.
+class ParseError : public std::runtime_error {
+public:
+  ParseError(const std::string& what, std::size_t offset, std::size_t line)
+      : std::runtime_error(what + " (line " + std::to_string(line) + ")"),
+        offset_(offset),
+        line_(line) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t line() const noexcept { return line_; }
+
+private:
+  std::size_t offset_;
+  std::size_t line_;
+};
+
+}  // namespace tut::xml

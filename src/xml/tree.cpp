@@ -1,0 +1,107 @@
+#include "xml/tree.hpp"
+
+#include <cstring>
+
+namespace tut::xml {
+
+namespace {
+
+// The DOM parser trims exactly this set from concatenated element text.
+constexpr std::string_view kTrim = " \t\r\n";
+
+std::string_view trim(std::string_view s) noexcept {
+  const auto first = s.find_first_not_of(kTrim);
+  if (first == std::string_view::npos) return {};
+  const auto last = s.find_last_not_of(kTrim);
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+Tree Tree::parse(std::string_view text) {
+  Tree tree;
+  Cursor cur(text, tree.arena_);
+
+  struct Frame {
+    Node* node;
+    Node* last_child;
+    std::uint32_t first_run;  // index into `runs` where this element's text starts
+  };
+  std::vector<Frame> stack;
+  std::vector<std::string_view> runs;
+  std::vector<Attr> scratch;
+
+  for (;;) {
+    switch (cur.next()) {
+      case Cursor::Event::StartElement: {
+        Node* n = tree.arena_.create<Node>();
+        n->name_ = cur.name();
+        // Duplicate keys keep first position, last value — the DOM
+        // set_attr() replacement semantics.
+        scratch.clear();
+        for (std::size_t i = 0; i < cur.attr_count(); ++i) {
+          const auto key = cur.attr_key(i);
+          bool replaced = false;
+          for (auto& a : scratch) {
+            if (a.key == key) {
+              a.value = cur.attr_value(i);
+              replaced = true;
+              break;
+            }
+          }
+          if (!replaced) scratch.push_back(Attr{key, cur.attr_value(i)});
+        }
+        if (!scratch.empty()) {
+          auto* arr = static_cast<Attr*>(
+              tree.arena_.allocate(sizeof(Attr) * scratch.size(), alignof(Attr)));
+          std::memcpy(arr, scratch.data(), sizeof(Attr) * scratch.size());
+          n->attrs_ = arr;
+          n->nattrs_ = static_cast<std::uint32_t>(scratch.size());
+        }
+        if (stack.empty()) {
+          tree.root_ = n;
+        } else {
+          Frame& p = stack.back();
+          if (p.last_child != nullptr) {
+            p.last_child->next_sibling_ = n;
+          } else {
+            p.node->first_child_ = n;
+          }
+          p.last_child = n;
+        }
+        stack.push_back(Frame{n, nullptr, static_cast<std::uint32_t>(runs.size())});
+        break;
+      }
+      case Cursor::Event::Text:
+        runs.push_back(cur.text());
+        break;
+      case Cursor::Event::EndElement: {
+        const Frame f = stack.back();
+        stack.pop_back();
+        const std::size_t nruns = runs.size() - f.first_run;
+        if (nruns == 1) {
+          // Single run: trim the view in place, no copy.
+          f.node->text_ = trim(runs.back());
+        } else if (nruns > 1) {
+          std::size_t total = 0;
+          for (std::size_t i = f.first_run; i < runs.size(); ++i) {
+            total += runs[i].size();
+          }
+          char* buf = tree.arena_.allocate_bytes(total);
+          std::size_t off = 0;
+          for (std::size_t i = f.first_run; i < runs.size(); ++i) {
+            std::memcpy(buf + off, runs[i].data(), runs[i].size());
+            off += runs[i].size();
+          }
+          f.node->text_ = trim({buf, total});
+        }
+        runs.resize(f.first_run);
+        break;
+      }
+      case Cursor::Event::End:
+        return tree;
+    }
+  }
+}
+
+}  // namespace tut::xml

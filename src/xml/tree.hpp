@@ -1,0 +1,158 @@
+// xml::Tree — arena-backed, read-only document built by the pull Cursor.
+//
+// This is the zero-copy counterpart of the mutable xml::Document DOM: nodes,
+// attribute arrays and decoded strings live in one bump arena, names and
+// attribute values are string_views into the source buffer (or into the
+// arena when entity decoding forced a copy), teardown is a handful of chunk
+// frees, and traversal chases pointers through memory laid out in document
+// order.
+//
+// Lifetime rules (see DESIGN.md §interchange):
+//   - Tree::parse(text) aliases `text`; the caller's buffer must outlive the
+//     Tree and every view read from it.
+//   - Everything else (nodes, decoded runs) lives in the Tree's arena and
+//     dies with the Tree.
+// Semantics match the DOM parser byte-for-byte: per-element text is the
+// concatenation of its text/CDATA runs with leading/trailing " \t\r\n"
+// trimmed, duplicate attribute keys keep first position / last value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "xml/arena.hpp"
+#include "xml/cursor.hpp"
+
+namespace tut::xml {
+
+struct Attr {
+  std::string_view key;
+  std::string_view value;
+};
+
+/// One parsed element. Mirrors the read API of xml::Element, but every
+/// accessor returns views; nothing allocates except children_named().
+class Node {
+public:
+  std::string_view name() const noexcept { return name_; }
+  std::string_view text() const noexcept { return text_; }
+
+  // -- attributes ----------------------------------------------------------
+  const Attr* attrs_begin() const noexcept { return attrs_; }
+  const Attr* attrs_end() const noexcept { return attrs_ + nattrs_; }
+  std::size_t attr_count() const noexcept { return nattrs_; }
+
+  bool has_attr(std::string_view key) const noexcept {
+    return attr_view(key).has_value();
+  }
+  std::optional<std::string_view> attr_view(std::string_view key) const noexcept {
+    for (const Attr* a = attrs_; a != attrs_ + nattrs_; ++a) {
+      if (a->key == key) return a->value;
+    }
+    return std::nullopt;
+  }
+  /// Same as attr_view (the name xml::Element uses for its copying lookup).
+  std::optional<std::string_view> attr(std::string_view key) const noexcept {
+    return attr_view(key);
+  }
+  /// Returns the attribute value or `fallback`. The returned view aliases
+  /// `fallback` when the key is absent — pass a literal or an outliving
+  /// buffer.
+  std::string_view attr_or(std::string_view key, std::string_view fallback) const noexcept {
+    const auto v = attr_view(key);
+    return v ? *v : fallback;
+  }
+
+  // -- children ------------------------------------------------------------
+  class ChildRange;
+  ChildRange children() const noexcept;
+
+  const Node* child(std::string_view name) const noexcept {
+    for (const Node* c = first_child_; c != nullptr; c = c->next_sibling_) {
+      if (c->name_ == name) return c;
+    }
+    return nullptr;
+  }
+  std::vector<const Node*> children_named(std::string_view name) const {
+    std::vector<const Node*> out;
+    for (const Node* c = first_child_; c != nullptr; c = c->next_sibling_) {
+      if (c->name_ == name) out.push_back(c);
+    }
+    return out;
+  }
+
+  /// Total number of elements in this subtree (including this node).
+  std::size_t subtree_size() const noexcept {
+    std::size_t n = 1;
+    for (const Node* c = first_child_; c != nullptr; c = c->next_sibling_) {
+      n += c->subtree_size();
+    }
+    return n;
+  }
+
+private:
+  friend class Tree;
+
+  std::string_view name_;
+  std::string_view text_;
+  const Attr* attrs_ = nullptr;
+  std::uint32_t nattrs_ = 0;
+  Node* first_child_ = nullptr;
+  Node* next_sibling_ = nullptr;
+};
+
+class Node::ChildRange {
+public:
+  class iterator {
+  public:
+    explicit iterator(const Node* n) : n_(n) {}
+    const Node& operator*() const noexcept { return *n_; }
+    const Node* operator->() const noexcept { return n_; }
+    iterator& operator++() noexcept {
+      n_ = n_->next_sibling_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const noexcept { return n_ != o.n_; }
+    bool operator==(const iterator& o) const noexcept { return n_ == o.n_; }
+
+  private:
+    const Node* n_;
+  };
+
+  explicit ChildRange(const Node* first) : first_(first) {}
+  iterator begin() const noexcept { return iterator(first_); }
+  iterator end() const noexcept { return iterator(nullptr); }
+
+private:
+  const Node* first_;
+};
+
+inline Node::ChildRange Node::children() const noexcept {
+  return ChildRange(first_child_);
+}
+
+/// A parsed document: one arena, one root node.
+class Tree {
+public:
+  /// Parses `text` into an arena-backed tree. Views in the tree alias
+  /// `text` — the buffer must outlive the Tree. Throws ParseError.
+  static Tree parse(std::string_view text);
+
+  Tree(Tree&&) noexcept = default;
+  Tree& operator=(Tree&&) noexcept = default;
+  Tree(const Tree&) = delete;
+  Tree& operator=(const Tree&) = delete;
+
+  const Node& root() const noexcept { return *root_; }
+  const Arena& arena() const noexcept { return arena_; }
+
+private:
+  Tree() = default;
+
+  Arena arena_;
+  Node* root_ = nullptr;
+};
+
+}  // namespace tut::xml

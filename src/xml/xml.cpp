@@ -1,7 +1,10 @@
 #include "xml/xml.hpp"
 
-#include <cctype>
-#include <sstream>
+#include <array>
+#include <cstdint>
+
+#include "xml/arena.hpp"
+#include "xml/cursor.hpp"
 
 namespace tut::xml {
 
@@ -19,6 +22,13 @@ bool Element::has_attr(std::string_view key) const noexcept {
 std::optional<std::string> Element::attr(std::string_view key) const {
   for (const auto& [k, v] : attrs_) {
     if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> Element::attr_view(std::string_view key) const noexcept {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return std::string_view(v);
   }
   return std::nullopt;
 }
@@ -80,305 +90,217 @@ std::size_t Element::subtree_size() const noexcept {
 }
 
 // ---------------------------------------------------------------------------
-// Writer
+// Escaping
 // ---------------------------------------------------------------------------
 
-std::string escape(std::string_view raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (char c : raw) {
+namespace {
+
+constexpr std::string_view kEscapable = "&<>\"'";
+
+constexpr std::array<bool, 256> make_escapable_table() {
+  std::array<bool, 256> t{};
+  for (char c : kEscapable) t[static_cast<unsigned char>(c)] = true;
+  return t;
+}
+
+constexpr std::array<bool, 256> kNeedsEscape = make_escapable_table();
+
+}  // namespace
+
+void escape_to(std::string& out, std::string_view raw) {
+  std::size_t clean = 0;  // start of the pending run of unescapable bytes
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (!kNeedsEscape[static_cast<unsigned char>(c)]) continue;
+    if (i != clean) out.append(raw.data() + clean, i - clean);
+    // Literal appends keep the replacement lengths compile-time constants.
     switch (c) {
       case '&': out += "&amp;"; break;
       case '<': out += "&lt;"; break;
       case '>': out += "&gt;"; break;
       case '"': out += "&quot;"; break;
       case '\'': out += "&apos;"; break;
-      default: out += c;
     }
+    clean = i + 1;
   }
+  if (raw.size() != clean) out.append(raw.data() + clean, raw.size() - clean);
+}
+
+std::string_view escape_view(std::string_view raw, std::string& scratch) {
+  if (raw.find_first_of(kEscapable) == std::string_view::npos) return raw;
+  scratch.clear();
+  escape_to(scratch, raw);
+  return scratch;
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  escape_to(out, raw);
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+Writer::Writer(std::size_t reserve_bytes, int base_indent)
+    : base_indent_(base_indent) {
+  out_.reserve(reserve_bytes);
+}
+
+void Writer::pad(std::size_t depth) {
+  out_.append(2 * (static_cast<std::size_t>(base_indent_) + depth), ' ');
+}
+
+void Writer::declaration() {
+  out_.append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+}
+
+void Writer::open(std::string_view name) {
+  if (!stack_.empty()) {
+    Frame& parent = stack_.back();
+    if (parent.tag_open) {
+      out_ += '>';
+      parent.tag_open = false;
+    }
+    if (!parent.has_children) out_ += '\n';
+    parent.has_children = true;
+  }
+  pad(stack_.size());
+  out_ += '<';
+  out_.append(name);
+  const auto name_pos = static_cast<std::uint32_t>(names_.size());
+  names_.append(name);
+  stack_.push_back(Frame{name_pos, static_cast<std::uint32_t>(name.size()),
+                         /*tag_open=*/true, /*has_children=*/false});
+}
+
+void Writer::attr(std::string_view key, std::string_view value) {
+  out_ += ' ';
+  out_.append(key);
+  out_.append("=\"");
+  escape_to(out_, value);
+  out_ += '"';
+}
+
+void Writer::text(std::string_view t) {
+  if (t.empty()) return;
+  Frame& top = stack_.back();
+  if (top.tag_open) {
+    out_ += '>';
+    top.tag_open = false;
+  }
+  escape_to(out_, t);
+}
+
+void Writer::close() {
+  const Frame top = stack_.back();
+  stack_.pop_back();
+  if (top.tag_open) {
+    out_.append("/>\n");
+  } else {
+    if (top.has_children) pad(stack_.size());
+    out_.append("</");
+    out_.append(names_.data() + top.name_pos, top.name_len);
+    out_.append(">\n");
+  }
+  names_.resize(top.name_pos);
+}
+
+void Writer::close_to(std::size_t depth) {
+  while (stack_.size() > depth) close();
+}
+
+std::string Writer::take() {
+  close_to(0);
+  return std::move(out_);
+}
+
+// ---------------------------------------------------------------------------
+// DOM writer (on the streaming Writer; no stringstream)
+// ---------------------------------------------------------------------------
+
 namespace {
 
-void write_elem(std::ostringstream& os, const Element& e, int depth) {
-  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
-  os << pad << '<' << e.name();
-  for (const auto& [k, v] : e.attrs()) {
-    os << ' ' << k << "=\"" << escape(v) << '"';
-  }
-  if (e.children().empty() && e.text().empty()) {
-    os << "/>\n";
-    return;
-  }
-  os << '>';
-  if (!e.text().empty()) os << escape(e.text());
-  if (e.children().empty()) {
-    os << "</" << e.name() << ">\n";
-    return;
-  }
-  os << '\n';
-  for (const auto& c : e.children()) write_elem(os, *c, depth + 1);
-  os << pad << "</" << e.name() << ">\n";
+void emit(Writer& w, const Element& e) {
+  w.open(e.name());
+  for (const auto& [k, v] : e.attrs()) w.attr(k, v);
+  w.text(e.text());
+  for (const auto& c : e.children()) emit(w, *c);
+  w.close();
 }
 
 }  // namespace
 
 std::string write(const Document& doc) {
-  std::ostringstream os;
-  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
-  write_elem(os, doc.root(), 0);
-  return os.str();
+  Writer w(64 * doc.root().subtree_size() + 64);
+  w.declaration();
+  emit(w, doc.root());
+  return w.take();
 }
 
 std::string write(const Element& elem, int indent) {
-  std::ostringstream os;
-  write_elem(os, elem, indent);
-  return os.str();
+  Writer w(64 * elem.subtree_size() + 64, indent);
+  emit(w, elem);
+  return w.take();
 }
 
 // ---------------------------------------------------------------------------
-// Parser
+// DOM parser (on the pull Cursor; one tokenizer for both representations)
 // ---------------------------------------------------------------------------
 
 namespace {
 
-class Parser {
-public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  Document run() {
-    skip_prolog();
-    Document doc;
-    Element root = parse_element();
-    doc.root() = std::move(root);
-    skip_misc();
-    if (pos_ != text_.size()) fail("trailing content after root element");
-    return doc;
-  }
-
-private:
-  [[noreturn]] void fail(const std::string& msg) const {
-    throw ParseError(msg, pos_, line_);
-  }
-
-  bool eof() const noexcept { return pos_ >= text_.size(); }
-  char peek() const { return text_[pos_]; }
-
-  char get() {
-    if (eof()) fail("unexpected end of input");
-    char c = text_[pos_++];
-    if (c == '\n') ++line_;
-    return c;
-  }
-
-  bool starts_with(std::string_view s) const noexcept {
-    return text_.substr(pos_, s.size()) == s;
-  }
-
-  void expect(std::string_view s) {
-    if (!starts_with(s)) fail("expected '" + std::string(s) + "'");
-    for (std::size_t i = 0; i < s.size(); ++i) get();
-  }
-
-  void skip_ws() {
-    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) get();
-  }
-
-  void skip_comment() {
-    expect("<!--");
-    while (!starts_with("-->")) {
-      if (eof()) fail("unterminated comment");
-      get();
-    }
-    expect("-->");
-  }
-
-  // Skips whitespace, comments and processing instructions.
-  void skip_misc() {
-    for (;;) {
-      skip_ws();
-      if (starts_with("<!--")) {
-        skip_comment();
-      } else if (starts_with("<?")) {
-        while (!starts_with("?>")) {
-          if (eof()) fail("unterminated processing instruction");
-          get();
-        }
-        expect("?>");
-      } else {
-        return;
-      }
-    }
-  }
-
-  void skip_prolog() {
-    skip_misc();
-    if (starts_with("<!DOCTYPE")) {
-      expect("<!DOCTYPE");
-      // Skip to the matching '>', tolerating an internal subset in brackets.
-      int depth = 0;
-      while (!eof()) {
-        char c = get();
-        if (c == '<') ++depth;
-        if (c == '>') {
-          if (depth == 0) break;
-          --depth;
-        }
-      }
-      skip_misc();
-    }
-  }
-
-  static bool is_name_char(char c) noexcept {
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
-           c == '.' || c == ':';
-  }
-
-  std::string parse_name() {
-    std::string name;
-    while (!eof() && is_name_char(peek())) name += get();
-    if (name.empty()) fail("expected a name");
-    return name;
-  }
-
-  std::string decode_entity() {
-    expect("&");
-    std::string ent;
-    while (!eof() && peek() != ';') ent += get();
-    expect(";");
-    if (ent == "amp") return "&";
-    if (ent == "lt") return "<";
-    if (ent == "gt") return ">";
-    if (ent == "quot") return "\"";
-    if (ent == "apos") return "'";
-    if (!ent.empty() && ent[0] == '#') {
-      int base = 10;
-      std::size_t start = 1;
-      if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
-        base = 16;
-        start = 2;
-      }
-      try {
-        const long code = std::stol(ent.substr(start), nullptr, base);
-        if (code < 0 || code > 0x10FFFF) fail("character reference out of range");
-        // Encode as UTF-8.
-        std::string out;
-        const auto u = static_cast<unsigned long>(code);
-        if (u < 0x80) {
-          out += static_cast<char>(u);
-        } else if (u < 0x800) {
-          out += static_cast<char>(0xC0 | (u >> 6));
-          out += static_cast<char>(0x80 | (u & 0x3F));
-        } else if (u < 0x10000) {
-          out += static_cast<char>(0xE0 | (u >> 12));
-          out += static_cast<char>(0x80 | ((u >> 6) & 0x3F));
-          out += static_cast<char>(0x80 | (u & 0x3F));
-        } else {
-          out += static_cast<char>(0xF0 | (u >> 18));
-          out += static_cast<char>(0x80 | ((u >> 12) & 0x3F));
-          out += static_cast<char>(0x80 | ((u >> 6) & 0x3F));
-          out += static_cast<char>(0x80 | (u & 0x3F));
-        }
-        return out;
-      } catch (const std::invalid_argument&) {
-        fail("malformed character reference '&" + ent + ";'");
-      } catch (const std::out_of_range&) {
-        fail("character reference out of range '&" + ent + ";'");
-      }
-    }
-    fail("unknown entity '&" + ent + ";'");
-  }
-
-  std::string parse_attr_value() {
-    const char quote = get();
-    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
-    std::string value;
-    while (!eof() && peek() != quote) {
-      if (peek() == '&') {
-        value += decode_entity();
-      } else if (peek() == '<') {
-        fail("'<' in attribute value");
-      } else {
-        value += get();
-      }
-    }
-    if (eof()) fail("unterminated attribute value");
-    get();  // closing quote
-    return value;
-  }
-
-  Element parse_element() {
-    expect("<");
-    Element elem(parse_name());
-    // Attributes.
-    for (;;) {
-      skip_ws();
-      if (eof()) fail("unterminated start tag");
-      if (starts_with("/>")) {
-        expect("/>");
-        return elem;
-      }
-      if (peek() == '>') {
-        get();
-        break;
-      }
-      std::string key = parse_name();
-      skip_ws();
-      expect("=");
-      skip_ws();
-      elem.set_attr(std::move(key), parse_attr_value());
-    }
-    // Content.
-    std::string text;
-    for (;;) {
-      if (eof()) fail("unterminated element '" + elem.name() + "'");
-      if (starts_with("</")) {
-        expect("</");
-        const std::string close = parse_name();
-        if (close != elem.name()) {
-          fail("mismatched close tag '" + close + "' for '" + elem.name() + "'");
-        }
-        skip_ws();
-        expect(">");
-        break;
-      }
-      if (starts_with("<!--")) {
-        skip_comment();
-      } else if (starts_with("<![CDATA[")) {
-        expect("<![CDATA[");
-        while (!starts_with("]]>")) {
-          if (eof()) fail("unterminated CDATA section");
-          text += get();
-        }
-        expect("]]>");
-      } else if (peek() == '<') {
-        elem.add_child(parse_element());
-      } else if (peek() == '&') {
-        text += decode_entity();
-      } else {
-        text += get();
-      }
-    }
-    // Trim pure-whitespace text (indentation between children).
-    const auto first = text.find_first_not_of(" \t\r\n");
-    if (first == std::string::npos) {
-      text.clear();
-    } else {
-      const auto last = text.find_last_not_of(" \t\r\n");
-      text = text.substr(first, last - first + 1);
-    }
-    elem.set_text(std::move(text));
-    return elem;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  std::size_t line_ = 1;
-};
+// The trim set the dialect uses for inter-element indentation.
+constexpr std::string_view kTrim = " \t\r\n";
 
 }  // namespace
 
-Document parse(std::string_view text) { return Parser(text).run(); }
+Document parse(std::string_view text) {
+  Arena arena(4 * 1024);
+  Cursor cur(text, arena);
+  Document doc;
+  std::vector<Element*> stack;
+  std::vector<std::string> texts;
+  for (;;) {
+    switch (cur.next()) {
+      case Cursor::Event::StartElement: {
+        Element* e;
+        if (stack.empty()) {
+          doc.root().set_name(std::string(cur.name()));
+          e = &doc.root();
+        } else {
+          e = &stack.back()->add_child(std::string(cur.name()));
+        }
+        for (std::size_t i = 0; i < cur.attr_count(); ++i) {
+          e->set_attr(std::string(cur.attr_key(i)), std::string(cur.attr_value(i)));
+        }
+        stack.push_back(e);
+        texts.emplace_back();
+        break;
+      }
+      case Cursor::Event::Text:
+        texts.back().append(cur.text());
+        break;
+      case Cursor::Event::EndElement: {
+        std::string& t = texts.back();
+        const auto first = t.find_first_not_of(kTrim);
+        if (first == std::string::npos) {
+          t.clear();
+        } else {
+          const auto last = t.find_last_not_of(kTrim);
+          t = t.substr(first, last - first + 1);
+        }
+        stack.back()->set_text(std::move(t));
+        stack.pop_back();
+        texts.pop_back();
+        break;
+      }
+      case Cursor::Event::End:
+        return doc;
+    }
+  }
+}
 
 }  // namespace tut::xml

@@ -4,34 +4,26 @@
 // (an XMI-like dialect) and for the profiling tool's log/report files. It is
 // deliberately small: elements, attributes, text content, comments. No
 // namespaces resolution (prefixes are kept verbatim in names), no DTDs.
+//
+// The module has two parse representations sharing one tokenizer
+// (xml::Cursor, cursor.hpp):
+//   - xml::Document / xml::Element (this header): the mutable DOM used to
+//     build documents programmatically — the reference implementation.
+//   - xml::Tree / xml::Node (tree.hpp): an arena-backed, read-only tree
+//     with string_view accessors — the zero-copy load path.
+// Both decode entities identically and re-serialize byte-identically.
 #pragma once
 
 #include <memory>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "xml/error.hpp"
+
 namespace tut::xml {
-
-/// Error thrown by the parser on malformed input. Carries a byte offset and
-/// 1-based line number of the failure point.
-class ParseError : public std::runtime_error {
-public:
-  ParseError(const std::string& what, std::size_t offset, std::size_t line)
-      : std::runtime_error(what + " (line " + std::to_string(line) + ")"),
-        offset_(offset),
-        line_(line) {}
-
-  std::size_t offset() const noexcept { return offset_; }
-  std::size_t line() const noexcept { return line_; }
-
-private:
-  std::size_t offset_;
-  std::size_t line_;
-};
 
 /// One XML element. Attributes preserve insertion order (stable output);
 /// children preserve document order. Text content is stored per-element as
@@ -47,8 +39,12 @@ public:
 
   // -- attributes ----------------------------------------------------------
   bool has_attr(std::string_view key) const noexcept;
-  /// Returns the attribute value or std::nullopt.
+  /// Returns a copy of the attribute value or std::nullopt.
   std::optional<std::string> attr(std::string_view key) const;
+  /// Returns a view of the attribute value or std::nullopt. The view is
+  /// valid until the attribute is replaced or the element destroyed; this
+  /// is the allocation-free lookup the load path uses.
+  std::optional<std::string_view> attr_view(std::string_view key) const noexcept;
   /// Returns the attribute value or `fallback`.
   std::string attr_or(std::string_view key, std::string_view fallback) const;
   /// Sets (or replaces) an attribute; returns *this for chaining.
@@ -100,17 +96,72 @@ private:
   std::unique_ptr<Element> root_;
 };
 
+// -- escaping ---------------------------------------------------------------
+
+/// Appends `raw` to `out` with the five predefined XML entities escaped.
+/// Fast path: a run with no escapable byte is appended in one memcpy.
+void escape_to(std::string& out, std::string_view raw);
+
+/// Returns `raw` untouched when it contains no escapable byte; otherwise
+/// escapes into `scratch` and returns a view of it.
+std::string_view escape_view(std::string_view raw, std::string& scratch);
+
 /// Escapes the five predefined XML entities in attribute/text context.
 std::string escape(std::string_view raw);
+
+// -- streaming writer -------------------------------------------------------
+
+/// Streaming serializer: appends into one reserved std::string (no
+/// stringstream, no intermediate tree). Produces byte-identical output to
+/// xml::write() of an equivalent Document: 2-space indentation, attributes
+/// in call order, self-closing empty elements, text before children.
+///
+/// Usage: open()/attr()/text()/close() in document order; attr() is only
+/// valid while its element's start tag is open (before any text or child).
+class Writer {
+public:
+  explicit Writer(std::size_t reserve_bytes = 1024, int base_indent = 0);
+
+  /// Emits the XML declaration line.
+  void declaration();
+  void open(std::string_view name);
+  void attr(std::string_view key, std::string_view value);
+  void text(std::string_view t);
+  void close();
+  /// Closes elements until the open depth is `depth`.
+  void close_to(std::size_t depth);
+
+  std::size_t depth() const noexcept { return stack_.size(); }
+  const std::string& str() const noexcept { return out_; }
+  /// Closes all open elements and moves the buffer out.
+  std::string take();
+
+private:
+  void pad(std::size_t depth);
+
+  struct Frame {
+    std::uint32_t name_pos;  // offset into names_
+    std::uint32_t name_len;
+    bool tag_open;      // '>' not yet emitted, attrs still allowed
+    bool has_children;  // a child element was emitted
+  };
+
+  std::string out_;
+  std::string names_;  // stack of open-element names (no per-open allocation)
+  std::vector<Frame> stack_;
+  int base_indent_;
+};
 
 /// Serializes a document with 2-space indentation and an XML declaration.
 std::string write(const Document& doc);
 /// Serializes a single element subtree (no declaration).
 std::string write(const Element& elem, int indent = 0);
 
-/// Parses a document from text. Throws ParseError on malformed input.
-/// Accepts XML declarations, comments, CDATA sections and character
-/// references (decimal, hex, and the five named entities).
+/// Parses a document from text into the mutable DOM. Throws ParseError on
+/// malformed input. Accepts XML declarations, comments, CDATA sections and
+/// character references (decimal, hex, and the five named entities).
+/// Implemented on xml::Cursor; for the allocation-free representation use
+/// xml::Tree::parse (tree.hpp).
 Document parse(std::string_view text);
 
 }  // namespace tut::xml

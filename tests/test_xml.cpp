@@ -196,3 +196,344 @@ TEST(XmlRobustness, CorruptedInputNeverCrashes) {
   }
   SUCCEED();
 }
+
+// ---------------------------------------------------------------------------
+// Pull cursor (zero-copy tokenizer)
+// ---------------------------------------------------------------------------
+
+#include <random>
+
+#include "xml/arena.hpp"
+#include "xml/cursor.hpp"
+#include "xml/tree.hpp"
+
+namespace {
+
+// True if `view` aliases bytes inside `buffer` (the zero-copy contract).
+bool aliases(std::string_view view, std::string_view buffer) {
+  return view.data() >= buffer.data() &&
+         view.data() + view.size() <= buffer.data() + buffer.size();
+}
+
+}  // namespace
+
+TEST(XmlCursor, YieldsDocumentOrderEvents) {
+  const std::string_view in = "<r a=\"1\"><c>hi</c><d/></r>";
+  x::Arena arena;
+  x::Cursor cur(in, arena);
+  using E = x::Cursor::Event;
+
+  ASSERT_EQ(cur.next(), E::StartElement);
+  EXPECT_EQ(cur.name(), "r");
+  ASSERT_EQ(cur.attr_count(), 1u);
+  EXPECT_EQ(cur.attr_key(0), "a");
+  EXPECT_EQ(cur.attr_value(0), "1");
+  EXPECT_FALSE(cur.self_closing());
+  EXPECT_EQ(cur.depth(), 1u);
+
+  ASSERT_EQ(cur.next(), E::StartElement);
+  EXPECT_EQ(cur.name(), "c");
+  EXPECT_EQ(cur.depth(), 2u);
+  ASSERT_EQ(cur.next(), E::Text);
+  EXPECT_EQ(cur.text(), "hi");
+  ASSERT_EQ(cur.next(), E::EndElement);
+  EXPECT_EQ(cur.name(), "c");
+
+  ASSERT_EQ(cur.next(), E::StartElement);
+  EXPECT_EQ(cur.name(), "d");
+  EXPECT_TRUE(cur.self_closing());
+  ASSERT_EQ(cur.next(), E::EndElement);
+  EXPECT_EQ(cur.name(), "d");
+
+  ASSERT_EQ(cur.next(), E::EndElement);
+  EXPECT_EQ(cur.name(), "r");
+  EXPECT_EQ(cur.next(), E::End);
+  EXPECT_EQ(cur.next(), E::End);  // idempotent at end
+}
+
+TEST(XmlCursor, CleanRunsAliasTheInputBuffer) {
+  const std::string_view in = "<r key=\"plain value\">some text</r>";
+  x::Arena arena;
+  x::Cursor cur(in, arena);
+  ASSERT_EQ(cur.next(), x::Cursor::Event::StartElement);
+  EXPECT_TRUE(aliases(cur.name(), in));
+  EXPECT_TRUE(aliases(cur.attr_key(0), in));
+  EXPECT_TRUE(aliases(cur.attr_value(0), in));
+  ASSERT_EQ(cur.next(), x::Cursor::Event::Text);
+  EXPECT_TRUE(aliases(cur.text(), in));
+  EXPECT_EQ(arena.bytes_used(), 0u);  // nothing decoded, nothing allocated
+}
+
+TEST(XmlCursor, EntityRunsDecodeIntoTheArena) {
+  const std::string_view in = "<r a=\"x&amp;y\">1 &lt; 2</r>";
+  x::Arena arena;
+  x::Cursor cur(in, arena);
+  ASSERT_EQ(cur.next(), x::Cursor::Event::StartElement);
+  EXPECT_EQ(cur.attr_value(0), "x&y");
+  EXPECT_FALSE(aliases(cur.attr_value(0), in));
+  ASSERT_EQ(cur.next(), x::Cursor::Event::Text);
+  EXPECT_EQ(cur.text(), "1 < 2");
+  EXPECT_FALSE(aliases(cur.text(), in));
+  EXPECT_GT(arena.bytes_used(), 0u);
+}
+
+TEST(XmlCursor, ViewsSurviveLaterEvents) {
+  const std::string_view in = "<r><a k=\"v&amp;w\">t1</a><b>t2</b></r>";
+  x::Arena arena;
+  x::Cursor cur(in, arena);
+  using E = x::Cursor::Event;
+  ASSERT_EQ(cur.next(), E::StartElement);  // r
+  ASSERT_EQ(cur.next(), E::StartElement);  // a
+  const auto key = cur.attr_key(0);
+  const auto val = cur.attr_value(0);
+  ASSERT_EQ(cur.next(), E::Text);
+  const auto t1 = cur.text();
+  while (cur.next() != E::End) {
+  }
+  EXPECT_EQ(key, "k");
+  EXPECT_EQ(val, "v&w");
+  EXPECT_EQ(t1, "t1");
+}
+
+TEST(XmlCursor, ReportsWhitespaceOnlyRuns) {
+  // DOM-compatible consumers need the runs to reproduce mixed content.
+  const std::string_view in = "<r>  <a/>  </r>";
+  x::Arena arena;
+  x::Cursor cur(in, arena);
+  using E = x::Cursor::Event;
+  std::vector<E> events;
+  for (E e = cur.next(); e != E::End; e = cur.next()) events.push_back(e);
+  const std::vector<E> expected = {E::StartElement, E::Text, E::StartElement,
+                                   E::EndElement,   E::Text, E::EndElement};
+  EXPECT_EQ(events, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+TEST(XmlArena, BumpAllocatesAndGrows) {
+  x::Arena arena(64);
+  char* a = arena.allocate_bytes(10);
+  char* b = arena.allocate_bytes(10);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_GE(arena.bytes_used(), 20u);
+  // Force chunk growth well past the first chunk.
+  for (int i = 0; i < 100; ++i) (void)arena.allocate_bytes(64);
+  EXPECT_GT(arena.chunk_count(), 1u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(XmlArena, StoreCopiesAndShrinkReclaims) {
+  x::Arena arena(256);
+  const std::string_view s = arena.store("hello");
+  EXPECT_EQ(s, "hello");
+  const std::size_t used = arena.bytes_used();
+  char* buf = arena.allocate_bytes(100);
+  buf[0] = 'x';
+  arena.shrink_last(buf, 100, 1);
+  EXPECT_EQ(arena.bytes_used(), used + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Arena-backed tree
+// ---------------------------------------------------------------------------
+
+TEST(XmlTree, NavigatesLikeTheDom) {
+  const std::string in =
+      "<root a=\"1\">\n"
+      "  <child b='two'><leaf/></child>\n"
+      "  <child b=\"three\"/>\n"
+      "</root>";
+  const auto tree = x::Tree::parse(in);
+  const x::Node& root = tree.root();
+  EXPECT_EQ(root.name(), "root");
+  EXPECT_EQ(root.attr_or("a", ""), "1");
+  ASSERT_EQ(root.children_named("child").size(), 2u);
+  EXPECT_EQ(root.children_named("child")[0]->attr_or("b", ""), "two");
+  EXPECT_NE(root.children_named("child")[0]->child("leaf"), nullptr);
+  EXPECT_EQ(root.subtree_size(), 4u);
+  EXPECT_FALSE(root.attr_view("missing").has_value());
+}
+
+TEST(XmlTree, TrimsAndConcatenatesTextRuns) {
+  // Single clean run: trimmed view into the input, no copy.
+  const std::string one = "<r>\n  hello world  \n</r>";
+  const auto t1 = x::Tree::parse(one);
+  EXPECT_EQ(t1.root().text(), "hello world");
+  EXPECT_TRUE(aliases(t1.root().text(), one));
+
+  // CDATA + entity + element boundaries: concatenated then trimmed,
+  // exactly like the DOM parser.
+  const std::string many = "<r> a<b/>b &amp; <![CDATA[c < d]]> </r>";
+  const auto t2 = x::Tree::parse(many);
+  const auto dom = x::parse(many);
+  EXPECT_EQ(t2.root().text(), dom.root().text());
+}
+
+TEST(XmlTree, DuplicateAttrsKeepFirstPositionLastValue) {
+  const std::string in = "<r b=\"2\" a=\"1\" b=\"3\"/>";
+  const auto tree = x::Tree::parse(in);
+  ASSERT_EQ(tree.root().attr_count(), 2u);
+  EXPECT_EQ(tree.root().attrs_begin()[0].key, "b");
+  EXPECT_EQ(tree.root().attrs_begin()[0].value, "3");
+  EXPECT_EQ(tree.root().attrs_begin()[1].key, "a");
+}
+
+namespace {
+
+// Structural equality between the mutable DOM and the arena tree.
+void expect_same_shape(const x::Element& e, const x::Node& n) {
+  EXPECT_EQ(e.name(), n.name());
+  EXPECT_EQ(e.text(), n.text());
+  ASSERT_EQ(e.attrs().size(), n.attr_count());
+  for (std::size_t i = 0; i < n.attr_count(); ++i) {
+    EXPECT_EQ(e.attrs()[i].first, n.attrs_begin()[i].key);
+    EXPECT_EQ(e.attrs()[i].second, n.attrs_begin()[i].value);
+  }
+  auto it = n.children().begin();
+  for (const auto& c : e.children()) {
+    ASSERT_NE(it, n.children().end());
+    expect_same_shape(*c, *it);
+    ++it;
+  }
+  EXPECT_EQ(it, n.children().end());
+}
+
+}  // namespace
+
+class XmlDomTreeEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlDomTreeEquivalence, BothParsersAgree) {
+  const std::string in = GetParam();
+  const auto dom = x::parse(in);
+  const auto tree = x::Tree::parse(in);
+  expect_same_shape(dom.root(), tree.root());
+  // And the DOM's serialization is a fixed point of the shared tokenizer.
+  EXPECT_EQ(x::write(dom), x::write(x::parse(x::write(dom))));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, XmlDomTreeEquivalence,
+    ::testing::Values(
+        "<r/>",
+        "<r a=\"1\" b=\"two\"><c><d x=\"&lt;&amp;&gt;\"/></c><c/></r>",
+        "<?xml version=\"1.0\"?><!-- c --><r>text &#228; more</r>",
+        "<!DOCTYPE r [<!ELEMENT r ANY>]><r><![CDATA[a < b]]></r>",
+        "<r>\n  <a>one</a>\n  <b>two</b>\n  mixed\n</r>",
+        "<deep><deep><deep><deep><leaf v=\"&quot;q&quot;\"/>"
+        "</deep></deep></deep></deep>"));
+
+// ---------------------------------------------------------------------------
+// Escape properties
+// ---------------------------------------------------------------------------
+
+TEST(XmlEscape, FastPathReturnsTheInputViewUntouched) {
+  std::string scratch;
+  const std::string_view clean = "no specials here 123 _-.";
+  const auto out = x::escape_view(clean, scratch);
+  EXPECT_EQ(out.data(), clean.data());  // identity, not a copy
+  EXPECT_EQ(out, clean);
+
+  const auto escaped = x::escape_view("a<b", scratch);
+  EXPECT_EQ(escaped, "a&lt;b");
+  EXPECT_EQ(escaped.data(), scratch.data());
+}
+
+TEST(XmlEscape, PropertyRoundTripsThroughParser) {
+  // Random strings over an alphabet heavy in escapable bytes survive
+  // write->parse exactly (attributes are exact; text is trimmed, so pad).
+  std::mt19937 rng(20260807u);
+  const std::string alphabet = "ab<>&\"' \t\n;#x0123&&&<<>>";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<std::size_t> len(0, 40);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string s;
+    const std::size_t n = len(rng);
+    for (std::size_t i = 0; i < n; ++i) s += alphabet[pick(rng)];
+
+    x::Document doc("r");
+    doc.root().set_attr("v", s);
+    doc.root().set_text("x" + s + "x");  // sentinels defeat trimming
+    const std::string bytes = x::write(doc);
+
+    const auto dom = x::parse(bytes);
+    EXPECT_EQ(dom.root().attr_or("v", "!"), s) << "iter " << iter;
+    EXPECT_EQ(dom.root().text(), "x" + s + "x") << "iter " << iter;
+
+    const auto tree = x::Tree::parse(bytes);
+    EXPECT_EQ(tree.root().attr_or("v", "!"), s) << "iter " << iter;
+    EXPECT_EQ(tree.root().text(), "x" + s + "x") << "iter " << iter;
+  }
+}
+
+TEST(XmlEscape, UnescapePropertyOverCharacterReferences) {
+  // Numeric references for every escapable byte decode to the raw byte.
+  const auto doc = x::parse("<r a=\"&#38;&#60;&#62;&#34;&#39;\"/>");
+  EXPECT_EQ(doc.root().attr_or("a", ""), "&<>\"'");
+}
+
+TEST(XmlParser, CharacterReferenceBoundaries) {
+  // Encoding-length boundaries of UTF-8.
+  EXPECT_EQ(x::parse("<r>&#x7F;</r>").root().text(), "\x7F");
+  EXPECT_EQ(x::parse("<r>&#x80;</r>").root().text(), "\xC2\x80");
+  EXPECT_EQ(x::parse("<r>&#x7FF;</r>").root().text(), "\xDF\xBF");
+  EXPECT_EQ(x::parse("<r>&#x800;</r>").root().text(), "\xE0\xA0\x80");
+  EXPECT_EQ(x::parse("<r>&#xFFFF;</r>").root().text(), "\xEF\xBF\xBF");
+  EXPECT_EQ(x::parse("<r>&#x10000;</r>").root().text(), "\xF0\x90\x80\x80");
+  EXPECT_EQ(x::parse("<r>&#x10FFFF;</r>").root().text(), "\xF4\x8F\xBF\xBF");
+  // Out of range or malformed.
+  EXPECT_THROW((void)x::parse("<r>&#x110000;</r>"), x::ParseError);
+  EXPECT_THROW((void)x::parse("<r>&#;</r>"), x::ParseError);
+  EXPECT_THROW((void)x::parse("<r>&#x;</r>"), x::ParseError);
+  EXPECT_THROW((void)x::parse("<r>&#12x;</r>"), x::ParseError);
+  EXPECT_THROW((void)x::parse("<r>&#-1;</r>"), x::ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Exact error offsets
+// ---------------------------------------------------------------------------
+
+struct OffsetCase {
+  const char* label;
+  const char* text;
+  std::size_t offset;
+};
+
+class XmlParseErrorOffsets : public ::testing::TestWithParam<OffsetCase> {};
+
+TEST_P(XmlParseErrorOffsets, OffsetPointsAtTheDefect) {
+  const auto& p = GetParam();
+  try {
+    (void)x::parse(p.text);
+    FAIL() << "expected ParseError for: " << p.text;
+  } catch (const x::ParseError& e) {
+    EXPECT_EQ(e.offset(), p.offset) << p.text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exact, XmlParseErrorOffsets,
+    ::testing::Values(
+        OffsetCase{"empty_input", "", 0},
+        OffsetCase{"mismatched_close_name", "<a></b>", 5},
+        OffsetCase{"unclosed_root_at_eof", "<r>", 3},
+        OffsetCase{"second_root", "<a/><b/>", 4},
+        OffsetCase{"unknown_entity_at_amp", "<a>&nosuch;</a>", 3},
+        OffsetCase{"lt_inside_attr_value", "<a b=\"<\"/>", 6},
+        OffsetCase{"unquoted_attr_value", "<a b=x/>", 5},
+        OffsetCase{"charref_out_of_range", "<a>&#1114112;</a>", 3},
+        OffsetCase{"unterminated_cdata", "<a><![CDATA[x</a>", 17}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(XmlParseErrorOffsets, LineDerivedFromOffset) {
+  try {
+    (void)x::parse("<a>\n<b>\n</c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const x::ParseError& e) {
+    EXPECT_EQ(e.offset(), 10u);  // the 'c' of the mismatched close tag
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
