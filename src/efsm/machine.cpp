@@ -25,6 +25,13 @@ StepResult Instance::start() {
   return result;
 }
 
+StepResult Instance::reset() {
+  state_ = nullptr;
+  vars_.clear();
+  for (const auto& [var, initial] : sm_->variables()) vars_[var] = initial;
+  return start();
+}
+
 Env Instance::make_env(const Event* event) const {
   Env env = vars_;
   if (event != nullptr && event->signal != nullptr) {

@@ -69,6 +69,11 @@ public:
   /// transitions). Returns what that produced.
   StepResult start();
 
+  /// Forgets all extended state (current state and variables) and re-enters
+  /// the initial state, as if the instance were freshly constructed. Used by
+  /// the co-simulator's watchdog recovery to restart a hung process.
+  StepResult reset();
+
   /// Delivers a signal event. If no transition matches, the event is
   /// discarded (UML semantics for unhandled signal triggers) and
   /// `fired == false`.

@@ -119,15 +119,16 @@ ExplorationResult ExploreEngine::explore(
     for (std::thread& t : pool) t.join();
   }
 
-  // Serial reduce in index order: lowest makespan, ties to the lowest index.
+  // Serial reduce in index order: lowest total cost (makespan plus any
+  // fault-scenario term), ties to the lowest index.
   ExplorationResult out;
   out.candidates = std::move(results);
   bool found = false;
   for (std::size_t i = 0; i < out.candidates.size(); ++i) {
     const CandidateResult& r = out.candidates[i];
     if (!r.feasible) continue;
-    if (!found || r.mapping.cost.makespan <
-                      out.candidates[out.best].mapping.cost.makespan) {
+    if (!found || r.mapping.cost.total() <
+                      out.candidates[out.best].mapping.cost.total()) {
       out.best = i;
       found = true;
     }

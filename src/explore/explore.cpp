@@ -6,6 +6,7 @@
 #include <string_view>
 #include <utility>
 
+#include "mapping/mapping.hpp"
 #include "profile/tut_profile.hpp"
 
 namespace tut::explore {
@@ -270,6 +271,27 @@ CostEvaluator::CostEvaluator(const Grouping& grouping,
       hop_ticks_[i][j] = model.hop_cost * hops(pe_names_[i], pe_names_[j]);
     }
   }
+
+  // Resolve fault scenarios to PE-index masks once.
+  scenarios_.reserve(model.fault_scenarios.size());
+  for (const CostModel::FaultScenario& fs : model.fault_scenarios) {
+    Scenario sc;
+    sc.weight = fs.weight;
+    sc.failed.assign(pes.size(), 0);
+    for (const std::string& name : fs.failed_pes) {
+      auto it = pe_by_name_.find(name);
+      if (it == pe_by_name_.end()) {
+        throw std::invalid_argument("fault scenario names unknown PE '" +
+                                    name + "'");
+      }
+      sc.failed[it->second] = 1;
+    }
+    if (std::find(sc.failed.begin(), sc.failed.end(), 0) ==
+        sc.failed.end()) {
+      throw std::invalid_argument("fault scenario leaves no surviving PE");
+    }
+    scenarios_.push_back(std::move(sc));
+  }
 }
 
 std::vector<std::uint32_t> CostEvaluator::to_ids(
@@ -327,6 +349,43 @@ const CostEstimate& CostEvaluator::evaluate_ids(
   double max_load = 0.0;
   for (double l : load) max_load = std::max(max_load, l);
   est.makespan = max_load + est.comm_cost;
+
+  // Degraded-makespan term: replay each fault scenario's failover remap.
+  for (const Scenario& sc : scenarios_) {
+    const auto group_ticks = [this](std::size_t g, std::uint32_t p) {
+      return static_cast<double>(group_cycles_[g]) * 1000.0 / pe_freq_[p];
+    };
+    std::vector<double> dload(pe_names_.size(), 0.0);
+    std::vector<std::uint32_t> degraded = target_pe;
+    for (std::size_t g = 0; g < degraded.size(); ++g) {
+      if (!sc.failed[degraded[g]]) dload[degraded[g]] += group_ticks(g, degraded[g]);
+    }
+    // Groups on failed PEs move in index order, each to the PE the runtime
+    // FailoverPolicy would pick given the loads accumulated so far.
+    for (std::size_t g = 0; g < degraded.size(); ++g) {
+      if (!sc.failed[degraded[g]]) continue;
+      std::vector<mapping::FailoverPolicy::Candidate> cands;
+      std::vector<std::uint32_t> cand_pe;
+      for (std::uint32_t p = 0; p < pe_names_.size(); ++p) {
+        if (sc.failed[p]) continue;
+        cands.push_back({pe_names_[p], dload[p]});
+        cand_pe.push_back(p);
+      }
+      const std::uint32_t dest =
+          cand_pe[mapping::FailoverPolicy::least_loaded(cands)];
+      degraded[g] = dest;
+      dload[dest] += group_ticks(g, dest);
+    }
+    double comm = 0.0;
+    for (const Edge& e : edges_) {
+      const std::uint32_t pa = degraded[e.from];
+      const std::uint32_t pb = degraded[e.to];
+      if (pa != pb) comm += static_cast<double>(e.count) * hop_ticks_[pa][pb];
+    }
+    double dmax = 0.0;
+    for (double l : dload) dmax = std::max(dmax, l);
+    est.fault_cost += sc.weight * (dmax + comm);
+  }
 
   return memo_.emplace(target_pe, std::move(est)).first->second;
 }
@@ -412,7 +471,7 @@ MappingProposal propose_mapping(const Grouping& grouping,
           std::vector<std::uint32_t> candidate = cur;
           candidate[g] = p;
           const CostEstimate& cost = eval.evaluate_ids(candidate);
-          if (cost.makespan + 1e-9 < best.makespan) {
+          if (cost.total() + 1e-9 < best.total()) {
             cur = std::move(candidate);
             best = cost;
             improved = true;
@@ -448,7 +507,7 @@ MappingProposal propose_mapping(const Grouping& grouping,
   }
   if (colocated_ok) {
     auto alt = local_search(std::move(colocated));
-    if (alt.second.makespan < best.second.makespan) best = std::move(alt);
+    if (alt.second.total() < best.second.total()) best = std::move(alt);
   }
 
   MappingProposal out;

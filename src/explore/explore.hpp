@@ -119,6 +119,17 @@ struct CostModel {
   double hop_cost = 40.0;
   /// Segment-hop distance between two PEs (default: 1 for distinct PEs).
   std::function<int(const std::string&, const std::string&)> hops;
+
+  /// A what-if PE-failure set for reliability-aware mapping. Each scenario
+  /// adds weight * degraded-makespan to a candidate's cost, where the
+  /// degraded makespan remaps the groups of failed PEs onto survivors with
+  /// the same least-loaded rule mapping::FailoverPolicy applies at runtime.
+  /// With no scenarios (the default) the estimate is unchanged.
+  struct FaultScenario {
+    std::vector<std::string> failed_pes;
+    double weight = 1.0;
+  };
+  std::vector<FaultScenario> fault_scenarios;
 };
 
 /// Estimated execution cost of a grouping+mapping candidate.
@@ -126,6 +137,11 @@ struct CostEstimate {
   std::map<std::string, double> pe_load;  ///< per-PE compute time (ticks)
   double comm_cost = 0.0;                 ///< total communication time
   double makespan = 0.0;                  ///< max PE load + comm cost
+  /// Weighted degraded-makespan sum over CostModel::fault_scenarios
+  /// (0 when the model declares none).
+  double fault_cost = 0.0;
+  /// The objective searches minimize: makespan plus the fault term.
+  double total() const noexcept { return makespan + fault_cost; }
 };
 
 /// Memoizing cost evaluator for one grouping over a fixed PE set. The
@@ -135,6 +151,8 @@ struct CostEstimate {
 /// revisiting assignments pay a hash lookup. PE names must be distinct.
 class CostEvaluator {
  public:
+  /// Throws std::invalid_argument when a fault scenario names an unknown PE
+  /// or leaves no survivor.
   CostEvaluator(const Grouping& grouping, const ProcessStats& stats,
                 const std::vector<PeDesc>& pes, const CostModel& model = {});
 
@@ -168,7 +186,14 @@ class CostEvaluator {
     std::uint64_t count = 0;
   };
 
+  /// A fault scenario with PE names resolved to indices.
+  struct Scenario {
+    std::vector<char> failed;  ///< indexed like the PeDesc list
+    double weight = 1.0;
+  };
+
   std::vector<long> group_cycles_;
+  std::vector<Scenario> scenarios_;
   std::vector<Edge> edges_;  ///< directed, aggregated, deterministic order
   std::vector<std::string> pe_names_;
   std::vector<double> pe_freq_;                 ///< divisor, defaulted to 50

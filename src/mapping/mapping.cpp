@@ -91,4 +91,17 @@ long SystemView::instance_frequency_mhz(const uml::Property& instance) const {
   return 50;
 }
 
+std::size_t FailoverPolicy::least_loaded(
+    const std::vector<Candidate>& candidates) {
+  std::size_t best = npos;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (best == npos || candidates[i].load < candidates[best].load ||
+        (candidates[i].load == candidates[best].load &&
+         candidates[i].name < candidates[best].name)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
 }  // namespace tut::mapping

@@ -29,6 +29,30 @@ private:
   const profile::TutProfile& profile_;
 };
 
+/// Degraded-mode remapping policy: when a processing element fails
+/// mid-simulation, decides which surviving PE inherits its processes. The
+/// co-simulator calls it with the compatible survivors and their observed
+/// loads; the exploration cost model mirrors the same rule when scoring
+/// fault scenarios. Deterministic: ties break on the candidate name.
+class FailoverPolicy {
+public:
+  struct Candidate {
+    std::string name;
+    double load = 0.0;  ///< accumulated busy time (or estimated load)
+  };
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Index of the least-loaded candidate (ties to the lexicographically
+  /// smallest name), or npos when `candidates` is empty.
+  static std::size_t least_loaded(const std::vector<Candidate>& candidates);
+
+  /// The policy choice — currently always least_loaded().
+  std::size_t choose(const std::vector<Candidate>& candidates) const {
+    return least_loaded(candidates);
+  }
+};
+
 /// Combined view over application + platform + mapping. This is what the
 /// rest of the tool flow (simulation, profiling, exploration) consumes.
 class SystemView {

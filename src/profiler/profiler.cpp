@@ -109,6 +109,30 @@ std::string ProfilingReport::to_text() const {
     }
     os << '\n';
   }
+  if (reliability.present) {
+    std::size_t cwidth = 11;  // "Component" + margin
+    for (const auto& c : reliability.components) {
+      cwidth = std::max(cwidth, c.component.size() + 2);
+    }
+    os << "\n(c) Reliability\n";
+    os << std::left << std::setw(static_cast<int>(cwidth)) << "Component"
+       << std::right << std::setw(8) << "Faults" << std::setw(16)
+       << "Downtime" << '\n';
+    for (const auto& c : reliability.components) {
+      std::ostringstream down;
+      down << c.downtime << " ticks";
+      os << std::left << std::setw(static_cast<int>(cwidth)) << c.component
+         << std::right << std::setw(8) << c.faults << std::setw(16)
+         << down.str() << '\n';
+    }
+    os << "Signals delivered: " << reliability.delivered
+       << "  dropped: " << reliability.dropped
+       << "  transfer retries: " << reliability.retries << '\n';
+    os << "Watchdog resets: " << reliability.watchdog_resets
+       << "  migrations: " << reliability.migrations
+       << "  worst recovery latency: " << reliability.worst_recovery_latency
+       << " ticks\n";
+  }
   return os.str();
 }
 
@@ -148,7 +172,17 @@ ProfilingReport analyze(const ProcessGroupInfo& info,
   std::vector<bool> ran(name_count, false);
   std::unordered_map<std::uint64_t, std::uint64_t> pair_signals;
 
+  // Reliability accumulators (all stay zero for a fault-free log).
+  constexpr sim::Time kNoTime = static_cast<sim::Time>(-1);
+  ReliabilityReport& rel = report.reliability;
+  std::vector<sim::Time> fault_open(name_count, kNoTime);
+  std::vector<std::uint64_t> fault_count(name_count, 0);
+  std::vector<sim::Time> fault_down(name_count, 0);
+  std::vector<sim::Time> migrated_at(name_count, kNoTime);
+  sim::Time last_time = 0;
+
   for (const sim::SimulationLog::Compact& r : log.compact_records()) {
+    last_time = r.time;
     switch (r.kind) {
       case sim::LogRecord::Kind::Run: {
         cycles_by_id[r.process] += r.cycles;
@@ -157,6 +191,11 @@ ProfilingReport analyze(const ProcessGroupInfo& info,
         if (party < n) {
           party_cycles[party] += r.cycles;
           party_busy[party] += r.duration;
+        }
+        if (migrated_at[r.process] != kNoTime) {
+          rel.worst_recovery_latency = std::max(
+              rel.worst_recovery_latency, r.time - migrated_at[r.process]);
+          migrated_at[r.process] = kNoTime;
         }
         break;
       }
@@ -168,12 +207,58 @@ ProfilingReport analyze(const ProcessGroupInfo& info,
         break;
       }
       case sim::LogRecord::Kind::Receive:
-        break;  // sends already counted; receives would double-count
+        // Sends already fill the matrix; receives would double-count there,
+        // but they are the delivery count the reliability section reports.
+        ++rel.delivered;
+        break;
       case sim::LogRecord::Kind::Drop:
         ++drops_by_id[r.process];
+        ++rel.dropped;
+        break;
+      case sim::LogRecord::Kind::Fault:
+        rel.present = true;
+        ++fault_count[r.process];
+        if (fault_open[r.process] == kNoTime) fault_open[r.process] = r.time;
+        break;
+      case sim::LogRecord::Kind::Clear:
+        rel.present = true;
+        if (fault_open[r.process] != kNoTime) {
+          fault_down[r.process] += r.time - fault_open[r.process];
+          fault_open[r.process] = kNoTime;
+        }
+        break;
+      case sim::LogRecord::Kind::Retry:
+        rel.present = true;
+        ++rel.retries;
+        break;
+      case sim::LogRecord::Kind::Watchdog:
+        rel.present = true;
+        ++rel.watchdog_resets;
+        break;
+      case sim::LogRecord::Kind::Migrate:
+        rel.present = true;
+        ++rel.migrations;
+        // Keep the earliest open migration: latency measures how long the
+        // process sat without execution after being moved.
+        if (migrated_at[r.process] == kNoTime) migrated_at[r.process] = r.time;
         break;
     }
   }
+
+  // Faults never cleared accrue downtime up to the last log record.
+  for (intern::Id id = 0; id < name_count; ++id) {
+    if (fault_open[id] != kNoTime && last_time > fault_open[id]) {
+      fault_down[id] += last_time - fault_open[id];
+    }
+    if (fault_count[id] > 0) {
+      rel.components.push_back(
+          {names.name(id), fault_count[id], fault_down[id]});
+    }
+  }
+  std::sort(rel.components.begin(), rel.components.end(),
+            [](const ComponentReliability& a, const ComponentReliability& b) {
+              return a.component < b.component;
+            });
 
   for (intern::Id id = 0; id < name_count; ++id) {
     if (ran[id]) report.process_cycles[names.name(id)] += cycles_by_id[id];

@@ -52,6 +52,31 @@ struct GroupExecution {
   double proportion = 0.0;   ///< share of total cycles, in percent
 };
 
+/// Per-component fault exposure in a degraded-mode run.
+struct ComponentReliability {
+  std::string component;     ///< PE instance, segment or process name
+  std::uint64_t faults = 0;  ///< fault windows opened
+  sim::Time downtime = 0;    ///< total time spent faulted
+};
+
+/// Reliability view of a fault-injected run. `present` stays false for
+/// fault-free logs, and the report renders its section (c) only when set,
+/// so ordinary profiling output is unchanged by the fault subsystem.
+struct ReliabilityReport {
+  bool present = false;
+  /// Components that faulted at least once, ordered by name. A fault still
+  /// open at the last log record counts downtime up to that record.
+  std::vector<ComponentReliability> components;
+  std::uint64_t delivered = 0;  ///< signals received by a process
+  std::uint64_t dropped = 0;    ///< signals dropped (unhandled or faulted)
+  std::uint64_t retries = 0;    ///< transfer retry attempts
+  std::uint64_t watchdog_resets = 0;
+  std::uint64_t migrations = 0;
+  /// Worst observed time from a process migration to its next executed
+  /// transition (0 when runs are not logged).
+  sim::Time worst_recovery_latency = 0;
+};
+
 /// The profiling report (Table 4 plus per-process details).
 struct ProfilingReport {
   /// Table 4(a): groups in ProcessGroupInfo order, then the environment.
@@ -69,6 +94,8 @@ struct ProfilingReport {
   std::map<std::pair<std::string, std::string>, std::uint64_t> process_signals;
   /// Dropped (unhandled) signals per process.
   std::map<std::string, std::uint64_t> drops;
+  /// Section (c): fault exposure and degraded-mode behaviour.
+  ReliabilityReport reliability;
 
   std::uint64_t total_signals() const;
   long total_cycles() const;

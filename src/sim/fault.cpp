@@ -1,0 +1,178 @@
+#include "sim/fault.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "xml/arena.hpp"
+#include "xml/cursor.hpp"
+#include "xml/xml.hpp"
+
+namespace tut::sim {
+
+namespace {
+
+template <typename T>
+T number_attr(const xml::Cursor& cur, std::string_view key, T fallback) {
+  const auto v = cur.attr(key);
+  if (!v) return fallback;
+  T n{};
+  const auto [p, ec] = std::from_chars(v->data(), v->data() + v->size(), n);
+  if (ec != std::errc{} || p != v->data() + v->size()) {
+    throw std::invalid_argument("faultplan: attribute '" + std::string(key) +
+                                "' is not a number: '" + std::string(*v) +
+                                "'");
+  }
+  return n;
+}
+
+std::string string_attr(const xml::Cursor& cur, std::string_view key) {
+  const auto v = cur.attr(key);
+  return v ? std::string(*v) : std::string();
+}
+
+}  // namespace
+
+std::vector<std::string> FaultPlan::validate() const {
+  std::vector<std::string> defects;
+  const auto check_window = [&](const char* what, const FaultWindow& w) {
+    if (w.component.empty()) {
+      defects.push_back(std::string(what) + " fault has no component name");
+    }
+    if (w.end != 0 && w.end <= w.start) {
+      defects.push_back(std::string(what) + " fault on '" + w.component +
+                        "' has end <= start (use end=0 for a permanent fault)");
+    }
+  };
+  for (const FaultWindow& w : pe_faults) check_window("PE", w);
+  for (const FaultWindow& w : segment_faults) check_window("segment", w);
+  for (const BitErrorSpec& b : bit_errors) {
+    if (b.segment.empty()) {
+      defects.push_back("bit-error spec has no segment name");
+    }
+    if (b.rate_ppm > 1'000'000) {
+      defects.push_back("bit-error rate on '" + b.segment +
+                        "' exceeds 1000000 ppm");
+    }
+  }
+  for (const SignalFault& s : signal_faults) {
+    if (s.process.empty()) {
+      defects.push_back("signal fault has no process name");
+    }
+    if (s.kind == SignalFault::Kind::Stuck && s.end <= s.start) {
+      defects.push_back("stuck-signal fault on '" + s.process +
+                        "' needs a finite window (end > start)");
+    }
+    if (s.kind == SignalFault::Kind::Lost && s.end != 0 && s.end <= s.start) {
+      defects.push_back("lost-signal fault on '" + s.process +
+                        "' has end <= start (use end=0 for permanent loss)");
+    }
+  }
+  if (max_retries < 0) defects.push_back("max_retries must be >= 0");
+  if (retry_backoff == 0 && (max_retries > 0)) {
+    defects.push_back("retry_backoff must be > 0 when retries are enabled");
+  }
+  return defects;
+}
+
+std::string FaultPlan::to_xml_text() const {
+  xml::Writer w(512);
+  w.declaration();
+  w.open("tut:faultplan");
+  w.attr("seed", std::to_string(seed));
+  if (watchdog_timeout != 0) {
+    w.attr("watchdogTimeout", std::to_string(watchdog_timeout));
+  }
+  w.attr("maxRetries", std::to_string(max_retries));
+  w.attr("retryBackoff", std::to_string(retry_backoff));
+  const auto write_window = [&w](const char* tag, const FaultWindow& win) {
+    w.open(tag);
+    w.attr("component", win.component);
+    w.attr("start", std::to_string(win.start));
+    if (win.end != 0) w.attr("end", std::to_string(win.end));
+    w.close();
+  };
+  for (const FaultWindow& win : pe_faults) write_window("peFault", win);
+  for (const FaultWindow& win : segment_faults) {
+    write_window("segmentFault", win);
+  }
+  for (const BitErrorSpec& b : bit_errors) {
+    w.open("bitError");
+    w.attr("segment", b.segment);
+    w.attr("ratePpm", std::to_string(b.rate_ppm));
+    w.close();
+  }
+  for (const SignalFault& s : signal_faults) {
+    w.open("signalFault");
+    w.attr("process", s.process);
+    if (!s.signal.empty()) w.attr("signal", s.signal);
+    w.attr("kind", s.kind == SignalFault::Kind::Stuck ? "stuck" : "lost");
+    w.attr("start", std::to_string(s.start));
+    if (s.end != 0) w.attr("end", std::to_string(s.end));
+    w.close();
+  }
+  return w.take();
+}
+
+FaultPlan FaultPlan::from_xml_text(std::string_view text) {
+  FaultPlan plan;
+  xml::Arena arena;
+  xml::Cursor cur(text, arena);
+  if (cur.next() != xml::Cursor::Event::StartElement ||
+      cur.name() != "tut:faultplan") {
+    throw std::invalid_argument("faultplan: root element must be "
+                                "<tut:faultplan>");
+  }
+  plan.seed = number_attr<std::uint64_t>(cur, "seed", 1);
+  plan.watchdog_timeout = number_attr<Time>(cur, "watchdogTimeout", 0);
+  plan.max_retries = number_attr<int>(cur, "maxRetries", 4);
+  plan.retry_backoff = number_attr<Time>(cur, "retryBackoff", 200);
+
+  for (auto ev = cur.next(); ev != xml::Cursor::Event::End; ev = cur.next()) {
+    if (ev == xml::Cursor::Event::Text || ev == xml::Cursor::Event::EndElement) {
+      continue;
+    }
+    const std::string_view name = cur.name();
+    if (name == "peFault" || name == "segmentFault") {
+      FaultWindow win;
+      win.component = string_attr(cur, "component");
+      win.start = number_attr<Time>(cur, "start", 0);
+      win.end = number_attr<Time>(cur, "end", 0);
+      (name == "peFault" ? plan.pe_faults : plan.segment_faults)
+          .push_back(std::move(win));
+    } else if (name == "bitError") {
+      BitErrorSpec b;
+      b.segment = string_attr(cur, "segment");
+      b.rate_ppm = number_attr<std::uint32_t>(cur, "ratePpm", 0);
+      plan.bit_errors.push_back(std::move(b));
+    } else if (name == "signalFault") {
+      SignalFault s;
+      s.process = string_attr(cur, "process");
+      s.signal = string_attr(cur, "signal");
+      const std::string kind = string_attr(cur, "kind");
+      if (kind == "stuck") {
+        s.kind = SignalFault::Kind::Stuck;
+      } else if (kind == "lost" || kind.empty()) {
+        s.kind = SignalFault::Kind::Lost;
+      } else {
+        throw std::invalid_argument("faultplan: unknown signal fault kind '" +
+                                    kind + "'");
+      }
+      s.start = number_attr<Time>(cur, "start", 0);
+      s.end = number_attr<Time>(cur, "end", 0);
+      plan.signal_faults.push_back(std::move(s));
+    } else {
+      throw std::invalid_argument("faultplan: unknown element <" +
+                                  std::string(name) + ">");
+    }
+  }
+
+  const std::vector<std::string> defects = plan.validate();
+  if (!defects.empty()) {
+    std::string msg = "faultplan: invalid plan:";
+    for (const std::string& d : defects) msg += "\n  - " + d;
+    throw std::invalid_argument(msg);
+  }
+  return plan;
+}
+
+}  // namespace tut::sim

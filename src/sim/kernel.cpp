@@ -1,13 +1,18 @@
 #include "sim/kernel.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace tut::sim {
 
 void Kernel::schedule_at(Time at, Handler fn) {
+  assert(at >= now_ && "schedule_at: event time precedes kernel now()");
   if (at < now_) {
-    throw std::logic_error("cannot schedule an event in the past");
+    throw std::logic_error("cannot schedule an event in the past (at=" +
+                           std::to_string(at) +
+                           ", now=" + std::to_string(now_) + ")");
   }
   if (at == now_) {
     // Due immediately: FIFO bucket, no heap traffic. Anything already in the

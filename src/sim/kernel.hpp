@@ -28,7 +28,9 @@ class Kernel {
  public:
   using Handler = std::function<void()>;
 
-  /// Schedules `fn` at absolute time `at` (>= now()).
+  /// Schedules `fn` at absolute time `at`. Scheduling into the past is a
+  /// hard error: `at < now()` asserts in debug builds and throws
+  /// std::logic_error (with both times in the message) in release builds.
   void schedule_at(Time at, Handler fn);
   /// Schedules `fn` `delay` ticks from now.
   void schedule_in(Time delay, Handler fn) { schedule_at(now_ + delay, fn); }

@@ -27,6 +27,29 @@ void SimulationLog::drop(Time t, std::string_view process,
   drop_id(t, names_.intern(process), names_.intern(signal));
 }
 
+void SimulationLog::fault(Time t, std::string_view component) {
+  fault_id(t, names_.intern(component));
+}
+
+void SimulationLog::fault_cleared(Time t, std::string_view component) {
+  clear_id(t, names_.intern(component));
+}
+
+void SimulationLog::retry(Time t, std::string_view process,
+                          std::string_view signal, long attempt) {
+  retry_id(t, names_.intern(process), names_.intern(signal), attempt);
+}
+
+void SimulationLog::watchdog_reset(Time t, std::string_view process) {
+  watchdog_id(t, names_.intern(process));
+}
+
+void SimulationLog::migrate(Time t, std::string_view process,
+                            std::string_view from_pe, std::string_view to_pe) {
+  migrate_id(t, names_.intern(process), names_.intern(from_pe),
+             names_.intern(to_pe));
+}
+
 void SimulationLog::run_id(Time t, intern::Id process, long cycles,
                            Time duration) {
   Compact r;
@@ -67,6 +90,52 @@ void SimulationLog::drop_id(Time t, intern::Id process, intern::Id signal) {
   r.kind = LogRecord::Kind::Drop;
   r.process = process;
   r.signal = signal;
+  compact_.push_back(r);
+}
+
+void SimulationLog::fault_id(Time t, intern::Id component) {
+  Compact r;
+  r.time = t;
+  r.kind = LogRecord::Kind::Fault;
+  r.process = component;
+  compact_.push_back(r);
+}
+
+void SimulationLog::clear_id(Time t, intern::Id component) {
+  Compact r;
+  r.time = t;
+  r.kind = LogRecord::Kind::Clear;
+  r.process = component;
+  compact_.push_back(r);
+}
+
+void SimulationLog::retry_id(Time t, intern::Id process, intern::Id signal,
+                             long attempt) {
+  Compact r;
+  r.time = t;
+  r.kind = LogRecord::Kind::Retry;
+  r.process = process;
+  r.signal = signal;
+  r.cycles = attempt;
+  compact_.push_back(r);
+}
+
+void SimulationLog::watchdog_id(Time t, intern::Id process) {
+  Compact r;
+  r.time = t;
+  r.kind = LogRecord::Kind::Watchdog;
+  r.process = process;
+  compact_.push_back(r);
+}
+
+void SimulationLog::migrate_id(Time t, intern::Id process, intern::Id from_pe,
+                               intern::Id to_pe) {
+  Compact r;
+  r.time = t;
+  r.kind = LogRecord::Kind::Migrate;
+  r.process = process;
+  r.peer = from_pe;
+  r.signal = to_pe;
   compact_.push_back(r);
 }
 
@@ -116,6 +185,23 @@ std::string SimulationLog::to_text() const {
         os << "D " << r.time << ' ' << names_.name(r.process) << ' '
            << names_.name(r.signal) << '\n';
         break;
+      case LogRecord::Kind::Fault:
+        os << "F " << r.time << ' ' << names_.name(r.process) << '\n';
+        break;
+      case LogRecord::Kind::Clear:
+        os << "C " << r.time << ' ' << names_.name(r.process) << '\n';
+        break;
+      case LogRecord::Kind::Retry:
+        os << "T " << r.time << ' ' << names_.name(r.process) << ' '
+           << names_.name(r.signal) << ' ' << r.cycles << '\n';
+        break;
+      case LogRecord::Kind::Watchdog:
+        os << "W " << r.time << ' ' << names_.name(r.process) << '\n';
+        break;
+      case LogRecord::Kind::Migrate:
+        os << "M " << r.time << ' ' << names_.name(r.process) << ' '
+           << names_.name(r.peer) << ' ' << names_.name(r.signal) << '\n';
+        break;
     }
   }
   return os.str();
@@ -158,6 +244,28 @@ SimulationLog SimulationLog::parse(const std::string& text) {
       std::string proc, sig;
       if (!(ls >> t >> proc >> sig)) throw bad();
       log.drop(t, proc, sig);
+    } else if (kind == "F" || kind == "C" || kind == "W") {
+      Time t = 0;
+      std::string name;
+      if (!(ls >> t >> name)) throw bad();
+      if (kind == "F") {
+        log.fault(t, name);
+      } else if (kind == "C") {
+        log.fault_cleared(t, name);
+      } else {
+        log.watchdog_reset(t, name);
+      }
+    } else if (kind == "T") {
+      Time t = 0;
+      std::string proc, sig;
+      long attempt = 0;
+      if (!(ls >> t >> proc >> sig >> attempt)) throw bad();
+      log.retry(t, proc, sig, attempt);
+    } else if (kind == "M") {
+      Time t = 0;
+      std::string proc, from, to;
+      if (!(ls >> t >> proc >> from >> to)) throw bad();
+      log.migrate(t, proc, from, to);
     } else {
       throw bad();
     }

@@ -32,7 +32,14 @@ struct LogRecord {
     Run,      ///< `process` executed `cycles` cycles for `duration` ticks
     Send,     ///< `process` sent `signal` (`bytes` bytes) towards `peer`
     Receive,  ///< `process` received `signal` from `peer`
-    Drop,     ///< `process` discarded `signal` (no matching transition)
+    Drop,     ///< `process` discarded `signal` (no matching transition,
+              ///< a fault-induced loss, or a transfer out of retries)
+    Fault,    ///< fault raised on component `process` (PE, segment or the
+              ///< receiving process of a signal fault)
+    Clear,    ///< fault cleared on component `process`
+    Retry,    ///< `process` retries sending `signal`; `cycles` = attempt no.
+    Watchdog, ///< `process` was reset by its watchdog timer
+    Migrate,  ///< `process` migrated from PE `peer` to PE `signal`
   };
 
   Time time = 0;
@@ -67,6 +74,13 @@ class SimulationLog {
   void receive(Time t, std::string_view process, std::string_view from,
                std::string_view signal);
   void drop(Time t, std::string_view process, std::string_view signal);
+  void fault(Time t, std::string_view component);
+  void fault_cleared(Time t, std::string_view component);
+  void retry(Time t, std::string_view process, std::string_view signal,
+             long attempt);
+  void watchdog_reset(Time t, std::string_view process);
+  void migrate(Time t, std::string_view process, std::string_view from_pe,
+               std::string_view to_pe);
 
   /// Interns a name for use with the id-based append paths below. Writers
   /// that log the same names repeatedly (the co-simulator) intern once and
@@ -78,6 +92,12 @@ class SimulationLog {
   void receive_id(Time t, intern::Id process, intern::Id from,
                   intern::Id signal);
   void drop_id(Time t, intern::Id process, intern::Id signal);
+  void fault_id(Time t, intern::Id component);
+  void clear_id(Time t, intern::Id component);
+  void retry_id(Time t, intern::Id process, intern::Id signal, long attempt);
+  void watchdog_id(Time t, intern::Id process);
+  void migrate_id(Time t, intern::Id process, intern::Id from_pe,
+                  intern::Id to_pe);
 
   /// The records in compact interned form — the profiler's input.
   const std::vector<Compact>& compact_records() const noexcept {
@@ -101,6 +121,11 @@ class SimulationLog {
   ///   S <time> <from> <to> <signal> <bytes>
   ///   V <time> <process> <from> <signal>
   ///   D <time> <process> <signal>
+  ///   F <time> <component>
+  ///   C <time> <component>
+  ///   T <time> <process> <signal> <attempt>
+  ///   W <time> <process>
+  ///   M <time> <process> <from_pe> <to_pe>
   std::string to_text() const;
 
   /// Parses a log-file. Throws std::runtime_error on malformed lines.

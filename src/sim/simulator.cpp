@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -28,7 +29,7 @@ struct Simulation::Impl {
   struct Pe;
 
   struct PendingEvent {
-    enum class Kind { Start, Signal, Timer };
+    enum class Kind { Start, Signal, Timer, Reset };
     Kind kind = Kind::Signal;
     efsm::Event event;                     // Signal
     intern::Id from = intern::kNoId;       // Signal
@@ -41,11 +42,14 @@ struct Simulation::Impl {
     intern::Id name_id = intern::kNoId;  // in the log's name table
     efsm::Instance inst;
     Pe* pe = nullptr;
+    Pe* home = nullptr;             // mapped PE; failover migrates back here
+    bool hw = false;                // ProcessType "hardware"
     long priority = 0;
     std::deque<PendingEvent> queue;
     std::map<std::string, std::uint64_t> timer_gen;
     bool ready = false;             // enlisted in pe->ready
     std::uint64_t ready_seq = 0;    // FIFO tie-break among equal priorities
+    Time last_progress = 0;         // last fired transition (watchdog)
 
     Proc(const uml::StateMachine& sm, std::string n)
         : name(n), inst(sm, std::move(n)) {}
@@ -54,8 +58,11 @@ struct Simulation::Impl {
   struct Pe {
     const uml::Property* part = nullptr;
     std::string name;
+    intern::Id name_id = intern::kNoId;
     PeStats* stats = nullptr;  // owner_.pe_stats_ entry (map nodes are stable)
     long freq_mhz = 50;
+    bool hw_accel = false;     // component Type "hw_accelerator"
+    bool failed = false;       // inside a PE fault window
     std::vector<Proc*> ready;
 
     // RTOS parameterization (Component tags Scheduling/ContextSwitchCycles).
@@ -88,11 +95,16 @@ struct Simulation::Impl {
   struct Seg {
     const uml::Property* part = nullptr;
     std::string name;
+    intern::Id name_id = intern::kNoId;
     SegmentStats* stats = nullptr;
     long width_bits = 32;
     long freq_mhz = 100;
     bool priority_arb = true;
     bool busy = false;
+    bool faulted = false;          // inside a segment fault window
+    std::uint32_t ber_ppm = 0;     // bit errors per million completed hops
+    std::uint64_t rng_key = 0;     // FaultRng instance key (name hash)
+    std::uint64_t ber_seq = 0;     // FaultRng sequence counter
     long last_rr = -1;
     std::deque<std::size_t> waiting;  // indices into transfers_
   };
@@ -109,6 +121,7 @@ struct Simulation::Impl {
     long max_grant_cycles = 0; // sender wrapper MaxTime; 0 = unlimited
     long remaining_cycles = 0; // on current hop; 0 = not yet computed
     Time enqueue_time = 0;
+    int attempts = 0;          // fault retries consumed
     bool done = false;
   };
 
@@ -126,66 +139,351 @@ struct Simulation::Impl {
   }
 
   void build() {
+    // Defects are collected, not thrown one at a time, so users fix a
+    // non-executable model (and a bad fault plan) in one pass.
+    std::vector<std::string> defects;
+
     env_id_ = owner_.log_.intern_name(kEnvironment);
     unknown_sig_id_ = owner_.log_.intern_name("?");
+    faults_on_ = !owner_.config_.faults.empty();
     // Processing elements (only instances that host processes need a model,
     // but we build all so stats cover idle PEs too).
     for (const uml::Property* part : sys_.plat().instances()) {
       auto pe = std::make_unique<Pe>();
       pe->part = part;
       pe->name = part->name();
+      pe->name_id = owner_.log_.intern_name(part->name());
       pe->freq_mhz = sys_.instance_frequency_mhz(*part);
       if (const uml::Class* comp = part->part_type()) {
         pe->preemptive = comp->tagged_value("Scheduling") ==
                          profile::tags::SchedulingPreemptive;
         pe->ctx_switch_cycles = tag_long_of(*comp, "ContextSwitchCycles", 0);
+        pe->hw_accel = comp->tagged_value("Type") == "hw_accelerator";
       }
       pe->stats = &owner_.pe_stats_[part->name()];
+      pe_order_.push_back(pe.get());
+      pes_by_name_[part->name()] = pe.get();
       pes_[part] = std::move(pe);
     }
     for (const uml::Property* part : sys_.plat().segments()) {
       auto seg = std::make_unique<Seg>();
       seg->part = part;
       seg->name = part->name();
+      seg->name_id = owner_.log_.intern_name(part->name());
       seg->width_bits = tag_long_of(*part, "DataWidth", 32);
       seg->freq_mhz = tag_long_of(*part, "Frequency", 100);
       seg->priority_arb =
           part->tagged_value("Arbitration") != profile::tags::ArbitrationRoundRobin;
+      seg->rng_key = FaultRng::key(part->name());
       seg->stats = &owner_.segment_stats_[part->name()];
+      segs_by_name_[part->name()] = seg.get();
       segs_[part] = std::move(seg);
     }
     for (const uml::Property* part : sys_.app().processes()) {
       const uml::Class* comp = part->part_type();
       if (comp == nullptr || comp->behavior() == nullptr) {
-        throw std::runtime_error("process '" + part->name() +
-                                 "' has no executable behaviour");
+        defects.push_back("process '" + part->name() +
+                          "' has no executable behaviour");
+        continue;
       }
       const uml::Property* target = sys_.instance_for_process(*part);
       if (target == nullptr) {
-        throw std::runtime_error(
+        defects.push_back(
             "process '" + part->name() +
             "' is not mapped to any platform component instance");
+        continue;
       }
       auto proc = std::make_unique<Proc>(*comp->behavior(), part->name());
       proc->part = part;
       proc->name_id = owner_.log_.intern_name(part->name());
       proc->pe = pes_.at(target).get();
+      proc->home = proc->pe;
+      proc->hw = part->tagged_value("ProcessType") == "hardware";
       proc->priority = sys_.process_priority(*part);
       procs_by_part_[part] = proc.get();
       procs_by_name_[part->name()] = proc.get();
       procs_.push_back(std::move(proc));
     }
-    // Every pair of PEs that host processes must be routable.
+    // Every pair of PEs that host processes must be routable. A PE detached
+    // from every segment is reported as such once; unroutable attached
+    // pairs are reported per pair.
+    std::set<std::string> detached;
+    std::set<std::pair<std::string, std::string>> unroutable;
     for (const auto& a : procs_) {
       for (const auto& b : procs_) {
         if (a->pe == b->pe) continue;
-        if (sys_.plat().route(*a->pe->part, *b->pe->part).empty()) {
-          throw std::runtime_error("no communication route between '" +
-                                   a->pe->name + "' and '" + b->pe->name +
-                                   "'");
+        if (!sys_.plat().route(*a->pe->part, *b->pe->part).empty()) continue;
+        bool pair_ok = true;
+        for (const Pe* pe : {a->pe, b->pe}) {
+          if (sys_.plat().segment_of(*pe->part) == nullptr &&
+              detached.insert(pe->name).second) {
+            defects.push_back("instance '" + pe->name +
+                              "' is not attached to any communication "
+                              "segment but hosts remote communication");
+            pair_ok = false;
+          }
+        }
+        if (pair_ok &&
+            unroutable.insert({std::min(a->pe->name, b->pe->name),
+                               std::max(a->pe->name, b->pe->name)})
+                .second) {
+          defects.push_back("no communication route between '" + a->pe->name +
+                            "' and '" + b->pe->name + "'");
         }
       }
     }
+    check_fault_plan(defects);
+    if (!defects.empty()) {
+      std::string msg = "model is not executable (" +
+                        std::to_string(defects.size()) + " defect" +
+                        (defects.size() == 1 ? "" : "s") + "):";
+      for (const std::string& d : defects) msg += "\n  - " + d;
+      throw std::runtime_error(msg);
+    }
+  }
+
+  /// Appends fault-plan defects (structure + unresolved component names).
+  void check_fault_plan(std::vector<std::string>& defects) {
+    const FaultPlan& plan = owner_.config_.faults;
+    if (!faults_on_) return;
+    for (const std::string& d : plan.validate()) {
+      defects.push_back("fault plan: " + d);
+    }
+    for (const FaultWindow& w : plan.pe_faults) {
+      if (!w.component.empty() && pes_by_name_.count(w.component) == 0) {
+        defects.push_back("fault plan: unknown component instance '" +
+                          w.component + "'");
+      }
+    }
+    for (const FaultWindow& w : plan.segment_faults) {
+      if (!w.component.empty() && segs_by_name_.count(w.component) == 0) {
+        defects.push_back("fault plan: unknown segment '" + w.component + "'");
+      }
+    }
+    for (const BitErrorSpec& b : plan.bit_errors) {
+      auto it = segs_by_name_.find(b.segment);
+      if (it == segs_by_name_.end()) {
+        if (!b.segment.empty()) {
+          defects.push_back("fault plan: unknown segment '" + b.segment + "'");
+        }
+      } else {
+        it->second->ber_ppm = b.rate_ppm;
+      }
+    }
+    for (const SignalFault& s : plan.signal_faults) {
+      if (!s.process.empty() && procs_by_name_.count(s.process) == 0) {
+        defects.push_back("fault plan: unknown process '" + s.process + "'");
+      }
+    }
+  }
+
+  // -- fault injection ---------------------------------------------------------
+
+  /// Schedules every fault event of the plan at simulation start. All times
+  /// are absolute; recurring behaviour is expressed as multiple windows.
+  /// Overlapping windows on the same component are not merged: the first
+  /// clear ends the fault.
+  void schedule_faults() {
+    const FaultPlan& plan = owner_.config_.faults;
+    for (const FaultWindow& w : plan.pe_faults) {
+      Pe* pe = pes_by_name_.at(w.component);
+      kernel_.schedule_at(w.start, [this, pe]() { raise_pe_fault(*pe); });
+      if (w.end != 0) {
+        kernel_.schedule_at(w.end, [this, pe]() { clear_pe_fault(*pe); });
+      }
+    }
+    for (const FaultWindow& w : plan.segment_faults) {
+      Seg* seg = segs_by_name_.at(w.component);
+      kernel_.schedule_at(w.start, [this, seg]() { raise_seg_fault(*seg); });
+      if (w.end != 0) {
+        kernel_.schedule_at(w.end, [this, seg]() { clear_seg_fault(*seg); });
+      }
+    }
+    for (std::size_t i = 0; i < plan.signal_faults.size(); ++i) {
+      const SignalFault& s = plan.signal_faults[i];
+      Proc* proc = procs_by_name_.at(s.process);
+      kernel_.schedule_at(s.start, [this, proc]() {
+        owner_.log_.fault_id(kernel_.now(), proc->name_id);
+      });
+      if (s.end != 0) {
+        kernel_.schedule_at(s.end, [this, proc, i]() {
+          owner_.log_.clear_id(kernel_.now(), proc->name_id);
+          flush_stuck(i);
+        });
+      }
+    }
+    if (plan.watchdog_timeout > 0) {
+      for (auto& proc : procs_) {
+        Proc* p = proc.get();
+        kernel_.schedule_at(plan.watchdog_timeout,
+                            [this, p]() { watchdog_check(*p); });
+      }
+    }
+  }
+
+  void raise_pe_fault(Pe& pe) {
+    if (pe.failed) return;
+    pe.failed = true;
+    owner_.log_.fault_id(kernel_.now(), pe.name_id);
+    // Abort the step in flight and discard preempted work: a dead PE makes
+    // no further progress, so half-finished transitions are lost.
+    ++pe.run_gen;
+    pe.running.reset();
+    pe.suspended.clear();
+    // Migrate residents to the least-loaded compatible survivor (hardware
+    // processes only onto hardware accelerators, software processes onto
+    // programmable PEs). With no survivor a process stays and stalls until
+    // the PE recovers.
+    Pe* sw_dest = pick_failover(false, pe);
+    Pe* hw_dest = pick_failover(true, pe);
+    for (auto& proc : procs_) {
+      if (proc->pe != &pe) continue;
+      Pe* dest = proc->hw ? hw_dest : sw_dest;
+      if (dest != nullptr) migrate(*proc, *dest);
+    }
+  }
+
+  void clear_pe_fault(Pe& pe) {
+    if (!pe.failed) return;
+    pe.failed = false;
+    owner_.log_.clear_id(kernel_.now(), pe.name_id);
+    // Evacuated processes come home; stranded ones resume in place.
+    for (auto& proc : procs_) {
+      if (proc->home == &pe && proc->pe != &pe) migrate(*proc, pe);
+    }
+    start_step(pe);
+  }
+
+  /// The FailoverPolicy choice among compatible surviving PEs, or nullptr.
+  /// Candidates are collected in sys_.plat().instances() order and loads are
+  /// simulation state, so the choice is reproducible across runs.
+  Pe* pick_failover(bool hw, const Pe& failed) {
+    std::vector<mapping::FailoverPolicy::Candidate> candidates;
+    std::vector<Pe*> pes;
+    for (Pe* pe : pe_order_) {
+      if (pe == &failed || pe->failed || pe->hw_accel != hw) continue;
+      candidates.push_back(
+          {pe->name, static_cast<double>(pe->stats->busy_time)});
+      pes.push_back(pe);
+    }
+    const std::size_t pick = failover_.choose(candidates);
+    return pick == mapping::FailoverPolicy::npos ? nullptr : pes[pick];
+  }
+
+  void migrate(Proc& proc, Pe& dest) {
+    Pe& from = *proc.pe;
+    if (&from == &dest) return;
+    if (proc.ready) {
+      auto it = std::find(from.ready.begin(), from.ready.end(), &proc);
+      if (it != from.ready.end()) from.ready.erase(it);
+      proc.ready = false;
+    }
+    owner_.log_.migrate_id(kernel_.now(), proc.name_id, from.name_id,
+                           dest.name_id);
+    proc.pe = &dest;
+    make_ready(proc);
+  }
+
+  void raise_seg_fault(Seg& seg) {
+    if (seg.faulted) return;
+    seg.faulted = true;
+    owner_.log_.fault_id(kernel_.now(), seg.name_id);
+    // Queued transfers back off immediately; a transfer being granted right
+    // now notices the fault when its grant completes.
+    std::deque<std::size_t> waiting = std::move(seg.waiting);
+    seg.waiting.clear();
+    for (const std::size_t index : waiting) retry_transfer(index);
+  }
+
+  void clear_seg_fault(Seg& seg) {
+    if (!seg.faulted) return;
+    seg.faulted = false;
+    owner_.log_.clear_id(kernel_.now(), seg.name_id);
+    try_grant(seg);
+  }
+
+  /// Restarts a transfer from its first hop after a fault or bit error,
+  /// with exponential backoff, until the retry budget is spent (then the
+  /// signal is dropped at the destination).
+  void retry_transfer(std::size_t index) {
+    Transfer& x = *transfers_[index];
+    x.hop = 0;
+    x.remaining_cycles = 0;
+    ++x.attempts;
+    const FaultPlan& plan = owner_.config_.faults;
+    if (x.attempts > plan.max_retries) {
+      x.done = true;
+      owner_.log_.drop_id(kernel_.now(), x.dest->name_id,
+                          signal_id(x.event.signal));
+      return;
+    }
+    owner_.log_.retry_id(kernel_.now(), x.from, signal_id(x.event.signal),
+                         x.attempts);
+    const Time delay = plan.retry_backoff << (x.attempts - 1);
+    kernel_.schedule_in(delay, [this, index]() { request_segment(index); });
+  }
+
+  /// True when the hop whose grant just completed must be re-sent: the
+  /// segment faulted mid-transfer, or the finished hop drew a bit error.
+  /// The draw is counter-based — (seed, segment, per-segment sequence) —
+  /// so it is identical run to run.
+  bool hop_disturbed(Seg& seg, Transfer& x) {
+    if (seg.faulted) return true;
+    if (x.remaining_cycles > 0 || seg.ber_ppm == 0) return false;
+    const FaultPlan& plan = owner_.config_.faults;
+    return FaultRng::draw(plan.seed, seg.rng_key, seg.ber_seq++) % 1'000'000 <
+           seg.ber_ppm;
+  }
+
+  /// First active signal fault matching a delivery, or nullptr (index out).
+  const SignalFault* active_signal_fault(const Proc& to,
+                                         const efsm::Event& event,
+                                         std::size_t& index_out) const {
+    const auto& sfs = owner_.config_.faults.signal_faults;
+    const Time now = kernel_.now();
+    for (std::size_t i = 0; i < sfs.size(); ++i) {
+      const SignalFault& s = sfs[i];
+      if (now < s.start || (s.end != 0 && now >= s.end)) continue;
+      if (s.process != to.name) continue;
+      if (!s.signal.empty() &&
+          (event.signal == nullptr || s.signal != event.signal->name())) {
+        continue;
+      }
+      index_out = i;
+      return &s;
+    }
+    return nullptr;
+  }
+
+  /// Releases signals held by a stuck-signal window when it closes. Each is
+  /// re-checked against the remaining windows on redelivery.
+  void flush_stuck(std::size_t index) {
+    auto it = stuck_.find(index);
+    if (it == stuck_.end()) return;
+    std::vector<Stuck> held = std::move(it->second);
+    stuck_.erase(it);
+    for (Stuck& s : held) deliver_local(*s.to, std::move(s.event), s.from);
+  }
+
+  /// Per-process watchdog: when a process has not fired a transition for
+  /// watchdog_timeout ticks, its EFSM instance is reset to the initial
+  /// state (pending events are kept, armed timers are cancelled) and the
+  /// timer re-arms.
+  void watchdog_check(Proc& proc) {
+    const Time timeout = owner_.config_.faults.watchdog_timeout;
+    const Time due = proc.last_progress + timeout;
+    if (kernel_.now() < due) {
+      kernel_.schedule_at(due, [this, &proc]() { watchdog_check(proc); });
+      return;
+    }
+    owner_.log_.watchdog_id(kernel_.now(), proc.name_id);
+    proc.last_progress = kernel_.now();
+    PendingEvent ev;
+    ev.kind = PendingEvent::Kind::Reset;
+    proc.queue.push_front(std::move(ev));
+    make_ready(proc);
+    kernel_.schedule_at(kernel_.now() + timeout,
+                        [this, &proc]() { watchdog_check(proc); });
   }
 
   // -- PE scheduling -----------------------------------------------------------
@@ -247,7 +545,7 @@ struct Simulation::Impl {
   }
 
   void start_step(Pe& pe) {
-    if (pe.busy()) return;
+    if (pe.busy() || pe.failed) return;
 
     // Resume a suspended step unless a strictly higher-priority process is
     // ready (it would immediately preempt again).
@@ -286,12 +584,19 @@ struct Simulation::Impl {
         result = proc->inst.timer_fired(ev.timer);
         fired = result.fired;
         break;
+      case PendingEvent::Kind::Reset:
+        // Watchdog recovery: cancel every armed timer, then restart the
+        // EFSM from its initial state.
+        for (auto& [name, gen] : proc->timer_gen) ++gen;
+        result = proc->inst.reset();
+        break;
     }
 
     Time dur = cycles_to_ticks(result.compute_cycles, pe.freq_mhz);
     PeStats& stats = *pe.stats;
     ++stats.dispatched;
     if (fired) {
+      if (faults_on_) proc->last_progress = kernel_.now();
       ++stats.steps;
       stats.busy_time += dur;
       if (owner_.config_.log_runs) {
@@ -408,6 +713,19 @@ struct Simulation::Impl {
   }
 
   void deliver_local(Proc& to, efsm::Event event, intern::Id from) {
+    if (faults_on_) {
+      std::size_t sf_index = 0;
+      if (const SignalFault* sf =
+              active_signal_fault(to, event, sf_index)) {
+        if (sf->kind == SignalFault::Kind::Lost) {
+          owner_.log_.drop_id(kernel_.now(), to.name_id,
+                              signal_id(event.signal));
+        } else {
+          stuck_[sf_index].push_back(Stuck{&to, std::move(event), from});
+        }
+        return;
+      }
+    }
     owner_.log_.receive_id(kernel_.now(), to.name_id, from,
                            signal_id(event.signal));
     PendingEvent ev;
@@ -429,6 +747,10 @@ struct Simulation::Impl {
   void request_segment(std::size_t index) {
     Transfer& x = *transfers_[index];
     Seg& seg = *x.path[x.hop];
+    if (faults_on_ && seg.faulted) {
+      retry_transfer(index);
+      return;
+    }
     if (x.remaining_cycles == 0) {
       const long words =
           static_cast<long>((x.bytes * 8 + seg.width_bits - 1) / seg.width_bits);
@@ -497,6 +819,11 @@ struct Simulation::Impl {
     seg.busy = false;
     Transfer& x = *transfers_[index];
     x.remaining_cycles -= granted;
+    if (faults_on_ && hop_disturbed(seg, x)) {
+      retry_transfer(index);
+      try_grant(seg);
+      return;
+    }
     if (x.remaining_cycles > 0) {
       // Re-arbitrate for the rest of this hop (MaxTime chunking).
       x.enqueue_time = kernel_.now();
@@ -519,6 +846,12 @@ struct Simulation::Impl {
 
   void inject(Time t, const std::string& port, const uml::Signal& signal,
               std::vector<long> args) {
+    if (t < kernel_.now()) {
+      throw std::invalid_argument(
+          "cannot inject '" + signal.name() + "' at t=" + std::to_string(t) +
+          ": simulation time has already advanced to " +
+          std::to_string(kernel_.now()));
+    }
     kernel_.schedule_at(t, [this, port, &signal, args = std::move(args)]() {
       const intern::Id sig_id = signal_id(&signal);
       const efsm::Endpoint dest = router_.boundary_destination(port);
@@ -546,6 +879,7 @@ struct Simulation::Impl {
   void start_all() {
     if (started_) return;
     started_ = true;
+    if (faults_on_) schedule_faults();
     for (auto& proc : procs_) {
       PendingEvent ev;
       ev.kind = PendingEvent::Kind::Start;
@@ -554,18 +888,33 @@ struct Simulation::Impl {
     }
   }
 
+  /// A delivery held back by a stuck-signal fault window.
+  struct Stuck {
+    Proc* to = nullptr;
+    efsm::Event event;
+    intern::Id from = intern::kNoId;
+  };
+
   const mapping::SystemView& sys_;
   Simulation& owner_;
   efsm::Router router_;
   Kernel kernel_;
   bool started_ = false;
   std::uint64_t ready_counter_ = 0;
+  bool faults_on_ = false;  // Config::faults is non-empty
+  mapping::FailoverPolicy failover_;
+  std::map<std::size_t, std::vector<Stuck>> stuck_;  // by signal-fault index
 
   std::vector<std::unique_ptr<Proc>> procs_;
   std::map<const uml::Property*, Proc*> procs_by_part_;
   std::map<std::string, Proc*> procs_by_name_;
   std::map<const uml::Property*, std::unique_ptr<Pe>> pes_;
+  /// PEs in sys_.plat().instances() order: failover candidate collection
+  /// must not iterate pes_ (keyed by pointer, nondeterministic across runs).
+  std::vector<Pe*> pe_order_;
+  std::map<std::string, Pe*> pes_by_name_;
   std::map<const uml::Property*, std::unique_ptr<Seg>> segs_;
+  std::map<std::string, Seg*> segs_by_name_;
   std::vector<std::unique_ptr<Transfer>> transfers_;
 
   intern::Id env_id_ = intern::kNoId;

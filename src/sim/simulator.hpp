@@ -19,6 +19,14 @@
 //    boundary ports and absorbs signals routed outside.
 // Every run, send, receive and drop is written to the SimulationLog — the
 // "simulation log-file" the profiling tool consumes.
+//
+// With a FaultPlan configured (Config::faults) the simulation additionally
+// executes deterministic fault events and the degraded-mode semantics a
+// deployed system needs: PE fail/recover windows with failover migration
+// (mapping::FailoverPolicy), segment faults and bit errors with bounded
+// exponential-backoff retry, lost/stuck signal windows, and per-process
+// watchdog resets. The fault records (F/C/T/W/M) flow into the same log and
+// feed the profiler's reliability section.
 #pragma once
 
 #include <deque>
@@ -30,6 +38,7 @@
 #include "efsm/machine.hpp"
 #include "efsm/router.hpp"
 #include "mapping/mapping.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 #include "sim/log.hpp"
 
@@ -41,6 +50,10 @@ struct Config {
   Time horizon = 1'000'000;       ///< run() stops at this time
   long segment_overhead_cycles = 2;  ///< arbitration+header cycles per grant
   bool log_runs = true;           ///< record R lines (disable to shrink logs)
+  /// Fault scenario + degraded-mode knobs. An empty plan (the default)
+  /// leaves the fault machinery fully off: the simulation log and the
+  /// statistics are identical to a build without fault support.
+  FaultPlan faults = {};
 };
 
 /// Per-processing-element statistics.
@@ -67,7 +80,9 @@ public:
   /// Builds the executable system. Throws std::runtime_error when the model
   /// is not executable: a process is unmapped, its target instance is not
   /// attached to any segment while remote communication is required, or a
-  /// functional component lacks a behaviour.
+  /// functional component lacks a behaviour. All defects (including fault
+  /// plan defects: malformed windows, unknown component names) are collected
+  /// into one multi-line diagnostic so the model can be fixed in one pass.
   explicit Simulation(const mapping::SystemView& sys, Config config = {});
   ~Simulation();
 
@@ -75,7 +90,9 @@ public:
   Simulation& operator=(const Simulation&) = delete;
 
   /// Injects a signal from the environment through a boundary port of the
-  /// application class at absolute time `t`.
+  /// application class at absolute time `t`. Valid before and after run()
+  /// has started, as long as `t >= now()`; injecting into the past throws
+  /// std::invalid_argument.
   void inject(Time t, const std::string& boundary_port,
               const uml::Signal& signal, std::vector<long> args = {});
   /// Injects `count` occurrences, the first at `first`, spaced by `period`.

@@ -3,6 +3,8 @@
 // driven exactly as a user would drive it.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -21,9 +23,12 @@ struct CliResult {
 };
 
 CliResult run_cli(const std::string& args) {
+  // The capture file carries the pid for the same reason kWork does below:
+  // concurrently running test processes must not share temp paths.
   static int counter = 0;
   const fs::path out =
-      fs::temp_directory_path() / ("tut_cli_out_" + std::to_string(counter++));
+      fs::temp_directory_path() / ("tut_cli_out_" + std::to_string(getpid()) +
+                                   "_" + std::to_string(counter++));
   const std::string cmd =
       std::string(TUT_CLI_PATH) + " " + args + " > " + out.string() + " 2>&1";
   const int rc = std::system(cmd.c_str());
@@ -36,7 +41,11 @@ CliResult run_cli(const std::string& args) {
   return result;
 }
 
-const fs::path kWork = fs::temp_directory_path() / "tut_cli_work";
+// Per-process work dir: ctest runs each test in its own process, and a
+// shared path would let one test's SetUpTestSuite wipe the artifacts
+// another test is still reading when the suite runs in parallel.
+const fs::path kWork = fs::temp_directory_path() /
+                       ("tut_cli_work_" + std::to_string(getpid()));
 
 class CliFlow : public ::testing::Test {
 protected:
@@ -45,6 +54,7 @@ protected:
     const CliResult r = run_cli("simulate tutmac " + kWork.string() + " 5");
     ASSERT_EQ(r.exit_code, 0) << r.output;
   }
+  static void TearDownTestSuite() { fs::remove_all(kWork); }
   static std::string model() { return (kWork / "model.xml").string(); }
   static std::string simlog() { return (kWork / "sim.log").string(); }
 };

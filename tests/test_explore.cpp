@@ -286,6 +286,51 @@ TEST(EstimateCost, LoadAndCommAccounting) {
   EXPECT_DOUBLE_EQ(est2.makespan, 65'000.0);
 }
 
+TEST(CostEvaluator, FaultScenarioAddsWeightedDegradedCost) {
+  const auto s = chain_stats();
+  const Grouping g = {{"a", "b"}, {"c", "d"}};
+  const std::vector<PeDesc> pes = {{"pe1", 100, "general"},
+                                   {"pe2", 50, "general"}};
+  CostModel model;
+  model.hop_cost = 10.0;
+  model.fault_scenarios.push_back({{"pe2"}, 1.0});
+  CostEvaluator eval(g, s, pes, model);
+  const CostEstimate& est = eval.evaluate({"pe1", "pe2"});
+  // Healthy numbers are untouched by the scenario term.
+  EXPECT_DOUBLE_EQ(est.makespan, 70'050.0);
+  // With pe2 down, group {c,d} (3500 cycles) joins {a,b} on pe1 at 100 MHz:
+  // 30'000 + 35'000 load, and co-location removes all communication.
+  EXPECT_DOUBLE_EQ(est.fault_cost, 65'000.0);
+  EXPECT_DOUBLE_EQ(est.total(), est.makespan + est.fault_cost);
+
+  // The weight scales the term linearly.
+  CostModel half = model;
+  half.fault_scenarios[0].weight = 0.5;
+  CostEvaluator heval(g, s, pes, half);
+  EXPECT_DOUBLE_EQ(heval.evaluate({"pe1", "pe2"}).fault_cost, 32'500.0);
+
+  // No scenarios: fault_cost stays zero and total() degenerates to makespan.
+  CostModel no_scenarios;
+  no_scenarios.hop_cost = 10.0;
+  CostEvaluator plain(g, s, pes, no_scenarios);
+  const CostEstimate& p = plain.evaluate({"pe1", "pe2"});
+  EXPECT_DOUBLE_EQ(p.fault_cost, 0.0);
+  EXPECT_DOUBLE_EQ(p.total(), p.makespan);
+}
+
+TEST(CostEvaluator, FaultScenarioValidation) {
+  const auto s = chain_stats();
+  const Grouping g = {{"a", "b"}, {"c", "d"}};
+  const std::vector<PeDesc> pes = {{"pe1", 100, "general"},
+                                   {"pe2", 50, "general"}};
+  CostModel unknown;
+  unknown.fault_scenarios.push_back({{"ghost"}, 1.0});
+  EXPECT_THROW((CostEvaluator{g, s, pes, unknown}), std::invalid_argument);
+  CostModel wipeout;
+  wipeout.fault_scenarios.push_back({{"pe1", "pe2"}, 1.0});
+  EXPECT_THROW((CostEvaluator{g, s, pes, wipeout}), std::invalid_argument);
+}
+
 TEST(EstimateCost, ValidatesArguments) {
   const auto s = chain_stats();
   const std::vector<PeDesc> pes = {{"pe1", 100, "general"}};

@@ -57,7 +57,8 @@ std::string fingerprint(const ExplorationResult& result) {
     os << '|';
     for (const auto& pe : r.mapping.target) os << pe << ',';
     os << '|' << std::hexfloat << r.mapping.cost.makespan << '|'
-       << r.mapping.cost.comm_cost << std::defaultfloat << '\n';
+       << r.mapping.cost.comm_cost << '|' << r.mapping.cost.fault_cost
+       << std::defaultfloat << '\n';
   }
   return os.str();
 }
@@ -110,6 +111,36 @@ TEST(ExploreEngine, DeterministicAcrossThreadCounts) {
   }
   // Repeated runs of the same engine are stable too.
   EXPECT_EQ(fingerprint(serial.explore(types, {"p0"})), serial_fp);
+}
+
+// Fault-scenario scoring must not disturb the thread-count invariance: the
+// degraded-makespan replay runs per candidate with no shared state.
+TEST(ExploreEngine, FaultScenarioScoringIsThreadCountInvariant) {
+  const auto stats = ring_stats(8);
+  const auto pes = two_tier_platform();
+  CostModel model;
+  model.fault_scenarios.push_back({{"cpu0"}, 1.0});
+  model.fault_scenarios.push_back({{"cpu1", "dsp0"}, 0.25});
+
+  EngineOptions opt;
+  opt.restarts_per_size = 3;
+  opt.threads = 1;
+  ExploreEngine serial(stats, pes, model, opt);
+  const auto serial_result = serial.explore();
+  const std::string serial_fp = fingerprint(serial_result);
+
+  // The scenario term is really part of the objective.
+  EXPECT_GT(serial_result.winner().mapping.cost.fault_cost, 0.0);
+  EXPECT_DOUBLE_EQ(serial_result.winner().mapping.cost.total(),
+                   serial_result.winner().mapping.cost.makespan +
+                       serial_result.winner().mapping.cost.fault_cost);
+
+  for (std::size_t threads : {2u, 8u}) {
+    opt.threads = threads;
+    ExploreEngine parallel(stats, pes, model, opt);
+    EXPECT_EQ(fingerprint(parallel.explore()), serial_fp)
+        << "threads=" << threads;
+  }
 }
 
 TEST(ExploreEngine, WinnerHasMinimalMakespanAndLowestIndex) {

@@ -63,7 +63,17 @@ TEST(Kernel, SchedulingInThePastThrows) {
   Kernel k;
   k.schedule_at(50, [] {});
   k.run(100);
-  EXPECT_THROW(k.schedule_at(50, [] {}), std::logic_error);
+  try {
+    k.schedule_at(50, [] {});
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    // The diagnostic names both times so the offending call is findable.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("at=50"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("now=100"), std::string::npos) << msg;
+  }
+  // Scheduling exactly at now() stays legal.
+  k.schedule_at(100, [] {});
 }
 
 TEST(Kernel, NoDoubleDispatchAtHorizon) {
@@ -398,6 +408,51 @@ TEST(SimErrors, UnroutablePesThrow) {
   mb.map(g2, cpu2);
   mapping::SystemView view(model);
   EXPECT_THROW((Simulation{view}), std::runtime_error);
+}
+
+TEST(SimErrors, AllDefectsAreReportedInOneDiagnostic) {
+  test::MiniSystem sys;
+  // Two independent defects: an unmapped process and a behaviourless
+  // component. The constructor must list both, not bail at the first.
+  auto& orphan = sys.model.add_part(*sys.app, "orphan", *sys.ctrl_comp);
+  orphan.apply(*sys.prof.application_process);
+  auto& bare = sys.model.create_class("Bare", nullptr, true);
+  bare.apply(*sys.prof.application_component);
+  auto& mute = sys.model.add_part(*sys.app, "mute", bare);
+  mute.apply(*sys.prof.application_process);
+  mapping::SystemView view(sys.model);
+  try {
+    Simulation simulation(view);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("defects"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'orphan'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'mute'"), std::string::npos) << msg;
+  }
+}
+
+TEST(SimInject, AfterRunAcceptsFutureRejectsPast) {
+  test::MiniSystem sys;
+  mapping::SystemView view(sys.model);
+  Config config;
+  config.horizon = 10'000;
+  Simulation sim(view, config);
+  sim.run();
+  ASSERT_EQ(sim.now(), 10'000u);
+
+  // t >= now() is valid — the event runs in the next run_until window.
+  sim.inject(10'000, "pin", *sys.req, {1});
+  sim.inject(12'000, "pin", *sys.req, {1});
+  EXPECT_THROW(sim.inject(9'999, "pin", *sys.req, {1}),
+               std::invalid_argument);
+
+  sim.run_until(20'000);
+  std::size_t received = 0;
+  for (const LogRecord& r : sim.log().records()) {
+    if (r.kind == LogRecord::Kind::Receive && r.process == "dsp2") ++received;
+  }
+  EXPECT_EQ(received, 2u);
 }
 
 // ---------------------------------------------------------------------------

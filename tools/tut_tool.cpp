@@ -9,8 +9,12 @@
 //   tut diagram   <model.xml> <figure>        fig3..fig8 as text/DOT on stdout
 //   tut codegen   <model.xml> <outdir> [--host]  generate the C implementation
 //   tut profile   <model.xml> <sim.log>       Table-4 report + latencies
-//   tut simulate  tutmac <outdir> [ms]        build+simulate the case study,
-//                                             writing model.xml and sim.log
+//   tut simulate  tutmac <outdir> [ms] [--faults plan.xml] [--seed N]
+//                                             build+simulate the case study,
+//                                             writing model.xml and sim.log;
+//                                             with a fault plan the profiling
+//                                             report gains the reliability
+//                                             section
 //   tut roundtrip <model.xml>                 canonicalized XML on stdout
 #include <filesystem>
 #include <fstream>
@@ -39,7 +43,7 @@ int usage() {
       "  diagram   <model.xml> <fig3|fig4|fig5|fig6|fig7|fig8>\n"
       "  codegen   <model.xml> <outdir> [--host]\n"
       "  profile   <model.xml> <sim.log>\n"
-      "  simulate  tutmac <outdir> [horizon_ms]\n"
+      "  simulate  tutmac <outdir> [horizon_ms] [--faults plan.xml] [--seed N]\n"
       "  roundtrip <model.xml>\n";
   return 2;
 }
@@ -157,12 +161,22 @@ int cmd_profile(const std::string& model_path, const std::string& log_path) {
   return 0;
 }
 
-int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms) {
+int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
+                        const std::string& faults_path, long seed) {
   tutmac::Options opt;
   opt.horizon = static_cast<sim::Time>(horizon_ms) * 1'000'000;
   tutmac::System sys = tutmac::build(opt);
   mapping::SystemView view(*sys.model);
-  const auto simulation = sys.simulate(view);
+
+  sim::Config config;
+  config.horizon = opt.horizon;
+  if (!faults_path.empty()) {
+    config.faults = sim::FaultPlan::from_xml_text(read_file(faults_path));
+  }
+  if (seed >= 0) config.faults.seed = static_cast<std::uint64_t>(seed);
+  auto simulation = std::make_unique<sim::Simulation>(view, config);
+  sys.inject_workload(*simulation);
+  simulation->run();
 
   std::filesystem::create_directories(outdir);
   {
@@ -177,6 +191,12 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms) {
             << simulation->events_dispatched() << " events)\n"
             << "wrote " << outdir << "/model.xml and " << outdir
             << "/sim.log\n";
+  if (!faults_path.empty()) {
+    // Degraded-mode runs print the profiling report directly: its
+    // reliability section is the point of the exercise.
+    const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
+    std::cout << '\n' << profiler::analyze(info, simulation->log()).to_text();
+  }
   return 0;
 }
 
@@ -201,8 +221,22 @@ int main(int argc, char** argv) {
       return cmd_profile(args[1], args[2]);
     }
     if (cmd == "simulate" && args.size() >= 3 && args[1] == "tutmac") {
-      const long ms = args.size() >= 4 ? std::stol(args[3]) : 20;
-      return cmd_simulate_tutmac(args[2], ms);
+      long ms = 20;
+      std::string faults_path;
+      long seed = -1;  // negative: keep the plan's own seed
+      std::size_t i = 3;
+      if (i < args.size() && args[i][0] != '-') ms = std::stol(args[i++]);
+      while (i < args.size()) {
+        if (args[i] == "--faults" && i + 1 < args.size()) {
+          faults_path = args[++i];
+        } else if (args[i] == "--seed" && i + 1 < args.size()) {
+          seed = std::stol(args[++i]);
+        } else {
+          return usage();
+        }
+        ++i;
+      }
+      return cmd_simulate_tutmac(args[2], ms, faults_path, seed);
     }
     if (cmd == "roundtrip" && args.size() == 2) {
       std::cout << uml::to_xml_string(*load_model(args[1]));
