@@ -6,80 +6,52 @@
 
 namespace tut::efsm {
 
-struct Expr::Node {
-  enum class Op {
-    Const,
-    Var,
-    Neg,
-    Not,
-    Add,
-    Sub,
-    Mul,
-    Div,
-    Mod,
-    Eq,
-    Ne,
-    Lt,
-    Le,
-    Gt,
-    Ge,
-    And,
-    Or,
-    Ternary,
-  };
-
-  Op op;
-  long value = 0;        // Const
-  std::string name;      // Var
-  std::shared_ptr<const Node> a, b, c;
-
-  long eval(const Env& env) const {
-    switch (op) {
-      case Op::Const: return value;
-      case Op::Var: {
-        auto it = env.find(name);
-        if (it == env.end()) {
-          throw EvalError("unknown identifier '" + name + "'");
-        }
-        return it->second;
+long Expr::Node::eval(const Env& env) const {
+  switch (op) {
+    case Op::Const: return value;
+    case Op::Var: {
+      auto it = env.find(name);
+      if (it == env.end()) {
+        throw EvalError("unknown identifier '" + name + "'");
       }
-      case Op::Neg: return -a->eval(env);
-      case Op::Not: return a->eval(env) == 0 ? 1 : 0;
-      case Op::Add: return a->eval(env) + b->eval(env);
-      case Op::Sub: return a->eval(env) - b->eval(env);
-      case Op::Mul: return a->eval(env) * b->eval(env);
-      case Op::Div: {
-        const long d = b->eval(env);
-        if (d == 0) throw EvalError("division by zero");
-        return a->eval(env) / d;
-      }
-      case Op::Mod: {
-        const long d = b->eval(env);
-        if (d == 0) throw EvalError("modulo by zero");
-        return a->eval(env) % d;
-      }
-      case Op::Eq: return a->eval(env) == b->eval(env) ? 1 : 0;
-      case Op::Ne: return a->eval(env) != b->eval(env) ? 1 : 0;
-      case Op::Lt: return a->eval(env) < b->eval(env) ? 1 : 0;
-      case Op::Le: return a->eval(env) <= b->eval(env) ? 1 : 0;
-      case Op::Gt: return a->eval(env) > b->eval(env) ? 1 : 0;
-      case Op::Ge: return a->eval(env) >= b->eval(env) ? 1 : 0;
-      case Op::And: return (a->eval(env) != 0 && b->eval(env) != 0) ? 1 : 0;
-      case Op::Or: return (a->eval(env) != 0 || b->eval(env) != 0) ? 1 : 0;
-      case Op::Ternary: return a->eval(env) != 0 ? b->eval(env) : c->eval(env);
+      return it->second;
     }
-    throw EvalError("corrupt expression node");
+    case Op::Neg: return -a->eval(env);
+    case Op::Not: return a->eval(env) == 0 ? 1 : 0;
+    case Op::Add: return a->eval(env) + b->eval(env);
+    case Op::Sub: return a->eval(env) - b->eval(env);
+    case Op::Mul: return a->eval(env) * b->eval(env);
+    case Op::Div: {
+      const long d = b->eval(env);
+      if (d == 0) throw EvalError("division by zero");
+      return a->eval(env) / d;
+    }
+    case Op::Mod: {
+      const long d = b->eval(env);
+      if (d == 0) throw EvalError("modulo by zero");
+      return a->eval(env) % d;
+    }
+    case Op::Eq: return a->eval(env) == b->eval(env) ? 1 : 0;
+    case Op::Ne: return a->eval(env) != b->eval(env) ? 1 : 0;
+    case Op::Lt: return a->eval(env) < b->eval(env) ? 1 : 0;
+    case Op::Le: return a->eval(env) <= b->eval(env) ? 1 : 0;
+    case Op::Gt: return a->eval(env) > b->eval(env) ? 1 : 0;
+    case Op::Ge: return a->eval(env) >= b->eval(env) ? 1 : 0;
+    case Op::And: return (a->eval(env) != 0 && b->eval(env) != 0) ? 1 : 0;
+    case Op::Or: return (a->eval(env) != 0 || b->eval(env) != 0) ? 1 : 0;
+    case Op::Ternary: return a->eval(env) != 0 ? b->eval(env) : c->eval(env);
   }
-
-  void collect(std::set<std::string>& out) const {
-    if (op == Op::Var) out.insert(name);
-    if (a) a->collect(out);
-    if (b) b->collect(out);
-    if (c) c->collect(out);
-  }
-};
+  throw EvalError("corrupt expression node");
+}
 
 namespace {
+
+void collect_vars(const Expr::Node& n, std::set<std::string>& out) {
+  if (n.op == Expr::Node::Op::Var) out.insert(n.name);
+  if (n.a) collect_vars(*n.a, out);
+  if (n.b) collect_vars(*n.b, out);
+  if (n.c) collect_vars(*n.c, out);
+}
 
 using Node = Expr::Node;
 using NodePtr = std::shared_ptr<const Node>;
@@ -96,20 +68,20 @@ NodePtr make(Node::Op op, NodePtr a = nullptr, NodePtr b = nullptr,
 
 class Parser {
 public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  explicit Parser(std::string_view text) : text_(text) {}
 
   NodePtr run() {
     NodePtr e = ternary();
     skip_ws();
     if (pos_ != text_.size()) {
-      fail("unexpected trailing input '" + text_.substr(pos_) + "'");
+      fail("unexpected trailing input '" + std::string(text_.substr(pos_)) + "'");
     }
     return e;
   }
 
 private:
   [[noreturn]] void fail(const std::string& msg) const {
-    throw ExprError("expression error in \"" + text_ + "\": " + msg);
+    throw ExprError("expression error in \"" + std::string(text_) + "\": " + msg);
   }
 
   void skip_ws() {
@@ -261,16 +233,16 @@ private:
     fail(std::string("unexpected character '") + c + "'");
   }
 
-  const std::string& text_;
+  const std::string_view text_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
-Expr Expr::compile(const std::string& text) {
+Expr Expr::compile(std::string_view text) {
   Expr e;
-  e.text_ = text;
-  e.root_ = Parser(text).run();
+  e.text_ = std::string(text);
+  e.root_ = Parser(e.text_).run();
   return e;
 }
 
@@ -278,14 +250,14 @@ long Expr::eval(const Env& env) const { return root_->eval(env); }
 
 std::vector<std::string> Expr::identifiers() const {
   std::set<std::string> set;
-  root_->collect(set);
+  collect_vars(*root_, set);
   return {set.begin(), set.end()};
 }
 
-const Expr& ExprCache::get(const std::string& text) {
+const Expr& ExprCache::get(std::string_view text) {
   auto it = cache_.find(text);
   if (it == cache_.end()) {
-    it = cache_.emplace(text, Expr::compile(text)).first;
+    it = cache_.emplace(std::string(text), Expr::compile(text)).first;
   }
   return it->second;
 }

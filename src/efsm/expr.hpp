@@ -24,6 +24,8 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace tut::efsm {
@@ -45,7 +47,7 @@ using Env = std::map<std::string, long>;
 class Expr {
 public:
   /// Parses `text`. Throws ExprError on syntax errors.
-  static Expr compile(const std::string& text);
+  static Expr compile(std::string_view text);
 
   /// Evaluates under `env`. Throws EvalError on unknown identifiers or
   /// division/modulo by zero.
@@ -59,20 +61,62 @@ public:
 
   struct Node;
 
+  /// The AST root, for translators (efsm::Program's bytecode compiler).
+  const Node& root() const noexcept { return *root_; }
+
 private:
   Expr() = default;
   std::string text_;
   std::shared_ptr<const Node> root_;
 };
 
+/// AST node. Exposed so translators (the bytecode compiler, potentially the
+/// code generator) can walk the tree without re-parsing the text.
+struct Expr::Node {
+  enum class Op {
+    Const,
+    Var,
+    Neg,
+    Not,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Ternary,
+  };
+
+  Op op;
+  long value = 0;    // Const
+  std::string name;  // Var
+  std::shared_ptr<const Node> a, b, c;
+
+  long eval(const Env& env) const;
+};
+
 /// A compile-on-first-use cache, used by the runtime so each guard/action
-/// string is parsed once per process.
+/// string is parsed once per process. Lookups are heterogeneous: a hit costs
+/// one hash of the string_view, never a temporary std::string.
 class ExprCache {
 public:
-  const Expr& get(const std::string& text);
+  const Expr& get(std::string_view text);
 
 private:
-  std::map<std::string, Expr> cache_;
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, Expr, Hash, std::equal_to<>> cache_;
 };
 
 }  // namespace tut::efsm

@@ -1,0 +1,92 @@
+#include "explore/measure.hpp"
+
+#include <stdexcept>
+
+#include "sim/batch.hpp"
+#include "sim/compiled.hpp"
+
+namespace tut::explore {
+
+namespace {
+
+std::string scenario_name(const CostModel::FaultScenario& fs) {
+  if (fs.failed_pes.empty()) return "baseline";
+  std::string name = "fail:";
+  for (std::size_t i = 0; i < fs.failed_pes.size(); ++i) {
+    if (i != 0) name += '+';
+    name += fs.failed_pes[i];
+  }
+  return name;
+}
+
+}  // namespace
+
+std::vector<ScenarioMeasurement> measure_fault_scenarios(
+    const mapping::SystemView& view,
+    const std::vector<CostModel::FaultScenario>& scenarios,
+    const std::function<void(sim::Simulation&)>& workload, sim::Time horizon,
+    std::size_t threads) {
+  const auto model = sim::CompiledModel::build(view);
+
+  std::vector<sim::BatchScenario> batch;
+  batch.reserve(scenarios.size() + 1);
+  sim::BatchScenario baseline;
+  baseline.name = "baseline";
+  baseline.config.horizon = horizon;
+  baseline.setup = workload;
+  batch.push_back(std::move(baseline));
+  for (const CostModel::FaultScenario& fs : scenarios) {
+    sim::BatchScenario s;
+    s.name = scenario_name(fs);
+    s.config.horizon = horizon;
+    for (const std::string& pe : fs.failed_pes) {
+      // Fail at t=0 with no recovery: the scenario measures steady degraded
+      // operation, matching the analytic degraded-makespan term.
+      s.config.faults.pe_faults.push_back({pe, 0, 0});
+    }
+    s.setup = workload;
+    batch.push_back(std::move(s));
+  }
+
+  sim::BatchOptions options;
+  options.threads = threads;
+  const auto results = sim::BatchRunner(model, options).run(batch);
+
+  std::vector<ScenarioMeasurement> measurements;
+  measurements.reserve(results.size());
+  for (const sim::BatchResult& r : results) {
+    ScenarioMeasurement m;
+    m.name = r.name;
+    m.events = r.events;
+    m.log_hash = r.log_hash;
+    m.error = r.error;
+    for (const auto& [pe, stats] : r.pe_stats) {
+      const auto busy = static_cast<double>(stats.busy_time);
+      m.busy_total += busy;
+      m.makespan = std::max(m.makespan, busy);
+    }
+    measurements.push_back(std::move(m));
+  }
+  return measurements;
+}
+
+CostModel calibrate_fault_weights(
+    CostModel model, const std::vector<ScenarioMeasurement>& measurements) {
+  if (measurements.size() != model.fault_scenarios.size() + 1) {
+    throw std::invalid_argument(
+        "calibrate_fault_weights: expected " +
+        std::to_string(model.fault_scenarios.size() + 1) +
+        " measurements (baseline + scenarios), got " +
+        std::to_string(measurements.size()));
+  }
+  const ScenarioMeasurement& baseline = measurements.front();
+  if (!baseline.error.empty() || baseline.makespan <= 0.0) return model;
+  for (std::size_t i = 0; i < model.fault_scenarios.size(); ++i) {
+    const ScenarioMeasurement& m = measurements[i + 1];
+    if (!m.error.empty() || m.makespan <= 0.0) continue;
+    model.fault_scenarios[i].weight *= m.makespan / baseline.makespan;
+  }
+  return model;
+}
+
+}  // namespace tut::explore

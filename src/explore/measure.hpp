@@ -1,0 +1,55 @@
+// explore::measure — closing the loop between the analytic cost model and
+// the co-simulator.
+//
+// CostModel::fault_scenarios weight what-if PE failures analytically (group
+// cycles remapped by the failover rule). measure_fault_scenarios runs the
+// same scenarios through the real co-simulator instead: each scenario
+// becomes a fault plan failing its PEs at t=0 with no recovery, all
+// scenarios share one sim::CompiledModel image, and a sim::BatchRunner fans
+// them out over worker threads. calibrate_fault_weights then scales the
+// analytic weights by the measured degraded/baseline makespan ratio, so the
+// exploration objective reflects simulated degraded behaviour instead of a
+// hand-picked weight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "mapping/mapping.hpp"
+#include "sim/simulator.hpp"
+
+namespace tut::explore {
+
+/// Measured outcome of one fault scenario (index 0 is always the fault-free
+/// baseline; scenario i of the cost model is at index i + 1).
+struct ScenarioMeasurement {
+  std::string name;            ///< "baseline" or the joined failed-PE list
+  double makespan = 0.0;       ///< max per-PE busy time (ticks)
+  double busy_total = 0.0;     ///< summed PE busy time (ticks)
+  std::uint64_t events = 0;    ///< kernel events dispatched
+  std::uint64_t log_hash = 0;  ///< for determinism checks across sweeps
+  std::string error;           ///< non-empty when the scenario failed to run
+};
+
+/// Simulates the fault-free baseline plus every scenario under the given
+/// workload up to `horizon`, sharing one compiled model image across all
+/// runs (threads = 0 resolves to the hardware concurrency). Results are
+/// deterministic and independent of the thread count.
+std::vector<ScenarioMeasurement> measure_fault_scenarios(
+    const mapping::SystemView& view,
+    const std::vector<CostModel::FaultScenario>& scenarios,
+    const std::function<void(sim::Simulation&)>& workload, sim::Time horizon,
+    std::size_t threads = 0);
+
+/// Returns `model` with each fault scenario's weight scaled by its measured
+/// degraded/baseline makespan ratio (`measurements` as returned by
+/// measure_fault_scenarios for the same scenario list). Scenarios whose
+/// measurement errored, or a zero baseline, keep their analytic weight.
+/// Throws std::invalid_argument on a size mismatch.
+CostModel calibrate_fault_weights(
+    CostModel model, const std::vector<ScenarioMeasurement>& measurements);
+
+}  // namespace tut::explore

@@ -1,0 +1,77 @@
+#include "sim/batch.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace tut::sim {
+
+BatchRunner::BatchRunner(std::shared_ptr<const CompiledModel> model,
+                         BatchOptions options)
+    : model_(std::move(model)), options_(options) {
+  if (model_ == nullptr) {
+    throw std::invalid_argument("BatchRunner requires a non-null model");
+  }
+  threads_ = options_.threads != 0
+                 ? options_.threads
+                 : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::uint64_t BatchRunner::hash_text(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+BatchResult BatchRunner::run_one(const BatchScenario& scenario) const {
+  BatchResult result;
+  result.name = scenario.name;
+  try {
+    Simulation simulation(model_, scenario.config);
+    if (scenario.setup) scenario.setup(simulation);
+    simulation.run();
+    result.end_time = simulation.now();
+    result.events = simulation.events_dispatched();
+    result.records = simulation.log().size();
+    const std::string text = simulation.log().to_text();
+    result.log_hash = hash_text(text);
+    if (options_.keep_logs) result.log_text = text;
+    result.pe_stats = simulation.pe_stats();
+    result.segment_stats = simulation.segment_stats();
+  } catch (const std::exception& e) {
+    result = BatchResult{};
+    result.name = scenario.name;
+    result.error = e.what();
+  }
+  return result;
+}
+
+std::vector<BatchResult> BatchRunner::run(
+    const std::vector<BatchScenario>& scenarios) const {
+  std::vector<BatchResult> results(scenarios.size());
+  const std::size_t workers = std::min(threads_, scenarios.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      results[i] = run_one(scenarios[i]);
+    }
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  auto work = [&]() {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < scenarios.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      results[i] = run_one(scenarios[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace tut::sim

@@ -1,0 +1,4 @@
+// EventQueue is header-only (schedule_at/poll are the simulator's per-event
+// hot pair and must inline into the dispatch loop); this TU only anchors the
+// header in the build so it is compiled standalone at least once.
+#include "sim/event.hpp"

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <optional>
-#include <set>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "sim/compiled.hpp"
+#include "sim/event.hpp"
 
 namespace tut::sim {
 
@@ -19,55 +21,61 @@ Time cycles_to_ticks(long cycles, long freq_mhz) {
   return (c * 1000 + f - 1) / f;
 }
 
-long tag_long_of(const uml::Element& e, const char* tag, long fallback) {
-  return appmodel::tag_long(e, tag, fallback);
-}
-
 }  // namespace
 
+// The hot loop is a POD event queue (EventQueue) drained by the dispatch()
+// switch below: event records carry dense indices into the flat pes_ /
+// segs_ / procs_ / transfers_ tables, so dispatching touches no
+// std::function and allocates nothing. All static model facts (routes,
+// frequencies, arbitration modes, port destinations) come precomputed from
+// the shared CompiledModel; this Impl holds only per-run mutable state.
 struct Simulation::Impl {
   struct Pe;
 
   struct PendingEvent {
     enum class Kind { Start, Signal, Timer, Reset };
     Kind kind = Kind::Signal;
-    efsm::Event event;                     // Signal
-    intern::Id from = intern::kNoId;       // Signal
-    std::string timer;                     // Timer
+    efsm::Event event;                // Signal
+    intern::Id from = intern::kNoId;  // Signal
+    std::uint32_t timer = 0;          // Timer (id into timer_names_)
+  };
+
+  /// EFSM backend of one process: the AST interpreter (SystemView
+  /// constructor) or the bytecode image (CompiledModel constructor).
+  struct Behavior {
+    std::optional<efsm::Instance> ast;
+    std::optional<efsm::CompiledInstance> code;
+
+    efsm::StepResult start() { return ast ? ast->start() : code->start(); }
+    efsm::StepResult reset() { return ast ? ast->reset() : code->reset(); }
+    efsm::StepResult deliver(const efsm::Event& e) {
+      return ast ? ast->deliver(e) : code->deliver(e);
+    }
+    efsm::StepResult timer_fired(const std::string& t) {
+      return ast ? ast->timer_fired(t) : code->timer_fired(t);
+    }
   };
 
   struct Proc {
-    const uml::Property* part = nullptr;
-    std::string name;
-    intern::Id name_id = intern::kNoId;  // in the log's name table
-    efsm::Instance inst;
-    Pe* pe = nullptr;
-    Pe* home = nullptr;             // mapped PE; failover migrates back here
-    bool hw = false;                // ProcessType "hardware"
-    long priority = 0;
+    const CompiledModel::ProcInfo* info = nullptr;
+    std::uint32_t index = 0;
+    intern::Id name_id = intern::kNoId;
+    Behavior inst;
+    std::uint32_t pe = 0;    // executing PE; failover migrates this
     std::deque<PendingEvent> queue;
-    std::map<std::string, std::uint64_t> timer_gen;
+    std::map<std::uint32_t, std::uint64_t> timer_gen;  // by timer id
     bool ready = false;             // enlisted in pe->ready
     std::uint64_t ready_seq = 0;    // FIFO tie-break among equal priorities
     Time last_progress = 0;         // last fired transition (watchdog)
-
-    Proc(const uml::StateMachine& sm, std::string n)
-        : name(n), inst(sm, std::move(n)) {}
   };
 
   struct Pe {
-    const uml::Property* part = nullptr;
-    std::string name;
+    const CompiledModel::PeInfo* info = nullptr;
+    std::uint32_t index = 0;
     intern::Id name_id = intern::kNoId;
     PeStats* stats = nullptr;  // owner_.pe_stats_ entry (map nodes are stable)
-    long freq_mhz = 50;
-    bool hw_accel = false;     // component Type "hw_accelerator"
     bool failed = false;       // inside a PE fault window
     std::vector<Proc*> ready;
-
-    // RTOS parameterization (Component tags Scheduling/ContextSwitchCycles).
-    bool preemptive = false;
-    long ctx_switch_cycles = 0;
 
     // The step currently executing, if any. `run_gen` invalidates the
     // scheduled completion event when the step is preempted.
@@ -93,27 +101,23 @@ struct Simulation::Impl {
   };
 
   struct Seg {
-    const uml::Property* part = nullptr;
-    std::string name;
+    const CompiledModel::SegInfo* info = nullptr;
+    std::uint32_t index = 0;
     intern::Id name_id = intern::kNoId;
     SegmentStats* stats = nullptr;
-    long width_bits = 32;
-    long freq_mhz = 100;
-    bool priority_arb = true;
     bool busy = false;
     bool faulted = false;          // inside a segment fault window
     std::uint32_t ber_ppm = 0;     // bit errors per million completed hops
-    std::uint64_t rng_key = 0;     // FaultRng instance key (name hash)
     std::uint64_t ber_seq = 0;     // FaultRng sequence counter
     long last_rr = -1;
     std::deque<std::size_t> waiting;  // indices into transfers_
   };
 
   struct Transfer {
-    Proc* dest = nullptr;
+    std::uint32_t dest = 0;    // destination process index
     intern::Id from = intern::kNoId;
     efsm::Event event;
-    std::vector<Seg*> path;
+    const std::vector<std::uint32_t>* path = nullptr;  // model route (segs)
     std::size_t hop = 0;
     std::size_t bytes = 0;
     long priority = 0;
@@ -125,113 +129,58 @@ struct Simulation::Impl {
     bool done = false;
   };
 
-  Impl(const mapping::SystemView& sys, Simulation& owner)
-      : sys_(sys), owner_(owner), router_(require_app(sys)) {
-    build();
+  /// A boundary injection, fired by an Inject event.
+  struct Injection {
+    std::string port;
+    const uml::Signal* signal = nullptr;
+    std::vector<long> args;
+  };
+
+  Impl(std::shared_ptr<const CompiledModel> model, Simulation& owner,
+       std::vector<std::string> defects)
+      : model_(std::move(model)), owner_(owner) {
+    build(std::move(defects));
   }
 
-  static const uml::Class& require_app(const mapping::SystemView& sys) {
-    const uml::Class* app = sys.app().application();
-    if (app == nullptr) {
-      throw std::runtime_error("simulation requires an <<Application>> class");
-    }
-    return *app;
-  }
-
-  void build() {
-    // Defects are collected, not thrown one at a time, so users fix a
-    // non-executable model (and a bad fault plan) in one pass.
-    std::vector<std::string> defects;
-
+  void build(std::vector<std::string> defects) {
     env_id_ = owner_.log_.intern_name(kEnvironment);
     unknown_sig_id_ = owner_.log_.intern_name("?");
     faults_on_ = !owner_.config_.faults.empty();
-    // Processing elements (only instances that host processes need a model,
-    // but we build all so stats cover idle PEs too).
-    for (const uml::Property* part : sys_.plat().instances()) {
-      auto pe = std::make_unique<Pe>();
-      pe->part = part;
-      pe->name = part->name();
-      pe->name_id = owner_.log_.intern_name(part->name());
-      pe->freq_mhz = sys_.instance_frequency_mhz(*part);
-      if (const uml::Class* comp = part->part_type()) {
-        pe->preemptive = comp->tagged_value("Scheduling") ==
-                         profile::tags::SchedulingPreemptive;
-        pe->ctx_switch_cycles = tag_long_of(*comp, "ContextSwitchCycles", 0);
-        pe->hw_accel = comp->tagged_value("Type") == "hw_accelerator";
-      }
-      pe->stats = &owner_.pe_stats_[part->name()];
-      pe_order_.push_back(pe.get());
-      pes_by_name_[part->name()] = pe.get();
-      pes_[part] = std::move(pe);
+    use_bytecode_ = model_->has_machines();
+
+    pes_.reserve(model_->pes().size());
+    for (const CompiledModel::PeInfo& info : model_->pes()) {
+      Pe pe;
+      pe.info = &info;
+      pe.index = static_cast<std::uint32_t>(pes_.size());
+      pe.name_id = owner_.log_.intern_name(info.name);
+      pe.stats = &owner_.pe_stats_[info.name];
+      pes_.push_back(std::move(pe));
     }
-    for (const uml::Property* part : sys_.plat().segments()) {
-      auto seg = std::make_unique<Seg>();
-      seg->part = part;
-      seg->name = part->name();
-      seg->name_id = owner_.log_.intern_name(part->name());
-      seg->width_bits = tag_long_of(*part, "DataWidth", 32);
-      seg->freq_mhz = tag_long_of(*part, "Frequency", 100);
-      seg->priority_arb =
-          part->tagged_value("Arbitration") != profile::tags::ArbitrationRoundRobin;
-      seg->rng_key = FaultRng::key(part->name());
-      seg->stats = &owner_.segment_stats_[part->name()];
-      segs_by_name_[part->name()] = seg.get();
-      segs_[part] = std::move(seg);
+    segs_.reserve(model_->segs().size());
+    for (const CompiledModel::SegInfo& info : model_->segs()) {
+      Seg seg;
+      seg.info = &info;
+      seg.index = static_cast<std::uint32_t>(segs_.size());
+      seg.name_id = owner_.log_.intern_name(info.name);
+      seg.stats = &owner_.segment_stats_[info.name];
+      segs_.push_back(std::move(seg));
     }
-    for (const uml::Property* part : sys_.app().processes()) {
-      const uml::Class* comp = part->part_type();
-      if (comp == nullptr || comp->behavior() == nullptr) {
-        defects.push_back("process '" + part->name() +
-                          "' has no executable behaviour");
-        continue;
+    procs_.reserve(model_->procs().size());
+    for (const CompiledModel::ProcInfo& info : model_->procs()) {
+      Proc proc;
+      proc.info = &info;
+      proc.index = static_cast<std::uint32_t>(procs_.size());
+      proc.name_id = owner_.log_.intern_name(info.name);
+      if (use_bytecode_) {
+        proc.inst.code.emplace(*info.machine, info.name);
+      } else {
+        proc.inst.ast.emplace(*info.behavior, info.name);
       }
-      const uml::Property* target = sys_.instance_for_process(*part);
-      if (target == nullptr) {
-        defects.push_back(
-            "process '" + part->name() +
-            "' is not mapped to any platform component instance");
-        continue;
-      }
-      auto proc = std::make_unique<Proc>(*comp->behavior(), part->name());
-      proc->part = part;
-      proc->name_id = owner_.log_.intern_name(part->name());
-      proc->pe = pes_.at(target).get();
-      proc->home = proc->pe;
-      proc->hw = part->tagged_value("ProcessType") == "hardware";
-      proc->priority = sys_.process_priority(*part);
-      procs_by_part_[part] = proc.get();
-      procs_by_name_[part->name()] = proc.get();
+      proc.pe = info.home_pe;
       procs_.push_back(std::move(proc));
     }
-    // Every pair of PEs that host processes must be routable. A PE detached
-    // from every segment is reported as such once; unroutable attached
-    // pairs are reported per pair.
-    std::set<std::string> detached;
-    std::set<std::pair<std::string, std::string>> unroutable;
-    for (const auto& a : procs_) {
-      for (const auto& b : procs_) {
-        if (a->pe == b->pe) continue;
-        if (!sys_.plat().route(*a->pe->part, *b->pe->part).empty()) continue;
-        bool pair_ok = true;
-        for (const Pe* pe : {a->pe, b->pe}) {
-          if (sys_.plat().segment_of(*pe->part) == nullptr &&
-              detached.insert(pe->name).second) {
-            defects.push_back("instance '" + pe->name +
-                              "' is not attached to any communication "
-                              "segment but hosts remote communication");
-            pair_ok = false;
-          }
-        }
-        if (pair_ok &&
-            unroutable.insert({std::min(a->pe->name, b->pe->name),
-                               std::max(a->pe->name, b->pe->name)})
-                .second) {
-          defects.push_back("no communication route between '" + a->pe->name +
-                            "' and '" + b->pe->name + "'");
-        }
-      }
-    }
+
     check_fault_plan(defects);
     if (!defects.empty()) {
       std::string msg = "model is not executable (" +
@@ -250,31 +199,81 @@ struct Simulation::Impl {
       defects.push_back("fault plan: " + d);
     }
     for (const FaultWindow& w : plan.pe_faults) {
-      if (!w.component.empty() && pes_by_name_.count(w.component) == 0) {
+      if (!w.component.empty() && model_->pe_index(w.component) < 0) {
         defects.push_back("fault plan: unknown component instance '" +
                           w.component + "'");
       }
     }
     for (const FaultWindow& w : plan.segment_faults) {
-      if (!w.component.empty() && segs_by_name_.count(w.component) == 0) {
+      if (!w.component.empty() && model_->seg_index(w.component) < 0) {
         defects.push_back("fault plan: unknown segment '" + w.component + "'");
       }
     }
     for (const BitErrorSpec& b : plan.bit_errors) {
-      auto it = segs_by_name_.find(b.segment);
-      if (it == segs_by_name_.end()) {
+      const std::int32_t seg = model_->seg_index(b.segment);
+      if (seg < 0) {
         if (!b.segment.empty()) {
           defects.push_back("fault plan: unknown segment '" + b.segment + "'");
         }
       } else {
-        it->second->ber_ppm = b.rate_ppm;
+        segs_[seg].ber_ppm = b.rate_ppm;
       }
     }
     for (const SignalFault& s : plan.signal_faults) {
-      if (!s.process.empty() && procs_by_name_.count(s.process) == 0) {
+      if (!s.process.empty() && model_->proc_index(s.process) < 0) {
         defects.push_back("fault plan: unknown process '" + s.process + "'");
       }
     }
+  }
+
+  // -- event dispatch ----------------------------------------------------------
+
+  void dispatch(const EventRec& ev) {
+    switch (ev.kind) {
+      case EventRec::Kind::PeFaultRaise:
+        raise_pe_fault(pes_[ev.a]);
+        break;
+      case EventRec::Kind::PeFaultClear:
+        clear_pe_fault(pes_[ev.a]);
+        break;
+      case EventRec::Kind::SegFaultRaise:
+        raise_seg_fault(segs_[ev.a]);
+        break;
+      case EventRec::Kind::SegFaultClear:
+        clear_seg_fault(segs_[ev.a]);
+        break;
+      case EventRec::Kind::SignalFaultStart:
+        owner_.log_.fault_id(queue_.now(), procs_[ev.b].name_id);
+        break;
+      case EventRec::Kind::SignalFaultEnd:
+        owner_.log_.clear_id(queue_.now(), procs_[ev.b].name_id);
+        flush_stuck(ev.a);
+        break;
+      case EventRec::Kind::WatchdogCheck:
+        watchdog_check(procs_[ev.a]);
+        break;
+      case EventRec::Kind::StepDone:
+        if (pes_[ev.a].run_gen == ev.c) finish_step(pes_[ev.a]);
+        break;
+      case EventRec::Kind::TimerFired:
+        on_timer(procs_[ev.a], ev.b, ev.c);
+        break;
+      case EventRec::Kind::RetryResume:
+        request_segment(ev.a);
+        break;
+      case EventRec::Kind::GrantDone:
+        grant_done(segs_[ev.a], ev.b, static_cast<long>(ev.c));
+        break;
+      case EventRec::Kind::Inject:
+        fire_inject(injects_[ev.a]);
+        break;
+    }
+  }
+
+  void run_until(Time horizon) {
+    start_all();
+    EventRec ev;
+    while (queue_.poll(horizon, ev)) dispatch(ev);
   }
 
   // -- fault injection ---------------------------------------------------------
@@ -286,37 +285,35 @@ struct Simulation::Impl {
   void schedule_faults() {
     const FaultPlan& plan = owner_.config_.faults;
     for (const FaultWindow& w : plan.pe_faults) {
-      Pe* pe = pes_by_name_.at(w.component);
-      kernel_.schedule_at(w.start, [this, pe]() { raise_pe_fault(*pe); });
+      const auto pe = static_cast<std::uint32_t>(model_->pe_index(w.component));
+      queue_.schedule_at(w.start, {EventRec::Kind::PeFaultRaise, pe});
       if (w.end != 0) {
-        kernel_.schedule_at(w.end, [this, pe]() { clear_pe_fault(*pe); });
+        queue_.schedule_at(w.end, {EventRec::Kind::PeFaultClear, pe});
       }
     }
     for (const FaultWindow& w : plan.segment_faults) {
-      Seg* seg = segs_by_name_.at(w.component);
-      kernel_.schedule_at(w.start, [this, seg]() { raise_seg_fault(*seg); });
+      const auto seg =
+          static_cast<std::uint32_t>(model_->seg_index(w.component));
+      queue_.schedule_at(w.start, {EventRec::Kind::SegFaultRaise, seg});
       if (w.end != 0) {
-        kernel_.schedule_at(w.end, [this, seg]() { clear_seg_fault(*seg); });
+        queue_.schedule_at(w.end, {EventRec::Kind::SegFaultClear, seg});
       }
     }
     for (std::size_t i = 0; i < plan.signal_faults.size(); ++i) {
       const SignalFault& s = plan.signal_faults[i];
-      Proc* proc = procs_by_name_.at(s.process);
-      kernel_.schedule_at(s.start, [this, proc]() {
-        owner_.log_.fault_id(kernel_.now(), proc->name_id);
-      });
+      const auto sf = static_cast<std::uint32_t>(i);
+      const auto proc =
+          static_cast<std::uint32_t>(model_->proc_index(s.process));
+      queue_.schedule_at(s.start,
+                         {EventRec::Kind::SignalFaultStart, sf, proc});
       if (s.end != 0) {
-        kernel_.schedule_at(s.end, [this, proc, i]() {
-          owner_.log_.clear_id(kernel_.now(), proc->name_id);
-          flush_stuck(i);
-        });
+        queue_.schedule_at(s.end, {EventRec::Kind::SignalFaultEnd, sf, proc});
       }
     }
     if (plan.watchdog_timeout > 0) {
-      for (auto& proc : procs_) {
-        Proc* p = proc.get();
-        kernel_.schedule_at(plan.watchdog_timeout,
-                            [this, p]() { watchdog_check(*p); });
+      for (Proc& proc : procs_) {
+        queue_.schedule_at(plan.watchdog_timeout,
+                           {EventRec::Kind::WatchdogCheck, proc.index});
       }
     }
   }
@@ -324,7 +321,7 @@ struct Simulation::Impl {
   void raise_pe_fault(Pe& pe) {
     if (pe.failed) return;
     pe.failed = true;
-    owner_.log_.fault_id(kernel_.now(), pe.name_id);
+    owner_.log_.fault_id(queue_.now(), pe.name_id);
     // Abort the step in flight and discard preempted work: a dead PE makes
     // no further progress, so half-finished transitions are lost.
     ++pe.run_gen;
@@ -336,58 +333,60 @@ struct Simulation::Impl {
     // the PE recovers.
     Pe* sw_dest = pick_failover(false, pe);
     Pe* hw_dest = pick_failover(true, pe);
-    for (auto& proc : procs_) {
-      if (proc->pe != &pe) continue;
-      Pe* dest = proc->hw ? hw_dest : sw_dest;
-      if (dest != nullptr) migrate(*proc, *dest);
+    for (Proc& proc : procs_) {
+      if (proc.pe != pe.index) continue;
+      Pe* dest = proc.info->hw ? hw_dest : sw_dest;
+      if (dest != nullptr) migrate(proc, *dest);
     }
   }
 
   void clear_pe_fault(Pe& pe) {
     if (!pe.failed) return;
     pe.failed = false;
-    owner_.log_.clear_id(kernel_.now(), pe.name_id);
+    owner_.log_.clear_id(queue_.now(), pe.name_id);
     // Evacuated processes come home; stranded ones resume in place.
-    for (auto& proc : procs_) {
-      if (proc->home == &pe && proc->pe != &pe) migrate(*proc, pe);
+    for (Proc& proc : procs_) {
+      if (proc.info->home_pe == pe.index && proc.pe != pe.index) {
+        migrate(proc, pe);
+      }
     }
     start_step(pe);
   }
 
   /// The FailoverPolicy choice among compatible surviving PEs, or nullptr.
-  /// Candidates are collected in sys_.plat().instances() order and loads are
+  /// Candidates are collected in platform instance order and loads are
   /// simulation state, so the choice is reproducible across runs.
   Pe* pick_failover(bool hw, const Pe& failed) {
     std::vector<mapping::FailoverPolicy::Candidate> candidates;
     std::vector<Pe*> pes;
-    for (Pe* pe : pe_order_) {
-      if (pe == &failed || pe->failed || pe->hw_accel != hw) continue;
+    for (Pe& pe : pes_) {
+      if (&pe == &failed || pe.failed || pe.info->hw_accel != hw) continue;
       candidates.push_back(
-          {pe->name, static_cast<double>(pe->stats->busy_time)});
-      pes.push_back(pe);
+          {pe.info->name, static_cast<double>(pe.stats->busy_time)});
+      pes.push_back(&pe);
     }
     const std::size_t pick = failover_.choose(candidates);
     return pick == mapping::FailoverPolicy::npos ? nullptr : pes[pick];
   }
 
   void migrate(Proc& proc, Pe& dest) {
-    Pe& from = *proc.pe;
+    Pe& from = pes_[proc.pe];
     if (&from == &dest) return;
     if (proc.ready) {
       auto it = std::find(from.ready.begin(), from.ready.end(), &proc);
       if (it != from.ready.end()) from.ready.erase(it);
       proc.ready = false;
     }
-    owner_.log_.migrate_id(kernel_.now(), proc.name_id, from.name_id,
+    owner_.log_.migrate_id(queue_.now(), proc.name_id, from.name_id,
                            dest.name_id);
-    proc.pe = &dest;
+    proc.pe = dest.index;
     make_ready(proc);
   }
 
   void raise_seg_fault(Seg& seg) {
     if (seg.faulted) return;
     seg.faulted = true;
-    owner_.log_.fault_id(kernel_.now(), seg.name_id);
+    owner_.log_.fault_id(queue_.now(), seg.name_id);
     // Queued transfers back off immediately; a transfer being granted right
     // now notices the fault when its grant completes.
     std::deque<std::size_t> waiting = std::move(seg.waiting);
@@ -398,7 +397,7 @@ struct Simulation::Impl {
   void clear_seg_fault(Seg& seg) {
     if (!seg.faulted) return;
     seg.faulted = false;
-    owner_.log_.clear_id(kernel_.now(), seg.name_id);
+    owner_.log_.clear_id(queue_.now(), seg.name_id);
     try_grant(seg);
   }
 
@@ -406,21 +405,22 @@ struct Simulation::Impl {
   /// with exponential backoff, until the retry budget is spent (then the
   /// signal is dropped at the destination).
   void retry_transfer(std::size_t index) {
-    Transfer& x = *transfers_[index];
+    Transfer& x = transfers_[index];
     x.hop = 0;
     x.remaining_cycles = 0;
     ++x.attempts;
     const FaultPlan& plan = owner_.config_.faults;
     if (x.attempts > plan.max_retries) {
       x.done = true;
-      owner_.log_.drop_id(kernel_.now(), x.dest->name_id,
+      owner_.log_.drop_id(queue_.now(), procs_[x.dest].name_id,
                           signal_id(x.event.signal));
       return;
     }
-    owner_.log_.retry_id(kernel_.now(), x.from, signal_id(x.event.signal),
+    owner_.log_.retry_id(queue_.now(), x.from, signal_id(x.event.signal),
                          x.attempts);
     const Time delay = plan.retry_backoff << (x.attempts - 1);
-    kernel_.schedule_in(delay, [this, index]() { request_segment(index); });
+    queue_.schedule_in(delay, {EventRec::Kind::RetryResume,
+                               static_cast<std::uint32_t>(index)});
   }
 
   /// True when the hop whose grant just completed must be re-sent: the
@@ -431,7 +431,8 @@ struct Simulation::Impl {
     if (seg.faulted) return true;
     if (x.remaining_cycles > 0 || seg.ber_ppm == 0) return false;
     const FaultPlan& plan = owner_.config_.faults;
-    return FaultRng::draw(plan.seed, seg.rng_key, seg.ber_seq++) % 1'000'000 <
+    return FaultRng::draw(plan.seed, seg.info->rng_key, seg.ber_seq++) %
+               1'000'000 <
            seg.ber_ppm;
   }
 
@@ -440,11 +441,11 @@ struct Simulation::Impl {
                                          const efsm::Event& event,
                                          std::size_t& index_out) const {
     const auto& sfs = owner_.config_.faults.signal_faults;
-    const Time now = kernel_.now();
+    const Time now = queue_.now();
     for (std::size_t i = 0; i < sfs.size(); ++i) {
       const SignalFault& s = sfs[i];
       if (now < s.start || (s.end != 0 && now >= s.end)) continue;
-      if (s.process != to.name) continue;
+      if (s.process != to.info->name) continue;
       if (!s.signal.empty() &&
           (event.signal == nullptr || s.signal != event.signal->name())) {
         continue;
@@ -462,7 +463,9 @@ struct Simulation::Impl {
     if (it == stuck_.end()) return;
     std::vector<Stuck> held = std::move(it->second);
     stuck_.erase(it);
-    for (Stuck& s : held) deliver_local(*s.to, std::move(s.event), s.from);
+    for (Stuck& s : held) {
+      deliver_local(procs_[s.to], std::move(s.event), s.from);
+    }
   }
 
   /// Per-process watchdog: when a process has not fired a transition for
@@ -472,18 +475,18 @@ struct Simulation::Impl {
   void watchdog_check(Proc& proc) {
     const Time timeout = owner_.config_.faults.watchdog_timeout;
     const Time due = proc.last_progress + timeout;
-    if (kernel_.now() < due) {
-      kernel_.schedule_at(due, [this, &proc]() { watchdog_check(proc); });
+    if (queue_.now() < due) {
+      queue_.schedule_at(due, {EventRec::Kind::WatchdogCheck, proc.index});
       return;
     }
-    owner_.log_.watchdog_id(kernel_.now(), proc.name_id);
-    proc.last_progress = kernel_.now();
+    owner_.log_.watchdog_id(queue_.now(), proc.name_id);
+    proc.last_progress = queue_.now();
     PendingEvent ev;
     ev.kind = PendingEvent::Kind::Reset;
     proc.queue.push_front(std::move(ev));
     make_ready(proc);
-    kernel_.schedule_at(kernel_.now() + timeout,
-                        [this, &proc]() { watchdog_check(proc); });
+    queue_.schedule_at(queue_.now() + timeout,
+                       {EventRec::Kind::WatchdogCheck, proc.index});
   }
 
   // -- PE scheduling -----------------------------------------------------------
@@ -492,24 +495,25 @@ struct Simulation::Impl {
     if (proc.ready || proc.queue.empty()) return;
     proc.ready = true;
     proc.ready_seq = ++ready_counter_;
-    proc.pe->ready.push_back(&proc);
-    maybe_preempt(*proc.pe, proc);
-    start_step(*proc.pe);
+    Pe& pe = pes_[proc.pe];
+    pe.ready.push_back(&proc);
+    maybe_preempt(pe, proc);
+    start_step(pe);
   }
 
   /// Suspends the running step when a strictly higher-priority process
   /// becomes ready on a preemptive PE.
   void maybe_preempt(Pe& pe, const Proc& challenger) {
-    if (!pe.preemptive || !pe.running.has_value()) return;
-    if (challenger.priority <= pe.running->proc->priority) return;
+    if (!pe.info->preemptive || !pe.running.has_value()) return;
+    if (challenger.info->priority <= pe.running->proc->info->priority) return;
     // Steps completing at the current instant are not preemptible: their
     // completion event is already due.
-    if (pe.running->end <= kernel_.now()) return;
+    if (pe.running->end <= queue_.now()) return;
     ++pe.run_gen;  // invalidate the scheduled completion
     Pe::Suspended s;
     s.proc = pe.running->proc;
     s.result = std::move(pe.running->result);
-    s.remaining = pe.running->end - kernel_.now();
+    s.remaining = pe.running->end - queue_.now();
     pe.suspended.push_back(std::move(s));
     pe.running.reset();
     ++pe.stats->preemptions;
@@ -519,8 +523,8 @@ struct Simulation::Impl {
   std::vector<Proc*>::iterator best_ready(Pe& pe) {
     auto best = pe.ready.begin();
     for (auto it = pe.ready.begin(); it != pe.ready.end(); ++it) {
-      if ((*it)->priority > (*best)->priority ||
-          ((*it)->priority == (*best)->priority &&
+      if ((*it)->info->priority > (*best)->info->priority ||
+          ((*it)->info->priority == (*best)->info->priority &&
            (*it)->ready_seq < (*best)->ready_seq)) {
         best = it;
       }
@@ -529,16 +533,15 @@ struct Simulation::Impl {
   }
 
   void schedule_completion(Pe& pe, Time dur) {
-    pe.running->end = kernel_.now() + dur;
+    pe.running->end = queue_.now() + dur;
     const std::uint64_t gen = ++pe.run_gen;
-    kernel_.schedule_in(dur, [this, &pe, gen]() {
-      if (pe.run_gen == gen) finish_step(pe);
-    });
+    queue_.schedule_in(dur, {EventRec::Kind::StepDone, pe.index, 0, gen});
   }
 
   /// Context-switch overhead in ticks, accounted as PE busy time.
   Time switch_overhead(Pe& pe) {
-    const Time t = cycles_to_ticks(pe.ctx_switch_cycles, pe.freq_mhz);
+    const Time t =
+        cycles_to_ticks(pe.info->ctx_switch_cycles, pe.info->freq_mhz);
     pe.stats->overhead_time += t;
     pe.stats->busy_time += t;
     return t;
@@ -553,7 +556,7 @@ struct Simulation::Impl {
     const bool have_ready = best != pe.ready.end();
     if (!pe.suspended.empty() &&
         (!have_ready ||
-         pe.suspended.back().proc->priority >= (*best)->priority)) {
+         pe.suspended.back().proc->info->priority >= (*best)->info->priority)) {
       resume_step(pe);
       return;
     }
@@ -576,31 +579,31 @@ struct Simulation::Impl {
         result = proc->inst.deliver(ev.event);
         fired = result.fired;
         if (!fired) {
-          owner_.log_.drop_id(kernel_.now(), proc->name_id,
+          owner_.log_.drop_id(queue_.now(), proc->name_id,
                               signal_id(ev.event.signal));
         }
         break;
       case PendingEvent::Kind::Timer:
-        result = proc->inst.timer_fired(ev.timer);
+        result = proc->inst.timer_fired(timer_names_[ev.timer]);
         fired = result.fired;
         break;
       case PendingEvent::Kind::Reset:
         // Watchdog recovery: cancel every armed timer, then restart the
         // EFSM from its initial state.
-        for (auto& [name, gen] : proc->timer_gen) ++gen;
+        for (auto& [id, gen] : proc->timer_gen) ++gen;
         result = proc->inst.reset();
         break;
     }
 
-    Time dur = cycles_to_ticks(result.compute_cycles, pe.freq_mhz);
+    Time dur = cycles_to_ticks(result.compute_cycles, pe.info->freq_mhz);
     PeStats& stats = *pe.stats;
     ++stats.dispatched;
     if (fired) {
-      if (faults_on_) proc->last_progress = kernel_.now();
+      if (faults_on_) proc->last_progress = queue_.now();
       ++stats.steps;
       stats.busy_time += dur;
       if (owner_.config_.log_runs) {
-        owner_.log_.run_id(kernel_.now(), proc->name_id, result.compute_cycles,
+        owner_.log_.run_id(queue_.now(), proc->name_id, result.compute_cycles,
                            dur);
       }
     }
@@ -628,12 +631,12 @@ struct Simulation::Impl {
     // Timers first: a timer armed by this step may be reset by a later step,
     // but not vice versa within one step (actions already ordered upstream).
     for (const efsm::TimerOp& op : result.timers) {
-      const std::uint64_t gen = ++proc.timer_gen[op.name];
+      const std::uint32_t id = timer_id(op.name);
+      const std::uint64_t gen = ++proc.timer_gen[id];
       if (op.kind == efsm::TimerOp::Kind::Set) {
         const Time delay = op.delay > 0 ? static_cast<Time>(op.delay) : 0;
-        kernel_.schedule_in(delay, [this, &proc, name = op.name, gen]() {
-          on_timer(proc, name, gen);
-        });
+        queue_.schedule_in(delay,
+                           {EventRec::Kind::TimerFired, proc.index, id, gen});
       }
     }
     for (const efsm::Send& send : result.sends) {
@@ -643,42 +646,58 @@ struct Simulation::Impl {
     start_step(pe);
   }
 
-  void on_timer(Proc& proc, const std::string& name, std::uint64_t gen) {
-    auto it = proc.timer_gen.find(name);
+  void on_timer(Proc& proc, std::uint32_t timer, std::uint64_t gen) {
+    auto it = proc.timer_gen.find(timer);
     if (it == proc.timer_gen.end() || it->second != gen) return;  // stale
     PendingEvent ev;
     ev.kind = PendingEvent::Kind::Timer;
-    ev.timer = name;
+    ev.timer = timer;
     proc.queue.push_back(std::move(ev));
     make_ready(proc);
   }
 
+  /// Dense id of a timer name (first use interns it).
+  std::uint32_t timer_id(const std::string& name) {
+    auto it = timer_ids_.find(name);
+    if (it != timer_ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(timer_names_.size());
+    timer_names_.push_back(name);
+    timer_ids_.emplace(name, id);
+    return id;
+  }
+
   // -- communication -------------------------------------------------------------
 
+  /// Precomputed destination of a send port (every Send-action port of the
+  /// behaviour is in the table; absent or unconnected ports route to the
+  /// environment).
+  const CompiledModel::PortDest* find_port(const Proc& from,
+                                           const std::string& port) const {
+    for (const CompiledModel::PortDest& pd : from.info->ports) {
+      if (pd.port == port) return &pd;
+    }
+    return nullptr;
+  }
+
   void dispatch_send(Proc& from, const efsm::Send& send) {
-    const Time now = kernel_.now();
-    const efsm::Endpoint dest = router_.destination(*from.part, send.port);
+    const Time now = queue_.now();
+    const CompiledModel::PortDest* pd = find_port(from, send.port);
     const std::size_t bytes =
         send.signal != nullptr ? send.signal->payload_bytes() : 4;
     const intern::Id sig_id = signal_id(send.signal);
 
-    if (dest.is_environment()) {
+    if (pd == nullptr || pd->proc < 0) {
+      // Environment, or a destination part that is not an executable
+      // process (e.g. a structural part).
       owner_.log_.send_id(now, from.name_id, env_id_, sig_id, bytes);
       return;
     }
-    auto it = procs_by_part_.find(dest.part);
-    if (it == procs_by_part_.end()) {
-      // Destination part is not an executable process (e.g. a structural
-      // part): treat as environment.
-      owner_.log_.send_id(now, from.name_id, env_id_, sig_id, bytes);
-      return;
-    }
-    Proc& to = *it->second;
+    Proc& to = procs_[pd->proc];
     owner_.log_.send_id(now, from.name_id, to.name_id, sig_id, bytes);
 
     efsm::Event event;
     event.signal = send.signal;
-    event.port = dest.port != nullptr ? dest.port->name() : "";
+    event.port = pd->dest_port;
     event.args = send.args;
 
     if (to.pe == from.pe) {
@@ -687,29 +706,18 @@ struct Simulation::Impl {
     }
 
     // Remote: traverse the segment route.
-    auto xfer = std::make_unique<Transfer>();
-    xfer->dest = &to;
-    xfer->from = from.name_id;
-    xfer->event = std::move(event);
-    for (const uml::Property* seg_part :
-         sys_.plat().route(*from.pe->part, *to.pe->part)) {
-      xfer->path.push_back(segs_.at(seg_part).get());
-    }
-    xfer->bytes = bytes;
-    xfer->priority = from.priority;
-    xfer->rr_key = tag_long_of(*from.pe->part, "ID", 0);
-    xfer->max_grant_cycles = wrapper_max_time(*from.pe->part);
+    Transfer x;
+    x.dest = to.index;
+    x.from = from.name_id;
+    x.event = std::move(event);
+    x.path = &model_->route(from.pe, to.pe);
+    x.bytes = bytes;
+    x.priority = from.info->priority;
+    x.rr_key = pes_[from.pe].info->rr_key;
+    x.max_grant_cycles = pes_[from.pe].info->wrapper_max_cycles;
     const std::size_t index = transfers_.size();
-    transfers_.push_back(std::move(xfer));
+    transfers_.push_back(std::move(x));
     request_segment(index);
-  }
-
-  long wrapper_max_time(const uml::Property& instance) const {
-    for (const uml::Connector* w : sys_.plat().wrappers_of(instance)) {
-      const long mt = tag_long_of(*w, "MaxTime", 0);
-      if (mt > 0) return mt;
-    }
-    return 0;
   }
 
   void deliver_local(Proc& to, efsm::Event event, intern::Id from) {
@@ -718,15 +726,15 @@ struct Simulation::Impl {
       if (const SignalFault* sf =
               active_signal_fault(to, event, sf_index)) {
         if (sf->kind == SignalFault::Kind::Lost) {
-          owner_.log_.drop_id(kernel_.now(), to.name_id,
+          owner_.log_.drop_id(queue_.now(), to.name_id,
                               signal_id(event.signal));
         } else {
-          stuck_[sf_index].push_back(Stuck{&to, std::move(event), from});
+          stuck_[sf_index].push_back(Stuck{to.index, std::move(event), from});
         }
         return;
       }
     }
-    owner_.log_.receive_id(kernel_.now(), to.name_id, from,
+    owner_.log_.receive_id(queue_.now(), to.name_id, from,
                            signal_id(event.signal));
     PendingEvent ev;
     ev.kind = PendingEvent::Kind::Signal;
@@ -745,18 +753,18 @@ struct Simulation::Impl {
   }
 
   void request_segment(std::size_t index) {
-    Transfer& x = *transfers_[index];
-    Seg& seg = *x.path[x.hop];
+    Transfer& x = transfers_[index];
+    Seg& seg = segs_[(*x.path)[x.hop]];
     if (faults_on_ && seg.faulted) {
       retry_transfer(index);
       return;
     }
     if (x.remaining_cycles == 0) {
-      const long words =
-          static_cast<long>((x.bytes * 8 + seg.width_bits - 1) / seg.width_bits);
+      const long words = static_cast<long>(
+          (x.bytes * 8 + seg.info->width_bits - 1) / seg.info->width_bits);
       x.remaining_cycles = words + owner_.config_.segment_overhead_cycles;
     }
-    x.enqueue_time = kernel_.now();
+    x.enqueue_time = queue_.now();
     seg.waiting.push_back(index);
     try_grant(seg);
   }
@@ -766,10 +774,10 @@ struct Simulation::Impl {
 
     // Pick the next transfer per the segment's arbitration scheme.
     std::size_t pick = 0;
-    if (seg.priority_arb) {
+    if (seg.info->priority_arb) {
       for (std::size_t i = 1; i < seg.waiting.size(); ++i) {
-        if (transfers_[seg.waiting[i]]->priority >
-            transfers_[seg.waiting[pick]]->priority) {
+        if (transfers_[seg.waiting[i]].priority >
+            transfers_[seg.waiting[pick]].priority) {
           pick = i;
         }
       }
@@ -779,7 +787,7 @@ struct Simulation::Impl {
       long best_key = -1;
       bool found = false;
       for (std::size_t i = 0; i < seg.waiting.size(); ++i) {
-        const long key = transfers_[seg.waiting[i]]->rr_key;
+        const long key = transfers_[seg.waiting[i]].rr_key;
         const bool after = key > seg.last_rr;
         const bool best_after = best_key > seg.last_rr;
         if (!found ||
@@ -796,28 +804,28 @@ struct Simulation::Impl {
     const std::size_t index = seg.waiting[pick];
     seg.waiting.erase(seg.waiting.begin() +
                       static_cast<std::ptrdiff_t>(pick));
-    Transfer& x = *transfers_[index];
+    Transfer& x = transfers_[index];
 
     const bool capped = x.hop == 0 && x.max_grant_cycles > 0;
     const long grant =
         capped ? std::min(x.remaining_cycles, x.max_grant_cycles)
                : x.remaining_cycles;
-    const Time dur = cycles_to_ticks(grant, seg.freq_mhz);
+    const Time dur = cycles_to_ticks(grant, seg.info->freq_mhz);
 
     SegmentStats& stats = *seg.stats;
     ++stats.grants;
     stats.busy_time += dur;
-    stats.wait_time += kernel_.now() - x.enqueue_time;
+    stats.wait_time += queue_.now() - x.enqueue_time;
 
     seg.busy = true;
-    kernel_.schedule_in(dur, [this, &seg, index, grant]() {
-      grant_done(seg, index, grant);
-    });
+    queue_.schedule_in(dur, {EventRec::Kind::GrantDone, seg.index,
+                             static_cast<std::uint32_t>(index),
+                             static_cast<std::uint64_t>(grant)});
   }
 
   void grant_done(Seg& seg, std::size_t index, long granted) {
     seg.busy = false;
-    Transfer& x = *transfers_[index];
+    Transfer& x = transfers_[index];
     x.remaining_cycles -= granted;
     if (faults_on_ && hop_disturbed(seg, x)) {
       retry_transfer(index);
@@ -826,17 +834,17 @@ struct Simulation::Impl {
     }
     if (x.remaining_cycles > 0) {
       // Re-arbitrate for the rest of this hop (MaxTime chunking).
-      x.enqueue_time = kernel_.now();
+      x.enqueue_time = queue_.now();
       seg.waiting.push_back(index);
     } else {
       ++seg.stats->transfers;
       ++x.hop;
-      if (x.hop < x.path.size()) {
+      if (x.hop < x.path->size()) {
         x.remaining_cycles = 0;
         request_segment(index);
       } else {
         x.done = true;
-        deliver_local(*x.dest, std::move(x.event), x.from);
+        deliver_local(procs_[x.dest], std::move(x.event), x.from);
       }
     }
     try_grant(seg);
@@ -846,76 +854,73 @@ struct Simulation::Impl {
 
   void inject(Time t, const std::string& port, const uml::Signal& signal,
               std::vector<long> args) {
-    if (t < kernel_.now()) {
+    if (t < queue_.now()) {
       throw std::invalid_argument(
           "cannot inject '" + signal.name() + "' at t=" + std::to_string(t) +
           ": simulation time has already advanced to " +
-          std::to_string(kernel_.now()));
+          std::to_string(queue_.now()));
     }
-    kernel_.schedule_at(t, [this, port, &signal, args = std::move(args)]() {
-      const intern::Id sig_id = signal_id(&signal);
-      const efsm::Endpoint dest = router_.boundary_destination(port);
-      if (dest.part == nullptr) {
-        owner_.log_.send_id(kernel_.now(), env_id_, env_id_, sig_id,
-                            signal.payload_bytes());
-        return;
-      }
-      auto it = procs_by_part_.find(dest.part);
-      if (it == procs_by_part_.end()) {
-        owner_.log_.send_id(kernel_.now(), env_id_, env_id_, sig_id,
-                            signal.payload_bytes());
-        return;
-      }
-      owner_.log_.send_id(kernel_.now(), env_id_, it->second->name_id, sig_id,
-                          signal.payload_bytes());
-      efsm::Event event;
-      event.signal = &signal;
-      event.port = dest.port != nullptr ? dest.port->name() : "";
-      event.args = args;
-      deliver_local(*it->second, std::move(event), env_id_);
-    });
+    const auto index = static_cast<std::uint32_t>(injects_.size());
+    injects_.push_back(Injection{port, &signal, std::move(args)});
+    queue_.schedule_at(t, {EventRec::Kind::Inject, index});
+  }
+
+  void fire_inject(const Injection& in) {
+    const intern::Id sig_id = signal_id(in.signal);
+    const efsm::Endpoint dest = model_->router().boundary_destination(in.port);
+    const std::int32_t proc =
+        dest.part != nullptr ? model_->proc_of_part(dest.part) : -1;
+    if (proc < 0) {
+      owner_.log_.send_id(queue_.now(), env_id_, env_id_, sig_id,
+                          in.signal->payload_bytes());
+      return;
+    }
+    Proc& to = procs_[proc];
+    owner_.log_.send_id(queue_.now(), env_id_, to.name_id, sig_id,
+                        in.signal->payload_bytes());
+    efsm::Event event;
+    event.signal = in.signal;
+    event.port = dest.port != nullptr ? dest.port->name() : "";
+    event.args = in.args;
+    deliver_local(to, std::move(event), env_id_);
   }
 
   void start_all() {
     if (started_) return;
     started_ = true;
     if (faults_on_) schedule_faults();
-    for (auto& proc : procs_) {
+    for (Proc& proc : procs_) {
       PendingEvent ev;
       ev.kind = PendingEvent::Kind::Start;
-      proc->queue.push_front(std::move(ev));
-      make_ready(*proc);
+      proc.queue.push_front(std::move(ev));
+      make_ready(proc);
     }
   }
 
   /// A delivery held back by a stuck-signal fault window.
   struct Stuck {
-    Proc* to = nullptr;
+    std::uint32_t to = 0;
     efsm::Event event;
     intern::Id from = intern::kNoId;
   };
 
-  const mapping::SystemView& sys_;
+  const std::shared_ptr<const CompiledModel> model_;
   Simulation& owner_;
-  efsm::Router router_;
-  Kernel kernel_;
+  EventQueue queue_;
   bool started_ = false;
+  bool use_bytecode_ = false;
   std::uint64_t ready_counter_ = 0;
   bool faults_on_ = false;  // Config::faults is non-empty
   mapping::FailoverPolicy failover_;
   std::map<std::size_t, std::vector<Stuck>> stuck_;  // by signal-fault index
 
-  std::vector<std::unique_ptr<Proc>> procs_;
-  std::map<const uml::Property*, Proc*> procs_by_part_;
-  std::map<std::string, Proc*> procs_by_name_;
-  std::map<const uml::Property*, std::unique_ptr<Pe>> pes_;
-  /// PEs in sys_.plat().instances() order: failover candidate collection
-  /// must not iterate pes_ (keyed by pointer, nondeterministic across runs).
-  std::vector<Pe*> pe_order_;
-  std::map<std::string, Pe*> pes_by_name_;
-  std::map<const uml::Property*, std::unique_ptr<Seg>> segs_;
-  std::map<std::string, Seg*> segs_by_name_;
-  std::vector<std::unique_ptr<Transfer>> transfers_;
+  std::vector<Proc> procs_;
+  std::vector<Pe> pes_;
+  std::vector<Seg> segs_;
+  std::deque<Transfer> transfers_;
+  std::deque<Injection> injects_;
+  std::vector<std::string> timer_names_;
+  std::unordered_map<std::string, std::uint32_t> timer_ids_;
 
   intern::Id env_id_ = intern::kNoId;
   intern::Id unknown_sig_id_ = intern::kNoId;
@@ -924,7 +929,28 @@ struct Simulation::Impl {
 
 Simulation::Simulation(const mapping::SystemView& sys, Config config)
     : config_(config) {
-  impl_ = std::make_unique<Impl>(sys, *this);
+  // The AST path: lower the structure (routes, tags, ports) but keep the
+  // behaviours interpreted, so expression errors surface lazily exactly as
+  // before.
+  std::vector<std::string> defects;
+  std::shared_ptr<const CompiledModel> model =
+      CompiledModel::build_collect(sys, defects, /*compile_machines=*/false);
+  impl_ = std::make_unique<Impl>(std::move(model), *this, std::move(defects));
+}
+
+Simulation::Simulation(std::shared_ptr<const CompiledModel> model,
+                       Config config)
+    : config_(config) {
+  if (model == nullptr) {
+    throw std::invalid_argument("Simulation requires a non-null model");
+  }
+  if (!model->has_machines() && !model->procs().empty()) {
+    throw std::logic_error(
+        "CompiledModel was built without behaviour images; use "
+        "CompiledModel::build()");
+  }
+  impl_ = std::make_unique<Impl>(std::move(model), *this,
+                                 std::vector<std::string>{});
 }
 
 Simulation::~Simulation() = default;
@@ -948,23 +974,27 @@ void Simulation::inject_periodic(Time first, Time period, std::size_t count,
 
 void Simulation::run() { run_until(config_.horizon); }
 
-void Simulation::run_until(Time horizon) {
-  impl_->start_all();
-  impl_->kernel_.run(horizon);
-}
+void Simulation::run_until(Time horizon) { impl_->run_until(horizon); }
 
-Time Simulation::now() const noexcept { return impl_->kernel_.now(); }
+Time Simulation::now() const noexcept { return impl_->queue_.now(); }
 
 const efsm::Instance& Simulation::instance(const std::string& process) const {
-  auto it = impl_->procs_by_name_.find(process);
-  if (it == impl_->procs_by_name_.end()) {
+  const std::int32_t index = impl_->model_->proc_index(process);
+  if (index < 0) {
     throw std::out_of_range("no process named '" + process + "'");
   }
-  return it->second->inst;
+  const Impl::Proc& proc = impl_->procs_[index];
+  if (!proc.inst.ast.has_value()) {
+    throw std::logic_error(
+        "process '" + process +
+        "' runs compiled bytecode; Simulation::instance() requires the "
+        "SystemView constructor");
+  }
+  return *proc.inst.ast;
 }
 
 std::uint64_t Simulation::events_dispatched() const noexcept {
-  return impl_->kernel_.dispatched();
+  return impl_->queue_.dispatched();
 }
 
 }  // namespace tut::sim

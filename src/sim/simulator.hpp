@@ -44,6 +44,8 @@
 
 namespace tut::sim {
 
+class CompiledModel;
+
 /// Simulator configuration knobs (defaults follow the platform defaults of
 /// tut::mapping and a small per-grant arbitration overhead).
 struct Config {
@@ -84,6 +86,15 @@ public:
   /// plan defects: malformed windows, unknown component names) are collected
   /// into one multi-line diagnostic so the model can be fixed in one pass.
   explicit Simulation(const mapping::SystemView& sys, Config config = {});
+
+  /// Builds a simulation over a pre-lowered model image (CompiledModel::
+  /// build). Processes execute as bytecode (efsm::CompiledInstance) instead
+  /// of AST interpretation; the SimulationLog is byte-identical to the
+  /// SystemView constructor's. The model may be shared read-only by any
+  /// number of concurrent Simulations (see sim::BatchRunner); each keeps it
+  /// alive through the shared_ptr.
+  explicit Simulation(std::shared_ptr<const CompiledModel> model,
+                      Config config = {});
   ~Simulation();
 
   Simulation(const Simulation&) = delete;

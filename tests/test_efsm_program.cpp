@@ -1,0 +1,363 @@
+// Tests for the compiled EFSM path: Program bytecode vs Expr AST
+// equivalence (values, laziness, error precedence and messages) and
+// CompiledInstance vs Instance lock-step equivalence over whole machines.
+#include <gtest/gtest.h>
+
+#include "efsm/expr.hpp"
+#include "efsm/machine.hpp"
+#include "efsm/program.hpp"
+#include "uml/model.hpp"
+
+using namespace tut;
+using namespace tut::efsm;
+
+namespace {
+
+/// Compiles `text` against the identifiers of `env` and runs it.
+long run_program(const std::string& text, const Env& env) {
+  const Expr expr = Expr::compile(text);
+  Program::SlotMap slot_map;
+  std::vector<long> values;
+  std::vector<std::uint8_t> defined;
+  std::vector<std::string> names;
+  for (const auto& [name, value] : env) {
+    slot_map.emplace(name, static_cast<std::uint16_t>(values.size()));
+    names.push_back(name);
+    values.push_back(value);
+    defined.push_back(1);
+  }
+  const Program program = Program::compile(expr, slot_map);
+  std::vector<long> regs(program.reg_count());
+  return program.run({values.data(), defined.data(), &names}, regs.data());
+}
+
+/// The AST result, or the EvalError message.
+std::string ast_outcome(const std::string& text, const Env& env) {
+  try {
+    return std::to_string(Expr::compile(text).eval(env));
+  } catch (const EvalError& e) {
+    return std::string("EvalError: ") + e.what();
+  }
+}
+
+/// The bytecode result, or the EvalError message.
+std::string program_outcome(const std::string& text, const Env& env) {
+  try {
+    return std::to_string(run_program(text, env));
+  } catch (const EvalError& e) {
+    return std::string("EvalError: ") + e.what();
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Program vs Expr
+// ---------------------------------------------------------------------------
+
+TEST(Program, MatchesAstOnExpressionCorpus) {
+  const Env env{{"a", 7}, {"b", 3}, {"len", 12}, {"x", 0}, {"_u2", 5}};
+  const char* corpus[] = {
+      "42",
+      "a",
+      "_u2",
+      "a + b - 2",
+      "2 + 3 * 4",
+      "(2 + 3) * 4",
+      "a / b + a % b",
+      "-a + 10",
+      "--a",
+      "!x",
+      "!a",
+      "a == 7",
+      "a != 7",
+      "b < a",
+      "a <= 7",
+      "a > 7",
+      "a >= 8",
+      "a > 0 && b > 0",
+      "a > 0 && x > 0",
+      "a > 0 || 1 / x",      // short-circuit skips the division
+      "x > 0 && 1 / x",
+      "a > b ? 100 : 200",
+      "a < b ? 100 : 200",
+      "x ? 1 : a ? 2 : 3",
+      "400 * len + 2",
+      "1 + 2 == 3",
+      "x ? 1 / x : a",       // lazy arm never evaluated
+      "(a && b) + (x || len)",
+      "-(a - b) * -(b - a)",
+      "a % 2 == 1 && b % 2 == 1",
+  };
+  for (const char* text : corpus) {
+    EXPECT_EQ(program_outcome(text, env), ast_outcome(text, env)) << text;
+  }
+}
+
+TEST(Program, ErrorMessagesAndPrecedenceMatchAst) {
+  const Env env{{"a", 1}, {"x", 0}};
+  // Division by zero, modulo by zero, unknown identifier — and the order in
+  // which two possible errors surface (the AST evaluates the divisor first).
+  const char* corpus[] = {
+      "1 / x",
+      "1 % x",
+      "nosuch",
+      "nosuch / x",      // divisor x==0 wins: division by zero, not unknown
+      "x / nosuch",      // divisor evaluated first: unknown identifier
+      "1 / (a - 1)",
+      "x && nosuch",     // short-circuit: no error, value 0
+      "a || nosuch",     // short-circuit: no error, value 1
+      "x ? nosuch : 5",  // lazy arm: no error
+  };
+  for (const char* text : corpus) {
+    EXPECT_EQ(program_outcome(text, env), ast_outcome(text, env)) << text;
+  }
+}
+
+TEST(Program, MissingSlotThrowsLazily) {
+  // An identifier absent from the slot map compiles to a Missing op that
+  // only throws when reached.
+  const Expr expr = Expr::compile("x > 0 && ghost");
+  Program::SlotMap slot_map{{"x", 0}};
+  const Program program = Program::compile(expr, slot_map);
+  const std::vector<std::string> names{"x"};
+  std::vector<long> regs(program.reg_count());
+
+  const long x_zero[] = {0};
+  const std::uint8_t defined[] = {1};
+  EXPECT_EQ(program.run({x_zero, defined, &names}, regs.data()), 0);
+
+  const long x_one[] = {1};
+  try {
+    (void)program.run({x_one, defined, &names}, regs.data());
+    FAIL() << "expected EvalError";
+  } catch (const EvalError& e) {
+    EXPECT_STREQ(e.what(), "unknown identifier 'ghost'");
+  }
+}
+
+TEST(Program, UndefinedSlotReadsAsUnknownIdentifier) {
+  const Expr expr = Expr::compile("v + 1");
+  Program::SlotMap slot_map{{"v", 0}};
+  const Program program = Program::compile(expr, slot_map);
+  const std::vector<std::string> names{"v"};
+  std::vector<long> regs(program.reg_count());
+  const long values[] = {41};
+
+  const std::uint8_t undef[] = {0};
+  try {
+    (void)program.run({values, undef, &names}, regs.data());
+    FAIL() << "expected EvalError";
+  } catch (const EvalError& e) {
+    EXPECT_STREQ(e.what(), "unknown identifier 'v'");
+  }
+
+  const std::uint8_t def[] = {1};
+  EXPECT_EQ(program.run({values, def, &names}, regs.data()), 42);
+}
+
+// ---------------------------------------------------------------------------
+// CompiledInstance vs Instance
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The counter machine of test_efsm.cpp: parameters, guards, entry sends,
+/// completion transitions and dynamic variables.
+struct CounterModel {
+  uml::Model model{"counter"};
+  uml::Signal* inc;
+  uml::Signal* get;
+  uml::Signal* result;
+  uml::StateMachine* sm;
+
+  CounterModel() {
+    inc = &model.create_signal("Inc");
+    inc->add_parameter("step", "int");
+    get = &model.create_signal("Get");
+    result = &model.create_signal("Result");
+    result->add_parameter("value", "int");
+
+    auto& cls = model.create_class("Counter", nullptr, true);
+    model.add_port(cls, "in").provide(*inc).provide(*get);
+    model.add_port(cls, "out").require(*result);
+
+    sm = &model.create_behavior(cls);
+    sm->declare_variable("n", 0);
+    auto& idle = model.add_state(*sm, "Idle", true);
+    auto& report = model.add_state(*sm, "Report");
+    report.on_entry(uml::Action::send("out", *result, {"n"}));
+
+    model.add_transition(*sm, idle, idle, *inc, "in")
+        .add_effect(uml::Action::assign("n", "n + step"))
+        .add_effect(uml::Action::compute("10"));
+    model.add_transition(*sm, idle, report, *get, "in").set_guard("n >= 3");
+    model.add_transition(*sm, report, idle)
+        .add_effect(uml::Action::assign("n", "0"));
+  }
+};
+
+std::string describe(const StepResult& r) {
+  std::string out = "fired=" + std::to_string(r.fired) +
+                    " cycles=" + std::to_string(r.compute_cycles) +
+                    " taken=" + std::to_string(r.transitions_taken);
+  for (const Send& s : r.sends) {
+    out += " send(" + s.port + "," +
+           (s.signal != nullptr ? s.signal->name() : "?");
+    for (const long a : s.args) out += "," + std::to_string(a);
+    out += ")";
+  }
+  for (const TimerOp& t : r.timers) {
+    out += t.kind == TimerOp::Kind::Set
+               ? " set(" + t.name + "," + std::to_string(t.delay) + ")"
+               : " reset(" + t.name + ")";
+  }
+  return out;
+}
+
+/// Drives the AST and bytecode instances in lock step, asserting identical
+/// StepResults and states after every operation.
+struct LockStep {
+  Instance ast;
+  CompiledMachine machine;
+  CompiledInstance code;
+
+  explicit LockStep(const uml::StateMachine& sm)
+      : ast(sm, "p"), machine(sm), code(machine, "p") {}
+
+  void start() { check(ast.start(), code.start(), "start"); }
+  void reset() { check(ast.reset(), code.reset(), "reset"); }
+  void deliver(const Event& e) {
+    check(ast.deliver(e), code.deliver(e), "deliver");
+  }
+  void timer(const std::string& t) {
+    check(ast.timer_fired(t), code.timer_fired(t), "timer " + t);
+  }
+
+  void check(const StepResult& a, const StepResult& b,
+             const std::string& what) {
+    EXPECT_EQ(describe(a), describe(b)) << what;
+    ASSERT_NE(ast.state(), nullptr);
+    EXPECT_EQ(ast.state()->name(), code.state_name()) << what;
+  }
+};
+
+}  // namespace
+
+TEST(CompiledInstance, CounterMachineLockStep) {
+  CounterModel m;
+  LockStep ls(*m.sm);
+  ls.start();
+  ls.deliver({m.get, "in", {}});   // guard false: discarded
+  ls.deliver({m.inc, "in", {5}});
+  ls.deliver({m.inc, "in", {}});   // missing arg defaults to 0
+  ls.deliver({m.inc, "out", {1}}); // wrong port: no trigger
+  ls.deliver({m.get, "in", {}});   // fires: entry send + completion chain
+  EXPECT_EQ(ls.ast.variable("n"), ls.code.variable("n"));
+  ls.deliver({m.inc, "in", {2}});
+  ls.reset();
+  EXPECT_EQ(ls.ast.variable("n"), 0);
+  EXPECT_EQ(ls.code.variable("n"), 0);
+  ls.deliver({m.inc, "in", {4}});
+  ls.deliver({m.get, "in", {}});
+}
+
+TEST(CompiledInstance, ParamShadowsVariableThenRestores) {
+  // A signal parameter named like a persistent variable shadows it for the
+  // step; an Assign to that name during the step writes through.
+  uml::Model model{"m"};
+  auto& probe = model.create_signal("Probe");
+  probe.add_parameter("v", "int");
+  auto& keep = model.create_signal("Keep");
+  keep.add_parameter("v", "int");
+  auto& out_sig = model.create_signal("Out");
+  out_sig.add_parameter("value", "int");
+
+  auto& cls = model.create_class("C", nullptr, true);
+  model.add_port(cls, "in").provide(probe).provide(keep);
+  model.add_port(cls, "out").require(out_sig);
+  auto& sm = model.create_behavior(cls);
+  sm.declare_variable("v", 100);
+  auto& a = model.add_state(sm, "A", true);
+  // Probe: sends the shadowed value, leaves the variable alone.
+  model.add_transition(sm, a, a, probe, "in")
+      .add_effect(uml::Action::send("out", out_sig, {"v"}));
+  // Keep: assigns through the shadow, making the parameter value persist.
+  model.add_transition(sm, a, a, keep, "in")
+      .add_effect(uml::Action::assign("v", "v + 1"));
+
+  LockStep ls(sm);
+  ls.start();
+  ls.deliver({&probe, "in", {7}});   // sends 7 (shadow), v stays 100
+  EXPECT_EQ(ls.ast.variable("v"), 100);
+  EXPECT_EQ(ls.code.variable("v"), 100);
+  ls.deliver({&keep, "in", {7}});    // assigns v = 7 + 1
+  EXPECT_EQ(ls.ast.variable("v"), 8);
+  EXPECT_EQ(ls.code.variable("v"), 8);
+  ls.deliver({&probe, "in", {3}});   // sends 3, v stays 8
+  EXPECT_EQ(ls.ast.variable("v"), 8);
+  EXPECT_EQ(ls.code.variable("v"), 8);
+}
+
+TEST(CompiledInstance, DynamicVariablesAndTimers) {
+  uml::Model model{"m"};
+  auto& cls = model.create_class("C", nullptr, true);
+  auto& sm = model.create_behavior(cls);
+  sm.declare_variable("ticks", 0);
+  auto& a = model.add_state(sm, "A", true);
+  a.on_entry(uml::Action::set_timer("t", "50"));
+  model.add_timer_transition(sm, a, a, "t")
+      .add_effect(uml::Action::assign("ticks", "ticks + 1"))
+      .add_effect(uml::Action::assign("extra", "ticks * 2"));
+
+  LockStep ls(sm);
+  ls.start();
+  ls.timer("t");
+  ls.timer("t");
+  EXPECT_EQ(ls.ast.variable("ticks"), 2);
+  EXPECT_EQ(ls.code.variable("ticks"), 2);
+  // "extra" was created by an Assign, not declared.
+  EXPECT_EQ(ls.ast.variable("extra"), ls.code.variable("extra"));
+  ls.timer("zzz");  // unknown timer: discarded identically
+  EXPECT_THROW((void)ls.code.variable("nosuch"), std::out_of_range);
+}
+
+TEST(CompiledInstance, ErrorsMatchAstPath) {
+  CounterModel m;
+  CompiledMachine machine(*m.sm);
+  CompiledInstance inst(machine, "c");
+  // Stepping before start throws like the AST path; declared variables are
+  // readable from construction on both paths.
+  EXPECT_THROW((void)inst.deliver({m.inc, "in", {1}}), std::logic_error);
+  EXPECT_THROW((void)inst.timer_fired("t"), std::logic_error);
+  EXPECT_EQ(inst.variable("n"), Instance(*m.sm, "c").variable("n"));
+  EXPECT_THROW((void)inst.variable("nosuch"), std::out_of_range);
+}
+
+TEST(CompiledInstance, CompletionLivelockDetected) {
+  uml::Model model{"m"};
+  auto& cls = model.create_class("C", nullptr, true);
+  auto& sm = model.create_behavior(cls);
+  auto& a = model.add_state(sm, "A", true);
+  auto& b = model.add_state(sm, "B");
+  model.add_transition(sm, a, b);
+  model.add_transition(sm, b, a);
+
+  CompiledMachine machine(sm);
+  CompiledInstance inst(machine, "loop");
+  EXPECT_THROW((void)inst.start(), LivelockError);
+
+  Instance ast(sm, "loop");
+  EXPECT_THROW((void)ast.start(), LivelockError);
+}
+
+TEST(CompiledMachine, MalformedExpressionThrowsAtLowering) {
+  // The documented divergence: the AST path defers ExprError to first
+  // evaluation, the compiled path fails at machine construction.
+  uml::Model model{"m"};
+  auto& cls = model.create_class("C", nullptr, true);
+  auto& sm = model.create_behavior(cls);
+  auto& a = model.add_state(sm, "A", true);
+  model.add_transition(sm, a, a).set_guard("1 +");
+  EXPECT_THROW((void)CompiledMachine(sm), ExprError);
+}

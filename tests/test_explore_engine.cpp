@@ -6,6 +6,7 @@
 #include <string>
 
 #include "explore/engine.hpp"
+#include "explore/measure.hpp"
 #include "tutmac/tutmac.hpp"
 
 using namespace tut;
@@ -217,4 +218,61 @@ TEST(ExploreEngine, TutmacWinnerBeatsSingleGreedyProposal) {
   const auto result = engine.explore(types);
   EXPECT_LE(result.winner().mapping.cost.makespan,
             greedy_mapping.cost.makespan);
+}
+
+// ---------------------------------------------------------------------------
+// Measured fault scenarios (explore -> sim bridge)
+// ---------------------------------------------------------------------------
+
+TEST(MeasureFaultScenarios, SimulatesScenariosDeterministically) {
+  tutmac::Options opt;
+  opt.horizon = 1'500'000;
+  const tutmac::System sys = tutmac::build(opt);
+  mapping::SystemView view(*sys.model);
+
+  std::vector<CostModel::FaultScenario> scenarios;
+  scenarios.push_back({{"processor2"}, 1.0});
+  scenarios.push_back({{"processor3"}, 1.0});
+  const auto workload = [&sys](sim::Simulation& s) { sys.inject_workload(s); };
+
+  const auto measured =
+      measure_fault_scenarios(view, scenarios, workload, opt.horizon, 2);
+  ASSERT_EQ(measured.size(), 3u);
+  EXPECT_EQ(measured[0].name, "baseline");
+  EXPECT_EQ(measured[1].name, "fail:processor2");
+  for (const auto& m : measured) {
+    EXPECT_TRUE(m.error.empty()) << m.name << ": " << m.error;
+    EXPECT_GT(m.makespan, 0.0) << m.name;
+    EXPECT_GT(m.events, 0u) << m.name;
+  }
+  // Failing processor2 perturbs the run relative to the baseline.
+  EXPECT_NE(measured[1].log_hash, measured[0].log_hash);
+
+  // Thread count does not change the measurements.
+  const auto serial =
+      measure_fault_scenarios(view, scenarios, workload, opt.horizon, 1);
+  ASSERT_EQ(serial.size(), measured.size());
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    EXPECT_EQ(serial[i].log_hash, measured[i].log_hash) << i;
+    EXPECT_EQ(serial[i].makespan, measured[i].makespan) << i;
+  }
+}
+
+TEST(MeasureFaultScenarios, CalibrationScalesWeightsByMeasuredRatio) {
+  CostModel model;
+  model.fault_scenarios.push_back({{"pe1"}, 2.0});
+  model.fault_scenarios.push_back({{"pe2"}, 1.0});
+
+  std::vector<ScenarioMeasurement> measured(3);
+  measured[0].makespan = 100.0;  // baseline
+  measured[1].makespan = 150.0;  // 1.5x degraded
+  measured[2].error = "did not run";
+
+  const CostModel calibrated = calibrate_fault_weights(model, measured);
+  EXPECT_DOUBLE_EQ(calibrated.fault_scenarios[0].weight, 3.0);
+  EXPECT_DOUBLE_EQ(calibrated.fault_scenarios[1].weight, 1.0);  // kept
+
+  EXPECT_THROW(
+      (void)calibrate_fault_weights(model, std::vector<ScenarioMeasurement>(1)),
+      std::invalid_argument);
 }

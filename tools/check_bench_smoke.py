@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Bench smoke check for the compiled simulation core.
+
+Reads a Google Benchmark JSON report (bench_kernel_micro run with
+--benchmark_format=json; a leading text banner is tolerated) and compares it
+against the medians checked into BENCH_sim.json:
+
+  * every benchmark listed under "smoke_medians" must be present and at most
+    --tolerance (default 25%) slower than its checked-in median;
+  * every pair under "smoke_min_speedups" (closure-vs-POD kernel,
+    AST-vs-bytecode EFSM) must keep at least its minimum speedup — this is
+    machine-independent, so it holds even when the runner is faster or
+    slower than the box that produced the absolute numbers.
+
+Exit status: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    """Parses benchmark JSON, skipping any banner lines before the '{'."""
+    with open(path) as f:
+        lines = f.read().splitlines()
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("{"):
+            return json.loads("\n".join(lines[i:]))
+    raise ValueError(f"{path}: no JSON object found")
+
+
+UNIT_NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def medians_ns(report):
+    """run_name -> median real_time in ns (single runs count as medians)."""
+    out = {}
+    singles = {}
+    for b in report.get("benchmarks", []):
+        scale = UNIT_NS[b.get("time_unit", "ns")]
+        name = b.get("run_name", b.get("name", ""))
+        if b.get("aggregate_name") == "median":
+            out[name] = b["real_time"] * scale
+        elif "aggregate_name" not in b:
+            singles.setdefault(name, []).append(b["real_time"] * scale)
+    for name, times in singles.items():
+        if name not in out:
+            times.sort()
+            out[name] = times[len(times) // 2]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="benchmark JSON output")
+    ap.add_argument("--baseline", default="BENCH_sim.json")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional slowdown vs checked-in medians")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        measured = medians_ns(load_report(args.report))
+    except (OSError, ValueError, KeyError) as e:
+        print(f"check_bench_smoke: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, spec in baseline.get("smoke_medians", {}).items():
+        expected = spec["real_time"] * UNIT_NS[spec["time_unit"]]
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from report (crashed or renamed?)")
+            continue
+        ratio = got / expected
+        mark = "FAIL" if ratio > 1 + args.tolerance else "ok"
+        print(f"{mark:4s} {name:42s} {got:12.1f} ns  vs {expected:12.1f} ns "
+              f"({ratio - 1:+.0%} vs baseline)")
+        if ratio > 1 + args.tolerance:
+            failures.append(f"{name}: {ratio - 1:.0%} slower than checked-in "
+                            f"median (tolerance {args.tolerance:.0%})")
+
+    for key, spec in baseline.get("smoke_min_speedups", {}).items():
+        before = measured.get(spec["before"])
+        after = measured.get(spec["after"])
+        if before is None or after is None or after <= 0:
+            failures.append(f"{key}: pair {spec['before']} / {spec['after']} "
+                            "not measured")
+            continue
+        speedup = before / after
+        mark = "ok" if speedup >= spec["min"] else "FAIL"
+        print(f"{mark:4s} speedup {key:34s} {speedup:5.2f}x "
+              f"(min {spec['min']:.2f}x)")
+        if speedup < spec["min"]:
+            failures.append(f"{key}: speedup {speedup:.2f}x below minimum "
+                            f"{spec['min']:.2f}x")
+
+    if failures:
+        print("\nbench smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,11 +10,16 @@
 //   tut codegen   <model.xml> <outdir> [--host]  generate the C implementation
 //   tut profile   <model.xml> <sim.log>       Table-4 report + latencies
 //   tut simulate  tutmac <outdir> [ms] [--faults plan.xml] [--seed N]
+//                 [--batch N] [--threads K]
 //                                             build+simulate the case study,
 //                                             writing model.xml and sim.log;
 //                                             with a fault plan the profiling
 //                                             report gains the reliability
-//                                             section
+//                                             section. --batch N compiles the
+//                                             model once and runs N scenarios
+//                                             (fault seeds seed..seed+N-1)
+//                                             over K worker threads, printing
+//                                             a per-scenario table
 //   tut roundtrip <model.xml>                 canonicalized XML on stdout
 #include <filesystem>
 #include <fstream>
@@ -27,6 +32,7 @@
 #include "diagram/diagram.hpp"
 #include "profile/tut_profile.hpp"
 #include "profiler/profiler.hpp"
+#include "sim/batch.hpp"
 #include "tutmac/tutmac.hpp"
 #include "uml/serialize.hpp"
 #include "uml/validation.hpp"
@@ -43,7 +49,8 @@ int usage() {
       "  diagram   <model.xml> <fig3|fig4|fig5|fig6|fig7|fig8>\n"
       "  codegen   <model.xml> <outdir> [--host]\n"
       "  profile   <model.xml> <sim.log>\n"
-      "  simulate  tutmac <outdir> [horizon_ms] [--faults plan.xml] [--seed N]\n"
+      "  simulate  tutmac <outdir> [horizon_ms] [--faults plan.xml] [--seed N]"
+      " [--batch N] [--threads K]\n"
       "  roundtrip <model.xml>\n";
   return 2;
 }
@@ -162,7 +169,8 @@ int cmd_profile(const std::string& model_path, const std::string& log_path) {
 }
 
 int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
-                        const std::string& faults_path, long seed) {
+                        const std::string& faults_path, long seed,
+                        std::size_t batch, std::size_t threads) {
   tutmac::Options opt;
   opt.horizon = static_cast<sim::Time>(horizon_ms) * 1'000'000;
   tutmac::System sys = tutmac::build(opt);
@@ -174,9 +182,67 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
     config.faults = sim::FaultPlan::from_xml_text(read_file(faults_path));
   }
   if (seed >= 0) config.faults.seed = static_cast<std::uint64_t>(seed);
-  auto simulation = std::make_unique<sim::Simulation>(view, config);
-  sys.inject_workload(*simulation);
-  simulation->run();
+
+  std::string log_text;
+  std::uint64_t events = 0;
+  if (batch <= 1) {
+    auto simulation = std::make_unique<sim::Simulation>(view, config);
+    sys.inject_workload(*simulation);
+    simulation->run();
+    log_text = simulation->log().to_text();
+    events = simulation->events_dispatched();
+  } else {
+    // Batch mode: lower the model once, fan the scenarios out. Scenario i
+    // perturbs only the fault seed, so without a fault plan all rows hash
+    // identically (itself a useful determinism check).
+    const auto compiled = sim::CompiledModel::build(view);
+    std::vector<sim::BatchScenario> scenarios;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim::BatchScenario s;
+      s.name = "seed-" + std::to_string(config.faults.seed + i);
+      s.config = config;
+      s.config.faults.seed = config.faults.seed + i;
+      s.setup = [&sys](sim::Simulation& sim) { sys.inject_workload(sim); };
+      scenarios.push_back(std::move(s));
+    }
+    sim::BatchOptions options;
+    options.threads = threads;
+    options.keep_logs = true;
+    const sim::BatchRunner runner(compiled, options);
+    const auto results = runner.run(scenarios);
+
+    std::cout << "batch of " << batch << " scenarios over "
+              << runner.threads() << " thread(s)\n"
+              << "scenario        events    records   end(ms)   log-hash\n";
+    for (const sim::BatchResult& r : results) {
+      if (!r.error.empty()) {
+        std::cout << r.name << "  ERROR: " << r.error << '\n';
+        continue;
+      }
+      char line[128];
+      std::snprintf(line, sizeof line, "%-14s %9llu  %9zu  %8.1f   %016llx\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.events), r.records,
+                    static_cast<double>(r.end_time) / 1e6,
+                    static_cast<unsigned long long>(r.log_hash));
+      std::cout << line;
+    }
+    if (results[0].error.empty()) {
+      log_text = results[0].log_text;
+      events = results[0].events;
+      // Determinism check: a fresh single run of scenario 0 must hash to
+      // the batch's row 0.
+      sim::Simulation check(compiled, scenarios[0].config);
+      sys.inject_workload(check);
+      check.run();
+      const auto check_hash =
+          sim::BatchRunner::hash_text(check.log().to_text());
+      std::cout << "determinism check: "
+                << (check_hash == results[0].log_hash ? "ok" : "MISMATCH")
+                << '\n';
+      if (check_hash != results[0].log_hash) return 1;
+    }
+  }
 
   std::filesystem::create_directories(outdir);
   {
@@ -185,17 +251,17 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
   }
   {
     std::ofstream out(outdir + "/sim.log");
-    out << simulation->log().to_text();
+    out << log_text;
   }
-  std::cout << "simulated " << horizon_ms << " ms ("
-            << simulation->events_dispatched() << " events)\n"
+  std::cout << "simulated " << horizon_ms << " ms (" << events << " events)\n"
             << "wrote " << outdir << "/model.xml and " << outdir
             << "/sim.log\n";
   if (!faults_path.empty()) {
     // Degraded-mode runs print the profiling report directly: its
     // reliability section is the point of the exercise.
     const auto info = profiler::ProcessGroupInfo::from_model(*sys.model);
-    std::cout << '\n' << profiler::analyze(info, simulation->log()).to_text();
+    const auto log = sim::SimulationLog::parse(log_text);
+    std::cout << '\n' << profiler::analyze(info, log).to_text();
   }
   return 0;
 }
@@ -224,6 +290,8 @@ int main(int argc, char** argv) {
       long ms = 20;
       std::string faults_path;
       long seed = -1;  // negative: keep the plan's own seed
+      std::size_t batch = 1;
+      std::size_t threads = 0;
       std::size_t i = 3;
       if (i < args.size() && args[i][0] != '-') ms = std::stol(args[i++]);
       while (i < args.size()) {
@@ -231,12 +299,17 @@ int main(int argc, char** argv) {
           faults_path = args[++i];
         } else if (args[i] == "--seed" && i + 1 < args.size()) {
           seed = std::stol(args[++i]);
+        } else if (args[i] == "--batch" && i + 1 < args.size()) {
+          batch = static_cast<std::size_t>(std::stoul(args[++i]));
+        } else if (args[i] == "--threads" && i + 1 < args.size()) {
+          threads = static_cast<std::size_t>(std::stoul(args[++i]));
         } else {
           return usage();
         }
         ++i;
       }
-      return cmd_simulate_tutmac(args[2], ms, faults_path, seed);
+      return cmd_simulate_tutmac(args[2], ms, faults_path, seed, batch,
+                                 threads);
     }
     if (cmd == "roundtrip" && args.size() == 2) {
       std::cout << uml::to_xml_string(*load_model(args[1]));
