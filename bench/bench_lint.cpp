@@ -1,0 +1,100 @@
+// A7: whole-design static analysis benchmarks — `tut lint` over the full
+// TUTMAC model. The analyzer budget is interactive: a complete run (core
+// validation + EFSM bytecode + signal flow + mapping/platform + source-map
+// offsets) must stay well under 100 ms so it can sit in an editor save hook
+// and in every CI job.
+#include <chrono>
+#include <iostream>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/source_map.hpp"
+#include "bench_util.hpp"
+#include "tutmac/tutmac.hpp"
+#include "uml/serialize.hpp"
+
+using namespace tut;
+
+namespace {
+
+const std::string& tutmac_xml() {
+  static const std::string xml = [] {
+    const tutmac::System sys = tutmac::build();
+    return uml::to_xml_string(*sys.model);
+  }();
+  return xml;
+}
+
+void print_header() {
+  bench::banner("A7: whole-design static analysis (tut lint)");
+  const tutmac::System sys = tutmac::build();
+  analysis::Options options;
+  options.xml_text = tutmac_xml();
+  const analysis::Report report = analysis::analyze(*sys.model, options);
+  std::cout << "TUTMAC: " << sys.model->size() << " elements, "
+            << analysis::rule_catalog().size() << " analysis rules, findings: "
+            << report.error_count() << " errors, " << report.warning_count()
+            << " warnings, " << report.info_count() << " infos\n";
+
+  // The acceptance gate, measured directly: median of repeated full runs
+  // (parse from XML + analyze with offsets), the exact `tut lint` hot path.
+  using clock = std::chrono::steady_clock;
+  constexpr int kRuns = 30;
+  std::vector<double> ms;
+  ms.reserve(kRuns);
+  for (int i = 0; i < kRuns; ++i) {
+    const auto t0 = clock::now();
+    const auto model = uml::from_xml_string(tutmac_xml());
+    analysis::Options opt;
+    opt.xml_text = tutmac_xml();
+    const analysis::Report r = analysis::analyze(*model, opt);
+    benchmark::DoNotOptimize(r.diagnostics().data());
+    ms.push_back(std::chrono::duration<double, std::milli>(clock::now() - t0)
+                     .count());
+  }
+  std::sort(ms.begin(), ms.end());
+  const double median = ms[ms.size() / 2];
+  std::cout << "full lint (parse + analyze + offsets), median of " << kRuns
+            << " runs: " << median << " ms — budget 100 ms: "
+            << (median < 100.0 ? "ok" : "OVER BUDGET") << "\n";
+}
+
+/// Analysis over an in-memory model (the library-call path).
+void BM_AnalyzeTutmac(benchmark::State& state) {
+  const tutmac::System sys = tutmac::build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze(*sys.model).diagnostics().data());
+  }
+}
+BENCHMARK(BM_AnalyzeTutmac)->Unit(benchmark::kMillisecond);
+
+/// The full CLI path: parse the XML, build offsets, run every family.
+void BM_LintTutmacFromXml(benchmark::State& state) {
+  const std::string& xml = tutmac_xml();
+  for (auto _ : state) {
+    const auto model = uml::from_xml_string(xml);
+    analysis::Options options;
+    options.xml_text = xml;
+    benchmark::DoNotOptimize(
+        analysis::analyze(*model, options).diagnostics().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_LintTutmacFromXml)->Unit(benchmark::kMillisecond);
+
+/// Offset resolution alone: one cursor pass over the document.
+void BM_SourceMapBuild(benchmark::State& state) {
+  const std::string& xml = tutmac_xml();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::SourceMap::build(xml).size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_SourceMapBuild)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run(argc, argv, print_header);
+}

@@ -1,0 +1,120 @@
+#include "analysis/analyzer.hpp"
+
+#include <memory>
+
+#include "analysis/internal.hpp"
+#include "profile/tut_profile.hpp"
+
+namespace tut::analysis {
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {"analysis.view.failed", Severity::Error,
+       "the combined application/platform/mapping view cannot be built"},
+      {"efsm.expr.malformed", Severity::Error,
+       "expression text fails to lower to bytecode"},
+      {"efsm.guard.false", Severity::Warning,
+       "constant-folded guard is always false"},
+      {"efsm.signal.never_sent", Severity::Warning,
+       "trigger signal is never sent and cannot be injected"},
+      {"efsm.state.unreachable", Severity::Warning,
+       "state unreachable from the initial state"},
+      {"efsm.transition.dead", Severity::Warning,
+       "transition shadowed by an earlier unconditional transition"},
+      {"efsm.trigger.overlap", Severity::Warning,
+       "same trigger and identical guard as an earlier transition"},
+      {"efsm.var.read_before_write", Severity::Warning,
+       "variable may be read before any path assigns it"},
+      {"efsm.var.undefined", Severity::Error,
+       "expression reads a name no declaration, assignment or trigger "
+       "parameter defines"},
+      {"fault.component.unknown", Severity::Error,
+       "fault plan names no component of the model"},
+      {"flow.boundary.unbound", Severity::Warning,
+       "root boundary port connected to no part"},
+      {"flow.connector.type", Severity::Error,
+       "routed signal not provided by the destination port"},
+      {"flow.cycle.deadlock", Severity::Warning,
+       "wait-for cycle among non-spontaneous processes"},
+      {"flow.hierarchy.ambiguous", Severity::Error,
+       "composite structure cannot be flattened for routing"},
+      {"flow.port.unbound", Severity::Warning,
+       "send port routes nowhere; the signal is dropped"},
+      {"flow.process.starved", Severity::Warning,
+       "process can never be activated"},
+      {"flow.signal.ignored", Severity::Warning,
+       "routed signal reaches a process that never consumes it"},
+      {"map.failover.infeasible", Severity::Info,
+       "a PE's processes have no compatible migration target"},
+      {"map.group.unmapped", Severity::Error,
+       "process group has no <<Mapping>> dependency"},
+      {"map.pe.incompatible", Severity::Error,
+       "group ProcessType incompatible with the target component Type"},
+      {"map.pe.overcommitted", Severity::Warning,
+       "mapped Code+DataMemory exceeds the instance's IntMemory"},
+      {"plat.route.missing", Severity::Error,
+       "communicating PEs have no segment path"},
+      {"plat.segment.unattached", Severity::Warning,
+       "segment has neither wrappers nor bridge links"},
+  };
+  return catalog;
+}
+
+Report analyze(const uml::Model& model, const Options& options) {
+  Report report;
+
+  SourceMap smap;
+  const bool have_offsets = !options.xml_text.empty();
+  if (have_offsets) smap = SourceMap::build(options.xml_text);
+
+  if (options.core) {
+    // Qualified-name -> offset for the core rules, which only report names.
+    std::map<std::string, long> by_name;
+    if (have_offsets) {
+      for (const auto& elem : model.elements()) {
+        by_name.emplace(elem->qualified_name(), smap.offset_of(elem->id()));
+      }
+    }
+    const uml::ValidationResult core = profile::make_validator().run(model);
+    report.merge(core, [&by_name](const std::string& qn) -> long {
+      const auto it = by_name.find(qn);
+      return it == by_name.end() ? -1 : it->second;
+    });
+  }
+
+  detail::Context ctx{model, nullptr, nullptr,
+                      have_offsets ? &smap : nullptr, &report};
+
+  // The combined view never throws on well-formed metadata, but a hostile
+  // model (e.g. grouping cycles hand-written in XML) must degrade to
+  // diagnostics, not exceptions.
+  std::unique_ptr<mapping::SystemView> sys;
+  try {
+    sys = std::make_unique<mapping::SystemView>(model);
+    ctx.sys = sys.get();
+  } catch (const std::exception& e) {
+    report.add(Severity::Error, "analysis.view.failed", model.qualified_name(),
+               std::string("cannot build the combined system view: ") +
+                   e.what());
+  }
+
+  std::unique_ptr<efsm::Router> router;
+  if (ctx.sys != nullptr && ctx.sys->app().application() != nullptr) {
+    try {
+      router = std::make_unique<efsm::Router>(*ctx.sys->app().application());
+      ctx.router = router.get();
+    } catch (const std::exception& e) {
+      ctx.diag(Severity::Error, "flow.hierarchy.ambiguous",
+               *ctx.sys->app().application(), e.what());
+    }
+  }
+
+  if (options.efsm) detail::run_efsm_rules(ctx);
+  if (options.flow) detail::run_flow_rules(ctx);
+  if (options.mapping) detail::run_mapping_rules(ctx, options.faults);
+
+  report.sort();
+  return report;
+}
+
+}  // namespace tut::analysis

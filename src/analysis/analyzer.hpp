@@ -1,0 +1,89 @@
+// analysis::analyze — whole-design static analysis over a TUT-Profile
+// model ("tut lint").
+//
+// Three rule families on top of the core uml/profile validation rules:
+//
+//  EFSM bytecode analysis (per state machine, over efsm::CompiledMachine /
+//  efsm::Program images):
+//   - efsm.expr.malformed       expression text fails to lower to bytecode
+//   - efsm.state.unreachable    state unreachable from the initial state
+//   - efsm.transition.dead      transition shadowed by an earlier
+//                               unconditional transition on the same trigger
+//   - efsm.trigger.overlap      two transitions share a trigger and an
+//                               identical guard (the later can never fire)
+//   - efsm.guard.false          constant-folded guard is always false
+//   - efsm.var.undefined        expression reads a name that is neither a
+//                               declared variable, an assigned variable nor
+//                               a trigger parameter (throws at runtime)
+//   - efsm.var.read_before_write variable may be read before any path
+//                               assigns it (definite-assignment dataflow)
+//   - efsm.signal.never_sent    trigger signal no process sends and the
+//                               environment cannot inject
+//
+//  Signal-flow analysis (composite structure + efsm::Router):
+//   - flow.hierarchy.ambiguous  the flattening router rejected the model
+//   - flow.port.unbound         a send port routes nowhere (signal dropped)
+//   - flow.connector.type       routed signal not provided by the
+//                               destination port
+//   - flow.signal.ignored       routed signal reaches a process whose
+//                               machine never consumes it
+//   - flow.boundary.unbound     root boundary port connected to no part
+//   - flow.process.starved      process has no spontaneous trigger and no
+//                               active sender can ever reach it
+//   - flow.cycle.deadlock       wait-for cycle: processes that only ever
+//                               activate each other
+//
+//  Mapping/platform analysis (mapping::SystemView + platform topology):
+//   - map.group.unmapped        process group with no <<Mapping>>
+//   - map.pe.incompatible       group ProcessType vs component Type clash
+//   - map.pe.overcommitted      mapped Code+DataMemory exceeds the
+//                               instance's IntMemory
+//   - plat.segment.unattached   segment with neither wrappers nor bridges
+//   - plat.route.missing        communicating processes mapped to PEs with
+//                               no segment path between them
+//   - map.failover.infeasible   a PE's processes have no compatible
+//                               migration target should it fail (info;
+//                               error when a fault plan fails that PE)
+//   - fault.component.unknown   fault plan names no model component
+//
+// The analyzer is read-only and total: defective models produce
+// diagnostics, never exceptions.
+#pragma once
+
+#include <string_view>
+
+#include "analysis/diagnostics.hpp"
+#include "sim/fault.hpp"
+#include "uml/model.hpp"
+
+namespace tut::analysis {
+
+struct Options {
+  bool core = true;     ///< run uml core + TUT-Profile design rules first
+  bool efsm = true;     ///< EFSM bytecode family
+  bool flow = true;     ///< signal-flow family
+  bool mapping = true;  ///< mapping/platform family
+
+  /// Optional fault plan to cross-check (failover feasibility of the PEs it
+  /// fails; component-name resolution).
+  const sim::FaultPlan* faults = nullptr;
+
+  /// The model's source XML; when set, diagnostics carry byte offsets.
+  std::string_view xml_text = {};
+};
+
+/// One catalog entry per rule the analyzer can emit.
+struct RuleInfo {
+  std::string_view id;
+  Severity severity;  ///< default severity
+  std::string_view summary;
+};
+
+/// The full rule catalog, sorted by id (analysis rules only; core rules are
+/// documented by uml::Validator / profile::make_validator).
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Runs every enabled family and returns the sorted report.
+Report analyze(const uml::Model& model, const Options& options = {});
+
+}  // namespace tut::analysis

@@ -1,0 +1,194 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tut::analysis {
+
+std::string Diagnostic::to_text() const {
+  std::string out = uml::to_string(severity);
+  out += " [" + rule + "]";
+  if (!element.empty()) out += " " + element;
+  if (offset >= 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " @%ld", offset);
+    out += buf;
+  }
+  out += ": " + message;
+  if (suppressed) out += " (baseline)";
+  return out;
+}
+
+Baseline Baseline::parse(std::string_view text) {
+  Baseline b;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Trim trailing CR and surrounding spaces.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      // Bare rule id: suppress the rule everywhere.
+      b.entries_.emplace(std::string(line), std::string());
+    } else {
+      b.entries_.emplace(std::string(line.substr(0, tab)),
+                         std::string(line.substr(tab + 1)));
+    }
+  }
+  return b;
+}
+
+std::string Baseline::from_diagnostics(const std::vector<Diagnostic>& diags) {
+  std::set<std::pair<std::string, std::string>> entries;
+  for (const Diagnostic& d : diags) entries.emplace(d.rule, d.element);
+  std::string out =
+      "# tut lint baseline: one \"rule<TAB>element\" per line. Diagnostics\n"
+      "# matching an entry are reported but do not affect the exit code.\n";
+  for (const auto& [rule, element] : entries) {
+    out += rule;
+    out += '\t';
+    out += element;
+    out += '\n';
+  }
+  return out;
+}
+
+void Report::add(Severity severity, std::string rule, std::string element,
+                 std::string message, long offset) {
+  diags_.push_back(Diagnostic{severity, std::move(rule), std::move(element),
+                              std::move(message), offset, false});
+}
+
+void Report::merge(const uml::ValidationResult& result,
+                   const std::function<long(const std::string&)>& resolve) {
+  for (const uml::Diagnostic& d : result.diagnostics()) {
+    add(d.severity, d.rule, d.element, d.message,
+        resolve ? resolve(d.element) : -1);
+  }
+}
+
+void Report::apply_baseline(const Baseline& baseline) {
+  for (Diagnostic& d : diags_) {
+    if (baseline.matches(d)) d.suppressed = true;
+    // A bare-rule entry matches any element of that rule.
+    if (!d.suppressed &&
+        baseline.matches(Diagnostic{d.severity, d.rule, "", "", -1, false})) {
+      d.suppressed = true;
+    }
+  }
+}
+
+void Report::sort() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     const unsigned long ao =
+                         a.offset < 0 ? ~0ul : static_cast<unsigned long>(a.offset);
+                     const unsigned long bo =
+                         b.offset < 0 ? ~0ul : static_cast<unsigned long>(b.offset);
+                     if (ao != bo) return ao < bo;
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     return a.element < b.element;
+                   });
+}
+
+namespace {
+
+std::size_t count(const std::vector<Diagnostic>& diags, Severity sev) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (!d.suppressed && d.severity == sev) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::size_t Report::error_count() const noexcept {
+  return count(diags_, Severity::Error);
+}
+std::size_t Report::warning_count() const noexcept {
+  return count(diags_, Severity::Warning);
+}
+std::size_t Report::info_count() const noexcept {
+  return count(diags_, Severity::Info);
+}
+std::size_t Report::suppressed_count() const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) n += d.suppressed ? 1 : 0;
+  return n;
+}
+
+std::string Report::to_text() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.to_text();
+    out += '\n';
+  }
+  out += std::to_string(error_count()) + " errors, " +
+         std::to_string(warning_count()) + " warnings";
+  if (info_count() != 0) {
+    out += ", " + std::to_string(info_count()) + " infos";
+  }
+  if (suppressed_count() != 0) {
+    out += ", " + std::to_string(suppressed_count()) + " baseline-suppressed";
+  }
+  out += '\n';
+  return out;
+}
+
+void json_escape(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string Report::to_json() const {
+  std::string out = "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diags_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"severity\":";
+    json_escape(out, uml::to_string(d.severity));
+    out += ",\"rule\":";
+    json_escape(out, d.rule);
+    out += ",\"element\":";
+    json_escape(out, d.element);
+    if (d.offset >= 0) {
+      out += ",\"offset\":" + std::to_string(d.offset);
+    }
+    out += ",\"message\":";
+    json_escape(out, d.message);
+    if (d.suppressed) out += ",\"suppressed\":true";
+    out += '}';
+  }
+  out += "],\"errors\":" + std::to_string(error_count()) +
+         ",\"warnings\":" + std::to_string(warning_count()) +
+         ",\"infos\":" + std::to_string(info_count()) +
+         ",\"suppressed\":" + std::to_string(suppressed_count()) + "}\n";
+  return out;
+}
+
+}  // namespace tut::analysis

@@ -1,0 +1,114 @@
+// tut::analysis — diagnostics engine for whole-design static analysis.
+//
+// The paper's profile exists so that tools can catch design errors before
+// simulation ("various stereotypes and strict rules how to use them"). This
+// module is the reporting half of that promise: a Diagnostic carries a
+// stable rule id, a severity, the offending element's qualified name, and —
+// when the model came from XML — the byte offset of the element's start tag
+// (resolved through analysis::SourceMap), so editors and CI annotations can
+// jump straight to the defect. A Report aggregates diagnostics, renders
+// them as text or JSON, and applies a Baseline (a checked-in suppression
+// file) so a legacy design can adopt the analyzer incrementally.
+//
+// The shape deliberately extends uml::ValidationResult (severity, rule,
+// element, message) rather than replacing it: core well-formedness findings
+// merge into a Report unchanged, gaining offsets where resolvable.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "uml/validation.hpp"
+
+namespace tut::analysis {
+
+using uml::Severity;
+
+/// One analysis finding. `offset` is the byte position of the element's
+/// start tag in the source XML (-1 when the model was built in memory or
+/// the element could not be located).
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string rule;     ///< stable id, e.g. "efsm.state.unreachable"
+  std::string element;  ///< qualified name ("" for model-level findings)
+  std::string message;
+  long offset = -1;
+  bool suppressed = false;  ///< matched by the active baseline
+
+  /// "error [rule] element @byte: message" (offset and element elided when
+  /// absent; "(baseline)" appended when suppressed).
+  std::string to_text() const;
+};
+
+/// A baseline (suppression) file: one "rule<TAB>element" pair per line,
+/// '#' comments and blank lines ignored. Matching diagnostics are kept in
+/// the report but excluded from the error/warning counts and the exit code.
+class Baseline {
+ public:
+  static Baseline parse(std::string_view text);
+
+  bool matches(const Diagnostic& d) const {
+    return entries_.count({d.rule, d.element}) != 0;
+  }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Serializes every non-suppressed diagnostic of `diags` as a baseline
+  /// file (sorted, deduplicated) — the `--write-baseline` payload.
+  static std::string from_diagnostics(const std::vector<Diagnostic>& diags);
+
+ private:
+  std::set<std::pair<std::string, std::string>> entries_;
+};
+
+/// An analysis run's findings.
+class Report {
+ public:
+  void add(Severity severity, std::string rule, std::string element,
+           std::string message, long offset = -1);
+
+  /// Folds a core validation result in; `resolve` maps a qualified element
+  /// name to its byte offset (may be empty).
+  void merge(const uml::ValidationResult& result,
+             const std::function<long(const std::string&)>& resolve = {});
+
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+
+  /// Marks every baseline-matched diagnostic as suppressed.
+  void apply_baseline(const Baseline& baseline);
+
+  /// Stable presentation order: byte offset, then rule, then element
+  /// (unknown offsets last, in insertion order among themselves).
+  void sort();
+
+  // Suppressed diagnostics never count.
+  std::size_t error_count() const noexcept;
+  std::size_t warning_count() const noexcept;
+  std::size_t info_count() const noexcept;
+  std::size_t suppressed_count() const noexcept;
+
+  /// True when nothing blocks: no errors, and no warnings when `werror`.
+  bool ok(bool werror = false) const noexcept {
+    return error_count() == 0 && (!werror || warning_count() == 0);
+  }
+
+  /// One line per diagnostic plus a summary line.
+  std::string to_text() const;
+  /// Machine-readable rendering:
+  /// {"diagnostics":[...],"errors":N,"warnings":N,"infos":N,"suppressed":N}
+  std::string to_json() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+void json_escape(std::string& out, std::string_view s);
+
+}  // namespace tut::analysis

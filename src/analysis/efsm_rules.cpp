@@ -1,0 +1,461 @@
+// EFSM bytecode analysis: reachability, shadowed transitions, constant
+// guards, definite-assignment dataflow and machine-level signal accounting,
+// all over the efsm::Program / efsm::CompiledMachine images the compiled
+// simulation core executes — what the analyzer proves holds for exactly the
+// artifact the simulator runs.
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "analysis/internal.hpp"
+#include "efsm/program.hpp"
+
+namespace tut::analysis::detail {
+
+namespace {
+
+using efsm::CompiledMachine;
+using efsm::Program;
+
+/// Constant value of a Program that touches no variable slot; nullopt when
+/// the program reads state or faults while folding (division by zero).
+std::optional<long> const_value(const Program& p) {
+  for (const Program::Instr& in : p.code()) {
+    if (in.op == Program::Op::Slot || in.op == Program::Op::Missing) {
+      return std::nullopt;
+    }
+  }
+  try {
+    std::vector<long> regs(p.reg_count());
+    return p.run(Program::Slots{}, regs.data());
+  } catch (const efsm::EvalError&) {
+    return std::nullopt;
+  }
+}
+
+/// True when `guard` cannot block: absent, or constant non-zero.
+bool guard_always_true(const CompiledMachine::Transition& t) {
+  if (!t.has_guard) return true;
+  const auto v = const_value(t.guard);
+  return v.has_value() && *v != 0;
+}
+
+/// Does an earlier transition on trigger key `a` receive every event that
+/// would match `b`? (Same kind; an empty trigger port matches any port.)
+bool trigger_covers(const CompiledMachine::Transition& a,
+                    const CompiledMachine::Transition& b) {
+  if (a.completion || b.completion) return a.completion && b.completion;
+  if (!a.trigger_timer.empty() || !b.trigger_timer.empty()) {
+    return a.trigger_timer == b.trigger_timer;
+  }
+  if (a.trigger_signal != b.trigger_signal) return false;
+  return a.trigger_port.empty() || a.trigger_port == b.trigger_port;
+}
+
+/// Slot universe as a plain bit vector (machines have few slots).
+using Bits = std::vector<bool>;
+
+Bits all_set(std::size_t n) { return Bits(n, true); }
+
+bool intersect_into(Bits& dst, const Bits& src) {
+  bool changed = false;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i] && !src[i]) {
+      dst[i] = false;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+/// Collects the slots a program reads.
+void reads_of(const Program& p, std::vector<std::uint16_t>& out) {
+  for (const Program::Instr& in : p.code()) {
+    if (in.op == Program::Op::Slot) out.push_back(in.a);
+  }
+}
+
+/// One machine's analysis state.
+struct MachineAnalysis {
+  const Context& ctx;
+  const uml::StateMachine& sm;
+  const CompiledMachine& cm;
+
+  // Reported (element, rule-key) pairs, to dedupe across dataflow passes.
+  std::set<std::pair<const uml::Element*, std::string>> reported;
+
+  void report_once(Severity sev, const char* rule, const uml::Element& el,
+                   std::string key, std::string msg) {
+    if (reported.emplace(&el, rule + ('\0' + key)).second) {
+      ctx.diag(sev, rule, el, std::move(msg));
+    }
+  }
+
+  const uml::Element& transition_element(std::uint32_t index) const {
+    return *sm.transitions()[index];
+  }
+  const uml::Element& state_element(std::uint32_t index) const {
+    return *sm.states()[index];
+  }
+
+  /// Missing-op names: identifiers that are not slots of this machine at
+  /// all — every evaluation would throw EvalError.
+  void check_missing(const Program& p, const uml::Element& at,
+                     const char* where) {
+    for (const Program::Instr& in : p.code()) {
+      if (in.op != Program::Op::Missing) continue;
+      const std::string& name = p.missing_names()[in.a];
+      report_once(Severity::Error, "efsm.var.undefined", at, name,
+                  std::string(where) + " reads '" + name +
+                      "', which no declaration, assignment or trigger "
+                      "parameter defines");
+    }
+  }
+
+  void check_missing_in_action(const CompiledMachine::Action& a,
+                               const uml::Element& at, const char* where) {
+    check_missing(a.expr, at, where);
+    for (const Program& arg : a.args) check_missing(arg, at, where);
+  }
+
+  // -- reachability ---------------------------------------------------------
+
+  std::vector<bool> reachable;
+
+  void compute_reachability() {
+    reachable.assign(cm.states().size(), false);
+    if (cm.initial_state() == CompiledMachine::kNoState) {
+      // Core rule uml.sm.wellformed already errors; nothing to anchor on.
+      reachable.assign(cm.states().size(), true);
+      return;
+    }
+    std::vector<std::uint32_t> work{cm.initial_state()};
+    reachable[cm.initial_state()] = true;
+    while (!work.empty()) {
+      const std::uint32_t s = work.back();
+      work.pop_back();
+      for (const std::uint32_t t : cm.states()[s].outgoing) {
+        const std::uint32_t dst = cm.transitions()[t].target;
+        if (!reachable[dst]) {
+          reachable[dst] = true;
+          work.push_back(dst);
+        }
+      }
+    }
+    for (std::uint32_t s = 0; s < cm.states().size(); ++s) {
+      if (!reachable[s]) {
+        ctx.diag(Severity::Warning, "efsm.state.unreachable",
+                 state_element(s),
+                 "state '" + cm.states()[s].name +
+                     "' is unreachable from the initial state");
+      }
+    }
+  }
+
+  // -- shadowing / overlap --------------------------------------------------
+
+  void check_shadowing() {
+    for (std::uint32_t s = 0; s < cm.states().size(); ++s) {
+      if (!reachable[s]) continue;  // already reported as unreachable
+      const auto& out = cm.states()[s].outgoing;
+      for (std::size_t j = 1; j < out.size(); ++j) {
+        const auto& later = cm.transitions()[out[j]];
+        for (std::size_t i = 0; i < j; ++i) {
+          const auto& earlier = cm.transitions()[out[i]];
+          if (!trigger_covers(earlier, later)) continue;
+          if (guard_always_true(earlier)) {
+            ctx.diag(Severity::Warning, "efsm.transition.dead",
+                     transition_element(out[j]),
+                     "transition can never fire: an earlier transition from "
+                     "'" + cm.states()[s].name +
+                         "' takes every matching event (declaration order "
+                         "is dispatch priority)");
+            break;
+          }
+          const uml::Transition& e = *sm.transitions()[out[i]];
+          const uml::Transition& l = *sm.transitions()[out[j]];
+          if (!l.guard().empty() && e.guard() == l.guard()) {
+            ctx.diag(Severity::Warning, "efsm.trigger.overlap",
+                     transition_element(out[j]),
+                     "transition repeats the trigger and guard [" +
+                         l.guard() + "] of an earlier transition from '" +
+                         cm.states()[s].name + "'; only the first can fire");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // -- constant guards ------------------------------------------------------
+
+  void check_constant_guards() {
+    for (std::uint32_t s = 0; s < cm.states().size(); ++s) {
+      if (!reachable[s]) continue;
+      for (const std::uint32_t t : cm.states()[s].outgoing) {
+        const auto& tr = cm.transitions()[t];
+        if (!tr.has_guard) continue;
+        const auto v = const_value(tr.guard);
+        if (v.has_value() && *v == 0) {
+          ctx.diag(Severity::Warning, "efsm.guard.false",
+                   transition_element(t),
+                   "guard [" + sm.transitions()[t]->guard() +
+                       "] folds to a constant false; the transition is dead");
+        }
+      }
+    }
+  }
+
+  // -- slot definition universe ---------------------------------------------
+
+  // Slots that SOME program point defines: declared variables, Assign
+  // targets, trigger parameters. A read of any other slot throws on every
+  // evaluation (the machine image has no write for it at all) — that is
+  // efsm.var.undefined, not a dataflow may-read.
+  Bits ever_defined;
+
+  void compute_ever_defined() {
+    ever_defined.assign(cm.slot_count(), false);
+    for (const auto& [slot, value] : cm.initial_values()) {
+      (void)value;
+      ever_defined[slot] = true;
+    }
+    const auto mark = [this](const std::vector<CompiledMachine::Action>& acts) {
+      for (const CompiledMachine::Action& a : acts) {
+        if (a.slot != efsm::kNoSlot && a.kind == uml::Action::Kind::Assign) {
+          ever_defined[a.slot] = true;
+        }
+      }
+    };
+    for (const auto& st : cm.states()) mark(st.entry);
+    for (const auto& tr : cm.transitions()) {
+      mark(tr.effects);
+      if (const auto* params = cm.param_slots(tr.trigger_signal)) {
+        for (const std::uint16_t s : *params) ever_defined[s] = true;
+      }
+    }
+  }
+
+  // -- definite assignment --------------------------------------------------
+
+  // IN[s]: slots definitely assigned on every path into state s. Seeded
+  // with the declared variables at the initial state, refined to the
+  // greatest fixpoint by intersection over incoming transitions (a
+  // transition defines its trigger's parameter slots for the duration of
+  // the step only — CompiledInstance restores the overlay afterwards unless
+  // the step itself assigned the slot).
+  std::vector<Bits> in_sets;
+
+  void effects_transfer(const std::vector<CompiledMachine::Action>& actions,
+                        Bits& defined, Bits* assigned) const {
+    for (const CompiledMachine::Action& a : actions) {
+      if (a.slot != efsm::kNoSlot && a.kind == uml::Action::Kind::Assign) {
+        defined[a.slot] = true;
+        if (assigned != nullptr) (*assigned)[a.slot] = true;
+      }
+    }
+  }
+
+  Bits transition_out(std::uint32_t t, const Bits& in) const {
+    const auto& tr = cm.transitions()[t];
+    Bits defined = in;
+    if (const auto* params = cm.param_slots(tr.trigger_signal)) {
+      for (const std::uint16_t s : *params) defined[s] = true;
+    }
+    Bits assigned(defined.size(), false);
+    effects_transfer(tr.effects, defined, &assigned);
+    effects_transfer(cm.states()[tr.target].entry, defined, &assigned);
+    // The parameter overlay is restored after the step: a parameter slot
+    // stays defined only if the step assigned it.
+    if (const auto* params = cm.param_slots(tr.trigger_signal)) {
+      for (const std::uint16_t s : *params) {
+        if (!assigned[s] && !in[s]) defined[s] = false;
+      }
+    }
+    return defined;
+  }
+
+  void compute_definite_assignment() {
+    const std::size_t n_slots = cm.slot_count();
+    in_sets.assign(cm.states().size(), all_set(n_slots));
+    if (cm.initial_state() == CompiledMachine::kNoState) return;
+
+    Bits initial(n_slots, false);
+    for (const auto& [slot, value] : cm.initial_values()) {
+      (void)value;
+      initial[slot] = true;
+    }
+    // Entry actions of the initial state run at start().
+    effects_transfer(cm.states()[cm.initial_state()].entry, initial, nullptr);
+    in_sets[cm.initial_state()] = initial;
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint32_t s = 0; s < cm.states().size(); ++s) {
+        if (!reachable[s]) continue;
+        for (const std::uint32_t t : cm.states()[s].outgoing) {
+          const Bits out = transition_out(t, in_sets[s]);
+          changed |= intersect_into(in_sets[cm.transitions()[t].target], out);
+        }
+      }
+    }
+  }
+
+  void report_read(const Program& p, const Bits& defined,
+                   const uml::Element& at, const char* where) {
+    std::vector<std::uint16_t> reads;
+    reads_of(p, reads);
+    for (const std::uint16_t slot : reads) {
+      if (defined[slot]) continue;
+      const std::string& name = cm.slot_names()[slot];
+      if (!ever_defined[slot]) {
+        report_once(Severity::Error, "efsm.var.undefined", at, name,
+                    std::string(where) + " reads '" + name +
+                        "', which no declaration, assignment or trigger "
+                        "parameter defines");
+      } else {
+        report_once(Severity::Warning, "efsm.var.read_before_write", at, name,
+                    std::string(where) + " may read '" + name +
+                        "' before any path assigns it");
+      }
+    }
+  }
+
+  void report_action_reads(const std::vector<CompiledMachine::Action>& acts,
+                           Bits& defined, const uml::Element& at,
+                           const char* where) {
+    for (const CompiledMachine::Action& a : acts) {
+      report_read(a.expr, defined, at, where);
+      for (const Program& arg : a.args) report_read(arg, defined, at, where);
+      if (a.slot != efsm::kNoSlot && a.kind == uml::Action::Kind::Assign) {
+        defined[a.slot] = true;
+      }
+    }
+  }
+
+  void check_reads() {
+    if (cm.initial_state() == CompiledMachine::kNoState) return;
+    // Entry actions of the initial state read against declared vars only.
+    {
+      Bits defined(cm.slot_count(), false);
+      for (const auto& [slot, value] : cm.initial_values()) {
+        (void)value;
+        defined[slot] = true;
+      }
+      report_action_reads(cm.states()[cm.initial_state()].entry, defined,
+                          state_element(cm.initial_state()), "entry action");
+    }
+    for (std::uint32_t s = 0; s < cm.states().size(); ++s) {
+      if (!reachable[s]) continue;
+      for (const std::uint32_t t : cm.states()[s].outgoing) {
+        const auto& tr = cm.transitions()[t];
+        Bits defined = in_sets[s];
+        if (const auto* params = cm.param_slots(tr.trigger_signal)) {
+          for (const std::uint16_t ps : *params) defined[ps] = true;
+        }
+        const uml::Element& at = transition_element(t);
+        if (tr.has_guard) report_read(tr.guard, defined, at, "guard");
+        report_action_reads(tr.effects, defined, at, "effect");
+        report_action_reads(cm.states()[tr.target].entry, defined,
+                            at, "entry action after this transition");
+      }
+    }
+  }
+
+  // -- undefined identifiers ------------------------------------------------
+
+  void check_undefined() {
+    for (std::uint32_t s = 0; s < cm.states().size(); ++s) {
+      for (const CompiledMachine::Action& a : cm.states()[s].entry) {
+        check_missing_in_action(a, state_element(s), "entry action");
+      }
+    }
+    for (std::uint32_t t = 0; t < cm.transitions().size(); ++t) {
+      const auto& tr = cm.transitions()[t];
+      const uml::Element& at = transition_element(t);
+      if (tr.has_guard) check_missing(tr.guard, at, "guard");
+      for (const CompiledMachine::Action& a : tr.effects) {
+        check_missing_in_action(a, at, "effect");
+      }
+    }
+  }
+
+  void run() {
+    compute_reachability();
+    check_shadowing();
+    check_constant_guards();
+    check_undefined();
+    compute_ever_defined();
+    compute_definite_assignment();
+    check_reads();
+  }
+};
+
+/// Signals a machine's transitions consume.
+void trigger_signals(const uml::StateMachine& sm,
+                     std::set<const uml::Signal*>& out) {
+  for (const uml::Transition* t : sm.transitions()) {
+    if (t->trigger_signal() != nullptr) out.insert(t->trigger_signal());
+  }
+}
+
+/// Signals a machine's actions send.
+void sent_signals(const uml::StateMachine& sm,
+                  std::set<const uml::Signal*>& out) {
+  const auto scan = [&out](const std::vector<uml::Action>& actions) {
+    for (const uml::Action& a : actions) {
+      if (a.kind == uml::Action::Kind::Send && a.signal != nullptr) {
+        out.insert(a.signal);
+      }
+    }
+  };
+  for (const uml::State* s : sm.states()) scan(s->entry_actions());
+  for (const uml::Transition* t : sm.transitions()) scan(t->effects());
+}
+
+}  // namespace
+
+void run_efsm_rules(const Context& ctx) {
+  const auto machines = ctx.model.elements_of_kind(uml::ElementKind::StateMachine);
+
+  // Model-wide send set: what any machine sends, plus what the environment
+  // can inject through the application class's boundary ports.
+  std::set<const uml::Signal*> ever_sent;
+  for (uml::Element* e : machines) {
+    sent_signals(*static_cast<const uml::StateMachine*>(e), ever_sent);
+  }
+  const uml::Class* app =
+      ctx.app() != nullptr ? ctx.app()->application() : nullptr;
+  if (app != nullptr) {
+    for (const uml::Port* p : app->ports()) {
+      for (const uml::Signal* s : p->provided()) ever_sent.insert(s);
+    }
+  }
+
+  for (uml::Element* e : machines) {
+    const auto& sm = *static_cast<const uml::StateMachine*>(e);
+
+    std::set<const uml::Signal*> consumed;
+    trigger_signals(sm, consumed);
+    for (const uml::Signal* sig : consumed) {
+      if (ever_sent.count(sig) == 0) {
+        ctx.diag(Severity::Warning, "efsm.signal.never_sent", sm,
+                 "signal '" + sig->name() +
+                     "' triggers transitions here but no process sends it "
+                     "and the environment cannot inject it");
+      }
+    }
+
+    try {
+      const efsm::CompiledMachine cm(sm);
+      MachineAnalysis ma{ctx, sm, cm, {}, {}, {}, {}};
+      ma.run();
+    } catch (const efsm::ExprError& err) {
+      ctx.diag(Severity::Error, "efsm.expr.malformed", sm, err.what());
+    }
+  }
+}
+
+}  // namespace tut::analysis::detail

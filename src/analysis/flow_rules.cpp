@@ -1,0 +1,226 @@
+// Signal-flow analysis: every Send action of every process is resolved
+// through the flattening efsm::Router and checked end to end — does the
+// signal arrive anywhere, does the receiving port admit it, does the
+// receiving machine consume it — plus whole-system activation analysis
+// (starvation and wait-for cycles among processes).
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/internal.hpp"
+
+namespace tut::analysis::detail {
+
+namespace {
+
+/// One distinct (port, signal) a machine sends through.
+struct SendUse {
+  std::string port;
+  const uml::Signal* signal = nullptr;
+
+  bool operator<(const SendUse& o) const {
+    if (port != o.port) return port < o.port;
+    return signal < o.signal;
+  }
+};
+
+void collect_sends(const uml::StateMachine& sm, std::set<SendUse>& out) {
+  const auto scan = [&out](const std::vector<uml::Action>& actions) {
+    for (const uml::Action& a : actions) {
+      if (a.kind == uml::Action::Kind::Send && a.signal != nullptr) {
+        out.insert(SendUse{a.port, a.signal});
+      }
+    }
+  };
+  for (const uml::State* s : sm.states()) scan(s->entry_actions());
+  for (const uml::Transition* t : sm.transitions()) scan(t->effects());
+}
+
+/// Does `sm` have a transition consuming `signal` when it arrives through
+/// `port_name`? (An empty trigger port matches any providing port.)
+bool consumes(const uml::StateMachine& sm, const uml::Signal& signal,
+              const std::string& port_name) {
+  for (const uml::Transition* t : sm.transitions()) {
+    if (t->trigger_signal() != &signal) continue;
+    if (t->trigger_port().empty() || t->trigger_port() == port_name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A process is spontaneous when it can act without receiving a signal
+/// from another process: timer or completion transitions, timers armed or
+/// signals sent from entry actions, or signals injectable from the
+/// environment reaching it.
+bool machine_spontaneous(const uml::StateMachine& sm) {
+  for (const uml::Transition* t : sm.transitions()) {
+    if (!t->trigger_timer().empty() || t->is_completion()) return true;
+  }
+  for (const uml::State* s : sm.states()) {
+    for (const uml::Action& a : s->entry_actions()) {
+      if (a.kind == uml::Action::Kind::Send ||
+          a.kind == uml::Action::Kind::SetTimer) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void run_flow_rules(const Context& ctx) {
+  if (ctx.router == nullptr || ctx.app() == nullptr ||
+      ctx.app()->application() == nullptr) {
+    return;  // nothing to route (or the router already reported)
+  }
+  const efsm::Router& router = *ctx.router;
+  const uml::Class& app = *ctx.app()->application();
+
+  const auto& parts = router.active_parts();
+  std::map<const uml::Property*, std::size_t> part_index;
+  for (std::size_t i = 0; i < parts.size(); ++i) part_index[parts[i]] = i;
+
+  // Process-level send graph (edges_ [sender] -> receivers) built while
+  // checking each resolved route.
+  std::vector<std::set<std::size_t>> edges(parts.size());
+  std::vector<bool> env_fed(parts.size(), false);
+
+  // Environment injection: every connected boundary port feeds its target.
+  for (const uml::Port* bp : app.ports()) {
+    const efsm::Endpoint in = router.boundary_destination(bp->name());
+    if (in.part == nullptr) {
+      if (in.port == nullptr) {
+        ctx.diag(Severity::Warning, "flow.boundary.unbound", *bp,
+                 "boundary port '" + bp->name() +
+                     "' of '" + app.name() +
+                     "' is connected to no part; injected signals go "
+                     "nowhere");
+      }
+      continue;
+    }
+    const auto it = part_index.find(in.part);
+    if (it != part_index.end()) env_fed[it->second] = true;
+  }
+
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const uml::Property& part = *parts[i];
+    const uml::Class* type = part.part_type();
+    const uml::StateMachine* sm =
+        type != nullptr ? type->behavior() : nullptr;
+    if (sm == nullptr) continue;  // tut.component.active reports this
+
+    std::set<SendUse> sends;
+    collect_sends(*sm, sends);
+    for (const SendUse& send : sends) {
+      const efsm::Endpoint dest = router.destination(part, send.port);
+      if (dest.is_environment()) {
+        if (dest.port == nullptr) {
+          ctx.diag(Severity::Warning, "flow.port.unbound", part,
+                   "process '" + part.name() + "' sends '" +
+                       send.signal->name() + "' through port '" + send.port +
+                       "' of '" + type->name() +
+                       "', which routes nowhere; the signal is dropped");
+        }
+        continue;  // delivery to the environment is a legitimate sink
+      }
+
+      if (!dest.port->provides(*send.signal)) {
+        ctx.diag(Severity::Error, "flow.connector.type", part,
+                 "signal '" + send.signal->name() + "' from '" + part.name() +
+                     "." + send.port + "' arrives at '" + dest.part->name() +
+                     "." + dest.port->name() +
+                     "', which does not provide it");
+      }
+
+      const uml::Class* dest_type = dest.part->part_type();
+      const uml::StateMachine* dest_sm =
+          dest_type != nullptr ? dest_type->behavior() : nullptr;
+      if (dest_sm != nullptr &&
+          !consumes(*dest_sm, *send.signal, dest.port->name())) {
+        ctx.diag(Severity::Warning, "flow.signal.ignored", *dest.part,
+                 "signal '" + send.signal->name() + "' from '" + part.name() +
+                     "." + send.port + "' arrives at '" + dest.part->name() +
+                     "." + dest.port->name() + "' but '" + dest_type->name() +
+                     "' has no transition consuming it");
+      }
+
+      const auto it = part_index.find(dest.part);
+      if (it != part_index.end()) edges[i].insert(it->second);
+    }
+  }
+
+  // Activation closure: spontaneous processes (timers, completions,
+  // initial sends, environment input) activate whatever they send to.
+  std::vector<bool> activated(parts.size(), false);
+  std::vector<std::size_t> work;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const uml::Class* type = parts[i]->part_type();
+    const uml::StateMachine* sm = type != nullptr ? type->behavior() : nullptr;
+    if (env_fed[i] || (sm != nullptr && machine_spontaneous(*sm))) {
+      activated[i] = true;
+      work.push_back(i);
+    }
+  }
+  while (!work.empty()) {
+    const std::size_t i = work.back();
+    work.pop_back();
+    for (const std::size_t j : edges[i]) {
+      if (!activated[j]) {
+        activated[j] = true;
+        work.push_back(j);
+      }
+    }
+  }
+
+  // Unactivated processes: those on a cycle of mutual waiting are a
+  // potential deadlock; the rest simply starve.
+  const auto reaches = [&edges](std::size_t from, std::size_t to,
+                                const std::vector<bool>& activated_) {
+    std::vector<std::size_t> stack{from};
+    std::set<std::size_t> seen{from};
+    while (!stack.empty()) {
+      const std::size_t i = stack.back();
+      stack.pop_back();
+      for (const std::size_t j : edges[i]) {
+        if (activated_[j]) continue;
+        if (j == to) return true;
+        if (seen.insert(j).second) stack.push_back(j);
+      }
+    }
+    return false;
+  };
+
+  std::set<std::size_t> in_reported_cycle;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (activated[i] || in_reported_cycle.count(i) != 0) continue;
+    if (reaches(i, i, activated)) {
+      // Gather the cycle members (mutually reachable, unactivated).
+      std::string members = "'" + parts[i]->name() + "'";
+      in_reported_cycle.insert(i);
+      for (std::size_t j = i + 1; j < parts.size(); ++j) {
+        if (activated[j] || in_reported_cycle.count(j) != 0) continue;
+        if (reaches(i, j, activated) && reaches(j, i, activated)) {
+          members += ", '" + parts[j]->name() + "'";
+          in_reported_cycle.insert(j);
+        }
+      }
+      ctx.diag(Severity::Warning, "flow.cycle.deadlock", *parts[i],
+               "wait-for cycle: " + members +
+                   " only ever activate each other; none has a timer, "
+                   "completion transition or environment input");
+    }
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (activated[i] || in_reported_cycle.count(i) != 0) continue;
+    ctx.diag(Severity::Warning, "flow.process.starved", *parts[i],
+             "process '" + parts[i]->name() +
+                 "' can never be activated: no timer or completion "
+                 "transition, and no active process or environment input "
+                 "routes a signal to it");
+  }
+}
+
+}  // namespace tut::analysis::detail

@@ -1,0 +1,38 @@
+// Shared context for the analysis rule families. Internal to src/analysis.
+#pragma once
+
+#include "analysis/analyzer.hpp"
+#include "analysis/source_map.hpp"
+#include "appmodel/appmodel.hpp"
+#include "efsm/router.hpp"
+#include "mapping/mapping.hpp"
+
+namespace tut::analysis::detail {
+
+struct Context {
+  const uml::Model& model;
+  const mapping::SystemView* sys = nullptr;  ///< null when construction failed
+  const efsm::Router* router = nullptr;      ///< null when unavailable
+  const SourceMap* smap = nullptr;           ///< null without source XML
+  Report* report = nullptr;
+
+  const appmodel::ApplicationView* app() const {
+    return sys != nullptr ? &sys->app() : nullptr;
+  }
+
+  void diag(Severity sev, std::string rule, const uml::Element& element,
+            std::string message) const {
+    report->add(sev, std::move(rule), element.qualified_name(),
+                std::move(message),
+                smap != nullptr ? smap->offset_of(element.id()) : -1);
+  }
+  void diag_model(Severity sev, std::string rule, std::string message) const {
+    report->add(sev, std::move(rule), std::string(), std::move(message));
+  }
+};
+
+void run_efsm_rules(const Context& ctx);
+void run_flow_rules(const Context& ctx);
+void run_mapping_rules(const Context& ctx, const sim::FaultPlan* faults);
+
+}  // namespace tut::analysis::detail

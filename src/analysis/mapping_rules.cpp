@@ -1,0 +1,189 @@
+// Mapping and platform analysis: every process group must land on a
+// compatible, sufficiently provisioned processing element; every pair of
+// communicating PEs needs a segment route; and a supplied fault plan must
+// name real components and leave failover somewhere to go. Tag semantics
+// (ProcessType "hardware" vs Component Type "hw_accelerator", IntMemory vs
+// Code/DataMemory) mirror sim::CompiledModel so the analyzer and the
+// co-simulator never disagree about what a model means.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/internal.hpp"
+#include "sim/fault.hpp"
+
+namespace tut::analysis::detail {
+
+namespace {
+
+bool is_hw_accel(const uml::Property& instance) {
+  const uml::Class* comp = platform::PlatformView::component_of(instance);
+  return comp != nullptr && comp->tagged_value("Type") == "hw_accelerator";
+}
+
+/// Group-level ProcessType: the group's own tag, else the tag of any member
+/// process (the builders only set it on processes).
+std::string group_process_type(const appmodel::ApplicationView& app,
+                               const uml::Property& group) {
+  std::string pt = group.tagged_value("ProcessType");
+  if (!pt.empty()) return pt;
+  for (const uml::Property* p : app.members(group)) {
+    pt = p->tagged_value("ProcessType");
+    if (!pt.empty()) return pt;
+  }
+  return pt;
+}
+
+}  // namespace
+
+void run_mapping_rules(const Context& ctx, const sim::FaultPlan* faults) {
+  if (ctx.sys == nullptr) return;  // analysis.view.failed already reported
+  const mapping::SystemView& sys = *ctx.sys;
+  const appmodel::ApplicationView& app = sys.app();
+  const platform::PlatformView& plat = sys.plat();
+
+  // -- per-group mapping checks ---------------------------------------------
+  for (const uml::Property* group : app.groups()) {
+    const uml::Property* target = sys.instance_for_group(*group);
+    if (target == nullptr) {
+      ctx.diag(Severity::Error, "map.group.unmapped", *group,
+               "process group '" + group->name() +
+                   "' has no <<Mapping>> dependency to a component instance");
+      continue;
+    }
+
+    const std::string pt = group_process_type(app, *group);
+    const bool wants_hw = pt == "hardware";
+    if (!pt.empty() && wants_hw != is_hw_accel(*target)) {
+      const uml::Class* comp = platform::PlatformView::component_of(*target);
+      ctx.diag(Severity::Error, "map.pe.incompatible", *group,
+               "group '" + group->name() + "' (ProcessType '" + pt +
+                   "') is mapped to '" + target->name() + "' (" +
+                   (comp != nullptr ? "Type '" + comp->tagged_value("Type") +
+                                          "'"
+                                    : "untyped") +
+                   "); hardware processes need a hw_accelerator and "
+                   "software processes a programmable PE");
+    }
+  }
+
+  // -- per-instance capacity checks -----------------------------------------
+  for (const uml::Property* pe : plat.instances()) {
+    const long budget = appmodel::tag_long(*pe, "IntMemory", 0);
+    if (budget <= 0) continue;  // unparameterized: nothing to check
+    long used = 0;
+    for (const uml::Property* proc : sys.processes_on(*pe)) {
+      used += app.effective_int(*proc, "CodeMemory", 0);
+      used += app.effective_int(*proc, "DataMemory", 0);
+    }
+    if (used > budget) {
+      ctx.diag(Severity::Warning, "map.pe.overcommitted", *pe,
+               "instance '" + pe->name() + "' holds " + std::to_string(used) +
+                   " bytes of mapped Code+DataMemory but its IntMemory is " +
+                   std::to_string(budget));
+    }
+  }
+
+  // -- platform topology ----------------------------------------------------
+  for (const uml::Property* seg : plat.segments()) {
+    if (plat.instances_on(*seg).empty() && plat.neighbors(*seg).empty()) {
+      ctx.diag(Severity::Warning, "plat.segment.unattached", *seg,
+               "segment '" + seg->name() +
+                   "' has neither wrappers nor bridge links; no transfer "
+                   "can use it");
+    }
+  }
+
+  // Route feasibility between every pair of PEs that actually host
+  // processes (the pairs a transfer could occur between).
+  std::vector<const uml::Property*> hosting;
+  for (const uml::Property* pe : plat.instances()) {
+    if (!sys.processes_on(*pe).empty()) hosting.push_back(pe);
+  }
+  for (std::size_t i = 0; i < hosting.size(); ++i) {
+    for (std::size_t j = i + 1; j < hosting.size(); ++j) {
+      if (plat.route(*hosting[i], *hosting[j]).empty()) {
+        ctx.diag(Severity::Error, "plat.route.missing", *hosting[i],
+                 "no segment path between '" + hosting[i]->name() + "' and '" +
+                     hosting[j]->name() +
+                     "'; signals between their processes cannot be "
+                     "delivered");
+      }
+    }
+  }
+
+  // -- failover feasibility -------------------------------------------------
+  // A PE hosting processes whose kind (hardware/software) no other PE can
+  // execute is a single point of failure. Informational on a healthy
+  // platform; an error when a supplied fault plan actually fails that PE.
+  std::set<std::string> planned_failures;
+  if (faults != nullptr) {
+    for (const sim::FaultWindow& w : faults->pe_faults) {
+      planned_failures.insert(w.component);
+    }
+  }
+  for (const uml::Property* pe : hosting) {
+    const bool accel = is_hw_accel(*pe);
+    bool hosts_matching = false;
+    for (const uml::Property* proc : sys.processes_on(*pe)) {
+      if ((proc->tagged_value("ProcessType") == "hardware") == accel) {
+        hosts_matching = true;
+        break;
+      }
+    }
+    if (!hosts_matching) continue;
+    bool survivor = false;
+    for (const uml::Property* other : plat.instances()) {
+      if (other != pe && is_hw_accel(*other) == accel) {
+        survivor = true;
+        break;
+      }
+    }
+    if (survivor) continue;
+    const bool planned = planned_failures.count(pe->name()) != 0;
+    ctx.diag(planned ? Severity::Error : Severity::Info,
+             "map.failover.infeasible", *pe,
+             "instance '" + pe->name() + "' is the only " +
+                 (accel ? "hardware accelerator" : "programmable PE") +
+                 "; its processes have no migration target if it fails" +
+                 (planned ? " — and the fault plan fails it" : ""));
+  }
+
+  // -- fault-plan cross-checks ----------------------------------------------
+  if (faults == nullptr) return;
+  std::set<std::string> pe_names, seg_names, proc_names;
+  for (const uml::Property* pe : plat.instances()) pe_names.insert(pe->name());
+  for (const uml::Property* s : plat.segments()) seg_names.insert(s->name());
+  for (const uml::Property* p : app.processes()) proc_names.insert(p->name());
+
+  const auto unknown = [&ctx](const std::string& kind,
+                              const std::string& name) {
+    ctx.diag_model(Severity::Error, "fault.component.unknown",
+                   "fault plan names " + kind + " '" + name +
+                       "', which the model does not define");
+  };
+  std::set<std::string> seen;
+  for (const sim::FaultWindow& w : faults->pe_faults) {
+    if (pe_names.count(w.component) == 0 && seen.insert(w.component).second) {
+      unknown("component instance", w.component);
+    }
+  }
+  for (const sim::FaultWindow& w : faults->segment_faults) {
+    if (seg_names.count(w.component) == 0 && seen.insert(w.component).second) {
+      unknown("segment", w.component);
+    }
+  }
+  for (const sim::BitErrorSpec& b : faults->bit_errors) {
+    if (seg_names.count(b.segment) == 0 && seen.insert(b.segment).second) {
+      unknown("segment", b.segment);
+    }
+  }
+  for (const sim::SignalFault& s : faults->signal_faults) {
+    if (proc_names.count(s.process) == 0 && seen.insert(s.process).second) {
+      unknown("process", s.process);
+    }
+  }
+}
+
+}  // namespace tut::analysis::detail

@@ -1,0 +1,60 @@
+#include "analysis/source_map.hpp"
+
+#include "xml/cursor.hpp"
+#include "xml/error.hpp"
+
+namespace tut::analysis {
+
+namespace {
+
+// The cursor reports the offset *after* each event; the bytes between the
+// end of the previous event and a start tag are the tag itself, possibly
+// preceded by skipped prolog/comment constructs. Scan forward from `from`
+// to the '<' that actually opens the element.
+long tag_start(std::string_view text, std::size_t from, std::size_t limit) {
+  std::size_t p = from;
+  while (p < limit) {
+    p = text.find('<', p);
+    if (p == std::string_view::npos || p >= limit) break;
+    if (text.compare(p, 4, "<!--") == 0) {
+      const std::size_t end = text.find("-->", p + 4);
+      if (end == std::string_view::npos) break;
+      p = end + 3;
+      continue;
+    }
+    if (p + 1 < text.size() && (text[p + 1] == '?' || text[p + 1] == '!')) {
+      const std::size_t end = text.find('>', p + 1);
+      if (end == std::string_view::npos) break;
+      p = end + 1;
+      continue;
+    }
+    return static_cast<long>(p);
+  }
+  return -1;
+}
+
+}  // namespace
+
+SourceMap SourceMap::build(std::string_view text) {
+  SourceMap map;
+  xml::Arena arena;
+  xml::Cursor cur(text, arena);
+  std::size_t prev = 0;
+  try {
+    for (auto ev = cur.next(); ev != xml::Cursor::Event::End;
+         ev = cur.next()) {
+      if (ev == xml::Cursor::Event::StartElement) {
+        if (const auto id = cur.attr("id"); id && !id->empty()) {
+          const long at = tag_start(text, prev, cur.offset());
+          map.by_id_.emplace(std::string(*id), at);
+        }
+      }
+      prev = cur.offset();
+    }
+  } catch (const xml::ParseError&) {
+    // Partial maps are fine: offsets are best-effort decoration.
+  }
+  return map;
+}
+
+}  // namespace tut::analysis

@@ -1,0 +1,39 @@
+// analysis::SourceMap — element id → byte offset in the source XML.
+//
+// The interchange dialect (uml/serialize) writes every element with an `id`
+// attribute. One zero-copy pass with xml::Cursor records where each
+// element's start tag begins, so diagnostics produced over the in-memory
+// model can point back into the file the user actually edits.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "xml/arena.hpp"
+
+namespace tut::analysis {
+
+class SourceMap {
+ public:
+  SourceMap() = default;
+
+  /// Tokenizes `text` and records the start-tag byte offset of every
+  /// element carrying an `id` attribute (first occurrence wins). Swallows
+  /// xml::ParseError — a malformed tail simply yields fewer offsets; the
+  /// model parser is the authority on well-formedness.
+  static SourceMap build(std::string_view text);
+
+  /// Offset of the element with this id, or -1.
+  long offset_of(std::string_view id) const noexcept {
+    const auto it = by_id_.find(id);
+    return it == by_id_.end() ? -1 : it->second;
+  }
+
+  std::size_t size() const noexcept { return by_id_.size(); }
+
+ private:
+  std::map<std::string, long, std::less<>> by_id_;
+};
+
+}  // namespace tut::analysis

@@ -98,6 +98,11 @@ class Program {
   std::uint16_t reg_count() const noexcept { return reg_count_; }
   std::size_t size() const noexcept { return code_.size(); }
   const std::vector<Instr>& code() const noexcept { return code_; }
+  /// Identifier names behind Missing instructions (indexed by `a`), for
+  /// static analyzers that want to report the unknown name without running.
+  const std::vector<std::string>& missing_names() const noexcept {
+    return missing_;
+  }
 
  private:
   std::vector<Instr> code_;

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <stdexcept>
+#include <type_traits>
 
 #include "xml/arena.hpp"
 #include "xml/cursor.hpp"
@@ -15,12 +16,21 @@ template <typename T>
 T number_attr(const xml::Cursor& cur, std::string_view key, T fallback) {
   const auto v = cur.attr(key);
   if (!v) return fallback;
+  // from_chars would reject "-5" for an unsigned target with the same
+  // generic error as garbage; times and rates deserve the specific story.
+  if constexpr (std::is_unsigned_v<T>) {
+    if (!v->empty() && v->front() == '-') {
+      throw std::invalid_argument(
+          "faultplan: [fault.time.negative] attribute '" + std::string(key) +
+          "' must be non-negative: '" + std::string(*v) + "'");
+    }
+  }
   T n{};
   const auto [p, ec] = std::from_chars(v->data(), v->data() + v->size(), n);
   if (ec != std::errc{} || p != v->data() + v->size()) {
-    throw std::invalid_argument("faultplan: attribute '" + std::string(key) +
-                                "' is not a number: '" + std::string(*v) +
-                                "'");
+    throw std::invalid_argument(
+        "faultplan: [fault.attr.malformed] attribute '" + std::string(key) +
+        "' is not a number: '" + std::string(*v) + "'");
   }
   return n;
 }
@@ -32,14 +42,18 @@ std::string string_attr(const xml::Cursor& cur, std::string_view key) {
 
 }  // namespace
 
+// Messages carry a stable "[rule]" tag so callers (CLI errors, the analysis
+// layer, CI logs) can match defects without parsing prose.
 std::vector<std::string> FaultPlan::validate() const {
   std::vector<std::string> defects;
   const auto check_window = [&](const char* what, const FaultWindow& w) {
     if (w.component.empty()) {
-      defects.push_back(std::string(what) + " fault has no component name");
+      defects.push_back(std::string("[fault.component.missing] ") + what +
+                        " fault has no component name");
     }
     if (w.end != 0 && w.end <= w.start) {
-      defects.push_back(std::string(what) + " fault on '" + w.component +
+      defects.push_back(std::string("[fault.window.order] ") + what +
+                        " fault on '" + w.component +
                         "' has end <= start (use end=0 for a permanent fault)");
     }
   };
@@ -47,29 +61,36 @@ std::vector<std::string> FaultPlan::validate() const {
   for (const FaultWindow& w : segment_faults) check_window("segment", w);
   for (const BitErrorSpec& b : bit_errors) {
     if (b.segment.empty()) {
-      defects.push_back("bit-error spec has no segment name");
+      defects.push_back("[fault.component.missing] bit-error spec has no "
+                        "segment name");
     }
     if (b.rate_ppm > 1'000'000) {
-      defects.push_back("bit-error rate on '" + b.segment +
-                        "' exceeds 1000000 ppm");
+      defects.push_back("[fault.biterror.rate] bit-error rate on '" +
+                        b.segment + "' exceeds 1000000 ppm");
     }
   }
   for (const SignalFault& s : signal_faults) {
     if (s.process.empty()) {
-      defects.push_back("signal fault has no process name");
+      defects.push_back("[fault.component.missing] signal fault has no "
+                        "process name");
     }
     if (s.kind == SignalFault::Kind::Stuck && s.end <= s.start) {
-      defects.push_back("stuck-signal fault on '" + s.process +
+      defects.push_back("[fault.signal.window] stuck-signal fault on '" +
+                        s.process +
                         "' needs a finite window (end > start)");
     }
     if (s.kind == SignalFault::Kind::Lost && s.end != 0 && s.end <= s.start) {
-      defects.push_back("lost-signal fault on '" + s.process +
+      defects.push_back("[fault.window.order] lost-signal fault on '" +
+                        s.process +
                         "' has end <= start (use end=0 for permanent loss)");
     }
   }
-  if (max_retries < 0) defects.push_back("max_retries must be >= 0");
+  if (max_retries < 0) {
+    defects.push_back("[fault.retry.bounds] max_retries must be >= 0");
+  }
   if (retry_backoff == 0 && (max_retries > 0)) {
-    defects.push_back("retry_backoff must be > 0 when retries are enabled");
+    defects.push_back("[fault.retry.bounds] retry_backoff must be > 0 when "
+                      "retries are enabled");
   }
   return defects;
 }

@@ -1,0 +1,574 @@
+// Tests for the static analysis subsystem: the diagnostics engine
+// (Report/Baseline/SourceMap) and one positive plus one clean-negative case
+// per analysis rule, seeded as mutations of the MiniSystem fixture.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/source_map.hpp"
+#include "fixtures.hpp"
+#include "uml/serialize.hpp"
+
+using namespace tut;
+using analysis::Severity;
+
+namespace {
+
+bool has_rule(const analysis::Report& r, std::string_view rule,
+              std::string_view element_substr = {}) {
+  for (const analysis::Diagnostic& d : r.diagnostics()) {
+    if (d.rule == rule &&
+        (element_substr.empty() ||
+         d.element.find(element_substr) != std::string::npos)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const analysis::Diagnostic* find_rule(const analysis::Report& r,
+                                      std::string_view rule) {
+  for (const analysis::Diagnostic& d : r.diagnostics()) {
+    if (d.rule == rule) return &d;
+  }
+  return nullptr;
+}
+
+/// The report for an unmodified MiniSystem — the clean-negative side of
+/// every rule test below.
+const analysis::Report& clean_report() {
+  static const analysis::Report report = [] {
+    test::MiniSystem sys;
+    return analysis::analyze(sys.model);
+  }();
+  return report;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The fixture's own findings (the clean baseline everything else diffs
+// against): one intentionally dangling port, one single-accelerator info.
+// ---------------------------------------------------------------------------
+
+TEST(Analysis, MiniSystemBaselineFindings) {
+  const analysis::Report& r = clean_report();
+  EXPECT_EQ(r.error_count(), 0u) << r.to_text();
+  EXPECT_EQ(r.warning_count(), 1u) << r.to_text();
+  EXPECT_TRUE(has_rule(r, "flow.port.unbound", "dsp2"));
+  EXPECT_TRUE(has_rule(r, "map.failover.infeasible", "acc"));
+  EXPECT_EQ(find_rule(r, "map.failover.infeasible")->severity, Severity::Info);
+}
+
+TEST(Analysis, RuleCatalogIsSortedAndUnique) {
+  const auto& catalog = analysis::rule_catalog();
+  ASSERT_FALSE(catalog.empty());
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(catalog[i - 1].id, catalog[i].id);
+  }
+  for (const analysis::RuleInfo& rule : catalog) {
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EFSM bytecode family
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisEfsm, UnreachableState) {
+  test::MiniSystem sys;
+  auto& sm = *sys.ctrl_comp->behavior();
+  sys.model.add_state(sm, "Orphan");
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "efsm.state.unreachable", "Orphan")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.state.unreachable"));
+}
+
+TEST(AnalysisEfsm, DeadTransitionShadowedByEarlier) {
+  test::MiniSystem sys;
+  auto& sm = *sys.ctrl_comp->behavior();
+  // c_idle already has an unguarded "tick" transition; a second one on the
+  // same timer can never fire.
+  auto& idle = *sm.states()[0];
+  auto& tx = *sm.states()[1];
+  sys.model.add_timer_transition(sm, idle, tx, "tick");
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "efsm.transition.dead")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.transition.dead"));
+}
+
+TEST(AnalysisEfsm, OverlappingGuardedTriggers) {
+  test::MiniSystem sys;
+  auto& sm = *sys.dsp_comp->behavior();
+  auto& idle = *sm.states()[0];
+  // Two transitions on the same signal+port with the same non-constant
+  // guard: the second can never win the dispatch race.
+  sys.model.add_transition(sm, idle, idle, *sys.rsp, "in").set_guard("n > 0");
+  sys.model.add_transition(sm, idle, idle, *sys.rsp, "in").set_guard("n > 0");
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "efsm.trigger.overlap")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.trigger.overlap"));
+}
+
+TEST(AnalysisEfsm, ConstantFalseGuard) {
+  test::MiniSystem sys;
+  auto& sm = *sys.ctrl_comp->behavior();
+  auto& idle = *sm.states()[0];
+  auto& tx = *sm.states()[1];
+  sys.model.add_transition(sm, idle, tx, *sys.rsp, "out").set_guard("1 > 2");
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "efsm.guard.false")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.guard.false"));
+}
+
+TEST(AnalysisEfsm, UndefinedIdentifierInGuard) {
+  test::MiniSystem sys;
+  auto& sm = *sys.crc_comp->behavior();
+  auto& idle = *sm.states()[0];
+  sys.model.add_transition(sm, idle, idle, *sys.rsp, "in")
+      .set_guard("bogus > 0");
+  const auto r = analysis::analyze(sys.model);
+  const analysis::Diagnostic* d = find_rule(r, "efsm.var.undefined");
+  ASSERT_NE(d, nullptr) << r.to_text();
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_NE(d->message.find("bogus"), std::string::npos);
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.var.undefined"));
+}
+
+TEST(AnalysisEfsm, ReadBeforeWrite) {
+  test::MiniSystem sys;
+  // A standalone machine: 'm' is created by an Assign on the Req path, but
+  // the Rsp self-loop can read it before that path ever ran.
+  auto& cls = sys.model.create_class("Rbw", nullptr, /*active=*/true);
+  auto& sm = sys.model.create_behavior(cls);
+  auto& a = sys.model.add_state(sm, "A", true);
+  auto& b = sys.model.add_state(sm, "B");
+  sys.model.add_transition(sm, a, b, *sys.req)
+      .add_effect(uml::Action::assign("m", "1"));
+  sys.model.add_transition(sm, a, a, *sys.rsp)
+      .add_effect(uml::Action::compute("m + 1"));
+  const auto r = analysis::analyze(sys.model);
+  const analysis::Diagnostic* d = find_rule(r, "efsm.var.read_before_write");
+  ASSERT_NE(d, nullptr) << r.to_text();
+  EXPECT_NE(d->message.find("'m'"), std::string::npos);
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.var.read_before_write"));
+}
+
+TEST(AnalysisEfsm, DeclaredVariableIsNotReadBeforeWrite) {
+  test::MiniSystem sys;
+  auto& cls = sys.model.create_class("Decl", nullptr, /*active=*/true);
+  auto& sm = sys.model.create_behavior(cls);
+  sm.declare_variable("m", 0);
+  auto& a = sys.model.add_state(sm, "A", true);
+  sys.model.add_transition(sm, a, a, *sys.rsp)
+      .add_effect(uml::Action::compute("m + 1"));
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_FALSE(has_rule(r, "efsm.var.read_before_write")) << r.to_text();
+}
+
+TEST(AnalysisEfsm, SignalNeverSent) {
+  test::MiniSystem sys;
+  auto& ghost = sys.model.create_signal("Ghost");
+  auto& sm = *sys.crc_comp->behavior();
+  auto& idle = *sm.states()[0];
+  sys.model.add_transition(sm, idle, idle, ghost);
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "efsm.signal.never_sent")) << r.to_text();
+  // Req/Rsp are sent (or injectable): no false positives on the clean model.
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.signal.never_sent"));
+}
+
+TEST(AnalysisEfsm, MalformedExpression) {
+  test::MiniSystem sys;
+  auto& sm = *sys.crc_comp->behavior();
+  auto& idle = *sm.states()[0];
+  sys.model.add_transition(sm, idle, idle, *sys.rsp, "in").set_guard("1 +");
+  const auto r = analysis::analyze(sys.model);
+  const analysis::Diagnostic* d = find_rule(r, "efsm.expr.malformed");
+  ASSERT_NE(d, nullptr) << r.to_text();
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.expr.malformed"));
+}
+
+// ---------------------------------------------------------------------------
+// Signal-flow family
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisFlow, UnboundPortDetectedAndFixable) {
+  // The fixture's dsp2 sends through its dangling "hw" port (the positive
+  // case lives in the clean fixture); wiring it to crc removes the finding.
+  EXPECT_TRUE(has_rule(clean_report(), "flow.port.unbound", "dsp2"));
+
+  test::MiniSystem sys;
+  sys.model.connect(*sys.app, "dsp2", "hw", "crc", "in");
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_FALSE(has_rule(r, "flow.port.unbound")) << r.to_text();
+}
+
+TEST(AnalysisFlow, ConnectorTypeMismatch) {
+  test::MiniSystem sys;
+  // ctrl pushes Rsp through "out"; the destination (dsp "in") only provides
+  // Req.
+  auto& sm = *sys.ctrl_comp->behavior();
+  auto& tx = *sm.states()[1];
+  sys.model.add_timer_transition(sm, tx, tx, "t2")
+      .add_effect(uml::Action::send("out", *sys.rsp, {"1"}));
+  const auto r = analysis::analyze(sys.model);
+  const analysis::Diagnostic* d = find_rule(r, "flow.connector.type");
+  ASSERT_NE(d, nullptr) << r.to_text();
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_FALSE(has_rule(clean_report(), "flow.connector.type"));
+}
+
+TEST(AnalysisFlow, RoutedSignalIgnoredByReceiver) {
+  test::MiniSystem sys;
+  auto& extra = sys.model.create_signal("Extra");
+  sys.dsp_comp->port("in")->provide(extra);
+  sys.ctrl_comp->port("out")->require(extra);
+  auto& sm = *sys.ctrl_comp->behavior();
+  auto& tx = *sm.states()[1];
+  sys.model.add_timer_transition(sm, tx, tx, "t3")
+      .add_effect(uml::Action::send("out", extra, {}));
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "flow.signal.ignored", "dsp1")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "flow.signal.ignored"));
+}
+
+TEST(AnalysisFlow, UnboundBoundaryPort) {
+  test::MiniSystem sys;
+  sys.model.add_port(*sys.app, "dangling").provide(*sys.req);
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "flow.boundary.unbound", "dangling")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "flow.boundary.unbound"));
+}
+
+TEST(AnalysisFlow, StarvedProcess) {
+  test::MiniSystem sys;
+  // A process that only reacts to a signal nothing routes to it.
+  auto& cls = sys.model.create_class("Widget", nullptr, /*active=*/true);
+  sys.model.add_port(cls, "win").provide(*sys.req);
+  auto& sm = sys.model.create_behavior(cls);
+  auto& idle = sys.model.add_state(sm, "Idle", true);
+  sys.model.add_transition(sm, idle, idle, *sys.req, "win");
+  auto& part = sys.model.add_part(*sys.app, "widget", cls);
+  part.apply(*sys.prof.application_process);
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "flow.process.starved", "widget")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "flow.process.starved"));
+}
+
+TEST(AnalysisFlow, WaitForDeadlockCycle) {
+  test::MiniSystem sys;
+  // p and q only ever answer each other; neither has a timer, a completion
+  // transition or environment input.
+  const auto make_pingpong = [&sys](const std::string& name) -> uml::Class& {
+    auto& cls = sys.model.create_class(name, nullptr, /*active=*/true);
+    sys.model.add_port(cls, "rx").provide(*sys.req);
+    sys.model.add_port(cls, "tx").require(*sys.req);
+    auto& sm = sys.model.create_behavior(cls);
+    auto& idle = sys.model.add_state(sm, "Idle", true);
+    sys.model.add_transition(sm, idle, idle, *sys.req, "rx")
+        .add_effect(uml::Action::send("tx", *sys.req, {"1"}));
+    return cls;
+  };
+  sys.model.add_part(*sys.app, "p", make_pingpong("Ping"));
+  sys.model.add_part(*sys.app, "q", make_pingpong("Pong"));
+  sys.model.connect(*sys.app, "p", "tx", "q", "rx");
+  sys.model.connect(*sys.app, "q", "tx", "p", "rx");
+  const auto r = analysis::analyze(sys.model);
+  const analysis::Diagnostic* d = find_rule(r, "flow.cycle.deadlock");
+  ASSERT_NE(d, nullptr) << r.to_text();
+  EXPECT_NE(d->message.find("'p'"), std::string::npos);
+  EXPECT_NE(d->message.find("'q'"), std::string::npos);
+  // Cycle members are not additionally reported as starved.
+  EXPECT_FALSE(has_rule(r, "flow.process.starved", "MiniApp.p"));
+  EXPECT_FALSE(has_rule(clean_report(), "flow.cycle.deadlock"));
+}
+
+TEST(AnalysisFlow, AmbiguousHierarchyDegradesToDiagnostic) {
+  test::MiniSystem sys;
+  // A passive structural class with internal structure instantiated twice:
+  // the flattening router cannot identify its boundary uniquely.
+  auto& shell = sys.model.create_class("Shell");
+  sys.model.add_part(shell, "inner", *sys.ctrl_comp);
+  sys.model.add_part(*sys.app, "s1", shell);
+  sys.model.add_part(*sys.app, "s2", shell);
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "flow.hierarchy.ambiguous")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "flow.hierarchy.ambiguous"));
+}
+
+// ---------------------------------------------------------------------------
+// Mapping / platform family
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisMapping, UnmappedGroup) {
+  test::MiniSystem sys;
+  auto& gcls = sys.model.create_class("GroupCls");
+  auto& orphan = sys.model.add_part(*sys.app, "g_orphan", gcls);
+  orphan.apply(*sys.prof.process_group);
+  const auto r = analysis::analyze(sys.model);
+  const analysis::Diagnostic* d = find_rule(r, "map.group.unmapped");
+  ASSERT_NE(d, nullptr) << r.to_text();
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_FALSE(has_rule(clean_report(), "map.group.unmapped"));
+}
+
+TEST(AnalysisMapping, IncompatibleProcessType) {
+  test::MiniSystem sys;
+  auto& gcls = sys.model.create_class("GroupCls");
+  auto& ghw = sys.model.add_part(*sys.app, "g_hw2", gcls);
+  ghw.apply(*sys.prof.process_group).tagged_values["ProcessType"] = "hardware";
+  mapping::MappingBuilder mb(sys.model, sys.prof);
+  mb.map(ghw, *sys.cpu1);  // cpu1 is a general-purpose CPU
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "map.pe.incompatible", "g_hw2")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "map.pe.incompatible"));
+}
+
+TEST(AnalysisMapping, OvercommittedMemory) {
+  test::MiniSystem sys;
+  // dsp1+dsp2 inherit CodeMemory 8192 each from DspFilter; 1000 bytes of
+  // IntMemory cannot hold them.
+  sys.cpu2->apply(*sys.prof.component_instance).tagged_values["IntMemory"] =
+      "1000";
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "map.pe.overcommitted", "cpu2")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "map.pe.overcommitted"));
+
+  // A generous budget is not flagged.
+  test::MiniSystem roomy;
+  roomy.cpu2->apply(*roomy.prof.component_instance).tagged_values["IntMemory"] =
+      "65536";
+  EXPECT_FALSE(
+      has_rule(analysis::analyze(roomy.model), "map.pe.overcommitted"));
+}
+
+TEST(AnalysisMapping, UnattachedSegment) {
+  test::MiniSystem sys;
+  auto& scls = sys.model.create_class("SegCls");
+  auto& stray = sys.model.add_part(*sys.plat, "stray_seg", scls);
+  stray.apply(*sys.prof.communication_segment);
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "plat.segment.unattached", "stray_seg"))
+      << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "plat.segment.unattached"));
+}
+
+namespace {
+
+/// Two processes mapped to PEs on two segments; `bridged` decides whether
+/// the segments are joined.
+uml::Model* two_island(bool bridged, std::unique_ptr<uml::Model>& hold) {
+  hold = std::make_unique<uml::Model>("island");
+  uml::Model& model = *hold;
+  profile::TutProfile prof = profile::install(model);
+
+  appmodel::ApplicationBuilder ab(model, prof);
+  ab.application("App");
+  auto& comp = ab.component("Worker");
+  auto& sm = *comp.behavior();
+  auto& idle = model.add_state(sm, "Idle", true);
+  idle.on_entry(uml::Action::set_timer("t", "100"));
+  model.add_timer_transition(sm, idle, idle, "t")
+      .add_effect(uml::Action::compute("1"));
+  auto& a = ab.process("a", comp, {{"ProcessType", "general"}});
+  auto& b = ab.process("b", comp, {{"ProcessType", "general"}});
+  auto& ga = ab.group("ga");
+  auto& gb = ab.group("gb");
+  ab.assign(a, ga);
+  ab.assign(b, gb);
+
+  platform::PlatformBuilder pb(model, prof);
+  pb.platform("Plat");
+  auto& cpu = pb.component_type("Cpu", {{"Type", "general"}});
+  auto& pe_a = pb.instance("pe_a", cpu);
+  auto& pe_b = pb.instance("pe_b", cpu);
+  auto& s1 = pb.segment("s1");
+  auto& s2 = pb.segment("s2");
+  pb.wrapper(pe_a, s1);
+  pb.wrapper(pe_b, s2);
+  if (bridged) pb.bridge_link(s1, s2);
+
+  mapping::MappingBuilder mb(model, prof);
+  mb.map(ga, pe_a);
+  mb.map(gb, pe_b);
+  return &model;
+}
+
+}  // namespace
+
+TEST(AnalysisMapping, MissingRouteBetweenHostingPes) {
+  std::unique_ptr<uml::Model> hold;
+  const auto r = analysis::analyze(*two_island(false, hold));
+  const analysis::Diagnostic* d = find_rule(r, "plat.route.missing");
+  ASSERT_NE(d, nullptr) << r.to_text();
+  EXPECT_EQ(d->severity, Severity::Error);
+
+  std::unique_ptr<uml::Model> hold2;
+  const auto ok = analysis::analyze(*two_island(true, hold2));
+  EXPECT_FALSE(has_rule(ok, "plat.route.missing")) << ok.to_text();
+}
+
+TEST(AnalysisMapping, FailoverEscalatesWhenFaultPlanHitsSpof) {
+  test::MiniSystem sys;
+  sim::FaultPlan plan;
+  plan.pe_faults.push_back({"acc", 100, 0});
+  analysis::Options options;
+  options.faults = &plan;
+  const auto r = analysis::analyze(sys.model, options);
+  const analysis::Diagnostic* d = find_rule(r, "map.failover.infeasible");
+  ASSERT_NE(d, nullptr) << r.to_text();
+  EXPECT_EQ(d->severity, Severity::Error);
+  // Without a plan the same finding is informational (see baseline test).
+  EXPECT_EQ(find_rule(clean_report(), "map.failover.infeasible")->severity,
+            Severity::Info);
+}
+
+TEST(AnalysisMapping, FaultPlanNamesUnknownComponents) {
+  test::MiniSystem sys;
+  sim::FaultPlan plan;
+  plan.pe_faults.push_back({"no_such_pe", 10, 0});
+  plan.bit_errors.push_back({"no_such_seg", 100});
+  plan.signal_faults.push_back(
+      {sim::SignalFault::Kind::Lost, "no_such_proc", "", 0, 0});
+  analysis::Options options;
+  options.faults = &plan;
+  const auto r = analysis::analyze(sys.model, options);
+  std::size_t unknowns = 0;
+  for (const analysis::Diagnostic& d : r.diagnostics()) {
+    unknowns += d.rule == "fault.component.unknown" ? 1 : 0;
+  }
+  EXPECT_EQ(unknowns, 3u) << r.to_text();
+
+  sim::FaultPlan good;
+  good.pe_faults.push_back({"cpu1", 10, 0});
+  analysis::Options ok_options;
+  ok_options.faults = &good;
+  EXPECT_FALSE(has_rule(analysis::analyze(sys.model, ok_options),
+                        "fault.component.unknown"));
+}
+
+// ---------------------------------------------------------------------------
+// Source map and byte offsets
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisSourceMap, MapsElementIdsToStartTags) {
+  test::MiniSystem sys;
+  const std::string xml = uml::to_xml_string(sys.model);
+  const auto smap = analysis::SourceMap::build(xml);
+  ASSERT_GT(smap.size(), 0u);
+
+  const long at = smap.offset_of(sys.app->id());
+  ASSERT_GE(at, 0);
+  EXPECT_EQ(xml.compare(static_cast<std::size_t>(at), 7, "<class "), 0);
+  EXPECT_NE(xml.find("id=\"" + sys.app->id() + "\"",
+                     static_cast<std::size_t>(at)),
+            std::string::npos);
+  EXPECT_EQ(smap.offset_of("no-such-id"), -1);
+}
+
+TEST(AnalysisSourceMap, SkipsPrologAndComments) {
+  const std::string xml =
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n<root id=\"r1\">"
+      "<!-- x --><child id=\"c1\"/></root>";
+  const auto smap = analysis::SourceMap::build(xml);
+  EXPECT_EQ(smap.offset_of("r1"), static_cast<long>(xml.find("<root")));
+  EXPECT_EQ(smap.offset_of("c1"), static_cast<long>(xml.find("<child")));
+}
+
+TEST(Analysis, DiagnosticsCarryByteOffsets) {
+  test::MiniSystem sys;
+  const std::string xml = uml::to_xml_string(sys.model);
+  const auto parsed = uml::from_xml_string(xml);
+  analysis::Options options;
+  options.xml_text = xml;
+  const auto r = analysis::analyze(*parsed, options);
+  const analysis::Diagnostic* d = find_rule(r, "flow.port.unbound");
+  ASSERT_NE(d, nullptr) << r.to_text();
+  ASSERT_GE(d->offset, 0);
+  EXPECT_EQ(xml.compare(static_cast<std::size_t>(d->offset), 9, "<property"),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics engine: Report, Baseline, renderers
+// ---------------------------------------------------------------------------
+
+TEST(Diagnostics, TextRendering) {
+  analysis::Diagnostic d{Severity::Warning, "a.rule", "Pkg.Elem", "watch out",
+                         42, false};
+  EXPECT_EQ(d.to_text(), "warning [a.rule] Pkg.Elem @42: watch out");
+  d.offset = -1;
+  d.suppressed = true;
+  EXPECT_EQ(d.to_text(), "warning [a.rule] Pkg.Elem: watch out (baseline)");
+}
+
+TEST(Diagnostics, BaselineParsing) {
+  const auto b = analysis::Baseline::parse(
+      "# comment\n\nrule.a\tPkg.One\r\n  rule.bare  \n");
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_TRUE(b.matches(
+      analysis::Diagnostic{Severity::Error, "rule.a", "Pkg.One", "", -1, false}));
+  EXPECT_FALSE(b.matches(
+      analysis::Diagnostic{Severity::Error, "rule.a", "Pkg.Two", "", -1, false}));
+}
+
+TEST(Diagnostics, ReportAppliesBaselineIncludingBareRules) {
+  analysis::Report r;
+  r.add(Severity::Error, "rule.a", "e1", "m1");
+  r.add(Severity::Warning, "rule.b", "e2", "m2");
+  r.add(Severity::Warning, "rule.c", "e3", "m3");
+  r.apply_baseline(analysis::Baseline::parse("rule.a\te1\nrule.b\n"));
+  EXPECT_EQ(r.error_count(), 0u);
+  EXPECT_EQ(r.warning_count(), 1u);  // rule.c survives
+  EXPECT_EQ(r.suppressed_count(), 2u);
+  EXPECT_TRUE(r.ok(/*werror=*/false));
+  EXPECT_FALSE(r.ok(/*werror=*/true));
+}
+
+TEST(Diagnostics, BaselineRoundTrip) {
+  analysis::Report r;
+  r.add(Severity::Warning, "rule.b", "e2", "m2");
+  r.add(Severity::Error, "rule.a", "e1", "m1");
+  const std::string text = analysis::Baseline::from_diagnostics(r.diagnostics());
+  r.apply_baseline(analysis::Baseline::parse(text));
+  EXPECT_EQ(r.suppressed_count(), 2u);
+  EXPECT_TRUE(r.ok(/*werror=*/true));
+}
+
+TEST(Diagnostics, SortOrdersByOffsetThenRule) {
+  analysis::Report r;
+  r.add(Severity::Error, "z.rule", "e", "m", 50);
+  r.add(Severity::Error, "b.rule", "e", "m");  // no offset: last
+  r.add(Severity::Error, "a.rule", "e", "m", 10);
+  r.sort();
+  EXPECT_EQ(r.diagnostics()[0].rule, "a.rule");
+  EXPECT_EQ(r.diagnostics()[1].rule, "z.rule");
+  EXPECT_EQ(r.diagnostics()[2].rule, "b.rule");
+}
+
+TEST(Diagnostics, JsonRenderingEscapesAndCounts) {
+  analysis::Report r;
+  r.add(Severity::Error, "a.rule", "e\"1\"", "line1\nline2", 7);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"element\":\"e\\\"1\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"message\":\"line1\\nline2\""), std::string::npos);
+  EXPECT_NE(json.find("\"offset\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":0"), std::string::npos);
+}
+
+TEST(Diagnostics, MergePullsOffsetsThroughResolver) {
+  uml::Model model("m");
+  auto& cls = model.create_class("C");
+  uml::ValidationResult vr;
+  vr.add(Severity::Warning, "some.rule", cls, "msg");
+  analysis::Report r;
+  r.merge(vr, [](const std::string& qn) { return qn == "C" ? 123l : -1l; });
+  ASSERT_EQ(r.diagnostics().size(), 1u);
+  EXPECT_EQ(r.diagnostics()[0].offset, 123);
+  EXPECT_EQ(r.diagnostics()[0].rule, "some.rule");
+}

@@ -123,7 +123,64 @@ TEST_F(CliFlow, RoundTripIsStable) {
   EXPECT_EQ(once.output, twice.output);
 }
 
+TEST_F(CliFlow, LintPassesOnTutmacEvenUnderWerror) {
+  const CliResult r = run_cli("lint " + model());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 errors, 0 warnings"), std::string::npos);
+  // The single-accelerator failover note is informational and never blocks.
+  EXPECT_NE(r.output.find("map.failover.infeasible"), std::string::npos);
+  EXPECT_EQ(run_cli("lint " + model() + " --Werror").exit_code, 0);
+}
+
+TEST_F(CliFlow, LintJsonSharesTheDiagnosticRenderer) {
+  const CliResult r = run_cli("lint " + model() + " --json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"diagnostics\":["), std::string::npos);
+  EXPECT_NE(r.output.find("\"errors\":0"), std::string::npos);
+  EXPECT_NE(r.output.find("\"infos\":1"), std::string::npos);
+
+  const CliResult v = run_cli("validate " + model() + " --json");
+  EXPECT_EQ(v.exit_code, 0) << v.output;
+  EXPECT_NE(v.output.find("\"errors\":0"), std::string::npos);
+}
+
+TEST_F(CliFlow, LintFlagsASeveredConnectorUnderWerror) {
+  // Sever the first connector in the document: whichever it is, some signal
+  // path dies and the linter must say so (warning at minimum).
+  std::ifstream in(model());
+  std::string xml((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  const auto at = xml.find("<connector");
+  ASSERT_NE(at, std::string::npos);
+  const auto close = xml.find("</connector>", at);
+  ASSERT_NE(close, std::string::npos);
+  const auto end = xml.find('\n', close);
+  const auto line_start = xml.rfind('\n', at);
+  xml.erase(line_start, end - line_start);
+  const fs::path broken = kWork / "severed.xml";
+  std::ofstream(broken) << xml;
+
+  const CliResult r = run_cli("lint " + broken.string() + " --Werror");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("flow."), std::string::npos) << r.output;
+}
+
+TEST_F(CliFlow, LintBaselineRoundTripSuppresses) {
+  const fs::path bl = kWork / "lint.baseline";
+  ASSERT_EQ(run_cli("lint " + model() + " --write-baseline " + bl.string())
+                .exit_code,
+            0);
+  const CliResult r = run_cli("lint " + model() + " --baseline " + bl.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("baseline-suppressed"), std::string::npos);
+}
+
 TEST(CliErrors, UsageAndMissingFiles) {
+  EXPECT_EQ(run_cli("lint /nonexistent/model.xml").exit_code, 1);
+  const CliResult rules = run_cli("lint --rules");
+  EXPECT_EQ(rules.exit_code, 0);
+  EXPECT_NE(rules.output.find("efsm.state.unreachable"), std::string::npos);
+  EXPECT_NE(rules.output.find("map.group.unmapped"), std::string::npos);
   EXPECT_EQ(run_cli("").exit_code, 2);
   EXPECT_EQ(run_cli("frobnicate x").exit_code, 2);
   EXPECT_EQ(run_cli("validate /nonexistent/model.xml").exit_code, 1);

@@ -120,6 +120,42 @@ TEST(FaultPlan, XmlRoundTripIsByteStable) {
   EXPECT_EQ(parsed.signal_faults[1].signal, "");
 }
 
+TEST(FaultPlan, DefectMessagesCarryStableRuleTags) {
+  // The loader's error strings are machine-matchable: each defect carries a
+  // "[rule]" tag that callers (CLI, analysis layer) key on.
+  const auto message_of = [](std::string_view text) -> std::string {
+    try {
+      FaultPlan::from_xml_text(text);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  // Negative time into an unsigned field is its own story, not generic
+  // number garbage.
+  const std::string neg = message_of(
+      "<tut:faultplan><peFault component=\"c\" start=\"-5\"/>"
+      "</tut:faultplan>");
+  EXPECT_NE(neg.find("[fault.time.negative]"), std::string::npos) << neg;
+
+  const std::string garbage = message_of(
+      "<tut:faultplan><peFault component=\"c\" start=\"soon\"/>"
+      "</tut:faultplan>");
+  EXPECT_NE(garbage.find("[fault.attr.malformed]"), std::string::npos)
+      << garbage;
+
+  const std::string order = message_of(
+      "<tut:faultplan><peFault component=\"c\" start=\"9\" end=\"3\"/>"
+      "</tut:faultplan>");
+  EXPECT_NE(order.find("[fault.window.order]"), std::string::npos) << order;
+
+  const std::string rate = message_of(
+      "<tut:faultplan><bitError segment=\"s\" ratePpm=\"2000000\"/>"
+      "</tut:faultplan>");
+  EXPECT_NE(rate.find("[fault.biterror.rate]"), std::string::npos) << rate;
+}
+
 TEST(FaultPlan, ParserRejectsBadDocuments) {
   EXPECT_THROW(FaultPlan::from_xml_text("<wrong/>"), std::invalid_argument);
   EXPECT_THROW(

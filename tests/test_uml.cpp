@@ -325,3 +325,60 @@ TEST(UmlValidation, DiagnosticFormatting) {
   Diagnostic d{Severity::Warning, "rule.id", "Elem.path", "message text"};
   EXPECT_EQ(d.to_string(), "warning [rule.id] Elem.path: message text");
 }
+
+TEST(UmlValidation, TriggerThroughUnknownPortIsAnError) {
+  TinyModel t;
+  auto& sm = t.model.create_behavior(*t.consumer);
+  auto& a = t.model.add_state(sm, "A", true);
+  t.model.add_transition(sm, a, a, *t.data, "nosuchport");
+  const auto result = Validator::uml_core().run(t.model);
+  ASSERT_GE(result.error_count(), 1u);
+  EXPECT_EQ(result.diagnostics()[0].rule, "uml.sm.wellformed");
+}
+
+TEST(UmlValidation, EnumTagValidatedOnApplication) {
+  TinyModel t;
+  auto& profile = t.model.create_profile("P");
+  auto& st = t.model.create_stereotype(profile, "Seg", ElementKind::Class);
+  st.define_tag("Arbitration", TagType::Enum, "policy",
+                {"priority", "round-robin"});
+  t.producer->apply(st, {{"Arbitration", "lottery"}});
+  const auto bad = Validator::uml_core().run(t.model);
+  ASSERT_EQ(bad.error_count(), 1u);
+  EXPECT_EQ(bad.diagnostics()[0].rule, "uml.tag.type");
+
+  t.producer->apply(st, {{"Arbitration", "priority"}});
+  EXPECT_TRUE(Validator::uml_core().run(t.model).ok());
+}
+
+TEST(UmlValidation, InheritedTagValidatesThroughSpecialization) {
+  TinyModel t;
+  auto& profile = t.model.create_profile("P");
+  auto& base = t.model.create_stereotype(profile, "Seg", ElementKind::Class);
+  base.define_tag("DataWidth", TagType::Integer, "width");
+  auto& hibi =
+      t.model.create_stereotype(profile, "HibiSeg", ElementKind::Class, &base);
+
+  // The inherited tag is found (not uml.tag.undeclared) and type-checked.
+  t.producer->apply(hibi, {{"DataWidth", "wide"}});
+  const auto bad = Validator::uml_core().run(t.model);
+  ASSERT_EQ(bad.error_count(), 1u);
+  EXPECT_EQ(bad.diagnostics()[0].rule, "uml.tag.type");
+
+  t.producer->apply(hibi, {{"DataWidth", "32"}});
+  EXPECT_TRUE(Validator::uml_core().run(t.model).ok());
+}
+
+TEST(UmlValidation, BooleanTagValidatedOnApplication) {
+  TinyModel t;
+  auto& profile = t.model.create_profile("P");
+  auto& st = t.model.create_stereotype(profile, "Grp", ElementKind::Class);
+  st.define_tag("Fixed", TagType::Boolean, "pinned");
+  t.producer->apply(st, {{"Fixed", "maybe"}});
+  const auto bad = Validator::uml_core().run(t.model);
+  ASSERT_EQ(bad.error_count(), 1u);
+  EXPECT_EQ(bad.diagnostics()[0].rule, "uml.tag.type");
+
+  t.producer->apply(st, {{"Fixed", "false"}});
+  EXPECT_TRUE(Validator::uml_core().run(t.model).ok());
+}

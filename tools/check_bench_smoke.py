@@ -59,17 +59,53 @@ def main():
                     help="allowed fractional slowdown vs checked-in medians")
     args = ap.parse_args()
 
+    # Failure modes carry stable "[rule]" tags so CI log greps and humans
+    # can tell a missing artifact from a corrupted one at a glance.
     try:
         with open(args.baseline) as f:
             baseline = json.load(f)
+    except OSError as e:
+        print(f"check_bench_smoke: [bench.baseline.missing] cannot read "
+              f"baseline '{args.baseline}': {e}", file=sys.stderr)
+        return 2
+    except ValueError as e:
+        print(f"check_bench_smoke: [bench.baseline.malformed] "
+              f"'{args.baseline}' is not valid JSON: {e}", file=sys.stderr)
+        return 2
+    if not isinstance(baseline, dict):
+        print(f"check_bench_smoke: [bench.baseline.malformed] "
+              f"'{args.baseline}' must be a JSON object, got "
+              f"{type(baseline).__name__}", file=sys.stderr)
+        return 2
+
+    try:
         measured = medians_ns(load_report(args.report))
-    except (OSError, ValueError, KeyError) as e:
-        print(f"check_bench_smoke: {e}", file=sys.stderr)
+    except OSError as e:
+        print(f"check_bench_smoke: [bench.report.missing] cannot read "
+              f"report '{args.report}': {e}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as e:
+        print(f"check_bench_smoke: [bench.report.malformed] "
+              f"'{args.report}' is not a benchmark JSON report: {e}",
+              file=sys.stderr)
         return 2
 
     failures = []
-    for name, spec in baseline.get("smoke_medians", {}).items():
-        expected = spec["real_time"] * UNIT_NS[spec["time_unit"]]
+    try:
+        median_specs = list(baseline.get("smoke_medians", {}).items())
+        speedup_specs = list(baseline.get("smoke_min_speedups", {}).items())
+    except AttributeError as e:
+        print(f"check_bench_smoke: [bench.baseline.malformed] smoke sections "
+              f"of '{args.baseline}' must be objects: {e}", file=sys.stderr)
+        return 2
+    for name, spec in median_specs:
+        try:
+            expected = spec["real_time"] * UNIT_NS[spec["time_unit"]]
+        except (KeyError, TypeError) as e:
+            print(f"check_bench_smoke: [bench.baseline.malformed] "
+                  f"smoke_medians['{name}'] needs real_time and a known "
+                  f"time_unit: {e}", file=sys.stderr)
+            return 2
         got = measured.get(name)
         if got is None:
             failures.append(f"{name}: missing from report (crashed or renamed?)")
@@ -82,20 +118,27 @@ def main():
             failures.append(f"{name}: {ratio - 1:.0%} slower than checked-in "
                             f"median (tolerance {args.tolerance:.0%})")
 
-    for key, spec in baseline.get("smoke_min_speedups", {}).items():
-        before = measured.get(spec["before"])
-        after = measured.get(spec["after"])
+    for key, spec in speedup_specs:
+        try:
+            before = measured.get(spec["before"])
+            after = measured.get(spec["after"])
+            minimum = spec["min"]
+        except (KeyError, TypeError) as e:
+            print(f"check_bench_smoke: [bench.baseline.malformed] "
+                  f"smoke_min_speedups['{key}'] needs before/after/min: {e}",
+                  file=sys.stderr)
+            return 2
         if before is None or after is None or after <= 0:
             failures.append(f"{key}: pair {spec['before']} / {spec['after']} "
                             "not measured")
             continue
         speedup = before / after
-        mark = "ok" if speedup >= spec["min"] else "FAIL"
+        mark = "ok" if speedup >= minimum else "FAIL"
         print(f"{mark:4s} speedup {key:34s} {speedup:5.2f}x "
-              f"(min {spec['min']:.2f}x)")
-        if speedup < spec["min"]:
+              f"(min {minimum:.2f}x)")
+        if speedup < minimum:
             failures.append(f"{key}: speedup {speedup:.2f}x below minimum "
-                            f"{spec['min']:.2f}x")
+                            f"{minimum:.2f}x")
 
     if failures:
         print("\nbench smoke FAILED:", file=sys.stderr)

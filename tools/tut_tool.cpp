@@ -5,7 +5,13 @@
 // the same operations:
 //
 //   tut info      <model.xml>                 model summary
-//   tut validate  <model.xml>                 design-rule check (exit 1 on errors)
+//   tut validate  <model.xml> [--json]        design-rule check (exit 1 on errors)
+//   tut lint      <model.xml> [--faults plan.xml] [--json] [--baseline file]
+//                 [--write-baseline file] [--Werror]
+//                                             whole-design static analysis:
+//                                             core rules + EFSM bytecode,
+//                                             signal-flow and mapping families
+//                                             (tut lint --rules lists them)
 //   tut diagram   <model.xml> <figure>        fig3..fig8 as text/DOT on stdout
 //   tut codegen   <model.xml> <outdir> [--host]  generate the C implementation
 //   tut profile   <model.xml> <sim.log>       Table-4 report + latencies
@@ -28,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "codegen/codegen.hpp"
 #include "diagram/diagram.hpp"
 #include "profile/tut_profile.hpp"
@@ -45,7 +52,10 @@ int usage() {
   std::cerr <<
       "usage: tut <command> ...\n"
       "  info      <model.xml>\n"
-      "  validate  <model.xml>\n"
+      "  validate  <model.xml> [--json]\n"
+      "  lint      <model.xml> [--faults plan.xml] [--json] [--baseline file]"
+      " [--write-baseline file] [--Werror]\n"
+      "  lint      --rules\n"
       "  diagram   <model.xml> <fig3|fig4|fig5|fig6|fig7|fig8>\n"
       "  codegen   <model.xml> <outdir> [--host]\n"
       "  profile   <model.xml> <sim.log>\n"
@@ -94,13 +104,56 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
-int cmd_validate(const std::string& path) {
+int cmd_validate(const std::string& path, bool json) {
   const auto model = load_model(path);
   const auto result = profile::make_validator().run(*model);
-  std::cout << result.to_string();
-  std::cout << result.error_count() << " errors, " << result.warning_count()
-            << " warnings\n";
+  if (json) {
+    // Shares the lint renderer: same shape, core rules only, no offsets.
+    analysis::Report report;
+    report.merge(result);
+    report.sort();
+    std::cout << report.to_json() << '\n';
+  } else {
+    std::cout << result.to_string();
+    std::cout << result.error_count() << " errors, " << result.warning_count()
+              << " warnings\n";
+  }
   return result.ok() ? 0 : 1;
+}
+
+int cmd_lint_rules() {
+  for (const analysis::RuleInfo& rule : analysis::rule_catalog()) {
+    std::cout << rule.id << " (" << uml::to_string(rule.severity) << "): "
+              << rule.summary << '\n';
+  }
+  return 0;
+}
+
+int cmd_lint(const std::string& path, const std::string& faults_path,
+             bool json, bool werror, const std::string& baseline_path,
+             const std::string& write_baseline_path) {
+  const std::string xml = read_file(path);
+  const auto model = uml::from_xml_string(xml);
+
+  analysis::Options options;
+  options.xml_text = xml;
+  sim::FaultPlan plan;
+  if (!faults_path.empty()) {
+    plan = sim::FaultPlan::from_xml_text(read_file(faults_path));
+    options.faults = &plan;
+  }
+
+  analysis::Report report = analysis::analyze(*model, options);
+  if (!baseline_path.empty()) {
+    report.apply_baseline(analysis::Baseline::parse(read_file(baseline_path)));
+  }
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    out << analysis::Baseline::from_diagnostics(report.diagnostics());
+    std::cerr << "wrote baseline to " << write_baseline_path << '\n';
+  }
+  std::cout << (json ? report.to_json() + "\n" : report.to_text());
+  return report.ok(werror) ? 0 : 1;
 }
 
 int cmd_diagram(const std::string& path, const std::string& figure) {
@@ -274,7 +327,33 @@ int main(int argc, char** argv) {
     if (args.empty()) return usage();
     const std::string& cmd = args[0];
     if (cmd == "info" && args.size() == 2) return cmd_info(args[1]);
-    if (cmd == "validate" && args.size() == 2) return cmd_validate(args[1]);
+    if (cmd == "validate" && (args.size() == 2 || args.size() == 3)) {
+      const bool json = args.size() == 3 && args[2] == "--json";
+      if (args.size() == 3 && !json) return usage();
+      return cmd_validate(args[1], json);
+    }
+    if (cmd == "lint" && args.size() >= 2) {
+      if (args[1] == "--rules" && args.size() == 2) return cmd_lint_rules();
+      std::string faults_path, baseline_path, write_baseline_path;
+      bool json = false, werror = false;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--json") {
+          json = true;
+        } else if (args[i] == "--Werror") {
+          werror = true;
+        } else if (args[i] == "--faults" && i + 1 < args.size()) {
+          faults_path = args[++i];
+        } else if (args[i] == "--baseline" && i + 1 < args.size()) {
+          baseline_path = args[++i];
+        } else if (args[i] == "--write-baseline" && i + 1 < args.size()) {
+          write_baseline_path = args[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_lint(args[1], faults_path, json, werror, baseline_path,
+                      write_baseline_path);
+    }
     if (cmd == "diagram" && args.size() == 3) {
       return cmd_diagram(args[1], args[2]);
     }
