@@ -1,0 +1,141 @@
+// Campaign engine benchmarks: scenario-sweep throughput over one shared
+// TUTMAC image (1/2/4 worker threads), context reuse (Simulation::reset) vs
+// per-run construction, and the cost of lazy scenario materialization.
+// On a single-core container thread scaling shows up as CPU-per-scenario,
+// not wall clock — see BENCH_campaign.json for the measured story.
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mapping/mapping.hpp"
+#include "sim/campaign.hpp"
+#include "sim/compiled.hpp"
+#include "sim/simulator.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+
+namespace {
+
+// Short horizon: campaign sweeps trade per-run depth for run count, so the
+// interesting regime is many small runs (reset/claim/reduce overhead
+// dominates the simulation itself).
+constexpr sim::Time kHorizon = 2'000'000;  // 2 ms of modelled time
+
+void print_header() {
+  bench::banner("A8: campaign engine — sweep throughput over one image");
+  std::cout << "(reusable contexts, streaming reduction; 2 ms scenarios)\n";
+}
+
+tutmac::System& shared_system() {
+  static tutmac::System sys = [] {
+    tutmac::Options opt;
+    opt.horizon = kHorizon;
+    return tutmac::build(opt);
+  }();
+  return sys;
+}
+
+std::shared_ptr<const sim::CompiledModel> shared_image() {
+  static std::shared_ptr<const sim::CompiledModel> image = [] {
+    const mapping::SystemView view(*shared_system().model);
+    return sim::CompiledModel::build(view);
+  }();
+  return image;
+}
+
+void setup_scenario(sim::Simulation& simulation, const sim::Scenario& sc) {
+  const tutmac::System& sys = shared_system();
+  tutmac::Options o = sys.options;
+  o.horizon = simulation.config().horizon;
+  o.slot_period = static_cast<sim::Time>(
+      sc.param("slotPeriod", static_cast<long>(o.slot_period)));
+  sys.inject_workload(simulation, o);
+}
+
+sim::CampaignSpec bench_spec(std::uint64_t seeds) {
+  sim::CampaignSpec spec;
+  spec.name = "bench";
+  spec.base.horizon = kHorizon;
+  spec.axes.push_back({"seed", {}});
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    spec.axes.back().values.push_back(static_cast<long>(i));
+  }
+  spec.axes.push_back({"slotPeriod", {50'000, 100'000}});
+  return spec;
+}
+
+// Campaign throughput; range(0) is the worker-thread count. 512 scenarios
+// per iteration keeps one iteration ~40 ms so the claim/reduce machinery is
+// exercised hard relative to the tiny runs.
+void BM_CampaignScenarios(benchmark::State& state) {
+  const sim::CampaignSpec spec = bench_spec(256);  // x2 slotPeriod = 512
+  const sim::CampaignRunner runner({shared_image()}, setup_scenario);
+  sim::CampaignOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const sim::CampaignResult result = runner.run(spec, options);
+    benchmark::DoNotOptimize(result.aggregate.digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(spec.total()));
+}
+BENCHMARK(BM_CampaignScenarios)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// The pair the campaign's per-run cost rides on: constructing a Simulation
+// over the image for every run vs rewinding one reusable context.
+void BM_ScenarioFreshConstruct(benchmark::State& state) {
+  sim::Config config;
+  config.horizon = kHorizon;
+  for (auto _ : state) {
+    sim::Simulation simulation(shared_image(), config);
+    setup_scenario(simulation, sim::Scenario{});
+    simulation.run();
+    benchmark::DoNotOptimize(simulation.events_dispatched());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScenarioFreshConstruct)->Unit(benchmark::kMicrosecond);
+
+void BM_ScenarioContextReuse(benchmark::State& state) {
+  sim::Config config;
+  config.horizon = kHorizon;
+  sim::Simulation simulation(shared_image(), config);
+  for (auto _ : state) {
+    simulation.reset(config);
+    setup_scenario(simulation, sim::Scenario{});
+    simulation.run();
+    benchmark::DoNotOptimize(simulation.events_dispatched());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScenarioContextReuse)->Unit(benchmark::kMicrosecond);
+
+// Lazy expansion: materializing scenario(i) from its index across a 1e6
+// sweep — the cost sharding and resume pay instead of storing a list.
+void BM_ScenarioMaterialize(benchmark::State& state) {
+  sim::CampaignSpec spec = bench_spec(250'000);  // x2x2 below = 1e6
+  spec.plans.emplace_back("none2", sim::FaultPlan{});
+  spec.axes.push_back({"plan", {0, 1}});
+  const std::uint64_t total = spec.total();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const sim::Scenario sc = spec.scenario(i);
+    benchmark::DoNotOptimize(sc.config.faults.seed);
+    i = (i + 977) % total;  // stride to defeat any accidental locality
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScenarioMaterialize);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run(argc, argv, print_header);
+}

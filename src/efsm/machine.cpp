@@ -32,6 +32,12 @@ StepResult Instance::reset() {
   return start();
 }
 
+void Instance::rewind() {
+  state_ = nullptr;
+  vars_.clear();
+  for (const auto& [var, initial] : sm_->variables()) vars_[var] = initial;
+}
+
 Env Instance::make_env(const Event* event) const {
   Env env = vars_;
   if (event != nullptr && event->signal != nullptr) {

@@ -74,6 +74,12 @@ public:
   /// the co-simulator's watchdog recovery to restart a hung process.
   StepResult reset();
 
+  /// Rewinds to the freshly-constructed state — not started, declared
+  /// variables at their initial values — without entering the initial state
+  /// (unlike reset()). The parsed-expression cache is kept; it is keyed on
+  /// immutable behaviour text, so reuse cannot change results.
+  void rewind();
+
   /// Delivers a signal event. If no transition matches, the event is
   /// discarded (UML semantics for unhandled signal triggers) and
   /// `fired == false`.

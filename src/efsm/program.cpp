@@ -392,6 +392,14 @@ StepResult CompiledInstance::reset() {
   return start();
 }
 
+void CompiledInstance::rewind() {
+  state_ = CompiledMachine::kNoState;
+  init_slots();
+  overlay_.clear();
+  std::fill(slot_stamp_.begin(), slot_stamp_.end(), 0);
+  step_ = 0;
+}
+
 const CompiledMachine::Transition* CompiledInstance::find_transition(
     const Event* event, const std::string& timer) {
   const auto& transitions = machine_->transitions();

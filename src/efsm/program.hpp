@@ -207,6 +207,13 @@ class CompiledInstance {
   StepResult deliver(const Event& event);
   StepResult timer_fired(const std::string& timer);
 
+  /// Rewinds to the freshly-constructed state — not started, slots at their
+  /// declared initial values — without executing entry actions (unlike
+  /// reset(), which restarts the machine). Step-for-step behaviour after
+  /// rewind() is identical to a new instance; scenario batches use it to
+  /// reuse one instance's allocations across runs.
+  void rewind();
+
   const std::string& name() const noexcept { return name_; }
   const CompiledMachine& machine() const noexcept { return *machine_; }
   bool started() const noexcept {

@@ -26,22 +26,36 @@ std::uint64_t BatchRunner::hash_text(std::string_view text) noexcept {
   return h;
 }
 
-BatchResult BatchRunner::run_one(const BatchScenario& scenario) const {
+BatchResult BatchRunner::run_one(const BatchScenario& scenario,
+                                 std::unique_ptr<Simulation>& context,
+                                 std::string& scratch) const {
   BatchResult result;
   result.name = scenario.name;
   try {
-    Simulation simulation(model_, scenario.config);
+    if (!context) {
+      context = std::make_unique<Simulation>(model_, scenario.config);
+    } else {
+      context->reset(scenario.config);
+    }
+    Simulation& simulation = *context;
     if (scenario.setup) scenario.setup(simulation);
     simulation.run();
     result.end_time = simulation.now();
     result.events = simulation.events_dispatched();
     result.records = simulation.log().size();
-    const std::string text = simulation.log().to_text();
-    result.log_hash = hash_text(text);
-    if (options_.keep_logs) result.log_text = text;
+    // Hash-and-release: the log is rendered into the worker's reusable
+    // scratch buffer, hashed, and only *copied out* when the caller opted
+    // into retained logs. Resident log memory is O(threads), never O(runs).
+    scratch.clear();
+    simulation.log().to_text(scratch);
+    result.log_hash = hash_text(scratch);
+    if (options_.keep_logs) result.log_text = scratch;
     result.pe_stats = simulation.pe_stats();
     result.segment_stats = simulation.segment_stats();
   } catch (const std::exception& e) {
+    // The throw can leave the context mid-run; rebuild from the image on the
+    // next scenario instead of resetting a half-consistent state.
+    context.reset();
     result = BatchResult{};
     result.name = scenario.name;
     result.error = e.what();
@@ -49,22 +63,38 @@ BatchResult BatchRunner::run_one(const BatchScenario& scenario) const {
   return result;
 }
 
+namespace {
+
+/// The claim counter lives on its own cache line: results[] slots and the
+/// scenario vector are read/written right next to it, and sharing its line
+/// would bounce every fetch_add through the other workers' caches.
+struct alignas(64) PaddedIndex {
+  std::atomic<std::size_t> value{0};
+  char pad[64 - sizeof(std::atomic<std::size_t>)];
+};
+
+}  // namespace
+
 std::vector<BatchResult> BatchRunner::run(
     const std::vector<BatchScenario>& scenarios) const {
   std::vector<BatchResult> results(scenarios.size());
   const std::size_t workers = std::min(threads_, scenarios.size());
   if (workers <= 1) {
+    std::unique_ptr<Simulation> context;
+    std::string scratch;
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      results[i] = run_one(scenarios[i]);
+      results[i] = run_one(scenarios[i], context, scratch);
     }
     return results;
   }
-  std::atomic<std::size_t> next{0};
+  PaddedIndex next;
   auto work = [&]() {
-    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    std::unique_ptr<Simulation> context;
+    std::string scratch;
+    for (std::size_t i = next.value.fetch_add(1, std::memory_order_relaxed);
          i < scenarios.size();
-         i = next.fetch_add(1, std::memory_order_relaxed)) {
-      results[i] = run_one(scenarios[i]);
+         i = next.value.fetch_add(1, std::memory_order_relaxed)) {
+      results[i] = run_one(scenarios[i], context, scratch);
     }
   };
   std::vector<std::thread> pool;

@@ -4,10 +4,11 @@
 // same system image under different knobs. BatchRunner amortizes the model
 // lowering (CompiledModel::build once) across every scenario and fans the
 // runs out over a thread pool: scenarios are claimed from an atomic index,
-// each worker constructs its own Simulation over the shared read-only
-// model, and every worker writes only its own result slot. Results are
-// therefore indexed by scenario and byte-identical whether threads = 1
-// or 64.
+// each worker keeps one reusable Simulation context over the shared
+// read-only model (Simulation::reset between runs), and every worker writes
+// only its own result slot. Results are therefore indexed by scenario and
+// byte-identical whether threads = 1 or 64. Logs are hashed in a reusable
+// buffer and released; BatchOptions::keep_logs opts into retaining them.
 #pragma once
 
 #include <cstdint>
@@ -75,7 +76,12 @@ class BatchRunner {
   static std::uint64_t hash_text(std::string_view text) noexcept;
 
  private:
-  BatchResult run_one(const BatchScenario& scenario) const;
+  /// Runs one scenario on a reusable per-worker context (constructed on the
+  /// first call, Simulation::reset thereafter) with a reusable render
+  /// buffer — per-run cost and memory are independent of the batch size.
+  BatchResult run_one(const BatchScenario& scenario,
+                      std::unique_ptr<Simulation>& context,
+                      std::string& scratch) const;
 
   std::shared_ptr<const CompiledModel> model_;
   BatchOptions options_;

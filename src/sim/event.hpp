@@ -114,6 +114,20 @@ class EventQueue {
     return false;
   }
 
+  /// Rewinds to the freshly-constructed state (now() == 0, empty queue,
+  /// sequence and dispatch counters zeroed) while keeping the heap's
+  /// capacity. Reusable run contexts (sim::Simulation::reset) depend on the
+  /// counters restarting: event ordering and generation payloads must be
+  /// identical to a brand-new queue.
+  void reset() noexcept {
+    heap_.clear();
+    bucket_.clear();
+    bucket_head_ = 0;
+    now_ = 0;
+    next_seq_ = 0;
+    dispatched_ = 0;
+  }
+
   Time now() const noexcept { return now_; }
   bool empty() const noexcept { return heap_.empty() && bucket_empty(); }
   std::size_t pending() const noexcept {

@@ -1,5 +1,6 @@
 #include "sim/log.hpp"
 
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 
@@ -163,48 +164,98 @@ void SimulationLog::clear() {
 
 void SimulationLog::reserve(std::size_t n) { compact_.reserve(n); }
 
+namespace {
+
+template <typename N>
+void append_num(std::string& out, N value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  out.append(buf, ptr);
+}
+
+}  // namespace
+
 std::string SimulationLog::to_text() const {
-  std::ostringstream os;
-  os << "# tut-simlog v1\n";
+  std::string out;
+  to_text(out);
+  return out;
+}
+
+void SimulationLog::to_text(std::string& out) const {
+  // ~32 bytes per rendered line; reserving up front keeps the append loop
+  // free of reallocation even on the first use of a fresh buffer.
+  out.reserve(out.size() + 16 + 32 * compact_.size());
+  out += "# tut-simlog v1\n";
+  const auto field = [&](intern::Id id) {
+    out += ' ';
+    out += names_.name(id);
+  };
   for (const Compact& r : compact_) {
     switch (r.kind) {
       case LogRecord::Kind::Run:
-        os << "R " << r.time << ' ' << names_.name(r.process) << ' '
-           << r.cycles << ' ' << r.duration << '\n';
+        out += "R ";
+        append_num(out, r.time);
+        field(r.process);
+        out += ' ';
+        append_num(out, r.cycles);
+        out += ' ';
+        append_num(out, r.duration);
         break;
       case LogRecord::Kind::Send:
-        os << "S " << r.time << ' ' << names_.name(r.process) << ' '
-           << names_.name(r.peer) << ' ' << names_.name(r.signal) << ' '
-           << r.bytes << '\n';
+        out += "S ";
+        append_num(out, r.time);
+        field(r.process);
+        field(r.peer);
+        field(r.signal);
+        out += ' ';
+        append_num(out, r.bytes);
         break;
       case LogRecord::Kind::Receive:
-        os << "V " << r.time << ' ' << names_.name(r.process) << ' '
-           << names_.name(r.peer) << ' ' << names_.name(r.signal) << '\n';
+        out += "V ";
+        append_num(out, r.time);
+        field(r.process);
+        field(r.peer);
+        field(r.signal);
         break;
       case LogRecord::Kind::Drop:
-        os << "D " << r.time << ' ' << names_.name(r.process) << ' '
-           << names_.name(r.signal) << '\n';
+        out += "D ";
+        append_num(out, r.time);
+        field(r.process);
+        field(r.signal);
         break;
       case LogRecord::Kind::Fault:
-        os << "F " << r.time << ' ' << names_.name(r.process) << '\n';
+        out += "F ";
+        append_num(out, r.time);
+        field(r.process);
         break;
       case LogRecord::Kind::Clear:
-        os << "C " << r.time << ' ' << names_.name(r.process) << '\n';
+        out += "C ";
+        append_num(out, r.time);
+        field(r.process);
         break;
       case LogRecord::Kind::Retry:
-        os << "T " << r.time << ' ' << names_.name(r.process) << ' '
-           << names_.name(r.signal) << ' ' << r.cycles << '\n';
+        out += "T ";
+        append_num(out, r.time);
+        field(r.process);
+        field(r.signal);
+        out += ' ';
+        append_num(out, r.cycles);
         break;
       case LogRecord::Kind::Watchdog:
-        os << "W " << r.time << ' ' << names_.name(r.process) << '\n';
+        out += "W ";
+        append_num(out, r.time);
+        field(r.process);
         break;
       case LogRecord::Kind::Migrate:
-        os << "M " << r.time << ' ' << names_.name(r.process) << ' '
-           << names_.name(r.peer) << ' ' << names_.name(r.signal) << '\n';
+        out += "M ";
+        append_num(out, r.time);
+        field(r.process);
+        field(r.peer);
+        field(r.signal);
         break;
     }
+    out += '\n';
   }
-  return os.str();
 }
 
 SimulationLog SimulationLog::parse(const std::string& text) {

@@ -127,6 +127,10 @@ class SimulationLog {
   ///   W <time> <process>
   ///   M <time> <process> <from_pe> <to_pe>
   std::string to_text() const;
+  /// Appends the same serialization to `out` (no clearing). Batch and
+  /// campaign runs render thousands of logs; reusing one buffer keeps the
+  /// render allocation-free after the first run.
+  void to_text(std::string& out) const;
 
   /// Parses a log-file. Throws std::runtime_error on malformed lines.
   static SimulationLog parse(const std::string& text);

@@ -54,6 +54,7 @@ struct Simulation::Impl {
     efsm::StepResult timer_fired(const std::string& t) {
       return ast ? ast->timer_fired(t) : code->timer_fired(t);
     }
+    void rewind() { ast ? ast->rewind() : code->rewind(); }
   };
 
   struct Proc {
@@ -182,13 +183,63 @@ struct Simulation::Impl {
     }
 
     check_fault_plan(defects);
-    if (!defects.empty()) {
-      std::string msg = "model is not executable (" +
-                        std::to_string(defects.size()) + " defect" +
-                        (defects.size() == 1 ? "" : "s") + "):";
-      for (const std::string& d : defects) msg += "\n  - " + d;
-      throw std::runtime_error(msg);
+    if (!defects.empty()) throw_defects(defects);
+  }
+
+  [[noreturn]] static void throw_defects(
+      const std::vector<std::string>& defects) {
+    std::string msg = "model is not executable (" +
+                      std::to_string(defects.size()) + " defect" +
+                      (defects.size() == 1 ? "" : "s") + "):";
+    for (const std::string& d : defects) msg += "\n  - " + d;
+    throw std::runtime_error(msg);
+  }
+
+  /// Rewinds every piece of per-run state to its value after build() while
+  /// keeping allocations: the event queue's heap, the EFSM slot files, the
+  /// transfer/injection stores, the log's record vector and name table, and
+  /// the stats map nodes all survive. The caller has already replaced
+  /// owner_.config_, so fault resolution runs against the new plan. Interned
+  /// ids (process names, timers, signals) deliberately persist — they map
+  /// to the same names, and nothing observable depends on id values.
+  void reset_run() {
+    queue_.reset();
+    started_ = false;
+    ready_counter_ = 0;
+    transfers_.clear();
+    injects_.clear();
+    stuck_.clear();
+    faults_on_ = !owner_.config_.faults.empty();
+    for (Proc& proc : procs_) {
+      proc.inst.rewind();
+      proc.pe = proc.info->home_pe;
+      proc.queue.clear();
+      proc.timer_gen.clear();
+      proc.ready = false;
+      proc.ready_seq = 0;
+      proc.last_progress = 0;
     }
+    for (Pe& pe : pes_) {
+      pe.failed = false;
+      pe.ready.clear();
+      pe.running.reset();
+      pe.run_gen = 0;
+      pe.suspended.clear();
+      *pe.stats = PeStats{};
+    }
+    for (Seg& seg : segs_) {
+      seg.busy = false;
+      seg.faulted = false;
+      seg.ber_ppm = 0;
+      seg.ber_seq = 0;
+      seg.last_rr = -1;
+      seg.waiting.clear();
+      *seg.stats = SegmentStats{};
+    }
+    owner_.log_.clear();
+    std::vector<std::string> defects;
+    check_fault_plan(defects);  // re-resolves names, re-applies bit errors
+    if (!defects.empty()) throw_defects(defects);
   }
 
   /// Appends fault-plan defects (structure + unresolved component names).
@@ -954,6 +1005,11 @@ Simulation::Simulation(std::shared_ptr<const CompiledModel> model,
 }
 
 Simulation::~Simulation() = default;
+
+void Simulation::reset(const Config& config) {
+  config_ = config;
+  impl_->reset_run();
+}
 
 void Simulation::inject(Time t, const std::string& boundary_port,
                         const uml::Signal& signal, std::vector<long> args) {

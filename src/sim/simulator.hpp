@@ -100,6 +100,15 @@ public:
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
+  /// Rewinds this simulation to time 0 over the same model under a new
+  /// configuration, reusing every allocation (event queue, EFSM slot files,
+  /// log buffers, stat tables) instead of reconstructing them. The
+  /// subsequent run is byte-identical to a freshly constructed Simulation
+  /// with the same configuration — batch and campaign runs lean on that to
+  /// make per-run cost independent of model size at small horizons. Throws
+  /// std::runtime_error on fault-plan defects, exactly like construction.
+  void reset(const Config& config);
+
   /// Injects a signal from the environment through a boundary port of the
   /// application class at absolute time `t`. Valid before and after run()
   /// has started, as long as `t >= now()`; injecting into the past throws

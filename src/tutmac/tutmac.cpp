@@ -388,7 +388,11 @@ System build(const Options& options) {
 }
 
 void System::inject_workload(sim::Simulation& sim) const {
-  const Options& o = options;
+  inject_workload(sim, options);
+}
+
+void System::inject_workload(sim::Simulation& sim, const Options& with) const {
+  const Options& o = with;
   auto count_of = [&](sim::Time start, sim::Time period) {
     return start >= o.horizon ? 0u
                               : static_cast<std::size_t>(

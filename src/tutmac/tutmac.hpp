@@ -115,6 +115,9 @@ struct System {
   /// Injects the environment workload (radio slots, received frames, user
   /// MSDUs) into a simulation of this system, up to `options.horizon`.
   void inject_workload(sim::Simulation& sim) const;
+  /// Same, but under substitute workload knobs (horizon, periods) — campaign
+  /// sweeps vary these per scenario without rebuilding the system.
+  void inject_workload(sim::Simulation& sim, const Options& with) const;
 
   /// Builds, validates-by-construction and runs the standard flow:
   /// simulate under the options' workload and return the simulation.

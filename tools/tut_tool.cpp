@@ -26,6 +26,23 @@
 //                                             (fault seeds seed..seed+N-1)
 //                                             over K worker threads, printing
 //                                             a per-scenario table
+//   tut campaign  tutmac <campaign.xml> [--threads K] [--shard k/n]
+//                 [--checkpoint file] [--resume] [--samples file]
+//                                             scenario-sweep campaign over the
+//                                             case study: compiles one image
+//                                             per swept mapping, runs the
+//                                             sweep with streaming
+//                                             aggregation (digests + P2
+//                                             percentile sketches), prints
+//                                             the campaign summary. --shard
+//                                             k/n runs the k-th of n
+//                                             contiguous index ranges;
+//                                             --checkpoint/--resume survive
+//                                             kills; --samples writes the
+//                                             part file `campaign merge`
+//                                             consumes
+//   tut campaign  merge <part>...             merge shard part files into the
+//                                             single-process aggregate
 //   tut roundtrip <model.xml>                 canonicalized XML on stdout
 #include <filesystem>
 #include <fstream>
@@ -40,6 +57,7 @@
 #include "profile/tut_profile.hpp"
 #include "profiler/profiler.hpp"
 #include "sim/batch.hpp"
+#include "sim/campaign.hpp"
 #include "tutmac/tutmac.hpp"
 #include "uml/serialize.hpp"
 #include "uml/validation.hpp"
@@ -61,6 +79,9 @@ int usage() {
       "  profile   <model.xml> <sim.log>\n"
       "  simulate  tutmac <outdir> [horizon_ms] [--faults plan.xml] [--seed N]"
       " [--batch N] [--threads K]\n"
+      "  campaign  tutmac <campaign.xml> [--threads K] [--shard k/n]"
+      " [--checkpoint file] [--resume] [--samples file]\n"
+      "  campaign  merge <part>...\n"
       "  roundtrip <model.xml>\n";
   return 2;
 }
@@ -258,9 +279,11 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
       s.setup = [&sys](sim::Simulation& sim) { sys.inject_workload(sim); };
       scenarios.push_back(std::move(s));
     }
+    // Logs are hashed and released inside the runner (memory stays
+    // O(threads) however large N is); the sim.log written below comes from
+    // the determinism rerun of scenario 0.
     sim::BatchOptions options;
     options.threads = threads;
-    options.keep_logs = true;
     const sim::BatchRunner runner(compiled, options);
     const auto results = runner.run(scenarios);
 
@@ -281,15 +304,14 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
       std::cout << line;
     }
     if (results[0].error.empty()) {
-      log_text = results[0].log_text;
       events = results[0].events;
       // Determinism check: a fresh single run of scenario 0 must hash to
-      // the batch's row 0.
+      // the batch's row 0 (and donates the log file we write out).
       sim::Simulation check(compiled, scenarios[0].config);
       sys.inject_workload(check);
       check.run();
-      const auto check_hash =
-          sim::BatchRunner::hash_text(check.log().to_text());
+      log_text = check.log().to_text();
+      const auto check_hash = sim::BatchRunner::hash_text(log_text);
       std::cout << "determinism check: "
                 << (check_hash == results[0].log_hash ? "ok" : "MISMATCH")
                 << '\n';
@@ -317,6 +339,95 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
     std::cout << '\n' << profiler::analyze(info, log).to_text();
   }
   return 0;
+}
+
+int print_campaign_result(const sim::CampaignResult& result) {
+  std::cout << result.aggregate.to_text();
+  if (!result.completed) {
+    std::cout << "partial:   stopped at scenario " << result.next << " of ["
+              << result.first << ", " << result.end << ") — resume with "
+              "--resume\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_campaign_tutmac(const std::string& campaign_path,
+                        const sim::CampaignOptions& options) {
+  const std::filesystem::path base =
+      std::filesystem::path(campaign_path).parent_path();
+  // Fault-plan files referenced by the campaign resolve relative to the
+  // campaign file, like XML includes everywhere else.
+  const auto spec = sim::CampaignSpec::from_xml_text(
+      read_file(campaign_path), [&base](const std::string& file) {
+        const std::filesystem::path p(file);
+        return read_file(p.is_absolute() ? file : (base / p).string());
+      });
+
+  // One built system + compiled image per swept mapping (entry 0 is the
+  // paper mapping when the sweep names none). The systems stay alive for
+  // their signal handles, which the setup callback injects through.
+  std::vector<std::string> mapping_names = spec.mapping_names;
+  if (mapping_names.empty()) mapping_names.push_back("paper");
+  std::vector<tutmac::System> systems;
+  std::vector<std::shared_ptr<const sim::CompiledModel>> images;
+  for (const std::string& name : mapping_names) {
+    tutmac::Options opt;
+    if (name == "paper") {
+      opt.mapping = tutmac::MappingChoice::Paper;
+    } else if (name == "loadBalanced") {
+      opt.mapping = tutmac::MappingChoice::LoadBalanced;
+    } else if (name == "singlePe") {
+      opt.mapping = tutmac::MappingChoice::SinglePe;
+    } else {
+      throw std::invalid_argument(
+          "campaign: [campaign.ref.unknown] unknown tutmac mapping '" + name +
+          "' (paper, loadBalanced, singlePe)");
+    }
+    systems.push_back(tutmac::build(opt));
+    mapping::SystemView view(*systems.back().model);
+    images.push_back(sim::CompiledModel::build(view));
+  }
+
+  const sim::CampaignRunner runner(
+      std::move(images),
+      [&systems](sim::Simulation& simulation, const sim::Scenario& sc) {
+        const tutmac::System& sys = systems[sc.image];
+        tutmac::Options o = sys.options;
+        o.horizon = simulation.config().horizon;
+        o.slot_period = static_cast<sim::Time>(
+            sc.param("slotPeriod", static_cast<long>(o.slot_period)));
+        o.rx_period = static_cast<sim::Time>(
+            sc.param("rxPeriod", static_cast<long>(o.rx_period)));
+        o.msdu_period = static_cast<sim::Time>(
+            sc.param("msduPeriod", static_cast<long>(o.msdu_period)));
+        sys.inject_workload(simulation, o);
+      });
+
+  const sim::CampaignResult result = runner.run(spec, options);
+  const std::uint64_t ran = result.next - result.first;
+  std::cout << "campaign '" << spec.name << "': scenarios [" << result.first
+            << ", " << result.end << ") of " << spec.total();
+  if (options.shard.count > 1) {
+    std::cout << "  (shard " << options.shard.index << "/"
+              << options.shard.count << ")";
+  }
+  std::cout << "\n";
+  if (result.wall_seconds > 0) {
+    char rate[64];
+    std::snprintf(rate, sizeof rate, "%.0f runs/sec, %.2f s wall\n",
+                  static_cast<double>(ran) / result.wall_seconds,
+                  result.wall_seconds);
+    std::cout << rate;
+  }
+  return print_campaign_result(result);
+}
+
+int cmd_campaign_merge(const std::vector<std::string>& parts) {
+  const sim::CampaignResult result = sim::merge_campaign_parts(parts);
+  std::cout << "merged " << parts.size() << " part file(s): scenarios [0, "
+            << result.end << ")\n";
+  return print_campaign_result(result);
 }
 
 }  // namespace
@@ -389,6 +500,35 @@ int main(int argc, char** argv) {
       }
       return cmd_simulate_tutmac(args[2], ms, faults_path, seed, batch,
                                  threads);
+    }
+    if (cmd == "campaign" && args.size() >= 3 && args[1] == "merge") {
+      return cmd_campaign_merge(
+          std::vector<std::string>(args.begin() + 2, args.end()));
+    }
+    if (cmd == "campaign" && args.size() >= 3 && args[1] == "tutmac") {
+      sim::CampaignOptions options;
+      for (std::size_t i = 3; i < args.size(); ++i) {
+        if (args[i] == "--threads" && i + 1 < args.size()) {
+          options.threads = static_cast<std::size_t>(std::stoul(args[++i]));
+        } else if (args[i] == "--shard" && i + 1 < args.size()) {
+          const std::string& kn = args[++i];
+          const std::size_t slash = kn.find('/');
+          if (slash == std::string::npos) return usage();
+          options.shard.index =
+              static_cast<std::uint32_t>(std::stoul(kn.substr(0, slash)));
+          options.shard.count =
+              static_cast<std::uint32_t>(std::stoul(kn.substr(slash + 1)));
+        } else if (args[i] == "--checkpoint" && i + 1 < args.size()) {
+          options.checkpoint_path = args[++i];
+        } else if (args[i] == "--resume") {
+          options.resume = true;
+        } else if (args[i] == "--samples" && i + 1 < args.size()) {
+          options.samples_path = args[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_campaign_tutmac(args[2], options);
     }
     if (cmd == "roundtrip" && args.size() == 2) {
       std::cout << uml::to_xml_string(*load_model(args[1]));
