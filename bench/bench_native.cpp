@@ -1,0 +1,242 @@
+// Native backend benchmarks: the generated-code executor vs the bytecode
+// interpreter on the same machines — per-step dispatch on the MiniSystem
+// dsp/controller EFSMs, full TUTMAC end-to-end runs, and campaign sweep
+// throughput. The native pairs are only registered when a C++ compiler is
+// available on the host (the same probe `tut --backend=native` uses);
+// without one the interpreter benches still run and a notice is printed.
+// Medians and minimum speedups go into BENCH_native.json.
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "codegen/native.hpp"
+#include "efsm/machine.hpp"
+#include "efsm/program.hpp"
+#include "fixtures.hpp"
+#include "mapping/mapping.hpp"
+#include "sim/campaign.hpp"
+#include "sim/compiled.hpp"
+#include "sim/simulator.hpp"
+#include "tutmac/tutmac.hpp"
+
+using namespace tut;
+
+namespace {
+
+// Same short-run regime as bench_campaign: the native backend's win is
+// per-step dispatch, so e2e numbers deliberately keep the kernel share high
+// rather than hiding it behind long horizons.
+constexpr sim::Time kHorizon = 2'000'000;  // 2 ms of modelled time
+
+void print_header() {
+  bench::banner("A9: native backend — generated code vs bytecode interpreter");
+  std::cout << "(per-step dispatch, TUTMAC e2e, campaign sweeps; 2 ms runs)\n";
+}
+
+// --- MiniSystem fixture (per-step microbenches) --------------------------
+
+// The CompiledModel borrows the SystemView, so both live together for the
+// process lifetime.
+struct Mini {
+  test::MiniSystem sys;
+  std::unique_ptr<mapping::SystemView> view;
+  std::shared_ptr<const sim::CompiledModel> model;
+};
+
+Mini& mini() {
+  static Mini* fixture = [] {
+    auto* m = new Mini;
+    m->view = std::make_unique<mapping::SystemView>(m->sys.model);
+    m->model = sim::CompiledModel::build(*m->view);
+    return m;
+  }();
+  return *fixture;
+}
+
+std::shared_ptr<const codegen::NativeImage> mini_image() {
+  static std::shared_ptr<const codegen::NativeImage> image =
+      codegen::NativeImage::build(mini().model);
+  return image;
+}
+
+// dsp1's Req@in self-loop: guardless, compute + assign + one send — the
+// common-case transition shape. Interpreter and native do identical
+// semantic work per deliver (including building the StepResult).
+void BM_MiniStepBytecode(benchmark::State& state) {
+  const sim::CompiledModel& model = *mini().model;
+  const auto proc = static_cast<std::size_t>(model.proc_index("dsp1"));
+  efsm::CompiledInstance inst(*model.procs()[proc].machine, "dsp1");
+  inst.start();
+  const efsm::Event ev{mini().sys.req, "in", {8}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.deliver(ev));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MiniStepBytecode);
+
+void BM_MiniStepNative(benchmark::State& state) {
+  const auto image = mini_image();
+  const auto proc =
+      static_cast<std::uint32_t>(mini().model->proc_index("dsp1"));
+  const std::unique_ptr<sim::ProcExecutor> inst = image->make_executor(proc);
+  inst->start();
+  const efsm::Event ev{mini().sys.req, "in", {8}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst->deliver(ev));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// Controller's tick timer: timer dispatch plus a state re-entry running the
+// on-entry set_timer — the path every periodic process hits.
+void BM_MiniTimerBytecode(benchmark::State& state) {
+  const sim::CompiledModel& model = *mini().model;
+  const auto proc = static_cast<std::size_t>(model.proc_index("ctrl"));
+  efsm::CompiledInstance inst(*model.procs()[proc].machine, "ctrl");
+  inst.start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.timer_fired("tick"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MiniTimerBytecode);
+
+void BM_MiniTimerNative(benchmark::State& state) {
+  const auto image = mini_image();
+  const auto proc =
+      static_cast<std::uint32_t>(mini().model->proc_index("ctrl"));
+  const std::unique_ptr<sim::ProcExecutor> inst = image->make_executor(proc);
+  inst->start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst->timer_fired("tick"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// --- TUTMAC fixture (e2e and campaign benches) ---------------------------
+
+tutmac::System& shared_system() {
+  static tutmac::System sys = [] {
+    tutmac::Options opt;
+    opt.horizon = kHorizon;
+    return tutmac::build(opt);
+  }();
+  return sys;
+}
+
+std::shared_ptr<const sim::CompiledModel> shared_image() {
+  static std::shared_ptr<const sim::CompiledModel> image = [] {
+    static const mapping::SystemView* view =
+        new mapping::SystemView(*shared_system().model);
+    return sim::CompiledModel::build(*view);
+  }();
+  return image;
+}
+
+std::shared_ptr<const codegen::NativeImage> shared_native() {
+  static std::shared_ptr<const codegen::NativeImage> image =
+      codegen::NativeImage::build(shared_image());
+  return image;
+}
+
+void run_once(sim::Simulation& simulation, const sim::Config& config) {
+  simulation.reset(config);
+  tutmac::Options o = shared_system().options;
+  o.horizon = config.horizon;
+  shared_system().inject_workload(simulation, o);
+  simulation.run();
+  benchmark::DoNotOptimize(simulation.events_dispatched());
+}
+
+void BM_TutmacRunBytecode(benchmark::State& state) {
+  sim::Config config;
+  config.horizon = kHorizon;
+  sim::Simulation simulation(shared_image(), config);
+  for (auto _ : state) {
+    run_once(simulation, config);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TutmacRunBytecode)->Unit(benchmark::kMicrosecond);
+
+void BM_TutmacRunNative(benchmark::State& state) {
+  sim::Config config;
+  config.horizon = kHorizon;
+  sim::Simulation simulation(
+      std::shared_ptr<const sim::BackendImage>(shared_native()), config);
+  for (auto _ : state) {
+    run_once(simulation, config);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void setup_scenario(sim::Simulation& simulation, const sim::Scenario& sc) {
+  const tutmac::System& sys = shared_system();
+  tutmac::Options o = sys.options;
+  o.horizon = simulation.config().horizon;
+  o.slot_period = static_cast<sim::Time>(
+      sc.param("slotPeriod", static_cast<long>(o.slot_period)));
+  sys.inject_workload(simulation, o);
+}
+
+sim::CampaignSpec bench_spec() {
+  sim::CampaignSpec spec;
+  spec.name = "bench-native";
+  spec.base.horizon = kHorizon;
+  spec.axes.push_back({"seed", {}});
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    spec.axes.back().values.push_back(static_cast<long>(i));
+  }
+  spec.axes.push_back({"slotPeriod", {50'000, 100'000}});
+  return spec;
+}
+
+// Campaign throughput, single worker (the container is 1-CPU; thread
+// scaling is bench_campaign's story). 256 scenarios per iteration.
+void BM_CampaignBytecode(benchmark::State& state) {
+  const sim::CampaignSpec spec = bench_spec();
+  const sim::CampaignRunner runner({shared_image()}, setup_scenario);
+  sim::CampaignOptions options;
+  options.threads = 1;
+  for (auto _ : state) {
+    const sim::CampaignResult result = runner.run(spec, options);
+    benchmark::DoNotOptimize(result.aggregate.digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(spec.total()));
+}
+BENCHMARK(BM_CampaignBytecode)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignNative(benchmark::State& state) {
+  const sim::CampaignSpec spec = bench_spec();
+  const sim::CampaignRunner runner(
+      {std::shared_ptr<const sim::BackendImage>(shared_native())},
+      setup_scenario);
+  sim::CampaignOptions options;
+  options.threads = 1;
+  for (auto _ : state) {
+    const sim::CampaignResult result = runner.run(spec, options);
+    benchmark::DoNotOptimize(result.aggregate.digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(spec.total()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (codegen::NativeImage::find_compiler().empty()) {
+    std::cout << "(no C++ compiler on this host: "
+                 "native benchmarks not registered)\n";
+  } else {
+    benchmark::RegisterBenchmark("BM_MiniStepNative", BM_MiniStepNative);
+    benchmark::RegisterBenchmark("BM_MiniTimerNative", BM_MiniTimerNative);
+    benchmark::RegisterBenchmark("BM_TutmacRunNative", BM_TutmacRunNative)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("BM_CampaignNative", BM_CampaignNative)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return bench::run(argc, argv, print_header);
+}

@@ -1,0 +1,259 @@
+// Readable renderings of efsm::Program bytecode and whole CompiledMachine
+// images. One format serves three consumers: `tut efsm dump` for humans,
+// codegen::native debugging (diff the emitted C++ against the listing), and
+// the tests, which pin a handful of listings so instruction selection
+// changes are visible in review.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "efsm/program.hpp"
+#include "uml/statemachine.hpp"
+
+namespace tut::efsm {
+namespace {
+
+const char* op_name(Program::Op op) {
+  switch (op) {
+    case Program::Op::Const:   return "Const";
+    case Program::Op::Slot:    return "Slot";
+    case Program::Op::Missing: return "Missing";
+    case Program::Op::Neg:     return "Neg";
+    case Program::Op::Not:     return "Not";
+    case Program::Op::Add:     return "Add";
+    case Program::Op::Sub:     return "Sub";
+    case Program::Op::Mul:     return "Mul";
+    case Program::Op::Div:     return "Div";
+    case Program::Op::Mod:     return "Mod";
+    case Program::Op::ChkDiv:  return "ChkDiv";
+    case Program::Op::ChkMod:  return "ChkMod";
+    case Program::Op::Eq:      return "Eq";
+    case Program::Op::Ne:      return "Ne";
+    case Program::Op::Lt:      return "Lt";
+    case Program::Op::Le:      return "Le";
+    case Program::Op::Gt:      return "Gt";
+    case Program::Op::Ge:      return "Ge";
+    case Program::Op::Bool:    return "Bool";
+    case Program::Op::LoadOne: return "LoadOne";
+    case Program::Op::Jz:      return "Jz";
+    case Program::Op::Jmp:     return "Jmp";
+  }
+  return "?";
+}
+
+void append_line(std::string& out, std::size_t pc, const char* op,
+                 const std::string& operands, const std::string& comment) {
+  char head[32];
+  std::snprintf(head, sizeof head, "%04zu  ", pc);
+  out += head;
+  out += op;
+  for (std::size_t n = std::char_traits<char>::length(op); n < 8; ++n)
+    out += ' ';
+  out += operands;
+  if (!comment.empty()) {
+    for (std::size_t n = operands.size(); n < 16; ++n) out += ' ';
+    out += "; ";
+    out += comment;
+  }
+  out += '\n';
+}
+
+std::string slot_comment(std::uint16_t slot,
+                         const std::vector<std::string>* names) {
+  if (names && slot < names->size()) return (*names)[slot];
+  return {};
+}
+
+// Indents every line of a disassembly listing by `pad` spaces.
+void append_indented(std::string& out, const std::string& text,
+                     std::size_t pad) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    out.append(pad, ' ');
+    out.append(text, pos, eol - pos);
+    out += '\n';
+    pos = eol + 1;
+  }
+}
+
+void append_program(std::string& out, const char* label, const Program& p,
+                    const std::vector<std::string>* slot_names,
+                    std::size_t pad) {
+  out.append(pad, ' ');
+  out += label;
+  out += '\n';
+  append_indented(out, disassemble(p, slot_names), pad + 2);
+}
+
+void append_actions(std::string& out,
+                    const std::vector<CompiledMachine::Action>& actions,
+                    const std::vector<std::string>& slot_names,
+                    std::size_t pad) {
+  for (const auto& a : actions) {
+    std::string label;
+    switch (a.kind) {
+      case uml::Action::Kind::Assign:
+        label = "assign " + a.name + " :=";
+        break;
+      case uml::Action::Kind::Compute:
+        label = "compute";
+        break;
+      case uml::Action::Kind::Send:
+        label = "send " + (a.signal ? a.signal->name() : std::string("?")) +
+                " via " + a.port;
+        break;
+      case uml::Action::Kind::SetTimer:
+        label = "set_timer " + a.name + " after";
+        break;
+      case uml::Action::Kind::ResetTimer:
+        label = "reset_timer " + a.name;
+        break;
+    }
+    if (a.kind == uml::Action::Kind::ResetTimer) {
+      out.append(pad, ' ');
+      out += label;
+      out += '\n';
+      continue;
+    }
+    if (a.kind == uml::Action::Kind::Send) {
+      out.append(pad, ' ');
+      out += label;
+      out += '\n';
+      for (std::size_t i = 0; i < a.args.size(); ++i) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "arg[%zu]:", i);
+        append_program(out, buf, a.args[i], &slot_names, pad + 2);
+      }
+      continue;
+    }
+    append_program(out, label.c_str(), a.expr, &slot_names, pad);
+  }
+}
+
+}  // namespace
+
+std::string disassemble(const Program& program,
+                        const std::vector<std::string>* slot_names) {
+  std::string out;
+  const auto& code = program.code();
+  const auto& consts = program.consts();
+  const auto& missing = program.missing_names();
+  char buf[64];
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const auto& in = code[pc];
+    std::string operands;
+    std::string comment;
+    switch (in.op) {
+      case Program::Op::Const:
+        std::snprintf(buf, sizeof buf, "r%u, #%u", in.dst, in.a);
+        operands = buf;
+        if (in.a < consts.size())
+          comment = "= " + std::to_string(consts[in.a]);
+        break;
+      case Program::Op::Slot:
+        std::snprintf(buf, sizeof buf, "r%u, [%u]", in.dst, in.a);
+        operands = buf;
+        comment = slot_comment(in.a, slot_names);
+        break;
+      case Program::Op::Missing:
+        std::snprintf(buf, sizeof buf, "#%u", in.a);
+        operands = buf;
+        if (in.a < missing.size()) comment = "'" + missing[in.a] + "'";
+        break;
+      case Program::Op::Neg:
+      case Program::Op::Not:
+      case Program::Op::Bool:
+        std::snprintf(buf, sizeof buf, "r%u, r%u", in.dst, in.a);
+        operands = buf;
+        break;
+      case Program::Op::Add:
+      case Program::Op::Sub:
+      case Program::Op::Mul:
+      case Program::Op::Div:
+      case Program::Op::Mod:
+      case Program::Op::Eq:
+      case Program::Op::Ne:
+      case Program::Op::Lt:
+      case Program::Op::Le:
+      case Program::Op::Gt:
+      case Program::Op::Ge:
+        std::snprintf(buf, sizeof buf, "r%u, r%u, r%u", in.dst, in.a, in.b);
+        operands = buf;
+        break;
+      case Program::Op::ChkDiv:
+      case Program::Op::ChkMod:
+        std::snprintf(buf, sizeof buf, "r%u", in.a);
+        operands = buf;
+        break;
+      case Program::Op::LoadOne:
+        std::snprintf(buf, sizeof buf, "r%u", in.dst);
+        operands = buf;
+        break;
+      case Program::Op::Jz:
+        std::snprintf(buf, sizeof buf, "r%u, @%04u", in.a, in.b);
+        operands = buf;
+        break;
+      case Program::Op::Jmp:
+        std::snprintf(buf, sizeof buf, "@%04u", in.b);
+        operands = buf;
+        break;
+    }
+    append_line(out, pc, op_name(in.op), operands, comment);
+  }
+  if (code.empty()) out = "(empty)\n";
+  return out;
+}
+
+std::string disassemble(const CompiledMachine& machine) {
+  std::string out;
+  out += "machine " + machine.source().name() + "\n";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "  slots: %u  max_regs: %u  states: %zu"
+                "  transitions: %zu\n",
+                machine.slot_count(), machine.max_regs(),
+                machine.states().size(), machine.transitions().size());
+  out += buf;
+  const auto& names = machine.slot_names();
+  for (const auto& [slot, value] : machine.initial_values()) {
+    std::snprintf(buf, sizeof buf, "  var [%u] %s = %ld\n", slot,
+                  names[slot].c_str(), value);
+    out += buf;
+  }
+  const auto& states = machine.states();
+  const auto& transitions = machine.transitions();
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    const auto& st = states[s];
+    out += "  state [" + std::to_string(s) + "] " + st.name;
+    if (machine.initial_state() == s) out += " (initial)";
+    out += "\n";
+    if (!st.entry.empty()) {
+      out += "    entry:\n";
+      append_actions(out, st.entry, names, 6);
+    }
+    for (std::uint32_t ti : st.outgoing) {
+      const auto& t = transitions[ti];
+      out += "    transition [" + std::to_string(ti) + "] -> [" +
+             std::to_string(t.target) + "] " + states[t.target].name;
+      if (t.trigger_signal) {
+        out += "  on " + t.trigger_signal->name();
+        if (!t.trigger_port.empty()) out += "@" + t.trigger_port;
+      } else if (!t.trigger_timer.empty()) {
+        out += "  on timer " + t.trigger_timer;
+      } else if (t.completion) {
+        out += "  on completion";
+      }
+      out += "\n";
+      if (t.has_guard) append_program(out, "guard:", t.guard, &names, 6);
+      if (!t.effects.empty()) {
+        out += "      effects:\n";
+        append_actions(out, t.effects, names, 8);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tut::efsm

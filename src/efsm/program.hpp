@@ -98,6 +98,9 @@ class Program {
   std::uint16_t reg_count() const noexcept { return reg_count_; }
   std::size_t size() const noexcept { return code_.size(); }
   const std::vector<Instr>& code() const noexcept { return code_; }
+  /// Constant pool (indexed by Const's `a`), for disassembly and native
+  /// code generation.
+  const std::vector<long>& consts() const noexcept { return consts_; }
   /// Identifier names behind Missing instructions (indexed by `a`), for
   /// static analyzers that want to report the unknown name without running.
   const std::vector<std::string>& missing_names() const noexcept {
@@ -255,5 +258,17 @@ class CompiledInstance {
   std::vector<std::uint64_t> slot_stamp_;  ///< last step that wrote the slot
   std::uint64_t step_ = 0;
 };
+
+/// Renders one program as readable bytecode, one instruction per line
+/// (`%04zu  Op      dst, a, b   ; comment`). `slot_names`, when given,
+/// resolves Slot operands to identifiers in the comment column. Shared by
+/// codegen debugging, `tut efsm dump` and the tests.
+std::string disassemble(const Program& program,
+                        const std::vector<std::string>* slot_names = nullptr);
+
+/// Renders a whole machine: slots with initial values, then every state with
+/// its entry actions and outgoing transitions, each embedded Program
+/// disassembled inline.
+std::string disassemble(const CompiledMachine& machine);
 
 }  // namespace tut::efsm

@@ -17,6 +17,22 @@ BatchRunner::BatchRunner(std::shared_ptr<const CompiledModel> model,
                  : std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
+BatchRunner::BatchRunner(std::shared_ptr<const BackendImage> backend,
+                         BatchOptions options)
+    : backend_(std::move(backend)), options_(options) {
+  if (backend_ == nullptr) {
+    throw std::invalid_argument("BatchRunner requires a non-null backend");
+  }
+  model_ = backend_->model();
+  if (model_ == nullptr) {
+    throw std::invalid_argument(
+        "BatchRunner backend carries no CompiledModel");
+  }
+  threads_ = options_.threads != 0
+                 ? options_.threads
+                 : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 std::uint64_t BatchRunner::hash_text(std::string_view text) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ull;
   for (const char c : text) {
@@ -31,9 +47,15 @@ BatchResult BatchRunner::run_one(const BatchScenario& scenario,
                                  std::string& scratch) const {
   BatchResult result;
   result.name = scenario.name;
+  if (backend_) {
+    result.backend = backend_->name();
+    result.image_hash = backend_->content_hash();
+  }
   try {
     if (!context) {
-      context = std::make_unique<Simulation>(model_, scenario.config);
+      context = backend_
+                    ? std::make_unique<Simulation>(backend_, scenario.config)
+                    : std::make_unique<Simulation>(model_, scenario.config);
     } else {
       context->reset(scenario.config);
     }
@@ -59,6 +81,10 @@ BatchResult BatchRunner::run_one(const BatchScenario& scenario,
     result = BatchResult{};
     result.name = scenario.name;
     result.error = e.what();
+    if (backend_) {
+      result.backend = backend_->name();
+      result.image_hash = backend_->content_hash();
+    }
   }
   return result;
 }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/backend.hpp"
 #include "sim/compiled.hpp"
 #include "sim/simulator.hpp"
 
@@ -45,6 +46,12 @@ struct BatchResult {
   std::map<std::string, PeStats> pe_stats;
   std::map<std::string, SegmentStats> segment_stats;
   std::string error;
+  /// Compile-backend provenance: which executor stepped the processes
+  /// ("interpreter" or the BackendImage's name) and, for generated images,
+  /// the image content hash (0 for the interpreter) — so A/B comparisons
+  /// stay attributable after the fact.
+  std::string backend = "interpreter";
+  std::uint64_t image_hash = 0;
 };
 
 struct BatchOptions {
@@ -60,6 +67,12 @@ struct BatchOptions {
 class BatchRunner {
  public:
   explicit BatchRunner(std::shared_ptr<const CompiledModel> model,
+                       BatchOptions options = {});
+
+  /// Runs every scenario through `backend` (e.g. a codegen::NativeImage)
+  /// instead of the bytecode interpreter. Results are byte-identical to
+  /// the interpreter's, modulo the provenance fields.
+  explicit BatchRunner(std::shared_ptr<const BackendImage> backend,
                        BatchOptions options = {});
 
   /// Resolved worker count.
@@ -84,6 +97,7 @@ class BatchRunner {
                       std::string& scratch) const;
 
   std::shared_ptr<const CompiledModel> model_;
+  std::shared_ptr<const BackendImage> backend_;  ///< null: interpreter
   BatchOptions options_;
   std::size_t threads_ = 1;
 };

@@ -700,9 +700,12 @@ struct alignas(64) PaddedCounter {
 };
 
 constexpr char kCheckpointMagic[9] = "tutckpt1";
-constexpr char kPartMagic[9] = "tutpart1";
+// Part format v2 ("tutpart2"): v1 plus the trailing backend-provenance word
+// per summary. Old "tutpart1" files fail the magic check with a mismatch
+// diagnostic rather than decoding garbage.
+constexpr char kPartMagic[9] = "tutpart2";
 constexpr std::size_t kPartHeaderSize = 8 + 8 + 8 + 8;
-constexpr std::size_t kSummarySize = 10 * 8;
+constexpr std::size_t kSummarySize = 11 * 8;
 
 void put_summary(std::string& out, const ScenarioSummary& s) {
   put_u64(out, s.index);
@@ -715,6 +718,7 @@ void put_summary(std::string& out, const ScenarioSummary& s) {
   put_u64(out, s.seg_wait);
   put_u64(out, s.seg_grants);
   put_u64(out, s.error);
+  put_u64(out, s.backend);
 }
 
 ScenarioSummary take_summary(std::string_view bytes, std::size_t& cursor) {
@@ -729,6 +733,7 @@ ScenarioSummary take_summary(std::string_view bytes, std::size_t& cursor) {
   s.seg_wait = take_u64(bytes, cursor);
   s.seg_grants = take_u64(bytes, cursor);
   s.error = take_u64(bytes, cursor);
+  s.backend = take_u64(bytes, cursor);
   return s;
 }
 
@@ -790,6 +795,31 @@ CampaignRunner::CampaignRunner(
           "campaign: [campaign.ref.unknown] CampaignRunner images must be "
           "non-null");
     }
+  }
+}
+
+CampaignRunner::CampaignRunner(
+    std::vector<std::shared_ptr<const BackendImage>> backends, Setup setup)
+    : backends_(std::move(backends)), setup_(std::move(setup)) {
+  if (backends_.empty()) {
+    throw std::invalid_argument(
+        "campaign: [campaign.ref.unknown] CampaignRunner needs at least one "
+        "backend image");
+  }
+  images_.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    if (!backend) {
+      throw std::invalid_argument(
+          "campaign: [campaign.ref.unknown] CampaignRunner backends must be "
+          "non-null");
+    }
+    std::shared_ptr<const CompiledModel> model = backend->model();
+    if (!model) {
+      throw std::invalid_argument(
+          "campaign: [campaign.ref.unknown] CampaignRunner backend carries "
+          "no CompiledModel");
+    }
+    images_.push_back(std::move(model));
   }
 }
 
@@ -950,10 +980,15 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
       const Scenario sc = spec.scenario(i);
       ScenarioSummary s;
       s.index = i;
+      if (!backends_.empty()) s.backend = backends_[sc.image]->content_hash();
       std::unique_ptr<Simulation>& ctx = ctxs[sc.image];
       try {
         if (!ctx) {
-          ctx = std::make_unique<Simulation>(images_[sc.image], sc.config);
+          ctx = backends_.empty()
+                    ? std::make_unique<Simulation>(images_[sc.image],
+                                                   sc.config)
+                    : std::make_unique<Simulation>(backends_[sc.image],
+                                                   sc.config);
         } else {
           ctx->reset(sc.config);
         }
@@ -980,6 +1015,9 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
         ctx.reset();
         s = ScenarioSummary{};
         s.index = i;
+        if (!backends_.empty()) {
+          s.backend = backends_[sc.image]->content_hash();
+        }
         Fnv f;
         f.str(e.what());
         s.error = f.h;

@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/backend.hpp"
 #include "sim/compiled.hpp"
 #include "sim/simulator.hpp"
 
@@ -77,7 +78,7 @@ class P2Quantile {
 };
 
 /// What one scenario leaves behind: a canonical log digest plus the summary
-/// numbers the campaign aggregates. Fixed 80-byte layout in shard part
+/// numbers the campaign aggregates. Fixed 88-byte layout in shard part
 /// files. `error != 0` marks a failed run (defective plan, diverging EFSM);
 /// its other fields are zero.
 struct ScenarioSummary {
@@ -91,6 +92,11 @@ struct ScenarioSummary {
   Time seg_wait = 0;          ///< total segment grant-queue waiting
   std::uint64_t seg_grants = 0;
   std::uint64_t error = 0;
+  /// Compile-backend provenance: the BackendImage content hash that ran the
+  /// scenario, 0 for the bytecode interpreter. Excluded from the campaign
+  /// digest by design — a backend swap must leave digests untouched, and
+  /// this field is how an A/B run proves which backend produced them.
+  std::uint64_t backend = 0;
 };
 
 /// Canonical FNV-1a digest of a simulation log. Hashes the rendered text —
@@ -241,7 +247,7 @@ struct CampaignOptions {
   std::uint64_t checkpoint_every = 1024;
   bool resume = false;
   /// When non-empty, every in-order summary is appended to this shard part
-  /// file (80 bytes per scenario) for a later merge_campaign_parts().
+  /// file (88 bytes per scenario) for a later merge_campaign_parts().
   std::string samples_path;
   /// Test hook: stop claiming once the in-order prefix reaches this many
   /// completions (simulates a kill). 0 = run to the end of the shard.
@@ -271,6 +277,13 @@ class CampaignRunner {
   CampaignRunner(std::vector<std::shared_ptr<const CompiledModel>> images,
                  Setup setup);
 
+  /// Same campaign through generated behaviour images (one per mapping, in
+  /// mapping_names order — e.g. codegen::NativeImage). Aggregates and
+  /// digests are byte-identical to the interpreter runner's; only
+  /// ScenarioSummary::backend records the difference.
+  CampaignRunner(std::vector<std::shared_ptr<const BackendImage>> backends,
+                 Setup setup);
+
   /// Runs the spec's scenarios (this shard's contiguous range), reducing in
   /// index order. Throws std::invalid_argument on spec defects (the
   /// combined "[campaign.*]" messages) and std::runtime_error on checkpoint
@@ -280,6 +293,7 @@ class CampaignRunner {
 
  private:
   std::vector<std::shared_ptr<const CompiledModel>> images_;
+  std::vector<std::shared_ptr<const BackendImage>> backends_;  ///< may be empty
   Setup setup_;
 };
 

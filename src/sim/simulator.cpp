@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "sim/backend.hpp"
 #include "sim/compiled.hpp"
 #include "sim/event.hpp"
 
@@ -41,20 +42,37 @@ struct Simulation::Impl {
   };
 
   /// EFSM backend of one process: the AST interpreter (SystemView
-  /// constructor) or the bytecode image (CompiledModel constructor).
+  /// constructor), the bytecode image (CompiledModel constructor), or an
+  /// out-of-line executor drawn from a BackendImage (e.g. dlopen'ed native
+  /// code). Exactly one of the three is set.
   struct Behavior {
     std::optional<efsm::Instance> ast;
     std::optional<efsm::CompiledInstance> code;
+    std::unique_ptr<ProcExecutor> ext;
 
-    efsm::StepResult start() { return ast ? ast->start() : code->start(); }
-    efsm::StepResult reset() { return ast ? ast->reset() : code->reset(); }
+    efsm::StepResult start() {
+      return ast ? ast->start() : code ? code->start() : ext->start();
+    }
+    efsm::StepResult reset() {
+      return ast ? ast->reset() : code ? code->reset() : ext->reset();
+    }
     efsm::StepResult deliver(const efsm::Event& e) {
-      return ast ? ast->deliver(e) : code->deliver(e);
+      return ast ? ast->deliver(e) : code ? code->deliver(e) : ext->deliver(e);
     }
     efsm::StepResult timer_fired(const std::string& t) {
-      return ast ? ast->timer_fired(t) : code->timer_fired(t);
+      return ast      ? ast->timer_fired(t)
+             : code   ? code->timer_fired(t)
+                      : ext->timer_fired(t);
     }
-    void rewind() { ast ? ast->rewind() : code->rewind(); }
+    void rewind() {
+      if (ast) {
+        ast->rewind();
+      } else if (code) {
+        code->rewind();
+      } else {
+        ext->rewind();
+      }
+    }
   };
 
   struct Proc {
@@ -138,8 +156,11 @@ struct Simulation::Impl {
   };
 
   Impl(std::shared_ptr<const CompiledModel> model, Simulation& owner,
-       std::vector<std::string> defects)
-      : model_(std::move(model)), owner_(owner) {
+       std::vector<std::string> defects,
+       std::shared_ptr<const BackendImage> backend = nullptr)
+      : model_(std::move(model)),
+        backend_(std::move(backend)),
+        owner_(owner) {
     build(std::move(defects));
   }
 
@@ -173,7 +194,9 @@ struct Simulation::Impl {
       proc.info = &info;
       proc.index = static_cast<std::uint32_t>(procs_.size());
       proc.name_id = owner_.log_.intern_name(info.name);
-      if (use_bytecode_) {
+      if (backend_) {
+        proc.inst.ext = backend_->make_executor(proc.index);
+      } else if (use_bytecode_) {
         proc.inst.code.emplace(*info.machine, info.name);
       } else {
         proc.inst.ast.emplace(*info.behavior, info.name);
@@ -956,6 +979,7 @@ struct Simulation::Impl {
   };
 
   const std::shared_ptr<const CompiledModel> model_;
+  const std::shared_ptr<const BackendImage> backend_;  // null: interpreter
   Simulation& owner_;
   EventQueue queue_;
   bool started_ = false;
@@ -1004,6 +1028,21 @@ Simulation::Simulation(std::shared_ptr<const CompiledModel> model,
                                  std::vector<std::string>{});
 }
 
+Simulation::Simulation(std::shared_ptr<const BackendImage> image,
+                       Config config)
+    : config_(config) {
+  if (image == nullptr) {
+    throw std::invalid_argument("Simulation requires a non-null backend image");
+  }
+  std::shared_ptr<const CompiledModel> model = image->model();
+  if (model == nullptr) {
+    throw std::invalid_argument(
+        "Simulation backend image carries no CompiledModel");
+  }
+  impl_ = std::make_unique<Impl>(std::move(model), *this,
+                                 std::vector<std::string>{}, std::move(image));
+}
+
 Simulation::~Simulation() = default;
 
 void Simulation::reset(const Config& config) {
@@ -1043,8 +1082,8 @@ const efsm::Instance& Simulation::instance(const std::string& process) const {
   if (!proc.inst.ast.has_value()) {
     throw std::logic_error(
         "process '" + process +
-        "' runs compiled bytecode; Simulation::instance() requires the "
-        "SystemView constructor");
+        "' runs a compiled behaviour image; Simulation::instance() requires "
+        "the SystemView constructor");
   }
   return *proc.inst.ast;
 }

@@ -44,6 +44,7 @@
 
 namespace tut::sim {
 
+class BackendImage;
 class CompiledModel;
 
 /// Simulator configuration knobs (defaults follow the platform defaults of
@@ -94,6 +95,15 @@ public:
   /// number of concurrent Simulations (see sim::BatchRunner); each keeps it
   /// alive through the shared_ptr.
   explicit Simulation(std::shared_ptr<const CompiledModel> model,
+                      Config config = {});
+
+  /// Builds a simulation whose processes step through an out-of-line
+  /// behaviour image (e.g. codegen::NativeImage's dlopen'ed machine code)
+  /// instead of the bytecode interpreter. Routing, timing and logging are
+  /// unchanged — the SimulationLog is byte-identical to the other two
+  /// constructors'. The image (and through it the model) may be shared
+  /// read-only across concurrent Simulations.
+  explicit Simulation(std::shared_ptr<const BackendImage> image,
                       Config config = {});
   ~Simulation();
 

@@ -351,6 +351,50 @@ TEST(CompiledInstance, CompletionLivelockDetected) {
   EXPECT_THROW((void)ast.start(), LivelockError);
 }
 
+// ---------------------------------------------------------------------------
+// Disassembler
+// ---------------------------------------------------------------------------
+
+TEST(Disassemble, ProgramListingPinsInstructionSelection) {
+  // Pinned listing: a change in instruction selection for this expression
+  // must show up in review as a diff here.
+  const Expr expr = Expr::compile("n + 1");
+  Program::SlotMap slot_map{{"n", 0}};
+  const Program program = Program::compile(expr, slot_map);
+  const std::vector<std::string> names{"n"};
+  EXPECT_EQ(disassemble(program, &names),
+            "0000  Slot    r0, [0]         ; n\n"
+            "0001  Const   r1, #0          ; = 1\n"
+            "0002  Add     r0, r0, r1\n");
+}
+
+TEST(Disassemble, CoversBranchesAndErrors) {
+  // Short-circuit && compiles to Jz; division adds a ChkDiv; an unmapped
+  // identifier becomes Missing. The listing names them all.
+  const Expr expr = Expr::compile("n > 0 && 10 / n > ghost");
+  Program::SlotMap slot_map{{"n", 0}};
+  const Program program = Program::compile(expr, slot_map);
+  const std::vector<std::string> names{"n"};
+  const std::string text = disassemble(program, &names);
+  EXPECT_NE(text.find("Jz      r"), std::string::npos) << text;
+  EXPECT_NE(text.find("ChkDiv"), std::string::npos) << text;
+  EXPECT_NE(text.find("; 'ghost'"), std::string::npos) << text;
+  EXPECT_EQ(disassemble(Program{}), "(empty)\n");
+}
+
+TEST(Disassemble, MachineListingShowsStatesAndTriggers) {
+  CounterModel m;
+  const CompiledMachine machine(*m.sm);
+  const std::string text = disassemble(machine);
+  EXPECT_NE(text.find("machine "), std::string::npos);
+  EXPECT_NE(text.find("var [0] n = 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("state [0] Idle (initial)"), std::string::npos) << text;
+  EXPECT_NE(text.find("on Inc@in"), std::string::npos) << text;
+  EXPECT_NE(text.find("on completion"), std::string::npos) << text;
+  EXPECT_NE(text.find("guard:"), std::string::npos) << text;
+  EXPECT_NE(text.find("send Result via out"), std::string::npos) << text;
+}
+
 TEST(CompiledMachine, MalformedExpressionThrowsAtLowering) {
   // The documented divergence: the AST path defers ExprError to first
   // evaluation, the compiled path fails at machine construction.

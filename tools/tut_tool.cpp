@@ -14,9 +14,13 @@
 //                                             (tut lint --rules lists them)
 //   tut diagram   <model.xml> <figure>        fig3..fig8 as text/DOT on stdout
 //   tut codegen   <model.xml> <outdir> [--host]  generate the C implementation
+//   tut efsm      dump <model.xml> [--machine NAME]
+//                                             disassemble the compiled EFSM
+//                                             bytecode of every process
+//                                             behaviour (or just NAME)
 //   tut profile   <model.xml> <sim.log>       Table-4 report + latencies
 //   tut simulate  tutmac <outdir> [ms] [--faults plan.xml] [--seed N]
-//                 [--batch N] [--threads K]
+//                 [--batch N] [--threads K] [--backend interpreter|native]
 //                                             build+simulate the case study,
 //                                             writing model.xml and sim.log;
 //                                             with a fault plan the profiling
@@ -28,6 +32,7 @@
 //                                             a per-scenario table
 //   tut campaign  tutmac <campaign.xml> [--threads K] [--shard k/n]
 //                 [--checkpoint file] [--resume] [--samples file]
+//                 [--backend interpreter|native]
 //                                             scenario-sweep campaign over the
 //                                             case study: compiles one image
 //                                             per swept mapping, runs the
@@ -44,6 +49,7 @@
 //   tut campaign  merge <part>...             merge shard part files into the
 //                                             single-process aggregate
 //   tut roundtrip <model.xml>                 canonicalized XML on stdout
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -52,8 +58,11 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "appmodel/appmodel.hpp"
 #include "codegen/codegen.hpp"
+#include "codegen/native.hpp"
 #include "diagram/diagram.hpp"
+#include "efsm/program.hpp"
 #include "profile/tut_profile.hpp"
 #include "profiler/profiler.hpp"
 #include "sim/batch.hpp"
@@ -76,11 +85,13 @@ int usage() {
       "  lint      --rules\n"
       "  diagram   <model.xml> <fig3|fig4|fig5|fig6|fig7|fig8>\n"
       "  codegen   <model.xml> <outdir> [--host]\n"
+      "  efsm      dump <model.xml> [--machine NAME]\n"
       "  profile   <model.xml> <sim.log>\n"
       "  simulate  tutmac <outdir> [horizon_ms] [--faults plan.xml] [--seed N]"
-      " [--batch N] [--threads K]\n"
+      " [--batch N] [--threads K] [--backend interpreter|native]\n"
       "  campaign  tutmac <campaign.xml> [--threads K] [--shard k/n]"
-      " [--checkpoint file] [--resume] [--samples file]\n"
+      " [--checkpoint file] [--resume] [--samples file]"
+      " [--backend interpreter|native]\n"
       "  campaign  merge <part>...\n"
       "  roundtrip <model.xml>\n";
   return 2;
@@ -96,6 +107,63 @@ std::string read_file(const std::string& path) {
 
 std::unique_ptr<uml::Model> load_model(const std::string& path) {
   return uml::from_xml_string(read_file(path));
+}
+
+/// Resolves --backend for one compiled image. "native" emits + compiles (or
+/// reuses the cached .so); when that fails — typically no C++ compiler on
+/// the host — the tagged diagnostic goes to stderr and the caller falls
+/// back to the interpreter (null return). Simulation results are
+/// byte-identical either way; only throughput differs.
+std::shared_ptr<const sim::BackendImage> make_backend(
+    const std::string& backend,
+    const std::shared_ptr<const sim::CompiledModel>& model) {
+  if (backend.empty() || backend == "interpreter") return nullptr;
+  if (backend != "native") {
+    throw std::invalid_argument("unknown --backend '" + backend +
+                                "' (interpreter, native)");
+  }
+  try {
+    return codegen::NativeImage::build(model);
+  } catch (const std::exception& e) {
+    std::cerr << "tut: " << e.what()
+              << "\ntut: falling back to the interpreter backend\n";
+    return nullptr;
+  }
+}
+
+int cmd_efsm_dump(const std::string& path, const std::string& machine_name) {
+  const auto model = load_model(path);
+  appmodel::ApplicationView view(*model);
+  // Processes share behaviour classes; dump each state machine once, in
+  // first-process order (the same order CompiledModel lowers them).
+  std::vector<const uml::StateMachine*> machines;
+  bool matched = false;
+  for (const uml::Property* proc : view.processes()) {
+    const uml::Class* comp = proc->part_type();
+    const uml::StateMachine* sm =
+        comp != nullptr ? comp->behavior() : nullptr;
+    if (sm == nullptr) continue;
+    if (!machine_name.empty() && sm->name() != machine_name) continue;
+    matched = true;
+    if (std::find(machines.begin(), machines.end(), sm) == machines.end()) {
+      machines.push_back(sm);
+    }
+  }
+  if (!machine_name.empty() && !matched) {
+    std::cerr << "no process behaviour named '" << machine_name << "'\n";
+    return 1;
+  }
+  if (machines.empty()) {
+    std::cerr << "model has no executable process behaviours\n";
+    return 1;
+  }
+  bool first = true;
+  for (const uml::StateMachine* sm : machines) {
+    if (!first) std::cout << '\n';
+    first = false;
+    std::cout << efsm::disassemble(efsm::CompiledMachine(*sm));
+  }
+  return 0;
 }
 
 int cmd_info(const std::string& path) {
@@ -244,7 +312,8 @@ int cmd_profile(const std::string& model_path, const std::string& log_path) {
 
 int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
                         const std::string& faults_path, long seed,
-                        std::size_t batch, std::size_t threads) {
+                        std::size_t batch, std::size_t threads,
+                        const std::string& backend) {
   tutmac::Options opt;
   opt.horizon = static_cast<sim::Time>(horizon_ms) * 1'000'000;
   tutmac::System sys = tutmac::build(opt);
@@ -260,7 +329,20 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
   std::string log_text;
   std::uint64_t events = 0;
   if (batch <= 1) {
-    auto simulation = std::make_unique<sim::Simulation>(view, config);
+    std::unique_ptr<sim::Simulation> simulation;
+    std::shared_ptr<const sim::BackendImage> image;
+    if (backend == "native") {
+      image = make_backend(backend, sim::CompiledModel::build(view));
+    }
+    if (image) {
+      char line[64];
+      std::snprintf(line, sizeof line, "backend: native (image %016llx)\n",
+                    static_cast<unsigned long long>(image->content_hash()));
+      std::cout << line;
+      simulation = std::make_unique<sim::Simulation>(image, config);
+    } else {
+      simulation = std::make_unique<sim::Simulation>(view, config);
+    }
     sys.inject_workload(*simulation);
     simulation->run();
     log_text = simulation->log().to_text();
@@ -270,6 +352,8 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
     // perturbs only the fault seed, so without a fault plan all rows hash
     // identically (itself a useful determinism check).
     const auto compiled = sim::CompiledModel::build(view);
+    const std::shared_ptr<const sim::BackendImage> image =
+        make_backend(backend, compiled);
     std::vector<sim::BatchScenario> scenarios;
     for (std::size_t i = 0; i < batch; ++i) {
       sim::BatchScenario s;
@@ -284,12 +368,25 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
     // the determinism rerun of scenario 0.
     sim::BatchOptions options;
     options.threads = threads;
-    const sim::BatchRunner runner(compiled, options);
+    const sim::BatchRunner runner = image ? sim::BatchRunner(image, options)
+                                          : sim::BatchRunner(compiled, options);
     const auto results = runner.run(scenarios);
 
     std::cout << "batch of " << batch << " scenarios over "
-              << runner.threads() << " thread(s)\n"
-              << "scenario        events    records   end(ms)   log-hash\n";
+              << runner.threads() << " thread(s)\n";
+    // Provenance row: which executor produced these hashes (BatchResult
+    // carries it per scenario; one image ⇒ one line).
+    if (!results.empty()) {
+      std::cout << "backend: " << results[0].backend;
+      if (results[0].image_hash != 0) {
+        char hex[32];
+        std::snprintf(hex, sizeof hex, " (image %016llx)",
+                      static_cast<unsigned long long>(results[0].image_hash));
+        std::cout << hex;
+      }
+      std::cout << '\n';
+    }
+    std::cout << "scenario        events    records   end(ms)   log-hash\n";
     for (const sim::BatchResult& r : results) {
       if (!r.error.empty()) {
         std::cout << r.name << "  ERROR: " << r.error << '\n';
@@ -305,8 +402,10 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
     }
     if (results[0].error.empty()) {
       events = results[0].events;
-      // Determinism check: a fresh single run of scenario 0 must hash to
-      // the batch's row 0 (and donates the log file we write out).
+      // Determinism check: a fresh single interpreter run of scenario 0
+      // must hash to the batch's row 0 (and donates the log file we write
+      // out). Under --backend=native row 0 came from the generated image,
+      // so this doubles as an interpreter-vs-native byte-identity check.
       sim::Simulation check(compiled, scenarios[0].config);
       sys.inject_workload(check);
       check.run();
@@ -353,7 +452,8 @@ int print_campaign_result(const sim::CampaignResult& result) {
 }
 
 int cmd_campaign_tutmac(const std::string& campaign_path,
-                        const sim::CampaignOptions& options) {
+                        const sim::CampaignOptions& options,
+                        const std::string& backend) {
   const std::filesystem::path base =
       std::filesystem::path(campaign_path).parent_path();
   // Fault-plan files referenced by the campaign resolve relative to the
@@ -389,8 +489,35 @@ int cmd_campaign_tutmac(const std::string& campaign_path,
     images.push_back(sim::CompiledModel::build(view));
   }
 
-  const sim::CampaignRunner runner(
-      std::move(images),
+  // --backend=native wraps every compiled image in a generated NativeImage.
+  // All images fall back together: a half-native campaign would make the
+  // provenance column ambiguous.
+  std::vector<std::shared_ptr<const sim::BackendImage>> backends;
+  if (backend == "native") {
+    backends.reserve(images.size());
+    for (const auto& image : images) {
+      const auto native = make_backend(backend, image);
+      if (!native) {
+        backends.clear();
+        break;
+      }
+      backends.push_back(native);
+    }
+  } else if (!backend.empty() && backend != "interpreter") {
+    throw std::invalid_argument("unknown --backend '" + backend +
+                                "' (interpreter, native)");
+  }
+  std::cout << "backend: " << (backends.empty() ? "interpreter" : "native");
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    char hex[48];
+    std::snprintf(hex, sizeof hex, " %s=%016llx", mapping_names[i].c_str(),
+                  static_cast<unsigned long long>(
+                      backends[i]->content_hash()));
+    std::cout << hex;
+  }
+  std::cout << '\n';
+
+  const auto setup =
       [&systems](sim::Simulation& simulation, const sim::Scenario& sc) {
         const tutmac::System& sys = systems[sc.image];
         tutmac::Options o = sys.options;
@@ -402,7 +529,10 @@ int cmd_campaign_tutmac(const std::string& campaign_path,
         o.msdu_period = static_cast<sim::Time>(
             sc.param("msduPeriod", static_cast<long>(o.msdu_period)));
         sys.inject_workload(simulation, o);
-      });
+      };
+  const sim::CampaignRunner runner =
+      backends.empty() ? sim::CampaignRunner(std::move(images), setup)
+                       : sim::CampaignRunner(std::move(backends), setup);
 
   const sim::CampaignResult result = runner.run(spec, options);
   const std::uint64_t ran = result.next - result.first;
@@ -476,12 +606,24 @@ int main(int argc, char** argv) {
     if (cmd == "profile" && args.size() == 3) {
       return cmd_profile(args[1], args[2]);
     }
+    if (cmd == "efsm" && args.size() >= 3 && args[1] == "dump") {
+      std::string machine;
+      for (std::size_t i = 3; i < args.size(); ++i) {
+        if (args[i] == "--machine" && i + 1 < args.size()) {
+          machine = args[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_efsm_dump(args[2], machine);
+    }
     if (cmd == "simulate" && args.size() >= 3 && args[1] == "tutmac") {
       long ms = 20;
       std::string faults_path;
       long seed = -1;  // negative: keep the plan's own seed
       std::size_t batch = 1;
       std::size_t threads = 0;
+      std::string backend;
       std::size_t i = 3;
       if (i < args.size() && args[i][0] != '-') ms = std::stol(args[i++]);
       while (i < args.size()) {
@@ -493,13 +635,19 @@ int main(int argc, char** argv) {
           batch = static_cast<std::size_t>(std::stoul(args[++i]));
         } else if (args[i] == "--threads" && i + 1 < args.size()) {
           threads = static_cast<std::size_t>(std::stoul(args[++i]));
+        } else if (args[i] == "--backend" && i + 1 < args.size()) {
+          backend = args[++i];
+          if (backend != "interpreter" && backend != "native") return usage();
+        } else if (args[i].rfind("--backend=", 0) == 0) {
+          backend = args[i].substr(10);
+          if (backend != "interpreter" && backend != "native") return usage();
         } else {
           return usage();
         }
         ++i;
       }
       return cmd_simulate_tutmac(args[2], ms, faults_path, seed, batch,
-                                 threads);
+                                 threads, backend);
     }
     if (cmd == "campaign" && args.size() >= 3 && args[1] == "merge") {
       return cmd_campaign_merge(
@@ -507,8 +655,15 @@ int main(int argc, char** argv) {
     }
     if (cmd == "campaign" && args.size() >= 3 && args[1] == "tutmac") {
       sim::CampaignOptions options;
+      std::string backend;
       for (std::size_t i = 3; i < args.size(); ++i) {
-        if (args[i] == "--threads" && i + 1 < args.size()) {
+        if (args[i] == "--backend" && i + 1 < args.size()) {
+          backend = args[++i];
+          if (backend != "interpreter" && backend != "native") return usage();
+        } else if (args[i].rfind("--backend=", 0) == 0) {
+          backend = args[i].substr(10);
+          if (backend != "interpreter" && backend != "native") return usage();
+        } else if (args[i] == "--threads" && i + 1 < args.size()) {
           options.threads = static_cast<std::size_t>(std::stoul(args[++i]));
         } else if (args[i] == "--shard" && i + 1 < args.size()) {
           const std::string& kn = args[++i];
@@ -528,7 +683,7 @@ int main(int argc, char** argv) {
           return usage();
         }
       }
-      return cmd_campaign_tutmac(args[2], options);
+      return cmd_campaign_tutmac(args[2], options, backend);
     }
     if (cmd == "roundtrip" && args.size() == 2) {
       std::cout << uml::to_xml_string(*load_model(args[1]));
