@@ -9,7 +9,11 @@
 // surface — identical StepResults in, identical SimulationLogs out — so a
 // backend swap is observable only through wall-clock time and the
 // provenance fields (name + content hash) that batch and campaign runs
-// record.
+// record. Resource envelopes (sim::ResourceProfile) are part of that
+// parity: caps live in the simulator layer (log, event queue), never in a
+// backend, so an envelope miss raises the same EnvelopeError — same tag,
+// same message, same sim time — under every executor, and in-envelope runs
+// stay byte-identical across backends.
 //
 // sim must not depend on codegen (codegen links sim), so the simulator only
 // sees these abstract classes; codegen::NativeImage implements them.

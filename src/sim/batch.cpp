@@ -6,15 +6,31 @@
 
 namespace tut::sim {
 
+namespace {
+
+/// Resolves the worker count: explicit threads, else hardware, then clamped
+/// by the profile's concurrency ceiling (clamping is semantics-preserving —
+/// batch results are thread-count-invariant by construction).
+std::size_t resolve_threads(const BatchOptions& options) {
+  std::size_t n =
+      options.threads != 0
+          ? options.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (options.profile.concurrency != 0) {
+    n = std::min<std::size_t>(n, options.profile.concurrency);
+  }
+  return n;
+}
+
+}  // namespace
+
 BatchRunner::BatchRunner(std::shared_ptr<const CompiledModel> model,
                          BatchOptions options)
     : model_(std::move(model)), options_(options) {
   if (model_ == nullptr) {
     throw std::invalid_argument("BatchRunner requires a non-null model");
   }
-  threads_ = options_.threads != 0
-                 ? options_.threads
-                 : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads_ = resolve_threads(options_);
 }
 
 BatchRunner::BatchRunner(std::shared_ptr<const BackendImage> backend,
@@ -28,9 +44,7 @@ BatchRunner::BatchRunner(std::shared_ptr<const BackendImage> backend,
     throw std::invalid_argument(
         "BatchRunner backend carries no CompiledModel");
   }
-  threads_ = options_.threads != 0
-                 ? options_.threads
-                 : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads_ = resolve_threads(options_);
 }
 
 std::uint64_t BatchRunner::hash_text(std::string_view text) noexcept {
@@ -52,12 +66,18 @@ BatchResult BatchRunner::run_one(const BatchScenario& scenario,
     result.image_hash = backend_->content_hash();
   }
   try {
+    Config config = scenario.config;
+    if (options_.profile.bounds_simulation()) {
+      config.envelope = options_.profile;
+      // Workers must not share one spill file; spilling is a single-run
+      // feature and batch runs hash-and-release logs anyway.
+      config.envelope.log_spill_path.clear();
+    }
     if (!context) {
-      context = backend_
-                    ? std::make_unique<Simulation>(backend_, scenario.config)
-                    : std::make_unique<Simulation>(model_, scenario.config);
+      context = backend_ ? std::make_unique<Simulation>(backend_, config)
+                         : std::make_unique<Simulation>(model_, config);
     } else {
-      context->reset(scenario.config);
+      context->reset(config);
     }
     Simulation& simulation = *context;
     if (scenario.setup) scenario.setup(simulation);
@@ -71,7 +91,17 @@ BatchResult BatchRunner::run_one(const BatchScenario& scenario,
     scratch.clear();
     simulation.log().to_text(scratch);
     result.log_hash = hash_text(scratch);
-    if (options_.keep_logs) result.log_text = scratch;
+    if (options_.keep_logs) {
+      if (options_.profile.keep_log_bytes != 0 &&
+          scratch.size() > options_.profile.keep_log_bytes) {
+        throw EnvelopeError(
+            "envelope.log.overflow", simulation.now(),
+            "retained log of " + std::to_string(scratch.size()) +
+                " bytes exceeds the keep_logs budget of " +
+                std::to_string(options_.profile.keep_log_bytes) + " bytes");
+      }
+      result.log_text = scratch;
+    }
     result.pe_stats = simulation.pe_stats();
     result.segment_stats = simulation.segment_stats();
   } catch (const std::exception& e) {

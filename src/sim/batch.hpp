@@ -61,6 +61,13 @@ struct BatchOptions {
   /// Keep every scenario's rendered log text in its result. Off by default:
   /// the 64-bit hash is enough to compare runs, full logs are large.
   bool keep_logs = false;
+  /// Resource envelope for the whole batch. Simulation-level caps (log ring,
+  /// event queue) are stamped into every scenario's config when set; the
+  /// spill path is cleared first (workers must not share one spill file).
+  /// `concurrency` clamps the worker count, `keep_log_bytes` budgets each
+  /// retained log under keep_logs. Semantic lock: an in-envelope batch is
+  /// byte-identical to an unbounded one.
+  ResourceProfile profile;
 };
 
 /// Runs scenario batches over one compiled model image.

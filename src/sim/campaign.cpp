@@ -4,6 +4,7 @@
 #include <atomic>
 #include <charconv>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -222,6 +223,20 @@ void CampaignAggregate::add(const ScenarioSummary& s) {
   digest = f.h;
   if (s.error != 0) {
     ++errors;
+    if (s.rejection != 0) {
+      ++rejected;
+      switch (static_cast<RejectionCode>(s.rejection)) {
+        case RejectionCode::Log:
+          ++rejected_log;
+          break;
+        case RejectionCode::Queue:
+          ++rejected_queue;
+          break;
+        default:
+          ++rejected_other;
+          break;
+      }
+    }
     return;
   }
   events += s.events;
@@ -253,6 +268,10 @@ std::string CampaignAggregate::serialize() const {
   put_u64(out, records);
   put_u64(out, drops);
   put_u64(out, retries);
+  put_u64(out, rejected);
+  put_u64(out, rejected_log);
+  put_u64(out, rejected_queue);
+  put_u64(out, rejected_other);
   put_u64(out, makespan_min);
   put_u64(out, makespan_max);
   for (const P2Quantile* s : {&makespan_p50, &makespan_p90, &makespan_p99,
@@ -272,6 +291,10 @@ CampaignAggregate CampaignAggregate::deserialize(std::string_view bytes) {
   a.records = take_u64(bytes, cur);
   a.drops = take_u64(bytes, cur);
   a.retries = take_u64(bytes, cur);
+  a.rejected = take_u64(bytes, cur);
+  a.rejected_log = take_u64(bytes, cur);
+  a.rejected_queue = take_u64(bytes, cur);
+  a.rejected_other = take_u64(bytes, cur);
   a.makespan_min = take_u64(bytes, cur);
   a.makespan_max = take_u64(bytes, cur);
   for (P2Quantile* s : {&a.makespan_p50, &a.makespan_p90, &a.makespan_p99,
@@ -297,6 +320,12 @@ std::string CampaignAggregate::to_text() const {
   out += "records:   " + std::to_string(records) + "\n";
   out += "drops:     " + std::to_string(drops) + "\n";
   out += "retries:   " + std::to_string(retries) + "\n";
+  if (rejected != 0) {
+    out += "rejected:  " + std::to_string(rejected) + " (log " +
+           std::to_string(rejected_log) + ", queue " +
+           std::to_string(rejected_queue) + ", other " +
+           std::to_string(rejected_other) + ")\n";
+  }
   out += "makespan:  min " + std::to_string(makespan_min) + "  p50 ";
   append_double(out, makespan_p50.value());
   out += "  p90 ";
@@ -549,9 +578,10 @@ std::vector<std::string_view> split_tokens(std::string_view text) {
 }  // namespace
 
 CampaignSpec CampaignSpec::from_xml_text(std::string_view text,
-                                         const FileReader& read_file) {
+                                         const FileReader& read_file,
+                                         std::size_t arena_limit) {
   CampaignSpec spec;
-  xml::Arena arena;
+  xml::Arena arena(16 * 1024, arena_limit);
   xml::Cursor cur(text, arena);
   if (cur.next() != xml::Cursor::Event::StartElement ||
       cur.name() != "tut:campaign") {
@@ -699,13 +729,14 @@ struct alignas(64) PaddedCounter {
   char pad[64 - sizeof(std::atomic<std::uint64_t>)];
 };
 
-constexpr char kCheckpointMagic[9] = "tutckpt1";
-// Part format v2 ("tutpart2"): v1 plus the trailing backend-provenance word
-// per summary. Old "tutpart1" files fail the magic check with a mismatch
-// diagnostic rather than decoding garbage.
-constexpr char kPartMagic[9] = "tutpart2";
+// Checkpoint format v2 ("tutckpt2"): the serialized aggregate gained the
+// envelope-rejection counters. Part format v3 ("tutpart3"): v2 plus the
+// trailing rejection-classification word per summary. Old files fail the
+// magic check with a mismatch diagnostic rather than decoding garbage.
+constexpr char kCheckpointMagic[9] = "tutckpt2";
+constexpr char kPartMagic[9] = "tutpart3";
 constexpr std::size_t kPartHeaderSize = 8 + 8 + 8 + 8;
-constexpr std::size_t kSummarySize = 11 * 8;
+constexpr std::size_t kSummarySize = 12 * 8;
 
 void put_summary(std::string& out, const ScenarioSummary& s) {
   put_u64(out, s.index);
@@ -719,6 +750,7 @@ void put_summary(std::string& out, const ScenarioSummary& s) {
   put_u64(out, s.seg_grants);
   put_u64(out, s.error);
   put_u64(out, s.backend);
+  put_u64(out, s.rejection);
 }
 
 ScenarioSummary take_summary(std::string_view bytes, std::size_t& cursor) {
@@ -734,6 +766,7 @@ ScenarioSummary take_summary(std::string_view bytes, std::size_t& cursor) {
   s.seg_grants = take_u64(bytes, cursor);
   s.error = take_u64(bytes, cursor);
   s.backend = take_u64(bytes, cursor);
+  s.rejection = take_u64(bytes, cursor);
   return s;
 }
 
@@ -750,27 +783,47 @@ std::string read_file_bytes(const std::string& path, const char* tag) {
 
 void write_file_atomic(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    os.flush();
-    if (!os) {
-      throw std::runtime_error("campaign: [campaign.checkpoint.io] cannot "
-                               "write '" + tmp + "'");
+  // Any failure past this point must not leave the tmp file behind: a
+  // partially-written tmp next to a checkpoint looks like state worth
+  // salvaging and accumulates across retries.
+  try {
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      os.flush();
+      if (!os) {
+        throw std::runtime_error("campaign: [campaign.checkpoint.io] cannot "
+                                 "write '" + tmp + "'");
+      }
     }
+    std::filesystem::rename(tmp, path);
+  } catch (const std::filesystem::filesystem_error& e) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("campaign: [campaign.checkpoint.io] cannot "
+                             "rename '" + tmp + "' to '" + path +
+                             "': " + e.what());
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
   }
-  std::filesystem::rename(tmp, path);
 }
 
 /// Everything the worker threads share. The claim counter is padded; the
 /// reorder buffer + aggregate sit behind the mutex. `pending` holds only
-/// summaries completed out of order, so its size is bounded by the thread
-/// count, never the campaign size.
+/// summaries completed out of order. Without a depth cap its size is NOT
+/// bounded by the thread count — fast workers keep claiming past one slow
+/// scenario — so a profile's reorder_depth adds real backpressure: a worker
+/// parks on `cv` until its claimed index is within `depth` of the commit
+/// frontier.
 struct CampaignState {
   PaddedCounter claim;
   std::uint64_t limit = 0;
+  std::uint64_t depth = 0;  ///< reorder-buffer depth; 0 = unbounded
 
   std::mutex mu;
+  std::condition_variable cv;  ///< signalled when next_commit advances
   std::uint64_t next_commit = 0;
   std::map<std::uint64_t, ScenarioSummary> pending;
   CampaignAggregate agg;
@@ -849,7 +902,17 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
         std::to_string(shard.index) + " of " + std::to_string(shard.count));
   }
   const std::uint64_t total = spec.total();
-  const std::uint64_t fingerprint = spec.fingerprint();
+  // The profile's simulation caps decide whether individual scenarios
+  // complete, so checkpoint/part artifacts from different envelopes must
+  // never blend: mix them into the run fingerprint (not spec.fingerprint(),
+  // which stays a pure function of the sweep).
+  const std::uint64_t fingerprint = [&] {
+    Fnv f;
+    f.h = spec.fingerprint();
+    f.u64(options.profile.log_records);
+    f.u64(options.profile.event_queue);
+    return f.h;
+  }();
   // Contiguous shard ranges through 128-bit math: total * count stays exact
   // even for the 2^62-scenario ceiling validate() admits.
   const auto shard_bound = [&](std::uint64_t k) {
@@ -911,19 +974,33 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
     if (options.resume && std::filesystem::exists(options.samples_path)) {
       const std::string bytes =
           read_file_bytes(options.samples_path, "campaign.part.io");
+      // A kill can truncate the part file anywhere, including to zero bytes;
+      // classify that separately from a wrong-campaign mismatch so the
+      // operator knows the file is this shard's, just incomplete.
+      if (bytes.size() < kPartHeaderSize) {
+        throw std::runtime_error(
+            "campaign: [campaign.part.truncated] part file '" +
+            options.samples_path + "' holds " +
+            std::to_string(bytes.size()) + " bytes, shorter than the " +
+            std::to_string(kPartHeaderSize) + "-byte header");
+      }
       std::size_t cur = 8;
-      if (bytes.size() < kPartHeaderSize ||
-          bytes.compare(0, 8, kPartMagic, 8) != 0 ||
+      if (bytes.compare(0, 8, kPartMagic, 8) != 0 ||
           take_u64(bytes, cur) != fingerprint ||
           take_u64(bytes, cur) != first || take_u64(bytes, cur) != end) {
         throw std::runtime_error(
             "campaign: [campaign.part.mismatch] part file '" +
             options.samples_path + "' does not match this campaign shard");
       }
+      if ((bytes.size() - kPartHeaderSize) % kSummarySize != 0) {
+        throw std::runtime_error(
+            "campaign: [campaign.part.truncated] part file '" +
+            options.samples_path + "' ends mid-summary");
+      }
       const std::uintmax_t keep = kPartHeaderSize + done * kSummarySize;
       if (bytes.size() < keep) {
         throw std::runtime_error(
-            "campaign: [campaign.part.corrupt] part file '" +
+            "campaign: [campaign.part.truncated] part file '" +
             options.samples_path + "' is shorter than the checkpoint prefix");
       }
       std::filesystem::resize_file(options.samples_path, keep);
@@ -952,6 +1029,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   if (options.stop_after != 0) {
     st.limit = std::min(end, st.next_commit + options.stop_after);
   }
+  st.depth = options.profile.reorder_depth;
 
   const auto checkpoint_now = [&](std::uint64_t next) {
     std::string bytes;
@@ -977,7 +1055,24 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
       const std::uint64_t i =
           st.claim.value.fetch_add(1, std::memory_order_relaxed);
       if (i >= st.limit) break;
-      const Scenario sc = spec.scenario(i);
+      if (st.depth != 0) {
+        // Reorder-buffer backpressure: run scenario i only once it is within
+        // `depth` of the commit frontier. Deadlock-free for depth >= 1:
+        // claims are dense, so the worker holding i == next_commit always
+        // passes the predicate and unblocks everyone else by committing.
+        std::unique_lock<std::mutex> lock(st.mu);
+        st.cv.wait(lock, [&] {
+          return st.io_error || i < st.next_commit + st.depth;
+        });
+        if (st.io_error) break;
+      }
+      Scenario sc = spec.scenario(i);
+      if (options.profile.bounds_simulation()) {
+        sc.config.envelope = options.profile;
+        // Concurrent workers must never share one spill file; spilling is a
+        // single-run CLI feature and campaign logs are hash-and-release.
+        sc.config.envelope.log_spill_path.clear();
+      }
       ScenarioSummary s;
       s.index = i;
       if (!backends_.empty()) s.backend = backends_[sc.image]->content_hash();
@@ -1008,6 +1103,22 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
           s.seg_wait += seg.wait_time;
           s.seg_grants += seg.grants;
         }
+      } catch (const EnvelopeError& e) {
+        // A classified rejection: the scenario hit a resource ceiling. The
+        // EnvelopeError message is deterministic (tag + cap + sim time), so
+        // its hash — and therefore the campaign digest — is identical across
+        // thread counts, shards and backends.
+        ctx.reset();
+        s = ScenarioSummary{};
+        s.index = i;
+        if (!backends_.empty()) {
+          s.backend = backends_[sc.image]->content_hash();
+        }
+        Fnv f;
+        f.str(e.what());
+        s.error = f.h;
+        s.rejection =
+            static_cast<std::uint64_t>(classify_envelope_tag(e.tag()));
       } catch (const std::exception& e) {
         // A throw can leave the context mid-run; drop it so the next claim
         // rebuilds from the pristine image. The error digest is the message
@@ -1024,7 +1135,10 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
       }
 
       std::lock_guard<std::mutex> lock(st.mu);
-      if (st.io_error) break;
+      if (st.io_error) {
+        st.cv.notify_all();
+        break;
+      }
       st.pending.emplace(i, s);
       while (!st.pending.empty() &&
              st.pending.begin()->first == st.next_commit) {
@@ -1049,12 +1163,26 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
           }
         }
       }
+      // Wake workers parked on the reorder-depth backpressure: the commit
+      // frontier moved (or an I/O error ended the run).
+      if (st.depth != 0) st.cv.notify_all();
     }
   };
 
+  std::vector<std::string> notes;
   std::size_t threads = options.threads != 0
                             ? options.threads
                             : std::max(1u, std::thread::hardware_concurrency());
+  if (options.profile.concurrency != 0 &&
+      threads > options.profile.concurrency) {
+    // Semantics-preserving: results are thread-count-invariant, so clamping
+    // is a capacity decision, not a rejection — surfaced as a note.
+    notes.push_back("[envelope.concurrency.capped] " + std::to_string(threads) +
+                    " workers capped at " +
+                    std::to_string(options.profile.concurrency) +
+                    " by profile '" + options.profile.name + "'");
+    threads = options.profile.concurrency;
+  }
   if (st.limit > st.next_commit) {
     threads = std::min<std::uint64_t>(threads, st.limit - st.next_commit);
   } else {
@@ -1088,6 +1216,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  result.notes = std::move(notes);
   return result;
 }
 
@@ -1107,8 +1236,15 @@ CampaignResult merge_campaign_parts(const std::vector<std::string>& paths) {
   for (std::size_t i = 0; i < paths.size(); ++i) {
     Part part;
     part.bytes = read_file_bytes(paths[i], "campaign.part.io");
-    if (part.bytes.size() < kPartHeaderSize ||
-        part.bytes.compare(0, 8, kPartMagic, 8) != 0) {
+    if (part.bytes.size() < kPartHeaderSize) {
+      throw std::runtime_error("campaign: [campaign.part.truncated] '" +
+                               paths[i] + "' holds " +
+                               std::to_string(part.bytes.size()) +
+                               " bytes, shorter than the " +
+                               std::to_string(kPartHeaderSize) +
+                               "-byte header");
+    }
+    if (part.bytes.compare(0, 8, kPartMagic, 8) != 0) {
       throw std::runtime_error("campaign: [campaign.part.corrupt] '" +
                                paths[i] + "' is not a campaign part file");
     }
@@ -1125,7 +1261,17 @@ CampaignResult merge_campaign_parts(const std::vector<std::string>& paths) {
     }
     const std::size_t payload = part.bytes.size() - kPartHeaderSize;
     if (payload % kSummarySize != 0 ||
-        payload / kSummarySize != part.end - part.first) {
+        payload / kSummarySize < part.end - part.first) {
+      // A short or mid-summary payload is a truncation (killed shard, partial
+      // copy); only an over-long one is corrupt.
+      throw std::runtime_error("campaign: [campaign.part.truncated] '" +
+                               paths[i] + "' holds " +
+                               std::to_string(payload / kSummarySize) +
+                               " whole summaries for range [" +
+                               std::to_string(part.first) + ", " +
+                               std::to_string(part.end) + ")");
+    }
+    if (payload / kSummarySize != part.end - part.first) {
       throw std::runtime_error("campaign: [campaign.part.corrupt] '" +
                                paths[i] + "' holds " +
                                std::to_string(payload / kSummarySize) +

@@ -78,7 +78,7 @@ class P2Quantile {
 };
 
 /// What one scenario leaves behind: a canonical log digest plus the summary
-/// numbers the campaign aggregates. Fixed 88-byte layout in shard part
+/// numbers the campaign aggregates. Fixed 96-byte layout in shard part
 /// files. `error != 0` marks a failed run (defective plan, diverging EFSM);
 /// its other fields are zero.
 struct ScenarioSummary {
@@ -97,6 +97,11 @@ struct ScenarioSummary {
   /// digest by design — a backend swap must leave digests untouched, and
   /// this field is how an A/B run proves which backend produced them.
   std::uint64_t backend = 0;
+  /// RejectionCode as one word: non-zero iff the scenario died on a resource
+  /// envelope ([envelope.*], a classified rejection) rather than a model
+  /// defect. Like `backend`, excluded from the campaign digest — the
+  /// deterministic EnvelopeError message already hashes into `error`.
+  std::uint64_t rejection = 0;
 };
 
 /// Canonical FNV-1a digest of a simulation log. Hashes the rendered text —
@@ -114,6 +119,14 @@ std::uint64_t log_digest(const SimulationLog& log, std::string& scratch);
 struct CampaignAggregate {
   std::uint64_t scenarios = 0;
   std::uint64_t errors = 0;
+  /// Classified envelope rejections (a subset of `errors`): total plus the
+  /// per-ceiling split. One scenario hitting its envelope never corrupts
+  /// the aggregate of the rest — it is counted here and in the digest (via
+  /// its deterministic error hash) and contributes nothing else.
+  std::uint64_t rejected = 0;
+  std::uint64_t rejected_log = 0;    ///< [envelope.log.overflow]
+  std::uint64_t rejected_queue = 0;  ///< [envelope.queue.full]
+  std::uint64_t rejected_other = 0;  ///< arena / concurrency / unknown
   /// Rolling FNV-1a over (index, digest) pairs in index order.
   std::uint64_t digest = 0xcbf29ce484222325ull;
   std::uint64_t events = 0;
@@ -221,8 +234,13 @@ class CampaignSpec {
   /// [campaign.axis.malformed], [campaign.axis.duplicate],
   /// [campaign.zip.length], [campaign.mode.unknown],
   /// [campaign.plan.unreadable], [campaign.element.unknown]).
+  ///
+  /// `arena_limit` caps the parse arena in bytes (0 = unbounded); a spec
+  /// that overflows it throws xml::ArenaLimitError tagged
+  /// [envelope.arena.exhausted].
   static CampaignSpec from_xml_text(std::string_view text,
-                                    const FileReader& read_file = {});
+                                    const FileReader& read_file = {},
+                                    std::size_t arena_limit = 0);
 };
 
 // ---------------------------------------------------------------------------
@@ -255,6 +273,15 @@ struct CampaignOptions {
   /// Streaming observer, called in scenario-index order under the reducer
   /// lock. Keep it cheap.
   std::function<void(const ScenarioSummary&)> on_summary;
+  /// Resource envelope for the whole campaign: simulation caps are stamped
+  /// into every scenario's config (spill path cleared — workers never share
+  /// a spill file), `concurrency` clamps the worker count (surfaced as an
+  /// [envelope.concurrency.capped] note), and `reorder_depth` bounds how
+  /// far workers may claim ahead of the in-order commit frontier. Semantic
+  /// lock: an in-envelope campaign digests byte-identical to an unbounded
+  /// one; profile caps *do* enter the checkpoint/part fingerprint so
+  /// artifacts from different envelopes never blend.
+  ResourceProfile profile;
 };
 
 struct CampaignResult {
@@ -264,6 +291,9 @@ struct CampaignResult {
   std::uint64_t next = 0;   ///< in-order prefix reached; == end when done
   bool completed = true;
   double wall_seconds = 0;
+  /// Human-readable envelope notes (e.g. "[envelope.concurrency.capped]
+  /// ..."). Advisory only — never part of the aggregate or its digest.
+  std::vector<std::string> notes;
 };
 
 /// Executes campaigns over one or more shared compiled images (one per

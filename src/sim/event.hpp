@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/kernel.hpp"  // Time
+#include "sim/resource.hpp"
 
 namespace tut::sim {
 
@@ -68,6 +69,11 @@ class EventQueue {
       throw std::logic_error("cannot schedule an event in the past (at=" +
                              std::to_string(at) +
                              ", now=" + std::to_string(now_) + ")");
+    }
+    if (capacity_ != 0 && pending() >= capacity_) {
+      throw EnvelopeError("envelope.queue.full", now_,
+                          "event queue reached its envelope of " +
+                              std::to_string(capacity_) + " pending events");
     }
     if (at == now_) {
       if (bucket_head_ != 0 && bucket_empty()) {
@@ -136,6 +142,13 @@ class EventQueue {
   std::uint64_t dispatched() const noexcept { return dispatched_; }
   void reserve(std::size_t n) { heap_.reserve(n); }
 
+  /// Resource envelope: caps pending() at `cap` (0 = unbounded). The
+  /// schedule_at that would exceed it throws [envelope.queue.full] before
+  /// touching the heap or bucket. Survives reset(): the envelope belongs to
+  /// the queue's owner, not to one run.
+  void set_capacity(std::uint64_t cap) noexcept { capacity_ = cap; }
+  std::uint64_t capacity() const noexcept { return capacity_; }
+
  private:
   struct Entry {
     Time at;
@@ -156,6 +169,7 @@ class EventQueue {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t capacity_ = 0;  ///< pending-event ceiling; 0 = unbounded
 };
 
 }  // namespace tut::sim

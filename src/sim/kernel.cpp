@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/resource.hpp"
+
 namespace tut::sim {
 
 void Kernel::schedule_at(Time at, Handler fn) {
@@ -13,6 +15,11 @@ void Kernel::schedule_at(Time at, Handler fn) {
     throw std::logic_error("cannot schedule an event in the past (at=" +
                            std::to_string(at) +
                            ", now=" + std::to_string(now_) + ")");
+  }
+  if (capacity_ != 0 && pending() >= capacity_) {
+    throw EnvelopeError("envelope.queue.full", now_,
+                        "event queue reached its envelope of " +
+                            std::to_string(capacity_) + " pending events");
   }
   if (at == now_) {
     // Due immediately: FIFO bucket, no heap traffic. Anything already in the

@@ -43,6 +43,13 @@ class Kernel {
   /// Reserves heap capacity for `n` pending events.
   void reserve(std::size_t n) { heap_.reserve(n); }
 
+  /// Resource envelope: caps pending() at `cap` (0 = unbounded, the
+  /// default). The schedule_at that would exceed it throws
+  /// sim::EnvelopeError tagged [envelope.queue.full] before touching the
+  /// heap or bucket — same contract as EventQueue::set_capacity.
+  void set_capacity(std::uint64_t cap) noexcept { capacity_ = cap; }
+  std::uint64_t capacity() const noexcept { return capacity_; }
+
   /// Runs events until the queue drains or the next event would be past
   /// `horizon`. Events exactly at the horizon still run. Returns the number
   /// of events dispatched.
@@ -65,6 +72,7 @@ class Kernel {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t capacity_ = 0;  ///< pending-event ceiling; 0 = unbounded
 };
 
 }  // namespace tut::sim

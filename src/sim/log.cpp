@@ -1,6 +1,8 @@
 #include "sim/log.hpp"
 
 #include <charconv>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -59,7 +61,7 @@ void SimulationLog::run_id(Time t, intern::Id process, long cycles,
   r.process = process;
   r.cycles = cycles;
   r.duration = duration;
-  compact_.push_back(r);
+  append(r);
 }
 
 void SimulationLog::send_id(Time t, intern::Id from, intern::Id to,
@@ -71,7 +73,7 @@ void SimulationLog::send_id(Time t, intern::Id from, intern::Id to,
   r.peer = to;
   r.signal = signal;
   r.bytes = bytes;
-  compact_.push_back(r);
+  append(r);
 }
 
 void SimulationLog::receive_id(Time t, intern::Id process, intern::Id from,
@@ -82,7 +84,7 @@ void SimulationLog::receive_id(Time t, intern::Id process, intern::Id from,
   r.process = process;
   r.peer = from;
   r.signal = signal;
-  compact_.push_back(r);
+  append(r);
 }
 
 void SimulationLog::drop_id(Time t, intern::Id process, intern::Id signal) {
@@ -91,7 +93,8 @@ void SimulationLog::drop_id(Time t, intern::Id process, intern::Id signal) {
   r.kind = LogRecord::Kind::Drop;
   r.process = process;
   r.signal = signal;
-  compact_.push_back(r);
+  append(r);
+  ++drops_;
 }
 
 void SimulationLog::fault_id(Time t, intern::Id component) {
@@ -99,7 +102,7 @@ void SimulationLog::fault_id(Time t, intern::Id component) {
   r.time = t;
   r.kind = LogRecord::Kind::Fault;
   r.process = component;
-  compact_.push_back(r);
+  append(r);
 }
 
 void SimulationLog::clear_id(Time t, intern::Id component) {
@@ -107,7 +110,7 @@ void SimulationLog::clear_id(Time t, intern::Id component) {
   r.time = t;
   r.kind = LogRecord::Kind::Clear;
   r.process = component;
-  compact_.push_back(r);
+  append(r);
 }
 
 void SimulationLog::retry_id(Time t, intern::Id process, intern::Id signal,
@@ -118,7 +121,8 @@ void SimulationLog::retry_id(Time t, intern::Id process, intern::Id signal,
   r.process = process;
   r.signal = signal;
   r.cycles = attempt;
-  compact_.push_back(r);
+  append(r);
+  ++retries_;
 }
 
 void SimulationLog::watchdog_id(Time t, intern::Id process) {
@@ -126,7 +130,7 @@ void SimulationLog::watchdog_id(Time t, intern::Id process) {
   r.time = t;
   r.kind = LogRecord::Kind::Watchdog;
   r.process = process;
-  compact_.push_back(r);
+  append(r);
 }
 
 void SimulationLog::migrate_id(Time t, intern::Id process, intern::Id from_pe,
@@ -137,7 +141,42 @@ void SimulationLog::migrate_id(Time t, intern::Id process, intern::Id from_pe,
   r.process = process;
   r.peer = from_pe;
   r.signal = to_pe;
+  append(r);
+}
+
+void SimulationLog::append(const Compact& r) {
+  if (capacity_ != 0 && compact_.size() >= capacity_) {
+    if (spill_path_.empty()) {
+      throw EnvelopeError("envelope.log.overflow", r.time,
+                          "simulation log reached its envelope of " +
+                              std::to_string(capacity_) + " resident records");
+    }
+    spill_resident(r.time);
+  }
   compact_.push_back(r);
+  last_time_ = r.time;
+}
+
+void SimulationLog::spill_resident(Time at) {
+  std::string body;
+  render_body(body);
+  std::ofstream os(spill_path_, spilled_ == 0
+                                    ? std::ios::binary | std::ios::trunc
+                                    : std::ios::binary | std::ios::app);
+  if (!os || !os.write(body.data(), std::streamsize(body.size())) ||
+      !os.flush()) {
+    throw EnvelopeError("envelope.log.overflow", at,
+                        "cannot write log spill file '" + spill_path_ + "'");
+  }
+  spilled_ += compact_.size();
+  compact_.clear();
+  materialized_.clear();
+}
+
+void SimulationLog::set_envelope(std::uint64_t capacity,
+                                 std::string spill_path) {
+  capacity_ = capacity;
+  spill_path_ = std::move(spill_path);
 }
 
 const std::vector<LogRecord>& SimulationLog::records() const {
@@ -160,6 +199,14 @@ const std::vector<LogRecord>& SimulationLog::records() const {
 void SimulationLog::clear() {
   compact_.clear();
   materialized_.clear();
+  if (spilled_ != 0 && !spill_path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(spill_path_, ec);  // best effort
+  }
+  spilled_ = 0;
+  drops_ = 0;
+  retries_ = 0;
+  last_time_ = 0;
 }
 
 void SimulationLog::reserve(std::size_t n) { compact_.reserve(n); }
@@ -182,10 +229,28 @@ std::string SimulationLog::to_text() const {
 }
 
 void SimulationLog::to_text(std::string& out) const {
-  // ~32 bytes per rendered line; reserving up front keeps the append loop
-  // free of reallocation even on the first use of a fresh buffer.
   out.reserve(out.size() + 16 + 32 * compact_.size());
   out += "# tut-simlog v1\n";
+  if (spilled_ != 0) {
+    // The spill file holds the already-rendered prefix; splicing it back in
+    // front of the resident tail reproduces the unbounded serialization
+    // byte for byte.
+    std::ifstream is(spill_path_, std::ios::binary);
+    if (!is) {
+      throw std::runtime_error("cannot read log spill file '" + spill_path_ +
+                               "'");
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    out += buf.str();
+  }
+  render_body(out);
+}
+
+void SimulationLog::render_body(std::string& out) const {
+  // ~32 bytes per rendered line; reserving up front keeps the append loop
+  // free of reallocation even on the first use of a fresh buffer.
+  out.reserve(out.size() + 32 * compact_.size());
   const auto field = [&](intern::Id id) {
     out += ' ';
     out += names_.name(id);

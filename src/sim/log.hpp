@@ -19,6 +19,7 @@
 
 #include "intern/intern.hpp"
 #include "sim/kernel.hpp"
+#include "sim/resource.hpp"
 
 namespace tut::sim {
 
@@ -99,18 +100,42 @@ class SimulationLog {
   void migrate_id(Time t, intern::Id process, intern::Id from_pe,
                   intern::Id to_pe);
 
-  /// The records in compact interned form — the profiler's input.
+  /// The *resident* records in compact interned form — the profiler's
+  /// input. With an active spill envelope this is the tail that has not yet
+  /// been flushed; spilled records are only reachable through to_text().
   const std::vector<Compact>& compact_records() const noexcept {
     return compact_;
   }
   /// The name table the compact records' ids index.
   const intern::Table& names() const noexcept { return names_; }
 
-  /// String-based record view, materialized lazily (append-only, so already
-  /// materialized prefixes are reused across calls).
+  /// String-based view of the resident records, materialized lazily
+  /// (append-only, so already materialized prefixes are reused).
   const std::vector<LogRecord>& records() const;
 
-  std::size_t size() const noexcept { return compact_.size(); }
+  /// Resource envelope: caps the resident records at `capacity` (0 =
+  /// unbounded, the default). Without a spill path, the append that would
+  /// exceed the cap throws EnvelopeError ("[envelope.log.overflow]", with
+  /// the record's sim time) before mutating anything. With a spill path,
+  /// reaching the cap renders the resident records to the spill file and
+  /// frees them; to_text() reads the spill back, so the serialized log —
+  /// and every digest over it — is byte-identical to an unbounded run.
+  void set_envelope(std::uint64_t capacity, std::string spill_path = {});
+  std::uint64_t envelope_capacity() const noexcept { return capacity_; }
+  /// Records flushed to the spill file so far.
+  std::uint64_t spilled() const noexcept { return spilled_; }
+
+  /// Running counters maintained on append. They cover spilled records too,
+  /// so campaign summaries stay exact under any envelope.
+  std::uint64_t drop_count() const noexcept { return drops_; }
+  std::uint64_t retry_count() const noexcept { return retries_; }
+  /// Time of the most recent record (0 when the log is empty).
+  Time last_time() const noexcept { return last_time_; }
+
+  /// Logical record count: spilled + resident.
+  std::size_t size() const noexcept { return spilled_ + compact_.size(); }
+  /// Drops every record and counter; removes the spill file if one was
+  /// written (a reset run must start from a genuinely empty log).
   void clear();
   /// Reserves capacity for `n` records (e.g. from the injected-event count).
   void reserve(std::size_t n);
@@ -136,9 +161,25 @@ class SimulationLog {
   static SimulationLog parse(const std::string& text);
 
  private:
+  /// Envelope-checked append: every public append path funnels through
+  /// here. Throws (or spills) *before* pushing, so a rejected log still
+  /// holds exactly `capacity_` records.
+  void append(const Compact& r);
+  /// Renders the resident records to the spill file and frees them.
+  void spill_resident(Time at);
+  /// Renders the resident records (no header) — shared by to_text and the
+  /// spill flush so both paths serialize identically.
+  void render_body(std::string& out) const;
+
   std::vector<Compact> compact_;
   intern::Table names_;
   mutable std::vector<LogRecord> materialized_;  // lazy prefix of compact_
+  std::uint64_t capacity_ = 0;   ///< resident-record ceiling; 0 = unbounded
+  std::string spill_path_;       ///< empty: overflow throws instead
+  std::uint64_t spilled_ = 0;    ///< records already flushed to spill_path_
+  std::uint64_t drops_ = 0;      ///< Drop records appended (incl. spilled)
+  std::uint64_t retries_ = 0;    ///< Retry records appended (incl. spilled)
+  Time last_time_ = 0;           ///< time of the most recent record
 };
 
 }  // namespace tut::sim

@@ -1,0 +1,170 @@
+#include "sim/resource.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "xml/arena.hpp"
+#include "xml/cursor.hpp"
+
+namespace tut::sim {
+
+RejectionCode classify_envelope_tag(std::string_view tag) noexcept {
+  if (tag == "envelope.log.overflow") return RejectionCode::Log;
+  if (tag == "envelope.queue.full") return RejectionCode::Queue;
+  if (tag == "envelope.arena.exhausted") return RejectionCode::Arena;
+  if (tag == "envelope.concurrency.capped") return RejectionCode::Concurrency;
+  return RejectionCode::Other;
+}
+
+ResourceProfile ResourceProfile::unbounded() { return ResourceProfile{}; }
+
+ResourceProfile ResourceProfile::constrained() {
+  ResourceProfile p;
+  p.name = "constrained";
+  p.log_records = 1u << 16;        // 64Ki resident records (~1.5 MiB)
+  p.event_queue = 1u << 14;        // 16Ki pending events (256 KiB heap)
+  p.arena_bytes = 8u << 20;        // 8 MiB of parsed XML
+  p.keep_log_bytes = 1u << 20;     // 1 MiB retained log per scenario
+  p.concurrency = 2;
+  p.reorder_depth = 4;
+  return p;
+}
+
+ResourceProfile ResourceProfile::balanced() {
+  ResourceProfile p;
+  p.name = "balanced";
+  p.log_records = 1u << 20;
+  p.event_queue = 1u << 18;
+  p.arena_bytes = 64u << 20;
+  p.keep_log_bytes = 16u << 20;
+  p.concurrency = 8;
+  p.reorder_depth = 32;
+  return p;
+}
+
+ResourceProfile ResourceProfile::server() {
+  ResourceProfile p;
+  p.name = "server";
+  p.log_records = 1u << 24;
+  p.event_queue = 1u << 22;
+  p.arena_bytes = 512u << 20;
+  p.keep_log_bytes = 256u << 20;
+  p.concurrency = 0;  // hardware-sized
+  p.reorder_depth = 256;
+  return p;
+}
+
+namespace {
+
+[[noreturn]] void profile_error(const std::string& tag,
+                                const std::string& what) {
+  throw std::invalid_argument("profile: [" + tag + "] " + what);
+}
+
+}  // namespace
+
+ResourceProfile ResourceProfile::by_name(std::string_view name) {
+  if (name == "unbounded") return unbounded();
+  if (name == "constrained") return constrained();
+  if (name == "balanced") return balanced();
+  if (name == "server") return server();
+  profile_error("profile.class.unknown",
+                "unknown profile class '" + std::string(name) +
+                    "' (unbounded, constrained, balanced, server)");
+}
+
+ResourceProfile ResourceProfile::from_xml_text(std::string_view text) {
+  xml::Arena arena;
+  xml::Cursor cur(text, arena);
+  if (cur.next() != xml::Cursor::Event::StartElement ||
+      cur.name() != "tut:profile") {
+    profile_error("profile.element.unknown",
+                  "root element must be <tut:profile>");
+  }
+  ResourceProfile p;
+  if (const auto cls = cur.attr("class")) {
+    if (*cls != "custom") p = by_name(*cls);
+    p.name = std::string(*cls);
+  } else {
+    p.name = "custom";
+  }
+  if (const auto spill = cur.attr("spill")) {
+    p.log_spill_path = std::string(*spill);
+  }
+  for (auto ev = cur.next(); ev != xml::Cursor::Event::End; ev = cur.next()) {
+    if (ev == xml::Cursor::Event::Text ||
+        ev == xml::Cursor::Event::EndElement) {
+      continue;
+    }
+    if (cur.name() != "cap") {
+      profile_error("profile.element.unknown",
+                    "unknown element <" + std::string(cur.name()) +
+                        "> (only <cap name=... value=.../>)");
+    }
+    const auto cname = cur.attr("name");
+    const auto cvalue = cur.attr("value");
+    if (!cname || !cvalue) {
+      profile_error("profile.cap.malformed",
+                    "<cap> needs both name= and value=");
+    }
+    std::uint64_t v = 0;
+    const auto [end, ec] =
+        std::from_chars(cvalue->data(), cvalue->data() + cvalue->size(), v);
+    if (ec != std::errc{} || end != cvalue->data() + cvalue->size()) {
+      profile_error("profile.cap.malformed",
+                    "cap '" + std::string(*cname) +
+                        "' value is not a non-negative integer: '" +
+                        std::string(*cvalue) + "'");
+    }
+    if (*cname == "logRecords") {
+      p.log_records = v;
+    } else if (*cname == "eventQueue") {
+      p.event_queue = v;
+    } else if (*cname == "arenaBytes") {
+      p.arena_bytes = v;
+    } else if (*cname == "keepLogBytes") {
+      p.keep_log_bytes = v;
+    } else if (*cname == "concurrency") {
+      p.concurrency = v;
+    } else if (*cname == "reorderDepth") {
+      p.reorder_depth = v;
+    } else {
+      profile_error("profile.cap.unknown",
+                    "unknown cap '" + std::string(*cname) +
+                        "' (logRecords, eventQueue, arenaBytes, keepLogBytes, "
+                        "concurrency, reorderDepth)");
+    }
+  }
+  return p;
+}
+
+namespace {
+
+void append_cap(std::string& out, const char* label, std::uint64_t v,
+                const char* unit) {
+  out += label;
+  if (v == 0) {
+    out += "unbounded";
+  } else {
+    out += std::to_string(v);
+    out += unit;
+  }
+}
+
+}  // namespace
+
+std::string ResourceProfile::to_text() const {
+  std::string out = name;
+  out += " (";
+  append_cap(out, "log ", log_records, " records");
+  append_cap(out, ", queue ", event_queue, " events");
+  append_cap(out, ", arena ", arena_bytes, " bytes");
+  append_cap(out, ", keepLogs ", keep_log_bytes, " bytes");
+  append_cap(out, ", concurrency ", concurrency, "");
+  append_cap(out, ", reorder ", reorder_depth, "");
+  if (!log_spill_path.empty()) out += ", spill " + log_spill_path;
+  out += ")";
+  return out;
+}
+
+}  // namespace tut::sim

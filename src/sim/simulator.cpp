@@ -165,6 +165,7 @@ struct Simulation::Impl {
   }
 
   void build(std::vector<std::string> defects) {
+    apply_envelope();
     env_id_ = owner_.log_.intern_name(kEnvironment);
     unknown_sig_id_ = owner_.log_.intern_name("?");
     faults_on_ = !owner_.config_.faults.empty();
@@ -260,9 +261,19 @@ struct Simulation::Impl {
       *seg.stats = SegmentStats{};
     }
     owner_.log_.clear();
+    apply_envelope();  // config_ may carry a different profile now
     std::vector<std::string> defects;
     check_fault_plan(defects);  // re-resolves names, re-applies bit errors
     if (!defects.empty()) throw_defects(defects);
+  }
+
+  /// Arms the run's resource envelope on the log and the event queue.
+  /// Unbounded caps (the default profile) disarm them, reproducing the
+  /// pre-envelope behaviour exactly.
+  void apply_envelope() {
+    const ResourceProfile& env = owner_.config_.envelope;
+    queue_.set_capacity(env.event_queue);
+    owner_.log_.set_envelope(env.log_records, env.log_spill_path);
   }
 
   /// Appends fault-plan defects (structure + unresolved component names).

@@ -57,6 +57,11 @@ struct Config {
   /// leaves the fault machinery fully off: the simulation log and the
   /// statistics are identical to a build without fault support.
   FaultPlan faults = {};
+  /// Resource envelope applied to this run: log_records (+ optional
+  /// log_spill_path) caps the SimulationLog, event_queue caps pending
+  /// events. Semantic lock: an in-envelope run is byte-identical to an
+  /// unbounded one; an envelope miss throws a classified EnvelopeError.
+  ResourceProfile envelope = {};
 };
 
 /// Per-processing-element statistics.

@@ -9,12 +9,20 @@
 // Lifetime rule: everything handed out by an Arena lives exactly as long as
 // the Arena. Only trivially-destructible types may be placed in it —
 // destructors are never run.
+//
+// Resource envelope: set_limit() caps the bytes the arena may reserve from
+// the system. A growth that would exceed the limit throws ArenaLimitError
+// (message tagged "[envelope.arena.exhausted]") *before* reserving, leaving
+// every prior allocation valid — parsing under a sim::ResourceProfile either
+// completes or reports exactly which ceiling it hit.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <type_traits>
 #include <utility>
@@ -22,10 +30,21 @@
 
 namespace tut::xml {
 
+/// Arena byte-ceiling miss. Derives from std::length_error so callers that
+/// only know std::exception still see the tagged message; the xml layer
+/// cannot depend on sim::EnvelopeError (sim links xml, not the reverse).
+class ArenaLimitError : public std::length_error {
+public:
+  explicit ArenaLimitError(const std::string& what)
+      : std::length_error(what) {}
+};
+
 class Arena {
 public:
-  explicit Arena(std::size_t first_chunk_bytes = 16 * 1024)
-      : next_chunk_bytes_(first_chunk_bytes) {}
+  /// `limit_bytes` caps bytes_reserved(); 0 = unbounded.
+  explicit Arena(std::size_t first_chunk_bytes = 16 * 1024,
+                 std::size_t limit_bytes = 0)
+      : next_chunk_bytes_(first_chunk_bytes), limit_(limit_bytes) {}
 
   Arena(Arena&&) noexcept = default;
   Arena& operator=(Arena&&) noexcept = default;
@@ -88,6 +107,11 @@ public:
   }
   std::size_t chunk_count() const noexcept { return chunks_.size(); }
 
+  /// (Re)arms the reserved-byte ceiling; 0 disarms it. Already-reserved
+  /// chunks are never reclaimed — the limit gates future growth only.
+  void set_limit(std::size_t limit_bytes) noexcept { limit_ = limit_bytes; }
+  std::size_t limit() const noexcept { return limit_; }
+
   /// Drops every allocation but keeps the reserved chunks for reuse.
   void reset() noexcept {
     if (chunks_.size() > 1) {
@@ -110,6 +134,18 @@ private:
   void grow(std::size_t at_least) {
     std::size_t size = next_chunk_bytes_;
     if (size < at_least) size = at_least;
+    if (limit_ != 0) {
+      const std::size_t reserved = bytes_reserved();
+      const std::size_t remaining = limit_ > reserved ? limit_ - reserved : 0;
+      if (remaining < at_least) {
+        throw ArenaLimitError(
+            "xml: [envelope.arena.exhausted] arena envelope of " +
+            std::to_string(limit_) + " bytes exhausted (" +
+            std::to_string(reserved) + " reserved, " +
+            std::to_string(at_least) + " more needed)");
+      }
+      if (size > remaining) size = remaining;
+    }
     chunks_.push_back(Chunk{std::make_unique<char[]>(size), size});
     cur_ = chunks_.back().data.get();
     end_ = cur_ + size;
@@ -121,6 +157,7 @@ private:
   char* end_ = nullptr;
   std::size_t used_ = 0;
   std::size_t next_chunk_bytes_;
+  std::size_t limit_ = 0;  ///< reserved-byte ceiling; 0 = unbounded
 };
 
 }  // namespace tut::xml

@@ -546,6 +546,108 @@ TEST(Campaign, SummariesStreamInIndexOrder) {
   for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(Campaign, ResumeRejectsTruncatedPartFile) {
+  // A kill can truncate the shard part file anywhere — mid-summary, to less
+  // than the checkpoint prefix, or to zero bytes. Resume must classify each
+  // as [campaign.part.truncated] instead of decoding garbage (or calling the
+  // file foreign with [campaign.part.mismatch]).
+  const CampaignSpec spec = small_spec();
+  const CampaignRunner runner = make_runner();
+  const std::string ck = temp_path("tut_campaign_trunc_ck.bin");
+  const std::string parts = temp_path("tut_campaign_trunc_parts.bin");
+  std::filesystem::remove(ck);
+
+  CampaignOptions opt;
+  opt.threads = 2;
+  opt.checkpoint_path = ck;
+  opt.checkpoint_every = 3;
+  opt.samples_path = parts;
+  opt.stop_after = 7;
+  const CampaignResult partial = runner.run(spec, opt);
+  EXPECT_FALSE(partial.completed);
+
+  opt.stop_after = 0;
+  opt.resume = true;
+  constexpr std::uintmax_t kHeader = 32;   // magic + fingerprint + range
+  constexpr std::uintmax_t kSummary = 96;  // 12 u64 words per scenario
+  const auto expect_truncated = [&](std::uintmax_t size) {
+    std::filesystem::resize_file(parts, size);
+    try {
+      runner.run(spec, opt);
+      FAIL() << "resumed from a " << size << "-byte part file";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("[campaign.part.truncated]"),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  expect_truncated(kHeader + kSummary + kSummary / 2);  // ends mid-summary
+  expect_truncated(kHeader + kSummary);  // whole, but < checkpoint prefix
+  expect_truncated(0);                   // zero-length (kill before header)
+
+  std::filesystem::remove(ck);
+  std::filesystem::remove(parts);
+}
+
+TEST(Campaign, MergeRejectsTruncatedParts) {
+  const CampaignSpec spec = small_spec();
+  const CampaignRunner runner = make_runner();
+  const std::string part = temp_path("tut_campaign_trunc_merge.bin");
+
+  CampaignOptions opt;
+  opt.threads = 2;
+  opt.samples_path = part;
+  runner.run(spec, opt);
+
+  constexpr std::uintmax_t kHeader = 32;
+  constexpr std::uintmax_t kSummary = 96;
+  const auto expect_truncated = [&](std::uintmax_t size) {
+    std::filesystem::resize_file(part, size);
+    try {
+      merge_campaign_parts({part});
+      FAIL() << "merged a " << size << "-byte part file";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("[campaign.part.truncated]"),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  // One whole summary short of the declared range, then mid-summary, then
+  // shorter than the header itself.
+  expect_truncated(kHeader + (spec.total() - 1) * kSummary);
+  expect_truncated(kHeader + kSummary / 2);
+  expect_truncated(kHeader / 2);
+
+  std::filesystem::remove(part);
+}
+
+TEST(Campaign, CheckpointWriteFailureLeavesNoTmpFile) {
+  // A directory squatting on the checkpoint path makes the atomic
+  // tmp+rename fail; the run must surface [campaign.checkpoint.io] and must
+  // not leave the orphaned .tmp behind (it looks like recoverable state).
+  const CampaignSpec spec = small_spec();
+  const CampaignRunner runner = make_runner();
+  const std::string ck = temp_path("tut_campaign_ckdir");
+  std::filesystem::remove_all(ck);
+  std::filesystem::create_directory(ck);
+
+  CampaignOptions opt;
+  opt.threads = 1;
+  opt.checkpoint_path = ck;
+  opt.checkpoint_every = 1;
+  try {
+    runner.run(spec, opt);
+    FAIL() << "checkpointed onto a directory";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("[campaign.checkpoint.io]"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(std::filesystem::exists(ck + ".tmp"))
+      << "failed checkpoint left its tmp file behind";
+  std::filesystem::remove_all(ck);
+}
+
 TEST(Campaign, LogDigestIsNameBasedNotInternIdBased) {
   // Two logs with the same rendered text but different intern orders (the
   // reused-context situation) must digest equal.

@@ -21,6 +21,7 @@
 //   tut profile   <model.xml> <sim.log>       Table-4 report + latencies
 //   tut simulate  tutmac <outdir> [ms] [--faults plan.xml] [--seed N]
 //                 [--batch N] [--threads K] [--backend interpreter|native]
+//                 [--profile CLASS|profile.xml]
 //                                             build+simulate the case study,
 //                                             writing model.xml and sim.log;
 //                                             with a fault plan the profiling
@@ -33,6 +34,7 @@
 //   tut campaign  tutmac <campaign.xml> [--threads K] [--shard k/n]
 //                 [--checkpoint file] [--resume] [--samples file]
 //                 [--backend interpreter|native]
+//                 [--profile CLASS|profile.xml]
 //                                             scenario-sweep campaign over the
 //                                             case study: compiles one image
 //                                             per swept mapping, runs the
@@ -67,6 +69,7 @@
 #include "profiler/profiler.hpp"
 #include "sim/batch.hpp"
 #include "sim/campaign.hpp"
+#include "sim/resource.hpp"
 #include "tutmac/tutmac.hpp"
 #include "uml/serialize.hpp"
 #include "uml/validation.hpp"
@@ -88,10 +91,13 @@ int usage() {
       "  efsm      dump <model.xml> [--machine NAME]\n"
       "  profile   <model.xml> <sim.log>\n"
       "  simulate  tutmac <outdir> [horizon_ms] [--faults plan.xml] [--seed N]"
-      " [--batch N] [--threads K] [--backend interpreter|native]\n"
+      " [--batch N] [--threads K] [--backend interpreter|native]"
+      " [--profile CLASS|profile.xml]\n"
       "  campaign  tutmac <campaign.xml> [--threads K] [--shard k/n]"
       " [--checkpoint file] [--resume] [--samples file]"
-      " [--backend interpreter|native]\n"
+      " [--backend interpreter|native] [--profile CLASS|profile.xml]\n"
+      "            (profile classes: unbounded, constrained, balanced,"
+      " server)\n"
       "  campaign  merge <part>...\n"
       "  roundtrip <model.xml>\n";
   return 2;
@@ -107,6 +113,16 @@ std::string read_file(const std::string& path) {
 
 std::unique_ptr<uml::Model> load_model(const std::string& path) {
   return uml::from_xml_string(read_file(path));
+}
+
+/// Resolves --profile: a named class (unbounded/constrained/balanced/server)
+/// or a path to a <tut:profile> XML file.
+sim::ResourceProfile resolve_profile(const std::string& spec) {
+  if (spec.empty()) return sim::ResourceProfile::unbounded();
+  if (std::filesystem::exists(spec)) {
+    return sim::ResourceProfile::from_xml_text(read_file(spec));
+  }
+  return sim::ResourceProfile::by_name(spec);
 }
 
 /// Resolves --backend for one compiled image. "native" emits + compiles (or
@@ -313,7 +329,12 @@ int cmd_profile(const std::string& model_path, const std::string& log_path) {
 int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
                         const std::string& faults_path, long seed,
                         std::size_t batch, std::size_t threads,
-                        const std::string& backend) {
+                        const std::string& backend,
+                        const std::string& profile_spec) {
+  const sim::ResourceProfile profile = resolve_profile(profile_spec);
+  if (!profile_spec.empty()) {
+    std::cout << "profile: " << profile.to_text() << '\n';
+  }
   tutmac::Options opt;
   opt.horizon = static_cast<sim::Time>(horizon_ms) * 1'000'000;
   tutmac::System sys = tutmac::build(opt);
@@ -321,6 +342,7 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
 
   sim::Config config;
   config.horizon = opt.horizon;
+  config.envelope = profile;
   if (!faults_path.empty()) {
     config.faults = sim::FaultPlan::from_xml_text(read_file(faults_path));
   }
@@ -368,6 +390,7 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
     // the determinism rerun of scenario 0.
     sim::BatchOptions options;
     options.threads = threads;
+    options.profile = profile;
     const sim::BatchRunner runner = image ? sim::BatchRunner(image, options)
                                           : sim::BatchRunner(compiled, options);
     const auto results = runner.run(scenarios);
@@ -452,17 +475,25 @@ int print_campaign_result(const sim::CampaignResult& result) {
 }
 
 int cmd_campaign_tutmac(const std::string& campaign_path,
-                        const sim::CampaignOptions& options,
-                        const std::string& backend) {
+                        sim::CampaignOptions options,
+                        const std::string& backend,
+                        const std::string& profile_spec) {
+  options.profile = resolve_profile(profile_spec);
+  if (!profile_spec.empty()) {
+    std::cout << "profile: " << options.profile.to_text() << '\n';
+  }
   const std::filesystem::path base =
       std::filesystem::path(campaign_path).parent_path();
   // Fault-plan files referenced by the campaign resolve relative to the
-  // campaign file, like XML includes everywhere else.
+  // campaign file, like XML includes everywhere else. The profile's arena
+  // ceiling governs the campaign-spec parse itself.
   const auto spec = sim::CampaignSpec::from_xml_text(
-      read_file(campaign_path), [&base](const std::string& file) {
+      read_file(campaign_path),
+      [&base](const std::string& file) {
         const std::filesystem::path p(file);
         return read_file(p.is_absolute() ? file : (base / p).string());
-      });
+      },
+      static_cast<std::size_t>(options.profile.arena_bytes));
 
   // One built system + compiled image per swept mapping (entry 0 is the
   // paper mapping when the sweep names none). The systems stay alive for
@@ -535,6 +566,9 @@ int cmd_campaign_tutmac(const std::string& campaign_path,
                        : sim::CampaignRunner(std::move(backends), setup);
 
   const sim::CampaignResult result = runner.run(spec, options);
+  for (const std::string& note : result.notes) {
+    std::cout << "note: " << note << '\n';
+  }
   const std::uint64_t ran = result.next - result.first;
   std::cout << "campaign '" << spec.name << "': scenarios [" << result.first
             << ", " << result.end << ") of " << spec.total();
@@ -624,6 +658,7 @@ int main(int argc, char** argv) {
       std::size_t batch = 1;
       std::size_t threads = 0;
       std::string backend;
+      std::string profile_spec;
       std::size_t i = 3;
       if (i < args.size() && args[i][0] != '-') ms = std::stol(args[i++]);
       while (i < args.size()) {
@@ -641,13 +676,17 @@ int main(int argc, char** argv) {
         } else if (args[i].rfind("--backend=", 0) == 0) {
           backend = args[i].substr(10);
           if (backend != "interpreter" && backend != "native") return usage();
+        } else if (args[i] == "--profile" && i + 1 < args.size()) {
+          profile_spec = args[++i];
+        } else if (args[i].rfind("--profile=", 0) == 0) {
+          profile_spec = args[i].substr(10);
         } else {
           return usage();
         }
         ++i;
       }
       return cmd_simulate_tutmac(args[2], ms, faults_path, seed, batch,
-                                 threads, backend);
+                                 threads, backend, profile_spec);
     }
     if (cmd == "campaign" && args.size() >= 3 && args[1] == "merge") {
       return cmd_campaign_merge(
@@ -656,6 +695,7 @@ int main(int argc, char** argv) {
     if (cmd == "campaign" && args.size() >= 3 && args[1] == "tutmac") {
       sim::CampaignOptions options;
       std::string backend;
+      std::string profile_spec;
       for (std::size_t i = 3; i < args.size(); ++i) {
         if (args[i] == "--backend" && i + 1 < args.size()) {
           backend = args[++i];
@@ -663,6 +703,10 @@ int main(int argc, char** argv) {
         } else if (args[i].rfind("--backend=", 0) == 0) {
           backend = args[i].substr(10);
           if (backend != "interpreter" && backend != "native") return usage();
+        } else if (args[i] == "--profile" && i + 1 < args.size()) {
+          profile_spec = args[++i];
+        } else if (args[i].rfind("--profile=", 0) == 0) {
+          profile_spec = args[i].substr(10);
         } else if (args[i] == "--threads" && i + 1 < args.size()) {
           options.threads = static_cast<std::size_t>(std::stoul(args[++i]));
         } else if (args[i] == "--shard" && i + 1 < args.size()) {
@@ -683,7 +727,7 @@ int main(int argc, char** argv) {
           return usage();
         }
       }
-      return cmd_campaign_tutmac(args[2], options, backend);
+      return cmd_campaign_tutmac(args[2], options, backend, profile_spec);
     }
     if (cmd == "roundtrip" && args.size() == 2) {
       std::cout << uml::to_xml_string(*load_model(args[1]));
