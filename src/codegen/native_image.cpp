@@ -7,7 +7,10 @@
 // compiler command, so a model, flag or compiler change recompiles while
 // repeated runs (and parallel test processes) reuse the .so. Compilation
 // writes to a pid-suffixed temp file and renames into place, making
-// concurrent builders race-safe. The loaded library carries its own hash
+// concurrent builders race-safe; within one process a per-key single-flight
+// gate additionally serializes same-hash builds, so exactly one thread pays
+// the compiler shell-out and the rest wait for its rename and take the
+// cache hit. The loaded library carries its own hash
 // (tut_native_v1_hash, appended after hashing to break the circularity) and
 // ABI version, both checked at load.
 
@@ -18,6 +21,9 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -59,6 +65,27 @@ bool command_works(const std::string& cxx) {
   if (cxx.empty()) return false;
   const std::string cmd = cxx + " --version > /dev/null 2>&1";
   return std::system(cmd.c_str()) == 0;
+}
+
+// Single-flight gate per content hash: two concurrent builds of the same
+// key used to race to compile the same object (safe through the pid-tmp +
+// rename dance, but each racer paid a full compiler shell-out). One mutex
+// per key serializes the exists-check/compile/rename window, so the first
+// builder compiles and every concurrent peer waits, then takes the cache
+// hit. Keyed by hash only — the hash already covers source, flags, compiler
+// and thereby the cache-relevant identity (distinct cache_dirs of the same
+// key share a gate, which costs a little concurrency, never correctness).
+std::shared_ptr<std::mutex> build_gate(std::uint64_t key) {
+  static std::mutex gates_mu;
+  static std::map<std::uint64_t, std::weak_ptr<std::mutex>> gates;
+  const std::lock_guard<std::mutex> lock(gates_mu);
+  std::weak_ptr<std::mutex>& slot = gates[key];
+  std::shared_ptr<std::mutex> gate = slot.lock();
+  if (gate == nullptr) {
+    gate = std::make_shared<std::mutex>();
+    slot = gate;
+  }
+  return gate;
 }
 
 std::string default_cache_dir() {
@@ -197,6 +224,8 @@ std::shared_ptr<const NativeImage> NativeImage::build(
   const fs::path so = dir / (key + ".so");
   const fs::path err = dir / (key + ".err");
 
+  const std::shared_ptr<std::mutex> gate = build_gate(image->hash_);
+  const std::lock_guard<std::mutex> build_lock(*gate);
   if (opt.force_rebuild || !fs::exists(so)) {
     // The emitted TU hashes without the hash export (circular otherwise);
     // append it now so the loaded library can prove its identity.

@@ -1220,6 +1220,10 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   return result;
 }
 
+std::uint64_t part_file_bytes(std::uint64_t scenarios) noexcept {
+  return kPartHeaderSize + scenarios * kSummarySize;
+}
+
 CampaignResult merge_campaign_parts(const std::vector<std::string>& paths) {
   struct Part {
     std::uint64_t first = 0;

@@ -327,6 +327,11 @@ class CampaignRunner {
   Setup setup_;
 };
 
+/// Exact size in bytes of a shard part file covering `scenarios` summaries
+/// (tutpart3 header + one fixed-size record each) — the `tut campaign
+/// --dry-run` preflight quotes it before anything runs.
+std::uint64_t part_file_bytes(std::uint64_t scenarios) noexcept;
+
 /// Merges shard part files covering [0, total) into the aggregate a
 /// single-process run of the same campaign produces — byte-identical,
 /// because the summaries replay through the same in-order reduction. Throws

@@ -27,6 +27,7 @@ ResourceProfile ResourceProfile::constrained() {
   p.keep_log_bytes = 1u << 20;     // 1 MiB retained log per scenario
   p.concurrency = 2;
   p.reorder_depth = 4;
+  p.cache_bytes = 16u << 20;       // 16 MiB of cached compiled models
   return p;
 }
 
@@ -39,6 +40,7 @@ ResourceProfile ResourceProfile::balanced() {
   p.keep_log_bytes = 16u << 20;
   p.concurrency = 8;
   p.reorder_depth = 32;
+  p.cache_bytes = 256u << 20;
   return p;
 }
 
@@ -51,6 +53,7 @@ ResourceProfile ResourceProfile::server() {
   p.keep_log_bytes = 256u << 20;
   p.concurrency = 0;  // hardware-sized
   p.reorder_depth = 256;
+  p.cache_bytes = 1u << 30;
   return p;
 }
 
@@ -128,11 +131,13 @@ ResourceProfile ResourceProfile::from_xml_text(std::string_view text) {
       p.concurrency = v;
     } else if (*cname == "reorderDepth") {
       p.reorder_depth = v;
+    } else if (*cname == "cacheBytes") {
+      p.cache_bytes = v;
     } else {
       profile_error("profile.cap.unknown",
                     "unknown cap '" + std::string(*cname) +
                         "' (logRecords, eventQueue, arenaBytes, keepLogBytes, "
-                        "concurrency, reorderDepth)");
+                        "concurrency, reorderDepth, cacheBytes)");
     }
   }
   return p;
@@ -162,6 +167,7 @@ std::string ResourceProfile::to_text() const {
   append_cap(out, ", keepLogs ", keep_log_bytes, " bytes");
   append_cap(out, ", concurrency ", concurrency, "");
   append_cap(out, ", reorder ", reorder_depth, "");
+  append_cap(out, ", cache ", cache_bytes, " bytes");
   if (!log_spill_path.empty()) out += ", spill " + log_spill_path;
   out += ")";
   return out;

@@ -105,6 +105,12 @@ struct ResourceProfile {
   /// many scenarios ahead of the in-order commit frontier, bounding the
   /// out-of-order summary buffer at `reorder_depth` entries.
   std::uint64_t reorder_depth = 0;
+  /// serve::ModelCache byte ceiling for the `tut serve` daemon: total
+  /// estimated bytes of cached compiled-model entries (parsed model + lowered
+  /// tables + behaviour image). Exceeding it evicts least-recently-used
+  /// entries — a capacity decision, never a semantic one: an evicted model is
+  /// rebuilt from its XML to a byte-identical image on the next request.
+  std::uint64_t cache_bytes = 0;
 
   /// True when any Simulation-level cap is set (log ring, spill, queue) —
   /// the runners stamp the profile into scenario configs only then, so a

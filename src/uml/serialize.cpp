@@ -643,10 +643,11 @@ std::unique_ptr<Model> from_xml(const xml::Document& doc) {
   return ModelIO::read(doc);
 }
 
-std::unique_ptr<Model> from_xml_text(std::string_view text) {
+std::unique_ptr<Model> from_xml_text(std::string_view text,
+                                     std::size_t arena_limit) {
   // The tree's views alias `text`; both stay alive for the whole read, and
   // the Model copies everything it keeps.
-  const xml::Tree tree = xml::Tree::parse(text);
+  const xml::Tree tree = xml::Tree::parse(text, arena_limit);
   return ModelIO::read(tree);
 }
 

@@ -29,7 +29,12 @@ std::unique_ptr<Model> from_xml(const xml::Document& doc);
 /// Hot path: parses via the zero-copy pull cursor into an arena-backed
 /// xml::Tree and reads the model from its string_view nodes. `text` only
 /// needs to outlive the call — the Model copies everything it keeps.
-std::unique_ptr<Model> from_xml_text(std::string_view text);
+/// `arena_limit` caps the parse arena in bytes (0 = unbounded; e.g. a
+/// sim::ResourceProfile's arena_bytes for server-ingested models); a
+/// document that overflows it throws xml::ArenaLimitError tagged
+/// [envelope.arena.exhausted].
+std::unique_ptr<Model> from_xml_text(std::string_view text,
+                                     std::size_t arena_limit = 0);
 std::unique_ptr<Model> from_xml_string(const std::string& text);
 
 }  // namespace tut::uml

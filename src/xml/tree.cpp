@@ -18,8 +18,9 @@ std::string_view trim(std::string_view s) noexcept {
 
 }  // namespace
 
-Tree Tree::parse(std::string_view text) {
+Tree Tree::parse(std::string_view text, std::size_t arena_limit) {
   Tree tree;
+  tree.arena_.set_limit(arena_limit);
   Cursor cur(text, tree.arena_);
 
   struct Frame {

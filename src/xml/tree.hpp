@@ -138,7 +138,10 @@ class Tree {
 public:
   /// Parses `text` into an arena-backed tree. Views in the tree alias
   /// `text` — the buffer must outlive the Tree. Throws ParseError.
-  static Tree parse(std::string_view text);
+  /// `arena_limit` caps the tree arena's reserved bytes (0 = unbounded); a
+  /// document that overflows it throws ArenaLimitError tagged
+  /// [envelope.arena.exhausted], exactly like the cursor-level parsers.
+  static Tree parse(std::string_view text, std::size_t arena_limit = 0);
 
   Tree(Tree&&) noexcept = default;
   Tree& operator=(Tree&&) noexcept = default;

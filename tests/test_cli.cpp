@@ -175,6 +175,31 @@ TEST_F(CliFlow, LintBaselineRoundTripSuppresses) {
   EXPECT_NE(r.output.find("baseline-suppressed"), std::string::npos);
 }
 
+TEST(CliCampaign, DryRunPrintsPlanWithoutRunning) {
+  const fs::path xml =
+      fs::temp_directory_path() /
+      ("tut_cli_campaign_" + std::to_string(getpid()) + ".xml");
+  std::ofstream(xml) << "<tut:campaign name=\"dry\" seed=\"7\" "
+                        "horizon=\"2000000\">\n"
+                        "  <axis name=\"seed\" count=\"4\"/>\n"
+                        "  <axis name=\"slotPeriod\" values=\"50000 "
+                        "100000\"/>\n"
+                        "</tut:campaign>\n";
+  const CliResult r =
+      run_cli("campaign tutmac " + xml.string() + " --dry-run");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("campaign 'dry' (dry run)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("scenarios:   8"), std::string::npos);
+  EXPECT_NE(r.output.find("axis:        slotPeriod (2 values)"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("fingerprint: "), std::string::npos);
+  EXPECT_NE(r.output.find("part file:   "), std::string::npos);
+  // Dry means dry: no aggregate block, no samples, no simulation output.
+  EXPECT_EQ(r.output.find("aggregate"), std::string::npos);
+  fs::remove(xml);
+}
+
 TEST(CliErrors, UsageAndMissingFiles) {
   EXPECT_EQ(run_cli("lint /nonexistent/model.xml").exit_code, 1);
   const CliResult rules = run_cli("lint --rules");

@@ -135,6 +135,22 @@ TEST(ResourceProfile, NamedClassesResolveAndUnknownIsTagged) {
   }
 }
 
+TEST(ResourceProfile, CacheBytesCapResolvesAndParses) {
+  // The serve daemon's model-cache ceiling is a first-class cap: every
+  // class carries one, and XML envelopes may override it by name.
+  EXPECT_EQ(ResourceProfile::unbounded().cache_bytes, 0u);
+  EXPECT_EQ(ResourceProfile::constrained().cache_bytes, 16u << 20);
+  EXPECT_EQ(ResourceProfile::balanced().cache_bytes, 256u << 20);
+  EXPECT_EQ(ResourceProfile::server().cache_bytes, 1u << 30);
+
+  const ResourceProfile p = ResourceProfile::from_xml_text(
+      "<tut:profile class=\"balanced\">\n"
+      "  <cap name=\"cacheBytes\" value=\"131072\"/>\n"
+      "</tut:profile>\n");
+  EXPECT_EQ(p.cache_bytes, 131'072u);
+  EXPECT_NE(p.to_text().find("cache 131072 bytes"), std::string::npos);
+}
+
 TEST(ResourceProfile, XmlLoaderSeedsFromClassAndOverridesCaps) {
   const ResourceProfile p = ResourceProfile::from_xml_text(
       "<tut:profile class=\"constrained\" spill=\"ring.spill\">\n"

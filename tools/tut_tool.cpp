@@ -48,8 +48,23 @@
 //                                             kills; --samples writes the
 //                                             part file `campaign merge`
 //                                             consumes
+//   tut campaign  tutmac <campaign.xml> --dry-run
+//                                             preflight: scenario count, axes,
+//                                             fingerprint and part-file size —
+//                                             nothing is built or run
 //   tut campaign  merge <part>...             merge shard part files into the
 //                                             single-process aggregate
+//   tut serve     [--port N] [--profile CLASS|profile.xml] [--threads K]
+//                                             persistent simulation daemon with
+//                                             a content-hash compiled-model
+//                                             cache; prints "tut-serve: ready
+//                                             port=N" once accepting
+//   tut client    --port N <simulate tutmac|lint|campaign tutmac|stats|evict|
+//                 shutdown> ...               thin client: same flags as the
+//                                             single-shot commands, but the
+//                                             daemon reuses cached images, so
+//                                             warm requests skip the whole
+//                                             parse/lower/compile pipeline
 //   tut roundtrip <model.xml>                 canonicalized XML on stdout
 #include <algorithm>
 #include <filesystem>
@@ -67,6 +82,8 @@
 #include "efsm/program.hpp"
 #include "profile/tut_profile.hpp"
 #include "profiler/profiler.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "sim/batch.hpp"
 #include "sim/campaign.hpp"
 #include "sim/resource.hpp"
@@ -98,7 +115,15 @@ int usage() {
       " [--backend interpreter|native] [--profile CLASS|profile.xml]\n"
       "            (profile classes: unbounded, constrained, balanced,"
       " server)\n"
+      "  campaign  tutmac <campaign.xml> --dry-run\n"
       "  campaign  merge <part>...\n"
+      "  serve     [--port N] [--profile CLASS|profile.xml] [--threads K]\n"
+      "  client    --port N simulate tutmac <outdir> [horizon_ms]"
+      " [--faults plan.xml] [--seed N] [--backend interpreter|native]\n"
+      "  client    --port N lint <model.xml> [--json] [--Werror]\n"
+      "  client    --port N campaign tutmac <campaign.xml> [--threads K]"
+      " [--backend interpreter|native]\n"
+      "  client    --port N stats | evict [key-hex] | shutdown\n"
       "  roundtrip <model.xml>\n";
   return 2;
 }
@@ -463,6 +488,16 @@ int cmd_simulate_tutmac(const std::string& outdir, long horizon_ms,
   return 0;
 }
 
+/// Resolves a campaign mapping-axis name to the tutmac design alternative.
+tutmac::MappingChoice tutmac_mapping_choice(const std::string& name) {
+  if (name == "paper") return tutmac::MappingChoice::Paper;
+  if (name == "loadBalanced") return tutmac::MappingChoice::LoadBalanced;
+  if (name == "singlePe") return tutmac::MappingChoice::SinglePe;
+  throw std::invalid_argument(
+      "campaign: [campaign.ref.unknown] unknown tutmac mapping '" + name +
+      "' (paper, loadBalanced, singlePe)");
+}
+
 int print_campaign_result(const sim::CampaignResult& result) {
   std::cout << result.aggregate.to_text();
   if (!result.completed) {
@@ -504,17 +539,7 @@ int cmd_campaign_tutmac(const std::string& campaign_path,
   std::vector<std::shared_ptr<const sim::CompiledModel>> images;
   for (const std::string& name : mapping_names) {
     tutmac::Options opt;
-    if (name == "paper") {
-      opt.mapping = tutmac::MappingChoice::Paper;
-    } else if (name == "loadBalanced") {
-      opt.mapping = tutmac::MappingChoice::LoadBalanced;
-    } else if (name == "singlePe") {
-      opt.mapping = tutmac::MappingChoice::SinglePe;
-    } else {
-      throw std::invalid_argument(
-          "campaign: [campaign.ref.unknown] unknown tutmac mapping '" + name +
-          "' (paper, loadBalanced, singlePe)");
-    }
+    opt.mapping = tutmac_mapping_choice(name);
     systems.push_back(tutmac::build(opt));
     mapping::SystemView view(*systems.back().model);
     images.push_back(sim::CompiledModel::build(view));
@@ -592,6 +617,244 @@ int cmd_campaign_merge(const std::vector<std::string>& parts) {
   std::cout << "merged " << parts.size() << " part file(s): scenarios [0, "
             << result.end << ")\n";
   return print_campaign_result(result);
+}
+
+/// `tut campaign tutmac <xml> --dry-run` — the preflight: parse + validate
+/// the sweep and quote its cost (scenario count, axes, fingerprint, exact
+/// part-file size) without building a system or running anything.
+int cmd_campaign_dry_run(const std::string& campaign_path,
+                         const std::string& profile_spec) {
+  const sim::ResourceProfile profile = resolve_profile(profile_spec);
+  const std::filesystem::path base =
+      std::filesystem::path(campaign_path).parent_path();
+  const auto spec = sim::CampaignSpec::from_xml_text(
+      read_file(campaign_path),
+      [&base](const std::string& file) {
+        const std::filesystem::path p(file);
+        return read_file(p.is_absolute() ? file : (base / p).string());
+      },
+      static_cast<std::size_t>(profile.arena_bytes));
+  const std::vector<std::string> defects = spec.validate();
+  for (const std::string& d : defects) std::cout << "error: " << d << '\n';
+  if (!defects.empty()) return 1;
+
+  const std::uint64_t total = spec.total();
+  std::cout << "campaign '" << spec.name << "' (dry run)\n"
+            << "mode:        "
+            << (spec.mode == sim::CampaignSpec::Mode::Cartesian ? "cartesian"
+                                                                : "zip")
+            << ", seed " << spec.base_seed << ", horizon "
+            << spec.base.horizon << " ticks\n"
+            << "scenarios:   " << total << '\n';
+  for (const sim::CampaignAxis& axis : spec.axes) {
+    std::cout << "axis:        " << axis.name << " (" << axis.values.size()
+              << " values)\n";
+  }
+  if (!spec.mapping_names.empty()) {
+    std::cout << "mappings:    ";
+    for (std::size_t i = 0; i < spec.mapping_names.size(); ++i) {
+      std::cout << (i != 0 ? ", " : "") << spec.mapping_names[i];
+    }
+    std::cout << '\n';
+  }
+  if (spec.plans.size() > 1) {
+    std::cout << "plans:       ";
+    for (std::size_t i = 0; i < spec.plans.size(); ++i) {
+      std::cout << (i != 0 ? ", " : "") << spec.plans[i].first;
+    }
+    std::cout << '\n';
+  }
+  char line[96];
+  std::snprintf(line, sizeof line, "fingerprint: %016llx\n",
+                static_cast<unsigned long long>(spec.fingerprint()));
+  std::cout << line;
+  std::cout << "part file:   " << sim::part_file_bytes(total)
+            << " bytes with --samples (" << sim::part_file_bytes(1) -
+            sim::part_file_bytes(0) << " per scenario)\n";
+  return 0;
+}
+
+/// The three periodic environment streams of the TUTMAC case study as wire
+/// workload entries. The server replays tutmac::System::inject_workload's
+/// arithmetic from these, so served runs are byte-identical to local ones;
+/// the param names let campaign axes override the periods per scenario.
+std::vector<serve::WorkloadEntry> tutmac_workload(const tutmac::System& sys) {
+  const tutmac::Options& o = sys.options;
+  std::vector<serve::WorkloadEntry> w(3);
+  w[0].port = "pphy";
+  w[0].signal = sys.radio_slot->name();
+  w[0].param = "slotPeriod";
+  w[0].period = o.slot_period;
+  w[1].port = "pphy";
+  w[1].signal = sys.rx_frame->name();
+  w[1].param = "rxPeriod";
+  w[1].period = o.rx_period;
+  w[1].first_offset = 7'777;
+  w[1].args = {256};
+  w[2].port = "puser";
+  w[2].signal = sys.user_msdu->name();
+  w[2].param = "msduPeriod";
+  w[2].period = o.msdu_period;
+  w[2].first_offset = 3'333;
+  w[2].args = {512};
+  return w;
+}
+
+int cmd_serve(std::uint16_t port, const std::string& profile_spec,
+              std::size_t threads) {
+  // A daemon defaults to the server envelope (1 GiB cache ceiling) rather
+  // than unbounded: it is long-lived by design.
+  const sim::ResourceProfile profile =
+      resolve_profile(profile_spec.empty() ? "server" : profile_spec);
+  serve::Engine engine(profile);
+  serve::Server server(engine, port, threads);
+  // The ready line is machine-parsed (CI, scripts): keep the shape stable
+  // and flush before blocking in the accept loop.
+  std::cout << "tut-serve: ready port=" << server.port() << " profile="
+            << profile.name << " workers=" << server.threads() << std::endl;
+  server.run();
+  const serve::CacheStats stats = engine.cache().stats();
+  std::cout << "tut-serve: stopped (" << stats.hits << " hits, "
+            << stats.misses << " misses, " << stats.evictions
+            << " evictions)\n";
+  return 0;
+}
+
+int cmd_client_simulate_tutmac(std::uint16_t port, const std::string& outdir,
+                               long horizon_ms, const std::string& faults_path,
+                               long seed, const std::string& backend) {
+  tutmac::Options opt;
+  opt.horizon = static_cast<sim::Time>(horizon_ms) * 1'000'000;
+  const tutmac::System sys = tutmac::build(opt);
+
+  serve::SimulateRequest q;
+  q.model_xml = uml::to_xml_string(*sys.model);
+  q.backend = backend == "native" ? serve::BackendChoice::Native
+                                  : serve::BackendChoice::Interpreter;
+  q.horizon = opt.horizon;
+  if (!faults_path.empty()) q.faults_xml = read_file(faults_path);
+  if (seed >= 0) {
+    q.has_seed = true;
+    q.seed = static_cast<std::uint64_t>(seed);
+  }
+  q.want_log = true;
+  q.workload = tutmac_workload(sys);
+
+  serve::Client client("127.0.0.1", port);
+  const std::string body = client.call(q.encode());
+  serve::wire::Reader r(body);
+  const serve::SimulateResponse p = serve::SimulateResponse::decode(r);
+
+  std::cout << "cache: " << (p.warm ? "warm" : "cold") << '\n'
+            << "backend: " << p.backend_name;
+  if (p.image_hash != 0) {
+    char hex[32];
+    std::snprintf(hex, sizeof hex, " (image %016llx)",
+                  static_cast<unsigned long long>(p.image_hash));
+    std::cout << hex;
+  }
+  std::cout << '\n';
+
+  std::filesystem::create_directories(outdir);
+  {
+    std::ofstream out(outdir + "/model.xml");
+    out << q.model_xml;
+  }
+  {
+    std::ofstream out(outdir + "/sim.log");
+    out << p.log_text;
+  }
+  char digest[32];
+  std::snprintf(digest, sizeof digest, "%016llx",
+                static_cast<unsigned long long>(p.digest));
+  std::cout << "simulated " << horizon_ms << " ms (" << p.events
+            << " events, " << p.records << " records, digest " << digest
+            << ")\nwrote " << outdir << "/model.xml and " << outdir
+            << "/sim.log\n";
+  return 0;
+}
+
+int cmd_client_lint(std::uint16_t port, const std::string& model_path,
+                    bool json, bool werror) {
+  serve::LintRequest q;
+  q.model_xml = read_file(model_path);
+  q.json = json;
+  q.werror = werror;
+  serve::Client client("127.0.0.1", port);
+  const std::string body = client.call(q.encode());
+  serve::wire::Reader r(body);
+  const serve::LintResponse p = serve::LintResponse::decode(r);
+  std::cerr << "cache: " << (p.warm ? "warm" : "cold") << '\n';
+  std::cout << p.text;
+  return p.ok ? 0 : 1;
+}
+
+int cmd_client_campaign_tutmac(std::uint16_t port,
+                               const std::string& campaign_path,
+                               std::uint32_t threads,
+                               const std::string& backend) {
+  serve::CampaignRequest q;
+  q.campaign_xml = read_file(campaign_path);
+  q.backend = backend == "native" ? serve::BackendChoice::Native
+                                  : serve::BackendChoice::Interpreter;
+  q.threads = threads;
+
+  // Parse the sweep locally once: to learn which mapping images to ship and
+  // to inline every referenced fault-plan file (the daemon never touches
+  // client disks).
+  const std::filesystem::path base =
+      std::filesystem::path(campaign_path).parent_path();
+  const auto spec = sim::CampaignSpec::from_xml_text(
+      q.campaign_xml, [&base, &q](const std::string& file) {
+        const std::filesystem::path p(file);
+        std::string content =
+            read_file(p.is_absolute() ? file : (base / p).string());
+        q.files.emplace_back(file, content);
+        return content;
+      });
+
+  std::vector<std::string> mapping_names = spec.mapping_names;
+  if (mapping_names.empty()) mapping_names.push_back("paper");
+  for (const std::string& name : mapping_names) {
+    tutmac::Options opt;
+    opt.mapping = tutmac_mapping_choice(name);
+    const tutmac::System sys = tutmac::build(opt);
+    q.images.emplace_back(name, uml::to_xml_string(*sys.model));
+    if (q.workload.empty()) q.workload = tutmac_workload(sys);
+  }
+
+  serve::Client client("127.0.0.1", port);
+  const std::string body = client.call(q.encode());
+  serve::wire::Reader r(body);
+  const serve::CampaignResponse p = serve::CampaignResponse::decode(r);
+  std::cout << "cache: " << p.warm_images << "/" << q.images.size()
+            << " images warm\nbackend: " << p.backend_name << '\n'
+            << p.text;
+  return p.completed ? 0 : 1;
+}
+
+int cmd_client_admin(std::uint16_t port, const std::string& what,
+                     bool evict_all, std::uint64_t evict_key) {
+  serve::Client client("127.0.0.1", port);
+  if (what == "stats") {
+    const std::string body = client.call(serve::encode_stats_request());
+    serve::wire::Reader r(body);
+    std::cout << serve::StatsResponse::decode(r).to_text();
+    return 0;
+  }
+  if (what == "evict") {
+    serve::EvictRequest q;
+    q.all = evict_all;
+    q.key = evict_key;
+    const std::string body = client.call(q.encode());
+    serve::wire::Reader r(body);
+    std::cout << serve::EvictResponse::decode(r).to_text();
+    return 0;
+  }
+  const std::string body = client.call(serve::encode_shutdown_request());
+  serve::wire::Reader r(body);
+  std::cout << serve::ShutdownResponse::decode(r).to_text();
+  return 0;
 }
 
 }  // namespace
@@ -696,6 +959,7 @@ int main(int argc, char** argv) {
       sim::CampaignOptions options;
       std::string backend;
       std::string profile_spec;
+      bool dry_run = false;
       for (std::size_t i = 3; i < args.size(); ++i) {
         if (args[i] == "--backend" && i + 1 < args.size()) {
           backend = args[++i];
@@ -723,11 +987,117 @@ int main(int argc, char** argv) {
           options.resume = true;
         } else if (args[i] == "--samples" && i + 1 < args.size()) {
           options.samples_path = args[++i];
+        } else if (args[i] == "--dry-run") {
+          dry_run = true;
         } else {
           return usage();
         }
       }
+      if (dry_run) return cmd_campaign_dry_run(args[2], profile_spec);
       return cmd_campaign_tutmac(args[2], options, backend, profile_spec);
+    }
+    if (cmd == "serve") {
+      std::uint16_t port = 0;
+      std::string profile_spec;
+      std::size_t threads = 0;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--port" && i + 1 < args.size()) {
+          port = static_cast<std::uint16_t>(std::stoul(args[++i]));
+        } else if (args[i].rfind("--port=", 0) == 0) {
+          port = static_cast<std::uint16_t>(std::stoul(args[i].substr(7)));
+        } else if (args[i] == "--profile" && i + 1 < args.size()) {
+          profile_spec = args[++i];
+        } else if (args[i].rfind("--profile=", 0) == 0) {
+          profile_spec = args[i].substr(10);
+        } else if (args[i] == "--threads" && i + 1 < args.size()) {
+          threads = static_cast<std::size_t>(std::stoul(args[++i]));
+        } else {
+          return usage();
+        }
+      }
+      return cmd_serve(port, profile_spec, threads);
+    }
+    if (cmd == "client" && args.size() >= 2) {
+      // --port is accepted anywhere in the argument list; everything else
+      // keeps the single-shot commands' positional shape and flags.
+      std::uint16_t port = 0;
+      std::vector<std::string> rest;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--port" && i + 1 < args.size()) {
+          port = static_cast<std::uint16_t>(std::stoul(args[++i]));
+        } else if (args[i].rfind("--port=", 0) == 0) {
+          port = static_cast<std::uint16_t>(std::stoul(args[i].substr(7)));
+        } else {
+          rest.push_back(args[i]);
+        }
+      }
+      if (port == 0 || rest.empty()) return usage();
+      const std::string& sub = rest[0];
+      if (sub == "simulate" && rest.size() >= 3 && rest[1] == "tutmac") {
+        long ms = 20;
+        std::string faults_path, backend;
+        long seed = -1;
+        std::size_t i = 3;
+        if (i < rest.size() && rest[i][0] != '-') ms = std::stol(rest[i++]);
+        while (i < rest.size()) {
+          if (rest[i] == "--faults" && i + 1 < rest.size()) {
+            faults_path = rest[++i];
+          } else if (rest[i] == "--seed" && i + 1 < rest.size()) {
+            seed = std::stol(rest[++i]);
+          } else if (rest[i] == "--backend" && i + 1 < rest.size()) {
+            backend = rest[++i];
+          } else if (rest[i].rfind("--backend=", 0) == 0) {
+            backend = rest[i].substr(10);
+          } else {
+            return usage();
+          }
+          ++i;
+        }
+        return cmd_client_simulate_tutmac(port, rest[2], ms, faults_path,
+                                          seed, backend);
+      }
+      if (sub == "lint" && rest.size() >= 2) {
+        bool json = false, werror = false;
+        for (std::size_t i = 2; i < rest.size(); ++i) {
+          if (rest[i] == "--json") {
+            json = true;
+          } else if (rest[i] == "--Werror") {
+            werror = true;
+          } else {
+            return usage();
+          }
+        }
+        return cmd_client_lint(port, rest[1], json, werror);
+      }
+      if (sub == "campaign" && rest.size() >= 3 && rest[1] == "tutmac") {
+        std::uint32_t threads = 0;
+        std::string backend;
+        for (std::size_t i = 3; i < rest.size(); ++i) {
+          if (rest[i] == "--threads" && i + 1 < rest.size()) {
+            threads = static_cast<std::uint32_t>(std::stoul(rest[++i]));
+          } else if (rest[i] == "--backend" && i + 1 < rest.size()) {
+            backend = rest[++i];
+          } else if (rest[i].rfind("--backend=", 0) == 0) {
+            backend = rest[i].substr(10);
+          } else {
+            return usage();
+          }
+        }
+        return cmd_client_campaign_tutmac(port, rest[2], threads, backend);
+      }
+      if (sub == "stats" && rest.size() == 1) {
+        return cmd_client_admin(port, "stats", false, 0);
+      }
+      if (sub == "evict" && rest.size() <= 2) {
+        const bool all = rest.size() == 1;
+        const std::uint64_t key =
+            all ? 0 : std::stoull(rest[1], nullptr, 16);
+        return cmd_client_admin(port, "evict", all, key);
+      }
+      if (sub == "shutdown" && rest.size() == 1) {
+        return cmd_client_admin(port, "shutdown", false, 0);
+      }
+      return usage();
     }
     if (cmd == "roundtrip" && args.size() == 2) {
       std::cout << uml::to_xml_string(*load_model(args[1]));
