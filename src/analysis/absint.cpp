@@ -1,0 +1,829 @@
+// Abstract interpretation over EFSM bytecode: the interval domain, abstract
+// program execution, the per-machine fixpoint, and the distilled fact table
+// the native code generator consumes. See absint.hpp for the domain and the
+// execution-order contract with CompiledInstance::deliver.
+//
+// The domain is the mathematical-integer interval lattice saturated at the
+// long sentinels: arithmetic on widened (sentinel) bounds keeps the finite
+// side exact instead of collapsing to top. Facts are therefore proofs about
+// overflow-free executions — the only ones the interpreter defines at all
+// (signed overflow is UB there, and efsm.var.overflow.possible flags every
+// site where finite ranges can leave the representable range).
+#include "analysis/absint.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+namespace tut::analysis::absint {
+
+namespace {
+
+using efsm::CompiledMachine;
+using efsm::Program;
+
+constexpr __int128 kInf128 = static_cast<__int128>(1) << 100;
+
+__int128 xlo(Interval a) {
+  return a.lo == Interval::kMin ? -kInf128 : static_cast<__int128>(a.lo);
+}
+__int128 xhi(Interval a) {
+  return a.hi == Interval::kMax ? kInf128 : static_cast<__int128>(a.hi);
+}
+bool inf128(__int128 v) { return v <= -kInf128 || v >= kInf128; }
+
+long sat(__int128 v) {
+  if (v <= static_cast<__int128>(Interval::kMin)) return Interval::kMin;
+  if (v >= static_cast<__int128>(Interval::kMax)) return Interval::kMax;
+  return static_cast<long>(v);
+}
+
+Interval from128(__int128 lo, __int128 hi) { return {sat(lo), sat(hi)}; }
+
+/// A bound usable for a *definite* comparison verdict: sentinel bounds mean
+/// "precision lost toward that extreme", never a provable extreme value.
+bool usable(long bound) {
+  return bound != Interval::kMin && bound != Interval::kMax;
+}
+
+}  // namespace
+
+Interval join(Interval a, Interval b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval meet(Interval a, Interval b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  const Interval m{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  return m.is_empty() ? Interval::empty() : m;
+}
+
+Interval widen(Interval prev, Interval next) {
+  if (prev.is_empty()) return next;
+  if (next.is_empty()) return prev;
+  return {next.lo < prev.lo ? Interval::kMin : prev.lo,
+          next.hi > prev.hi ? Interval::kMax : prev.hi};
+}
+
+Interval exclude_zero(Interval a) {
+  if (a.is_empty() || !a.contains(0)) return a;
+  if (a.lo == 0 && a.hi == 0) return Interval::empty();
+  if (a.lo == 0) return {1, a.hi};
+  if (a.hi == 0) return {a.lo, -1};
+  return a;  // interior zero: not representable as one interval
+}
+
+Interval abs_neg(Interval a) {
+  if (a.is_empty()) return a;
+  return from128(-xhi(a), -xlo(a));
+}
+
+Interval abs_add(Interval a, Interval b, bool* overflow) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  if (overflow != nullptr && a.is_finite() && b.is_finite()) {
+    const __int128 lo = static_cast<__int128>(a.lo) + b.lo;
+    const __int128 hi = static_cast<__int128>(a.hi) + b.hi;
+    if (lo < Interval::kMin || hi > Interval::kMax) *overflow = true;
+  }
+  return from128(xlo(a) + xlo(b), xhi(a) + xhi(b));
+}
+
+Interval abs_sub(Interval a, Interval b, bool* overflow) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  if (overflow != nullptr && a.is_finite() && b.is_finite()) {
+    const __int128 lo = static_cast<__int128>(a.lo) - b.hi;
+    const __int128 hi = static_cast<__int128>(a.hi) - b.lo;
+    if (lo < Interval::kMin || hi > Interval::kMax) *overflow = true;
+  }
+  return from128(xlo(a) - xhi(b), xhi(a) - xlo(b));
+}
+
+Interval abs_mul(Interval a, Interval b, bool* overflow) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  const auto prod = [](__int128 x, __int128 y) -> __int128 {
+    if (x == 0 || y == 0) return 0;
+    if (inf128(x) || inf128(y)) return ((x > 0) == (y > 0)) ? kInf128 : -kInf128;
+    return x * y;
+  };
+  __int128 lo = kInf128 * 2;
+  __int128 hi = -kInf128 * 2;
+  for (const __int128 x : {xlo(a), xhi(a)}) {
+    for (const __int128 y : {xlo(b), xhi(b)}) {
+      const __int128 p = prod(x, y);
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+  }
+  if (overflow != nullptr && a.is_finite() && b.is_finite() &&
+      (lo < Interval::kMin || hi > Interval::kMax)) {
+    *overflow = true;
+  }
+  return from128(lo, hi);
+}
+
+Interval abs_div(Interval a, Interval b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  Interval res = Interval::empty();
+  // Quotient endpoints over one constant-sign divisor part: a/b is monotone
+  // in the dividend and piecewise monotone in the divisor, so the extremes
+  // sit on endpoint combinations.
+  const auto part = [&res, a](Interval d) {
+    if (d.is_empty()) return;
+    __int128 lo = kInf128 * 2;
+    __int128 hi = -kInf128 * 2;
+    for (const __int128 x : {xlo(a), xhi(a)}) {
+      for (const __int128 y : {xlo(d), xhi(d)}) {
+        __int128 q;
+        if (inf128(x)) {
+          q = ((x > 0) == (y > 0)) ? kInf128 : -kInf128;
+        } else if (inf128(y)) {
+          q = 0;  // finite / huge truncates to 0
+        } else {
+          q = x / y;
+        }
+        lo = std::min(lo, q);
+        hi = std::max(hi, q);
+      }
+    }
+    res = join(res, from128(lo, hi));
+  };
+  part({b.lo, std::min(b.hi, -1L)});  // negative divisors
+  part({std::max(b.lo, 1L), b.hi});   // positive divisors
+  return res;  // empty iff b was [0, 0] (runtime ChkDiv throws first)
+}
+
+Interval abs_mod(Interval a, Interval b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  const Interval neg{b.lo, std::min(b.hi, -1L)};
+  const Interval pos{std::max(b.lo, 1L), b.hi};
+  if (neg.is_empty() && pos.is_empty()) return Interval::empty();
+  __int128 min_abs = kInf128;
+  __int128 max_abs = 0;
+  if (!neg.is_empty()) {
+    min_abs = std::min(min_abs, -xhi(neg));
+    max_abs = std::max(max_abs, -xlo(neg));
+  }
+  if (!pos.is_empty()) {
+    min_abs = std::min(min_abs, xlo(pos));
+    max_abs = std::max(max_abs, xhi(pos));
+  }
+  // Dividend provably below every divisor magnitude: a % b == a exactly.
+  if (xlo(a) >= 0 && xhi(a) < min_abs) return a;
+  // Otherwise |r| < max|b| and |r| <= |a|, with the sign following the
+  // dividend (C truncated division).
+  const __int128 bound = max_abs - 1;
+  __int128 lo = 0;
+  __int128 hi = 0;
+  if (xhi(a) > 0) hi = std::min(bound, xhi(a));
+  if (xlo(a) < 0) lo = -std::min(bound, -xlo(a));
+  return from128(lo, hi);
+}
+
+namespace {
+
+Interval abs_cmp(Program::Op op, Interval a, Interval b) {
+  const auto verdict = [](bool definite_true, bool definite_false) {
+    if (definite_true) return Interval::constant(1);
+    if (definite_false) return Interval::constant(0);
+    return Interval::range(0, 1);
+  };
+  const bool lt_true = usable(a.hi) && usable(b.lo) && a.hi < b.lo;
+  const bool le_true = usable(a.hi) && usable(b.lo) && a.hi <= b.lo;
+  const bool gt_true = usable(a.lo) && usable(b.hi) && a.lo > b.hi;
+  const bool ge_true = usable(a.lo) && usable(b.hi) && a.lo >= b.hi;
+  const bool disjoint = lt_true || gt_true;
+  switch (op) {
+    case Program::Op::Lt:
+      return verdict(lt_true, ge_true);
+    case Program::Op::Le:
+      return verdict(le_true, gt_true);
+    case Program::Op::Gt:
+      return verdict(gt_true, le_true);
+    case Program::Op::Ge:
+      return verdict(ge_true, lt_true);
+    case Program::Op::Eq:
+      return verdict(a.is_constant() && b.is_constant() && a.lo == b.lo &&
+                         usable(a.lo) && usable(b.lo),
+                     disjoint);
+    case Program::Op::Ne:
+      return verdict(disjoint, a.is_constant() && b.is_constant() &&
+                                   a.lo == b.lo && usable(a.lo) &&
+                                   usable(b.lo));
+    default:
+      return Interval::range(0, 1);
+  }
+}
+
+Interval abs_truth(Interval a) {  // Bool: a != 0
+  if (a == Interval::constant(0)) return Interval::constant(0);
+  if (!a.contains(0)) return Interval::constant(1);
+  return Interval::range(0, 1);
+}
+
+/// "register truthy <=> slot OP k" — tracked so a Jz can refine the slot's
+/// working interval on each branch (short-circuit guards like
+/// "n != 0 && 10 / n" then prove the division safe). slot < 0 means no
+/// predicate.
+struct Pred {
+  int slot = -1;
+  Program::Op op = Program::Op::Ne;
+  long k = 0;
+
+  bool operator==(const Pred&) const = default;
+};
+
+Program::Op flip_cmp(Program::Op op) {  // k OP slot  ->  slot OP' k
+  switch (op) {
+    case Program::Op::Lt: return Program::Op::Gt;
+    case Program::Op::Le: return Program::Op::Ge;
+    case Program::Op::Gt: return Program::Op::Lt;
+    case Program::Op::Ge: return Program::Op::Le;
+    default: return op;  // Eq / Ne are symmetric
+  }
+}
+
+Program::Op negate_cmp(Program::Op op) {
+  switch (op) {
+    case Program::Op::Lt: return Program::Op::Ge;
+    case Program::Op::Le: return Program::Op::Gt;
+    case Program::Op::Gt: return Program::Op::Le;
+    case Program::Op::Ge: return Program::Op::Lt;
+    case Program::Op::Eq: return Program::Op::Ne;
+    default: return Program::Op::Eq;  // Ne
+  }
+}
+
+/// Clamps `iv` under "value OP k". A meet that would empty the interval is
+/// left alone (the branch is infeasible; keeping the old interval is sound).
+void apply_cmp(Interval& iv, Program::Op op, long k) {
+  Interval c = Interval::top();
+  switch (op) {
+    case Program::Op::Lt: c = from128(-kInf128, static_cast<__int128>(k) - 1); break;
+    case Program::Op::Le: c = Interval::range(Interval::kMin, k); break;
+    case Program::Op::Gt: c = from128(static_cast<__int128>(k) + 1, kInf128); break;
+    case Program::Op::Ge: c = Interval::range(k, Interval::kMax); break;
+    case Program::Op::Eq: c = Interval::constant(k); break;
+    case Program::Op::Ne:
+      if (iv.lo == k && iv.lo < iv.hi) {
+        iv.lo = sat(static_cast<__int128>(k) + 1);
+      } else if (iv.hi == k && iv.lo < iv.hi) {
+        iv.hi = sat(static_cast<__int128>(k) - 1);
+      }
+      return;
+    default: return;
+  }
+  const Interval m = meet(iv, c);
+  if (!m.is_empty()) iv = m;
+}
+
+}  // namespace
+
+ProgramFacts eval_program(const Program& p, const Env& env) {
+  ProgramFacts f;
+  const std::vector<Program::Instr>& code = p.code();
+  const std::size_t n = code.size();
+
+  struct RegState {
+    std::vector<Interval> regs;
+    std::vector<Interval> slots;  ///< working copy, refinable per branch
+    std::vector<int> origin;      ///< reg mirrors this slot's value (-1: none)
+    std::vector<Pred> preds;      ///< reg-truthiness predicate per register
+    bool live = false;
+  };
+  const auto merge = [](RegState& dst, const RegState& src) {
+    if (!src.live) return;
+    if (!dst.live) {
+      dst = src;
+      return;
+    }
+    for (std::size_t i = 0; i < dst.regs.size(); ++i) {
+      dst.regs[i] = join(dst.regs[i], src.regs[i]);
+      if (dst.origin[i] != src.origin[i]) dst.origin[i] = -1;
+      if (!(dst.preds[i] == src.preds[i])) dst.preds[i] = Pred{};
+    }
+    for (std::size_t i = 0; i < dst.slots.size(); ++i) {
+      dst.slots[i] = join(dst.slots[i], src.slots[i]);
+    }
+  };
+
+  // Jumps are forward-only (short-circuit lowering), so one pass in pc
+  // order with per-target pending joins reaches the abstract fixpoint.
+  std::vector<RegState> pending(n + 1);
+  RegState cur;
+  cur.regs.assign(p.reg_count(), Interval::top());
+  cur.slots.reserve(env.size());
+  for (const SlotState& s : env) cur.slots.push_back(s.iv);
+  cur.origin.assign(p.reg_count(), -1);
+  cur.preds.assign(p.reg_count(), Pred{});
+  cur.live = true;
+  bool total = true;
+  // Every write to a register invalidates its slot/predicate tracking
+  // unless the op re-establishes it below.
+  const auto clobber = [&cur](std::uint16_t dst) {
+    cur.origin[dst] = -1;
+    cur.preds[dst] = Pred{};
+  };
+
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    merge(cur, pending[pc]);
+    pending[pc].live = false;
+    if (!cur.live) continue;
+    const Program::Instr& in = code[pc];
+    switch (in.op) {
+      case Program::Op::Const:
+        cur.regs[in.dst] = Interval::constant(p.consts()[in.a]);
+        clobber(in.dst);
+        break;
+      case Program::Op::Slot: {
+        if (env[in.a].maybe_undef) total = false;
+        const Interval iv = cur.slots[in.a];
+        if (iv.is_empty()) {
+          cur.live = false;  // every read throws: the path ends here
+          break;
+        }
+        cur.regs[in.dst] = iv;
+        cur.origin[in.dst] = in.a;
+        // A bare slot as a condition means "slot != 0" on the true branch.
+        cur.preds[in.dst] = Pred{static_cast<int>(in.a), Program::Op::Ne, 0};
+        break;
+      }
+      case Program::Op::Missing:
+        total = false;
+        cur.live = false;
+        break;
+      case Program::Op::Neg:
+        cur.regs[in.dst] = abs_neg(cur.regs[in.a]);
+        clobber(in.dst);
+        break;
+      case Program::Op::Not: {
+        const Pred inner = cur.preds[in.a];
+        cur.regs[in.dst] = abs_truth(cur.regs[in.a]) == Interval::constant(0)
+                               ? Interval::constant(1)
+                           : abs_truth(cur.regs[in.a]) == Interval::constant(1)
+                               ? Interval::constant(0)
+                               : Interval::range(0, 1);
+        clobber(in.dst);
+        if (inner.slot >= 0) {
+          cur.preds[in.dst] = Pred{inner.slot, negate_cmp(inner.op), inner.k};
+        }
+        break;
+      }
+      case Program::Op::Add: {
+        bool ov = false;
+        cur.regs[in.dst] = abs_add(cur.regs[in.a], cur.regs[in.b], &ov);
+        if (ov) f.overflow.push_back(static_cast<std::uint32_t>(pc));
+        clobber(in.dst);
+        break;
+      }
+      case Program::Op::Sub: {
+        bool ov = false;
+        cur.regs[in.dst] = abs_sub(cur.regs[in.a], cur.regs[in.b], &ov);
+        if (ov) f.overflow.push_back(static_cast<std::uint32_t>(pc));
+        clobber(in.dst);
+        break;
+      }
+      case Program::Op::Mul: {
+        bool ov = false;
+        cur.regs[in.dst] = abs_mul(cur.regs[in.a], cur.regs[in.b], &ov);
+        if (ov) f.overflow.push_back(static_cast<std::uint32_t>(pc));
+        clobber(in.dst);
+        break;
+      }
+      case Program::Op::Div:
+        cur.regs[in.dst] = abs_div(cur.regs[in.a], cur.regs[in.b]);
+        clobber(in.dst);
+        break;
+      case Program::Op::Mod:
+        cur.regs[in.dst] = abs_mod(cur.regs[in.a], cur.regs[in.b]);
+        clobber(in.dst);
+        break;
+      case Program::Op::ChkDiv:
+      case Program::Op::ChkMod: {
+        const Interval d = cur.regs[in.a];
+        if (d.contains(0)) {
+          total = false;
+          f.divzero.push_back(static_cast<std::uint32_t>(pc));
+          const Interval refined = exclude_zero(d);
+          if (refined.is_empty()) {
+            cur.live = false;  // divisor provably 0: always throws
+            break;
+          }
+          cur.regs[in.a] = refined;
+          if (cur.origin[in.a] >= 0) cur.slots[cur.origin[in.a]] = refined;
+        } else {
+          f.safe_checks.push_back(static_cast<std::uint32_t>(pc));
+        }
+        break;
+      }
+      case Program::Op::Eq:
+      case Program::Op::Ne:
+      case Program::Op::Lt:
+      case Program::Op::Le:
+      case Program::Op::Gt:
+      case Program::Op::Ge: {
+        Pred pred;  // slot-vs-constant comparisons become branch predicates
+        if (cur.origin[in.a] >= 0 && cur.regs[in.b].is_constant() &&
+            usable(cur.regs[in.b].lo)) {
+          pred = Pred{cur.origin[in.a], in.op, cur.regs[in.b].lo};
+        } else if (cur.origin[in.b] >= 0 && cur.regs[in.a].is_constant() &&
+                   usable(cur.regs[in.a].lo)) {
+          pred = Pred{cur.origin[in.b], flip_cmp(in.op), cur.regs[in.a].lo};
+        }
+        cur.regs[in.dst] = abs_cmp(in.op, cur.regs[in.a], cur.regs[in.b]);
+        clobber(in.dst);
+        cur.preds[in.dst] = pred;
+        break;
+      }
+      case Program::Op::Bool: {
+        const Pred inner = cur.preds[in.a];
+        cur.regs[in.dst] = abs_truth(cur.regs[in.a]);
+        clobber(in.dst);
+        cur.preds[in.dst] = inner;  // truthiness-preserving
+        break;
+      }
+      case Program::Op::LoadOne:
+        cur.regs[in.dst] = Interval::constant(1);
+        clobber(in.dst);
+        break;
+      case Program::Op::Jz: {
+        const Interval c = cur.regs[in.a];
+        const Pred pred = cur.preds[in.a];
+        if (c.contains(0)) {
+          RegState taken = cur;
+          taken.regs[in.a] = meet(c, Interval::constant(0));
+          if (pred.slot >= 0) {
+            apply_cmp(taken.slots[pred.slot], negate_cmp(pred.op), pred.k);
+          }
+          merge(pending[in.b], taken);
+        }
+        const Interval nz = exclude_zero(c);
+        if (nz.is_empty()) {
+          cur.live = false;
+        } else {
+          cur.regs[in.a] = nz;
+          if (pred.slot >= 0) {
+            apply_cmp(cur.slots[pred.slot], pred.op, pred.k);
+          }
+        }
+        break;
+      }
+      case Program::Op::Jmp:
+        merge(pending[in.b], cur);
+        cur.live = false;
+        break;
+    }
+  }
+  merge(cur, pending[n]);
+  f.total = total;
+  if (cur.live) {
+    f.completes = true;
+    f.result = cur.regs.empty() ? Interval::top() : cur.regs[0];
+  }
+  return f;
+}
+
+namespace {
+
+constexpr int kWidenDelay = 3;
+constexpr int kMaxSweeps = 1000;
+
+/// Joins `src` into `dst` slot-wise; widens bounds when `do_widen`.
+bool env_join_into(Env& dst, const Env& src, bool do_widen) {
+  bool changed = false;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    Interval j = join(dst[i].iv, src[i].iv);
+    if (do_widen) j = widen(dst[i].iv, j);
+    const bool undef = dst[i].maybe_undef || src[i].maybe_undef;
+    if (j != dst[i].iv || undef != dst[i].maybe_undef) {
+      dst[i].iv = j;
+      dst[i].maybe_undef = undef;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+using FactMap = std::map<const Program*, ProgramFacts>;
+
+/// Abstract-executes an action list in order. Returns false when execution
+/// provably cannot complete (an expression on the only path always throws);
+/// partially updated `env` must then be discarded by the caller. `facts`,
+/// when set, records every evaluated program (final reporting sweep).
+bool exec_actions(const std::vector<CompiledMachine::Action>& actions,
+                  Env& env, std::vector<bool>* assigned, FactMap* facts) {
+  const auto eval = [&env, facts](const Program& p) {
+    ProgramFacts f = eval_program(p, env);
+    const bool ok = f.completes;
+    if (facts != nullptr) (*facts)[&p] = std::move(f);
+    return ok;
+  };
+  for (const CompiledMachine::Action& a : actions) {
+    switch (a.kind) {
+      case uml::Action::Kind::Assign: {
+        ProgramFacts f = eval_program(a.expr, env);
+        const bool ok = f.completes;
+        const Interval value = f.result;
+        if (facts != nullptr) (*facts)[&a.expr] = std::move(f);
+        if (!ok) return false;
+        env[a.slot] = SlotState{value, false};
+        if (assigned != nullptr) (*assigned)[a.slot] = true;
+        break;
+      }
+      case uml::Action::Kind::Send:
+        for (const Program& arg : a.args) {
+          if (!eval(arg)) return false;
+        }
+        break;
+      default:  // Compute / SetTimer (ResetTimer has no expression)
+        if (a.expr.size() != 0 && !eval(a.expr)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+/// Refines `env` under "this guard evaluated nonzero" for the simple
+/// comparison shapes the lowering produces for `x OP k` / `k OP x` / `x`.
+/// Sound no-op for anything more complex.
+void refine_guard(const Program& p, Env& env) {
+  const auto& c = p.code();
+  const auto clamp = [&env](std::uint16_t slot, Interval k) {
+    SlotState& s = env[slot];
+    const Interval m = meet(s.iv, k);
+    if (!m.is_empty()) s.iv = m;
+  };
+  if (c.size() == 1 && c[0].op == Program::Op::Slot) {
+    SlotState& s = env[c[0].a];
+    const Interval nz = exclude_zero(s.iv);
+    if (!nz.is_empty()) s.iv = nz;
+    return;
+  }
+  if (c.size() != 3) return;
+  std::uint16_t slot = 0;
+  long k = 0;
+  bool slot_left = false;
+  if (c[0].op == Program::Op::Slot && c[1].op == Program::Op::Const) {
+    slot = c[0].a;
+    k = p.consts()[c[1].a];
+    slot_left = true;
+  } else if (c[0].op == Program::Op::Const && c[1].op == Program::Op::Slot) {
+    slot = c[1].a;
+    k = p.consts()[c[0].a];
+  } else {
+    return;
+  }
+  Program::Op op = c[2].op;
+  if (!slot_left) {  // k OP slot  ==  slot OP' k with the comparison flipped
+    switch (op) {
+      case Program::Op::Lt: op = Program::Op::Gt; break;
+      case Program::Op::Le: op = Program::Op::Ge; break;
+      case Program::Op::Gt: op = Program::Op::Lt; break;
+      case Program::Op::Ge: op = Program::Op::Le; break;
+      default: break;  // Eq / Ne are symmetric
+    }
+  }
+  switch (op) {
+    case Program::Op::Lt:
+      clamp(slot, from128(-kInf128, static_cast<__int128>(k) - 1));
+      break;
+    case Program::Op::Le:
+      clamp(slot, Interval::range(Interval::kMin, k));
+      break;
+    case Program::Op::Gt:
+      clamp(slot, from128(static_cast<__int128>(k) + 1, kInf128));
+      break;
+    case Program::Op::Ge:
+      clamp(slot, Interval::range(k, Interval::kMax));
+      break;
+    case Program::Op::Eq:
+      clamp(slot, Interval::constant(k));
+      break;
+    case Program::Op::Ne: {
+      SlotState& s = env[slot];
+      if (s.iv.lo == k && s.iv.lo < s.iv.hi) {
+        s.iv.lo = sat(static_cast<__int128>(k) + 1);
+      } else if (s.iv.hi == k && s.iv.lo < s.iv.hi) {
+        s.iv.hi = sat(static_cast<__int128>(k) - 1);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// One transition step from resting environment `at`: parameter overlay,
+/// guard, effects, overlay restore — exactly CompiledInstance::deliver up to
+/// (but excluding) the target's entry actions. Returns the pre-entry
+/// environment, or nullopt when the step cannot complete. `fired` reports
+/// whether the guard can pass at all.
+std::optional<Env> step_transition(const CompiledMachine& cm,
+                                   std::uint32_t t_idx, const Env& at,
+                                   FactMap* facts, bool* fired) {
+  const CompiledMachine::Transition& tr = cm.transitions()[t_idx];
+  Env env = at;
+  const std::vector<std::uint16_t>* params =
+      tr.trigger_signal != nullptr ? cm.param_slots(tr.trigger_signal)
+                                   : nullptr;
+  if (params != nullptr) {
+    for (const std::uint16_t s : *params) {
+      env[s] = SlotState{Interval::top(), false};
+    }
+  }
+  *fired = true;
+  if (tr.has_guard) {
+    ProgramFacts f = eval_program(tr.guard, env);
+    const bool feasible =
+        f.completes && !(f.result == Interval::constant(0));
+    if (facts != nullptr) (*facts)[&tr.guard] = std::move(f);
+    if (!feasible) {
+      *fired = false;
+      return std::nullopt;
+    }
+    refine_guard(tr.guard, env);
+  }
+  std::vector<bool> assigned(env.size(), false);
+  if (!exec_actions(tr.effects, env, &assigned, facts)) return std::nullopt;
+  // The runtime restores the parameter overlay after the effects and before
+  // entering the target, skipping slots the effects assigned.
+  if (params != nullptr) {
+    for (const std::uint16_t s : *params) {
+      if (!assigned[s]) env[s] = at[s];
+    }
+  }
+  return env;
+}
+
+}  // namespace
+
+MachineSummary analyze(const CompiledMachine& cm) {
+  MachineSummary out;
+  const std::vector<CompiledMachine::State>& states = cm.states();
+  const std::size_t n = states.size();
+  out.at_state.assign(n, Env{});
+  out.reachable.assign(n, false);
+  out.feasible.assign(n, {});
+  for (std::size_t s = 0; s < n; ++s) {
+    out.feasible[s].assign(states[s].outgoing.size(), false);
+  }
+  if (cm.initial_state() == CompiledMachine::kNoState) return out;
+  const std::uint32_t init_idx = cm.initial_state();
+
+  Env declared(cm.slot_count(), SlotState{});
+  for (const auto& [slot, value] : cm.initial_values()) {
+    declared[slot] = SlotState{Interval::constant(value), false};
+  }
+
+  Env init = declared;
+  if (!exec_actions(states[init_idx].entry, init, nullptr, nullptr)) {
+    return out;  // start() always throws; nothing meaningful to report on
+  }
+  out.at_state[init_idx] = std::move(init);
+  out.reachable[init_idx] = true;
+
+  std::vector<int> joins(n, 0);
+  bool converged = false;
+  for (int sweep = 0; sweep < kMaxSweeps && !converged; ++sweep) {
+    bool changed = false;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (!out.reachable[s]) continue;
+      const Env at = out.at_state[s];  // copy: self-loops join into source
+      for (const std::uint32_t t : states[s].outgoing) {
+        bool fired = false;
+        std::optional<Env> post = step_transition(cm, t, at, nullptr, &fired);
+        if (!post) continue;
+        const std::uint32_t dst = cm.transitions()[t].target;
+        Env entered = std::move(*post);
+        if (!exec_actions(states[dst].entry, entered, nullptr, nullptr)) {
+          continue;
+        }
+        if (!out.reachable[dst]) {
+          out.reachable[dst] = true;
+          out.at_state[dst] = std::move(entered);
+          changed = true;
+        } else if (env_join_into(out.at_state[dst], entered,
+                                 joins[dst] >= kWidenDelay)) {
+          ++joins[dst];
+          changed = true;
+        }
+      }
+    }
+    converged = !changed;
+  }
+  if (!converged) return out;  // backstop: callers see analyzed == false
+  out.analyzed = true;
+
+  // Final reporting sweep under the stabilized invariants: per-program
+  // facts, transition feasibility, and the joined pre-entry environments
+  // the entry-action programs are judged under.
+  std::vector<Env> before_entry(n);
+  std::vector<bool> has_before(n, false);
+  before_entry[init_idx] = declared;
+  has_before[init_idx] = true;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (!out.reachable[s]) continue;
+    const Env& at = out.at_state[s];
+    const std::vector<std::uint32_t>& outgoing = states[s].outgoing;
+    for (std::size_t j = 0; j < outgoing.size(); ++j) {
+      bool fired = false;
+      std::optional<Env> post =
+          step_transition(cm, outgoing[j], at, &out.facts, &fired);
+      out.feasible[s][j] = fired;
+      if (!post) continue;
+      const std::uint32_t dst = cm.transitions()[outgoing[j]].target;
+      if (!has_before[dst]) {
+        before_entry[dst] = std::move(*post);
+        has_before[dst] = true;
+      } else {
+        env_join_into(before_entry[dst], *post, false);
+      }
+    }
+  }
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (!out.reachable[s] || !has_before[s]) continue;
+    Env env = before_entry[s];
+    exec_actions(states[s].entry, env, nullptr, &out.facts);
+  }
+  return out;
+}
+
+namespace {
+
+std::string bound_str(long v, bool low) {
+  if (v == Interval::kMin) return "-inf";
+  if (v == Interval::kMax) return "+inf";
+  (void)low;
+  return std::to_string(v);
+}
+
+}  // namespace
+
+std::string invariants_text(const CompiledMachine& cm,
+                            const MachineSummary& summary) {
+  std::ostringstream os;
+  os << "machine " << cm.source().name() << " value ranges:\n";
+  if (!summary.analyzed) {
+    os << "  (not analyzed: no initial state or the fixpoint did not "
+          "converge)\n";
+    return os.str();
+  }
+  const std::vector<std::string>& names = cm.slot_names();
+  for (std::size_t s = 0; s < cm.states().size(); ++s) {
+    os << "  state [" << s << "] " << cm.states()[s].name << ":";
+    if (!summary.reachable[s]) {
+      os << " unreachable\n";
+      continue;
+    }
+    os << "\n";
+    const Env& env = summary.at_state[s];
+    for (std::size_t k = 0; k < env.size(); ++k) {
+      if (env[k].iv.is_empty()) continue;  // never defined at this state
+      os << "    " << names[k] << " ";
+      if (env[k].iv.is_constant() && usable(env[k].iv.lo)) {
+        os << "= " << env[k].iv.lo;
+      } else {
+        os << "in [" << bound_str(env[k].iv.lo, true) << ", "
+           << bound_str(env[k].iv.hi, false) << "]";
+      }
+      if (env[k].maybe_undef) os << " (maybe undefined)";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tut::analysis::absint
+
+namespace tut::analysis {
+
+Facts make_facts(const efsm::CompiledMachine& cm,
+                 const absint::MachineSummary& summary) {
+  Facts out;
+  if (!summary.analyzed) return out;
+  for (const auto& [prog, f] : summary.facts) {
+    if (!f.safe_checks.empty()) out.elidable_checks[prog] = f.safe_checks;
+  }
+  for (std::uint32_t s = 0; s < cm.states().size(); ++s) {
+    for (const std::uint32_t t : cm.states()[s].outgoing) {
+      const efsm::CompiledMachine::Transition& tr = cm.transitions()[t];
+      if (!tr.has_guard) continue;
+      if (!summary.reachable[s]) {
+        // Never evaluated at runtime; folding it false prunes the branch.
+        out.guard_const[&tr.guard] = 0;
+        continue;
+      }
+      const auto it = summary.facts.find(&tr.guard);
+      if (it == summary.facts.end()) continue;
+      if (it->second.proven_false()) {
+        out.guard_const[&tr.guard] = 0;
+      } else if (it->second.proven_true()) {
+        out.guard_const[&tr.guard] = 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tut::analysis

@@ -1,0 +1,190 @@
+// analysis::absint — abstract interpretation over EFSM bytecode.
+//
+// A per-machine fixpoint over the state/transition graph computes, for every
+// state, an interval invariant per variable slot: the range of values the
+// slot can hold whenever the machine rests in that state. The domain is
+// intervals over `long` with LONG_MIN/LONG_MAX as the -inf/+inf sentinels
+// (constants are the width-0 case), joined at states and widened after a few
+// unstable joins so loops with unbounded counters converge.
+//
+// The transfer function mirrors CompiledInstance::deliver exactly: overlay
+// the trigger's parameter slots, evaluate the guard (refining the overlaid
+// environment for simple comparison shapes), run the effects, restore the
+// overlay for parameter slots the effects did not assign, then run the
+// target's entry actions — in that order, because that is the order the
+// interpreter and the native backend execute. Completion and timer
+// transitions fall out of the same sweep: a state's post-entry environment
+// equals its resting environment (entry actions are the last thing a step
+// runs), so one invariant per state covers both delivery and completion
+// guards.
+//
+// Everything downstream hangs off the computed summary:
+//  - proof-backed lint rules (efsm.guard.dead.range, efsm.guard.
+//    tautology.range, efsm.expr.divzero.possible, efsm.var.overflow.
+//    possible, efsm.timer.nonpositive, range-refined reachability) in
+//    absint_rules.cpp;
+//  - an analysis::Facts table the native code generator consumes to elide
+//    division checks and fold proven guards (codegen/native_emit.cpp);
+//  - per-state invariant text for `tut efsm dump`.
+//
+// Iteration is in state-index / declaration order throughout, so summaries,
+// reports and generated code are byte-stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "efsm/program.hpp"
+
+namespace tut::analysis::absint {
+
+/// Closed interval [lo, hi] over long. lo == kMin means -inf, hi == kMax
+/// means +inf (the two extreme longs are absorbed into the sentinels — a
+/// sound, one-value loss of precision). lo > hi encodes the empty interval.
+struct Interval {
+  static constexpr long kMin = std::numeric_limits<long>::min();
+  static constexpr long kMax = std::numeric_limits<long>::max();
+
+  long lo = kMin;
+  long hi = kMax;
+
+  static Interval top() { return {}; }
+  static Interval constant(long v) { return {v, v}; }
+  static Interval range(long lo, long hi) { return {lo, hi}; }
+  static Interval empty() { return {1, 0}; }
+
+  bool is_empty() const { return lo > hi; }
+  bool is_top() const { return lo == kMin && hi == kMax; }
+  bool is_constant() const { return lo == hi; }
+  bool contains(long v) const { return lo <= v && v <= hi; }
+  /// Both bounds are actual values, not sentinels (and not empty).
+  bool is_finite() const { return !is_empty() && lo != kMin && hi != kMax; }
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// Lattice operations. Empty is the identity of join and the zero of meet.
+Interval join(Interval a, Interval b);
+Interval meet(Interval a, Interval b);
+/// Classic interval widening: a bound that moved since `prev` jumps to its
+/// sentinel, so chains like n, n+1, n+2, ... stabilize at [n, +inf].
+Interval widen(Interval prev, Interval next);
+/// Removes 0 when it sits on a boundary ([0,0] becomes empty; an interior 0
+/// cannot be removed from an interval).
+Interval exclude_zero(Interval a);
+
+/// Abstract arithmetic, computed in 128 bits and saturated to the
+/// sentinels. For add/sub/mul, `*overflow` (when non-null) is set when both
+/// operands are finite yet the exact result range leaves the long range —
+/// the case where the interpreter's native arithmetic would overflow
+/// (undefined behaviour), as opposed to widened bounds that merely lost
+/// precision.
+Interval abs_neg(Interval a);
+Interval abs_add(Interval a, Interval b, bool* overflow = nullptr);
+Interval abs_sub(Interval a, Interval b, bool* overflow = nullptr);
+Interval abs_mul(Interval a, Interval b, bool* overflow = nullptr);
+/// Quotient/remainder ranges for divisors already known nonzero; a divisor
+/// interval containing 0 is split around it (the runtime ChkDiv/ChkMod
+/// throw filters the 0 out before Div/Mod executes).
+Interval abs_div(Interval a, Interval b);
+Interval abs_mod(Interval a, Interval b);
+
+/// Abstract value of one variable slot at a program point.
+struct SlotState {
+  Interval iv = Interval::empty();  ///< join of every value written
+  bool maybe_undef = true;          ///< a read may throw "unknown identifier"
+
+  bool operator==(const SlotState&) const = default;
+};
+
+/// One slot file's worth of abstract values, indexed by slot.
+using Env = std::vector<SlotState>;
+
+/// What abstract execution proved about one efsm::Program evaluated under a
+/// state's invariant environment.
+struct ProgramFacts {
+  Interval result = Interval::empty();  ///< r0 over normally-completing paths
+  bool completes = false;  ///< some path reaches the end without throwing
+  bool total = false;      ///< no reachable instruction can throw
+  /// ChkDiv/ChkMod pcs whose divisor interval contains 0 (may throw).
+  std::vector<std::uint32_t> divzero;
+  /// ChkDiv/ChkMod pcs whose divisor interval provably excludes 0 — the
+  /// native backend elides these checks.
+  std::vector<std::uint32_t> safe_checks;
+  /// Add/Sub/Mul/Neg pcs with finite operand ranges whose exact result
+  /// leaves the long range (possible signed overflow at runtime).
+  std::vector<std::uint32_t> overflow;
+
+  /// Guard verdicts: sound only because `total` rules out the throwing
+  /// paths the interpreter would surface as run errors.
+  bool proven_true() const {
+    return total && completes && !result.contains(0);
+  }
+  bool proven_false() const {
+    return total && completes && result == Interval::constant(0);
+  }
+};
+
+/// Evaluates one program under `env`. Exposed for tests; analyze() calls it
+/// for every program of the machine under the fixpoint invariants.
+ProgramFacts eval_program(const efsm::Program& p, const Env& env);
+
+/// Whole-machine summary: the fixpoint invariants plus per-program facts.
+struct MachineSummary {
+  /// False when the machine has no initial state, its initial entry actions
+  /// can never complete, or the fixpoint failed to converge — consumers
+  /// must treat the rest of the summary as absent.
+  bool analyzed = false;
+  /// Post-entry invariant environment per state index (empty Env for
+  /// range-unreachable states).
+  std::vector<Env> at_state;
+  /// Range-level reachability (refines graph reachability: a state all of
+  /// whose incoming guards are range-false is graph-reachable but never
+  /// entered).
+  std::vector<bool> reachable;
+  /// Per state, per outgoing-transition position: can the transition fire
+  /// under the invariant (source reachable, guard completes and may be
+  /// nonzero)?
+  std::vector<std::vector<bool>> feasible;
+  /// Facts for every program abstract execution reached, keyed by the
+  /// program's address inside the CompiledMachine (each guard/effect/entry
+  /// program object is a distinct value member, so the key is unambiguous).
+  std::map<const efsm::Program*, ProgramFacts> facts;
+};
+
+/// Runs the fixpoint. Deterministic: state-index sweeps, declaration-order
+/// transitions, widening after a fixed number of unstable joins.
+MachineSummary analyze(const efsm::CompiledMachine& cm);
+
+/// Renders the per-state invariants ("state [1] Active: n in [0, +inf]"),
+/// appended by `tut efsm dump` after the disassembly.
+std::string invariants_text(const efsm::CompiledMachine& cm,
+                            const MachineSummary& summary);
+
+}  // namespace tut::analysis::absint
+
+namespace tut::analysis {
+
+/// Proven per-site facts the native code generator consumes. Keyed by
+/// Program address within one CompiledMachine image; the emitter must be
+/// driven by the same image the facts were computed from.
+struct Facts {
+  /// Guards with a proven constant outcome, safe to fold: 1 = taken
+  /// unconditionally, 0 = never taken (proven false under every reachable
+  /// valuation, or belonging to a range-unreachable state — either way the
+  /// interpreter never observes the guard evaluate any other way).
+  std::map<const efsm::Program*, long> guard_const;
+  /// ChkDiv/ChkMod pcs per program whose zero check can be elided.
+  std::map<const efsm::Program*, std::vector<std::uint32_t>> elidable_checks;
+
+  bool empty() const { return guard_const.empty() && elidable_checks.empty(); }
+};
+
+/// Distills a machine summary into the table codegen::native consumes.
+Facts make_facts(const efsm::CompiledMachine& cm,
+                 const absint::MachineSummary& summary);
+
+}  // namespace tut::analysis

@@ -1,0 +1,206 @@
+// Proof-backed lint rules over the absint fixpoint: findings that hold for
+// every reachable variable valuation, not just for constant-folded
+// expressions. Each rule reports with "(value-range analysis)" in the
+// message so a reader can tell a range proof from a syntactic one, and the
+// guard rules deliberately skip variable-free guards — those are already
+// covered (or intentionally silent) under the const-fold rules, so the two
+// families never double-report.
+#include <string>
+
+#include "analysis/absint.hpp"
+#include "analysis/internal.hpp"
+
+namespace tut::analysis::detail {
+
+namespace {
+
+using absint::Interval;
+using absint::MachineSummary;
+using absint::ProgramFacts;
+using efsm::CompiledMachine;
+using efsm::Program;
+
+/// Does the program read any variable slot? Variable-free programs are the
+/// const-fold family's territory.
+bool reads_slot(const Program& p) {
+  for (const Program::Instr& in : p.code()) {
+    if (in.op == Program::Op::Slot) return true;
+  }
+  return false;
+}
+
+/// Constant-folded guard truth (mirrors the const-fold rule's helper): the
+/// range-refined shadowing rule must not re-report transitions the
+/// syntactic rule already covers.
+bool guard_const_true(const CompiledMachine::Transition& t) {
+  if (!t.has_guard) return true;
+  if (reads_slot(t.guard)) return false;
+  for (const Program::Instr& in : t.guard.code()) {
+    if (in.op == Program::Op::Missing) return false;
+  }
+  try {
+    std::vector<long> regs(t.guard.reg_count());
+    return t.guard.run(Program::Slots{}, regs.data()) != 0;
+  } catch (const efsm::EvalError&) {
+    return false;
+  }
+}
+
+/// Same trigger-coverage predicate as the syntactic shadowing rule.
+bool trigger_covers(const CompiledMachine::Transition& a,
+                    const CompiledMachine::Transition& b) {
+  if (a.completion || b.completion) return a.completion && b.completion;
+  if (!a.trigger_timer.empty() || !b.trigger_timer.empty()) {
+    return a.trigger_timer == b.trigger_timer;
+  }
+  if (a.trigger_signal != b.trigger_signal) return false;
+  return a.trigger_port.empty() || a.trigger_port == b.trigger_port;
+}
+
+std::string range_str(Interval iv) {
+  const auto bound = [](long v) {
+    if (v == Interval::kMin) return std::string("-inf");
+    if (v == Interval::kMax) return std::string("+inf");
+    return std::to_string(v);
+  };
+  return "[" + bound(iv.lo) + ", " + bound(iv.hi) + "]";
+}
+
+struct AbsintRules {
+  const Context& ctx;
+  const uml::StateMachine& sm;
+  const CompiledMachine& cm;
+  const MachineSummary& summary;
+  /// Graph-level reachability from the syntactic pass: those states are
+  /// already reported, the range-refined rule covers only the refinement.
+  const std::vector<bool>& graph_reachable;
+
+  const ProgramFacts* facts_of(const Program& p) const {
+    const auto it = summary.facts.find(&p);
+    return it == summary.facts.end() ? nullptr : &it->second;
+  }
+
+  /// Divide-by-zero and overflow findings for one evaluated program.
+  void check_program(const Program& p, const uml::Element& at,
+                     const std::string& where) const {
+    const ProgramFacts* f = facts_of(p);
+    if (f == nullptr) return;
+    if (!f->divzero.empty()) {
+      ctx.diag(Severity::Warning, "efsm.expr.divzero.possible", at,
+               where + " may divide by zero: the divisor's value range "
+                       "includes 0 (value-range analysis)");
+    }
+    if (!f->overflow.empty()) {
+      ctx.diag(Severity::Warning, "efsm.var.overflow.possible", at,
+               where + " may overflow: the operand ranges allow a result "
+                       "outside the representable integer range "
+                       "(value-range analysis)");
+    }
+  }
+
+  void check_action(const CompiledMachine::Action& a, const uml::Element& at,
+                    const char* context) const {
+    if (a.kind == uml::Action::Kind::Send) {
+      for (const Program& arg : a.args) {
+        check_program(arg, at, std::string(context) + " send argument");
+      }
+      return;
+    }
+    if (a.expr.size() == 0) return;
+    check_program(a.expr, at, std::string(context) + " expression");
+    if (a.kind == uml::Action::Kind::SetTimer) {
+      const ProgramFacts* f = facts_of(a.expr);
+      if (f != nullptr && f->completes && f->result.hi <= 0) {
+        ctx.diag(Severity::Warning, "efsm.timer.nonpositive", at,
+                 "timer '" + a.name + "' is armed with a provably "
+                     "non-positive delay " + range_str(f->result) +
+                     "; it fires immediately (value-range analysis)");
+      }
+    }
+  }
+
+  void run() const {
+    // Range-refined reachability: graph-reachable states every path to
+    // which is cut by a range-false guard or an always-throwing expression.
+    for (std::uint32_t s = 0; s < cm.states().size(); ++s) {
+      if (summary.reachable[s]) continue;
+      if (s < graph_reachable.size() && !graph_reachable[s]) continue;
+      ctx.diag(Severity::Warning, "efsm.state.unreachable", *sm.states()[s],
+               "state '" + cm.states()[s].name +
+                   "' is unreachable: no reachable variable valuation "
+                   "enables a path into it (value-range analysis)");
+    }
+
+    for (std::uint32_t s = 0; s < cm.states().size(); ++s) {
+      if (!summary.reachable[s]) continue;  // reported above
+      const std::vector<std::uint32_t>& out = cm.states()[s].outgoing;
+      for (std::size_t j = 0; j < out.size(); ++j) {
+        const CompiledMachine::Transition& tr = cm.transitions()[out[j]];
+        const uml::Element& at = *sm.transitions()[out[j]];
+        const std::string guard_text =
+            tr.has_guard ? sm.transitions()[out[j]]->guard() : std::string();
+
+        if (tr.has_guard && reads_slot(tr.guard)) {
+          if (const ProgramFacts* f = facts_of(tr.guard)) {
+            if (f->proven_false()) {
+              ctx.diag(Severity::Warning, "efsm.guard.dead.range", at,
+                       "guard [" + guard_text +
+                           "] is false for every reachable variable "
+                           "valuation; the transition can never fire "
+                           "(value-range analysis)");
+            } else if (f->proven_true()) {
+              ctx.diag(Severity::Info, "efsm.guard.tautology.range", at,
+                       "guard [" + guard_text +
+                           "] is true for every reachable variable "
+                           "valuation; it never blocks (value-range "
+                           "analysis)");
+            }
+          }
+        }
+        if (tr.has_guard) {
+          check_program(tr.guard, at, "guard [" + guard_text + "]");
+        }
+        for (const CompiledMachine::Action& a : tr.effects) {
+          check_action(a, at, "effect");
+        }
+
+        // Range-refined shadowing: an earlier trigger-covering transition
+        // whose guard is range-proven true takes every matching event. The
+        // syntactic rule handles unguarded/const-true earlier transitions.
+        for (std::size_t i = 0; i < j; ++i) {
+          const CompiledMachine::Transition& earlier =
+              cm.transitions()[out[i]];
+          if (!trigger_covers(earlier, tr)) continue;
+          if (guard_const_true(earlier)) break;  // syntactic rule territory
+          if (!earlier.has_guard || !reads_slot(earlier.guard)) continue;
+          const ProgramFacts* f = facts_of(earlier.guard);
+          if (f != nullptr && f->proven_true()) {
+            ctx.diag(
+                Severity::Warning, "efsm.transition.dead", at,
+                "transition can never fire: an earlier transition from '" +
+                    cm.states()[s].name + "' has guard [" +
+                    sm.transitions()[out[i]]->guard() +
+                    "], true for every reachable valuation, and takes "
+                    "every matching event (value-range analysis)");
+            break;
+          }
+        }
+      }
+      for (const CompiledMachine::Action& a : cm.states()[s].entry) {
+        check_action(a, *sm.states()[s], "entry action");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void run_absint_rules(const Context& ctx, const uml::StateMachine& sm,
+                      const efsm::CompiledMachine& cm,
+                      const std::vector<bool>& graph_reachable) {
+  const MachineSummary summary = absint::analyze(cm);
+  if (!summary.analyzed) return;
+  AbsintRules{ctx, sm, cm, summary, graph_reachable}.run();
+}
+
+}  // namespace tut::analysis::detail

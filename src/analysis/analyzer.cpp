@@ -9,20 +9,32 @@ namespace tut::analysis {
 
 const std::vector<RuleInfo>& rule_catalog() {
   static const std::vector<RuleInfo> catalog = {
+      {"analysis.baseline.stale", Severity::Warning,
+       "baseline entry matches no current finding (stale suppression)"},
       {"analysis.view.failed", Severity::Error,
        "the combined application/platform/mapping view cannot be built"},
+      {"efsm.expr.divzero.possible", Severity::Warning,
+       "divisor's reachable value range includes 0"},
       {"efsm.expr.malformed", Severity::Error,
        "expression text fails to lower to bytecode"},
+      {"efsm.guard.dead.range", Severity::Warning,
+       "guard is false for every reachable variable valuation"},
       {"efsm.guard.false", Severity::Warning,
        "constant-folded guard is always false"},
+      {"efsm.guard.tautology.range", Severity::Info,
+       "guard is true for every reachable variable valuation"},
       {"efsm.signal.never_sent", Severity::Warning,
        "trigger signal is never sent and cannot be injected"},
       {"efsm.state.unreachable", Severity::Warning,
        "state unreachable from the initial state"},
+      {"efsm.timer.nonpositive", Severity::Warning,
+       "timer armed with a provably non-positive delay"},
       {"efsm.transition.dead", Severity::Warning,
        "transition shadowed by an earlier unconditional transition"},
       {"efsm.trigger.overlap", Severity::Warning,
        "same trigger and identical guard as an earlier transition"},
+      {"efsm.var.overflow.possible", Severity::Warning,
+       "arithmetic may leave the representable integer range"},
       {"efsm.var.read_before_write", Severity::Warning,
        "variable may be read before any path assigns it"},
       {"efsm.var.undefined", Severity::Error,
@@ -83,7 +95,8 @@ Report analyze(const uml::Model& model, const Options& options) {
   }
 
   detail::Context ctx{model, nullptr, nullptr,
-                      have_offsets ? &smap : nullptr, &report};
+                      have_offsets ? &smap : nullptr, &report,
+                      options.absint};
 
   // The combined view never throws on well-formed metadata, but a hostile
   // model (e.g. grouping cycles hand-written in XML) must degrade to

@@ -63,6 +63,12 @@ struct Options {
   bool efsm = true;     ///< EFSM bytecode family
   bool flow = true;     ///< signal-flow family
   bool mapping = true;  ///< mapping/platform family
+  /// Value-range abstract interpretation over the EFSM bytecode (interval
+  /// fixpoint per machine); adds the proof-backed rules efsm.guard.dead.
+  /// range, efsm.guard.tautology.range, efsm.expr.divzero.possible,
+  /// efsm.var.overflow.possible, efsm.timer.nonpositive and range-refined
+  /// efsm.state.unreachable / efsm.transition.dead. Requires `efsm`.
+  bool absint = true;
 
   /// Optional fault plan to cross-check (failover feasibility of the PEs it
   /// fails; component-name resolution).

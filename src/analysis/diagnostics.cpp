@@ -59,6 +59,24 @@ std::string Baseline::from_diagnostics(const std::vector<Diagnostic>& diags) {
   return out;
 }
 
+std::vector<std::pair<std::string, std::string>> Baseline::stale_against(
+    const std::vector<Diagnostic>& diags) const {
+  std::set<std::pair<std::string, std::string>> present;
+  std::set<std::string> rules_present;
+  for (const Diagnostic& d : diags) {
+    present.emplace(d.rule, d.element);
+    rules_present.insert(d.rule);
+  }
+  std::vector<std::pair<std::string, std::string>> stale;
+  for (const auto& entry : entries_) {
+    const bool live = entry.second.empty()
+                          ? rules_present.count(entry.first) != 0
+                          : present.count(entry) != 0;
+    if (!live) stale.push_back(entry);
+  }
+  return stale;
+}
+
 void Report::add(Severity severity, std::string rule, std::string element,
                  std::string message, long offset) {
   diags_.push_back(Diagnostic{severity, std::move(rule), std::move(element),
@@ -82,6 +100,15 @@ void Report::apply_baseline(const Baseline& baseline) {
       d.suppressed = true;
     }
   }
+}
+
+void Report::filter_rules(
+    const std::function<bool(const std::string&)>& keep) {
+  diags_.erase(std::remove_if(diags_.begin(), diags_.end(),
+                              [&keep](const Diagnostic& d) {
+                                return !keep(d.rule);
+                              }),
+               diags_.end());
 }
 
 void Report::sort() {

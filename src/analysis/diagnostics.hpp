@@ -61,6 +61,13 @@ class Baseline {
   /// file (sorted, deduplicated) — the `--write-baseline` payload.
   static std::string from_diagnostics(const std::vector<Diagnostic>& diags);
 
+  /// Entries that match none of `diags` (suppressed or not): stale
+  /// suppressions whose finding has since been fixed. Sorted by
+  /// (rule, element). A bare-rule entry is stale only when no diagnostic
+  /// of that rule remains at all.
+  std::vector<std::pair<std::string, std::string>> stale_against(
+      const std::vector<Diagnostic>& diags) const;
+
  private:
   std::set<std::pair<std::string, std::string>> entries_;
 };
@@ -82,6 +89,10 @@ class Report {
 
   /// Marks every baseline-matched diagnostic as suppressed.
   void apply_baseline(const Baseline& baseline);
+
+  /// Keeps only diagnostics whose rule id satisfies `keep` — the
+  /// `--rules` filter. Counts and renderings reflect the filtered set.
+  void filter_rules(const std::function<bool(const std::string&)>& keep);
 
   /// Stable presentation order: byte offset, then rule, then element
   /// (unknown offsets last, in insertion order among themselves).

@@ -452,6 +452,7 @@ void run_efsm_rules(const Context& ctx) {
       const efsm::CompiledMachine cm(sm);
       MachineAnalysis ma{ctx, sm, cm, {}, {}, {}, {}};
       ma.run();
+      if (ctx.absint) run_absint_rules(ctx, sm, cm, ma.reachable);
     } catch (const efsm::ExprError& err) {
       ctx.diag(Severity::Error, "efsm.expr.malformed", sm, err.what());
     }

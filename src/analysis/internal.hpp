@@ -7,6 +7,10 @@
 #include "efsm/router.hpp"
 #include "mapping/mapping.hpp"
 
+namespace tut::efsm {
+class CompiledMachine;
+}
+
 namespace tut::analysis::detail {
 
 struct Context {
@@ -15,6 +19,7 @@ struct Context {
   const efsm::Router* router = nullptr;      ///< null when unavailable
   const SourceMap* smap = nullptr;           ///< null without source XML
   Report* report = nullptr;
+  bool absint = true;  ///< run the value-range (abstract interpretation) pass
 
   const appmodel::ApplicationView* app() const {
     return sys != nullptr ? &sys->app() : nullptr;
@@ -34,5 +39,10 @@ struct Context {
 void run_efsm_rules(const Context& ctx);
 void run_flow_rules(const Context& ctx);
 void run_mapping_rules(const Context& ctx, const sim::FaultPlan* faults);
+/// Value-range rules for one machine (called from run_efsm_rules with the
+/// machine image and the syntactic pass's graph reachability).
+void run_absint_rules(const Context& ctx, const uml::StateMachine& sm,
+                      const efsm::CompiledMachine& cm,
+                      const std::vector<bool>& graph_reachable);
 
 }  // namespace tut::analysis::detail

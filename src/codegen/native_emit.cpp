@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/absint.hpp"
 #include "codegen/native.hpp"
 #include "uml/structure.hpp"
 
@@ -67,8 +68,8 @@ struct ProgRef {
 class MachineEmitter {
  public:
   MachineEmitter(const CompiledMachine& m, int index, NativeMachineInfo& info,
-                 std::string& out)
-      : m_(m), index_(index), info_(info), out_(out) {
+                 const analysis::Facts& facts, std::string& out)
+      : m_(m), index_(index), info_(info), facts_(facts), out_(out) {
     info_.machine = &m;
   }
 
@@ -213,6 +214,18 @@ class MachineEmitter {
       progs_.emplace(&p, std::move(r));
       return;
     }
+    // Range-proven guard outcome (analysis::Facts): fold without emitting a
+    // function. Only transition guards land in guard_const, and guards are
+    // consumed through cond() alone, so the 0/1 truth value is faithful;
+    // totality was proven by the analysis, so skipping the evaluation can
+    // never skip a throw the interpreter would surface.
+    if (const auto it = facts_.guard_const.find(&p);
+        it != facts_.guard_const.end()) {
+      r.folded = true;
+      r.value = it->second;
+      progs_.emplace(&p, std::move(r));
+      return;
+    }
     r.fn = "p" + std::to_string(prog_count_++);
     emit_program_fn(p, r.fn);
     progs_.emplace(&p, std::move(r));
@@ -250,10 +263,21 @@ class MachineEmitter {
     }
     out_ += ";\n";
     const auto R = [](std::uint16_t r) { return "r" + std::to_string(r); };
+    const std::vector<std::uint32_t>* elide = nullptr;
+    if (const auto it = facts_.elidable_checks.find(&p);
+        it != facts_.elidable_checks.end()) {
+      elide = &it->second;
+    }
     for (std::size_t pc = 0; pc < code.size(); ++pc) {
       if (targets.count(static_cast<std::uint16_t>(pc)))
         out_ += "L" + std::to_string(pc) + ":;\n";
       const auto& in = code[pc];
+      if ((in.op == Program::Op::ChkDiv || in.op == Program::Op::ChkMod) &&
+          elide != nullptr &&
+          std::find(elide->begin(), elide->end(),
+                    static_cast<std::uint32_t>(pc)) != elide->end()) {
+        continue;  // divisor range-proven nonzero: the zero check vanishes
+      }
       out_ += "  ";
       switch (in.op) {
         case Program::Op::Const:
@@ -675,6 +699,7 @@ class MachineEmitter {
   const CompiledMachine& m_;
   int index_;
   NativeMachineInfo& info_;
+  const analysis::Facts& facts_;
   std::string& out_;
 
   std::unordered_map<const uml::Signal*, int> sig_ids_;
@@ -737,7 +762,14 @@ NativeSource emit_native(const sim::CompiledModel& model) {
 
   src.machines.resize(machines.size());
   for (std::size_t i = 0; i < machines.size(); ++i) {
-    MachineEmitter(*machines[i], static_cast<int>(i), src.machines[i], out)
+    // Per-machine value-range facts: range-proven guards fold, proven-
+    // nonzero divisor checks vanish. The analysis is deterministic, so the
+    // emitted source (and with it the content hash / cache identity) stays
+    // a pure function of the model.
+    const analysis::Facts facts =
+        analysis::make_facts(*machines[i], analysis::absint::analyze(*machines[i]));
+    MachineEmitter(*machines[i], static_cast<int>(i), src.machines[i], facts,
+                   out)
         .emit();
   }
 

@@ -1,0 +1,417 @@
+// Tests for analysis::absint — the interval domain, abstract program
+// evaluation, the per-machine fixpoint, the proof-backed lint rules layered
+// on it, and the Facts table the native backend consumes. Rule tests follow
+// the house pattern: one positive mutation of the MiniSystem fixture plus
+// the unmodified fixture as the clean negative.
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <string>
+#include <vector>
+
+#include "analysis/absint.hpp"
+#include "analysis/analyzer.hpp"
+#include "efsm/machine.hpp"
+#include "efsm/program.hpp"
+#include "fixtures.hpp"
+
+using namespace tut;
+using namespace tut::analysis::absint;
+
+namespace {
+
+bool has_rule(const analysis::Report& r, std::string_view rule,
+              std::string_view element_substr = {}) {
+  for (const analysis::Diagnostic& d : r.diagnostics()) {
+    if (d.rule == rule &&
+        (element_substr.empty() ||
+         d.element.find(element_substr) != std::string::npos)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const analysis::Report& clean_report() {
+  static const analysis::Report report = [] {
+    test::MiniSystem sys;
+    return analysis::analyze(sys.model);
+  }();
+  return report;
+}
+
+efsm::Program compile(const std::string& text,
+                      const efsm::Program::SlotMap& slots = {}) {
+  return efsm::Program::compile(efsm::Expr::compile(text), slots);
+}
+
+SlotState defined(Interval iv) { return SlotState{iv, false}; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Interval lattice
+// ---------------------------------------------------------------------------
+
+TEST(AbsintInterval, LatticeBasics) {
+  EXPECT_EQ(join(Interval::empty(), Interval::range(1, 2)),
+            Interval::range(1, 2));
+  EXPECT_EQ(join(Interval::range(1, 2), Interval::range(4, 5)),
+            Interval::range(1, 5));
+  EXPECT_EQ(meet(Interval::range(1, 5), Interval::range(3, 8)),
+            Interval::range(3, 5));
+  EXPECT_TRUE(meet(Interval::range(1, 2), Interval::range(4, 5)).is_empty());
+  EXPECT_TRUE(meet(Interval::empty(), Interval::top()).is_empty());
+  EXPECT_TRUE(Interval::constant(7).is_constant());
+  EXPECT_TRUE(Interval::top().is_top());
+  EXPECT_FALSE(Interval::top().is_finite());
+  EXPECT_TRUE(Interval::range(-3, 9).is_finite());
+}
+
+TEST(AbsintInterval, WideningJumpsMovedBoundsToSentinels) {
+  EXPECT_EQ(widen(Interval::range(0, 1), Interval::range(0, 2)),
+            Interval::range(0, Interval::kMax));
+  EXPECT_EQ(widen(Interval::range(0, 5), Interval::range(-1, 5)),
+            Interval::range(Interval::kMin, 5));
+  // A stable interval widens to itself.
+  EXPECT_EQ(widen(Interval::range(2, 4), Interval::range(2, 4)),
+            Interval::range(2, 4));
+}
+
+TEST(AbsintInterval, ExcludeZeroTrimsBoundariesOnly) {
+  EXPECT_EQ(exclude_zero(Interval::range(0, 5)), Interval::range(1, 5));
+  EXPECT_EQ(exclude_zero(Interval::range(-5, 0)), Interval::range(-5, -1));
+  EXPECT_TRUE(exclude_zero(Interval::constant(0)).is_empty());
+  // An interior zero cannot be removed from one interval.
+  EXPECT_EQ(exclude_zero(Interval::range(-5, 5)), Interval::range(-5, 5));
+}
+
+// ---------------------------------------------------------------------------
+// Abstract arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(AbsintArith, AddSubMulRanges) {
+  EXPECT_EQ(abs_add(Interval::range(1, 2), Interval::range(10, 20)),
+            Interval::range(11, 22));
+  EXPECT_EQ(abs_sub(Interval::range(1, 2), Interval::range(10, 20)),
+            Interval::range(-19, -8));
+  EXPECT_EQ(abs_mul(Interval::range(-2, 3), Interval::range(4, 5)),
+            Interval::range(-10, 15));
+  EXPECT_EQ(abs_neg(Interval::range(-2, 3)), Interval::range(-3, 2));
+}
+
+TEST(AbsintArith, OverflowFlagOnlyForFiniteOperands) {
+  bool ovf = false;
+  const long big = LONG_MAX - 1;
+  const Interval r = abs_add(Interval::constant(big), Interval::constant(2),
+                             &ovf);
+  EXPECT_TRUE(ovf);
+  EXPECT_EQ(r.hi, Interval::kMax);  // saturated
+
+  // Widened (infinite) bounds lose precision but are not an overflow proof.
+  ovf = false;
+  abs_add(Interval::range(0, Interval::kMax), Interval::constant(1), &ovf);
+  EXPECT_FALSE(ovf);
+}
+
+TEST(AbsintArith, DivSplitsDivisorAroundZero) {
+  EXPECT_EQ(abs_div(Interval::constant(10), Interval::range(1, 5)),
+            Interval::range(2, 10));
+  EXPECT_EQ(abs_div(Interval::constant(10), Interval::range(-3, -1)),
+            Interval::range(-10, -3));
+  // Divisor spanning zero: both signed parts contribute.
+  const Interval r = abs_div(Interval::constant(10), Interval::range(-2, 2));
+  EXPECT_LE(r.lo, -10);
+  EXPECT_GE(r.hi, 10);
+  EXPECT_TRUE(abs_div(Interval::constant(10), Interval::constant(0))
+                  .is_empty());
+}
+
+TEST(AbsintArith, ModBounds) {
+  EXPECT_EQ(abs_mod(Interval::range(0, 7), Interval::constant(8)),
+            Interval::range(0, 7));  // exact pass-through
+  EXPECT_EQ(abs_mod(Interval::range(0, 100), Interval::constant(8)),
+            Interval::range(0, 7));
+  EXPECT_EQ(abs_mod(Interval::range(-5, 5), Interval::constant(3)),
+            Interval::range(-2, 2));  // sign follows the dividend
+}
+
+// ---------------------------------------------------------------------------
+// Abstract program evaluation
+// ---------------------------------------------------------------------------
+
+TEST(AbsintEval, ConstantExpressionIsTotal) {
+  const ProgramFacts f = eval_program(compile("1 + 2 * 3"), {});
+  EXPECT_TRUE(f.completes);
+  EXPECT_TRUE(f.total);
+  EXPECT_EQ(f.result, Interval::constant(7));
+  EXPECT_TRUE(f.proven_true());
+}
+
+TEST(AbsintEval, SlotRangesFlowThroughArithmetic) {
+  Env env(1);
+  env[0] = defined(Interval::range(0, 10));
+  const ProgramFacts f = eval_program(compile("n * 2 + 1", {{"n", 0}}), env);
+  EXPECT_TRUE(f.total);
+  EXPECT_EQ(f.result, Interval::range(1, 21));
+}
+
+TEST(AbsintEval, ProvenNonzeroDivisorIsSafe) {
+  Env env(1);
+  env[0] = defined(Interval::range(1, 5));
+  const ProgramFacts f = eval_program(compile("10 / n", {{"n", 0}}), env);
+  EXPECT_TRUE(f.total);
+  EXPECT_TRUE(f.divzero.empty());
+  ASSERT_EQ(f.safe_checks.size(), 1u);
+  EXPECT_EQ(f.result, Interval::range(2, 10));
+}
+
+TEST(AbsintEval, DivisorContainingZeroIsFlaggedAndRefined) {
+  Env env(1);
+  env[0] = defined(Interval::range(0, 5));
+  const ProgramFacts f = eval_program(compile("10 / n", {{"n", 0}}), env);
+  EXPECT_TRUE(f.completes);
+  EXPECT_FALSE(f.total);  // the throwing path exists
+  ASSERT_EQ(f.divzero.size(), 1u);
+  // Past the check the divisor is refined to exclude zero.
+  EXPECT_EQ(f.result, Interval::range(2, 10));
+}
+
+TEST(AbsintEval, MissingIdentifierNeverCompletes) {
+  const ProgramFacts f = eval_program(compile("ghost + 1"), {});
+  EXPECT_FALSE(f.completes);
+  EXPECT_FALSE(f.total);
+  EXPECT_FALSE(f.proven_true());
+  EXPECT_FALSE(f.proven_false());
+}
+
+TEST(AbsintEval, MaybeUndefinedSlotReadIsNotTotal) {
+  Env env(1);
+  env[0] = SlotState{Interval::range(1, 2), /*maybe_undef=*/true};
+  const ProgramFacts f = eval_program(compile("n", {{"n", 0}}), env);
+  EXPECT_TRUE(f.completes);
+  EXPECT_FALSE(f.total);
+}
+
+TEST(AbsintEval, ShortCircuitRefinesBranches) {
+  // n in [0,5]: "n != 0 && 10 / n > 0" — the division only executes on the
+  // n != 0 branch, so the check is safe even though the range contains 0.
+  Env env(1);
+  env[0] = defined(Interval::range(0, 5));
+  const ProgramFacts f =
+      eval_program(compile("n != 0 && 10 / n > 0", {{"n", 0}}), env);
+  EXPECT_TRUE(f.total) << "refinement must remove the zero";
+  EXPECT_TRUE(f.divzero.empty());
+  ASSERT_EQ(f.safe_checks.size(), 1u);
+}
+
+TEST(AbsintEval, ComparisonVerdictsNeedUsableBounds) {
+  Env env(1);
+  env[0] = defined(Interval::range(0, 100));
+  EXPECT_TRUE(eval_program(compile("n < 0", {{"n", 0}}), env).proven_false());
+  EXPECT_TRUE(eval_program(compile("n >= 0", {{"n", 0}}), env).proven_true());
+  // With a widened (sentinel) bound the comparison may not fold.
+  env[0] = defined(Interval::range(0, Interval::kMax));
+  const ProgramFacts f = eval_program(compile("n < 0", {{"n", 0}}), env);
+  EXPECT_TRUE(f.proven_false());  // lo bound 0 is usable either way
+  const ProgramFacts g =
+      eval_program(compile("n > 100", {{"n", 0}}), env);
+  EXPECT_FALSE(g.proven_true());
+  EXPECT_FALSE(g.proven_false());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-machine fixpoint
+// ---------------------------------------------------------------------------
+
+TEST(AbsintMachine, DspCounterWidensToHalfLine) {
+  test::MiniSystem sys;
+  const efsm::CompiledMachine cm(*sys.dsp_comp->behavior());
+  const MachineSummary s = analyze(cm);
+  ASSERT_TRUE(s.analyzed);
+  ASSERT_EQ(s.reachable.size(), 1u);
+  EXPECT_TRUE(s.reachable[0]);
+  // n starts at 0 and only ever increments: the invariant is [0, +inf].
+  const std::string text = invariants_text(cm, s);
+  EXPECT_NE(text.find("value ranges"), std::string::npos) << text;
+  EXPECT_NE(text.find("n in [0, +inf]"), std::string::npos) << text;
+}
+
+TEST(AbsintMachine, ControllerStatesAreReachableAndFeasible) {
+  test::MiniSystem sys;
+  const efsm::CompiledMachine cm(*sys.ctrl_comp->behavior());
+  const MachineSummary s = analyze(cm);
+  ASSERT_TRUE(s.analyzed);
+  for (const bool r : s.reachable) EXPECT_TRUE(r);
+  for (const auto& state : s.feasible) {
+    for (const bool t : state) EXPECT_TRUE(t);
+  }
+}
+
+TEST(AbsintMachine, RangeFalseGuardMakesTargetUnreachable) {
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  auto& cold = sys.model.add_state(dsm, "ColdPath");
+  sys.model.add_transition(dsm, idle, cold, *sys.rsp, "in")
+      .set_guard("n < 0");
+  const efsm::CompiledMachine cm(dsm);
+  const MachineSummary s = analyze(cm);
+  ASSERT_TRUE(s.analyzed);
+  ASSERT_EQ(s.reachable.size(), 2u);
+  EXPECT_TRUE(s.reachable[0]);
+  EXPECT_FALSE(s.reachable[1]) << "guard n < 0 can never be satisfied";
+  const std::string text = invariants_text(cm, s);
+  EXPECT_NE(text.find("unreachable"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Facts for the native backend
+// ---------------------------------------------------------------------------
+
+TEST(AbsintFacts, ProvenGuardsFoldAndSafeChecksElide) {
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  dsm.declare_variable("m", 5);
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in")
+      .set_guard("n >= 0")
+      .add_effect(uml::Action::compute("100 / m"));
+  const efsm::CompiledMachine cm(dsm);
+  const MachineSummary s = analyze(cm);
+  ASSERT_TRUE(s.analyzed);
+  const analysis::Facts facts = analysis::make_facts(cm, s);
+  // The n >= 0 guard is proven true; the 100 / m check (m constant 5) is
+  // elidable.
+  bool guard_true = false;
+  for (const auto& [prog, value] : facts.guard_const) {
+    (void)prog;
+    if (value == 1) guard_true = true;
+  }
+  EXPECT_TRUE(guard_true);
+  EXPECT_FALSE(facts.elidable_checks.empty());
+}
+
+TEST(AbsintFacts, CleanMachineYieldsNoGuardFolds) {
+  test::MiniSystem sys;
+  const efsm::CompiledMachine cm(*sys.ctrl_comp->behavior());
+  const analysis::Facts facts = analysis::make_facts(cm, analyze(cm));
+  EXPECT_TRUE(facts.guard_const.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Proof-backed rules (positive + clean negative off MiniSystem)
+// ---------------------------------------------------------------------------
+
+TEST(AbsintRules, GuardDeadUnderDerivedRangesOnly) {
+  // The flagship case const-folding provably cannot catch: n is a variable
+  // (not a constant expression), dead only because the derived range says
+  // n >= 0 forever.
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in")
+      .set_guard("n < 0");
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "efsm.guard.dead.range")) << r.to_text();
+  EXPECT_FALSE(has_rule(r, "efsm.guard.false"))
+      << "const folding must not be able to catch this";
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.guard.dead.range"));
+}
+
+TEST(AbsintRules, GuardTautologyUnderRanges) {
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in")
+      .set_guard("n >= 0");
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "efsm.guard.tautology.range")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.guard.tautology.range"));
+}
+
+TEST(AbsintRules, DivisorRangeContainingZero) {
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in")
+      .add_effect(uml::Action::compute("100 / n"));
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "efsm.expr.divzero.possible")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.expr.divzero.possible"));
+}
+
+TEST(AbsintRules, ProvenNonzeroDivisorStaysQuiet) {
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  dsm.declare_variable("m", 5);
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in")
+      .add_effect(uml::Action::compute("100 / m"));
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_FALSE(has_rule(r, "efsm.expr.divzero.possible")) << r.to_text();
+}
+
+TEST(AbsintRules, FiniteOverflowIsFlagged) {
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  dsm.declare_variable("big", 2305843009213693952L);  // 2^61
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in")
+      .add_effect(uml::Action::compute("big * 16"));
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "efsm.var.overflow.possible")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.var.overflow.possible"));
+}
+
+TEST(AbsintRules, NonpositiveTimerDelay) {
+  test::MiniSystem sys;
+  auto& csm = *sys.ctrl_comp->behavior();
+  auto& idle = *csm.states()[0];
+  auto& tx = *csm.states()[1];
+  sys.model.add_transition(csm, idle, tx, *sys.rsp, "out")
+      .add_effect(uml::Action::set_timer("bad", "5 - 10"));
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "efsm.timer.nonpositive")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.timer.nonpositive"));
+}
+
+TEST(AbsintRules, RangeRefinedUnreachableState) {
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  auto& cold = sys.model.add_state(dsm, "ColdPath");
+  sys.model.add_transition(dsm, idle, cold, *sys.rsp, "in")
+      .set_guard("n < 0");
+  const auto r = analysis::analyze(sys.model);
+  // Graph-reachable, range-unreachable: only the absint refinement fires.
+  EXPECT_TRUE(has_rule(r, "efsm.state.unreachable", "ColdPath"))
+      << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.state.unreachable"));
+}
+
+TEST(AbsintRules, RangeProvenTrueGuardShadowsLaterTransition) {
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  // Guard reads a slot, so the syntactic shadow rule cannot see it; the
+  // range proof can.
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in")
+      .set_guard("n >= 0");
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in");
+  const auto r = analysis::analyze(sys.model);
+  EXPECT_TRUE(has_rule(r, "efsm.transition.dead")) << r.to_text();
+  EXPECT_FALSE(has_rule(clean_report(), "efsm.transition.dead"));
+}
+
+TEST(AbsintRules, DisabledByOption) {
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in")
+      .set_guard("n < 0");
+  analysis::Options options;
+  options.absint = false;
+  const auto r = analysis::analyze(sys.model, options);
+  EXPECT_FALSE(has_rule(r, "efsm.guard.dead.range")) << r.to_text();
+}

@@ -479,6 +479,35 @@ TEST(AnalysisSourceMap, SkipsPrologAndComments) {
   EXPECT_EQ(smap.offset_of("c1"), static_cast<long>(xml.find("<child")));
 }
 
+TEST(AnalysisSourceMap, DuplicateIdsFirstOccurrenceWins) {
+  const std::string xml = "<model><a id=\"dup\"/><b id=\"dup\"/></model>";
+  const auto smap = analysis::SourceMap::build(xml);
+  EXPECT_EQ(smap.offset_of("dup"), 7);  // "<a ...", not the later "<b ..."
+  EXPECT_EQ(xml.compare(7, 2, "<a"), 0);
+}
+
+TEST(AnalysisSourceMap, IdsInsideCommentsAndCdataAreNotElements) {
+  const std::string xml =
+      "<model><!-- <fake id=\"ghost\"/> --><real id=\"r\">"
+      "<![CDATA[<x id=\"hidden\"/>]]></real></model>";
+  const auto smap = analysis::SourceMap::build(xml);
+  EXPECT_EQ(smap.offset_of("ghost"), -1);
+  EXPECT_EQ(smap.offset_of("hidden"), -1);
+  EXPECT_EQ(smap.offset_of("r"), 34);  // raw byte of "<real", past the comment
+  EXPECT_EQ(xml.compare(34, 5, "<real"), 0);
+}
+
+TEST(AnalysisSourceMap, OffsetsAreRawBytesPastEntityDecodes) {
+  // "a&amp;b&lt;c" decodes to 5 characters but spans 12 raw bytes; the
+  // offsets of later elements must count the raw bytes.
+  const std::string xml =
+      "<model name=\"a&amp;b&lt;c\"><n id=\"after\"/></model>";
+  const auto smap = analysis::SourceMap::build(xml);
+  EXPECT_EQ(smap.offset_of("after"), 27);
+  EXPECT_EQ(xml.compare(27, 2, "<n"), 0);
+  EXPECT_EQ(static_cast<long>(xml.find("<n")), 27);
+}
+
 TEST(Analysis, DiagnosticsCarryByteOffsets) {
   test::MiniSystem sys;
   const std::string xml = uml::to_xml_string(sys.model);

@@ -175,6 +175,65 @@ TEST_F(CliFlow, LintBaselineRoundTripSuppresses) {
   EXPECT_NE(r.output.find("baseline-suppressed"), std::string::npos);
 }
 
+TEST_F(CliFlow, LintStaleBaselineEntriesWarn) {
+  const fs::path bl = kWork / "stale.baseline";
+  std::ofstream(bl) << "efsm.guard.false\tSome.Gone.Element\n"
+                       "map.failover.infeasible\tTUTWLAN_Platform."
+                       "accelerator1\n";
+  const CliResult r = run_cli("lint " + model() + " --baseline " + bl.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // The second entry still matches; only the first is reported stale, with
+  // the rotten rule id in the message.
+  EXPECT_NE(r.output.find("analysis.baseline.stale"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("'efsm.guard.false'"), std::string::npos);
+  EXPECT_EQ(r.output.find("'map.failover.infeasible'"), std::string::npos);
+  // A freshly written baseline has no stale entries to warn about.
+  const fs::path fresh = kWork / "fresh.baseline";
+  ASSERT_EQ(
+      run_cli("lint " + model() + " --write-baseline " + fresh.string())
+          .exit_code,
+      0);
+  const CliResult rf =
+      run_cli("lint " + model() + " --baseline " + fresh.string());
+  EXPECT_EQ(rf.output.find("analysis.baseline.stale"), std::string::npos)
+      << rf.output;
+}
+
+TEST_F(CliFlow, LintRulesFilterAcceptsGlobsAndRejectsUnknownIds) {
+  // Glob filter: only efsm.* findings survive (TUTMAC has none, so the
+  // failover info disappears from the report).
+  const CliResult glob = run_cli("lint " + model() + " --rules efsm.*");
+  EXPECT_EQ(glob.exit_code, 0) << glob.output;
+  EXPECT_EQ(glob.output.find("map.failover.infeasible"), std::string::npos);
+  // Exact id keeps exactly that rule's findings.
+  const CliResult exact =
+      run_cli("lint " + model() + " --rules map.failover.infeasible");
+  EXPECT_EQ(exact.exit_code, 0) << exact.output;
+  EXPECT_NE(exact.output.find("map.failover.infeasible"), std::string::npos);
+  // Unknown ids and globs matching nothing fail loudly with the tag.
+  const CliResult bad = run_cli("lint " + model() + " --rules efsm.bogus");
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.output.find("[lint.rules.unknown]"), std::string::npos)
+      << bad.output;
+  const CliResult none = run_cli("lint " + model() + " --rules zzz.*");
+  EXPECT_EQ(none.exit_code, 1);
+  EXPECT_NE(none.output.find("[lint.rules.unknown]"), std::string::npos);
+}
+
+TEST_F(CliFlow, LintAbsintTogglesTheRangePass) {
+  // Both spellings are accepted; with the pass off, the range rules are
+  // still listed in the catalog but can never fire.
+  EXPECT_EQ(run_cli("lint " + model() + " --absint --Werror").exit_code, 0);
+  EXPECT_EQ(run_cli("lint " + model() + " --no-absint --Werror").exit_code, 0);
+}
+
+TEST_F(CliFlow, EfsmDumpPrintsValueRanges) {
+  const CliResult r = run_cli("efsm dump " + model());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("value ranges:"), std::string::npos) << r.output;
+}
+
 TEST(CliCampaign, DryRunPrintsPlanWithoutRunning) {
   const fs::path xml =
       fs::temp_directory_path() /

@@ -454,6 +454,67 @@ TEST(NativeEmit, DeterministicAndStructured) {
   EXPECT_NE(a.code.find("tut_native_v1_abi"), std::string::npos);
 }
 
+TEST(NativeEmit, RangeFactsElideProvenDivisionChecks) {
+  // m is constant 5, so the value-range analysis proves the divisor nonzero
+  // and the emitted program carries an unguarded division — no ChkDiv trap
+  // (tn_fail(3, ...)) anywhere in the source.
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  dsm.declare_variable("m", 5);
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in")
+      .add_effect(uml::Action::compute("100 / m"));
+  mapping::SystemView view(sys.model);
+  const auto model = sim::CompiledModel::build(view);
+  const codegen::NativeSource src = codegen::emit_native(*model);
+  EXPECT_NE(src.code.find(" / "), std::string::npos);
+  EXPECT_EQ(src.code.find("tn_fail(3"), std::string::npos) << src.code;
+}
+
+TEST(NativeEmit, UnprovenDivisorKeepsTheCheck) {
+  // n is [0, +inf) at rest: the divisor range contains 0, the check stays.
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in")
+      .add_effect(uml::Action::compute("100 / n"));
+  mapping::SystemView view(sys.model);
+  const auto model = sim::CompiledModel::build(view);
+  const codegen::NativeSource src = codegen::emit_native(*model);
+  EXPECT_NE(src.code.find("tn_fail(3"), std::string::npos);
+}
+
+TEST(NativeLockstep, ElidedChecksAndFoldedGuardsStayInvisible) {
+  REQUIRE_COMPILER();
+  // Range-dead guard (n < 0 is pruned), range-true guard (n >= 0 is
+  // folded), and an elidable division — the native image must still be
+  // step-for-step identical to the interpreter.
+  test::MiniSystem sys;
+  auto& dsm = *sys.dsp_comp->behavior();
+  auto& idle = *dsm.states()[0];
+  auto& cold = sys.model.add_state(dsm, "Cold");
+  dsm.declare_variable("m", 5);
+  sys.model.add_transition(dsm, idle, cold, *sys.rsp, "in")
+      .set_guard("n < 0");
+  sys.model.add_transition(dsm, idle, idle, *sys.rsp, "in")
+      .set_guard("n >= 0")
+      .add_effect(uml::Action::compute("100 / m"))
+      .add_effect(uml::Action::assign("n", "n + 2"));
+  auto view = std::make_unique<mapping::SystemView>(sys.model);
+  const auto model = sim::CompiledModel::build(*view);
+  const auto image = codegen::NativeImage::build(model);
+  NativeLockStep ls(*model, image, proc_index(*model, "dsp1"));
+  ls.start();
+  ls.variable("n");
+  ls.deliver({sys.rsp, "in", {0}});  // dead guard skipped, folded guard fires
+  ls.variable("n");
+  ls.deliver({sys.req, "in", {5}});  // the fixture's own n + 1 path
+  ls.deliver({sys.rsp, "in", {1}});
+  ls.variable("n");
+  ls.variable("m");
+  EXPECT_EQ(ls.code.state_name(), "Idle");  // Cold was never entered
+}
+
 TEST(NativeImage, ContentHashedCacheHitsOnRebuild) {
   REQUIRE_COMPILER();
   const std::filesystem::path dir =

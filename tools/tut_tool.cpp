@@ -7,17 +7,29 @@
 //   tut info      <model.xml>                 model summary
 //   tut validate  <model.xml> [--json]        design-rule check (exit 1 on errors)
 //   tut lint      <model.xml> [--faults plan.xml] [--json] [--baseline file]
-//                 [--write-baseline file] [--Werror]
+//                 [--write-baseline file] [--Werror] [--rules id|glob,...]
+//                 [--absint|--no-absint]
 //                                             whole-design static analysis:
-//                                             core rules + EFSM bytecode,
-//                                             signal-flow and mapping families
-//                                             (tut lint --rules lists them)
+//                                             core rules + EFSM bytecode
+//                                             (incl. the value-range abstract
+//                                             interpretation pass), signal-
+//                                             flow and mapping families
+//                                             (tut lint --rules lists them).
+//                                             --rules VALUE keeps only the
+//                                             named rules; globs like efsm.*
+//                                             expand against the catalog and
+//                                             unknown ids are a hard error.
+//                                             Stale baseline entries warn as
+//                                             analysis.baseline.stale
 //   tut diagram   <model.xml> <figure>        fig3..fig8 as text/DOT on stdout
 //   tut codegen   <model.xml> <outdir> [--host]  generate the C implementation
 //   tut efsm      dump <model.xml> [--machine NAME]
 //                                             disassemble the compiled EFSM
 //                                             bytecode of every process
-//                                             behaviour (or just NAME)
+//                                             behaviour (or just NAME) and
+//                                             print the per-state value
+//                                             ranges the abstract
+//                                             interpreter derives
 //   tut profile   <model.xml> <sim.log>       Table-4 report + latencies
 //   tut simulate  tutmac <outdir> [ms] [--faults plan.xml] [--seed N]
 //                 [--batch N] [--threads K] [--backend interpreter|native]
@@ -74,6 +86,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint.hpp"
 #include "analysis/analyzer.hpp"
 #include "appmodel/appmodel.hpp"
 #include "codegen/codegen.hpp"
@@ -101,7 +114,8 @@ int usage() {
       "  info      <model.xml>\n"
       "  validate  <model.xml> [--json]\n"
       "  lint      <model.xml> [--faults plan.xml] [--json] [--baseline file]"
-      " [--write-baseline file] [--Werror]\n"
+      " [--write-baseline file] [--Werror] [--rules id|glob,...]"
+      " [--absint|--no-absint]\n"
       "  lint      --rules\n"
       "  diagram   <model.xml> <fig3|fig4|fig5|fig6|fig7|fig8>\n"
       "  codegen   <model.xml> <outdir> [--host]\n"
@@ -202,7 +216,13 @@ int cmd_efsm_dump(const std::string& path, const std::string& machine_name) {
   for (const uml::StateMachine* sm : machines) {
     if (!first) std::cout << '\n';
     first = false;
-    std::cout << efsm::disassemble(efsm::CompiledMachine(*sm));
+    const efsm::CompiledMachine cm(*sm);
+    std::cout << efsm::disassemble(cm);
+    const analysis::absint::MachineSummary summary =
+        analysis::absint::analyze(cm);
+    if (summary.analyzed) {
+      std::cout << '\n' << analysis::absint::invariants_text(cm, summary);
+    }
   }
   return 0;
 }
@@ -259,14 +279,91 @@ int cmd_lint_rules() {
   return 0;
 }
 
+/// Shell-style glob over a rule id: '*' matches any run, '?' one character.
+bool glob_match(std::string_view pat, std::string_view s) {
+  std::size_t p = 0, i = 0, star = std::string_view::npos, mark = 0;
+  while (i < s.size()) {
+    if (p < pat.size() && (pat[p] == s[i] || pat[p] == '?')) {
+      ++p, ++i;
+    } else if (p < pat.size() && pat[p] == '*') {
+      star = p++;
+      mark = i;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      i = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '*') ++p;
+  return p == pat.size();
+}
+
+/// Parses a --rules value (comma-separated ids or globs) into a keep
+/// predicate. Every token must name or match at least one known rule —
+/// analysis catalog or core profile rule — otherwise the filter would
+/// silently drop everything.
+std::function<bool(const std::string&)> make_rule_filter(
+    const std::string& spec) {
+  std::vector<std::string> known;
+  for (const analysis::RuleInfo& rule : analysis::rule_catalog()) {
+    known.emplace_back(rule.id);
+  }
+  const uml::Validator validator = profile::make_validator();
+  for (const uml::Rule& rule : validator.rules()) {
+    known.push_back(rule.id);
+  }
+  std::vector<std::string> patterns;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string tok = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (tok.empty()) continue;
+    const bool is_glob = tok.find_first_of("*?") != std::string::npos;
+    const bool hits = std::any_of(
+        known.begin(), known.end(), [&tok, is_glob](const std::string& id) {
+          return is_glob ? glob_match(tok, id) : id == tok;
+        });
+    if (!hits) {
+      throw std::invalid_argument(
+          "[lint.rules.unknown] " +
+          std::string(is_glob ? "pattern '" : "unknown rule id '") + tok +
+          (is_glob ? "' matches no known rule" : "'") +
+          " (tut lint --rules lists the catalog)");
+    }
+    patterns.push_back(tok);
+  }
+  if (patterns.empty()) {
+    throw std::invalid_argument(
+        "[lint.rules.unknown] --rules needs at least one rule id or glob");
+  }
+  return [patterns](const std::string& rule) {
+    for (const std::string& pat : patterns) {
+      if (pat.find_first_of("*?") != std::string::npos
+              ? glob_match(pat, rule)
+              : pat == rule) {
+        return true;
+      }
+    }
+    return false;
+  };
+}
+
 int cmd_lint(const std::string& path, const std::string& faults_path,
              bool json, bool werror, const std::string& baseline_path,
-             const std::string& write_baseline_path) {
+             const std::string& write_baseline_path,
+             const std::string& rules_spec, bool absint) {
+  // Validate --rules up front so a typo fails before any analysis runs.
+  std::function<bool(const std::string&)> keep;
+  if (!rules_spec.empty()) keep = make_rule_filter(rules_spec);
+
   const std::string xml = read_file(path);
   const auto model = uml::from_xml_string(xml);
 
   analysis::Options options;
   options.xml_text = xml;
+  options.absint = absint;
   sim::FaultPlan plan;
   if (!faults_path.empty()) {
     plan = sim::FaultPlan::from_xml_text(read_file(faults_path));
@@ -274,14 +371,30 @@ int cmd_lint(const std::string& path, const std::string& faults_path,
   }
 
   analysis::Report report = analysis::analyze(*model, options);
+  analysis::Baseline baseline;
   if (!baseline_path.empty()) {
-    report.apply_baseline(analysis::Baseline::parse(read_file(baseline_path)));
+    baseline = analysis::Baseline::parse(read_file(baseline_path));
+    report.apply_baseline(baseline);
   }
   if (!write_baseline_path.empty()) {
+    // Written from the current findings, so stale entries drop out here.
     std::ofstream out(write_baseline_path);
     out << analysis::Baseline::from_diagnostics(report.diagnostics());
     std::cerr << "wrote baseline to " << write_baseline_path << '\n';
   }
+  if (!baseline_path.empty()) {
+    // After --write-baseline: stale warnings must never serialize into a
+    // fresh baseline, only flag rot in the checked-in one.
+    for (const auto& [rule, element] :
+         baseline.stale_against(report.diagnostics())) {
+      report.add(uml::Severity::Warning, "analysis.baseline.stale", element,
+                 "baseline entry '" + rule +
+                     "' matches no current finding; remove it or refresh "
+                     "with --write-baseline");
+    }
+    report.sort();
+  }
+  if (keep) report.filter_rules(keep);
   std::cout << (json ? report.to_json() + "\n" : report.to_text());
   return report.ok(werror) ? 0 : 1;
 }
@@ -872,25 +985,31 @@ int main(int argc, char** argv) {
     }
     if (cmd == "lint" && args.size() >= 2) {
       if (args[1] == "--rules" && args.size() == 2) return cmd_lint_rules();
-      std::string faults_path, baseline_path, write_baseline_path;
-      bool json = false, werror = false;
+      std::string faults_path, baseline_path, write_baseline_path, rules_spec;
+      bool json = false, werror = false, absint = true;
       for (std::size_t i = 2; i < args.size(); ++i) {
         if (args[i] == "--json") {
           json = true;
         } else if (args[i] == "--Werror") {
           werror = true;
+        } else if (args[i] == "--absint") {
+          absint = true;
+        } else if (args[i] == "--no-absint") {
+          absint = false;
         } else if (args[i] == "--faults" && i + 1 < args.size()) {
           faults_path = args[++i];
         } else if (args[i] == "--baseline" && i + 1 < args.size()) {
           baseline_path = args[++i];
         } else if (args[i] == "--write-baseline" && i + 1 < args.size()) {
           write_baseline_path = args[++i];
+        } else if (args[i] == "--rules" && i + 1 < args.size()) {
+          rules_spec = args[++i];
         } else {
           return usage();
         }
       }
       return cmd_lint(args[1], faults_path, json, werror, baseline_path,
-                      write_baseline_path);
+                      write_baseline_path, rules_spec, absint);
     }
     if (cmd == "diagram" && args.size() == 3) {
       return cmd_diagram(args[1], args[2]);
